@@ -1,0 +1,265 @@
+//! Control-flow-graph recovery over an encoded program image.
+//!
+//! "FPVM's VSA builds a preliminary Control Flow Graph (CFG) and then starts
+//! from the first instruction at the entry point and analyzes the program
+//! sequentially" (§4.2). We disassemble the whole code segment, split it at
+//! leaders (entry, branch targets, call targets, post-branch fallthroughs),
+//! and recover function boundaries from call targets — the same recovery an
+//! angr-style tool performs on a stripped binary.
+
+use fpvm_machine::{decode, Inst, Program, CODE_BASE};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A disassembled instruction site.
+#[derive(Debug, Clone, Copy)]
+pub struct Site {
+    /// Address.
+    pub addr: u64,
+    /// The instruction.
+    pub inst: Inst,
+    /// Encoded length.
+    pub len: u8,
+}
+
+/// A basic block: a maximal straight-line instruction run.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Address of the first instruction.
+    pub start: u64,
+    /// Instruction sites.
+    pub insts: Vec<Site>,
+    /// Successor block start addresses (control-flow edges).
+    pub succs: Vec<u64>,
+    /// Call target, if the block ends in a `Call` (edge handled
+    /// interprocedurally, not in `succs`).
+    pub call_target: Option<u64>,
+}
+
+/// The recovered control flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks keyed by start address.
+    pub blocks: BTreeMap<u64, Block>,
+    /// Function entry addresses (the program entry + every call target).
+    pub functions: BTreeSet<u64>,
+    /// Block start → owning function entry.
+    pub block_fn: HashMap<u64, u64>,
+    /// Total instructions disassembled.
+    pub inst_count: usize,
+}
+
+impl Cfg {
+    /// Build the CFG for a program image.
+    pub fn build(p: &Program) -> Cfg {
+        // Linear disassembly (our assembler never interleaves data in code).
+        let mut sites = Vec::new();
+        let mut pos = 0usize;
+        while pos < p.code.len() {
+            let Ok((inst, len)) = decode(&p.code, pos) else {
+                break;
+            };
+            sites.push(Site {
+                addr: CODE_BASE + pos as u64,
+                inst,
+                len: len as u8,
+            });
+            pos += len;
+        }
+        // Leaders and call targets.
+        let mut leaders: BTreeSet<u64> = BTreeSet::new();
+        let mut functions: BTreeSet<u64> = BTreeSet::new();
+        leaders.insert(p.entry);
+        functions.insert(p.entry);
+        for s in &sites {
+            let next = s.addr + u64::from(s.len);
+            match s.inst {
+                Inst::Jmp { rel } => {
+                    leaders.insert(offset(next, rel));
+                    leaders.insert(next);
+                }
+                Inst::Jcc { rel, .. } => {
+                    leaders.insert(offset(next, rel));
+                    leaders.insert(next);
+                }
+                Inst::Call { rel } => {
+                    let t = offset(next, rel);
+                    leaders.insert(t);
+                    functions.insert(t);
+                    leaders.insert(next);
+                }
+                Inst::Ret | Inst::Halt => {
+                    leaders.insert(next);
+                }
+                _ => {}
+            }
+        }
+        // Slice into blocks.
+        let mut blocks: BTreeMap<u64, Block> = BTreeMap::new();
+        let mut cur: Option<Block> = None;
+        for s in &sites {
+            if leaders.contains(&s.addr) {
+                if let Some(b) = cur.take() {
+                    blocks.insert(b.start, b);
+                }
+                cur = Some(Block {
+                    start: s.addr,
+                    insts: Vec::new(),
+                    succs: Vec::new(),
+                    call_target: None,
+                });
+            }
+            let Some(b) = cur.as_mut() else {
+                continue;
+            };
+            b.insts.push(*s);
+            let next = s.addr + u64::from(s.len);
+            let terminate = match s.inst {
+                Inst::Jmp { rel } => {
+                    b.succs.push(offset(next, rel));
+                    true
+                }
+                Inst::Jcc { rel, .. } => {
+                    b.succs.push(offset(next, rel));
+                    b.succs.push(next);
+                    true
+                }
+                Inst::Call { rel } => {
+                    b.call_target = Some(offset(next, rel));
+                    b.succs.push(next); // returns to the fallthrough
+                    true
+                }
+                Inst::Ret | Inst::Halt => true,
+                _ => false,
+            };
+            if terminate {
+                blocks.insert(b.start, cur.take().unwrap().clone());
+                cur = None;
+            } else if leaders.contains(&next) {
+                b.succs.push(next);
+                blocks.insert(b.start, cur.take().unwrap().clone());
+                cur = None;
+            }
+        }
+        if let Some(b) = cur.take() {
+            blocks.insert(b.start, b);
+        }
+        // Assign blocks to functions: reachability from each function entry
+        // through intra-procedural edges (succs only; calls excluded).
+        let mut block_fn: HashMap<u64, u64> = HashMap::new();
+        for &f in &functions {
+            let mut stack = vec![f];
+            while let Some(b) = stack.pop() {
+                if block_fn.contains_key(&b) {
+                    continue;
+                }
+                let Some(block) = blocks.get(&b) else {
+                    continue;
+                };
+                block_fn.insert(b, f);
+                for &s in &block.succs {
+                    // Follow intra-procedural edges; a self-edge back to
+                    // this function's entry (a loop to the top) also stays.
+                    if !functions.contains(&s) || s == f {
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+        Cfg {
+            inst_count: sites.len(),
+            blocks,
+            functions,
+            block_fn,
+        }
+    }
+
+    /// Blocks of one function, in address order.
+    pub fn function_blocks(&self, entry: u64) -> Vec<&Block> {
+        self.blocks
+            .values()
+            .filter(|b| self.block_fn.get(&b.start) == Some(&entry))
+            .collect()
+    }
+}
+
+fn offset(next: u64, rel: i32) -> u64 {
+    next.wrapping_add(i64::from(rel) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm_machine::{AluOp, Asm, Cond, Gpr, Xmm};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut a = Asm::new();
+        let c = a.f64m(1.0);
+        a.movsd(Xmm(0), c);
+        a.addsd(Xmm(0), Xmm(0));
+        a.halt();
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.functions.len(), 1);
+        assert_eq!(cfg.inst_count, 3);
+    }
+
+    #[test]
+    fn loop_structure() {
+        let mut a = Asm::new();
+        a.mov_ri(Gpr::RCX, 0);
+        let top = a.here_label();
+        let done = a.label();
+        a.cmp_ri(Gpr::RCX, 10);
+        a.jcc(Cond::Ge, done);
+        a.alu_ri(AluOp::Add, Gpr::RCX, 1);
+        a.jmp(top);
+        a.bind(done);
+        a.halt();
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        // blocks: [mov], [cmp,jcc], [add,jmp], [halt]
+        assert_eq!(cfg.blocks.len(), 4);
+        // The jcc block has two successors; the jmp block loops back.
+        let jcc_block = cfg
+            .blocks
+            .values()
+            .find(|b| matches!(b.insts.last().unwrap().inst, Inst::Jcc { .. }))
+            .unwrap();
+        assert_eq!(jcc_block.succs.len(), 2);
+        let jmp_block = cfg
+            .blocks
+            .values()
+            .find(|b| matches!(b.insts.last().unwrap().inst, Inst::Jmp { .. }))
+            .unwrap();
+        assert_eq!(jmp_block.succs, vec![jcc_block.start]);
+    }
+
+    #[test]
+    fn functions_recovered_from_calls() {
+        let mut a = Asm::new();
+        let f = a.label();
+        a.call(f);
+        a.call(f);
+        a.halt();
+        a.bind(f);
+        a.mov_ri(Gpr::RAX, 7);
+        a.ret();
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.functions.len(), 2, "entry + callee");
+        // Callee blocks belong to the callee function.
+        let callee_entry = *cfg.functions.iter().max().unwrap();
+        let fb = cfg.function_blocks(callee_entry);
+        assert_eq!(fb.len(), 1);
+        assert!(matches!(fb[0].insts.last().unwrap().inst, Inst::Ret));
+        // Call blocks carry the call target.
+        let caller_blocks = cfg.function_blocks(p.entry);
+        let with_calls = caller_blocks
+            .iter()
+            .filter(|b| b.call_target == Some(callee_entry))
+            .count();
+        assert_eq!(with_calls, 2);
+    }
+}

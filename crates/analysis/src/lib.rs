@@ -1,0 +1,26 @@
+//! # fpvm-analysis — static binary analysis and transformation (§4.2)
+//!
+//! The offline half of the hybrid FPVM: because some x64 instructions
+//! operate on NaN-boxed values *without* faulting (integer loads of FP
+//! memory, `movq r64 ← xmm`, the `xorpd`/`andpd` compiler idioms),
+//! trap-and-emulate alone is unsound. This crate reproduces the paper's
+//! angr + e9patch pipeline on the simulated ISA:
+//!
+//! 1. [`cfg`](mod@cfg) recovers a control flow graph from the program image;
+//! 2. [`vsa`] runs a value-set-analysis-lite abstract interpretation that
+//!    finds *sources* (FP stores) and *sinks* (integer reads that may
+//!    observe them), degrading conservatively where static reasoning fails
+//!    — VSA "is not generally solvable" (§4.2);
+//! 3. [`patch`] overwrites each sink with an explicit **correctness trap**
+//!    and emits the side table the runtime uses to demote-and-re-execute.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod patch;
+pub mod vsa;
+
+pub use cfg::Cfg;
+pub use patch::{analyze_and_patch, apply_patches, PatchedProgram};
+pub use vsa::{analyze, Analysis, AnalysisStats, Sink, SinkReason};

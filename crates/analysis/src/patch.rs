@@ -1,0 +1,182 @@
+//! The binary patcher (the e9patch analogue, §4.2).
+//!
+//! "Once sink instructions are identified, they are patched to explicitly
+//! trap into FPVM to demote the NaN-boxed value if it is discovered at
+//! run-time to truly be NaN-boxed, and then re-execute the instruction."
+//!
+//! Each sink instruction is overwritten in place with a 3-byte
+//! `Trap{Correctness, id}` followed by `Nop` padding, and the original
+//! instruction is stashed in the side table the runtime consults. Because
+//! the `Trap` encoding is no longer than the shortest patchable
+//! instruction, patching never spans instruction boundaries — the
+//! straddling problem §3.2 describes for real x64 does not arise (the ISA
+//! was designed that way; see fpvm-machine::encode).
+
+use crate::vsa::{analyze, Analysis, Sink};
+use fpvm_machine::{encode, Inst, Program, TrapKind, CODE_BASE};
+use fpvm_core::SideTableEntry;
+use std::collections::BTreeSet;
+
+/// Result of analyzing + patching a program.
+#[derive(Debug, Clone)]
+pub struct PatchedProgram {
+    /// The transformed image (sinks replaced by correctness traps).
+    pub program: Program,
+    /// The side table to install into the runtime.
+    pub side_table: Vec<SideTableEntry>,
+    /// The analysis that produced the patches.
+    pub analysis: Analysis,
+}
+
+/// Analyze a program and patch every sink with a correctness trap.
+pub fn analyze_and_patch(p: &Program) -> PatchedProgram {
+    let analysis = analyze(p);
+    let (program, side_table) = apply_patches(p, &analysis.sinks);
+    PatchedProgram {
+        program,
+        side_table,
+        analysis,
+    }
+}
+
+/// Apply a specific sink list (exposed for tests and ablations).
+pub fn apply_patches(p: &Program, sinks: &[Sink]) -> (Program, Vec<SideTableEntry>) {
+    let mut out = p.clone();
+    let mut table = Vec::new();
+    // Branch targets must never land inside a patched region other than at
+    // the patch start; with whole-instruction patching this can only be
+    // violated by hand-crafted images — verify anyway.
+    let targets = branch_targets(p);
+    for sink in sinks {
+        let id = table.len();
+        if id > u16::MAX as usize {
+            break; // side table full; remaining sinks stay unpatched
+        }
+        let inside = (sink.addr + 1..sink.addr + u64::from(sink.len))
+            .any(|a| targets.contains(&a));
+        if inside {
+            continue;
+        }
+        let mut bytes = Vec::with_capacity(sink.len as usize);
+        encode(
+            &Inst::Trap {
+                kind: TrapKind::Correctness,
+                id: id as u16,
+            },
+            &mut bytes,
+        );
+        assert!(
+            bytes.len() <= sink.len as usize,
+            "trap must fit the original instruction"
+        );
+        while bytes.len() < sink.len as usize {
+            encode(&Inst::Nop, &mut bytes);
+        }
+        let off = (sink.addr - CODE_BASE) as usize;
+        out.code[off..off + sink.len as usize].copy_from_slice(&bytes);
+        table.push(SideTableEntry {
+            addr: sink.addr,
+            original: sink.inst,
+            len: sink.len,
+        });
+    }
+    (out, table)
+}
+
+fn branch_targets(p: &Program) -> BTreeSet<u64> {
+    let mut targets = BTreeSet::new();
+    for (addr, inst, len) in p.disassemble() {
+        let next = addr + len as u64;
+        match inst {
+            Inst::Jmp { rel } | Inst::Jcc { rel, .. } | Inst::Call { rel } => {
+                targets.insert(next.wrapping_add(i64::from(rel) as u64));
+            }
+            _ => {}
+        }
+    }
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm_arith::Vanilla;
+    use fpvm_core::{ExitReason, Fpvm, FpvmConfig};
+    use fpvm_machine::{AluOp, Asm, CostModel, Gpr, Machine, Mem, Width, Xmm};
+
+    #[test]
+    fn patched_program_same_length_and_decodable() {
+        let mut a = Asm::new();
+        let c = a.f64m(1.5);
+        a.alu_ri(AluOp::Sub, Gpr::RSP, 16);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::base_disp(Gpr::RSP, 8), Xmm(0));
+        a.load_w(Gpr::RAX, Mem::base_disp(Gpr::RSP, 8), Width::W64);
+        a.movq_xg(Gpr::RBX, Xmm(0));
+        a.halt();
+        let p = a.finish();
+        let patched = analyze_and_patch(&p);
+        assert_eq!(patched.program.code.len(), p.code.len());
+        assert_eq!(patched.side_table.len(), 2);
+        // Every address still decodes; traps appear where sinks were.
+        let dis = patched.program.disassemble();
+        let traps = dis
+            .iter()
+            .filter(|(_, i, _)| matches!(i, Inst::Trap { .. }))
+            .count();
+        assert_eq!(traps, 2);
+        // Instruction boundaries are preserved.
+        let orig_addrs: Vec<u64> = p.disassemble().iter().map(|(a, _, _)| *a).collect();
+        let new_addrs: Vec<u64> = dis
+            .iter()
+            .map(|(a, _, _)| *a)
+            .filter(|a| orig_addrs.contains(a))
+            .collect();
+        assert_eq!(orig_addrs, new_addrs);
+    }
+
+    #[test]
+    fn end_to_end_fig6_correctness() {
+        // Fig. 6 end to end: boxed value stored to stack, integer-reloaded.
+        // Unpatched under FPVM the integer world would see the box; patched
+        // it sees the true double's bits.
+        let mut a = Asm::new();
+        let c1 = a.f64m(0.1);
+        let c2 = a.f64m(0.2);
+        a.alu_ri(AluOp::Sub, Gpr::RSP, 16);
+        a.movsd(Xmm(0), c1);
+        a.addsd(Xmm(0), c2); // traps -> boxed
+        a.movsd(Mem::base_disp(Gpr::RSP, 0), Xmm(0)); // box to stack
+        a.load(Gpr::RAX, Mem::base_disp(Gpr::RSP, 0)); // reinterpret as int
+        a.halt();
+        let p = a.finish();
+        let patched = analyze_and_patch(&p);
+        assert!(!patched.side_table.is_empty());
+
+        let mut m = Machine::new(CostModel::r815());
+        m.load_program(&patched.program);
+        let mut fpvm = Fpvm::new(Vanilla, FpvmConfig::default());
+        fpvm.set_side_table(patched.side_table.clone());
+        let report = fpvm.run(&mut m);
+        assert_eq!(report.exit, ExitReason::Halted);
+        assert!(report.stats.correctness_traps >= 1);
+        assert_eq!(
+            f64::from_bits(m.gpr[0]),
+            0.1 + 0.2,
+            "integer view must hold the demoted double"
+        );
+    }
+
+    #[test]
+    fn patching_clean_program_is_noop() {
+        let mut a = Asm::new();
+        let c = a.f64m(1.5);
+        a.movsd(Xmm(0), c);
+        a.addsd(Xmm(0), Xmm(0));
+        a.halt();
+        let p = a.finish();
+        let patched = analyze_and_patch(&p);
+        assert!(patched.side_table.is_empty());
+        assert_eq!(patched.program.code, p.code);
+    }
+}

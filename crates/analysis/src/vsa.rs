@@ -1,0 +1,974 @@
+//! Value-set-analysis-lite: find the instructions where a NaN-boxed value
+//! could leak into the non-trapping integer world (§4.2).
+//!
+//! "The analysis categorizes instructions into two categories: sources and
+//! sinks. A source is any instruction that stores a floating point value to
+//! memory, and a sink is any instruction that later loads from any memory
+//! location that was previously been written to by a source."
+//!
+//! The analysis is an abstract interpretation over the recovered CFG:
+//!
+//! * registers carry a value-set lattice — constants, entry-relative stack
+//!   offsets, exact global pointers, *object-granular* global pointers
+//!   (angr-VSA's allocation-site a-locs, using the image's object table),
+//!   a one-cell heap summary, and ⊤ — plus an *FP-bits taint*;
+//! * stack slot **contents** are tracked flow-sensitively (the `-O0` style
+//!   codegen round-trips every pointer through the frame, so without this
+//!   every indexed access would degrade to ⊤);
+//! * memory *typing* (which locations may hold FP data) is flow-insensitive
+//!   and monotone: per-function frame slots, per-word and per-object global
+//!   sets, and the heap summary.
+//!
+//! Like the paper's tweaked VSA, unresolvable facts degrade conservatively:
+//! "if VSA returns a conservative result, FPVM follows suit and assumes
+//! there exists a NaN-boxed double that may need demotion." The one-cell
+//! heap summary is the deliberate imprecision that reproduces the paper's
+//! Enzo behavior — correctness traps in critical loops "because the static
+//! analysis could not prove they were unneeded."
+//!
+//! Sinks: integer loads from maybe-FP locations, `movq r64 ← xmm` (always),
+//! and the bitwise-FP idioms `xorpd`/`andpd`/`orpd` (always — compilers use
+//! them to negate / take `fabs` of FP registers that may hold boxes).
+//! External call sites are not patched: the runtime's LD_PRELOAD-style shim
+//! interposes them directly (§4.1).
+
+use crate::cfg::{Block, Cfg, Site};
+use fpvm_machine::{
+    AluOp, ExtFn, Gpr, Inst, Mem, Program, DATA_BASE, HEAP_BASE, XM,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The data-segment object table (allocation sites).
+struct ObjMap {
+    /// Sorted (base, size).
+    objects: Vec<(u64, u64)>,
+}
+
+impl ObjMap {
+    fn new(p: &Program) -> ObjMap {
+        let mut objects = p.objects.clone();
+        objects.sort_unstable();
+        ObjMap { objects }
+    }
+
+    fn resolve(&self, addr: u64) -> Option<u32> {
+        let idx = self.objects.partition_point(|&(b, _)| b <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let (base, size) = self.objects[idx - 1];
+        (addr < base + size).then_some(idx as u32 - 1)
+    }
+
+    fn range(&self, k: u32) -> (u64, u64) {
+        self.objects[k as usize]
+    }
+}
+
+/// Abstract register / slot value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AVal {
+    #[allow(dead_code)]
+    Bottom,
+    Const(i64),
+    /// Entry-rsp-relative stack address.
+    Stack(i64),
+    /// Exact data-segment address.
+    Global(u64),
+    /// Somewhere inside data object `k`.
+    GlobalObj(u32),
+    /// Somewhere in the data segment.
+    GlobalAny,
+    /// Somewhere in dynamic memory (heap summary).
+    Heap,
+    Top,
+}
+
+impl AVal {
+    fn join(self, other: AVal, objs: &ObjMap) -> AVal {
+        use AVal::*;
+        match (self, other) {
+            (Bottom, x) | (x, Bottom) => x,
+            (a, b) if a == b => a,
+            (Global(a), Global(b)) => match (objs.resolve(a), objs.resolve(b)) {
+                (Some(ka), Some(kb)) if ka == kb => GlobalObj(ka),
+                _ => GlobalAny,
+            },
+            (Global(a), GlobalObj(k)) | (GlobalObj(k), Global(a)) => {
+                if objs.resolve(a) == Some(k) {
+                    GlobalObj(k)
+                } else {
+                    GlobalAny
+                }
+            }
+            (Global(_) | GlobalObj(_) | GlobalAny, Global(_) | GlobalObj(_) | GlobalAny) => {
+                GlobalAny
+            }
+            _ => Top,
+        }
+    }
+
+    fn add_const(self, k: i64) -> AVal {
+        match self {
+            AVal::Const(c) => AVal::Const(c.wrapping_add(k)),
+            AVal::Stack(o) => AVal::Stack(o.wrapping_add(k)),
+            AVal::Global(a) => AVal::Global(a.wrapping_add(k as u64)),
+            x => x,
+        }
+    }
+
+    /// Result of adding an unknown offset (array indexing).
+    fn add_unknown(self, objs: &ObjMap) -> AVal {
+        match self {
+            AVal::Global(a) => objs
+                .resolve(a)
+                .map_or(AVal::GlobalAny, AVal::GlobalObj),
+            AVal::GlobalObj(k) => AVal::GlobalObj(k),
+            AVal::GlobalAny => AVal::GlobalAny,
+            AVal::Heap => AVal::Heap,
+            _ => AVal::Top,
+        }
+    }
+}
+
+/// Classify a constant that may be a pointer (MovRI of an address).
+fn classify_const_val(c: i64) -> AVal {
+    let u = c as u64;
+    if (DATA_BASE..HEAP_BASE).contains(&u) {
+        AVal::Global(u)
+    } else if (HEAP_BASE..(1 << 40)).contains(&u) {
+        AVal::Heap
+    } else {
+        AVal::Const(c)
+    }
+}
+
+/// Abstract memory location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ALoc {
+    StackOff(i64),
+    #[allow(dead_code)]
+    StackAny,
+    GlobalWord(u64),
+    GlobalObj(u32),
+    GlobalAny,
+    Heap,
+    Any,
+}
+
+/// Flow-insensitive memory typing, shared across functions; grows
+/// monotonically to a fixpoint.
+#[derive(Debug, Default, Clone, PartialEq)]
+struct MemTypes {
+    /// Exact data words that may hold FP data.
+    words_fp: BTreeSet<u64>,
+    /// Objects where *some* unknown offset may hold FP data.
+    objs_fp: BTreeSet<u32>,
+    global_any_fp: bool,
+    heap_fp: bool,
+    any_fp: bool,
+}
+
+impl MemTypes {
+    fn mark(&mut self, loc: ALoc, ctx: &mut FnCtx) {
+        match loc {
+            ALoc::StackOff(o) => {
+                ctx.stack_fp.insert(o & !7);
+            }
+            ALoc::StackAny => ctx.stack_any = true,
+            ALoc::GlobalWord(a) => {
+                self.words_fp.insert(a & !7);
+            }
+            ALoc::GlobalObj(k) => {
+                self.objs_fp.insert(k);
+            }
+            ALoc::GlobalAny => self.global_any_fp = true,
+            ALoc::Heap => self.heap_fp = true,
+            ALoc::Any => self.any_fp = true,
+        }
+    }
+
+    fn maybe_fp(&self, loc: ALoc, ctx: &FnCtx, objs: &ObjMap) -> bool {
+        if self.any_fp {
+            return true;
+        }
+        let obj_hit = |k: u32| {
+            if self.objs_fp.contains(&k) {
+                return true;
+            }
+            let (base, size) = objs.range(k);
+            self.words_fp.range(base..base + size).next().is_some()
+        };
+        match loc {
+            ALoc::StackOff(o) => ctx.stack_any || ctx.stack_fp.contains(&(o & !7)),
+            ALoc::StackAny => ctx.stack_any || !ctx.stack_fp.is_empty(),
+            ALoc::GlobalWord(a) => {
+                self.global_any_fp
+                    || self.words_fp.contains(&(a & !7))
+                    || objs.resolve(a).is_some_and(|k| self.objs_fp.contains(&k))
+            }
+            ALoc::GlobalObj(k) => self.global_any_fp || obj_hit(k),
+            ALoc::GlobalAny => {
+                self.global_any_fp || !self.words_fp.is_empty() || !self.objs_fp.is_empty()
+            }
+            ALoc::Heap => self.heap_fp,
+            ALoc::Any => {
+                self.heap_fp
+                    || self.global_any_fp
+                    || !self.words_fp.is_empty()
+                    || !self.objs_fp.is_empty()
+                    || ctx.stack_any
+                    || !ctx.stack_fp.is_empty()
+            }
+        }
+    }
+}
+
+/// Per-block register + frame-slot state.
+#[derive(Debug, Clone, PartialEq)]
+struct RegState {
+    vals: [AVal; 16],
+    taint: [bool; 16],
+    /// Known frame-slot contents (entry-rsp-relative offset → value).
+    slots: BTreeMap<i64, (AVal, bool)>,
+}
+
+impl RegState {
+    fn entry() -> Self {
+        let mut vals = [AVal::Top; 16];
+        vals[Gpr::RSP.0 as usize] = AVal::Stack(0);
+        RegState {
+            vals,
+            taint: [false; 16],
+            slots: BTreeMap::new(),
+        }
+    }
+
+    fn join(&mut self, other: &RegState, objs: &ObjMap) -> bool {
+        let mut changed = false;
+        for i in 0..16 {
+            let j = self.vals[i].join(other.vals[i], objs);
+            if j != self.vals[i] {
+                self.vals[i] = j;
+                changed = true;
+            }
+            let t = self.taint[i] || other.taint[i];
+            if t != self.taint[i] {
+                self.taint[i] = t;
+                changed = true;
+            }
+        }
+        // Slot maps: keep the intersection of keys, joining values.
+        let keys: Vec<i64> = self.slots.keys().copied().collect();
+        for k in keys {
+            match other.slots.get(&k) {
+                None => {
+                    self.slots.remove(&k);
+                    changed = true;
+                }
+                Some(&(ov, ot)) => {
+                    let (sv, st) = self.slots[&k];
+                    let nv = sv.join(ov, objs);
+                    let nt = st || ot;
+                    if (nv, nt) != (sv, st) {
+                        self.slots.insert(k, (nv, nt));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Why an instruction was classified as a sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkReason {
+    /// Integer load of a location that may hold FP data (Fig. 6/7).
+    IntLoadOfFp,
+    /// `movq r64, xmm` — direct FP-to-integer register leak.
+    MovqLeak,
+    /// Bitwise FP op (`xorpd`/`andpd`/`orpd`) — compiler sign/abs idiom.
+    BitwiseFp,
+}
+
+/// A sink instruction that must be patched with a correctness trap.
+#[derive(Debug, Clone, Copy)]
+pub struct Sink {
+    /// Instruction address.
+    pub addr: u64,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Encoded length.
+    pub len: u8,
+    /// Classification.
+    pub reason: SinkReason,
+}
+
+/// Analysis summary statistics (reported by the `reproduce` harness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisStats {
+    /// Instructions analyzed.
+    pub instructions: usize,
+    /// Basic blocks.
+    pub blocks: usize,
+    /// Functions.
+    pub functions: usize,
+    /// Integer loads examined.
+    pub loads_total: usize,
+    /// Integer loads proven safe (not patched).
+    pub loads_proven_safe: usize,
+    /// Outer fixpoint rounds.
+    pub rounds: usize,
+}
+
+/// Full analysis result.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Sink instructions to patch.
+    pub sinks: Vec<Sink>,
+    /// Statistics.
+    pub stats: AnalysisStats,
+}
+
+struct FnCtx {
+    stack_fp: BTreeSet<i64>,
+    stack_any: bool,
+}
+
+/// Run the analysis on a program image.
+pub fn analyze(p: &Program) -> Analysis {
+    let cfg = Cfg::build(p);
+    let objs = ObjMap::new(p);
+    let mut mem = MemTypes::default();
+    let mut fn_ctxs: HashMap<u64, FnCtx> = cfg
+        .functions
+        .iter()
+        .map(|&f| {
+            (
+                f,
+                FnCtx {
+                    stack_fp: BTreeSet::new(),
+                    stack_any: false,
+                },
+            )
+        })
+        .collect();
+    // Outer fixpoint over the shared memory typing + frame typing.
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let before = mem.clone();
+        let frames_before: BTreeMap<u64, (usize, bool)> = fn_ctxs
+            .iter()
+            .map(|(f, c)| (*f, (c.stack_fp.len(), c.stack_any)))
+            .collect();
+        for &f in &cfg.functions {
+            analyze_function(&cfg, f, &objs, &mut mem, fn_ctxs.get_mut(&f).unwrap(), None);
+        }
+        let frames_after: BTreeMap<u64, (usize, bool)> = fn_ctxs
+            .iter()
+            .map(|(f, c)| (*f, (c.stack_fp.len(), c.stack_any)))
+            .collect();
+        if (mem == before && frames_before == frames_after) || rounds > 16 {
+            break;
+        }
+    }
+    // Final pass: classify sinks with the converged typing.
+    let mut sinks = Vec::new();
+    let mut loads_total = 0;
+    let mut loads_safe = 0;
+    for &f in &cfg.functions {
+        let ctx = fn_ctxs.get_mut(&f).unwrap();
+        let mut collect = SinkCollector {
+            sinks: Vec::new(),
+            loads_total: 0,
+            loads_safe: 0,
+        };
+        analyze_function(&cfg, f, &objs, &mut mem, ctx, Some(&mut collect));
+        sinks.extend(collect.sinks);
+        loads_total += collect.loads_total;
+        loads_safe += collect.loads_safe;
+    }
+    sinks.sort_by_key(|s| s.addr);
+    sinks.dedup_by_key(|s| s.addr);
+    Analysis {
+        sinks,
+        stats: AnalysisStats {
+            instructions: cfg.inst_count,
+            blocks: cfg.blocks.len(),
+            functions: cfg.functions.len(),
+            loads_total,
+            loads_proven_safe: loads_safe,
+            rounds,
+        },
+    }
+}
+
+struct SinkCollector {
+    sinks: Vec<Sink>,
+    loads_total: usize,
+    loads_safe: usize,
+}
+
+fn analyze_function(
+    cfg: &Cfg,
+    entry: u64,
+    objs: &ObjMap,
+    mem: &mut MemTypes,
+    ctx: &mut FnCtx,
+    mut collect: Option<&mut SinkCollector>,
+) {
+    let blocks: Vec<&Block> = cfg.function_blocks(entry);
+    if blocks.is_empty() {
+        return;
+    }
+    let mut states: HashMap<u64, RegState> = HashMap::new();
+    states.insert(entry, RegState::entry());
+    let mut worklist: Vec<u64> = vec![entry];
+    let mut visits: HashMap<u64, usize> = HashMap::new();
+    while let Some(b) = worklist.pop() {
+        let v = visits.entry(b).or_insert(0);
+        *v += 1;
+        if *v > 100 {
+            continue;
+        }
+        let Some(block) = cfg.blocks.get(&b) else {
+            continue;
+        };
+        if cfg.block_fn.get(&b) != Some(&entry) {
+            continue;
+        }
+        let Some(mut s) = states.get(&b).cloned() else {
+            continue;
+        };
+        for site in &block.insts {
+            transfer(site, &mut s, objs, mem, ctx, collect.as_deref_mut());
+        }
+        for &succ in &block.succs {
+            if cfg.block_fn.get(&succ) != Some(&entry) {
+                continue;
+            }
+            match states.get_mut(&succ) {
+                Some(st) => {
+                    if st.join(&s, objs) {
+                        worklist.push(succ);
+                    }
+                }
+                None => {
+                    states.insert(succ, s.clone());
+                    worklist.push(succ);
+                }
+            }
+        }
+    }
+}
+
+fn classify_addr(s: &RegState, m: &Mem, objs: &ObjMap) -> ALoc {
+    let base = match m.base {
+        None => AVal::Const(0),
+        Some(r) => s.vals[r.0 as usize],
+    };
+    let base = base.add_const(m.disp);
+    let full = if let Some(index) = m.index {
+        // Treat the index as an unknown offset unless it is a known const.
+        match s.vals[index.0 as usize] {
+            AVal::Const(c) => base.add_const(c.wrapping_mul(i64::from(m.scale))),
+            _ => base.add_unknown(objs),
+        }
+    } else {
+        base
+    };
+    aval_to_loc(full, objs)
+}
+
+fn aval_to_loc(v: AVal, objs: &ObjMap) -> ALoc {
+    match v {
+        AVal::Stack(o) => ALoc::StackOff(o),
+        AVal::Global(a) => ALoc::GlobalWord(a),
+        AVal::GlobalObj(k) => ALoc::GlobalObj(k),
+        AVal::GlobalAny => ALoc::GlobalAny,
+        AVal::Heap => ALoc::Heap,
+        AVal::Const(c) => {
+            // A constant address (absolute operands).
+            let u = c as u64;
+            if (DATA_BASE..HEAP_BASE).contains(&u) {
+                ALoc::GlobalWord(u)
+            } else if u >= HEAP_BASE {
+                ALoc::Heap
+            } else {
+                ALoc::Any
+            }
+        }
+        AVal::Bottom | AVal::Top => ALoc::Any,
+    }
+    .widen_if_needed(objs)
+}
+
+trait WidenExt {
+    fn widen_if_needed(self, objs: &ObjMap) -> ALoc;
+}
+impl WidenExt for ALoc {
+    fn widen_if_needed(self, _objs: &ObjMap) -> ALoc {
+        self
+    }
+}
+
+const CALLER_SAVED: [usize; 9] = [0, 1, 2, 6, 7, 8, 9, 10, 11]; // rax rcx rdx rsi rdi r8-r11
+
+fn transfer(
+    site: &Site,
+    s: &mut RegState,
+    objs: &ObjMap,
+    mem: &mut MemTypes,
+    ctx: &mut FnCtx,
+    collect: Option<&mut SinkCollector>,
+) {
+    use Inst::*;
+    let inst = &site.inst;
+    // Helper: record a store's effect on frame-slot tracking.
+    let store_slot =
+        |s: &mut RegState, loc: ALoc, val: AVal, taint: bool| match loc {
+            ALoc::StackOff(o) => {
+                s.slots.insert(o & !7, (val, taint));
+            }
+            ALoc::StackAny | ALoc::Any => {
+                // Unknown store may have clobbered any slot.
+                s.slots.clear();
+            }
+            _ => {}
+        };
+    match inst {
+        // ---- FP stores: sources -------------------------------------------
+        MovSd { dst: XM::Mem(m), .. } => {
+            let loc = classify_addr(s, m, objs);
+            mem.mark(loc, ctx);
+            store_slot(s, loc, AVal::Top, true);
+        }
+        MovApd { dst: XM::Mem(m), .. } => {
+            let loc = classify_addr(s, m, objs);
+            mem.mark(loc, ctx);
+            let loc2 = match loc {
+                ALoc::StackOff(o) => ALoc::StackOff(o + 8),
+                ALoc::GlobalWord(a) => ALoc::GlobalWord(a + 8),
+                x => x,
+            };
+            mem.mark(loc2, ctx);
+            store_slot(s, loc, AVal::Top, true);
+            store_slot(s, loc2, AVal::Top, true);
+        }
+        // ---- integer world -------------------------------------------------
+        MovRI { dst, imm } => {
+            s.vals[dst.0 as usize] = classify_const_val(*imm);
+            s.taint[dst.0 as usize] = false;
+        }
+        MovRR { dst, src } => {
+            s.vals[dst.0 as usize] = s.vals[src.0 as usize];
+            s.taint[dst.0 as usize] = s.taint[src.0 as usize];
+        }
+        Lea { dst, addr } => {
+            let loc = classify_addr(s, addr, objs);
+            s.vals[dst.0 as usize] = match loc {
+                ALoc::StackOff(o) => AVal::Stack(o),
+                ALoc::GlobalWord(a) => AVal::Global(a),
+                ALoc::GlobalObj(k) => AVal::GlobalObj(k),
+                ALoc::GlobalAny => AVal::GlobalAny,
+                ALoc::Heap => AVal::Heap,
+                _ => AVal::Top,
+            };
+            s.taint[dst.0 as usize] = false;
+        }
+        Load { dst, addr, w } => {
+            let loc = classify_addr(s, addr, objs);
+            let (val, taint) = match loc {
+                ALoc::StackOff(o) => match s.slots.get(&(o & !7)) {
+                    Some(&(v, t)) => (v, t),
+                    None => (AVal::Top, mem.maybe_fp(loc, ctx, objs)),
+                },
+                _ => (AVal::Top, mem.maybe_fp(loc, ctx, objs)),
+            };
+            if let Some(c) = collect {
+                c.loads_total += 1;
+                if taint {
+                    c.sinks.push(Sink {
+                        addr: site.addr,
+                        inst: *inst,
+                        len: site.len,
+                        reason: SinkReason::IntLoadOfFp,
+                    });
+                } else {
+                    c.loads_safe += 1;
+                }
+            }
+            let _ = w;
+            s.vals[dst.0 as usize] = val;
+            s.taint[dst.0 as usize] = taint;
+        }
+        Store { addr, src, .. } => {
+            let loc = classify_addr(s, addr, objs);
+            if s.taint[src.0 as usize] {
+                mem.mark(loc, ctx);
+            }
+            // A stack pointer escaping to non-stack memory breaks frame
+            // locality; flag the whole frame.
+            if matches!(s.vals[src.0 as usize], AVal::Stack(_))
+                && !matches!(loc, ALoc::StackOff(_))
+            {
+                ctx.stack_any = true;
+            }
+            store_slot(s, loc, s.vals[src.0 as usize], s.taint[src.0 as usize]);
+        }
+        MovQXG { dst, .. } => {
+            if let Some(c) = collect {
+                c.sinks.push(Sink {
+                    addr: site.addr,
+                    inst: *inst,
+                    len: site.len,
+                    reason: SinkReason::MovqLeak,
+                });
+            }
+            s.vals[dst.0 as usize] = AVal::Top;
+            s.taint[dst.0 as usize] = true;
+        }
+        MovQGX { .. } => {}
+        XorPd { .. } | AndPd { .. } | OrPd { .. } => {
+            if let Some(c) = collect {
+                c.sinks.push(Sink {
+                    addr: site.addr,
+                    inst: *inst,
+                    len: site.len,
+                    reason: SinkReason::BitwiseFp,
+                });
+            }
+        }
+        CvtTSd2Si { dst, .. } => {
+            s.vals[dst.0 as usize] = AVal::Top;
+            s.taint[dst.0 as usize] = false;
+        }
+        AluRI { op, dst, imm } => {
+            let d = dst.0 as usize;
+            s.vals[d] = match op {
+                AluOp::Add => s.vals[d].add_const(*imm),
+                AluOp::Sub => s.vals[d].add_const(imm.wrapping_neg()),
+                _ => match s.vals[d] {
+                    AVal::Const(c) => eval_alu(*op, c, *imm).map_or(AVal::Top, AVal::Const),
+                    _ => AVal::Top,
+                },
+            };
+        }
+        AluRR { op, dst, src } => {
+            let d = dst.0 as usize;
+            let sv = s.vals[src.0 as usize];
+            s.vals[d] = match (op, s.vals[d], sv) {
+                (AluOp::Add, a, AVal::Const(c)) => a.add_const(c),
+                (AluOp::Add, AVal::Const(c), b) => b.add_const(c),
+                (AluOp::Add, a, _) => a.add_unknown(objs),
+                (AluOp::Sub, a, AVal::Const(c)) => a.add_const(c.wrapping_neg()),
+                (_, AVal::Const(a), AVal::Const(b)) => {
+                    eval_alu(*op, a, b).map_or(AVal::Top, AVal::Const)
+                }
+                _ => AVal::Top,
+            };
+            s.taint[d] = s.taint[d] || s.taint[src.0 as usize];
+        }
+        DivR { dst, .. } | RemR { dst, .. } => {
+            s.vals[dst.0 as usize] = AVal::Top;
+        }
+        Push { src } => {
+            let rsp = Gpr::RSP.0 as usize;
+            s.vals[rsp] = s.vals[rsp].add_const(-8);
+            if let AVal::Stack(o) = s.vals[rsp] {
+                if s.taint[src.0 as usize] {
+                    ctx.stack_fp.insert(o & !7);
+                }
+                s.slots
+                    .insert(o & !7, (s.vals[src.0 as usize], s.taint[src.0 as usize]));
+            }
+        }
+        Pop { dst } => {
+            let rsp = Gpr::RSP.0 as usize;
+            let (val, taint) = match s.vals[rsp] {
+                AVal::Stack(o) => match s.slots.get(&(o & !7)) {
+                    Some(&(v, t)) => (v, t),
+                    None => (
+                        AVal::Top,
+                        mem.maybe_fp(ALoc::StackOff(o), ctx, objs),
+                    ),
+                },
+                _ => (AVal::Top, true),
+            };
+            s.vals[dst.0 as usize] = val;
+            s.taint[dst.0 as usize] = taint;
+            s.vals[rsp] = s.vals[rsp].add_const(8);
+        }
+        Call { .. } => {
+            for &r in &CALLER_SAVED {
+                s.vals[r] = AVal::Top;
+                // Integer return values are not FP bits under the ABI
+                // discipline (FP returns travel in xmm0) — documented
+                // assumption in DESIGN.md.
+                s.taint[r] = false;
+            }
+        }
+        CallExt { f } => {
+            let rax = Gpr::RAX.0 as usize;
+            s.vals[rax] = if *f == ExtFn::AllocHeap {
+                AVal::Heap
+            } else {
+                AVal::Top
+            };
+            s.taint[rax] = false;
+        }
+        _ => {}
+    }
+}
+
+fn eval_alu(op: AluOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32 & 63),
+        AluOp::Shr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+        AluOp::Sar => a.wrapping_shr(b as u32 & 63),
+        AluOp::IMul => a.wrapping_mul(b),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm_machine::{Asm, Gpr, Mem, Width, Xmm};
+
+    #[test]
+    fn fig6_pattern_is_a_sink() {
+        // The paper's Fig. 6: store a double to the stack, reload as int.
+        let mut a = Asm::new();
+        let c = a.f64m(1.5);
+        a.alu_ri(AluOp::Sub, Gpr::RSP, 16);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::base_disp(Gpr::RSP, 8), Xmm(0)); // source
+        a.load_w(Gpr::RAX, Mem::base_disp(Gpr::RSP, 8), Width::W32); // sink
+        a.halt();
+        let p = a.finish();
+        let an = analyze(&p);
+        assert_eq!(an.sinks.len(), 1);
+        assert_eq!(an.sinks[0].reason, SinkReason::IntLoadOfFp);
+        assert!(matches!(an.sinks[0].inst, Inst::Load { .. }));
+    }
+
+    #[test]
+    fn integer_only_loads_proven_safe() {
+        let mut a = Asm::new();
+        let g = a.global("counter", 8);
+        a.mov_ri(Gpr::RAX, 5);
+        a.store(Mem::abs(g as i64), Gpr::RAX);
+        a.load(Gpr::RBX, Mem::abs(g as i64));
+        a.halt();
+        let p = a.finish();
+        let an = analyze(&p);
+        assert!(an.sinks.is_empty(), "{:?}", an.sinks);
+        assert_eq!(an.stats.loads_total, 1);
+        assert_eq!(an.stats.loads_proven_safe, 1);
+    }
+
+    #[test]
+    fn movq_and_bitwise_always_sinks() {
+        let mut a = Asm::new();
+        let mask = a.u128c([1 << 63, 0]);
+        a.movq_xg(Gpr::RAX, Xmm(0));
+        a.xorpd(Xmm(0), Mem::abs(mask as i64));
+        a.halt();
+        let p = a.finish();
+        let an = analyze(&p);
+        assert_eq!(an.sinks.len(), 2);
+        assert_eq!(an.sinks[0].reason, SinkReason::MovqLeak);
+        assert_eq!(an.sinks[1].reason, SinkReason::BitwiseFp);
+    }
+
+    #[test]
+    fn fig7_heap_indirection_is_conservative() {
+        // Fig. 7: FP stored through a heap pointer, integer loaded back.
+        let mut a = Asm::new();
+        let c = a.f64m(2.5);
+        a.mov_ri(Gpr::RDI, 16);
+        a.call_ext(ExtFn::AllocHeap);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::base_disp(Gpr::RAX, 8), Xmm(0)); // ptr->d = fp
+        a.mov_ri(Gpr::RDX, 0);
+        a.store(Mem::base_disp(Gpr::RAX, 0), Gpr::RDX); // ptr->i = 0
+        a.load_w(Gpr::RCX, Mem::base_disp(Gpr::RAX, 8), Width::W32); // sink
+        a.halt();
+        let p = a.finish();
+        let an = analyze(&p);
+        assert!(
+            an.sinks
+                .iter()
+                .any(|s| s.reason == SinkReason::IntLoadOfFp),
+            "heap load after heap FP store must be a sink: {:?}",
+            an.sinks
+        );
+        // The heap summary is one cell: no heap load can be proven safe
+        // once any FP value landed on the heap (conservative imprecision —
+        // exactly the Enzo situation of §5.3).
+        assert_eq!(an.stats.loads_total, 1);
+        assert_eq!(an.stats.loads_proven_safe, 0);
+    }
+
+    #[test]
+    fn taint_through_gpr_store() {
+        // movq leak -> integer store -> integer load elsewhere: the final
+        // load must be a sink even though no FP store wrote that word.
+        let mut a = Asm::new();
+        let g = a.global("slot", 8);
+        a.movq_xg(Gpr::RAX, Xmm(3));
+        a.store(Mem::abs(g as i64), Gpr::RAX);
+        a.load(Gpr::RBX, Mem::abs(g as i64));
+        a.halt();
+        let p = a.finish();
+        let an = analyze(&p);
+        let load_sinks: Vec<_> = an
+            .sinks
+            .iter()
+            .filter(|s| s.reason == SinkReason::IntLoadOfFp)
+            .collect();
+        assert_eq!(load_sinks.len(), 1);
+    }
+
+    #[test]
+    fn distinct_globals_are_distinguished() {
+        // FP in global A, integer in global B: loading B is safe, loading
+        // A is a sink.
+        let mut a = Asm::new();
+        let ga = a.global_f64("a", 0.0);
+        let gb = a.global("b", 8);
+        let c = a.f64m(1.5);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::abs(ga as i64), Xmm(0));
+        a.mov_ri(Gpr::RAX, 1);
+        a.store(Mem::abs(gb as i64), Gpr::RAX);
+        a.load(Gpr::RBX, Mem::abs(gb as i64)); // safe
+        a.load(Gpr::RCX, Mem::abs(ga as i64)); // sink
+        a.halt();
+        let p = a.finish();
+        let an = analyze(&p);
+        assert_eq!(an.stats.loads_total, 2);
+        assert_eq!(an.stats.loads_proven_safe, 1);
+        assert_eq!(an.sinks.len(), 1);
+    }
+
+    #[test]
+    fn object_granularity_separates_arrays() {
+        // FP array and integer index array as distinct global objects,
+        // accessed through computed indices: integer loads from the index
+        // array stay safe even though the FP array is written.
+        let mut a = Asm::new();
+        let fp_arr = a.f64_array("vals", &[0.0; 16]);
+        let idx_arr = a.i64_array("cols", &[0; 16]);
+        let c = a.f64m(3.25);
+        // vals[rcx*8] = 3.25 (computed index).
+        a.mov_ri(Gpr::RCX, 5);
+        a.mov_ri(Gpr::RBX, fp_arr as i64);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::bis(Gpr::RBX, Gpr::RCX, 8, 0), Xmm(0));
+        // rax = cols[rcx*8] — integer array, must be safe.
+        a.mov_ri(Gpr::RDX, idx_arr as i64);
+        a.load(Gpr::RAX, Mem::bis(Gpr::RDX, Gpr::RCX, 8, 0));
+        // rbx2 = vals[rcx*8] as integer — must be a sink.
+        a.load(Gpr::RSI, Mem::bis(Gpr::RBX, Gpr::RCX, 8, 0));
+        a.halt();
+        let p = a.finish();
+        let an = analyze(&p);
+        assert_eq!(an.stats.loads_total, 2);
+        assert_eq!(an.stats.loads_proven_safe, 1, "{:?}", an.sinks);
+        assert_eq!(an.sinks.len(), 1);
+    }
+
+    #[test]
+    fn pointer_roundtrip_through_frame_slot() {
+        // A global pointer spilled to the frame and reloaded must keep its
+        // object identity (the -O0 codegen pattern).
+        let mut a = Asm::new();
+        let fp_arr = a.f64_array("vals", &[0.0; 8]);
+        let int_arr = a.i64_array("idx", &[0; 8]);
+        let c = a.f64m(1.5);
+        a.alu_ri(AluOp::Sub, Gpr::RSP, 32);
+        // Spill &vals and &idx to the frame.
+        a.mov_ri(Gpr::RAX, fp_arr as i64);
+        a.store(Mem::base_disp(Gpr::RSP, 0), Gpr::RAX);
+        a.mov_ri(Gpr::RAX, int_arr as i64);
+        a.store(Mem::base_disp(Gpr::RSP, 8), Gpr::RAX);
+        // Store FP through the reloaded vals pointer.
+        a.load(Gpr::RCX, Mem::base_disp(Gpr::RSP, 0));
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::base_disp(Gpr::RCX, 16), Xmm(0));
+        // Integer-load through the reloaded idx pointer: SAFE.
+        a.load(Gpr::RCX, Mem::base_disp(Gpr::RSP, 8));
+        a.load(Gpr::RAX, Mem::base_disp(Gpr::RCX, 16));
+        a.halt();
+        let p = a.finish();
+        let an = analyze(&p);
+        // 3 integer loads total: the two pointer reloads + idx[2].
+        assert_eq!(an.stats.loads_total, 3);
+        assert_eq!(
+            an.stats.loads_proven_safe, 3,
+            "pointer identity must survive the frame round-trip: {:?}",
+            an.sinks
+        );
+    }
+
+    #[test]
+    fn loop_fixpoint_converges() {
+        // FP store happens on a back edge after the load in program order:
+        // the fixpoint must still flag the load.
+        let mut a = Asm::new();
+        let g = a.global("x", 8);
+        let c = a.f64m(1.5);
+        a.mov_ri(Gpr::RCX, 0);
+        let top = a.here_label();
+        let done = a.label();
+        a.cmp_ri(Gpr::RCX, 4);
+        a.jcc(fpvm_machine::Cond::Ge, done);
+        a.load(Gpr::RAX, Mem::abs(g as i64)); // reads FP on iterations > 0
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::abs(g as i64), Xmm(0)); // source, later in the loop
+        a.alu_ri(AluOp::Add, Gpr::RCX, 1);
+        a.jmp(top);
+        a.bind(done);
+        a.halt();
+        let p = a.finish();
+        let an = analyze(&p);
+        assert!(
+            an.sinks.iter().any(|s| s.reason == SinkReason::IntLoadOfFp),
+            "loop-carried FP flow must be found"
+        );
+    }
+
+    #[test]
+    fn calls_are_analyzed_interprocedurally() {
+        // Callee stores FP to a global; caller integer-loads it.
+        let mut a = Asm::new();
+        let g = a.global_f64("shared", 0.0);
+        let c = a.f64m(3.5);
+        let f = a.label();
+        a.call(f);
+        a.load(Gpr::RAX, Mem::abs(g as i64)); // sink
+        a.halt();
+        a.bind(f);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::abs(g as i64), Xmm(0));
+        a.ret();
+        let p = a.finish();
+        let an = analyze(&p);
+        assert_eq!(
+            an.sinks
+                .iter()
+                .filter(|s| s.reason == SinkReason::IntLoadOfFp)
+                .count(),
+            1
+        );
+        assert!(an.stats.functions >= 2);
+    }
+}

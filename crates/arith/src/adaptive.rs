@@ -1,0 +1,468 @@
+//! **Adaptive precision** arithmetic — the extension the paper flags as
+//! future work in §4.3: "the precision used by FPVM is determined by a
+//! compile-time configurable parameter or environment variable, and *we are
+//! also considering an adaptive precision version*."
+//!
+//! [`AdaptiveCtx`] wraps [`crate::bigfloat`] with significance tracking:
+//! every shadow value carries an absolute error bound (as a binary
+//! exponent), propagated through each operation. The working precision of
+//! each result is chosen so that representation error stays below the
+//! propagated data error — storing mantissa bits that are already garbage
+//! buys nothing, so well-conditioned chains stay cheap (near `target`
+//! bits) while cancellation-prone chains are *not* padded with fake
+//! precision. Bounds:
+//!
+//! * exact inputs (promoted doubles, exact results) carry no error and
+//!   compute at `target` bits;
+//! * addition propagates absolute error (`max(e_a, e_b) + 1`);
+//! * multiplication/division/sqrt propagate *relative* error
+//!   (`max(r_a, r_b) + 1` significant-bit loss);
+//! * precision is clamped to `[min_prec, target]`.
+//!
+//! This is coarse interval-style bookkeeping (upper bounds, not tight
+//! enclosures) — enough to demonstrate the design point the paper gestures
+//! at, and to measure its cost/precision profile in the bench suite.
+
+use crate::bigfloat::{self, BigFloat};
+use crate::flags::{FpFlags, Round};
+use crate::softfp::CmpResult;
+use crate::system::ArithSystem;
+
+/// A shadow value with significance tracking.
+#[derive(Debug, Clone)]
+pub struct AdaptiveValue {
+    /// The numeric value.
+    pub value: BigFloat,
+    /// Absolute error bound: |true − stored| ≤ 2^err_exp. `None` = exact
+    /// (no data error beyond representation).
+    pub err_exp: Option<i64>,
+}
+
+impl AdaptiveValue {
+    /// Bits of significance the value still carries (∞ for exact).
+    pub fn significant_bits(&self) -> Option<i64> {
+        self.err_exp.map(|e| self.value.exp() - e)
+    }
+}
+
+/// Adaptive-precision arithmetic context.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveCtx {
+    /// Accuracy goal: precision used when inputs are exact.
+    pub target: u32,
+    /// Floor precision.
+    pub min_prec: u32,
+}
+
+impl AdaptiveCtx {
+    /// New context with the given accuracy goal.
+    pub fn new(target: u32) -> Self {
+        AdaptiveCtx {
+            target: target.max(bigfloat::MIN_PREC),
+            min_prec: 32,
+        }
+    }
+
+    /// Representation error exponent of a value stored at `prec`.
+    fn rep_err(v: &BigFloat, prec: u32) -> i64 {
+        v.exp() - i64::from(prec)
+    }
+
+    /// Choose the working precision for a result with magnitude exponent
+    /// `exp_r` and propagated absolute error bound `err`.
+    fn choose_prec(&self, exp_r: i64, err: Option<i64>) -> u32 {
+        match err {
+            None => self.target,
+            Some(e) => {
+                // Keep 2 guard bits below the error level.
+                let useful = exp_r - e + 2;
+                useful.clamp(i64::from(self.min_prec), i64::from(self.target)) as u32
+            }
+        }
+    }
+
+    fn exact(&self, value: BigFloat) -> AdaptiveValue {
+        AdaptiveValue {
+            value,
+            err_exp: None,
+        }
+    }
+
+    /// Wrap a result: combine propagated error with the rounding error of
+    /// this operation (inexact at `prec` adds a representation-level term).
+    fn wrap(&self, value: BigFloat, prec: u32, propagated: Option<i64>, flags: FpFlags) -> AdaptiveValue {
+        let rounding = if flags.contains(FpFlags::INEXACT) {
+            Some(Self::rep_err(&value, prec))
+        } else {
+            None
+        };
+        let err_exp = match (propagated, rounding) {
+            (None, r) => r,
+            (p, None) => p,
+            (Some(p), Some(r)) => Some(p.max(r) + 1),
+        };
+        AdaptiveValue { value, err_exp }
+    }
+
+    /// Absolute-error propagation for add/sub.
+    fn abs_err2(a: &AdaptiveValue, b: &AdaptiveValue) -> Option<i64> {
+        match (a.err_exp, b.err_exp) {
+            (None, None) => None,
+            (Some(e), None) | (None, Some(e)) => Some(e + 1),
+            (Some(x), Some(y)) => Some(x.max(y) + 1),
+        }
+    }
+
+    /// Relative-error propagation for mul/div: returns the result's
+    /// absolute error bound given the result magnitude.
+    fn rel_err2(a: &AdaptiveValue, b: &AdaptiveValue, exp_r: i64) -> Option<i64> {
+        let rel = |v: &AdaptiveValue| v.err_exp.map(|e| e - v.value.exp());
+        match (rel(a), rel(b)) {
+            (None, None) => None,
+            (Some(r), None) | (None, Some(r)) => Some(exp_r + r + 1),
+            (Some(x), Some(y)) => Some(exp_r + x.max(y) + 1),
+        }
+    }
+
+    fn bin(
+        &self,
+        a: &AdaptiveValue,
+        b: &AdaptiveValue,
+        rm: Round,
+        absolute: bool,
+        f: impl Fn(&BigFloat, &BigFloat, u32, Round) -> (BigFloat, FpFlags),
+    ) -> (AdaptiveValue, FpFlags) {
+        // First probe at modest precision to learn the result magnitude,
+        // then compute at the chosen precision. (A probe at target would be
+        // wasteful — magnitude only needs a few bits.)
+        let (probe, _) = f(&a.value, &b.value, 16, rm);
+        let exp_r = probe.exp();
+        let propagated = if absolute {
+            Self::abs_err2(a, b)
+        } else {
+            Self::rel_err2(a, b, exp_r)
+        };
+        let prec = self.choose_prec(exp_r, propagated);
+        let (v, flags) = f(&a.value, &b.value, prec, rm);
+        (self.wrap(v, prec, propagated, flags), flags)
+    }
+}
+
+impl ArithSystem for AdaptiveCtx {
+    type Value = AdaptiveValue;
+
+    fn name(&self) -> String {
+        format!("adaptive{}", self.target)
+    }
+
+    fn from_f64(&self, x: f64) -> AdaptiveValue {
+        self.exact(BigFloat::from_f64(x, 53, Round::NearestEven).0)
+    }
+    fn to_f64(&self, v: &AdaptiveValue, rm: Round) -> (f64, FpFlags) {
+        v.value.to_f64(rm)
+    }
+    fn from_f32(&self, x: f32) -> AdaptiveValue {
+        self.exact(BigFloat::from_f64(f64::from(x), 53, Round::NearestEven).0)
+    }
+    fn to_f32(&self, v: &AdaptiveValue, rm: Round) -> (f32, FpFlags) {
+        let (d, f1) = v.value.to_f64(rm);
+        let (s, f2) = crate::softfp::cvt_f64_to_f32(d);
+        (s, f1 | f2)
+    }
+    fn from_i32(&self, x: i32) -> (AdaptiveValue, FpFlags) {
+        (
+            self.exact(BigFloat::from_f64(f64::from(x), 53, Round::NearestEven).0),
+            FpFlags::NONE,
+        )
+    }
+    fn from_i64(&self, x: i64) -> (AdaptiveValue, FpFlags) {
+        if x == 0 {
+            return (self.exact(BigFloat::zero(false, 53)), FpFlags::NONE);
+        }
+        let (v, _) = BigFloat::from_int(x < 0, 0, &[x.unsigned_abs()], false, 64, Round::NearestEven);
+        (self.exact(v), FpFlags::NONE)
+    }
+    fn to_i32(&self, v: &AdaptiveValue) -> (i32, FpFlags) {
+        let (d, _) = v.value.to_f64(Round::Zero);
+        crate::softfp::cvt_f64_to_i32(d)
+    }
+    fn to_i64(&self, v: &AdaptiveValue) -> (i64, FpFlags) {
+        match v.value.to_integer_parts() {
+            None => (i64::MIN, FpFlags::INVALID),
+            Some((sign, mag, inexact)) => {
+                let limit = if sign { 1u128 << 63 } else { (1u128 << 63) - 1 };
+                if mag > limit {
+                    return (i64::MIN, FpFlags::INVALID);
+                }
+                let val = if sign {
+                    (mag as u64).wrapping_neg() as i64
+                } else {
+                    mag as i64
+                };
+                (val, if inexact { FpFlags::INEXACT } else { FpFlags::NONE })
+            }
+        }
+    }
+    fn from_u64(&self, x: u64) -> (AdaptiveValue, FpFlags) {
+        if x == 0 {
+            return (self.exact(BigFloat::zero(false, 53)), FpFlags::NONE);
+        }
+        let (v, _) = BigFloat::from_int(false, 0, &[x], false, 64, Round::NearestEven);
+        (self.exact(v), FpFlags::NONE)
+    }
+    fn to_u64(&self, v: &AdaptiveValue) -> (u64, FpFlags) {
+        let (i, f) = self.to_i64(v);
+        if i < 0 {
+            (u64::MAX, FpFlags::INVALID)
+        } else {
+            (i as u64, f)
+        }
+    }
+
+    fn add(&self, a: &AdaptiveValue, b: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.bin(a, b, rm, true, bigfloat::add)
+    }
+    fn sub(&self, a: &AdaptiveValue, b: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.bin(a, b, rm, true, bigfloat::sub)
+    }
+    fn mul(&self, a: &AdaptiveValue, b: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.bin(a, b, rm, false, bigfloat::mul)
+    }
+    fn div(&self, a: &AdaptiveValue, b: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.bin(a, b, rm, false, bigfloat::div)
+    }
+    fn fma(
+        &self,
+        a: &AdaptiveValue,
+        b: &AdaptiveValue,
+        c: &AdaptiveValue,
+        rm: Round,
+    ) -> (AdaptiveValue, FpFlags) {
+        let (p, f1) = self.mul(a, b, rm);
+        let (s, f2) = self.add(&p, c, rm);
+        (s, f1 | f2)
+    }
+    fn sqrt(&self, a: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        // sqrt halves relative error; be conservative and keep it.
+        let (probe, _) = bigfloat::sqrt(&a.value, 16, rm);
+        let exp_r = probe.exp();
+        let propagated = a.err_exp.map(|e| exp_r + (e - a.value.exp()) + 1);
+        let prec = self.choose_prec(exp_r, propagated);
+        let (v, flags) = bigfloat::sqrt(&a.value, prec, rm);
+        (self.wrap(v, prec, propagated, flags), flags)
+    }
+    fn min(&self, a: &AdaptiveValue, b: &AdaptiveValue) -> (AdaptiveValue, FpFlags) {
+        match bigfloat::cmp_quiet(&a.value, &b.value).0 {
+            CmpResult::Unordered => (b.clone(), FpFlags::INVALID),
+            CmpResult::Less => (a.clone(), FpFlags::NONE),
+            _ => (b.clone(), FpFlags::NONE),
+        }
+    }
+    fn max(&self, a: &AdaptiveValue, b: &AdaptiveValue) -> (AdaptiveValue, FpFlags) {
+        match bigfloat::cmp_quiet(&a.value, &b.value).0 {
+            CmpResult::Unordered => (b.clone(), FpFlags::INVALID),
+            CmpResult::Greater => (a.clone(), FpFlags::NONE),
+            _ => (b.clone(), FpFlags::NONE),
+        }
+    }
+    fn neg(&self, a: &AdaptiveValue) -> (AdaptiveValue, FpFlags) {
+        (
+            AdaptiveValue {
+                value: a.value.neg(),
+                err_exp: a.err_exp,
+            },
+            FpFlags::NONE,
+        )
+    }
+    fn abs(&self, a: &AdaptiveValue) -> (AdaptiveValue, FpFlags) {
+        (
+            AdaptiveValue {
+                value: a.value.abs(),
+                err_exp: a.err_exp,
+            },
+            FpFlags::NONE,
+        )
+    }
+
+    fn sin(&self, a: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.transcendental(a, rm, bigfloat::sin)
+    }
+    fn cos(&self, a: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.transcendental(a, rm, bigfloat::cos)
+    }
+    fn tan(&self, a: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.transcendental(a, rm, bigfloat::tan)
+    }
+    fn asin(&self, a: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.transcendental(a, rm, bigfloat::asin)
+    }
+    fn acos(&self, a: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.transcendental(a, rm, bigfloat::acos)
+    }
+    fn atan(&self, a: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.transcendental(a, rm, bigfloat::atan)
+    }
+    fn atan2(&self, y: &AdaptiveValue, x: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        let prec = self.target;
+        let (v, flags) = bigfloat::atan2(&y.value, &x.value, prec, rm);
+        let propagated = Self::abs_err2(y, x);
+        (self.wrap(v, prec, propagated, flags), flags)
+    }
+    fn exp(&self, a: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.transcendental(a, rm, bigfloat::exp)
+    }
+    fn log(&self, a: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.transcendental(a, rm, bigfloat::log)
+    }
+    fn log10(&self, a: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        self.transcendental(a, rm, bigfloat::log10)
+    }
+    fn pow(&self, a: &AdaptiveValue, b: &AdaptiveValue, rm: Round) -> (AdaptiveValue, FpFlags) {
+        let prec = self.target;
+        let (v, flags) = bigfloat::pow(&a.value, &b.value, prec, rm);
+        let propagated = Self::abs_err2(a, b).map(|_| Self::rep_err(&v, prec) + 2);
+        (self.wrap(v, prec, propagated, flags), flags)
+    }
+    fn floor(&self, a: &AdaptiveValue) -> (AdaptiveValue, FpFlags) {
+        let (v, f) = bigfloat::floor(&a.value, self.target);
+        (self.wrap(v, self.target, a.err_exp, f), f)
+    }
+    fn ceil(&self, a: &AdaptiveValue) -> (AdaptiveValue, FpFlags) {
+        let (v, f) = bigfloat::ceil(&a.value, self.target);
+        (self.wrap(v, self.target, a.err_exp, f), f)
+    }
+
+    fn cmp_quiet(&self, a: &AdaptiveValue, b: &AdaptiveValue) -> (CmpResult, FpFlags) {
+        bigfloat::cmp_quiet(&a.value, &b.value)
+    }
+    fn cmp_signaling(&self, a: &AdaptiveValue, b: &AdaptiveValue) -> (CmpResult, FpFlags) {
+        bigfloat::cmp_signaling(&a.value, &b.value)
+    }
+
+    fn is_nan(&self, a: &AdaptiveValue) -> bool {
+        a.value.is_nan()
+    }
+
+    fn render(&self, v: &AdaptiveValue) -> String {
+        match v.significant_bits() {
+            None => {
+                let digits =
+                    (f64::from(self.target) * std::f64::consts::LOG10_2).ceil() as usize;
+                v.value.to_decimal(digits.max(17))
+            }
+            Some(bits) => {
+                let digits = ((bits.max(4) as f64) * std::f64::consts::LOG10_2).ceil() as usize;
+                format!(
+                    "{} (~{} significant bits)",
+                    v.value.to_decimal(digits.clamp(4, 80)),
+                    bits.max(0)
+                )
+            }
+        }
+    }
+}
+
+impl AdaptiveCtx {
+    fn transcendental(
+        &self,
+        a: &AdaptiveValue,
+        rm: Round,
+        f: impl Fn(&BigFloat, u32, Round) -> (BigFloat, FpFlags),
+    ) -> (AdaptiveValue, FpFlags) {
+        // Transcendentals have bounded condition numbers on our workloads'
+        // ranges; propagate the input's relative significance.
+        let (probe, _) = f(&a.value, 16, rm);
+        let exp_r = probe.exp();
+        let propagated = a.err_exp.map(|e| exp_r + (e - a.value.exp()) + 2);
+        let prec = self.choose_prec(exp_r, propagated);
+        let (v, flags) = f(&a.value, prec, rm);
+        (self.wrap(v, prec, propagated, flags), flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_inputs_compute_at_target() {
+        let ctx = AdaptiveCtx::new(200);
+        let a = ctx.from_f64(1.0);
+        let b = ctx.from_f64(3.0);
+        let (q, f) = ctx.div(&a, &b, Round::NearestEven);
+        assert!(f.contains(FpFlags::INEXACT));
+        // 1/3 at the 200-bit accuracy goal.
+        assert!(q.value.prec() >= 195, "prec = {}", q.value.prec());
+        // One rounding: ~target significant bits.
+        let sig = q.significant_bits().unwrap();
+        assert!(sig >= 195, "sig = {sig}");
+    }
+
+    #[test]
+    fn error_propagates_and_precision_follows() {
+        let ctx = AdaptiveCtx::new(256);
+        let rm = Round::NearestEven;
+        let mut x = ctx.div(&ctx.from_f64(1.0), &ctx.from_f64(3.0), rm).0;
+        let mut sig_prev = x.significant_bits().unwrap();
+        // A chain of multiplies loses ~1 significance bit per op (bound).
+        for _ in 0..20 {
+            x = ctx.mul(&x, &x, rm).0;
+            let sig = x.significant_bits().unwrap();
+            assert!(sig <= sig_prev + 1, "significance must not grow");
+            sig_prev = sig;
+        }
+        // Still plenty of true bits: value stays accurate vs plain 256-bit.
+        assert!(sig_prev > 200, "sig after chain = {sig_prev}");
+    }
+
+    #[test]
+    fn catastrophic_cancellation_is_tracked() {
+        let ctx = AdaptiveCtx::new(200);
+        let rm = Round::NearestEven;
+        // x = 1/3 computed (one rounding), y = x exactly; x - y = 0 is
+        // computed exactly, but (x + 1e-30) - x cancels ~100 bits.
+        let third = ctx.div(&ctx.from_f64(1.0), &ctx.from_f64(3.0), rm).0;
+        let tiny = ctx.from_f64(1e-30);
+        let shifted = ctx.add(&third, &tiny, rm).0;
+        let diff = ctx.sub(&shifted, &third, rm).0;
+        // The difference is ~1e-30 with a rounding error from the 200-bit
+        // additions: far fewer than 200 significant bits remain.
+        let sig = diff.significant_bits().unwrap();
+        assert!(sig < 150, "cancellation must reduce significance: {sig}");
+        // And the stored precision followed the significance down.
+        assert!(
+            u64::from(diff.value.prec()) <= sig as u64 + 8,
+            "prec {} vs sig {}",
+            diff.value.prec(),
+            sig
+        );
+        // The value itself is still right to within its advertised error.
+        let (d, _) = ctx.to_f64(&diff, rm);
+        assert!((d - 1e-30).abs() < 1e-44, "{d}");
+    }
+
+    #[test]
+    fn exact_ops_stay_exact() {
+        let ctx = AdaptiveCtx::new(128);
+        let rm = Round::NearestEven;
+        let a = ctx.from_f64(1.5);
+        let b = ctx.from_f64(0.25);
+        let (s, f) = ctx.add(&a, &b, rm);
+        assert!(f.is_empty());
+        assert!(s.err_exp.is_none(), "exact result carries no error");
+        let (p, f) = ctx.mul(&s, &b, rm);
+        assert!(f.is_empty());
+        assert!(p.err_exp.is_none());
+        assert_eq!(ctx.to_f64(&p, rm).0, 1.75 * 0.25);
+    }
+
+    #[test]
+    fn renders_significance() {
+        let ctx = AdaptiveCtx::new(200);
+        let rm = Round::NearestEven;
+        let third = ctx.div(&ctx.from_f64(1.0), &ctx.from_f64(3.0), rm).0;
+        let s = ctx.render(&third);
+        assert!(s.contains("significant bits"), "{s}");
+        assert!(s.starts_with("3.3333"), "{s}");
+    }
+}

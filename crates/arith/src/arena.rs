@@ -1,0 +1,240 @@
+//! The shadow-value arena: FPVM's memory manager for alternative-arithmetic
+//! values (§4.1 "Shadowing and garbage collection", §4.3 "FPVM also provides
+//! the alternative arithmetic system with memory management").
+//!
+//! Every emulated instruction potentially allocates a fresh shadow value
+//! ("this unfortunately leads to significant memory pressure, as every
+//! instruction allocates a new cell"). Cells are addressed by the
+//! [`ShadowKey`]s that the runtime NaN-boxes into the program's own values.
+//! The runtime's mark-and-sweep collector marks keys it discovers by
+//! scanning program state, then calls [`ShadowArena::sweep`].
+
+use fpvm_nanbox::ShadowKey;
+
+/// One arena slot: either free (next free-list entry) or occupied.
+#[derive(Debug, Clone)]
+enum Slot<V> {
+    Free { next: Option<u32> },
+    Occupied { value: V, marked: bool },
+}
+
+/// Statistics maintained by the arena across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Total allocations ever performed.
+    pub total_allocated: u64,
+    /// Total cells freed by sweeps.
+    pub total_freed: u64,
+    /// Number of sweeps performed.
+    pub sweeps: u64,
+}
+
+/// A slab arena of shadow values with an embedded free list and mark bits.
+///
+/// Keys are `slot_index + 1` so that key 0 (an invalid NaN-box payload)
+/// never appears, and fit comfortably in the 51-bit NaN payload.
+#[derive(Debug)]
+pub struct ShadowArena<V> {
+    slots: Vec<Slot<V>>,
+    free_head: Option<u32>,
+    live: usize,
+    stats: ArenaStats,
+}
+
+impl<V> Default for ShadowArena<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ShadowArena<V> {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        ShadowArena {
+            slots: Vec::new(),
+            free_head: None,
+            live: 0,
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// Allocate a cell for `value`, returning its key.
+    ///
+    /// Panics if the arena exceeds the NaN-box key space (2^51 − 1 cells),
+    /// which would require ~36 PiB of shadow values — the same practical
+    /// impossibility the paper's footnote 4 relies on.
+    pub fn alloc(&mut self, value: V) -> ShadowKey {
+        self.stats.total_allocated += 1;
+        self.live += 1;
+        if let Some(idx) = self.free_head {
+            let slot = &mut self.slots[idx as usize];
+            let next = match slot {
+                Slot::Free { next } => *next,
+                Slot::Occupied { .. } => unreachable!("corrupt free list"),
+            };
+            self.free_head = next;
+            *slot = Slot::Occupied {
+                value,
+                marked: false,
+            };
+            ShadowKey::new(u64::from(idx) + 1).expect("arena key in range")
+        } else {
+            let idx = self.slots.len();
+            self.slots.push(Slot::Occupied {
+                value,
+                marked: false,
+            });
+            ShadowKey::new(idx as u64 + 1).expect("arena exceeded NaN-box key space")
+        }
+    }
+
+    /// Look up a live shadow value. `None` for stale/never-allocated keys —
+    /// the "universal NaN" case (§2): a signaling NaN with no live shadow
+    /// value is treated as a true NaN.
+    pub fn get(&self, key: ShadowKey) -> Option<&V> {
+        match self.slots.get((key.raw() - 1) as usize) {
+            Some(Slot::Occupied { value, .. }) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// True if the key refers to a live cell.
+    pub fn contains(&self, key: ShadowKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of live cells.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slot capacity (live + free).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Clear all mark bits (start of a GC cycle).
+    pub fn clear_marks(&mut self) {
+        for slot in &mut self.slots {
+            if let Slot::Occupied { marked, .. } = slot {
+                *marked = false;
+            }
+        }
+    }
+
+    /// Mark a key discovered by the conservative scan. Returns true if the
+    /// key referred to a live cell (i.e. really was a NaN-box).
+    pub fn mark(&mut self, key: ShadowKey) -> bool {
+        match self.slots.get_mut((key.raw() - 1) as usize) {
+            Some(Slot::Occupied { marked, .. }) => {
+                *marked = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Sweep: free every unmarked cell. Returns the number freed.
+    pub fn sweep(&mut self) -> usize {
+        let mut freed = 0;
+        for idx in 0..self.slots.len() {
+            let free_now = matches!(self.slots[idx], Slot::Occupied { marked: false, .. });
+            if free_now {
+                self.slots[idx] = Slot::Free {
+                    next: self.free_head,
+                };
+                self.free_head = Some(idx as u32);
+                freed += 1;
+            }
+        }
+        self.live -= freed;
+        self.stats.total_freed += freed as u64;
+        self.stats.sweeps += 1;
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get() {
+        let mut a = ShadowArena::new();
+        let k1 = a.alloc(1.5f64);
+        let k2 = a.alloc(2.5f64);
+        assert_ne!(k1, k2);
+        assert_eq!(a.get(k1), Some(&1.5));
+        assert_eq!(a.get(k2), Some(&2.5));
+        assert_eq!(a.live(), 2);
+    }
+
+    #[test]
+    fn keys_are_nonzero_and_boxable() {
+        let mut a = ShadowArena::new();
+        for i in 0..1000 {
+            let k = a.alloc(i);
+            assert!(k.raw() >= 1);
+            // Round-trips through the NaN-box.
+            let bits = fpvm_nanbox::encode(k);
+            assert_eq!(fpvm_nanbox::decode(bits), Some(k));
+        }
+    }
+
+    #[test]
+    fn mark_sweep_reuse() {
+        let mut a = ShadowArena::new();
+        let keys: Vec<_> = (0..100).map(|i| a.alloc(i)).collect();
+        assert_eq!(a.live(), 100);
+        a.clear_marks();
+        // Keep only even-indexed cells.
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(a.mark(k));
+            }
+        }
+        assert_eq!(a.sweep(), 50);
+        assert_eq!(a.live(), 50);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(a.contains(k), i % 2 == 0);
+        }
+        // Freed slots are reused before the slab grows.
+        let cap = a.capacity();
+        for i in 0..50 {
+            a.alloc(1000 + i);
+        }
+        assert_eq!(a.capacity(), cap, "free list must be reused");
+        assert_eq!(a.live(), 100);
+    }
+
+    #[test]
+    fn stale_key_is_universal_nan() {
+        let mut a = ShadowArena::new();
+        let k = a.alloc(3.0f64);
+        a.clear_marks();
+        a.sweep();
+        assert_eq!(a.get(k), None, "stale key must read as dead");
+        // A key that was never allocated.
+        let never = ShadowKey::new(999_999).unwrap();
+        assert!(!a.contains(never));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = ShadowArena::new();
+        for i in 0..10 {
+            a.alloc(i);
+        }
+        a.clear_marks();
+        a.sweep();
+        let s = a.stats();
+        assert_eq!(s.total_allocated, 10);
+        assert_eq!(s.total_freed, 10);
+        assert_eq!(s.sweeps, 1);
+    }
+}

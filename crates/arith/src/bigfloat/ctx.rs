@@ -1,0 +1,315 @@
+//! [`BigFloatCtx`]: the [`ArithSystem`] binding for BigFloat — the analogue
+//! of the paper's ~350-line MPFR binding (§4.3, §5.5).
+//!
+//! "In our implementation, the precision used by FPVM is determined by a
+//! compile-time configurable parameter or environment variable" — here it is
+//! a runtime constructor parameter (and the `reproduce` harness reads it
+//! from the command line), defaulting to the paper's 200 bits.
+
+use super::{self as bf, BigFloat};
+use crate::flags::{FpFlags, Round};
+use crate::softfp::CmpResult;
+use crate::system::ArithSystem;
+
+/// Default precision used throughout the paper's evaluation (§5.3: "The
+/// emulation component includes MPFR computation with 200 bit precision").
+pub const DEFAULT_PREC: u32 = 200;
+
+/// Arbitrary-precision arithmetic system with a fixed working precision.
+#[derive(Debug, Clone, Copy)]
+pub struct BigFloatCtx {
+    prec: u32,
+}
+
+impl Default for BigFloatCtx {
+    fn default() -> Self {
+        BigFloatCtx::new(DEFAULT_PREC)
+    }
+}
+
+impl BigFloatCtx {
+    /// Create a context computing at `prec` bits of mantissa.
+    pub fn new(prec: u32) -> Self {
+        BigFloatCtx {
+            prec: prec.max(bf::MIN_PREC),
+        }
+    }
+
+    /// The context precision in bits.
+    pub fn prec(&self) -> u32 {
+        self.prec
+    }
+}
+
+impl ArithSystem for BigFloatCtx {
+    type Value = BigFloat;
+
+    fn name(&self) -> String {
+        format!("bigfloat{}", self.prec)
+    }
+
+    fn from_f64(&self, x: f64) -> BigFloat {
+        BigFloat::from_f64(x, self.prec, Round::NearestEven).0
+    }
+    fn to_f64(&self, v: &BigFloat, rm: Round) -> (f64, FpFlags) {
+        v.to_f64(rm)
+    }
+    fn from_f32(&self, x: f32) -> BigFloat {
+        BigFloat::from_f64(f64::from(x), self.prec, Round::NearestEven).0
+    }
+    fn to_f32(&self, v: &BigFloat, rm: Round) -> (f32, FpFlags) {
+        let (d, f1) = v.to_f64(rm);
+        let (s, f2) = crate::softfp::cvt_f64_to_f32(d);
+        (s, f1 | f2)
+    }
+    fn from_i32(&self, x: i32) -> (BigFloat, FpFlags) {
+        BigFloat::from_f64(f64::from(x), self.prec, Round::NearestEven)
+    }
+    fn from_i64(&self, x: i64) -> (BigFloat, FpFlags) {
+        // i64 may exceed 53 bits: build exactly from the integer mantissa.
+        if x == 0 {
+            return (BigFloat::zero(false, self.prec), FpFlags::NONE);
+        }
+        let (v, inexact) = BigFloat::from_int(
+            x < 0,
+            0,
+            &[x.unsigned_abs()],
+            false,
+            self.prec,
+            Round::NearestEven,
+        );
+        (
+            v,
+            if inexact {
+                FpFlags::INEXACT
+            } else {
+                FpFlags::NONE
+            },
+        )
+    }
+    fn to_i32(&self, v: &BigFloat) -> (i32, FpFlags) {
+        let (d, _) = v.to_f64(Round::Zero);
+        crate::softfp::cvt_f64_to_i32(d)
+    }
+    fn to_i64(&self, v: &BigFloat) -> (i64, FpFlags) {
+        match v.to_integer_parts() {
+            None => (i64::MIN, FpFlags::INVALID),
+            Some((sign, mag, inexact)) => {
+                let limit = if sign { 1u128 << 63 } else { (1u128 << 63) - 1 };
+                if mag > limit {
+                    return (i64::MIN, FpFlags::INVALID);
+                }
+                let val = if sign {
+                    (mag as u64).wrapping_neg() as i64
+                } else {
+                    mag as i64
+                };
+                (
+                    val,
+                    if inexact {
+                        FpFlags::INEXACT
+                    } else {
+                        FpFlags::NONE
+                    },
+                )
+            }
+        }
+    }
+    fn from_u64(&self, x: u64) -> (BigFloat, FpFlags) {
+        if x == 0 {
+            return (BigFloat::zero(false, self.prec), FpFlags::NONE);
+        }
+        let (v, inexact) =
+            BigFloat::from_int(false, 0, &[x], false, self.prec, Round::NearestEven);
+        (
+            v,
+            if inexact {
+                FpFlags::INEXACT
+            } else {
+                FpFlags::NONE
+            },
+        )
+    }
+    fn to_u64(&self, v: &BigFloat) -> (u64, FpFlags) {
+        match v.to_integer_parts() {
+            None => (u64::MAX, FpFlags::INVALID),
+            Some((sign, mag, inexact)) => {
+                if (sign && mag != 0) || mag > u128::from(u64::MAX) {
+                    return (u64::MAX, FpFlags::INVALID);
+                }
+                (
+                    mag as u64,
+                    if inexact {
+                        FpFlags::INEXACT
+                    } else {
+                        FpFlags::NONE
+                    },
+                )
+            }
+        }
+    }
+
+    fn add(&self, a: &BigFloat, b: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::add(a, b, self.prec, rm)
+    }
+    fn sub(&self, a: &BigFloat, b: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::sub(a, b, self.prec, rm)
+    }
+    fn mul(&self, a: &BigFloat, b: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::mul(a, b, self.prec, rm)
+    }
+    fn div(&self, a: &BigFloat, b: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::div(a, b, self.prec, rm)
+    }
+    fn fma(&self, a: &BigFloat, b: &BigFloat, c: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::fma(a, b, c, self.prec, rm)
+    }
+    fn sqrt(&self, a: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::sqrt(a, self.prec, rm)
+    }
+    fn min(&self, a: &BigFloat, b: &BigFloat) -> (BigFloat, FpFlags) {
+        // x64 minsd semantics: NaN in either operand → second operand + IE.
+        match a.partial_cmp_ieee(b) {
+            None => (b.clone(), FpFlags::INVALID),
+            Some(std::cmp::Ordering::Less) => (a.clone(), FpFlags::NONE),
+            _ => (b.clone(), FpFlags::NONE),
+        }
+    }
+    fn max(&self, a: &BigFloat, b: &BigFloat) -> (BigFloat, FpFlags) {
+        match a.partial_cmp_ieee(b) {
+            None => (b.clone(), FpFlags::INVALID),
+            Some(std::cmp::Ordering::Greater) => (a.clone(), FpFlags::NONE),
+            _ => (b.clone(), FpFlags::NONE),
+        }
+    }
+    fn neg(&self, a: &BigFloat) -> (BigFloat, FpFlags) {
+        (a.neg(), FpFlags::NONE)
+    }
+    fn abs(&self, a: &BigFloat) -> (BigFloat, FpFlags) {
+        (a.abs(), FpFlags::NONE)
+    }
+
+    fn sin(&self, a: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::sin(a, self.prec, rm)
+    }
+    fn cos(&self, a: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::cos(a, self.prec, rm)
+    }
+    fn tan(&self, a: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::tan(a, self.prec, rm)
+    }
+    fn asin(&self, a: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::asin(a, self.prec, rm)
+    }
+    fn acos(&self, a: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::acos(a, self.prec, rm)
+    }
+    fn atan(&self, a: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::atan(a, self.prec, rm)
+    }
+    fn atan2(&self, y: &BigFloat, x: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::atan2(y, x, self.prec, rm)
+    }
+    fn exp(&self, a: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::exp(a, self.prec, rm)
+    }
+    fn log(&self, a: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::log(a, self.prec, rm)
+    }
+    fn log10(&self, a: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::log10(a, self.prec, rm)
+    }
+    fn pow(&self, a: &BigFloat, b: &BigFloat, rm: Round) -> (BigFloat, FpFlags) {
+        bf::pow(a, b, self.prec, rm)
+    }
+    fn floor(&self, a: &BigFloat) -> (BigFloat, FpFlags) {
+        bf::floor(a, self.prec)
+    }
+    fn ceil(&self, a: &BigFloat) -> (BigFloat, FpFlags) {
+        bf::ceil(a, self.prec)
+    }
+
+    fn cmp_quiet(&self, a: &BigFloat, b: &BigFloat) -> (CmpResult, FpFlags) {
+        bf::cmp_quiet(a, b)
+    }
+    fn cmp_signaling(&self, a: &BigFloat, b: &BigFloat) -> (CmpResult, FpFlags) {
+        bf::cmp_signaling(a, b)
+    }
+
+    fn is_nan(&self, a: &BigFloat) -> bool {
+        a.is_nan()
+    }
+
+    fn render(&self, v: &BigFloat) -> String {
+        // Show the full shadow precision (≈ prec·log10(2) digits).
+        let digits = (f64::from(self.prec) * std::f64::consts::LOG10_2).ceil() as usize;
+        v.to_decimal(digits.max(17))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_at_53_matches_f64() {
+        let ctx = BigFloatCtx::new(53);
+        let rm = Round::NearestEven;
+        let xs = [0.1, 0.2, 1.5, -3.0, 1e10];
+        for &a in &xs {
+            for &b in &xs {
+                let va = ctx.from_f64(a);
+                let vb = ctx.from_f64(b);
+                let (s, _) = ctx.add(&va, &vb, rm);
+                assert_eq!(ctx.to_f64(&s, rm).0.to_bits(), (a + b).to_bits());
+                let (p, _) = ctx.mul(&va, &vb, rm);
+                assert_eq!(ctx.to_f64(&p, rm).0.to_bits(), (a * b).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn i64_conversions() {
+        let ctx = BigFloatCtx::new(200);
+        let (v, f) = ctx.from_i64(i64::MAX);
+        assert!(f.is_empty(), "200 bits hold any i64 exactly");
+        let (back, f) = ctx.to_i64(&v);
+        assert_eq!(back, i64::MAX);
+        assert!(f.is_empty());
+        let (v, _) = ctx.from_i64(-42);
+        assert_eq!(ctx.to_i64(&v).0, -42);
+        // Truncation.
+        let h = ctx.from_f64(-2.75);
+        let (t, f) = ctx.to_i64(&h);
+        assert_eq!(t, -2);
+        assert!(f.contains(FpFlags::INEXACT));
+        // Narrow context rounds large integers.
+        let narrow = BigFloatCtx::new(24);
+        let (_, f) = narrow.from_i64((1 << 30) + 1);
+        assert!(f.contains(FpFlags::INEXACT));
+    }
+
+    #[test]
+    fn min_max_semantics() {
+        let ctx = BigFloatCtx::new(64);
+        let a = ctx.from_f64(1.0);
+        let b = ctx.from_f64(2.0);
+        let nan = BigFloat::nan(64);
+        assert_eq!(ctx.to_f64(&ctx.min(&a, &b).0, Round::NearestEven).0, 1.0);
+        assert_eq!(ctx.to_f64(&ctx.max(&a, &b).0, Round::NearestEven).0, 2.0);
+        let (r, f) = ctx.min(&nan, &b);
+        assert_eq!(ctx.to_f64(&r, Round::NearestEven).0, 2.0);
+        assert!(f.contains(FpFlags::INVALID));
+        let (r, f) = ctx.min(&a, &nan);
+        assert!(r.is_nan());
+        assert!(f.contains(FpFlags::INVALID));
+    }
+
+    #[test]
+    fn render_full_precision() {
+        let ctx = BigFloatCtx::new(200);
+        let third = ctx.div(&ctx.from_f64(1.0), &ctx.from_f64(3.0), Round::NearestEven).0;
+        let s = ctx.render(&third);
+        assert!(s.starts_with("3.3333333333333333333333333"), "{s}");
+    }
+}

@@ -1,0 +1,447 @@
+//! Limb-level integer primitives for [`super::BigFloat`] mantissas.
+//!
+//! Mantissas are little-endian slices of `u64` limbs. Everything here is
+//! plain integer arithmetic; the floating-point semantics (exponents,
+//! rounding, flags) live in the parent module.
+//!
+//! Multiplication is schoolbook `O(n²)` with a Karatsuba layer above a
+//! threshold; division is Knuth's Algorithm D. These give the same
+//! asymptotic profile as MPFR's basecase paths, which is what the Fig. 11
+//! precision-scaling experiment measures.
+
+use std::cmp::Ordering;
+
+/// Limbs per Karatsuba recursion threshold (empirically reasonable; also an
+/// ablation knob for the bench suite).
+pub const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Compare two little-endian limb slices as integers (lengths may differ).
+pub fn cmp(a: &[u64], b: &[u64]) -> Ordering {
+    let n = a.len().max(b.len());
+    for i in (0..n).rev() {
+        let ai = a.get(i).copied().unwrap_or(0);
+        let bi = b.get(i).copied().unwrap_or(0);
+        match ai.cmp(&bi) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `a += b` (in place, little-endian); returns the final carry.
+pub fn add_assign(a: &mut [u64], b: &[u64]) -> bool {
+    debug_assert!(a.len() >= b.len());
+    let mut carry = false;
+    for i in 0..b.len() {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(u64::from(carry));
+        a[i] = s2;
+        carry = c1 || c2;
+    }
+    let mut i = b.len();
+    while carry && i < a.len() {
+        let (s, c) = a[i].overflowing_add(1);
+        a[i] = s;
+        carry = c;
+        i += 1;
+    }
+    carry
+}
+
+/// `a -= b` (in place); requires `a >= b`. Returns the final borrow, which
+/// is always false when the precondition holds.
+pub fn sub_assign(a: &mut [u64], b: &[u64]) -> bool {
+    debug_assert!(a.len() >= b.len());
+    let mut borrow = false;
+    for i in 0..b.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(u64::from(borrow));
+        a[i] = d2;
+        borrow = b1 || b2;
+    }
+    let mut i = b.len();
+    while borrow && i < a.len() {
+        let (d, bo) = a[i].overflowing_sub(1);
+        a[i] = d;
+        borrow = bo;
+        i += 1;
+    }
+    borrow
+}
+
+/// Shift left by `bits < 64` in place; returns the bits shifted out of the
+/// top limb.
+pub fn shl_small(a: &mut [u64], bits: u32) -> u64 {
+    debug_assert!(bits < 64);
+    if bits == 0 {
+        return 0;
+    }
+    let mut carry = 0u64;
+    for limb in a.iter_mut() {
+        let new_carry = *limb >> (64 - bits);
+        *limb = (*limb << bits) | carry;
+        carry = new_carry;
+    }
+    carry
+}
+
+/// Shift right by `bits < 64` in place; returns the bits shifted out of the
+/// bottom limb (left-aligned in the returned u64).
+pub fn shr_small(a: &mut [u64], bits: u32) -> u64 {
+    debug_assert!(bits < 64);
+    if bits == 0 {
+        return 0;
+    }
+    let mut carry = 0u64;
+    for limb in a.iter_mut().rev() {
+        let new_carry = *limb << (64 - bits);
+        *limb = (*limb >> bits) | carry;
+        carry = new_carry;
+    }
+    carry
+}
+
+/// Number of leading zero bits of the slice viewed as an integer with
+/// `a.len() * 64` bits. Returns the full width for zero.
+pub fn leading_zeros(a: &[u64]) -> u32 {
+    for (i, &limb) in a.iter().enumerate().rev() {
+        if limb != 0 {
+            return (a.len() - 1 - i) as u32 * 64 + limb.leading_zeros();
+        }
+    }
+    a.len() as u32 * 64
+}
+
+/// True if all limbs are zero.
+pub fn is_zero(a: &[u64]) -> bool {
+    a.iter().all(|&x| x == 0)
+}
+
+/// Schoolbook multiplication: `out = a * b`. `out` must have length
+/// `a.len() + b.len()` and be zeroed by the caller.
+fn mul_schoolbook(out: &mut [u64], a: &[u64], b: &[u64]) {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = u128::from(ai) * u128::from(bj) + u128::from(out[i + j]) + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = u128::from(out[k]) + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+}
+
+/// Full multiplication: returns `a * b` as a fresh `a.len() + b.len()` limb
+/// vector. Dispatches to Karatsuba above [`KARATSUBA_THRESHOLD`].
+pub fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        mul_schoolbook(&mut out, a, b);
+    } else {
+        mul_karatsuba(&mut out, a, b);
+    }
+    out
+}
+
+/// Schoolbook-only multiplication (ablation entry point for the bench
+/// suite's Karatsuba-vs-schoolbook comparison).
+pub fn mul_basecase(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    mul_schoolbook(&mut out, a, b);
+    out
+}
+
+/// Karatsuba multiplication into `out` (length `a.len() + b.len()`, zeroed).
+fn mul_karatsuba(out: &mut [u64], a: &[u64], b: &[u64]) {
+    let n = a.len().min(b.len());
+    if n < KARATSUBA_THRESHOLD {
+        mul_schoolbook(out, a, b);
+        return;
+    }
+    let half = n / 2;
+    let (a0, a1) = a.split_at(half);
+    let (b0, b1) = b.split_at(half);
+    // z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)*(b0+b1) - z0 - z2
+    let z0 = mul(a0, b0);
+    let z2 = mul(a1, b1);
+    let mut sa = vec![0u64; a1.len().max(a0.len()) + 1];
+    sa[..a0.len()].copy_from_slice(a0);
+    add_assign(&mut sa, a1);
+    let mut sb = vec![0u64; b1.len().max(b0.len()) + 1];
+    sb[..b0.len()].copy_from_slice(b0);
+    add_assign(&mut sb, b1);
+    let mut z1 = mul(&sa, &sb);
+    // z1 -= z0 + z2 (never underflows).
+    sub_assign(&mut z1, &z0);
+    sub_assign(&mut z1, &z2);
+    // out = z0 + (z1 << 64*half) + (z2 << 64*2*half)
+    out[..z0.len()].copy_from_slice(&z0);
+    let carry = add_assign(&mut out[half..], &z1);
+    debug_assert!(!carry);
+    let carry = add_assign(&mut out[2 * half..], &z2);
+    debug_assert!(!carry);
+}
+
+/// Knuth Algorithm D: divide the `m + n` limb integer `num` by the `n` limb
+/// integer `den` (with `den`'s top limb's MSB set — normalized). Returns
+/// `(quotient, remainder)` with `num = quotient * den + remainder` and
+/// `remainder < den`.
+pub fn divrem(num: &[u64], den: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let n = den.len();
+    assert!(n > 0 && den[n - 1] >> 63 == 1, "divisor must be normalized");
+    if cmp(num, den) == Ordering::Less {
+        return (vec![0], num.to_vec());
+    }
+    if n == 1 {
+        return divrem_by_limb(num, den[0]);
+    }
+    let m = num.len().saturating_sub(n);
+    // Working copy of the numerator with one extra high limb.
+    let mut u = num.to_vec();
+    u.push(0);
+    let mut q = vec![0u64; m + 1];
+    let d1 = den[n - 1];
+    let d0 = den[n - 2];
+    for j in (0..=m).rev() {
+        // Estimate q̂ from the top three numerator limbs and top two divisor
+        // limbs.
+        let hi = (u128::from(u[j + n]) << 64) | u128::from(u[j + n - 1]);
+        let mut qhat = hi / u128::from(d1);
+        let mut rhat = hi % u128::from(d1);
+        if qhat > u128::from(u64::MAX) {
+            qhat = u128::from(u64::MAX);
+            rhat = hi - qhat * u128::from(d1);
+        }
+        while rhat <= u128::from(u64::MAX)
+            && qhat * u128::from(d0) > (rhat << 64 | u128::from(u[j + n - 2]))
+        {
+            qhat -= 1;
+            rhat += u128::from(d1);
+        }
+        // Multiply-subtract: u[j..j+n+1] -= qhat * den.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = qhat * u128::from(den[i]) + carry;
+            carry = p >> 64;
+            let t = i128::from(u[j + i]) - i128::from(p as u64) - borrow;
+            u[j + i] = t as u64;
+            borrow = i64::from(t < 0) as i128;
+        }
+        let t = i128::from(u[j + n]) - i128::from(carry as u64) - borrow;
+        u[j + n] = t as u64;
+        if t < 0 {
+            // q̂ was one too large: add back.
+            qhat -= 1;
+            let mut c = false;
+            for i in 0..n {
+                let (s1, c1) = u[j + i].overflowing_add(den[i]);
+                let (s2, c2) = s1.overflowing_add(u64::from(c));
+                u[j + i] = s2;
+                c = c1 || c2;
+            }
+            u[j + n] = u[j + n].wrapping_add(u64::from(c));
+        }
+        q[j] = qhat as u64;
+    }
+    u.truncate(n);
+    (q, u)
+}
+
+/// Divide by a single (normalized) limb.
+fn divrem_by_limb(num: &[u64], d: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut q = vec![0u64; num.len()];
+    let mut rem = 0u128;
+    for i in (0..num.len()).rev() {
+        let cur = (rem << 64) | u128::from(num[i]);
+        q[i] = (cur / u128::from(d)) as u64;
+        rem = cur % u128::from(d);
+    }
+    (q, vec![rem as u64])
+}
+
+/// Integer square root with remainder: returns `(s, r)` with `s² + r = a`
+/// and `s² ≤ a < (s+1)²`. Newton's method with an f64 seed.
+pub fn isqrt(a: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    if is_zero(a) {
+        return (vec![0], vec![0]);
+    }
+    let bits = a.len() as u64 * 64 - u64::from(leading_zeros(a));
+    // Initial overestimate: 2^ceil(bits/2).
+    let sbits = bits.div_ceil(2) + 1;
+    let slimbs = (sbits as usize).div_ceil(64);
+    let mut x = vec![0u64; slimbs];
+    x[((sbits - 1) / 64) as usize] = 1u64 << ((sbits - 1) % 64);
+    // Newton: x' = (x + a/x) / 2, monotonically decreasing from above.
+    loop {
+        // a / x, with x normalized for Knuth D.
+        let xt = trim(&x);
+        let shift = leading_zeros(&xt) % 64;
+        let mut xn = xt.clone();
+        let mut an = a.to_vec();
+        if shift != 0 {
+            let c = shl_small(&mut xn, shift);
+            debug_assert_eq!(c, 0);
+            an.push(0);
+            let c = shl_small(&mut an, shift);
+            debug_assert_eq!(c, 0);
+        }
+        let (quot, _) = divrem(&an, &xn);
+        let quot = trim(&quot);
+        // next = (x + quot) / 2
+        let mut next = vec![0u64; x.len().max(quot.len()) + 1];
+        next[..x.len()].copy_from_slice(&x);
+        add_assign(&mut next, &quot);
+        shr_small(&mut next, 1);
+        let next = trim(&next);
+        if cmp(&next, &x) != Ordering::Less {
+            break;
+        }
+        x = next;
+    }
+    // r = a - x².
+    let sq = mul(&x, &x);
+    let mut r = a.to_vec();
+    if r.len() < sq.len() {
+        r.resize(sq.len(), 0);
+    }
+    let borrow = sub_assign(&mut r, &sq);
+    debug_assert!(!borrow, "isqrt overshoot");
+    (x, trim(&r))
+}
+
+/// Strip high zero limbs (keeping at least one limb).
+pub fn trim(a: &[u64]) -> Vec<u64> {
+    let mut end = a.len();
+    while end > 1 && a[end - 1] == 0 {
+        end -= 1;
+    }
+    a[..end].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut a = vec![u64::MAX, u64::MAX, 0];
+        let b = vec![1];
+        assert!(!add_assign(&mut a, &b));
+        assert_eq!(a, vec![0, 0, 1]);
+        assert!(!sub_assign(&mut a, &b));
+        assert_eq!(a, vec![u64::MAX, u64::MAX, 0]);
+    }
+
+    #[test]
+    fn add_carry_out() {
+        let mut a = vec![u64::MAX];
+        assert!(add_assign(&mut a, &[1]));
+        assert_eq!(a, vec![0]);
+    }
+
+    #[test]
+    fn shifts() {
+        let mut a = vec![0x8000_0000_0000_0000, 1];
+        let out = shl_small(&mut a, 1);
+        assert_eq!(out, 0);
+        assert_eq!(a, vec![0, 3]);
+        let out = shr_small(&mut a, 1);
+        assert_eq!(out, 0, "bottom limb was even — nothing shifted out");
+        assert_eq!(a, vec![0x8000_0000_0000_0000, 1]);
+        // Odd bottom limb loses its low bit on a right shift.
+        let mut b = vec![3u64, 0];
+        let out = shr_small(&mut b, 1);
+        assert_eq!(out, 0x8000_0000_0000_0000);
+        assert_eq!(b, vec![1, 0]);
+    }
+
+    #[test]
+    fn lz() {
+        assert_eq!(leading_zeros(&[0, 0]), 128);
+        assert_eq!(leading_zeros(&[1, 0]), 127);
+        assert_eq!(leading_zeros(&[0, 1]), 63);
+        assert_eq!(leading_zeros(&[0, 1 << 63]), 0);
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(mul(&[3], &[5]), vec![15, 0]);
+        assert_eq!(mul(&[u64::MAX], &[u64::MAX]), vec![1, u64::MAX - 1]);
+        // (2^64 + 1) * (2^64 + 1) = 2^128 + 2^65 + 1
+        assert_eq!(mul(&[1, 1], &[1, 1]), vec![1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Deterministic pseudo-random limbs, sizes straddling the threshold.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [
+            KARATSUBA_THRESHOLD - 1,
+            KARATSUBA_THRESHOLD,
+            KARATSUBA_THRESHOLD * 2 + 3,
+            KARATSUBA_THRESHOLD * 4,
+        ] {
+            let a: Vec<u64> = (0..n).map(|_| next()).collect();
+            let b: Vec<u64> = (0..n + 7).map(|_| next()).collect();
+            assert_eq!(mul(&a, &b), mul_basecase(&a, &b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn divrem_reconstructs() {
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        for nd in [1usize, 2, 3, 5] {
+            for nn in [nd, nd + 1, nd + 4] {
+                let mut den: Vec<u64> = (0..nd).map(|_| next()).collect();
+                den[nd - 1] |= 1 << 63; // normalize
+                let num: Vec<u64> = (0..nn).map(|_| next()).collect();
+                let (q, r) = divrem(&num, &den);
+                assert_eq!(cmp(&r, &den), Ordering::Less);
+                // q*den + r == num
+                let mut recon = mul(&q, &den);
+                recon.resize(recon.len().max(r.len()) + 1, 0);
+                add_assign(&mut recon, &r);
+                assert_eq!(cmp(&recon, &num), Ordering::Equal);
+            }
+        }
+    }
+
+    #[test]
+    fn isqrt_exact_and_inexact() {
+        let (s, r) = isqrt(&[144]);
+        assert_eq!(s, vec![12]);
+        assert!(is_zero(&r));
+        let (s, r) = isqrt(&[145]);
+        assert_eq!(s, vec![12]);
+        assert_eq!(r, vec![1]);
+        // Large: (2^100)² = 2^200.
+        let mut a = vec![0u64; 4];
+        a[3] = 1 << (200 - 192);
+        let (s, r) = isqrt(&a);
+        let mut expect = vec![0u64; 2];
+        expect[1] = 1 << (100 - 64);
+        assert_eq!(trim(&s), expect);
+        assert!(is_zero(&r));
+    }
+}

@@ -1,0 +1,166 @@
+//! IEEE 754 exception flags and rounding modes, mirroring the x64 `%mxcsr`
+//! condition-code bits that drive FPVM's trap-and-emulate engine (§4.1).
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Sticky IEEE exception flags, with the same bit positions as the low six
+/// bits of `%mxcsr` so the machine can splice them in directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct FpFlags(pub u8);
+
+impl FpFlags {
+    /// No exceptions.
+    pub const NONE: FpFlags = FpFlags(0);
+    /// Invalid operation (`IE`, mxcsr bit 0): sNaN consumed, 0/0, ∞−∞, √−x …
+    pub const INVALID: FpFlags = FpFlags(1 << 0);
+    /// Denormal operand (`DE`, mxcsr bit 1).
+    pub const DENORMAL: FpFlags = FpFlags(1 << 1);
+    /// Divide by zero (`ZE`, mxcsr bit 2).
+    pub const DIVZERO: FpFlags = FpFlags(1 << 2);
+    /// Overflow (`OE`, mxcsr bit 3).
+    pub const OVERFLOW: FpFlags = FpFlags(1 << 3);
+    /// Underflow (`UE`, mxcsr bit 4): result tiny *and* inexact (masked-mode
+    /// x64 semantics).
+    pub const UNDERFLOW: FpFlags = FpFlags(1 << 4);
+    /// Precision / inexact (`PE`, mxcsr bit 5): the result was rounded. This
+    /// is the flag FPVM unmasks to intercept *every* imprecise operation.
+    pub const INEXACT: FpFlags = FpFlags(1 << 5);
+    /// All six flags.
+    pub const ALL: FpFlags = FpFlags(0x3F);
+
+    /// True if no flag is set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if every flag in `other` is set in `self`.
+    #[inline]
+    pub fn contains(self, other: FpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if any flag in `other` is set in `self`.
+    #[inline]
+    pub fn intersects(self, other: FpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+impl BitOr for FpFlags {
+    type Output = FpFlags;
+    #[inline]
+    fn bitor(self, rhs: FpFlags) -> FpFlags {
+        FpFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for FpFlags {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: FpFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for FpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "-");
+        }
+        let names = [
+            (FpFlags::INVALID, "IE"),
+            (FpFlags::DENORMAL, "DE"),
+            (FpFlags::DIVZERO, "ZE"),
+            (FpFlags::OVERFLOW, "OE"),
+            (FpFlags::UNDERFLOW, "UE"),
+            (FpFlags::INEXACT, "PE"),
+        ];
+        let mut first = true;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// IEEE 754 rounding modes, matching the `%mxcsr` RC field encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub enum Round {
+    /// Round to nearest, ties to even (RC = 00; the default everywhere).
+    #[default]
+    NearestEven,
+    /// Round toward −∞ (RC = 01).
+    Down,
+    /// Round toward +∞ (RC = 10).
+    Up,
+    /// Round toward zero / truncate (RC = 11).
+    Zero,
+}
+
+impl Round {
+    /// Decode from the two-bit mxcsr RC field.
+    #[inline]
+    pub fn from_rc(rc: u8) -> Round {
+        match rc & 3 {
+            0 => Round::NearestEven,
+            1 => Round::Down,
+            2 => Round::Up,
+            _ => Round::Zero,
+        }
+    }
+
+    /// Encode as the two-bit mxcsr RC field.
+    #[inline]
+    pub fn to_rc(self) -> u8 {
+        match self {
+            Round::NearestEven => 0,
+            Round::Down => 1,
+            Round::Up => 2,
+            Round::Zero => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_ops() {
+        let f = FpFlags::INVALID | FpFlags::INEXACT;
+        assert!(f.contains(FpFlags::INVALID));
+        assert!(f.contains(FpFlags::INEXACT));
+        assert!(!f.contains(FpFlags::OVERFLOW));
+        assert!(f.intersects(FpFlags::INEXACT | FpFlags::OVERFLOW));
+        assert!(!f.intersects(FpFlags::OVERFLOW));
+        assert!(FpFlags::NONE.is_empty());
+        assert_eq!(f.to_string(), "IE|PE");
+        assert_eq!(FpFlags::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn mxcsr_bit_positions() {
+        // These positions must match mxcsr bits 0..5 exactly; the machine
+        // splices FpFlags into mxcsr without translation.
+        assert_eq!(FpFlags::INVALID.0, 0x01);
+        assert_eq!(FpFlags::DENORMAL.0, 0x02);
+        assert_eq!(FpFlags::DIVZERO.0, 0x04);
+        assert_eq!(FpFlags::OVERFLOW.0, 0x08);
+        assert_eq!(FpFlags::UNDERFLOW.0, 0x10);
+        assert_eq!(FpFlags::INEXACT.0, 0x20);
+    }
+
+    #[test]
+    fn round_rc_roundtrip() {
+        for rc in 0..4u8 {
+            assert_eq!(Round::from_rc(rc).to_rc(), rc);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # fpvm-arith — alternative arithmetic systems for FPVM
+//!
+//! This crate implements FPVM's alternative arithmetic interface (§4.3) and
+//! the three systems the paper ports to it:
+//!
+//! * [`vanilla::Vanilla`] — IEEE 64-bit floating point re-implemented in
+//!   software with exact flag computation. Running FPVM over Vanilla must be
+//!   bit-identical to native execution (the §5.2 validation).
+//! * [`bigfloat::BigFloatCtx`] — from-scratch arbitrary-precision binary
+//!   floating point with correct rounding: the reproduction's substitute for
+//!   GNU MPFR (see DESIGN.md §2 for the substitution argument).
+//! * [`posit::PositCtx`] — from-scratch posit arithmetic (posit standard
+//!   regime/exponent/fraction encoding), substituting for the Universal
+//!   Numbers Library.
+//!
+//! It also hosts [`softfp`], the exact-flags IEEE engine that doubles as the
+//! simulated machine's FPU, [`arena::ShadowArena`], the shadow-value slab
+//! that the runtime's garbage collector manages, and [`adaptive::AdaptiveCtx`]
+//! — the "adaptive precision version" §4.3 flags as future work,
+//! implemented here with significance tracking.
+
+#![forbid(unsafe_code)]
+// The 37-function interface takes `&self` on `from_*` constructors by
+// design (it is the paper's pluggable-system interface, not a type's
+// inherent constructor set).
+#![allow(clippy::wrong_self_convention)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod arena;
+pub mod bigfloat;
+pub mod flags;
+pub mod posit;
+pub mod softfp;
+pub mod system;
+pub mod vanilla;
+
+pub use adaptive::{AdaptiveCtx, AdaptiveValue};
+pub use arena::{ArenaStats, ShadowArena};
+pub use bigfloat::{BigFloat, BigFloatCtx};
+pub use flags::{FpFlags, Round};
+pub use posit::{Posit, PositCtx};
+pub use softfp::CmpResult;
+pub use system::{ArithSystem, ScalarOp};
+pub use vanilla::Vanilla;

@@ -1,0 +1,829 @@
+//! **Posit** arithmetic (§4.3 "Posit"), substituting for the Universal
+//! Numbers Library: "A posit number has four parts which include sign,
+//! regime, exponent and fraction. Among the four, exponent and fraction have
+//! variable length."
+//!
+//! [`Posit<N, ES>`] implements posits of width `N ≤ 64` with `ES` exponent
+//! bits. Encoding follows the posit standard: a sign bit, a unary-coded
+//! regime, `ES` exponent bits, and the remaining bits of fraction; negative
+//! values are the two's complement of the bit pattern; `10…0` is NaR
+//! (not-a-real) and `0` is the unique zero. Rounding is round-to-nearest
+//! (even) on the bit pattern, saturating at ±maxpos / ±minpos — posits never
+//! round to zero, NaR, or infinity.
+//!
+//! Flag mapping for FPVM integration: posits themselves are flag-free, but
+//! the runtime needs to know when results were rounded (`PE`) or invalid
+//! (`IE` on NaR production), so operations report [`FpFlags`] equivalents.
+//!
+//! Transcendentals are evaluated through `f64` (a documented approximation;
+//! soft-posit libraries of the paper's era did the same for most of libm).
+
+use crate::flags::{FpFlags, Round};
+use crate::softfp::CmpResult;
+use crate::system::ArithSystem;
+
+/// A posit of `N` bits with `ES` exponent bits, stored in the low `N` bits
+/// of a `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Posit<const N: u32, const ES: u32>(u64);
+
+/// 8-bit posit, es = 0 (classic Type III sizing).
+pub type Posit8 = Posit<8, 0>;
+/// 16-bit posit, es = 1.
+pub type Posit16 = Posit<16, 1>;
+/// 32-bit posit, es = 2.
+pub type Posit32 = Posit<32, 2>;
+/// 64-bit posit, es = 3.
+pub type Posit64 = Posit<64, 3>;
+
+/// A decoded (unpacked) posit: `value = (-1)^sign × (frac / 2^63) × 2^scale`
+/// with the hidden bit at position 63, i.e. `frac ∈ [2^63, 2^64)`.
+#[derive(Debug, Clone, Copy)]
+struct Unpacked {
+    sign: bool,
+    scale: i32,
+    frac: u64,
+}
+
+impl<const N: u32, const ES: u32> Posit<N, ES> {
+    const MASK: u64 = if N == 64 { u64::MAX } else { (1u64 << N) - 1 };
+    const SIGN_BIT: u64 = 1u64 << (N - 1);
+    /// Maximum regime magnitude and hence scale bound: ±(N−2)·2^ES.
+    const MAX_SCALE: i32 = ((N - 2) as i32) << ES;
+
+    /// Zero.
+    pub const ZERO: Self = Posit(0);
+    /// NaR (not-a-real): the pattern `10…0`.
+    pub const NAR: Self = Posit(Self::SIGN_BIT);
+
+    /// Construct from a raw bit pattern (low `N` bits).
+    pub fn from_bits(bits: u64) -> Self {
+        Posit(bits & Self::MASK)
+    }
+
+    /// The raw bit pattern.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// True for NaR.
+    pub fn is_nar(self) -> bool {
+        self.0 == Self::SIGN_BIT
+    }
+
+    /// True for zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Largest finite posit.
+    pub fn maxpos() -> Self {
+        Posit(Self::SIGN_BIT - 1)
+    }
+
+    /// Smallest positive posit.
+    pub fn minpos() -> Self {
+        Posit(1)
+    }
+
+    fn decode(self) -> Option<Unpacked> {
+        if self.is_zero() || self.is_nar() {
+            return None;
+        }
+        let sign = self.0 & Self::SIGN_BIT != 0;
+        let mag = if sign {
+            (self.0.wrapping_neg()) & Self::MASK
+        } else {
+            self.0
+        };
+        // Left-align the N-1 bits after the sign into a u64 for scanning.
+        let stream = mag << (64 - (N - 1)); // MSB = first regime bit
+        let first = stream >> 63 & 1;
+        let run = if first == 1 {
+            (!stream).leading_zeros().min(N - 1)
+        } else {
+            stream.leading_zeros().min(N - 1)
+        };
+        let r: i32 = if first == 1 {
+            run as i32 - 1
+        } else {
+            -(run as i32)
+        };
+        // Bits consumed: run + 1 terminator (unless the regime filled all
+        // N-1 bits).
+        let consumed = (run + 1).min(N - 1);
+        let rest = if consumed >= 64 { 0 } else { stream << consumed };
+        // ES exponent bits (may be truncated by the field running out; the
+        // missing low bits are zero by the standard).
+        let e = if ES == 0 { 0 } else { (rest >> (64 - ES)) as i32 };
+        let frac_bits = if ES >= 64 { 0 } else { rest << ES };
+        let scale = (r << ES) + e;
+        // Hidden bit at 63: 1.frac.
+        let frac = (1u64 << 63) | (frac_bits >> 1);
+        Some(Unpacked { sign, scale, frac })
+    }
+
+    /// Round-and-encode an unpacked value (+ sticky residue) into a posit.
+    /// Returns the posit and whether rounding was inexact.
+    fn encode(sign: bool, scale: i32, frac: u64, sticky: bool) -> (Self, bool) {
+        debug_assert!(frac >> 63 == 1, "hidden bit must be normalized");
+        if scale > Self::MAX_SCALE {
+            let p = Self::maxpos();
+            return (if sign { p.negate() } else { p }, true);
+        }
+        if scale < -Self::MAX_SCALE {
+            let p = Self::minpos();
+            return (if sign { p.negate() } else { p }, true);
+        }
+        let es = ES as i32;
+        let r = scale >> es; // floor division (es may be 0)
+        let e = scale - (r << es);
+        debug_assert!((0..(1 << ES.max(1))).contains(&(e as u64 as i64 as i32)) || ES == 0);
+        let rlen = if r >= 0 { r as u32 + 2 } else { (-r) as u32 + 1 };
+        // Stream bit i (0-based, after the sign bit).
+        let stream_bit = |i: u32| -> bool {
+            if i < rlen {
+                if r >= 0 {
+                    i < r as u32 + 1
+                } else {
+                    i >= (-r) as u32
+                }
+            } else if i < rlen + ES {
+                let k = i - rlen; // 0 = MSB of exponent
+                (e >> (ES - 1 - k)) & 1 == 1
+            } else {
+                let k = i - rlen - ES; // 0 = first fraction bit (below hidden)
+                k < 63 && (frac >> (62 - k)) & 1 == 1
+            }
+        };
+        let navail = N - 1;
+        let mut body = 0u64;
+        for i in 0..navail {
+            body = (body << 1) | u64::from(stream_bit(i));
+        }
+        let round = stream_bit(navail);
+        let mut st = sticky;
+        if !st {
+            let total = rlen + ES + 63;
+            let mut i = navail + 1;
+            while i < total {
+                if stream_bit(i) {
+                    st = true;
+                    break;
+                }
+                i += 1;
+            }
+        }
+        let inexact = round || st;
+        let mut p = body;
+        if round && (st || p & 1 == 1) {
+            p += 1;
+        }
+        // Saturate: never round to NaR or to zero.
+        if p >= Self::SIGN_BIT {
+            p = Self::SIGN_BIT - 1;
+        }
+        if p == 0 {
+            p = 1;
+        }
+        let out = if sign {
+            Posit((p.wrapping_neg()) & Self::MASK)
+        } else {
+            Posit(p)
+        };
+        (out, inexact)
+    }
+
+    /// Exact negation (posits negate by two's complement).
+    pub fn negate(self) -> Self {
+        if self.is_nar() || self.is_zero() {
+            return self;
+        }
+        Posit((self.0.wrapping_neg()) & Self::MASK)
+    }
+
+    /// Absolute value.
+    pub fn abs_val(self) -> Self {
+        if self.0 & Self::SIGN_BIT != 0 && !self.is_nar() {
+            self.negate()
+        } else {
+            self
+        }
+    }
+
+    /// Convert to `f64` (exact for N ≤ 54 + ES; single rounding otherwise).
+    pub fn to_f64(self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        if self.is_nar() {
+            return f64::NAN;
+        }
+        let u = self.decode().expect("nonzero, non-NaR");
+        let m = u.frac as f64; // one rounding (64 → 53 bits)
+        let v = m * (u.scale - 63).exp2_i();
+        if u.sign {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Convert from `f64` with posit rounding. NaN/±∞ → NaR.
+    pub fn from_f64(x: f64) -> Self {
+        if x == 0.0 {
+            return Self::ZERO;
+        }
+        if x.is_nan() || x.is_infinite() {
+            return Self::NAR;
+        }
+        let bits = x.to_bits();
+        let sign = bits >> 63 == 1;
+        let biased = ((bits >> 52) & 0x7FF) as i32;
+        let frac52 = bits & 0x000F_FFFF_FFFF_FFFF;
+        let (mant, scale) = if biased == 0 {
+            // Subnormal: normalize.
+            let lz = frac52.leading_zeros(); // ≥ 12
+            (frac52 << (lz - 11) << 11, -1022 - (lz as i32 - 11))
+        } else {
+            ((frac52 | (1 << 52)) << 11, biased - 1023)
+        };
+        Self::encode(sign, scale, mant, false).0
+    }
+
+    /// Addition with posit rounding.
+    pub fn add_p(self, other: Self) -> (Self, FpFlags) {
+        if self.is_nar() || other.is_nar() {
+            return (Self::NAR, FpFlags::NONE);
+        }
+        if self.is_zero() {
+            return (other, FpFlags::NONE);
+        }
+        if other.is_zero() {
+            return (self, FpFlags::NONE);
+        }
+        let a = self.decode().unwrap();
+        let b = other.decode().unwrap();
+        // Order by magnitude.
+        let (x, y) = if (a.scale, a.frac) >= (b.scale, b.frac) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let d = (x.scale - y.scale) as u32;
+        let xw = u128::from(x.frac) << 63; // hidden bit at 126
+        let (yw, mut sticky) = if d >= 127 {
+            (0u128, true)
+        } else {
+            let shifted = (u128::from(y.frac) << 63) >> d;
+            let lost = if d == 0 {
+                false
+            } else {
+                (u128::from(y.frac) << 63) & ((1u128 << d) - 1) != 0
+            };
+            (shifted, lost)
+        };
+        let (sum, sign) = if x.sign == y.sign {
+            (xw + yw, x.sign)
+        } else {
+            let mut s = xw - yw;
+            if sticky && s > 0 {
+                s -= 1;
+            }
+            (s, x.sign)
+        };
+        if sum == 0 {
+            if sticky {
+                // Tiny residue: rounds to minpos-with-sign (posits never
+                // round a nonzero value to zero).
+                let p = Self::minpos();
+                return (if sign { p.negate() } else { p }, FpFlags::INEXACT);
+            }
+            return (Self::ZERO, FpFlags::NONE);
+        }
+        let lz = sum.leading_zeros();
+        // Normalize hidden bit to u128 bit 126... then take the top 64 bits.
+        let msb = 127 - lz; // current position of the MSB
+        let scale = x.scale + msb as i32 - 126;
+        let frac;
+        if msb >= 63 {
+            let cut = msb - 63;
+            frac = (sum >> cut) as u64;
+            if cut > 0 && sum & ((1u128 << cut) - 1) != 0 {
+                sticky = true;
+            }
+        } else {
+            frac = (sum as u64) << (63 - msb);
+        }
+        let (r, inexact) = Self::encode(sign, scale, frac, sticky);
+        (r, pe(inexact))
+    }
+
+    /// Subtraction.
+    pub fn sub_p(self, other: Self) -> (Self, FpFlags) {
+        self.add_p(other.negate())
+    }
+
+    /// Multiplication with posit rounding.
+    pub fn mul_p(self, other: Self) -> (Self, FpFlags) {
+        if self.is_nar() || other.is_nar() {
+            return (Self::NAR, FpFlags::NONE);
+        }
+        if self.is_zero() || other.is_zero() {
+            return (Self::ZERO, FpFlags::NONE);
+        }
+        let a = self.decode().unwrap();
+        let b = other.decode().unwrap();
+        let p = u128::from(a.frac) * u128::from(b.frac); // MSB at 127 or 126
+        let sign = a.sign != b.sign;
+        let (frac, scale, sticky) = if p >> 127 == 1 {
+            (
+                (p >> 64) as u64,
+                a.scale + b.scale + 1,
+                p & ((1u128 << 64) - 1) != 0,
+            )
+        } else {
+            (
+                (p >> 63) as u64,
+                a.scale + b.scale,
+                p & ((1u128 << 63) - 1) != 0,
+            )
+        };
+        let (r, inexact) = Self::encode(sign, scale, frac, sticky);
+        (r, pe(inexact))
+    }
+
+    /// Division with posit rounding. `x / 0 = NaR` (with `IE|ZE` reported
+    /// for the runtime's benefit).
+    pub fn div_p(self, other: Self) -> (Self, FpFlags) {
+        if self.is_nar() || other.is_nar() {
+            return (Self::NAR, FpFlags::NONE);
+        }
+        if other.is_zero() {
+            return (
+                Self::NAR,
+                if self.is_zero() {
+                    FpFlags::INVALID
+                } else {
+                    FpFlags::DIVZERO
+                },
+            );
+        }
+        if self.is_zero() {
+            return (Self::ZERO, FpFlags::NONE);
+        }
+        let a = self.decode().unwrap();
+        let b = other.decode().unwrap();
+        let sign = a.sign != b.sign;
+        // a/b = (fa/fb) × 2^(sa−sb) with fa/fb ∈ (1/2, 2).
+        // q = fa·2^64/fb ∈ (2^63, 2^65): if q ≥ 2^64 the quotient's hidden
+        // bit is at 64 → value = (q/2)·2^(scale−63) with scale = sa−sb;
+        // otherwise the hidden bit is at 63 → scale = sa−sb−1.
+        let num = u128::from(a.frac) << 64;
+        let q = num / u128::from(b.frac);
+        let rem = num % u128::from(b.frac);
+        let mut sticky = rem != 0;
+        let (frac, scale) = if q >> 64 != 0 {
+            if q & 1 != 0 {
+                sticky = true;
+            }
+            ((q >> 1) as u64, a.scale - b.scale)
+        } else {
+            (q as u64, a.scale - b.scale - 1)
+        };
+        let (r, inexact) = Self::encode(sign, scale, frac, sticky);
+        (r, pe(inexact))
+    }
+
+    /// Square root with posit rounding. `sqrt(negative) = NaR`.
+    pub fn sqrt_p(self) -> (Self, FpFlags) {
+        if self.is_nar() {
+            return (Self::NAR, FpFlags::NONE);
+        }
+        if self.is_zero() {
+            return (Self::ZERO, FpFlags::NONE);
+        }
+        let a = self.decode().unwrap();
+        if a.sign {
+            return (Self::NAR, FpFlags::INVALID);
+        }
+        // value = frac × 2^(scale − 63). Make the exponent even:
+        // m = frac << (63 + (scale parity)), result = isqrt(m) × 2^(scale'/2).
+        let odd = a.scale.rem_euclid(2) == 1;
+        let m: u128 = if odd {
+            u128::from(a.frac) << 64
+        } else {
+            u128::from(a.frac) << 63
+        };
+        let scale2 = if odd { (a.scale - 1) / 2 } else { a.scale / 2 };
+        let s = isqrt_u128(m); // ≈ 2^63,  in [2^63, 2^64)
+        let sticky = s * s != m;
+        let (r, inexact) = Self::encode(false, scale2, s as u64, sticky);
+        (r, pe(inexact))
+    }
+
+    /// Total-order comparison: posits compare as two's-complement integers.
+    /// NaR is unordered here (mapped to the IEEE compare contract).
+    pub fn cmp_p(self, other: Self) -> CmpResult {
+        if self.is_nar() || other.is_nar() {
+            return CmpResult::Unordered;
+        }
+        let a = sign_extend::<N>(self.0);
+        let b = sign_extend::<N>(other.0);
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => CmpResult::Less,
+            std::cmp::Ordering::Equal => CmpResult::Equal,
+            std::cmp::Ordering::Greater => CmpResult::Greater,
+        }
+    }
+}
+
+fn pe(inexact: bool) -> FpFlags {
+    if inexact {
+        FpFlags::INEXACT
+    } else {
+        FpFlags::NONE
+    }
+}
+
+fn sign_extend<const N: u32>(bits: u64) -> i64 {
+    ((bits << (64 - N)) as i64) >> (64 - N)
+}
+
+/// Integer square root of a u128 (Newton, f64 seed).
+fn isqrt_u128(n: u128) -> u128 {
+    if n == 0 {
+        return 0;
+    }
+    let mut x = (n as f64).sqrt() as u128 + 2;
+    loop {
+        let y = (x + n / x) / 2;
+        if y >= x {
+            break;
+        }
+        x = y;
+    }
+    while x * x > n {
+        x -= 1;
+    }
+    while (x + 1) * (x + 1) <= n {
+        x += 1;
+    }
+    x
+}
+
+/// Exact power-of-two helper (`exp2` on an i32 without rounding concerns).
+trait Exp2I {
+    fn exp2_i(self) -> f64;
+}
+impl Exp2I for i32 {
+    fn exp2_i(self) -> f64 {
+        // f64 covers 2^±1074 comfortably beyond any posit-64 scale (±1984
+        // exceeds it!). posit64 es=3 scales reach ±496·8 = ±3968... those
+        // magnitudes exceed f64 range; split the scaling to stay finite.
+        if self > 1023 {
+            f64::INFINITY
+        } else if self < -1074 {
+            0.0
+        } else if self >= -1022 {
+            f64::from_bits(((self + 1023) as u64) << 52)
+        } else {
+            // Subnormal range: 2^self = 2^-1022 × 2^(self+1022).
+            f64::from_bits(1u64 << (52 + 1022 + self).max(0))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ArithSystem binding
+// ---------------------------------------------------------------------------
+
+/// The posit [`ArithSystem`] binding (the paper's ~350-line Universal
+/// binding). Transcendentals route through `f64`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PositCtx<const N: u32, const ES: u32>;
+
+/// 32-bit posit context.
+pub type Posit32Ctx = PositCtx<32, 2>;
+/// 64-bit posit context.
+pub type Posit64Ctx = PositCtx<64, 3>;
+
+impl<const N: u32, const ES: u32> PositCtx<N, ES> {
+    fn via_f64(&self, f: impl Fn(f64) -> f64, a: &Posit<N, ES>) -> (Posit<N, ES>, FpFlags) {
+        let x = a.to_f64();
+        let r = f(x);
+        let p = Posit::<N, ES>::from_f64(r);
+        let flags = if r.is_nan() && !x.is_nan() {
+            FpFlags::INVALID
+        } else {
+            FpFlags::INEXACT
+        };
+        (p, flags)
+    }
+}
+
+impl<const N: u32, const ES: u32> ArithSystem for PositCtx<N, ES> {
+    type Value = Posit<N, ES>;
+
+    fn name(&self) -> String {
+        format!("posit{N}es{ES}")
+    }
+
+    fn from_f64(&self, x: f64) -> Posit<N, ES> {
+        Posit::from_f64(x)
+    }
+    fn to_f64(&self, v: &Posit<N, ES>, _rm: Round) -> (f64, FpFlags) {
+        (v.to_f64(), FpFlags::NONE)
+    }
+    fn from_f32(&self, x: f32) -> Posit<N, ES> {
+        Posit::from_f64(f64::from(x))
+    }
+    fn to_f32(&self, v: &Posit<N, ES>, _rm: Round) -> (f32, FpFlags) {
+        crate::softfp::cvt_f64_to_f32(v.to_f64())
+    }
+    fn from_i32(&self, x: i32) -> (Posit<N, ES>, FpFlags) {
+        (Posit::from_f64(f64::from(x)), FpFlags::NONE)
+    }
+    fn from_i64(&self, x: i64) -> (Posit<N, ES>, FpFlags) {
+        let p = Posit::from_f64(x as f64);
+        let flags = if (x as f64) as i128 == i128::from(x) {
+            FpFlags::NONE
+        } else {
+            FpFlags::INEXACT
+        };
+        (p, flags)
+    }
+    fn to_i32(&self, v: &Posit<N, ES>) -> (i32, FpFlags) {
+        crate::softfp::cvt_f64_to_i32(v.to_f64())
+    }
+    fn to_i64(&self, v: &Posit<N, ES>) -> (i64, FpFlags) {
+        crate::softfp::cvt_f64_to_i64(v.to_f64())
+    }
+    fn from_u64(&self, x: u64) -> (Posit<N, ES>, FpFlags) {
+        (Posit::from_f64(x as f64), FpFlags::NONE)
+    }
+    fn to_u64(&self, v: &Posit<N, ES>) -> (u64, FpFlags) {
+        let x = v.to_f64();
+        if x.is_nan() || x < 0.0 {
+            return (u64::MAX, FpFlags::INVALID);
+        }
+        (x as u64, FpFlags::NONE)
+    }
+
+    fn add(&self, a: &Posit<N, ES>, b: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        a.add_p(*b)
+    }
+    fn sub(&self, a: &Posit<N, ES>, b: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        a.sub_p(*b)
+    }
+    fn mul(&self, a: &Posit<N, ES>, b: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        a.mul_p(*b)
+    }
+    fn div(&self, a: &Posit<N, ES>, b: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        a.div_p(*b)
+    }
+    fn fma(
+        &self,
+        a: &Posit<N, ES>,
+        b: &Posit<N, ES>,
+        c: &Posit<N, ES>,
+        rm: Round,
+    ) -> (Posit<N, ES>, FpFlags) {
+        // Not fused (no quire in this port — see DESIGN.md future work).
+        let (p, f1) = self.mul(a, b, rm);
+        let (s, f2) = self.add(&p, c, rm);
+        (s, f1 | f2)
+    }
+    fn sqrt(&self, a: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        a.sqrt_p()
+    }
+    fn min(&self, a: &Posit<N, ES>, b: &Posit<N, ES>) -> (Posit<N, ES>, FpFlags) {
+        match a.cmp_p(*b) {
+            CmpResult::Unordered => (*b, FpFlags::INVALID),
+            CmpResult::Less => (*a, FpFlags::NONE),
+            _ => (*b, FpFlags::NONE),
+        }
+    }
+    fn max(&self, a: &Posit<N, ES>, b: &Posit<N, ES>) -> (Posit<N, ES>, FpFlags) {
+        match a.cmp_p(*b) {
+            CmpResult::Unordered => (*b, FpFlags::INVALID),
+            CmpResult::Greater => (*a, FpFlags::NONE),
+            _ => (*b, FpFlags::NONE),
+        }
+    }
+    fn neg(&self, a: &Posit<N, ES>) -> (Posit<N, ES>, FpFlags) {
+        (a.negate(), FpFlags::NONE)
+    }
+    fn abs(&self, a: &Posit<N, ES>) -> (Posit<N, ES>, FpFlags) {
+        (a.abs_val(), FpFlags::NONE)
+    }
+
+    fn sin(&self, a: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        self.via_f64(f64::sin, a)
+    }
+    fn cos(&self, a: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        self.via_f64(f64::cos, a)
+    }
+    fn tan(&self, a: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        self.via_f64(f64::tan, a)
+    }
+    fn asin(&self, a: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        self.via_f64(f64::asin, a)
+    }
+    fn acos(&self, a: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        self.via_f64(f64::acos, a)
+    }
+    fn atan(&self, a: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        self.via_f64(f64::atan, a)
+    }
+    fn atan2(&self, y: &Posit<N, ES>, x: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        let r = y.to_f64().atan2(x.to_f64());
+        (Posit::from_f64(r), FpFlags::INEXACT)
+    }
+    fn exp(&self, a: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        self.via_f64(f64::exp, a)
+    }
+    fn log(&self, a: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        self.via_f64(f64::ln, a)
+    }
+    fn log10(&self, a: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        self.via_f64(f64::log10, a)
+    }
+    fn pow(&self, a: &Posit<N, ES>, b: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
+        let r = a.to_f64().powf(b.to_f64());
+        let flags = if r.is_nan() && !a.to_f64().is_nan() && !b.to_f64().is_nan() {
+            FpFlags::INVALID
+        } else {
+            FpFlags::INEXACT
+        };
+        (Posit::from_f64(r), flags)
+    }
+    fn floor(&self, a: &Posit<N, ES>) -> (Posit<N, ES>, FpFlags) {
+        (Posit::from_f64(a.to_f64().floor()), FpFlags::NONE)
+    }
+    fn ceil(&self, a: &Posit<N, ES>) -> (Posit<N, ES>, FpFlags) {
+        (Posit::from_f64(a.to_f64().ceil()), FpFlags::NONE)
+    }
+
+    fn cmp_quiet(&self, a: &Posit<N, ES>, b: &Posit<N, ES>) -> (CmpResult, FpFlags) {
+        (a.cmp_p(*b), FpFlags::NONE)
+    }
+    fn cmp_signaling(&self, a: &Posit<N, ES>, b: &Posit<N, ES>) -> (CmpResult, FpFlags) {
+        let r = a.cmp_p(*b);
+        let f = if r == CmpResult::Unordered {
+            FpFlags::INVALID
+        } else {
+            FpFlags::NONE
+        };
+        (r, f)
+    }
+
+    fn is_nan(&self, a: &Posit<N, ES>) -> bool {
+        a.is_nar()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_posit32_encodings() {
+        // posit32 es=2: 1.0 = 0x40000000.
+        assert_eq!(Posit32::from_f64(1.0).bits(), 0x4000_0000);
+        assert_eq!(Posit32::from_f64(-1.0).bits(), 0xC000_0000);
+        // 2.0: scale 1 → regime "10", exp "01" → 0b0_10_01_0… = 0x48000000.
+        assert_eq!(Posit32::from_f64(2.0).bits(), 0x4800_0000);
+        // 0.5: scale −1 → regime "01", exp "11" → 0b0_01_11_0… = 0x38000000.
+        assert_eq!(Posit32::from_f64(0.5).bits(), 0x3800_0000);
+        // 4.0: scale 2 → regime "10", exp "10" → 0x50000000.
+        assert_eq!(Posit32::from_f64(4.0).bits(), 0x5000_0000);
+        // 16.0: scale 4 → regime "110", exp "00" → 0x60000000.
+        assert_eq!(Posit32::from_f64(16.0).bits(), 0x6000_0000);
+        assert_eq!(Posit32::from_f64(0.0).bits(), 0);
+        assert_eq!(Posit32::from_f64(f64::NAN).bits(), 0x8000_0000);
+    }
+
+    #[test]
+    fn f64_roundtrip_exact_for_small() {
+        for x in [
+            0.0, 1.0, -1.0, 2.0, -2.0, 0.5, 1.5, 3.25, -3.25, 100.0, 1e-4,
+            12345.678,
+        ] {
+            let p = Posit32::from_f64(x);
+            let back = p.to_f64();
+            let p2 = Posit32::from_f64(back);
+            assert_eq!(p.bits(), p2.bits(), "posit32 roundtrip of {x}");
+        }
+        // Values exactly representable in posit32 roundtrip exactly.
+        for x in [1.0, 2.0, 0.5, 0.25, 3.0, 1.375] {
+            assert_eq!(Posit32::from_f64(x).to_f64(), x);
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_f64_when_exact() {
+        type P = Posit64;
+        for (a, b) in [(1.0, 2.0), (3.5, -1.25), (0.5, 0.125), (-7.0, -9.0)] {
+            let (s, f) = P::from_f64(a).add_p(P::from_f64(b));
+            assert_eq!(s.to_f64(), a + b, "{a}+{b}");
+            assert!(f.is_empty(), "{a}+{b} exact");
+            let (p, _) = P::from_f64(a).mul_p(P::from_f64(b));
+            assert_eq!(p.to_f64(), a * b, "{a}*{b}");
+        }
+        let (q, f) = P::from_f64(1.0).div_p(P::from_f64(4.0));
+        assert_eq!(q.to_f64(), 0.25);
+        assert!(f.is_empty());
+        let (q, f) = P::from_f64(1.0).div_p(P::from_f64(3.0));
+        assert!((q.to_f64() - 1.0 / 3.0).abs() < 1e-16);
+        assert!(f.contains(FpFlags::INEXACT));
+        let (s, f) = P::from_f64(9.0).sqrt_p();
+        assert_eq!(s.to_f64(), 3.0);
+        assert!(f.is_empty());
+        let (s, f) = P::from_f64(2.0).sqrt_p();
+        assert!((s.to_f64() - 2f64.sqrt()).abs() < 1e-16);
+        assert!(f.contains(FpFlags::INEXACT));
+    }
+
+    #[test]
+    fn nar_and_zero_rules() {
+        type P = Posit32;
+        let nar = P::NAR;
+        assert!(nar.is_nar());
+        assert!(nar.add_p(P::from_f64(1.0)).0.is_nar());
+        assert!(P::from_f64(1.0).div_p(P::ZERO).0.is_nar());
+        assert!(P::from_f64(-4.0).sqrt_p().0.is_nar());
+        assert!(P::from_f64(-4.0).sqrt_p().1.contains(FpFlags::INVALID));
+        // x - x = exact zero.
+        let x = P::from_f64(3.7);
+        assert!(x.sub_p(x).0.is_zero());
+        // NaR negation is NaR; zero negation is zero.
+        assert!(nar.negate().is_nar());
+        assert!(P::ZERO.negate().is_zero());
+    }
+
+    #[test]
+    fn saturation_not_overflow() {
+        type P = Posit8; // es=0: maxpos = 64, minpos = 1/64
+        let big = P::from_f64(64.0);
+        assert_eq!(big.bits(), P::maxpos().bits());
+        let (r, f) = big.mul_p(big);
+        assert_eq!(r.bits(), P::maxpos().bits(), "saturates at maxpos");
+        assert!(f.contains(FpFlags::INEXACT));
+        let tiny = P::from_f64(1.0 / 64.0);
+        let (r, _) = tiny.mul_p(tiny);
+        assert_eq!(r.bits(), P::minpos().bits(), "saturates at minpos");
+    }
+
+    #[test]
+    fn comparison_is_integer_order() {
+        type P = Posit32;
+        let vals = [-100.0, -1.0, -0.01, 0.0, 0.01, 1.0, 100.0];
+        for w in vals.windows(2) {
+            let a = P::from_f64(w[0]);
+            let b = P::from_f64(w[1]);
+            assert_eq!(a.cmp_p(b), CmpResult::Less, "{} < {}", w[0], w[1]);
+        }
+        assert_eq!(
+            P::from_f64(5.0).cmp_p(P::from_f64(5.0)),
+            CmpResult::Equal
+        );
+        assert_eq!(P::NAR.cmp_p(P::from_f64(0.0)), CmpResult::Unordered);
+    }
+
+    #[test]
+    fn posit16_tapered_precision() {
+        // Near 1.0, posit16 (es=1) has 12 fraction bits; far from 1.0 it has
+        // fewer — the tapered-accuracy property.
+        type P = Posit16;
+        let near = P::from_f64(1.0 + 1.0 / 4096.0);
+        assert_eq!(near.to_f64(), 1.0 + 1.0 / 4096.0, "exact near 1.0");
+        let far = P::from_f64(65536.0 + 16.0);
+        assert_ne!(far.to_f64(), 65536.0 + 16.0, "rounded far from 1.0");
+    }
+
+    #[test]
+    fn ctx_interface() {
+        let ctx = Posit64Ctx::default();
+        let a = ctx.from_f64(2.0);
+        let b = ctx.from_f64(3.0);
+        let (s, _) = ctx.add(&a, &b, Round::NearestEven);
+        assert_eq!(ctx.to_f64(&s, Round::NearestEven).0, 5.0);
+        let (t, f) = ctx.sin(&ctx.from_f64(0.5), Round::NearestEven);
+        assert!((ctx.to_f64(&t, Round::NearestEven).0 - 0.5f64.sin()).abs() < 1e-15);
+        assert!(f.contains(FpFlags::INEXACT));
+        assert!(ctx.is_nan(&Posit64::NAR));
+        assert_eq!(ctx.name(), "posit64es3");
+    }
+
+    #[test]
+    fn isqrt128() {
+        assert_eq!(isqrt_u128(0), 0);
+        assert_eq!(isqrt_u128(1), 1);
+        assert_eq!(isqrt_u128(15), 3);
+        assert_eq!(isqrt_u128(16), 4);
+        let big = (1u128 << 126) + 12345;
+        let s = isqrt_u128(big);
+        assert!(s * s <= big && (s + 1) * (s + 1) > big);
+    }
+}

@@ -1,0 +1,729 @@
+//! IEEE 754 double-precision operations with **exact exception-flag
+//! computation**, mirroring x64 SSE2 semantics.
+//!
+//! This module is the "hardware FPU" of the reproduction: the simulated
+//! machine uses it to execute floating point instructions and decide, per
+//! `%mxcsr`, whether an unmasked exception must fault (FPVM §4.1), and the
+//! Vanilla arithmetic system (§4.3) delegates to it so that FPVM-under-Vanilla
+//! is bit-identical to native execution (§5.2 validation).
+//!
+//! Flag detection uses error-free transformations: Knuth two-sum for
+//! addition, `fma`-based residuals for multiplication, division and square
+//! root. These are exact — `inexact` is reported iff the rounded result
+//! differs from the infinitely-precise result.
+//!
+//! One documented simplification: x64 signals *unmasked* underflow on
+//! tininess alone, while the masked flag requires tiny-and-inexact. We use
+//! tiny-and-inexact for both, which means an operation whose result is an
+//! *exact* subnormal executes natively instead of trapping. That is harmless
+//! for FPVM: no precision was lost, so there is nothing to promote.
+
+use crate::flags::FpFlags;
+
+/// x64 "QNaN floating-point indefinite" — the default NaN the hardware
+/// fabricates for invalid operations (0/0, ∞−∞, √−1, …).
+pub const QNAN_INDEFINITE: u64 = 0xFFF8_0000_0000_0000;
+
+/// Quiet-NaN bit of an `f64`.
+const QUIET_BIT: u64 = 0x0008_0000_0000_0000;
+
+/// True if `x` is a signaling NaN.
+#[inline]
+pub fn is_snan(x: f64) -> bool {
+    x.is_nan() && x.to_bits() & QUIET_BIT == 0
+}
+
+/// Quiet a NaN by setting its quiet bit (x64 behavior when an sNaN
+/// propagates through an instruction whose invalid exception is masked).
+#[inline]
+pub fn quiet(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::from_bits(x.to_bits() | QUIET_BIT)
+    } else {
+        x
+    }
+}
+
+/// Denormal-operand flag for a set of inputs (x64 `DE`).
+#[inline]
+fn denormal_in(inputs: &[f64]) -> FpFlags {
+    if inputs.iter().any(|x| x.is_subnormal()) {
+        FpFlags::DENORMAL
+    } else {
+        FpFlags::NONE
+    }
+}
+
+/// NaN propagation for two-operand SSE instructions: if the first source is
+/// a NaN it is returned (quieted), otherwise the second. `IE` iff either is
+/// signaling.
+#[inline]
+fn propagate_nan2(a: f64, b: f64) -> (f64, FpFlags) {
+    let flags = if is_snan(a) || is_snan(b) {
+        FpFlags::INVALID
+    } else {
+        FpFlags::NONE
+    };
+    let v = if a.is_nan() { quiet(a) } else { quiet(b) };
+    (v, flags)
+}
+
+/// Tiny-and-inexact underflow check on a rounded finite result.
+#[inline]
+fn underflow_of(result: f64, inexact: bool) -> FpFlags {
+    if inexact && (result == 0.0 || result.is_subnormal()) {
+        FpFlags::UNDERFLOW
+    } else {
+        FpFlags::NONE
+    }
+}
+
+/// Knuth two-sum: returns `(s, e)` with `s = fl(a + b)` and `a + b = s + e`
+/// exactly, provided no intermediate overflows (guaranteed when `s` is
+/// finite).
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Error-free product: returns `(p, e)` with `p = fl(a * b)` and
+/// `a * b = p + e` exactly (requires `p` finite; uses hardware/libm fma).
+#[inline]
+pub fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let e = a.mul_add(b, -p);
+    (p, e)
+}
+
+/// `a + b` with exact flags (x64 `addsd`).
+pub fn add(a: f64, b: f64) -> (f64, FpFlags) {
+    let mut flags = denormal_in(&[a, b]);
+    if a.is_nan() || b.is_nan() {
+        let (v, f) = propagate_nan2(a, b);
+        return (v, flags | f);
+    }
+    if a.is_infinite() && b.is_infinite() && a.signum() != b.signum() {
+        return (f64::from_bits(QNAN_INDEFINITE), flags | FpFlags::INVALID);
+    }
+    let s = a + b;
+    if s.is_infinite() && a.is_finite() && b.is_finite() {
+        return (s, flags | FpFlags::OVERFLOW | FpFlags::INEXACT);
+    }
+    if a.is_infinite() || b.is_infinite() {
+        return (s, flags);
+    }
+    let (_, e) = two_sum(a, b);
+    if e != 0.0 {
+        flags |= FpFlags::INEXACT;
+        flags |= underflow_of(s, true);
+    }
+    (s, flags)
+}
+
+/// `a - b` with exact flags (x64 `subsd`).
+pub fn sub(a: f64, b: f64) -> (f64, FpFlags) {
+    if b.is_nan() {
+        // Preserve operand-order NaN propagation: subsd propagates src1 NaN
+        // first; negating b would corrupt a propagated NaN payload.
+        let mut flags = denormal_in(&[a, b]);
+        let (v, f) = propagate_nan2(a, b);
+        flags |= f;
+        return (v, flags);
+    }
+    add(a, -b)
+}
+
+/// `a * b` with exact flags (x64 `mulsd`).
+pub fn mul(a: f64, b: f64) -> (f64, FpFlags) {
+    let mut flags = denormal_in(&[a, b]);
+    if a.is_nan() || b.is_nan() {
+        let (v, f) = propagate_nan2(a, b);
+        return (v, flags | f);
+    }
+    // 0 * inf is invalid.
+    if (a == 0.0 && b.is_infinite()) || (b == 0.0 && a.is_infinite()) {
+        return (f64::from_bits(QNAN_INDEFINITE), flags | FpFlags::INVALID);
+    }
+    let p = a * b;
+    if p.is_infinite() && a.is_finite() && b.is_finite() {
+        return (p, flags | FpFlags::OVERFLOW | FpFlags::INEXACT);
+    }
+    if a.is_infinite() || b.is_infinite() {
+        return (p, flags);
+    }
+    // Exactness via the residual in *normalized* space: the naive residual
+    // fma(a, b, -p) itself underflows to zero for deeply tiny products,
+    // silently hiding inexactness. Normalizing both operands to [0.5, 1)
+    // keeps the residual representable, and double-rounding on the way back
+    // down is caught by rescaling the result.
+    let (ma, ea) = frexp(a);
+    let (mb, eb) = frexp(b);
+    let pm = ma * mb; // in [0.25, 1): always exact exponent range
+    let e = ma.mul_add(mb, -pm);
+    let scale_back_exact = p != 0.0 && ldexp_exact_eq(p, -(ea + eb), pm, e);
+    if e != 0.0 || !scale_back_exact {
+        flags |= FpFlags::INEXACT;
+        flags |= underflow_of(p, true);
+    }
+    (p, flags)
+}
+
+/// Decompose a finite nonzero f64 into `(m, e)` with `m ∈ [0.5, 1)` and
+/// `x = m × 2^e` exactly. Returns `(0, 0)` for zero.
+fn frexp(x: f64) -> (f64, i32) {
+    if x == 0.0 {
+        return (x, 0);
+    }
+    let bits = x.to_bits();
+    let biased = ((bits >> 52) & 0x7FF) as i32;
+    if biased == 0 {
+        // Subnormal: scale up first (exact).
+        let scaled = x * 2f64.powi(64);
+        let (m, e) = frexp(scaled);
+        return (m, e - 64);
+    }
+    let e = biased - 1022;
+    let m = f64::from_bits((bits & !0x7FF0_0000_0000_0000) | (1022u64 << 52));
+    (m, e)
+}
+
+/// Check that `x × 2^shift == target` exactly. `target` is in the normal
+/// range and within a factor of two of `x × 2^shift`, so every intermediate
+/// of the chunked scaling stays finite and the scaling itself is exact.
+fn ldexp_exact_eq(x: f64, shift: i32, target: f64, err: f64) -> bool {
+    if err != 0.0 {
+        return false;
+    }
+    let mut v = x;
+    let mut s = shift;
+    while s > 1000 {
+        v *= 2f64.powi(1000);
+        s -= 1000;
+    }
+    while s < -1000 {
+        v *= 2f64.powi(-1000);
+        s += 1000;
+    }
+    v *= 2f64.powi(s);
+    v == target
+}
+
+/// `a / b` with exact flags (x64 `divsd`).
+pub fn div(a: f64, b: f64) -> (f64, FpFlags) {
+    let mut flags = denormal_in(&[a, b]);
+    if a.is_nan() || b.is_nan() {
+        let (v, f) = propagate_nan2(a, b);
+        return (v, flags | f);
+    }
+    if b == 0.0 {
+        if a == 0.0 {
+            return (f64::from_bits(QNAN_INDEFINITE), flags | FpFlags::INVALID);
+        }
+        if a.is_finite() {
+            return (a / b, flags | FpFlags::DIVZERO);
+        }
+        return (a / b, flags); // inf / 0 = inf, exact
+    }
+    if a.is_infinite() && b.is_infinite() {
+        return (f64::from_bits(QNAN_INDEFINITE), flags | FpFlags::INVALID);
+    }
+    let q = a / b;
+    if q.is_infinite() && a.is_finite() && b.is_finite() {
+        return (q, flags | FpFlags::OVERFLOW | FpFlags::INEXACT);
+    }
+    if a.is_infinite() || b.is_infinite() {
+        return (q, flags); // exact: inf/x or x/inf -> 0
+    }
+    if a == 0.0 {
+        return (q, flags); // 0 / finite-nonzero is exact.
+    }
+    // Exactness in normalized space (see mul for why the naive fma residual
+    // is unreliable near the subnormal range): a/b = (ma/mb) × 2^(ea−eb);
+    // qm = fl(ma/mb) is in (0.5, 2) so the residual fma is trustworthy, and
+    // the division is exact iff qm is exact AND q equals qm rescaled.
+    let (ma, ea) = frexp(a);
+    let (mb, eb) = frexp(b);
+    let qm = ma / mb;
+    let r = qm.mul_add(mb, -ma);
+    let exact = q != 0.0 && ldexp_exact_eq(q, -(ea - eb), qm, r);
+    if !exact {
+        flags |= FpFlags::INEXACT;
+        flags |= underflow_of(q, true);
+    }
+    (q, flags)
+}
+
+/// `sqrt(a)` with exact flags (x64 `sqrtsd`).
+pub fn sqrt(a: f64) -> (f64, FpFlags) {
+    let mut flags = denormal_in(&[a]);
+    if a.is_nan() {
+        if is_snan(a) {
+            flags |= FpFlags::INVALID;
+        }
+        return (quiet(a), flags);
+    }
+    if a < 0.0 {
+        return (f64::from_bits(QNAN_INDEFINITE), flags | FpFlags::INVALID);
+    }
+    if a == 0.0 || a.is_infinite() {
+        return (a, flags); // ±0 -> ±0, +inf -> +inf, exact
+    }
+    let r = a.sqrt();
+    let e = r.mul_add(r, -a);
+    if e != 0.0 {
+        flags |= FpFlags::INEXACT;
+    }
+    (r, flags)
+}
+
+/// x64 `minsd`: `a < b ? a : b`; if either operand is any NaN, or both are
+/// zeros, the **second** source is returned; invalid is signaled on any NaN.
+pub fn min(a: f64, b: f64) -> (f64, FpFlags) {
+    let mut flags = denormal_in(&[a, b]);
+    if a.is_nan() || b.is_nan() {
+        flags |= FpFlags::INVALID;
+        return (b, flags);
+    }
+    (if a < b { a } else { b }, flags)
+}
+
+/// x64 `maxsd`: `a > b ? a : b`; NaN/zero handling as [`min`].
+pub fn max(a: f64, b: f64) -> (f64, FpFlags) {
+    let mut flags = denormal_in(&[a, b]);
+    if a.is_nan() || b.is_nan() {
+        flags |= FpFlags::INVALID;
+        return (b, flags);
+    }
+    (if a > b { a } else { b }, flags)
+}
+
+/// Fused multiply-add `a*b + c` with conservative flag detection.
+///
+/// Exactness detection for a fused operation needs wider arithmetic than
+/// `f64`; we over-approximate: `inexact` may be reported for a handful of
+/// exactly-cancelling cases. Over-reporting only causes a spurious trap whose
+/// emulation still produces the correct value, so correctness is preserved.
+pub fn fma(a: f64, b: f64, c: f64) -> (f64, FpFlags) {
+    let mut flags = denormal_in(&[a, b, c]);
+    if a.is_nan() || b.is_nan() || c.is_nan() {
+        if is_snan(a) || is_snan(b) || is_snan(c) {
+            flags |= FpFlags::INVALID;
+        }
+        let v = if a.is_nan() {
+            quiet(a)
+        } else if b.is_nan() {
+            quiet(b)
+        } else {
+            quiet(c)
+        };
+        return (v, flags);
+    }
+    if (a == 0.0 && b.is_infinite()) || (b == 0.0 && a.is_infinite()) {
+        return (f64::from_bits(QNAN_INDEFINITE), flags | FpFlags::INVALID);
+    }
+    let r = a.mul_add(b, c);
+    if r.is_nan() {
+        // inf*x + (-inf) style cancellation.
+        return (f64::from_bits(QNAN_INDEFINITE), flags | FpFlags::INVALID);
+    }
+    if r.is_infinite() {
+        if a.is_finite() && b.is_finite() && c.is_finite() {
+            flags |= FpFlags::OVERFLOW | FpFlags::INEXACT;
+        }
+        return (r, flags);
+    }
+    if a.is_infinite() || b.is_infinite() || c.is_infinite() {
+        return (r, flags);
+    }
+    let (p, e1) = two_prod(a, b);
+    if p.is_infinite() {
+        // Intermediate product overflowed f64 but the fused result is
+        // finite; certainly inexact detection is unreliable — report it.
+        flags |= FpFlags::INEXACT;
+        return (r, flags);
+    }
+    let (_, e2) = two_sum(p, c);
+    if e1 != 0.0 || e2 != 0.0 {
+        flags |= FpFlags::INEXACT;
+        flags |= underflow_of(r, true);
+    }
+    (r, flags)
+}
+
+/// Result of an SSE compare (`ucomisd` / `comisd`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpResult {
+    /// a < b  →  ZF=0 PF=0 CF=1
+    Less,
+    /// a = b  →  ZF=1 PF=0 CF=0
+    Equal,
+    /// a > b  →  ZF=0 PF=0 CF=0
+    Greater,
+    /// unordered (NaN involved)  →  ZF=1 PF=1 CF=1
+    Unordered,
+}
+
+/// x64 `ucomisd`: quiet compare — `IE` only on signaling NaN.
+pub fn ucomi(a: f64, b: f64) -> (CmpResult, FpFlags) {
+    let mut flags = denormal_in(&[a, b]);
+    if a.is_nan() || b.is_nan() {
+        if is_snan(a) || is_snan(b) {
+            flags |= FpFlags::INVALID;
+        }
+        return (CmpResult::Unordered, flags);
+    }
+    let r = if a < b {
+        CmpResult::Less
+    } else if a > b {
+        CmpResult::Greater
+    } else {
+        CmpResult::Equal
+    };
+    (r, flags)
+}
+
+/// x64 `comisd`: signaling compare — `IE` on *any* NaN.
+pub fn comi(a: f64, b: f64) -> (CmpResult, FpFlags) {
+    let (r, mut flags) = ucomi(a, b);
+    if r == CmpResult::Unordered {
+        flags |= FpFlags::INVALID;
+    }
+    (r, flags)
+}
+
+/// x64 `cvtsi2sd` from i64: `PE` if the integer is not representable.
+pub fn cvt_i64_to_f64(x: i64) -> (f64, FpFlags) {
+    let r = x as f64;
+    // r is integer-valued and |r| <= 2^63, so the i128 comparison is exact.
+    let flags = if r as i128 == x as i128 {
+        FpFlags::NONE
+    } else {
+        FpFlags::INEXACT
+    };
+    (r, flags)
+}
+
+/// x64 `cvtsi2sd` from i32: always exact.
+pub fn cvt_i32_to_f64(x: i32) -> (f64, FpFlags) {
+    (x as f64, FpFlags::NONE)
+}
+
+/// x64 `cvttsd2si` (truncating) to i64: `IE` on NaN or out-of-range (result
+/// is the "integer indefinite" 0x8000…0000), `PE` if fractional.
+pub fn cvt_f64_to_i64(a: f64) -> (i64, FpFlags) {
+    let mut flags = denormal_in(&[a]);
+    if a.is_nan() || !(-9.223372036854776e18..9.223372036854776e18).contains(&a) {
+        return (i64::MIN, flags | FpFlags::INVALID);
+    }
+    let t = a.trunc();
+    if t != a {
+        flags |= FpFlags::INEXACT;
+    }
+    (t as i64, flags)
+}
+
+/// x64 `cvttsd2si` (truncating) to i32.
+pub fn cvt_f64_to_i32(a: f64) -> (i32, FpFlags) {
+    let mut flags = denormal_in(&[a]);
+    if a.is_nan() || !(-2147483649.0..2147483648.0).contains(&a) {
+        return (i32::MIN, flags | FpFlags::INVALID);
+    }
+    let t = a.trunc();
+    if t != a {
+        flags |= FpFlags::INEXACT;
+    }
+    (t as i32, flags)
+}
+
+/// x64 `cvtsd2ss`: narrow to f32 with full flag detection.
+pub fn cvt_f64_to_f32(a: f64) -> (f32, FpFlags) {
+    let mut flags = denormal_in(&[a]);
+    if a.is_nan() {
+        if is_snan(a) {
+            flags |= FpFlags::INVALID;
+        }
+        return (quiet(a) as f32, flags);
+    }
+    let r = a as f32;
+    if r.is_infinite() && a.is_finite() {
+        return (r, flags | FpFlags::OVERFLOW | FpFlags::INEXACT);
+    }
+    if f64::from(r) != a {
+        flags |= FpFlags::INEXACT;
+        if r == 0.0 || r.is_subnormal() {
+            flags |= FpFlags::UNDERFLOW;
+        }
+    }
+    (r, flags)
+}
+
+/// x64 `cvtss2sd`: widen to f64 — always exact, `IE` on signaling NaN input.
+pub fn cvt_f32_to_f64(a: f32) -> (f64, FpFlags) {
+    let mut flags = FpFlags::NONE;
+    if a.is_subnormal() {
+        flags |= FpFlags::DENORMAL;
+    }
+    if a.is_nan() && a.to_bits() & 0x0040_0000 == 0 {
+        flags |= FpFlags::INVALID;
+        return (quiet(f64::from(a)), flags);
+    }
+    (f64::from(a), flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(v: f64, got: (f64, FpFlags)) {
+        assert_eq!(got.0.to_bits(), v.to_bits(), "value mismatch");
+        assert_eq!(got.1, FpFlags::NONE, "expected exact, got {}", got.1);
+    }
+
+    #[test]
+    fn add_exact_and_inexact() {
+        exact(3.0, add(1.0, 2.0));
+        exact(0.75, add(0.5, 0.25));
+        let (v, f) = add(1.0, 1e-30);
+        assert_eq!(v, 1.0 + 1e-30);
+        assert!(f.contains(FpFlags::INEXACT));
+        assert!(!f.contains(FpFlags::UNDERFLOW));
+        // 0.1 + 0.2 rounds.
+        let (_, f) = add(0.1, 0.2);
+        assert!(f.contains(FpFlags::INEXACT));
+    }
+
+    #[test]
+    fn add_overflow() {
+        let (v, f) = add(f64::MAX, f64::MAX);
+        assert!(v.is_infinite());
+        assert!(f.contains(FpFlags::OVERFLOW | FpFlags::INEXACT));
+    }
+
+    #[test]
+    fn add_inf_nan() {
+        let (v, f) = add(f64::INFINITY, f64::NEG_INFINITY);
+        assert!(v.is_nan());
+        assert!(f.contains(FpFlags::INVALID));
+        let (v, f) = add(f64::INFINITY, 1.0);
+        assert!(v.is_infinite());
+        assert!(f.is_empty());
+        let (v, f) = add(f64::NAN, 1.0);
+        assert!(v.is_nan());
+        assert!(f.is_empty(), "quiet NaN must not raise IE");
+        let snan = f64::from_bits(0x7FF0_0000_0000_0001);
+        let (v, f) = add(snan, 1.0);
+        assert!(v.is_nan());
+        assert!(!is_snan(v), "result must be quieted");
+        assert!(f.contains(FpFlags::INVALID));
+    }
+
+    #[test]
+    fn sub_matches_host() {
+        for (a, b) in [(5.0, 3.0), (0.1, 0.2), (1e300, -1e300), (0.0, -0.0)] {
+            let (v, _) = sub(a, b);
+            assert_eq!(v.to_bits(), (a - b).to_bits());
+        }
+    }
+
+    #[test]
+    fn mul_flags() {
+        exact(6.0, mul(2.0, 3.0));
+        exact(0.25, mul(0.5, 0.5));
+        let (_, f) = mul(0.1, 0.1);
+        assert!(f.contains(FpFlags::INEXACT));
+        let (v, f) = mul(1e200, 1e200);
+        assert!(v.is_infinite());
+        assert!(f.contains(FpFlags::OVERFLOW));
+        let (v, f) = mul(1e-200, 1e-200);
+        assert_eq!(v, 0.0);
+        assert!(f.contains(FpFlags::UNDERFLOW | FpFlags::INEXACT));
+        let (v, f) = mul(0.0, f64::INFINITY);
+        assert!(v.is_nan());
+        assert!(f.contains(FpFlags::INVALID));
+    }
+
+    #[test]
+    fn mul_subnormal_underflow() {
+        // 2^-1000 * 2^-100 = 2^-1100: subnormal and inexact? 2^-1100 has
+        // a single-bit mantissa; as a subnormal it is representable exactly
+        // (min subnormal is 2^-1074), so NO underflow flag (exact result).
+        let (v, f) = mul(2f64.powi(-1000), 2f64.powi(-74));
+        assert_eq!(v, f64::from_bits(1), "min subnormal");
+        assert!(f.is_empty(), "exact subnormal result: {f}");
+        // But 3 * 2^-1074 / 2 style rounding in subnormal range is inexact.
+        let (_, f) = mul(3.0 * 2f64.powi(-1074), 0.4);
+        assert!(f.contains(FpFlags::INEXACT));
+    }
+
+    #[test]
+    fn div_flags() {
+        exact(2.0, div(6.0, 3.0));
+        exact(0.5, div(1.0, 2.0));
+        let (_, f) = div(1.0, 3.0);
+        assert!(f.contains(FpFlags::INEXACT));
+        let (v, f) = div(1.0, 0.0);
+        assert!(v.is_infinite());
+        assert!(f.contains(FpFlags::DIVZERO));
+        assert!(!f.contains(FpFlags::INVALID));
+        let (v, f) = div(0.0, 0.0);
+        assert!(v.is_nan());
+        assert!(f.contains(FpFlags::INVALID));
+        let (v, f) = div(f64::INFINITY, f64::INFINITY);
+        assert!(v.is_nan());
+        assert!(f.contains(FpFlags::INVALID));
+        let (v, f) = div(1.0, f64::INFINITY);
+        assert_eq!(v, 0.0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn sqrt_flags() {
+        exact(3.0, sqrt(9.0));
+        exact(0.5, sqrt(0.25));
+        let (_, f) = sqrt(2.0);
+        assert!(f.contains(FpFlags::INEXACT));
+        let (v, f) = sqrt(-1.0);
+        assert!(v.is_nan());
+        assert!(f.contains(FpFlags::INVALID));
+        exact(0.0, sqrt(0.0));
+        let (v, f) = sqrt(-0.0);
+        assert_eq!(v.to_bits(), (-0.0f64).to_bits());
+        assert!(f.is_empty());
+        let (v, f) = sqrt(f64::INFINITY);
+        assert!(v.is_infinite());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn minmax_semantics() {
+        assert_eq!(min(1.0, 2.0).0, 1.0);
+        assert_eq!(max(1.0, 2.0).0, 2.0);
+        // x64: NaN in either operand returns the SECOND operand + IE.
+        let (v, f) = min(f64::NAN, 2.0);
+        assert_eq!(v, 2.0);
+        assert!(f.contains(FpFlags::INVALID));
+        let (v, f) = min(2.0, f64::NAN);
+        assert!(v.is_nan());
+        assert!(f.contains(FpFlags::INVALID));
+        // min(+0, -0) returns the second operand.
+        assert_eq!(min(0.0, -0.0).0.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn compare_semantics() {
+        assert_eq!(ucomi(1.0, 2.0).0, CmpResult::Less);
+        assert_eq!(ucomi(2.0, 1.0).0, CmpResult::Greater);
+        assert_eq!(ucomi(1.0, 1.0).0, CmpResult::Equal);
+        assert_eq!(ucomi(0.0, -0.0).0, CmpResult::Equal);
+        let (r, f) = ucomi(f64::NAN, 1.0);
+        assert_eq!(r, CmpResult::Unordered);
+        assert!(f.is_empty(), "ucomisd must not signal on quiet NaN");
+        let snan = f64::from_bits(0x7FF0_0000_0000_0001);
+        let (r, f) = ucomi(snan, 1.0);
+        assert_eq!(r, CmpResult::Unordered);
+        assert!(f.contains(FpFlags::INVALID));
+        let (r, f) = comi(f64::NAN, 1.0);
+        assert_eq!(r, CmpResult::Unordered);
+        assert!(f.contains(FpFlags::INVALID), "comisd signals on any NaN");
+    }
+
+    #[test]
+    fn conversions() {
+        exact_i(5, cvt_f64_to_i64(5.0));
+        let (v, f) = cvt_f64_to_i64(5.5);
+        assert_eq!(v, 5);
+        assert!(f.contains(FpFlags::INEXACT));
+        let (v, f) = cvt_f64_to_i64(-5.5);
+        assert_eq!(v, -5);
+        assert!(f.contains(FpFlags::INEXACT));
+        let (v, f) = cvt_f64_to_i64(f64::NAN);
+        assert_eq!(v, i64::MIN);
+        assert!(f.contains(FpFlags::INVALID));
+        let (v, f) = cvt_f64_to_i64(1e19);
+        assert_eq!(v, i64::MIN);
+        assert!(f.contains(FpFlags::INVALID));
+        // i64::MIN is exactly representable and in range.
+        let (v, f) = cvt_f64_to_i64(-9.223372036854776e18);
+        assert_eq!(v, i64::MIN);
+        assert!(f.is_empty());
+
+        let (v, f) = cvt_i64_to_f64(1 << 54);
+        assert_eq!(v, (1u64 << 54) as f64);
+        assert!(f.is_empty(), "2^54 is exactly representable");
+        let (_, f) = cvt_i64_to_f64((1 << 54) + 1);
+        assert!(f.contains(FpFlags::INEXACT));
+        assert_eq!(cvt_i32_to_f64(i32::MAX), (2147483647.0, FpFlags::NONE));
+
+        let (v, f) = cvt_f64_to_f32(1.5);
+        assert_eq!(v, 1.5f32);
+        assert!(f.is_empty());
+        let (_, f) = cvt_f64_to_f32(0.1);
+        assert!(f.contains(FpFlags::INEXACT));
+        let (v, f) = cvt_f64_to_f32(1e300);
+        assert!(v.is_infinite());
+        assert!(f.contains(FpFlags::OVERFLOW));
+        let (v, f) = cvt_f64_to_f32(1e-300);
+        assert!(v == 0.0 || v.is_subnormal());
+        assert!(f.contains(FpFlags::UNDERFLOW | FpFlags::INEXACT));
+        let (v, f) = cvt_f32_to_f64(1.5f32);
+        assert_eq!(v, 1.5);
+        assert!(f.is_empty());
+    }
+
+    fn exact_i(v: i64, got: (i64, FpFlags)) {
+        assert_eq!(got.0, v);
+        assert_eq!(got.1, FpFlags::NONE);
+    }
+
+    #[test]
+    fn fma_basic() {
+        let (v, f) = fma(2.0, 3.0, 4.0);
+        assert_eq!(v, 10.0);
+        assert!(f.is_empty());
+        let (v, f) = fma(0.1, 0.1, 0.0);
+        assert_eq!(v, 0.1f64.mul_add(0.1, 0.0));
+        assert!(f.contains(FpFlags::INEXACT));
+        let (v, f) = fma(f64::INFINITY, 0.0, 1.0);
+        assert!(v.is_nan());
+        assert!(f.contains(FpFlags::INVALID));
+    }
+
+    #[test]
+    fn denormal_flag() {
+        let tiny = f64::from_bits(1);
+        let (_, f) = add(tiny, 1.0);
+        assert!(f.contains(FpFlags::DENORMAL));
+        let (_, f) = mul(tiny, 2.0);
+        assert!(f.contains(FpFlags::DENORMAL));
+    }
+
+    #[test]
+    fn values_always_match_host() {
+        // The value channel must agree with host IEEE arithmetic bit-for-bit
+        // on a grid of interesting operands.
+        let xs = [
+            0.0, -0.0, 1.0, -1.0, 0.1, 0.5, 3.5, 1e-300, 1e300, f64::MAX,
+            f64::MIN_POSITIVE, f64::INFINITY, f64::NEG_INFINITY,
+        ];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(add(a, b).0.to_bits(), (a + b).to_bits());
+                assert_eq!(sub(a, b).0.to_bits(), (a - b).to_bits());
+                if !((a == 0.0 && b.is_infinite()) || (b == 0.0 && a.is_infinite())) {
+                    assert_eq!(mul(a, b).0.to_bits(), (a * b).to_bits());
+                }
+                let host_div = a / b;
+                if !host_div.is_nan() {
+                    assert_eq!(div(a, b).0.to_bits(), host_div.to_bits());
+                }
+            }
+            let host_sqrt = a.sqrt();
+            if !host_sqrt.is_nan() {
+                assert_eq!(sqrt(a).0.to_bits(), host_sqrt.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The alternative arithmetic interface (FPVM §4.3).
+//!
+//! The paper's interface consists of exactly **37 scalar functions** — 23
+//! arithmetic operations, 10 conversions, and 4 comparisons — plus memory
+//! management (provided here by [`crate::arena::ShadowArena`], which FPVM
+//! owns on behalf of the arithmetic system). The emulator handles vector
+//! instructions by calling the scalar functions once per lane, so nothing in
+//! this trait is lane-aware.
+//!
+//! Conversions and comparisons are "the hairiest part of the interface"
+//! because they must match implicit inputs (rounding mode) and outputs
+//! (flags register); every method therefore takes a [`Round`] where relevant
+//! and returns the [`FpFlags`] the equivalent hardware instruction would
+//! have produced, so the runtime can reflect them into the guest `%mxcsr`
+//! and `%rflags`.
+
+use crate::flags::{FpFlags, Round};
+use crate::softfp::CmpResult;
+
+/// A pluggable alternative arithmetic system.
+///
+/// Implementations in this crate: [`crate::vanilla::Vanilla`] (IEEE f64
+/// re-implemented in software — validation), [`crate::bigfloat::BigFloatCtx`]
+/// (arbitrary-precision binary floating point — the MPFR stand-in) and
+/// [`crate::posit::PositCtx`] (posit arithmetic).
+pub trait ArithSystem: Send + Sync {
+    /// The shadow-value representation.
+    type Value: Clone + Send + Sync + std::fmt::Debug + 'static;
+
+    /// Human-readable system name ("vanilla", "bigfloat200", "posit64", …).
+    fn name(&self) -> String;
+
+    // ---- conversions (10) ------------------------------------------------
+
+    /// Promote an IEEE double into the system.
+    fn from_f64(&self, x: f64) -> Self::Value;
+    /// Demote to an IEEE double (used when a shadowed value must escape:
+    /// printf, serialization, correctness traps).
+    fn to_f64(&self, v: &Self::Value, rm: Round) -> (f64, FpFlags);
+    /// Promote an IEEE single.
+    fn from_f32(&self, x: f32) -> Self::Value;
+    /// Demote to an IEEE single.
+    fn to_f32(&self, v: &Self::Value, rm: Round) -> (f32, FpFlags);
+    /// Convert from a 32-bit signed integer (`cvtsi2sd` semantics).
+    fn from_i32(&self, x: i32) -> (Self::Value, FpFlags);
+    /// Convert from a 64-bit signed integer.
+    fn from_i64(&self, x: i64) -> (Self::Value, FpFlags);
+    /// Truncating conversion to i32 (`cvttsd2si` semantics: `IE` + integer
+    /// indefinite on NaN / out of range).
+    fn to_i32(&self, v: &Self::Value) -> (i32, FpFlags);
+    /// Truncating conversion to i64.
+    fn to_i64(&self, v: &Self::Value) -> (i64, FpFlags);
+    /// Convert from a 64-bit unsigned integer.
+    fn from_u64(&self, x: u64) -> (Self::Value, FpFlags);
+    /// Truncating conversion to u64.
+    fn to_u64(&self, v: &Self::Value) -> (u64, FpFlags);
+
+    // ---- arithmetic (23) -------------------------------------------------
+
+    /// Addition.
+    fn add(&self, a: &Self::Value, b: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Subtraction.
+    fn sub(&self, a: &Self::Value, b: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Multiplication.
+    fn mul(&self, a: &Self::Value, b: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Division.
+    fn div(&self, a: &Self::Value, b: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Fused multiply-add `a*b + c`.
+    fn fma(&self, a: &Self::Value, b: &Self::Value, c: &Self::Value, rm: Round)
+        -> (Self::Value, FpFlags);
+    /// Square root.
+    fn sqrt(&self, a: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Minimum with x64 `minsd` operand semantics.
+    fn min(&self, a: &Self::Value, b: &Self::Value) -> (Self::Value, FpFlags);
+    /// Maximum with x64 `maxsd` operand semantics.
+    fn max(&self, a: &Self::Value, b: &Self::Value) -> (Self::Value, FpFlags);
+    /// Negation (exact).
+    fn neg(&self, a: &Self::Value) -> (Self::Value, FpFlags);
+    /// Absolute value (exact).
+    fn abs(&self, a: &Self::Value) -> (Self::Value, FpFlags);
+    /// Sine.
+    fn sin(&self, a: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Cosine.
+    fn cos(&self, a: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Tangent.
+    fn tan(&self, a: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Arcsine.
+    fn asin(&self, a: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Arccosine.
+    fn acos(&self, a: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Arctangent.
+    fn atan(&self, a: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Two-argument arctangent.
+    fn atan2(&self, y: &Self::Value, x: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Natural exponential.
+    fn exp(&self, a: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Natural logarithm.
+    fn log(&self, a: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Base-10 logarithm.
+    fn log10(&self, a: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Power `a^b`.
+    fn pow(&self, a: &Self::Value, b: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
+    /// Round toward −∞ to an integral value (exact).
+    fn floor(&self, a: &Self::Value) -> (Self::Value, FpFlags);
+    /// Round toward +∞ to an integral value (exact).
+    fn ceil(&self, a: &Self::Value) -> (Self::Value, FpFlags);
+
+    // ---- comparisons (4) -------------------------------------------------
+
+    /// Quiet compare (`ucomisd`): `IE` only on signaling/NaR inputs.
+    fn cmp_quiet(&self, a: &Self::Value, b: &Self::Value) -> (CmpResult, FpFlags);
+    /// Signaling compare (`comisd`): `IE` on any unordered input.
+    fn cmp_signaling(&self, a: &Self::Value, b: &Self::Value) -> (CmpResult, FpFlags);
+    /// Equality test (quiet; unordered compares unequal).
+    fn cmp_eq(&self, a: &Self::Value, b: &Self::Value) -> (bool, FpFlags) {
+        let (r, f) = self.cmp_quiet(a, b);
+        (r == CmpResult::Equal, f)
+    }
+    /// Unordered test: true if either operand is NaN/NaR.
+    fn is_unordered(&self, a: &Self::Value, b: &Self::Value) -> (bool, FpFlags) {
+        let (r, f) = self.cmp_quiet(a, b);
+        (r == CmpResult::Unordered, f)
+    }
+
+    /// True if the value is the system's NaN/NaR ("universal NaN", §2).
+    fn is_nan(&self, a: &Self::Value) -> bool {
+        matches!(self.cmp_quiet(a, a), (CmpResult::Unordered, _))
+    }
+
+    /// Render a value for the output wrapper (printf interposition, §2
+    /// "printing problem"). Default renders the demoted double.
+    fn render(&self, v: &Self::Value) -> String {
+        let (x, _) = self.to_f64(v, Round::NearestEven);
+        format!("{x:?}")
+    }
+}
+
+/// The scalar operation vocabulary of the emulator: the "hundreds of
+/// different x64 floating point instructions flatten down to about 40
+/// operation types" (§4.1). The emulator maps each decoded instruction to
+/// one of these and dispatches through an `op_map` to the [`ArithSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ScalarOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Fma,
+    Sqrt,
+    Min,
+    Max,
+    Neg,
+    Abs,
+    Sin,
+    Cos,
+    Tan,
+    Asin,
+    Acos,
+    Atan,
+    Atan2,
+    Exp,
+    Log,
+    Log10,
+    Pow,
+    Floor,
+    Ceil,
+    CmpQuiet,
+    CmpSignaling,
+    CvtI32ToF,
+    CvtI64ToF,
+    CvtFToI32,
+    CvtFToI64,
+    CvtFToF32,
+    CvtF32ToF,
+    Mov,
+}
+
+impl ScalarOp {
+    /// Number of floating-point input operands the op consumes.
+    pub fn arity(self) -> usize {
+        use ScalarOp::*;
+        match self {
+            Fma => 3,
+            Add | Sub | Mul | Div | Min | Max | Atan2 | Pow | CmpQuiet | CmpSignaling => 2,
+            _ => 1,
+        }
+    }
+}

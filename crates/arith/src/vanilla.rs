@@ -1,0 +1,224 @@
+//! The **Vanilla** arithmetic system (§4.3): IEEE 64-bit floating point
+//! re-implemented in software.
+//!
+//! "The primary purpose of Vanilla is to allow us to test the other elements
+//! of FPVM independently. If FPVM is working correctly, then Vanilla should
+//! produce the identical results to running without FPVM." — §4.3.
+//!
+//! Every operation delegates to [`crate::softfp`], which computes both the
+//! bit-exact IEEE result and the exact exception flags, so a program
+//! virtualized onto Vanilla is bit-identical to native execution (§5.2).
+
+use crate::flags::{FpFlags, Round};
+use crate::softfp::{self, CmpResult};
+use crate::system::ArithSystem;
+
+/// The Vanilla system. Zero-sized; `Value = f64`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Vanilla;
+
+/// Flags for a libm-style transcendental: inexact unless the result is
+/// trivially exact, invalid on NaN-producing domain errors.
+fn libm_flags(input_nan: bool, result: f64, exact: bool) -> FpFlags {
+    if result.is_nan() && !input_nan {
+        FpFlags::INVALID
+    } else if exact {
+        FpFlags::NONE
+    } else {
+        FpFlags::INEXACT
+    }
+}
+
+impl ArithSystem for Vanilla {
+    type Value = f64;
+
+    fn name(&self) -> String {
+        "vanilla".to_string()
+    }
+
+    fn from_f64(&self, x: f64) -> f64 {
+        x
+    }
+    fn to_f64(&self, v: &f64, _rm: Round) -> (f64, FpFlags) {
+        (*v, FpFlags::NONE)
+    }
+    fn from_f32(&self, x: f32) -> f64 {
+        softfp::cvt_f32_to_f64(x).0
+    }
+    fn to_f32(&self, v: &f64, _rm: Round) -> (f32, FpFlags) {
+        softfp::cvt_f64_to_f32(*v)
+    }
+    fn from_i32(&self, x: i32) -> (f64, FpFlags) {
+        softfp::cvt_i32_to_f64(x)
+    }
+    fn from_i64(&self, x: i64) -> (f64, FpFlags) {
+        softfp::cvt_i64_to_f64(x)
+    }
+    fn to_i32(&self, v: &f64) -> (i32, FpFlags) {
+        softfp::cvt_f64_to_i32(*v)
+    }
+    fn to_i64(&self, v: &f64) -> (i64, FpFlags) {
+        softfp::cvt_f64_to_i64(*v)
+    }
+    fn from_u64(&self, x: u64) -> (f64, FpFlags) {
+        let r = x as f64;
+        let flags = if r as u128 == x as u128 {
+            FpFlags::NONE
+        } else {
+            FpFlags::INEXACT
+        };
+        (r, flags)
+    }
+    fn to_u64(&self, v: &f64) -> (u64, FpFlags) {
+        let a = *v;
+        if a.is_nan() || !(0.0..1.8446744073709552e19).contains(&a) {
+            return (u64::MAX, FpFlags::INVALID);
+        }
+        let t = a.trunc();
+        let flags = if t != a { FpFlags::INEXACT } else { FpFlags::NONE };
+        (t as u64, flags)
+    }
+
+    fn add(&self, a: &f64, b: &f64, _rm: Round) -> (f64, FpFlags) {
+        softfp::add(*a, *b)
+    }
+    fn sub(&self, a: &f64, b: &f64, _rm: Round) -> (f64, FpFlags) {
+        softfp::sub(*a, *b)
+    }
+    fn mul(&self, a: &f64, b: &f64, _rm: Round) -> (f64, FpFlags) {
+        softfp::mul(*a, *b)
+    }
+    fn div(&self, a: &f64, b: &f64, _rm: Round) -> (f64, FpFlags) {
+        softfp::div(*a, *b)
+    }
+    fn fma(&self, a: &f64, b: &f64, c: &f64, _rm: Round) -> (f64, FpFlags) {
+        softfp::fma(*a, *b, *c)
+    }
+    fn sqrt(&self, a: &f64, _rm: Round) -> (f64, FpFlags) {
+        softfp::sqrt(*a)
+    }
+    fn min(&self, a: &f64, b: &f64) -> (f64, FpFlags) {
+        softfp::min(*a, *b)
+    }
+    fn max(&self, a: &f64, b: &f64) -> (f64, FpFlags) {
+        softfp::max(*a, *b)
+    }
+    fn neg(&self, a: &f64) -> (f64, FpFlags) {
+        (-*a, FpFlags::NONE)
+    }
+    fn abs(&self, a: &f64) -> (f64, FpFlags) {
+        (a.abs(), FpFlags::NONE)
+    }
+
+    fn sin(&self, a: &f64, _rm: Round) -> (f64, FpFlags) {
+        let r = a.sin();
+        (r, libm_flags(a.is_nan(), r, *a == 0.0))
+    }
+    fn cos(&self, a: &f64, _rm: Round) -> (f64, FpFlags) {
+        let r = a.cos();
+        (r, libm_flags(a.is_nan(), r, false))
+    }
+    fn tan(&self, a: &f64, _rm: Round) -> (f64, FpFlags) {
+        let r = a.tan();
+        (r, libm_flags(a.is_nan(), r, *a == 0.0))
+    }
+    fn asin(&self, a: &f64, _rm: Round) -> (f64, FpFlags) {
+        let r = a.asin();
+        (r, libm_flags(a.is_nan(), r, *a == 0.0))
+    }
+    fn acos(&self, a: &f64, _rm: Round) -> (f64, FpFlags) {
+        let r = a.acos();
+        (r, libm_flags(a.is_nan(), r, false))
+    }
+    fn atan(&self, a: &f64, _rm: Round) -> (f64, FpFlags) {
+        let r = a.atan();
+        (r, libm_flags(a.is_nan(), r, *a == 0.0))
+    }
+    fn atan2(&self, y: &f64, x: &f64, _rm: Round) -> (f64, FpFlags) {
+        let r = y.atan2(*x);
+        (r, libm_flags(y.is_nan() || x.is_nan(), r, false))
+    }
+    fn exp(&self, a: &f64, _rm: Round) -> (f64, FpFlags) {
+        let r = a.exp();
+        (r, libm_flags(a.is_nan(), r, *a == 0.0))
+    }
+    fn log(&self, a: &f64, _rm: Round) -> (f64, FpFlags) {
+        let r = a.ln();
+        (r, libm_flags(a.is_nan(), r, *a == 1.0))
+    }
+    fn log10(&self, a: &f64, _rm: Round) -> (f64, FpFlags) {
+        let r = a.log10();
+        (r, libm_flags(a.is_nan(), r, *a == 1.0))
+    }
+    fn pow(&self, a: &f64, b: &f64, _rm: Round) -> (f64, FpFlags) {
+        let r = a.powf(*b);
+        (r, libm_flags(a.is_nan() || b.is_nan(), r, *b == 0.0 || *b == 1.0))
+    }
+    fn floor(&self, a: &f64) -> (f64, FpFlags) {
+        (a.floor(), FpFlags::NONE)
+    }
+    fn ceil(&self, a: &f64) -> (f64, FpFlags) {
+        (a.ceil(), FpFlags::NONE)
+    }
+
+    fn cmp_quiet(&self, a: &f64, b: &f64) -> (CmpResult, FpFlags) {
+        softfp::ucomi(*a, *b)
+    }
+    fn cmp_signaling(&self, a: &f64, b: &f64) -> (CmpResult, FpFlags) {
+        softfp::comi(*a, *b)
+    }
+
+    fn is_nan(&self, a: &f64) -> bool {
+        a.is_nan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_matches_host_bits() {
+        let v = Vanilla;
+        let rm = Round::NearestEven;
+        let xs = [0.1, 0.2, 1.5, -3.75, 1e100, -1e-100, 0.0];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(v.add(&a, &b, rm).0.to_bits(), (a + b).to_bits());
+                assert_eq!(v.sub(&a, &b, rm).0.to_bits(), (a - b).to_bits());
+                assert_eq!(v.mul(&a, &b, rm).0.to_bits(), (a * b).to_bits());
+                if b != 0.0 {
+                    assert_eq!(v.div(&a, &b, rm).0.to_bits(), (a / b).to_bits());
+                }
+            }
+            assert_eq!(v.sin(&a, rm).0.to_bits(), a.sin().to_bits());
+            assert_eq!(v.cos(&a, rm).0.to_bits(), a.cos().to_bits());
+            assert_eq!(v.exp(&a, rm).0.to_bits(), a.exp().to_bits());
+        }
+    }
+
+    #[test]
+    fn transcendental_flags() {
+        let v = Vanilla;
+        let rm = Round::NearestEven;
+        // sin(0) is exact.
+        assert_eq!(v.sin(&0.0, rm).1, FpFlags::NONE);
+        // sin(1) is inexact.
+        assert!(v.sin(&1.0, rm).1.contains(FpFlags::INEXACT));
+        // log(-1) is a domain error.
+        assert!(v.log(&-1.0, rm).1.contains(FpFlags::INVALID));
+        // sqrt via the arith interface.
+        assert!(v.sqrt(&-1.0, rm).1.contains(FpFlags::INVALID));
+    }
+
+    #[test]
+    fn u64_conversions() {
+        let v = Vanilla;
+        assert_eq!(v.from_u64(16).0, 16.0);
+        assert_eq!(v.from_u64(16).1, FpFlags::NONE);
+        assert!(v.from_u64(u64::MAX).1.contains(FpFlags::INEXACT));
+        assert_eq!(v.to_u64(&16.5), (16, FpFlags::INEXACT));
+        assert_eq!(v.to_u64(&-1.0).1, FpFlags::INVALID);
+        assert_eq!(v.to_u64(&f64::NAN).1, FpFlags::INVALID);
+    }
+}

@@ -1,0 +1,215 @@
+//! Exhaustive and identity tests: posit8 over its entire value space, and
+//! BigFloat transcendental identities at high precision.
+
+use fpvm_arith::bigfloat::{self, BigFloat};
+use fpvm_arith::posit::Posit8;
+use fpvm_arith::{CmpResult, FpFlags, Round};
+
+/// All 256 posit8 bit patterns.
+fn all_posit8() -> impl Iterator<Item = Posit8> {
+    (0u64..256).map(Posit8::from_bits)
+}
+
+#[test]
+fn posit8_roundtrip_exhaustive() {
+    // Every posit8 value is exactly representable in f64 and must
+    // round-trip through it.
+    for p in all_posit8() {
+        let back = Posit8::from_f64(p.to_f64());
+        assert_eq!(back.bits(), p.bits(), "roundtrip of {:#04x}", p.bits());
+    }
+}
+
+#[test]
+fn posit8_negation_exhaustive() {
+    // Negation is exact two's complement; double negation is identity, and
+    // to_f64 commutes with negation.
+    for p in all_posit8() {
+        assert_eq!(p.negate().negate().bits(), p.bits());
+        if !p.is_nar() {
+            assert_eq!(p.negate().to_f64(), -p.to_f64());
+        }
+    }
+}
+
+#[test]
+fn posit8_add_exhaustive_against_exact() {
+    // posit8 values are dyadic rationals with few bits: the exact real sum
+    // is representable in f64, so the correctly-rounded posit8 sum is
+    // `from_f64(exact)` — compare all 65,536 pairs.
+    for a in all_posit8() {
+        for b in all_posit8() {
+            let (s, _) = a.add_p(b);
+            if a.is_nar() || b.is_nar() {
+                assert!(s.is_nar());
+                continue;
+            }
+            let exact = a.to_f64() + b.to_f64(); // exact: dyadics, small exps
+            let expect = Posit8::from_f64(exact);
+            assert_eq!(
+                s.bits(),
+                expect.bits(),
+                "{:#04x} + {:#04x}: {} + {} = {}",
+                a.bits(),
+                b.bits(),
+                a.to_f64(),
+                b.to_f64(),
+                exact
+            );
+        }
+    }
+}
+
+#[test]
+fn posit8_mul_exhaustive_against_exact() {
+    for a in all_posit8() {
+        for b in all_posit8() {
+            let (s, _) = a.mul_p(b);
+            if a.is_nar() || b.is_nar() {
+                assert!(s.is_nar());
+                continue;
+            }
+            let exact = a.to_f64() * b.to_f64(); // exact in f64 (≤ 12 bits)
+            let expect = Posit8::from_f64(exact);
+            assert_eq!(
+                s.bits(),
+                expect.bits(),
+                "{:#04x} * {:#04x}: {} * {} = {}",
+                a.bits(),
+                b.bits(),
+                a.to_f64(),
+                b.to_f64(),
+                exact
+            );
+        }
+    }
+}
+
+#[test]
+fn posit8_ordering_exhaustive() {
+    // Two's-complement integer order == value order, for all pairs.
+    for a in all_posit8() {
+        for b in all_posit8() {
+            if a.is_nar() || b.is_nar() {
+                continue;
+            }
+            let (fa, fb) = (a.to_f64(), b.to_f64());
+            let expect = if fa < fb {
+                CmpResult::Less
+            } else if fa > fb {
+                CmpResult::Greater
+            } else {
+                CmpResult::Equal
+            };
+            assert_eq!(a.cmp_p(b), expect);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BigFloat transcendental identities at 300 bits
+// ---------------------------------------------------------------------------
+
+const P: u32 = 300;
+const RM: Round = Round::NearestEven;
+
+fn bf(x: f64) -> BigFloat {
+    BigFloat::from_f64(x, P, RM).0
+}
+
+/// |a - b| < 2^-bits (relative to scale ~1).
+fn close(a: &BigFloat, b: &BigFloat, bits: i64, what: &str) {
+    let (d, _) = bigfloat::sub(a, b, P, RM);
+    if !d.is_zero() {
+        assert!(
+            d.exp() < -bits,
+            "{what}: difference exp {} (want < -{bits})",
+            d.exp()
+        );
+    }
+}
+
+#[test]
+fn sin2_plus_cos2_is_one() {
+    for x in [0.3, 1.0, 2.5, -4.2, 10.0, 100.5] {
+        let v = bf(x);
+        let (s, _) = bigfloat::sin(&v, P, RM);
+        let (c, _) = bigfloat::cos(&v, P, RM);
+        let (s2, _) = bigfloat::mul(&s, &s, P, RM);
+        let (c2, _) = bigfloat::mul(&c, &c, P, RM);
+        let (sum, _) = bigfloat::add(&s2, &c2, P, RM);
+        close(&sum, &bf(1.0), 280, &format!("sin²+cos² at {x}"));
+    }
+}
+
+#[test]
+fn exp_log_inverse() {
+    for x in [0.5, 1.0, 3.25, 17.0, 0.001] {
+        let v = bf(x);
+        let (l, _) = bigfloat::log(&v, P, RM);
+        let (e, _) = bigfloat::exp(&l, P, RM);
+        close(&e, &v, 280 - v.exp().abs().max(1), &format!("exp(log({x}))"));
+    }
+}
+
+#[test]
+fn tan_is_sin_over_cos() {
+    for x in [0.4, 1.2, -0.9] {
+        let v = bf(x);
+        let (t, _) = bigfloat::tan(&v, P, RM);
+        let (s, _) = bigfloat::sin(&v, P, RM);
+        let (c, _) = bigfloat::cos(&v, P, RM);
+        let (q, _) = bigfloat::div(&s, &c, P, RM);
+        close(&t, &q, 280, &format!("tan({x})"));
+    }
+}
+
+#[test]
+fn asin_sin_inverse_on_principal_range() {
+    for x in [0.1, 0.5, 0.9, -0.7] {
+        let v = bf(x);
+        let (a, _) = bigfloat::asin(&v, P, RM);
+        let (s, _) = bigfloat::sin(&a, P, RM);
+        close(&s, &v, 280, &format!("sin(asin({x}))"));
+    }
+}
+
+#[test]
+fn atan2_matches_atan_in_quadrant_one() {
+    for (y, x) in [(1.0, 2.0), (0.3, 0.4), (5.0, 1.0)] {
+        let (r1, _) = bigfloat::atan2(&bf(y), &bf(x), P, RM);
+        let (q, _) = bigfloat::div(&bf(y), &bf(x), P, RM);
+        let (r2, _) = bigfloat::atan(&q, P, RM);
+        close(&r1, &r2, 280, &format!("atan2({y},{x})"));
+    }
+}
+
+#[test]
+fn pow_integer_agrees_with_repeated_multiplication() {
+    let x = bf(1.7);
+    let (p5, _) = bigfloat::pow(&x, &bf(5.0), P, RM);
+    let mut acc = bf(1.0);
+    for _ in 0..5 {
+        acc = bigfloat::mul(&acc, &x, P, RM).0;
+    }
+    close(&p5, &acc, 290, "1.7^5");
+}
+
+#[test]
+fn sqrt_squares_back() {
+    for x in [2.0, 10.0, 12345.6789, 1e-12] {
+        let v = bf(x);
+        let (s, _) = bigfloat::sqrt(&v, P, RM);
+        let (sq, _) = bigfloat::mul(&s, &s, P, RM);
+        close(&sq, &v, 290 - v.exp().abs().max(1), &format!("sqrt({x})²"));
+    }
+}
+
+#[test]
+fn flags_survive_identities() {
+    // Exact cases stay exact through the interface.
+    let (_, f) = bigfloat::mul(&bf(2.0), &bf(4.0), P, RM);
+    assert_eq!(f, FpFlags::NONE);
+    let (_, f) = bigfloat::sqrt(&bf(16.0), P, RM);
+    assert_eq!(f, FpFlags::NONE);
+}

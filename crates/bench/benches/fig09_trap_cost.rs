@@ -1,0 +1,88 @@
+//! Fig. 9 (criterion): host-time cost of the runtime's trap-handling
+//! pipeline — decode (hit vs miss), bind, and emulation with each
+//! arithmetic system. The simulated-cycle breakdown comes from
+//! `reproduce --exp fig9`; this measures the *real* work the reproduction
+//! performs per trap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpvm_arith::{BigFloatCtx, PositCtx, Vanilla};
+use fpvm_core::{Fpvm, FpvmConfig};
+use fpvm_machine::{Asm, Cond, CostModel, Gpr, Machine, Xmm, AluOp};
+
+/// A guest that traps `iters` times (one rounding add per iteration).
+fn trapping_guest(iters: i64) -> fpvm_machine::Program {
+    let mut a = Asm::new();
+    let tenth = a.f64m(0.1);
+    let third = a.f64m(1.0 / 3.0);
+    a.movsd(Xmm(2), third);
+    a.mov_ri(Gpr::RCX, 0);
+    let top = a.here_label();
+    let done = a.label();
+    a.cmp_ri(Gpr::RCX, iters);
+    a.jcc(Cond::Ge, done);
+    a.addsd(Xmm(2), tenth);
+    a.alu_ri(AluOp::Add, Gpr::RCX, 1);
+    a.jmp(top);
+    a.bind(done);
+    a.halt();
+    a.finish()
+}
+
+fn bench_trap_pipeline(c: &mut Criterion) {
+    let prog = trapping_guest(1000);
+    let mut g = c.benchmark_group("fig09/per_trap_host_ns");
+    g.throughput(criterion::Throughput::Elements(1000));
+    g.bench_function("vanilla", |bench| {
+        bench.iter(|| {
+            let mut m = Machine::new(CostModel::r815());
+            m.load_program(&prog);
+            let mut rt = Fpvm::new(Vanilla, FpvmConfig::default());
+            rt.run(&mut m).stats.fp_traps
+        })
+    });
+    g.bench_function("bigfloat200", |bench| {
+        bench.iter(|| {
+            let mut m = Machine::new(CostModel::r815());
+            m.load_program(&prog);
+            let mut rt = Fpvm::new(BigFloatCtx::new(200), FpvmConfig::default());
+            rt.run(&mut m).stats.fp_traps
+        })
+    });
+    g.bench_function("posit64", |bench| {
+        bench.iter(|| {
+            let mut m = Machine::new(CostModel::r815());
+            m.load_program(&prog);
+            let mut rt = Fpvm::new(PositCtx::<64, 3>, FpvmConfig::default());
+            rt.run(&mut m).stats.fp_traps
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode_cache(c: &mut Criterion) {
+    // §5.3 footnote 8 ablation: decode cache on vs off.
+    let prog = trapping_guest(1000);
+    let mut g = c.benchmark_group("fig09/decode_cache");
+    for (name, on) in [("cache_on", true), ("cache_off", false)] {
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let mut m = Machine::new(CostModel::r815());
+                m.load_program(&prog);
+                let cfg = FpvmConfig {
+                    decode_cache: on,
+                    ..FpvmConfig::default()
+                };
+                let mut rt = Fpvm::new(Vanilla, cfg);
+                rt.run(&mut m).cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_trap_pipeline, bench_decode_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 10 (criterion): garbage collector pass latency as a function of
+//! live shadow population, serial vs parallel mark (the DESIGN.md
+//! parallel-GC ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpvm_arith::ShadowArena;
+use fpvm_core::gc;
+use fpvm_machine::{Asm, CostModel, Machine, DATA_BASE};
+
+fn machine_with_boxes(arena: &mut ShadowArena<f64>, n: usize) -> Machine {
+    let mut a = Asm::new();
+    a.global("space", 64 * 1024);
+    a.halt();
+    let p = a.finish();
+    let mut m = Machine::new(CostModel::r815());
+    m.load_program(&p);
+    // Scatter n live boxes through the data segment; allocate n dead ones.
+    for i in 0..n {
+        let live = arena.alloc(i as f64);
+        let _dead = arena.alloc(-(i as f64));
+        m.mem
+            .write_u64(DATA_BASE + (i as u64 % 8000) * 8, fpvm_nanbox::encode(live))
+            .unwrap();
+    }
+    m
+}
+
+fn bench_gc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10/gc_pass");
+    for &n in &[100usize, 1000, 10_000] {
+        for (mode, parallel) in [("serial", false), ("parallel", true)] {
+            g.bench_with_input(
+                BenchmarkId::new(mode, n),
+                &n,
+                |bench, &n| {
+                    bench.iter_batched(
+                        || {
+                            let mut arena = ShadowArena::new();
+                            let m = machine_with_boxes(&mut arena, n);
+                            (m, arena)
+                        },
+                        |(m, mut arena)| gc::collect(&m, &mut arena, parallel),
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_gc
+}
+criterion_main!(benches);

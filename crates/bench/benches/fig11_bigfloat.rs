@@ -1,0 +1,73 @@
+//! Fig. 11 (criterion): BigFloat add/sub/mul/div as a function of mantissa
+//! precision — the MPFR scaling curve. The `reproduce --exp fig11` harness
+//! prints the full table; this bench gives statistically robust per-op
+//! timings at selected precisions, plus the Karatsuba-vs-schoolbook
+//! multiplication ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpvm_arith::bigfloat::{self, limb, BigFloat};
+use fpvm_arith::Round;
+
+fn operand(prec: u32, seed: u64) -> BigFloat {
+    let mut limbs = vec![0u64; (prec as usize).div_ceil(64)];
+    let mut s = seed;
+    for l in limbs.iter_mut() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *l = s | 1;
+    }
+    *limbs.last_mut().unwrap() |= 1 << 63;
+    BigFloat::from_int(false, -(prec as i64), &limbs, false, prec, Round::NearestEven).0
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let rm = Round::NearestEven;
+    let mut g = c.benchmark_group("fig11/bigfloat_ops");
+    for &lg in &[5u32, 8, 11, 14] {
+        let prec = 1u32 << lg;
+        let a = operand(prec, 1);
+        let b = operand(prec, 2);
+        g.bench_with_input(BenchmarkId::new("add", prec), &prec, |bench, &p| {
+            bench.iter(|| bigfloat::add(&a, &b, p, rm).0)
+        });
+        g.bench_with_input(BenchmarkId::new("mul", prec), &prec, |bench, &p| {
+            bench.iter(|| bigfloat::mul(&a, &b, p, rm).0)
+        });
+        g.bench_with_input(BenchmarkId::new("div", prec), &prec, |bench, &p| {
+            bench.iter(|| bigfloat::div(&a, &b, p, rm).0)
+        });
+        g.bench_with_input(BenchmarkId::new("sqrt", prec), &prec, |bench, &p| {
+            bench.iter(|| bigfloat::sqrt(&a, p, rm).0)
+        });
+    }
+    g.finish();
+}
+
+fn bench_karatsuba_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: the Karatsuba layer vs pure schoolbook.
+    let mut g = c.benchmark_group("fig11/karatsuba_ablation");
+    for &nlimbs in &[16usize, 64, 256] {
+        let mut s = 7u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s
+        };
+        let a: Vec<u64> = (0..nlimbs).map(|_| next()).collect();
+        let b: Vec<u64> = (0..nlimbs).map(|_| next()).collect();
+        g.bench_with_input(BenchmarkId::new("auto", nlimbs), &nlimbs, |bench, _| {
+            bench.iter(|| limb::mul(&a, &b))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("schoolbook", nlimbs),
+            &nlimbs,
+            |bench, _| bench.iter(|| limb::mul_basecase(&a, &b)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_ops, bench_karatsuba_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! `reproduce` — regenerate every table and figure from the paper's
+//! evaluation (§5) and the §6 projections.
+//!
+//! ```text
+//! reproduce --exp all            # everything (a few minutes)
+//! reproduce --exp fig12          # one experiment
+//! reproduce --exp fig12 --tiny   # reduced problem sizes (seconds)
+//! reproduce --list
+//! ```
+//!
+//! Tables print to stdout; JSON records are archived under
+//! `target/experiments/`.
+
+use fpvm_bench::{experiments as exp, loc};
+use fpvm_workloads::Size;
+use serde::Serialize;
+use std::path::PathBuf;
+
+fn archive<T: Serialize>(name: &str, data: &T) {
+    let dir = PathBuf::from("target/experiments");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    if let Ok(json) = serde_json::to_string_pretty(data) {
+        let _ = std::fs::write(dir.join(format!("{name}.json")), json);
+    }
+}
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("validate", "§5.2 validation: FPVM(Vanilla) bit-identical to native"),
+    ("fig9", "Fig. 9: per-trap virtualization cost breakdown"),
+    ("fig10", "Fig. 10: garbage collector statistics"),
+    ("fig11", "Fig. 11: BigFloat op cost vs precision + crossovers"),
+    ("fig12", "Fig. 12: benchmark slowdowns on three machine profiles"),
+    ("fig13", "Fig. 13: Lorenz IEEE vs Vanilla vs BigFloat divergence"),
+    ("fig14", "Fig. 14: user vs kernel trap delivery overhead"),
+    ("approaches", "Fig. 3 (measured): the four virtualization approaches"),
+    ("tpatch", "§3.2: trap-and-patch proof-of-concept costs"),
+    ("analysis", "§4.2: static analysis sink/demotion profile"),
+    ("prospects", "§6: overhead under proposed kernel/hardware support"),
+    ("posits", "§5.4 companion: three-body under posits"),
+    ("loc", "§5.5: lines-of-code inventory"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut exp_name = "all".to_string();
+    let mut size = Size::S;
+    let mut max_log2 = 14u32;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--exp" => exp_name = it.next().cloned().unwrap_or_default(),
+            "--tiny" => size = Size::Tiny,
+            "--max-log2" => {
+                max_log2 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(14)
+            }
+            "--list" => {
+                for (name, desc) in EXPERIMENTS {
+                    println!("{name:<12} {desc}");
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let want = |n: &str| exp_name == "all" || exp_name == n;
+    let mut ran = false;
+    if want("validate") {
+        ran = true;
+        let ok = exp::validate(size);
+        archive("validate", &ok);
+        if !ok {
+            eprintln!("VALIDATION FAILED");
+            std::process::exit(1);
+        }
+    }
+    if want("fig9") {
+        ran = true;
+        archive("fig9", &exp::fig9(size));
+    }
+    if want("fig10") {
+        ran = true;
+        archive("fig10", &exp::fig10(size));
+    }
+    if want("fig11") {
+        ran = true;
+        archive("fig11", &exp::fig11(max_log2));
+    }
+    if want("fig12") {
+        ran = true;
+        archive("fig12", &exp::fig12(size));
+    }
+    if want("fig13") {
+        ran = true;
+        archive("fig13", &exp::fig13());
+    }
+    if want("fig14") {
+        ran = true;
+        archive("fig14", &exp::fig14());
+    }
+    if want("approaches") {
+        ran = true;
+        archive("approaches", &exp::approaches());
+    }
+    if want("tpatch") {
+        ran = true;
+        archive("tpatch", &exp::trap_and_patch_poc());
+    }
+    if want("analysis") {
+        ran = true;
+        archive("analysis", &exp::analysis_table(size));
+    }
+    if want("prospects") {
+        ran = true;
+        archive("prospects", &exp::prospects());
+    }
+    if want("posits") {
+        ran = true;
+        archive("posits", &exp::posit_effects());
+    }
+    if want("loc") {
+        ran = true;
+        archive("loc", &loc::loc_table(&PathBuf::from(".")));
+    }
+    if !ran {
+        eprintln!("unknown experiment '{exp_name}' (try --list)");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,80 @@
+//! # fpvm-bench — the experiment harness
+//!
+//! One entry point per table/figure in the paper's evaluation (§5) plus the
+//! §6 projections; the `reproduce` binary drives them and prints
+//! paper-style tables. See DESIGN.md §5 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod loc;
+
+use fpvm_analysis::analyze_and_patch;
+use fpvm_arith::ArithSystem;
+use fpvm_core::{ExitReason, Fpvm, FpvmConfig, RunReport};
+use fpvm_ir::{compile, CompileMode};
+use fpvm_machine::{CostModel, Event, Machine, OutputEvent};
+use fpvm_workloads::Workload;
+
+/// Result of a native (baseline) run.
+pub struct NativeRun {
+    /// Cycles under the cost model.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub icount: u64,
+    /// FP instructions retired.
+    pub fp_icount: u64,
+    /// Guest output.
+    pub output: Vec<OutputEvent>,
+}
+
+/// Run a workload natively under a cost profile.
+pub fn run_native(w: &Workload, cost: CostModel) -> NativeRun {
+    let c = compile(&w.module, CompileMode::Native);
+    let mut m = Machine::new(cost);
+    let ev = fpvm_core::run_native(&mut m, &c.program, 20_000_000_000);
+    assert_eq!(ev, Event::Halted, "{}: {ev:?}", w.name);
+    NativeRun {
+        cycles: m.cycles,
+        icount: m.icount,
+        fp_icount: m.fp_icount,
+        output: m.output,
+    }
+}
+
+/// Run the full hybrid pipeline (compile → analyze+patch → virtualize).
+pub fn run_hybrid<A: ArithSystem>(
+    w: &Workload,
+    arith: A,
+    cost: CostModel,
+    cfg: FpvmConfig,
+) -> (RunReport, Vec<OutputEvent>, fpvm_analysis::AnalysisStats) {
+    let c = compile(&w.module, CompileMode::Native);
+    let patched = analyze_and_patch(&c.program);
+    let mut m = Machine::new(cost);
+    m.load_program(&patched.program);
+    let mut rt = Fpvm::new(arith, cfg);
+    rt.set_side_table(patched.side_table);
+    let report = rt.run(&mut m);
+    assert_eq!(report.exit, ExitReason::Halted, "{}", w.name);
+    (report, m.output, patched.analysis.stats)
+}
+
+/// Format a count with thousands separators.
+pub fn commas(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Format a slowdown like the paper's Fig. 12 ("1,808x").
+pub fn slowdown_str(x: f64) -> String {
+    format!("{}x", commas(x.round() as u64))
+}

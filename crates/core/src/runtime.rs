@@ -1,0 +1,814 @@
+//! The hybrid FPVM runtime: trap-and-emulate engine + correctness-trap
+//! handling + math/output interposition + trap-and-patch (§3, §4).
+//!
+//! The runtime drives the simulated machine exactly the way the paper's
+//! prototype drives a Linux process:
+//!
+//! 1. It unmasks every `%mxcsr` exception, so any rounding, overflow,
+//!    underflow, denormal or NaN event faults into the runtime
+//!    ([`Fpvm::run`] ↔ the SIGFPE handler).
+//! 2. On a trap it decodes the faulting instruction (through a **decode
+//!    cache**), **binds** its operands, **emulates** it on the alternative
+//!    arithmetic system, NaN-boxes the result, clears the sticky condition
+//!    flags, and resumes after the instruction.
+//! 3. `Trap` instructions installed by the static analyzer demote any
+//!    boxed operands in place and re-execute the original instruction in
+//!    single-step mode (§4.2 "correctness traps").
+//! 4. External calls are interposed like an `LD_PRELOAD` shim: libm routes
+//!    into the arithmetic system (the math wrapper) and `printf` demotes
+//!    for rendering (the output wrapper, §2 "printing problem").
+//! 5. Optionally, the trap-and-patch engine (§3.2) rewrites hot faulting
+//!    sites into direct patch calls with inline pre/postcondition checks.
+
+use crate::bound::{self, bind, has_boxed_src, native_eval, read_int_loc, read_loc, Dst, Loc};
+use crate::gc;
+use crate::stats::Stats;
+use fpvm_arith::{ArithSystem, FpFlags, Round, ScalarOp, ShadowArena};
+use fpvm_machine::{
+    decode, encode, DeliveryMode, Event, ExtFn, Fault, Inst, Machine, TrapKind, CODE_BASE,
+};
+use fpvm_nanbox::ShadowKey;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FpvmConfig {
+    /// How traps reach the runtime (cost model only; §6).
+    pub delivery: DeliveryMode,
+    /// Enable the decode cache (§5.3 footnote 8 ablation).
+    pub decode_cache: bool,
+    /// Interpose libm calls onto the arithmetic system (the math wrapper).
+    pub interpose_math: bool,
+    /// Interpose output calls (the output wrapper).
+    pub interpose_output: bool,
+    /// GC epoch in retired guest instructions (the paper uses a 1 s timer;
+    /// instruction count is the deterministic analogue).
+    pub gc_epoch: u64,
+    /// Arena-pressure GC trigger (live cells).
+    pub gc_pressure: usize,
+    /// Use the parallel mark phase.
+    pub gc_parallel: bool,
+    /// Enable the trap-and-patch engine (§3.2).
+    pub trap_and_patch: bool,
+    /// Dispatch correctness traps as direct calls instead of full traps
+    /// (the §5.3 "matter of implementation effort" optimization).
+    pub correctness_as_call: bool,
+    /// Strawman: demote every emulated result immediately (the rejected
+    /// "demote on every store" design of §4.2 — "obviates the goal of
+    /// using the alternative arithmetic system, but guarantees
+    /// correctness").
+    pub always_demote: bool,
+    /// §6.2 hardware extension: assume trap-on-NaN-load + NaN checks on all
+    /// FP-adjacent instructions. Makes the FP ISA fully virtualizable —
+    /// **no static analysis or binary patching needed** ("If the hardware
+    /// could optionally trigger an exception when a NaN pattern is loaded
+    /// as a value, the static analysis could be avoided").
+    pub nan_load_hw: bool,
+    /// Guest instruction budget.
+    pub max_insts: u64,
+}
+
+impl Default for FpvmConfig {
+    fn default() -> Self {
+        FpvmConfig {
+            delivery: DeliveryMode::UserSignal,
+            decode_cache: true,
+            interpose_math: true,
+            interpose_output: true,
+            gc_epoch: 400_000,
+            gc_pressure: 1 << 20,
+            gc_parallel: false,
+            trap_and_patch: false,
+            correctness_as_call: false,
+            always_demote: false,
+            nan_load_hw: false,
+            max_insts: 4_000_000_000,
+        }
+    }
+}
+
+/// An entry in the correctness-trap side table (produced by fpvm-analysis's
+/// patcher): the original instruction that the `Trap` replaced.
+#[derive(Debug, Clone, Copy)]
+pub struct SideTableEntry {
+    /// Address of the patched site.
+    pub addr: u64,
+    /// The original instruction.
+    pub original: Inst,
+    /// Its encoded length (the patch spans this many bytes).
+    pub len: u8,
+}
+
+/// Why the virtualized run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// Guest executed `Halt`.
+    Halted,
+    /// Guest called `Exit`.
+    Exited(i64),
+    /// Fatal guest fault.
+    Fault(Fault),
+    /// A trap arrived that the runtime cannot handle (bad side-table id,
+    /// unemulable instruction).
+    RuntimeError(u64),
+}
+
+/// Result of a virtualized run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Exit reason.
+    pub exit: ExitReason,
+    /// Runtime statistics.
+    pub stats: Stats,
+    /// Guest instructions retired.
+    pub icount: u64,
+    /// Guest FP instructions retired natively (did not trap).
+    pub fp_icount: u64,
+    /// Total accounted cycles (guest base + virtualization).
+    pub cycles: u64,
+    /// Wall-clock host time of the whole run.
+    pub wall_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TpSite {
+    original: Inst,
+    next_rip: u64,
+}
+
+/// The FPVM runtime, generic over the alternative arithmetic system.
+pub struct Fpvm<A: ArithSystem> {
+    arith: A,
+    /// The shadow-value arena (FPVM provides the arithmetic system with
+    /// memory management, §4.3).
+    pub arena: ShadowArena<A::Value>,
+    /// Runtime configuration.
+    pub config: FpvmConfig,
+    /// Statistics.
+    pub stats: Stats,
+    decode_cache: HashMap<u64, (Inst, u8)>,
+    side_table: Vec<SideTableEntry>,
+    tp_sites: HashMap<u16, TpSite>,
+    tp_by_addr: HashMap<u64, u16>,
+    last_gc_icount: u64,
+    rendered: Vec<String>,
+}
+
+impl<A: ArithSystem> Fpvm<A> {
+    /// Create a runtime over the given arithmetic system.
+    pub fn new(arith: A, config: FpvmConfig) -> Self {
+        Fpvm {
+            arith,
+            arena: ShadowArena::new(),
+            config,
+            stats: Stats::default(),
+            decode_cache: HashMap::new(),
+            side_table: Vec::new(),
+            tp_sites: HashMap::new(),
+            tp_by_addr: HashMap::new(),
+            last_gc_icount: 0,
+            rendered: Vec::new(),
+        }
+    }
+
+    /// The arithmetic system.
+    pub fn arith(&self) -> &A {
+        &self.arith
+    }
+
+    /// Full-precision rendered output lines (the output wrapper's view).
+    pub fn rendered_output(&self) -> &[String] {
+        &self.rendered
+    }
+
+    /// Install the correctness-trap side table (from the static patcher).
+    pub fn set_side_table(&mut self, table: Vec<SideTableEntry>) {
+        self.side_table = table;
+    }
+
+    /// Preload patch-call sites emitted by the compiler-based approach
+    /// (§3.4): the IR pass replaced each FP operation with a
+    /// `Trap{PatchCall}` whose handler is registered here at load time.
+    pub fn preload_patch_sites(&mut self, sites: Vec<(u16, Inst, u64)>) {
+        for (id, original, next_rip) in sites {
+            self.tp_sites.insert(id, TpSite { original, next_rip });
+        }
+    }
+
+    /// Run the machine under virtualization until it halts or faults.
+    pub fn run(&mut self, m: &mut Machine) -> RunReport {
+        let wall = Instant::now();
+        m.hook_ext = true;
+        m.nan_hole_traps = self.config.nan_load_hw;
+        m.mxcsr.unmask_all();
+        let exit = loop {
+            if m.icount >= self.config.max_insts {
+                break ExitReason::Fault(Fault::Budget);
+            }
+            let budget = self.config.max_insts - m.icount;
+            match m.run(budget) {
+                Event::Halted => break ExitReason::Halted,
+                Event::Exited(code) => break ExitReason::Exited(code),
+                Event::Fault(f) => break ExitReason::Fault(f),
+                Event::SingleStepped => unreachable!("runtime never sets TF across run()"),
+                Event::FpException { rip, flags } => {
+                    if let Err(e) = self.on_fp_trap(m, rip, flags) {
+                        break e;
+                    }
+                }
+                Event::SwTrap { kind, id, rip } => {
+                    let r = match kind {
+                        TrapKind::Correctness => self.on_correctness_trap(m, id, rip),
+                        TrapKind::PatchCall => self.on_patch_call(m, id, rip),
+                    };
+                    if let Err(e) = r {
+                        break e;
+                    }
+                }
+                Event::ExtCall { f, rip, next_rip } => {
+                    if let Err(e) = self.on_ext_call(m, f, rip, next_rip) {
+                        break e;
+                    }
+                }
+                Event::NanHole { rip } => {
+                    if let Err(e) = self.on_nan_hole(m, rip) {
+                        break e;
+                    }
+                }
+            }
+            self.maybe_gc(m);
+        };
+        RunReport {
+            exit,
+            stats: self.stats.clone(),
+            icount: m.icount,
+            fp_icount: m.fp_icount,
+            cycles: m.cycles,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+        }
+    }
+
+    // ---- trap-and-emulate ------------------------------------------------
+
+    fn on_fp_trap(&mut self, m: &mut Machine, rip: u64, _flags: FpFlags) -> Result<(), ExitReason> {
+        self.stats.fp_traps += 1;
+        // Delivery cost (Fig. 9: hardware + kernel + user components).
+        let (hw, kern, user) = m.cost.delivery_parts(self.config.delivery);
+        self.stats.cycles.hardware += hw;
+        self.stats.cycles.kernel += kern;
+        self.stats.cycles.user_delivery += user;
+        m.charge(hw + kern + user);
+        // Inspect and clear the sticky condition codes (§4.1 "Trapping").
+        m.mxcsr.clear_flags();
+        // Decode (with cache).
+        let (inst, len) = self.decode_at(m, rip)?;
+        // Bind.
+        self.stats.cycles.bind += m.cost.bind;
+        m.charge(m.cost.bind);
+        let next_rip = rip + u64::from(len);
+        // Emulate.
+        self.emulate(m, &inst, next_rip)?;
+        // Trap-and-patch: install a patch at this site so the next
+        // encounter dispatches via a cheap call instead of a trap.
+        if self.config.trap_and_patch {
+            self.install_patch(m, rip, inst, len, next_rip);
+        }
+        Ok(())
+    }
+
+    fn decode_at(&mut self, m: &mut Machine, rip: u64) -> Result<(Inst, u8), ExitReason> {
+        if self.config.decode_cache {
+            if let Some(&hit) = self.decode_cache.get(&rip) {
+                self.stats.decode_hits += 1;
+                self.stats.cycles.decode += m.cost.decode_hit;
+                m.charge(m.cost.decode_hit);
+                return Ok(hit);
+            }
+        }
+        self.stats.decode_misses += 1;
+        self.stats.cycles.decode += m.cost.decode_miss;
+        m.charge(m.cost.decode_miss);
+        let off = (rip - CODE_BASE) as usize;
+        match decode(m.mem.code_bytes(), off) {
+            Ok((inst, len)) => {
+                let entry = (inst, len as u8);
+                if self.config.decode_cache {
+                    self.decode_cache.insert(rip, entry);
+                }
+                Ok(entry)
+            }
+            Err(_) => Err(ExitReason::RuntimeError(rip)),
+        }
+    }
+
+    fn emulate(&mut self, m: &mut Machine, inst: &Inst, next_rip: u64) -> Result<(), ExitReason> {
+        let Some(b) = bind(m, inst, next_rip) else {
+            return Err(ExitReason::RuntimeError(m.rip));
+        };
+        let t = Instant::now();
+        self.stats.emulated += 1;
+        for lane in b.lanes.into_iter().flatten() {
+            self.emulate_lane(m, &lane)?;
+        }
+        m.rip = b.next_rip;
+        let ns = t.elapsed().as_nanos() as u64;
+        self.stats.emulate_ns += ns;
+        let cyc = m.cost.ns_to_cycles(ns) + m.cost.emulate_dispatch;
+        self.stats.cycles.emulate += cyc;
+        m.charge(cyc);
+        Ok(())
+    }
+
+    /// Unbox a source into the arithmetic system, promoting if necessary.
+    fn unbox(&mut self, bits: u64) -> A::Value {
+        if let Some(key) = fpvm_nanbox::decode(bits) {
+            if let Some(v) = self.arena.get(key) {
+                return v.clone();
+            }
+            // Universal NaN: a signaling NaN with no live shadow value is a
+            // true NaN (§2).
+            return self.arith.from_f64(f64::NAN);
+        }
+        self.stats.promotions += 1;
+        self.arith.from_f64(f64::from_bits(bits))
+    }
+
+    /// Box a shadow value: allocate a cell and return the encoded sNaN
+    /// bits. Under `always_demote` the value is demoted immediately instead
+    /// (the §4.2 strawman).
+    fn boxv(&mut self, v: A::Value) -> u64 {
+        if self.config.always_demote {
+            self.stats.demotions += 1;
+            let (d, _) = self.arith.to_f64(&v, Round::NearestEven);
+            return d.to_bits();
+        }
+        self.stats.boxes_created += 1;
+        let key = self.arena.alloc(v);
+        fpvm_nanbox::encode(key)
+    }
+
+    fn emulate_lane(&mut self, m: &mut Machine, lane: &bound::BoundLane) -> Result<(), ExitReason> {
+        use ScalarOp::*;
+        self.stats.emulated_lanes += 1;
+        let rm = m.mxcsr.rounding();
+        let err = ExitReason::Fault(Fault::Mem(
+            fpvm_machine::MemFault::OutOfBounds(0),
+            m.rip,
+        ));
+        let rd = |rt: &mut Self, mm: &Machine, i: usize| -> Result<A::Value, ExitReason> {
+            let bits = read_loc(mm, lane.srcs[i]).map_err(|_| err)?;
+            Ok(rt.unbox(bits))
+        };
+        let (result, flags): (Option<A::Value>, FpFlags) = match lane.op {
+            Add | Sub | Mul | Div | Min | Max => {
+                let a = rd(self, m, 0)?;
+                let b = rd(self, m, 1)?;
+                let (v, f) = match lane.op {
+                    Add => self.arith.add(&a, &b, rm),
+                    Sub => self.arith.sub(&a, &b, rm),
+                    Mul => self.arith.mul(&a, &b, rm),
+                    Div => self.arith.div(&a, &b, rm),
+                    Min => self.arith.min(&a, &b),
+                    _ => self.arith.max(&a, &b),
+                };
+                (Some(v), f)
+            }
+            Sqrt => {
+                let a = rd(self, m, 0)?;
+                let (v, f) = self.arith.sqrt(&a, rm);
+                (Some(v), f)
+            }
+            Neg => {
+                let a = rd(self, m, 0)?;
+                let (v, f) = self.arith.neg(&a);
+                (Some(v), f)
+            }
+            Abs => {
+                let a = rd(self, m, 0)?;
+                let (v, f) = self.arith.abs(&a);
+                (Some(v), f)
+            }
+            Fma => {
+                let a = rd(self, m, 0)?;
+                let b = rd(self, m, 1)?;
+                let c = rd(self, m, 2)?;
+                let (v, f) = self.arith.fma(&a, &b, &c, rm);
+                (Some(v), f)
+            }
+            CmpQuiet | CmpSignaling => {
+                let a = rd(self, m, 0)?;
+                let b = rd(self, m, 1)?;
+                let (r, f) = if lane.op == CmpQuiet {
+                    self.arith.cmp_quiet(&a, &b)
+                } else {
+                    self.arith.cmp_signaling(&a, &b)
+                };
+                m.rflags.set_fp_compare(r);
+                m.mxcsr.raise(f);
+                return Ok(());
+            }
+            CvtI32ToF | CvtI64ToF => {
+                let raw = read_int_loc(m, lane.srcs[0], lane.int_width).map_err(|_| err)?;
+                let (v, f) = if lane.op == CvtI32ToF {
+                    self.arith.from_i32(raw as i32)
+                } else {
+                    self.arith.from_i64(raw)
+                };
+                (Some(v), f)
+            }
+            CvtFToI32 | CvtFToI64 => {
+                let a = rd(self, m, 0)?;
+                let (bits, f) = if lane.op == CvtFToI32 {
+                    let (v, f) = self.arith.to_i32(&a);
+                    (v as u32 as u64, f)
+                } else {
+                    let (v, f) = self.arith.to_i64(&a);
+                    (v as u64, f)
+                };
+                if let Dst::Int(r, _) = lane.dst {
+                    m.gpr[r as usize] = bits;
+                }
+                m.mxcsr.raise(f);
+                return Ok(());
+            }
+            CvtFToF32 => {
+                let a = rd(self, m, 0)?;
+                self.stats.demotions += 1;
+                let (v, f) = self.arith.to_f32(&a, rm);
+                if let Dst::F32Lane(r) = lane.dst {
+                    let lane0 = &mut m.xmm[r as usize][0];
+                    *lane0 = (*lane0 & !0xFFFF_FFFF) | u64::from(v.to_bits());
+                }
+                m.mxcsr.raise(f);
+                return Ok(());
+            }
+            CvtF32ToF => {
+                let raw = read_loc(m, lane.srcs[0]).map_err(|_| err)? as u32;
+                let v = self.arith.from_f32(f32::from_bits(raw));
+                (Some(v), FpFlags::NONE)
+            }
+            _ => return Err(ExitReason::RuntimeError(m.rip)),
+        };
+        if let Some(v) = result {
+            let bits = self.boxv(v);
+            match lane.dst {
+                Dst::F64Lane(r, l) => m.xmm[r as usize][l as usize] = bits,
+                _ => return Err(ExitReason::RuntimeError(m.rip)),
+            }
+        }
+        m.mxcsr.raise(flags);
+        Ok(())
+    }
+
+    /// §6.2 hardware path: a NaN-box reached a non-FP instruction and the
+    /// extended hardware faulted. Demote the offending operands and
+    /// re-execute — same handler as a correctness trap, but discovered by
+    /// hardware instead of static analysis.
+    fn on_nan_hole(&mut self, m: &mut Machine, rip: u64) -> Result<(), ExitReason> {
+        self.stats.nan_hole_traps += 1;
+        let dispatch = m.cost.delivery(self.config.delivery);
+        self.stats.cycles.correctness_dispatch += dispatch;
+        m.charge(dispatch);
+        let (inst, len) = self.decode_at(m, rip)?;
+        let t = Instant::now();
+        let demoted = self.demote_operands(m, &inst);
+        if demoted > 0 {
+            self.stats.correctness_demotions += 1;
+        }
+        match m.exec_masked(&inst, rip + u64::from(len)) {
+            Ok(_) => {}
+            Err(Event::Fault(f)) => return Err(ExitReason::Fault(f)),
+            Err(_) => return Err(ExitReason::RuntimeError(rip)),
+        }
+        let cyc = m.cost.ns_to_cycles(t.elapsed().as_nanos() as u64);
+        self.stats.cycles.correctness_handler += cyc;
+        m.charge(cyc);
+        Ok(())
+    }
+
+    // ---- correctness traps (§4.2) -----------------------------------------
+
+    fn on_correctness_trap(
+        &mut self,
+        m: &mut Machine,
+        id: u16,
+        rip: u64,
+    ) -> Result<(), ExitReason> {
+        self.stats.correctness_traps += 1;
+        let dispatch = if self.config.correctness_as_call {
+            m.cost.patch_call
+        } else {
+            m.cost.delivery(self.config.delivery)
+        };
+        self.stats.cycles.correctness_dispatch += dispatch;
+        m.charge(dispatch);
+        let Some(entry) = self.side_table.get(id as usize).copied() else {
+            return Err(ExitReason::RuntimeError(rip));
+        };
+        debug_assert_eq!(entry.addr, rip, "side table / patch mismatch");
+        let t = Instant::now();
+        // Demote any boxed operand in place, then re-execute the original
+        // instruction in single-step mode.
+        let demoted = self.demote_operands(m, &entry.original);
+        if demoted > 0 {
+            self.stats.correctness_demotions += 1;
+        }
+        let next_rip = rip + u64::from(entry.len);
+        match m.exec_masked(&entry.original, next_rip) {
+            Ok(_) => {}
+            Err(Event::ExtCall { f, next_rip, .. }) => {
+                // Re-executed instruction was itself an external call site.
+                self.on_ext_call(m, f, rip, next_rip)?;
+            }
+            Err(Event::Fault(f)) => return Err(ExitReason::Fault(f)),
+            Err(_) => return Err(ExitReason::RuntimeError(rip)),
+        }
+        let cyc = m.cost.ns_to_cycles(t.elapsed().as_nanos() as u64) + m.cost.patch_check;
+        self.stats.cycles.correctness_handler += cyc;
+        m.charge(cyc);
+        Ok(())
+    }
+
+    /// Demote every boxed f64-typed operand of `inst` in place. Returns the
+    /// number of demotions performed.
+    fn demote_operands(&mut self, m: &mut Machine, inst: &Inst) -> usize {
+        use Inst::*;
+        let mut locs: Vec<Loc> = Vec::new();
+        match inst {
+            Load { addr, .. } => locs.push(Loc::Mem(m.ea(addr))),
+            MovQXG { src, .. } => locs.push(Loc::XmmLane(src.0, 0)),
+            XorPd { dst, src } | AndPd { dst, src } | OrPd { dst, src } => {
+                locs.push(Loc::XmmLane(dst.0, 0));
+                locs.push(Loc::XmmLane(dst.0, 1));
+                match src {
+                    fpvm_machine::XM::Reg(x) => {
+                        locs.push(Loc::XmmLane(x.0, 0));
+                        locs.push(Loc::XmmLane(x.0, 1));
+                    }
+                    fpvm_machine::XM::Mem(mem) => {
+                        let ea = m.ea(mem);
+                        locs.push(Loc::Mem(ea));
+                        locs.push(Loc::Mem(ea + 8));
+                    }
+                }
+            }
+            MovSd { src, .. } | MovApd { src, .. } => {
+                if let fpvm_machine::XM::Mem(mem) = src {
+                    locs.push(Loc::Mem(m.ea(mem)));
+                }
+            }
+            Store { src, .. } => locs.push(Loc::Gpr(src.0)),
+            _ => {
+                // Conservative: demote all xmm lanes the instruction touches
+                // is unnecessary for our patch set; other shapes do not
+                // reach the side table.
+            }
+        }
+        let mut n = 0;
+        for loc in locs {
+            n += usize::from(self.demote_loc(m, loc));
+        }
+        n
+    }
+
+    /// If `loc` holds a live NaN-box, replace it with the demoted double.
+    fn demote_loc(&mut self, m: &mut Machine, loc: Loc) -> bool {
+        let Ok(bits) = read_loc(m, loc) else {
+            return false;
+        };
+        let Some(key) = fpvm_nanbox::decode(bits) else {
+            return false;
+        };
+        let demoted = match self.arena.get(key) {
+            Some(v) => {
+                let (d, _) = self.arith.to_f64(v, Round::NearestEven);
+                d.to_bits()
+            }
+            // Stale box = universal NaN: demote to the canonical quiet NaN.
+            None => f64::NAN.to_bits(),
+        };
+        self.stats.demotions += 1;
+        
+        match loc {
+            Loc::XmmLane(r, l) => {
+                m.xmm[r as usize][l as usize] = demoted;
+                true
+            }
+            Loc::Gpr(r) => {
+                m.gpr[r as usize] = demoted;
+                true
+            }
+            Loc::Mem(a) => m.mem.write_u64(a, demoted).is_ok(),
+            Loc::None => false,
+        }
+    }
+
+    // ---- trap-and-patch (§3.2) ---------------------------------------------
+
+    fn install_patch(&mut self, m: &mut Machine, rip: u64, inst: Inst, len: u8, next_rip: u64) {
+        if self.tp_by_addr.contains_key(&rip) || len < 3 || self.tp_sites.len() >= u16::MAX as usize
+        {
+            return;
+        }
+        // Only FP arithmetic sites benefit; compares and cvts also qualify.
+        if !inst.is_fp_arith() {
+            return;
+        }
+        let id = self.tp_sites.len() as u16;
+        let mut bytes = Vec::with_capacity(len as usize);
+        encode(
+            &Inst::Trap {
+                kind: TrapKind::PatchCall,
+                id,
+            },
+            &mut bytes,
+        );
+        while bytes.len() < len as usize {
+            encode(&Inst::Nop, &mut bytes);
+        }
+        m.patch_code(rip, &bytes);
+        self.decode_cache.remove(&rip);
+        self.tp_sites.insert(
+            id,
+            TpSite {
+                original: inst,
+                next_rip,
+            },
+        );
+        self.tp_by_addr.insert(rip, id);
+        self.stats.sites_patched += 1;
+    }
+
+    fn on_patch_call(&mut self, m: &mut Machine, id: u16, rip: u64) -> Result<(), ExitReason> {
+        let Some(site) = self.tp_sites.get(&id).copied() else {
+            return Err(ExitReason::RuntimeError(rip));
+        };
+        // Direct call into the custom handler + inlined checks.
+        let dispatch = m.cost.patch_call + m.cost.patch_check;
+        self.stats.cycles.patch += dispatch;
+        m.charge(dispatch);
+        let Some(b) = bind(m, &site.original, site.next_rip) else {
+            // Unbindable patched instruction (e.g. a bitwise FP op with a
+            // non-canonical mask): fall back to demote + re-execute, like a
+            // correctness trap.
+            self.demote_operands(m, &site.original);
+            return match m.exec_masked(&site.original, site.next_rip) {
+                Ok(_) => Ok(()),
+                Err(Event::Fault(f)) => Err(ExitReason::Fault(f)),
+                Err(_) => Err(ExitReason::RuntimeError(rip)),
+            };
+        };
+        // Precondition: no boxed inputs. Postcondition: native execution
+        // would raise no event. Both hold → execute natively in the patch.
+        let mut native: Vec<(Dst, u64)> = Vec::new();
+        let mut fast = true;
+        for lane in b.lanes.iter().flatten() {
+            if has_boxed_src(m, lane) {
+                fast = false;
+                break;
+            }
+            match native_eval(m, lane) {
+                Some((bits, flags)) if flags.is_empty() => native.push((lane.dst, bits)),
+                _ => {
+                    fast = false;
+                    break;
+                }
+            }
+        }
+        if fast {
+            self.stats.patch_fast += 1;
+            for (dst, bits) in native {
+                if let Dst::F64Lane(r, l) = dst {
+                    m.xmm[r as usize][l as usize] = bits;
+                }
+            }
+            m.rip = site.next_rip;
+            return Ok(());
+        }
+        // Slow path: full emulation through the handler.
+        self.stats.patch_slow += 1;
+        self.emulate(m, &site.original, site.next_rip)
+    }
+
+    // ---- externals: math wrapper + output wrapper ---------------------------
+
+    fn on_ext_call(
+        &mut self,
+        m: &mut Machine,
+        f: ExtFn,
+        _rip: u64,
+        next_rip: u64,
+    ) -> Result<(), ExitReason> {
+        if f.is_math() && self.config.interpose_math {
+            self.stats.math_interposed += 1;
+            let t = Instant::now();
+            let rm = m.mxcsr.rounding();
+            let a = self.unbox(m.xmm[0][0]);
+            let (v, flags) = match f {
+                ExtFn::Sin => self.arith.sin(&a, rm),
+                ExtFn::Cos => self.arith.cos(&a, rm),
+                ExtFn::Tan => self.arith.tan(&a, rm),
+                ExtFn::Asin => self.arith.asin(&a, rm),
+                ExtFn::Acos => self.arith.acos(&a, rm),
+                ExtFn::Atan => self.arith.atan(&a, rm),
+                ExtFn::Exp => self.arith.exp(&a, rm),
+                ExtFn::Log => self.arith.log(&a, rm),
+                ExtFn::Log10 => self.arith.log10(&a, rm),
+                ExtFn::Floor => self.arith.floor(&a),
+                ExtFn::Ceil => self.arith.ceil(&a),
+                ExtFn::Fabs => self.arith.abs(&a),
+                ExtFn::Atan2 => {
+                    let b = self.unbox(m.xmm[1][0]);
+                    self.arith.atan2(&a, &b, rm)
+                }
+                ExtFn::Pow => {
+                    let b = self.unbox(m.xmm[1][0]);
+                    self.arith.pow(&a, &b, rm)
+                }
+                _ => unreachable!("is_math"),
+            };
+            m.mxcsr.raise(flags);
+            m.xmm[0][0] = self.boxv(v);
+            m.rip = next_rip;
+            let ns = t.elapsed().as_nanos() as u64;
+            self.stats.emulate_ns += ns;
+            let cyc = m.cost.ns_to_cycles(ns) + m.cost.emulate_dispatch;
+            self.stats.cycles.emulate += cyc;
+            m.charge(cyc);
+            return Ok(());
+        }
+        if f == ExtFn::PrintF64 && self.config.interpose_output {
+            // The output wrapper: demote for printing without destroying
+            // the box ("hijack such output functions … to promote %lf").
+            self.stats.output_wrapped += 1;
+            let bits = m.xmm[0][0];
+            let (demoted_bits, full) = if let Some(key) = fpvm_nanbox::decode(bits) {
+                self.stats.demotions += 1;
+                match self.arena.get(key) {
+                    Some(v) => {
+                        let (d, _) = self.arith.to_f64(v, Round::NearestEven);
+                        (d.to_bits(), self.arith.render(v))
+                    }
+                    None => (f64::NAN.to_bits(), "nan".to_string()),
+                }
+            } else {
+                let d = f64::from_bits(bits);
+                (bits, format!("{d:?}"))
+            };
+            m.output.push(fpvm_machine::OutputEvent::F64(demoted_bits));
+            self.rendered.push(full);
+            m.rip = next_rip;
+            return Ok(());
+        }
+        // Non-interposed external (or stdio/services): demote FP argument
+        // registers at the call site (§4.2 "for calls into external
+        // libraries, NaN-boxed values passed as arguments can be
+        // problematic … we demote NaN-boxed floating point registers at
+        // the call site"), then forward natively.
+        for i in 0..f.fp_args() {
+            self.demote_loc(m, Loc::XmmLane(i as u8, 0));
+        }
+        if let Some(ev) = m.exec_ext_native(f) {
+            match ev {
+                Event::Exited(code) => return Err(ExitReason::Exited(code)),
+                _ => return Err(ExitReason::RuntimeError(m.rip)),
+            }
+        }
+        m.rip = next_rip;
+        Ok(())
+    }
+
+    // ---- GC ------------------------------------------------------------------
+
+    fn maybe_gc(&mut self, m: &mut Machine) {
+        let due_epoch = m.icount.saturating_sub(self.last_gc_icount) >= self.config.gc_epoch;
+        let due_pressure = self.arena.live() >= self.config.gc_pressure;
+        if !(due_epoch || due_pressure) || self.arena.live() == 0 {
+            return;
+        }
+        self.last_gc_icount = m.icount;
+        let rec = gc::collect(m, &mut self.arena, self.config.gc_parallel);
+        self.stats.gc_passes += 1;
+        self.stats.gc_ns += rec.ns;
+        let cyc = m.cost.ns_to_cycles(rec.ns);
+        self.stats.cycles.gc += cyc;
+        m.charge(cyc);
+        self.stats.gc_records.push(rec);
+    }
+
+    /// Force a GC pass now (used by tests and the Fig. 10 harness).
+    pub fn force_gc(&mut self, m: &mut Machine) -> crate::stats::GcRecord {
+        self.last_gc_icount = m.icount;
+        let rec = gc::collect(m, &mut self.arena, self.config.gc_parallel);
+        self.stats.gc_passes += 1;
+        self.stats.gc_ns += rec.ns;
+        self.stats.gc_records.push(rec);
+        rec
+    }
+
+    /// Look up a shadow value by key (tests/inspection).
+    pub fn shadow(&self, key: ShadowKey) -> Option<&A::Value> {
+        self.arena.get(key)
+    }
+}

@@ -1,0 +1,170 @@
+//! Runtime statistics: the measurement substrate for Figs. 9, 10 and 12.
+//!
+//! Cycle accounting is split per component exactly as Fig. 9 breaks down
+//! the cost of virtualizing one floating point instruction: hardware
+//! overhead, kernel overhead, (user) delivery, decode, bind, emulate,
+//! garbage collection, and the correctness-trap costs introduced by static
+//! analysis. Components that do real work in this reproduction (emulation,
+//! GC) are *measured* in host nanoseconds and converted at the profile
+//! clock; the simulated components (trap delivery) are charged from the
+//! cost model — see EXPERIMENTS.md.
+
+/// Per-component cycle breakdown (the Fig. 9 bars).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Microarchitectural exception raise + return.
+    pub hardware: u64,
+    /// Kernel dispatch.
+    pub kernel: u64,
+    /// Kernel→user signal delivery + sigreturn.
+    pub user_delivery: u64,
+    /// Instruction decode (cache hits + misses).
+    pub decode: u64,
+    /// Operand binding.
+    pub bind: u64,
+    /// Emulation (arith-system work + dispatch + boxing).
+    pub emulate: u64,
+    /// Garbage collection (amortized over traps).
+    pub gc: u64,
+    /// Correctness-trap dispatch (delivery of static-analysis traps).
+    pub correctness_dispatch: u64,
+    /// Correctness-trap handling (demotion checks + re-execution).
+    pub correctness_handler: u64,
+    /// Trap-and-patch check + call costs.
+    pub patch: u64,
+}
+
+impl CycleBreakdown {
+    /// Total virtualization cycles.
+    pub fn total(&self) -> u64 {
+        self.hardware
+            + self.kernel
+            + self.user_delivery
+            + self.decode
+            + self.bind
+            + self.emulate
+            + self.gc
+            + self.correctness_dispatch
+            + self.correctness_handler
+            + self.patch
+    }
+}
+
+/// One garbage collection pass (a Fig. 10 data point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcRecord {
+    /// Live shadow values before the pass.
+    pub before: usize,
+    /// Cells freed by the sweep.
+    pub freed: usize,
+    /// Live cells after.
+    pub alive: usize,
+    /// Bytes of program memory scanned.
+    pub scanned_bytes: u64,
+    /// Pass latency in host nanoseconds.
+    pub ns: u64,
+}
+
+/// Aggregate runtime statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Hardware FP exceptions delivered to FPVM.
+    pub fp_traps: u64,
+    /// Decode-cache hits.
+    pub decode_hits: u64,
+    /// Decode-cache misses (full decodes).
+    pub decode_misses: u64,
+    /// Instructions emulated (includes re-dispatch after patching).
+    pub emulated: u64,
+    /// Scalar lanes emulated (≥ `emulated`; packed ops emulate per lane).
+    pub emulated_lanes: u64,
+    /// Unboxed f64 → alternative-system promotions.
+    pub promotions: u64,
+    /// Shadow values allocated (boxes created).
+    pub boxes_created: u64,
+    /// Shadow → f64 demotions (printing, externals, correctness traps).
+    pub demotions: u64,
+    /// Correctness traps taken (static-analysis patched sites).
+    pub correctness_traps: u64,
+    /// §6.2 hardware NaN-hole traps taken (trap-on-NaN-load extension).
+    pub nan_hole_traps: u64,
+    /// Correctness traps that found a boxed operand (check "failed" — real
+    /// demotion work was needed).
+    pub correctness_demotions: u64,
+    /// Math-library calls interposed and emulated.
+    pub math_interposed: u64,
+    /// Output-wrapper invocations (printing problem handled).
+    pub output_wrapped: u64,
+    /// Patch-site fast-path executions (trap-and-patch, conditions held).
+    pub patch_fast: u64,
+    /// Patch-site slow-path executions (emulation needed).
+    pub patch_slow: u64,
+    /// Sites dynamically patched by the trap-and-patch engine.
+    pub sites_patched: u64,
+    /// GC passes.
+    pub gc_passes: u64,
+    /// GC records (Fig. 10).
+    pub gc_records: Vec<GcRecord>,
+    /// Cycle breakdown (Fig. 9).
+    pub cycles: CycleBreakdown,
+    /// Measured emulation time (host ns).
+    pub emulate_ns: u64,
+    /// Measured GC time (host ns).
+    pub gc_ns: u64,
+}
+
+impl Stats {
+    /// Average virtualization cost per hardware trap, in cycles (the Fig. 9
+    /// headline number). Excludes correctness and patch costs, which the
+    /// figure reports amortized separately.
+    pub fn avg_trap_cost(&self) -> f64 {
+        if self.fp_traps == 0 {
+            return 0.0;
+        }
+        let c = &self.cycles;
+        (c.hardware + c.kernel + c.user_delivery + c.decode + c.bind + c.emulate + c.gc) as f64
+            / self.fp_traps as f64
+    }
+
+    /// Decode cache hit rate.
+    pub fn decode_hit_rate(&self) -> f64 {
+        let total = self.decode_hits + self.decode_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.decode_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total() {
+        let c = CycleBreakdown {
+            hardware: 10,
+            kernel: 20,
+            emulate: 30,
+            patch: 5,
+            ..Default::default()
+        };
+        assert_eq!(c.total(), 65);
+    }
+
+    #[test]
+    fn avg_and_hit_rate() {
+        let mut s = Stats::default();
+        assert_eq!(s.avg_trap_cost(), 0.0);
+        assert_eq!(s.decode_hit_rate(), 0.0);
+        s.fp_traps = 2;
+        s.cycles.hardware = 100;
+        s.cycles.emulate = 100;
+        s.cycles.correctness_dispatch = 999; // excluded
+        assert_eq!(s.avg_trap_cost(), 100.0);
+        s.decode_hits = 99;
+        s.decode_misses = 1;
+        assert_eq!(s.decode_hit_rate(), 0.99);
+    }
+}

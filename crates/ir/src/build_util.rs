@@ -1,0 +1,185 @@
+//! Convenience builders for common control-flow shapes.
+
+use crate::{CmpOp, FuncBuilder, Ty, Value, Var};
+
+/// Emit `for i in 0..n { body }`. The closure receives the builder and the
+/// current induction value (freshly read each iteration). On return the
+/// insertion point is the block after the loop.
+pub fn loop_n(b: &mut FuncBuilder, n: i64, body: impl FnOnce(&mut FuncBuilder, Value)) {
+    let i = b.var(Ty::I64);
+    let z = b.ci(0);
+    b.write(i, z);
+    loop_var(b, i, n, body);
+}
+
+/// Emit `for i in 0..n` using a caller-provided induction variable (allows
+/// reuse across sequential loops to keep frames small).
+pub fn loop_var(b: &mut FuncBuilder, i: Var, n: i64, body: impl FnOnce(&mut FuncBuilder, Value)) {
+    let z = b.ci(0);
+    b.write(i, z);
+    let header = b.new_block();
+    let body_b = b.new_block();
+    let after = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let iv = b.read(i);
+    let nn = b.ci(n);
+    let c = b.icmp(CmpOp::Lt, iv, nn);
+    b.cond_br(c, body_b, after);
+    b.switch_to(body_b);
+    let iv = b.read(i);
+    body(b, iv);
+    let iv2 = b.read(i);
+    let one = b.ci(1);
+    let inext = b.iadd(iv2, one);
+    b.write(i, inext);
+    b.br(header);
+    b.switch_to(after);
+}
+
+/// Emit `if cond { then }` (no else). Insertion continues after.
+pub fn if_then(b: &mut FuncBuilder, cond: Value, then: impl FnOnce(&mut FuncBuilder)) {
+    let t = b.new_block();
+    let after = b.new_block();
+    b.cond_br(cond, t, after);
+    b.switch_to(t);
+    then(b);
+    b.br(after);
+    b.switch_to(after);
+}
+
+/// Emit `if cond { a } else { b }`.
+pub fn if_else(
+    b: &mut FuncBuilder,
+    cond: Value,
+    then: impl FnOnce(&mut FuncBuilder),
+    els: impl FnOnce(&mut FuncBuilder),
+) {
+    let t = b.new_block();
+    let e = b.new_block();
+    let after = b.new_block();
+    b.cond_br(cond, t, e);
+    b.switch_to(t);
+    then(b);
+    b.br(after);
+    b.switch_to(e);
+    els(b);
+    b.br(after);
+    b.switch_to(after);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileMode, Module};
+    use fpvm_machine::{CostModel, Event, Machine, OutputEvent};
+
+    fn run(m: &Module) -> Vec<OutputEvent> {
+        let c = compile(m, CompileMode::Native);
+        let mut mach = Machine::new(CostModel::r815());
+        mach.load_program(&c.program);
+        mach.hook_ext = false;
+        mach.mxcsr.mask_all();
+        assert_eq!(mach.run(1_000_000), Event::Halted);
+        mach.output
+    }
+
+    #[test]
+    fn loop_n_iterates_exactly_n_times() {
+        let mut m = Module::new();
+        m.build_func("main", &[], None, |b| {
+            let count = b.var(Ty::I64);
+            let z = b.ci(0);
+            b.write(count, z);
+            loop_n(b, 7, |b, iv| {
+                let c = b.read(count);
+                let one = b.ci(1);
+                let c2 = b.iadd(c, one);
+                b.write(count, c2);
+                // The induction value is visible and correct.
+                b.printi(iv);
+            });
+            let c = b.read(count);
+            b.printi(c);
+            b.ret(None);
+        });
+        let out = run(&m);
+        assert_eq!(out.len(), 8);
+        for (k, o) in out.iter().take(7).enumerate() {
+            assert_eq!(*o, OutputEvent::I64(k as i64));
+        }
+        assert_eq!(out[7], OutputEvent::I64(7));
+    }
+
+    #[test]
+    fn loop_n_zero_iterations() {
+        let mut m = Module::new();
+        m.build_func("main", &[], None, |b| {
+            loop_n(b, 0, |b, _| {
+                let x = b.ci(99);
+                b.printi(x);
+            });
+            let done = b.ci(1);
+            b.printi(done);
+            b.ret(None);
+        });
+        assert_eq!(run(&m), vec![OutputEvent::I64(1)]);
+    }
+
+    #[test]
+    fn if_then_and_if_else() {
+        let mut m = Module::new();
+        m.build_func("main", &[], None, |b| {
+            let t = b.ci(1);
+            let f = b.ci(0);
+            if_then(b, t, |b| {
+                let x = b.ci(10);
+                b.printi(x);
+            });
+            if_then(b, f, |b| {
+                let x = b.ci(20);
+                b.printi(x);
+            });
+            if_else(
+                b,
+                f,
+                |b| {
+                    let x = b.ci(30);
+                    b.printi(x);
+                },
+                |b| {
+                    let x = b.ci(40);
+                    b.printi(x);
+                },
+            );
+            b.ret(None);
+        });
+        assert_eq!(run(&m), vec![OutputEvent::I64(10), OutputEvent::I64(40)]);
+    }
+
+    #[test]
+    fn nested_loops() {
+        // Sum i*j over a 4x5 grid = (0+1+2+3)(0+1+2+3+4) = 6*10 = 60.
+        let mut m = Module::new();
+        m.build_func("main", &[], None, |b| {
+            let acc = b.var(Ty::I64);
+            let z = b.ci(0);
+            b.write(acc, z);
+            loop_n(b, 4, |b, iv| {
+                let iv_var = b.var(Ty::I64);
+                b.write(iv_var, iv);
+                loop_n(b, 5, |b, jv| {
+                    let i = b.read(iv_var);
+                    let p = b.imul(i, jv);
+                    let a = b.read(acc);
+                    let a2 = b.iadd(a, p);
+                    b.write(acc, a2);
+                });
+            });
+            let a = b.read(acc);
+            b.printi(a);
+            b.ret(None);
+        });
+        assert_eq!(run(&m), vec![OutputEvent::I64(60)]);
+    }
+}

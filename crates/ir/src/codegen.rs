@@ -1,0 +1,754 @@
+//! Code generation: IR → simulated-ISA program images.
+//!
+//! The generator is an unoptimizing (`-O0`-style) compiler: every value and
+//! variable lives in a frame slot, operations load into `xmm0`/`rax`,
+//! compute, and store back. This is deliberate — it produces exactly the
+//! memory-heavy, idiom-rich binaries the paper's pipeline confronts:
+//!
+//! * `fneg` → `xorpd` with a ±sign-mask constant (non-trapping hole);
+//! * `fabs` → `andpd` (hole);
+//! * `bitcast` → FP store + integer load (the Fig. 6 pattern);
+//! * math calls → `call_ext` (interposed by the runtime's shim).
+//!
+//! [`CompileMode::FpvmInstrumented`] implements the compiler-based approach
+//! of §3.4: every FP operation site is emitted as a **patch call** (the
+//! statically-inlined check + handler of Fig. 4) instead of a hardware
+//! instruction, and the site table is handed to the runtime at load time —
+//! no hardware trap support and no binary analysis required.
+
+use crate::{CmpOp, FBinOp, Func, GlobalInit, IBinOp, Inst as Ir, MathFn, Module, Ty, Value, Var};
+use fpvm_machine::{
+    AluOp, Asm, Cond, ExtFn, Gpr, Inst as MInst, Label, Mem, Program, TrapKind, Width, Xmm, RM,
+    XM,
+};
+
+/// Compilation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompileMode {
+    /// Plain code generation (run natively, or under trap-and-emulate /
+    /// static-analysis FPVM).
+    #[default]
+    Native,
+    /// Compiler-based FPVM (§3.4): FP operations become patch-call sites.
+    FpvmInstrumented,
+}
+
+/// A compiled program plus the patch-site table for instrumented builds.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The program image.
+    pub program: Program,
+    /// Patch sites `(id, original instruction, resume address)` to preload
+    /// into the runtime (empty for [`CompileMode::Native`]).
+    pub patch_sites: Vec<(u16, MInst, u64)>,
+}
+
+struct FnCg<'a> {
+    asm: &'a mut Asm,
+    nvals: usize,
+    mode: CompileMode,
+    patch_sites: &'a mut Vec<(u16, MInst, u64)>,
+    fn_labels: &'a [Label],
+    block_labels: Vec<Label>,
+    global_addrs: &'a [u64],
+    neg_mask: u64,
+    abs_mask: u64,
+}
+
+const INT_ARGS: [Gpr; 6] = [Gpr::RDI, Gpr::RSI, Gpr::RDX, Gpr::RCX, Gpr::R8, Gpr::R9];
+
+/// Compile a module.
+pub fn compile(m: &Module, mode: CompileMode) -> CompiledProgram {
+    let main = m.main.expect("module has no main function");
+    let mut asm = Asm::new();
+    // Constants used by the negation/abs idioms.
+    let neg_mask = asm.u128c([0x8000_0000_0000_0000, 0x8000_0000_0000_0000]);
+    let abs_mask = asm.u128c([0x7FFF_FFFF_FFFF_FFFF, 0x7FFF_FFFF_FFFF_FFFF]);
+    // Globals.
+    let global_addrs: Vec<u64> = m
+        .globals
+        .iter()
+        .map(|(name, init)| match init {
+            GlobalInit::Zeroed(n) => asm.global(name, *n),
+            GlobalInit::F64s(v) => asm.f64_array(name, v),
+            GlobalInit::I64s(v) => asm.i64_array(name, v),
+        })
+        .collect();
+    // Entry stub: call main; halt.
+    let fn_labels: Vec<Label> = (0..m.funcs.len()).map(|_| asm.label()).collect();
+    asm.call(fn_labels[main.0 as usize]);
+    asm.halt();
+    let mut patch_sites = Vec::new();
+    for (i, f) in m.funcs.iter().enumerate() {
+        asm.bind(fn_labels[i]);
+        let mut cg = FnCg {
+            asm: &mut asm,
+            nvals: f.value_tys.len(),
+            mode,
+            patch_sites: &mut patch_sites,
+            fn_labels: &fn_labels,
+            block_labels: Vec::new(),
+            global_addrs: &global_addrs,
+            neg_mask,
+            abs_mask,
+        };
+        cg.emit_function(f);
+    }
+    CompiledProgram {
+        program: asm.finish(),
+        patch_sites,
+    }
+}
+
+impl FnCg<'_> {
+    fn vslot(&self, v: Value) -> Mem {
+        Mem::base_disp(Gpr::RBP, -8 * (i64::from(v.0) + 1))
+    }
+
+    fn varslot(&self, v: Var) -> Mem {
+        Mem::base_disp(Gpr::RBP, -8 * (self.nvals as i64 + i64::from(v.0) + 1))
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn emit_function(&mut self, f: &Func) {
+        // Prologue.
+        let frame = (8 * (f.value_tys.len() + f.var_tys.len() + 2) as i64) & !15;
+        self.asm.push(Gpr::RBP);
+        self.asm.mov_rr(Gpr::RBP, Gpr::RSP);
+        self.asm.alu_ri(AluOp::Sub, Gpr::RSP, frame);
+        // Spill incoming arguments to their value slots.
+        let (mut ints, mut fps) = (0usize, 0usize);
+        for (i, ty) in f.params.iter().enumerate() {
+            let slot = self.vslot(Value(i as u32));
+            match ty {
+                Ty::I64 => {
+                    self.asm.store(slot, INT_ARGS[ints]);
+                    ints += 1;
+                }
+                Ty::F64 => {
+                    self.asm.movsd(slot, Xmm(fps as u8));
+                    fps += 1;
+                }
+            }
+        }
+        // Block labels.
+        self.block_labels = (0..f.blocks.len()).map(|_| self.asm.label()).collect();
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let l = self.block_labels[bi];
+            self.asm.bind(l);
+            for inst in block {
+                self.emit_inst(f, inst);
+            }
+        }
+    }
+
+    fn epilogue_ret(&mut self) {
+        self.asm.mov_rr(Gpr::RSP, Gpr::RBP);
+        self.asm.pop(Gpr::RBP);
+        self.asm.ret();
+    }
+
+    /// Emit an FP operation that writes `xmm0`: either the hardware
+    /// instruction, or (instrumented mode) a patch-call site.
+    fn fp_op(&mut self, inst: MInst) {
+        match self.mode {
+            CompileMode::Native => self.asm.emit(inst),
+            CompileMode::FpvmInstrumented => {
+                let id = self.patch_sites.len() as u16;
+                self.asm.emit(MInst::Trap {
+                    kind: TrapKind::PatchCall,
+                    id,
+                });
+                let next = self.asm.here();
+                self.patch_sites.push((id, inst, next));
+            }
+        }
+    }
+
+    /// Emit an integer load that may observe FP bit patterns: a plain load
+    /// in native mode, a patch-call demote site in instrumented mode (the
+    /// §3.4 pass covers the holes without any binary analysis).
+    fn int_load(&mut self, dst: Gpr, addr: Mem) {
+        let inst = MInst::Load {
+            dst,
+            addr,
+            w: Width::W64,
+        };
+        match self.mode {
+            CompileMode::Native => self.asm.emit(inst),
+            CompileMode::FpvmInstrumented => {
+                let id = self.patch_sites.len() as u16;
+                self.asm.emit(MInst::Trap {
+                    kind: TrapKind::PatchCall,
+                    id,
+                });
+                let next = self.asm.here();
+                self.patch_sites.push((id, inst, next));
+            }
+        }
+    }
+
+    fn emit_inst(&mut self, f: &Func, inst: &Ir) {
+        let x0 = Xmm(0);
+        let x1 = Xmm(1);
+        match inst {
+            Ir::ConstF { dst, v } => {
+                let c = self.asm.f64m(*v);
+                self.asm.movsd(x0, c);
+                let d = self.vslot(*dst);
+                self.asm.movsd(d, x0);
+            }
+            Ir::ConstI { dst, v } => {
+                self.asm.mov_ri(Gpr::RAX, *v);
+                let d = self.vslot(*dst);
+                self.asm.store(d, Gpr::RAX);
+            }
+            Ir::FBin { op, dst, a, b } => {
+                let (sa, sb, sd) = (self.vslot(*a), self.vslot(*b), self.vslot(*dst));
+                self.asm.movsd(x0, sa);
+                let m = match op {
+                    FBinOp::Add => MInst::AddSd { dst: x0, src: XM::Mem(sb) },
+                    FBinOp::Sub => MInst::SubSd { dst: x0, src: XM::Mem(sb) },
+                    FBinOp::Mul => MInst::MulSd { dst: x0, src: XM::Mem(sb) },
+                    FBinOp::Div => MInst::DivSd { dst: x0, src: XM::Mem(sb) },
+                    FBinOp::Min => MInst::MinSd { dst: x0, src: XM::Mem(sb) },
+                    FBinOp::Max => MInst::MaxSd { dst: x0, src: XM::Mem(sb) },
+                };
+                self.fp_op(m);
+                self.asm.movsd(sd, x0);
+            }
+            Ir::FNeg { dst, a } => {
+                let (sa, sd) = (self.vslot(*a), self.vslot(*dst));
+                self.asm.movsd(x0, sa);
+                self.fp_op(MInst::XorPd {
+                    dst: x0,
+                    src: XM::Mem(Mem::abs(self.neg_mask as i64)),
+                });
+                self.asm.movsd(sd, x0);
+            }
+            Ir::FAbs { dst, a } => {
+                let (sa, sd) = (self.vslot(*a), self.vslot(*dst));
+                self.asm.movsd(x0, sa);
+                self.fp_op(MInst::AndPd {
+                    dst: x0,
+                    src: XM::Mem(Mem::abs(self.abs_mask as i64)),
+                });
+                self.asm.movsd(sd, x0);
+            }
+            Ir::FSqrt { dst, a } => {
+                let (sa, sd) = (self.vslot(*a), self.vslot(*dst));
+                self.fp_op(MInst::SqrtSd {
+                    dst: x0,
+                    src: XM::Mem(sa),
+                });
+                self.asm.movsd(sd, x0);
+            }
+            Ir::FCmp { op, dst, a, b } => {
+                let (sa, sb, sd) = (self.vslot(*a), self.vslot(*b), self.vslot(*dst));
+                // NaN-safe: compile Lt/Le as reversed Gt/Ge so unordered
+                // compares produce false (the standard compiler trick).
+                let (lhs, rhs, cond) = match op {
+                    CmpOp::Lt => (sb, sa, Cond::A),
+                    CmpOp::Le => (sb, sa, Cond::Ae),
+                    CmpOp::Gt => (sa, sb, Cond::A),
+                    CmpOp::Ge => (sa, sb, Cond::Ae),
+                    CmpOp::Eq | CmpOp::Ne => (sa, sb, Cond::E),
+                };
+                self.asm.movsd(x0, lhs);
+                self.fp_op(MInst::UComISd {
+                    a: x0,
+                    b: XM::Mem(rhs),
+                });
+                match op {
+                    CmpOp::Eq => {
+                        let end = self.asm.label();
+                        self.asm.mov_ri(Gpr::RAX, 0);
+                        self.asm.jcc(Cond::P, end);
+                        self.asm.jcc(Cond::Ne, end);
+                        self.asm.mov_ri(Gpr::RAX, 1);
+                        self.asm.bind(end);
+                    }
+                    CmpOp::Ne => {
+                        let end = self.asm.label();
+                        self.asm.mov_ri(Gpr::RAX, 1);
+                        self.asm.jcc(Cond::P, end);
+                        self.asm.jcc(Cond::Ne, end);
+                        self.asm.mov_ri(Gpr::RAX, 0);
+                        self.asm.bind(end);
+                    }
+                    _ => {
+                        let end = self.asm.label();
+                        self.asm.mov_ri(Gpr::RAX, 1);
+                        self.asm.jcc(cond, end);
+                        self.asm.mov_ri(Gpr::RAX, 0);
+                        self.asm.bind(end);
+                    }
+                }
+                self.asm.store(sd, Gpr::RAX);
+            }
+            Ir::IBin { op, dst, a, b } => {
+                let (sa, sb, sd) = (self.vslot(*a), self.vslot(*b), self.vslot(*dst));
+                self.asm.load(Gpr::RAX, sa);
+                self.asm.load(Gpr::RCX, sb);
+                match op {
+                    IBinOp::Add => self.asm.alu_rr(AluOp::Add, Gpr::RAX, Gpr::RCX),
+                    IBinOp::Sub => self.asm.alu_rr(AluOp::Sub, Gpr::RAX, Gpr::RCX),
+                    IBinOp::Mul => self.asm.alu_rr(AluOp::IMul, Gpr::RAX, Gpr::RCX),
+                    IBinOp::Div => self.asm.emit(MInst::DivR {
+                        dst: Gpr::RAX,
+                        src: Gpr::RCX,
+                    }),
+                    IBinOp::Rem => self.asm.emit(MInst::RemR {
+                        dst: Gpr::RAX,
+                        src: Gpr::RCX,
+                    }),
+                    IBinOp::And => self.asm.alu_rr(AluOp::And, Gpr::RAX, Gpr::RCX),
+                    IBinOp::Or => self.asm.alu_rr(AluOp::Or, Gpr::RAX, Gpr::RCX),
+                    IBinOp::Xor => self.asm.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RCX),
+                    IBinOp::Shl => self.asm.alu_rr(AluOp::Shl, Gpr::RAX, Gpr::RCX),
+                    IBinOp::Shr => self.asm.alu_rr(AluOp::Shr, Gpr::RAX, Gpr::RCX),
+                }
+                self.asm.store(sd, Gpr::RAX);
+            }
+            Ir::ICmp { op, dst, a, b } => {
+                let (sa, sb, sd) = (self.vslot(*a), self.vslot(*b), self.vslot(*dst));
+                self.asm.load(Gpr::RAX, sa);
+                self.asm.load(Gpr::RCX, sb);
+                self.asm.cmp_rr(Gpr::RAX, Gpr::RCX);
+                let cond = match op {
+                    CmpOp::Eq => Cond::E,
+                    CmpOp::Ne => Cond::Ne,
+                    CmpOp::Lt => Cond::L,
+                    CmpOp::Le => Cond::Le,
+                    CmpOp::Gt => Cond::G,
+                    CmpOp::Ge => Cond::Ge,
+                };
+                let end = self.asm.label();
+                self.asm.mov_ri(Gpr::RAX, 1);
+                self.asm.jcc(cond, end);
+                self.asm.mov_ri(Gpr::RAX, 0);
+                self.asm.bind(end);
+                self.asm.store(sd, Gpr::RAX);
+            }
+            Ir::IToF { dst, a } => {
+                let (sa, sd) = (self.vslot(*a), self.vslot(*dst));
+                self.asm.load(Gpr::RAX, sa);
+                self.fp_op(MInst::CvtSi2Sd {
+                    dst: x0,
+                    src: RM::Reg(Gpr::RAX),
+                    w: Width::W64,
+                });
+                self.asm.movsd(sd, x0);
+            }
+            Ir::FToI { dst, a } => {
+                let (sa, sd) = (self.vslot(*a), self.vslot(*dst));
+                self.fp_op(MInst::CvtTSd2Si {
+                    dst: Gpr::RAX,
+                    src: XM::Mem(sa),
+                    w: Width::W64,
+                });
+                self.asm.store(sd, Gpr::RAX);
+            }
+            Ir::BitcastFI { dst, a } => {
+                // The Fig. 6 idiom: integer load of an FP-written slot. The
+                // compiler-based pass knows this is a punning load and
+                // instruments it (the binary approaches need VSA to find it).
+                let (sa, sd) = (self.vslot(*a), self.vslot(*dst));
+                self.int_load(Gpr::RAX, sa);
+                self.asm.store(sd, Gpr::RAX);
+            }
+            Ir::BitcastIF { dst, a } => {
+                let (sa, sd) = (self.vslot(*a), self.vslot(*dst));
+                self.asm.load(Gpr::RAX, sa);
+                self.asm.store(sd, Gpr::RAX);
+            }
+            Ir::ReadVar { dst, var } => {
+                let (sv, sd) = (self.varslot(*var), self.vslot(*dst));
+                match f.var_tys[var.0 as usize] {
+                    Ty::F64 => {
+                        self.asm.movsd(x0, sv);
+                        self.asm.movsd(sd, x0);
+                    }
+                    Ty::I64 => {
+                        self.asm.load(Gpr::RAX, sv);
+                        self.asm.store(sd, Gpr::RAX);
+                    }
+                }
+            }
+            Ir::WriteVar { var, v } => {
+                let (sv, s) = (self.varslot(*var), self.vslot(*v));
+                match f.var_tys[var.0 as usize] {
+                    Ty::F64 => {
+                        self.asm.movsd(x0, s);
+                        self.asm.movsd(sv, x0);
+                    }
+                    Ty::I64 => {
+                        self.asm.load(Gpr::RAX, s);
+                        self.asm.store(sv, Gpr::RAX);
+                    }
+                }
+            }
+            Ir::GlobalAddr { dst, g } => {
+                let sd = self.vslot(*dst);
+                self.asm
+                    .mov_ri(Gpr::RAX, self.global_addrs[g.0 as usize] as i64);
+                self.asm.store(sd, Gpr::RAX);
+            }
+            Ir::LoadF { dst, addr, off } => {
+                let (sp, sd) = (self.vslot(*addr), self.vslot(*dst));
+                self.asm.load(Gpr::RCX, sp);
+                self.asm.movsd(x0, Mem::base_disp(Gpr::RCX, *off));
+                self.asm.movsd(sd, x0);
+            }
+            Ir::StoreF { addr, off, v } => {
+                let (sp, sv) = (self.vslot(*addr), self.vslot(*v));
+                self.asm.load(Gpr::RCX, sp);
+                self.asm.movsd(x0, sv);
+                self.asm.movsd(Mem::base_disp(Gpr::RCX, *off), x0);
+            }
+            Ir::LoadI { dst, addr, off } => {
+                let (sp, sd) = (self.vslot(*addr), self.vslot(*dst));
+                self.asm.load(Gpr::RCX, sp);
+                // Through-pointer integer loads may observe FP memory; the
+                // compiler-based pass instruments them like bitcasts.
+                self.int_load(Gpr::RAX, Mem::base_disp(Gpr::RCX, *off));
+                self.asm.store(sd, Gpr::RAX);
+            }
+            Ir::StoreI { addr, off, v } => {
+                let (sp, sv) = (self.vslot(*addr), self.vslot(*v));
+                self.asm.load(Gpr::RCX, sp);
+                self.asm.load(Gpr::RAX, sv);
+                self.asm.store(Mem::base_disp(Gpr::RCX, *off), Gpr::RAX);
+            }
+            Ir::CallMath { dst, f: mf, args } => {
+                for (i, a) in args.iter().enumerate() {
+                    let s = self.vslot(*a);
+                    self.asm.movsd(Xmm(i as u8), s);
+                }
+                self.asm.call_ext(math_ext(*mf));
+                let sd = self.vslot(*dst);
+                self.asm.movsd(sd, x0);
+            }
+            Ir::Call { dst, f: callee, args } => {
+                // Load arguments into registers per the convention.
+                let (mut ints, mut fps) = (0usize, 0usize);
+                // NOTE: argument types come from the *values'* types in this
+                // function.
+                for a in args {
+                    let s = self.vslot(*a);
+                    match f.value_tys[a.0 as usize] {
+                        Ty::I64 => {
+                            self.asm.load(INT_ARGS[ints], s);
+                            ints += 1;
+                        }
+                        Ty::F64 => {
+                            self.asm.movsd(Xmm(fps as u8), s);
+                            fps += 1;
+                        }
+                    }
+                }
+                self.asm.call(self.fn_labels[callee.0 as usize]);
+                if let Some(d) = dst {
+                    let sd = self.vslot(*d);
+                    match f.value_tys[d.0 as usize] {
+                        Ty::F64 => self.asm.movsd(sd, x0),
+                        Ty::I64 => self.asm.store(sd, Gpr::RAX),
+                    }
+                }
+            }
+            Ir::Alloc { dst, size } => {
+                let (ss, sd) = (self.vslot(*size), self.vslot(*dst));
+                self.asm.load(Gpr::RDI, ss);
+                self.asm.call_ext(ExtFn::AllocHeap);
+                self.asm.store(sd, Gpr::RAX);
+            }
+            Ir::PrintF { v } => {
+                let s = self.vslot(*v);
+                self.asm.movsd(x0, s);
+                self.asm.call_ext(ExtFn::PrintF64);
+            }
+            Ir::PrintI { v } => {
+                let s = self.vslot(*v);
+                self.asm.load(Gpr::RDI, s);
+                self.asm.call_ext(ExtFn::PrintI64);
+            }
+            Ir::Br { target } => {
+                let l = self.block_labels[target.0 as usize];
+                self.asm.jmp(l);
+            }
+            Ir::CondBr {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let s = self.vslot(*cond);
+                self.asm.load(Gpr::RAX, s);
+                self.asm.test_rr(Gpr::RAX, Gpr::RAX);
+                let lt = self.block_labels[then_b.0 as usize];
+                let le = self.block_labels[else_b.0 as usize];
+                self.asm.jcc(Cond::Ne, lt);
+                self.asm.jmp(le);
+            }
+            Ir::Ret { v } => {
+                if let Some(v) = v {
+                    let s = self.vslot(*v);
+                    match f.value_tys[v.0 as usize] {
+                        Ty::F64 => self.asm.movsd(x0, s),
+                        Ty::I64 => self.asm.load(Gpr::RAX, s),
+                    }
+                }
+                self.epilogue_ret();
+            }
+        }
+        let _ = x1;
+    }
+}
+
+fn math_ext(f: MathFn) -> ExtFn {
+    match f {
+        MathFn::Sin => ExtFn::Sin,
+        MathFn::Cos => ExtFn::Cos,
+        MathFn::Tan => ExtFn::Tan,
+        MathFn::Asin => ExtFn::Asin,
+        MathFn::Acos => ExtFn::Acos,
+        MathFn::Atan => ExtFn::Atan,
+        MathFn::Atan2 => ExtFn::Atan2,
+        MathFn::Exp => ExtFn::Exp,
+        MathFn::Log => ExtFn::Log,
+        MathFn::Log10 => ExtFn::Log10,
+        MathFn::Pow => ExtFn::Pow,
+        MathFn::Floor => ExtFn::Floor,
+        MathFn::Ceil => ExtFn::Ceil,
+        MathFn::Fabs => ExtFn::Fabs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm_machine::{CostModel, Event, Machine, OutputEvent};
+
+    fn run(m: &Module) -> Vec<OutputEvent> {
+        let c = compile(m, CompileMode::Native);
+        let mut mach = Machine::new(CostModel::r815());
+        mach.load_program(&c.program);
+        mach.hook_ext = false;
+        mach.mxcsr.mask_all();
+        let ev = mach.run(10_000_000);
+        assert_eq!(ev, Event::Halted, "{ev:?}");
+        mach.output
+    }
+
+    fn outf(o: &OutputEvent) -> f64 {
+        match o {
+            OutputEvent::F64(b) => f64::from_bits(*b),
+            _ => panic!("expected f64"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let mut m = Module::new();
+        m.build_func("main", &[], None, |b| {
+            let x = b.cf(1.5);
+            let y = b.cf(2.25);
+            let s = b.fadd(x, y);
+            let p = b.fmul(s, y);
+            b.printf(p);
+            let n = b.fneg(p);
+            b.printf(n);
+            let abs = b.fabs(n);
+            b.printf(abs);
+            b.ret(None);
+        });
+        let out = run(&m);
+        assert_eq!(outf(&out[0]), 3.75 * 2.25);
+        assert_eq!(outf(&out[1]), -3.75 * 2.25);
+        assert_eq!(outf(&out[2]), 3.75 * 2.25);
+    }
+
+    #[test]
+    fn loops_and_vars() {
+        // Sum of i*0.5 for i in 0..10.
+        let mut m = Module::new();
+        m.build_func("main", &[], None, |b| {
+            let acc = b.var(Ty::F64);
+            let i = b.var(Ty::I64);
+            let zero_f = b.cf(0.0);
+            let zero_i = b.ci(0);
+            b.write(acc, zero_f);
+            b.write(i, zero_i);
+            let header = b.new_block();
+            let body = b.new_block();
+            let exit = b.new_block();
+            b.br(header);
+            b.switch_to(header);
+            let iv = b.read(i);
+            let ten = b.ci(10);
+            let c = b.icmp(CmpOp::Lt, iv, ten);
+            b.cond_br(c, body, exit);
+            b.switch_to(body);
+            let iv2 = b.read(i);
+            let f = b.itof(iv2);
+            let half = b.cf(0.5);
+            let term = b.fmul(f, half);
+            let a = b.read(acc);
+            let a2 = b.fadd(a, term);
+            b.write(acc, a2);
+            let one = b.ci(1);
+            let inext = b.iadd(iv2, one);
+            b.write(i, inext);
+            b.br(header);
+            b.switch_to(exit);
+            let result = b.read(acc);
+            b.printf(result);
+            b.ret(None);
+        });
+        let out = run(&m);
+        assert_eq!(outf(&out[0]), 22.5);
+    }
+
+    #[test]
+    fn function_calls_with_mixed_args() {
+        // f(x, n, y) = x * y + n as f64
+        let mut m = Module::new();
+        let f = m.build_func("f", &[Ty::F64, Ty::I64, Ty::F64], Some(Ty::F64), |b| {
+            let x = b.param(0);
+            let n = b.param(1);
+            let y = b.param(2);
+            let p = b.fmul(x, y);
+            let nf = b.itof(n);
+            let r = b.fadd(p, nf);
+            b.ret(Some(r));
+        });
+        m.build_func("main", &[], None, |b| {
+            let x = b.cf(3.0);
+            let n = b.ci(7);
+            let y = b.cf(0.5);
+            let r = b.call(f, &[x, n, y], Some(Ty::F64)).unwrap();
+            b.printf(r);
+            b.ret(None);
+        });
+        let out = run(&m);
+        assert_eq!(outf(&out[0]), 8.5);
+    }
+
+    #[test]
+    fn recursion() {
+        let mut m = Module::new();
+        let fac = m.declare("fact", &[Ty::I64], Some(Ty::I64));
+        m.define(fac, |b| {
+            let n = b.param(0);
+            let one = b.ci(1);
+            let base = b.new_block();
+            let rec = b.new_block();
+            let c = b.icmp(CmpOp::Le, n, one);
+            b.cond_br(c, base, rec);
+            b.switch_to(base);
+            let one2 = b.ci(1);
+            b.ret(Some(one2));
+            b.switch_to(rec);
+            let one3 = b.ci(1);
+            let nm1 = b.isub(n, one3);
+            let sub = b.call(fac, &[nm1], Some(Ty::I64)).unwrap();
+            let r = b.imul(n, sub);
+            b.ret(Some(r));
+        });
+        m.build_func("main", &[], None, |b| {
+            let n = b.ci(10);
+            let r = b.call(fac, &[n], Some(Ty::I64)).unwrap();
+            b.printi(r);
+            b.ret(None);
+        });
+        let out = run(&m);
+        assert_eq!(out[0], OutputEvent::I64(3628800));
+    }
+
+    #[test]
+    fn globals_heap_and_memory() {
+        let mut m = Module::new();
+        let table = m.global("table", GlobalInit::F64s(vec![1.0, 2.0, 3.0]));
+        m.build_func("main", &[], None, |b| {
+            // Sum the global table into a heap cell, print.
+            let size = b.ci(8);
+            let cell = b.alloc(size);
+            let zero = b.cf(0.0);
+            b.storef(cell, 0, zero);
+            let base = b.global_addr(table);
+            for k in 0..3 {
+                let x = b.loadf(base, 8 * k);
+                let acc = b.loadf(cell, 0);
+                let s = b.fadd(acc, x);
+                b.storef(cell, 0, s);
+            }
+            let r = b.loadf(cell, 0);
+            b.printf(r);
+            b.ret(None);
+        });
+        let out = run(&m);
+        assert_eq!(outf(&out[0]), 6.0);
+    }
+
+    #[test]
+    fn math_calls_and_cmp() {
+        let mut m = Module::new();
+        m.build_func("main", &[], None, |b| {
+            let x = b.cf(0.5);
+            let s = b.math(MathFn::Sin, &[x]);
+            b.printf(s);
+            let y = b.cf(2.0);
+            let p = b.math(MathFn::Pow, &[y, y]);
+            b.printf(p);
+            // fcmp: sin(0.5) < 1.0 ?
+            let one = b.cf(1.0);
+            let c = b.fcmp(CmpOp::Lt, s, one);
+            b.printi(c);
+            let c2 = b.fcmp(CmpOp::Ge, s, one);
+            b.printi(c2);
+            b.ret(None);
+        });
+        let out = run(&m);
+        assert_eq!(outf(&out[0]), 0.5f64.sin());
+        assert_eq!(outf(&out[1]), 4.0);
+        assert_eq!(out[2], OutputEvent::I64(1));
+        assert_eq!(out[3], OutputEvent::I64(0));
+    }
+
+    #[test]
+    fn bitcast_idiom() {
+        let mut m = Module::new();
+        m.build_func("main", &[], None, |b| {
+            let x = b.cf(1.0);
+            let bits = b.bitcast_fi(x);
+            b.printi(bits);
+            let back = b.bitcast_if(bits);
+            b.printf(back);
+            b.ret(None);
+        });
+        let out = run(&m);
+        assert_eq!(out[0], OutputEvent::I64(1.0f64.to_bits() as i64));
+        assert_eq!(outf(&out[1]), 1.0);
+    }
+
+    #[test]
+    fn nan_safe_compares() {
+        let mut m = Module::new();
+        m.build_func("main", &[], None, |b| {
+            let zero = b.cf(0.0);
+            let nan = b.fdiv(zero, zero);
+            let one = b.cf(1.0);
+            for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq] {
+                let c = b.fcmp(op, nan, one);
+                b.printi(c);
+            }
+            let ne = b.fcmp(CmpOp::Ne, nan, one);
+            b.printi(ne);
+            b.ret(None);
+        });
+        let out = run(&m);
+        for (i, o) in out.iter().take(5).enumerate() {
+            assert_eq!(*o, OutputEvent::I64(0), "cmp {i} with NaN is false");
+        }
+        assert_eq!(out[5], OutputEvent::I64(1), "Ne with NaN is true");
+    }
+}

@@ -1,0 +1,588 @@
+//! # fpvm-ir — a small typed IR and compiler targeting the simulated ISA
+//!
+//! The reproduction's stand-in for the paper's LLVM/gclang pipeline (§3.4,
+//! Fig. 4): workloads are written against this IR's builder API and
+//! compiled to [`fpvm_machine::Program`] images. Two things matter:
+//!
+//! 1. The **code generator is deliberately idiomatic**: negation compiles
+//!    to `xorpd` with a sign mask, `fabs` to `andpd`, and bitcasts to
+//!    FP-store-then-integer-load sequences — the exact compiler idioms that
+//!    create the non-trapping holes §4.2's static analysis must find.
+//! 2. A **compiler-based FPVM mode** ([`CompileMode::FpvmInstrumented`])
+//!    replaces every FP operation with an inline-check patch site at build
+//!    time — the IR-transformation approach of §3.4, with no hardware trap
+//!    requirement and no binary analysis.
+//!
+//! The IR is intentionally un-SSA (mutable [`Var`]s like `-O0` clang
+//! output): there are about a dozen FP-relevant operations, versus the
+//! "hundreds of instructions" at ISA level — the 13-instruction LLVM
+//! observation of §3.4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build_util;
+pub mod codegen;
+
+pub use codegen::{compile, CompileMode, CompiledProgram};
+
+use std::collections::HashMap;
+
+/// Value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit IEEE double.
+    F64,
+    /// 64-bit signed integer.
+    I64,
+}
+
+/// A virtual register (single assignment by convention; slots in codegen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value(pub(crate) u32);
+
+/// A mutable local variable (stack slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) u32);
+
+/// A basic block label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(pub(crate) u32);
+
+/// A function handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncId(pub(crate) u32);
+
+/// A global (data-segment) object handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalId(pub(crate) u32);
+
+/// Floating point binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum FBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+}
+
+/// Integer binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum IBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+/// Comparison predicates (shared by int and FP compares; FP compares are
+/// quiet and NaN-safe: any comparison with NaN is false except `Ne`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Math library functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum MathFn {
+    Sin,
+    Cos,
+    Tan,
+    Asin,
+    Acos,
+    Atan,
+    Atan2,
+    Exp,
+    Log,
+    Log10,
+    Pow,
+    Floor,
+    Ceil,
+    Fabs,
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub enum Inst {
+    ConstF { dst: Value, v: f64 },
+    ConstI { dst: Value, v: i64 },
+    FBin { op: FBinOp, dst: Value, a: Value, b: Value },
+    FNeg { dst: Value, a: Value },
+    FAbs { dst: Value, a: Value },
+    FSqrt { dst: Value, a: Value },
+    FCmp { op: CmpOp, dst: Value, a: Value, b: Value },
+    IBin { op: IBinOp, dst: Value, a: Value, b: Value },
+    ICmp { op: CmpOp, dst: Value, a: Value, b: Value },
+    IToF { dst: Value, a: Value },
+    /// Truncating f64 → i64.
+    FToI { dst: Value, a: Value },
+    /// Reinterpret f64 bits as i64 (compiles to the Fig. 6 idiom).
+    BitcastFI { dst: Value, a: Value },
+    /// Reinterpret i64 bits as f64.
+    BitcastIF { dst: Value, a: Value },
+    ReadVar { dst: Value, var: Var },
+    WriteVar { var: Var, v: Value },
+    /// Address of a global object.
+    GlobalAddr { dst: Value, g: GlobalId },
+    /// Load f64 through a pointer (+ constant byte offset).
+    LoadF { dst: Value, addr: Value, off: i64 },
+    StoreF { addr: Value, off: i64, v: Value },
+    LoadI { dst: Value, addr: Value, off: i64 },
+    StoreI { addr: Value, off: i64, v: Value },
+    CallMath { dst: Value, f: MathFn, args: Vec<Value> },
+    Call { dst: Option<Value>, f: FuncId, args: Vec<Value> },
+    /// Heap allocation (bytes) → pointer.
+    Alloc { dst: Value, size: Value },
+    PrintF { v: Value },
+    PrintI { v: Value },
+    Br { target: BlockId },
+    CondBr { cond: Value, then_b: BlockId, else_b: BlockId },
+    Ret { v: Option<Value> },
+}
+
+/// A function under construction / in a module.
+#[derive(Debug, Clone)]
+pub struct Func {
+    /// Name (diagnostics).
+    pub name: String,
+    /// Parameter types (passed in registers; materialized into values).
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Option<Ty>,
+    pub(crate) blocks: Vec<Vec<Inst>>,
+    pub(crate) value_tys: Vec<Ty>,
+    pub(crate) var_tys: Vec<Ty>,
+}
+
+/// A global data object.
+#[derive(Debug, Clone)]
+pub enum GlobalInit {
+    /// Zero-filled bytes.
+    Zeroed(usize),
+    /// f64 array.
+    F64s(Vec<f64>),
+    /// i64 array.
+    I64s(Vec<i64>),
+}
+
+/// A whole program: functions + globals + a designated main.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    pub(crate) funcs: Vec<Func>,
+    pub(crate) globals: Vec<(String, GlobalInit)>,
+    pub(crate) main: Option<FuncId>,
+    names: HashMap<String, FuncId>,
+}
+
+impl Module {
+    /// Empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Declare a function and get a builder for it. The first function
+    /// named "main" (or explicitly set via [`Module::set_main`]) is the
+    /// entry point.
+    pub fn build_func(
+        &mut self,
+        name: &str,
+        params: &[Ty],
+        ret: Option<Ty>,
+        build: impl FnOnce(&mut FuncBuilder),
+    ) -> FuncId {
+        let id = self.declare(name, params, ret);
+        self.define(id, build);
+        id
+    }
+
+    /// Forward-declare a function (for recursion / call-before-define).
+    pub fn declare(&mut self, name: &str, params: &[Ty], ret: Option<Ty>) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(Func {
+            name: name.to_string(),
+            params: params.to_vec(),
+            ret,
+            blocks: vec![Vec::new()],
+            value_tys: params.to_vec(),
+            var_tys: Vec::new(),
+        });
+        self.names.insert(name.to_string(), id);
+        if name == "main" && self.main.is_none() {
+            self.main = Some(id);
+        }
+        id
+    }
+
+    /// Define a previously-declared function's body.
+    pub fn define(&mut self, id: FuncId, build: impl FnOnce(&mut FuncBuilder)) {
+        let mut fb = FuncBuilder {
+            func: self.funcs[id.0 as usize].clone(),
+            cur: BlockId(0),
+        };
+        build(&mut fb);
+        self.funcs[id.0 as usize] = fb.func;
+    }
+
+    /// Add a global object.
+    pub fn global(&mut self, name: &str, init: GlobalInit) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push((name.to_string(), init));
+        id
+    }
+
+    /// Set the entry function.
+    pub fn set_main(&mut self, f: FuncId) {
+        self.main = Some(f);
+    }
+
+    /// Look up a function by name.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.names.get(name).copied()
+    }
+
+    /// Number of functions.
+    pub fn func_count(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Count FP-relevant IR operations (the §3.4 observation: a handful of
+    /// IR op kinds stand in for hundreds of ISA instructions).
+    pub fn fp_op_count(&self) -> usize {
+        self.funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter().flatten())
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::FBin { .. }
+                        | Inst::FNeg { .. }
+                        | Inst::FAbs { .. }
+                        | Inst::FSqrt { .. }
+                        | Inst::FCmp { .. }
+                        | Inst::IToF { .. }
+                        | Inst::FToI { .. }
+                        | Inst::CallMath { .. }
+                )
+            })
+            .count()
+    }
+}
+
+/// Builder for one function. Parameters are values `0..params.len()`.
+pub struct FuncBuilder {
+    func: Func,
+    cur: BlockId,
+}
+
+impl FuncBuilder {
+    /// The `i`-th parameter as a value.
+    pub fn param(&self, i: usize) -> Value {
+        assert!(i < self.func.params.len());
+        Value(i as u32)
+    }
+
+    fn fresh(&mut self, ty: Ty) -> Value {
+        self.func.value_tys.push(ty);
+        Value(self.func.value_tys.len() as u32 - 1)
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.func.blocks[self.cur.0 as usize].push(inst);
+    }
+
+    /// Create a new (empty) block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.blocks.push(Vec::new());
+        BlockId(self.func.blocks.len() as u32 - 1)
+    }
+
+    /// Switch the insertion point.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// Declare a mutable local variable.
+    pub fn var(&mut self, ty: Ty) -> Var {
+        self.func.var_tys.push(ty);
+        Var(self.func.var_tys.len() as u32 - 1)
+    }
+
+    /// Type of a value.
+    pub fn ty(&self, v: Value) -> Ty {
+        self.func.value_tys[v.0 as usize]
+    }
+
+    // ---- constants & vars --------------------------------------------------
+
+    /// f64 constant.
+    pub fn cf(&mut self, v: f64) -> Value {
+        let dst = self.fresh(Ty::F64);
+        self.push(Inst::ConstF { dst, v });
+        dst
+    }
+
+    /// i64 constant.
+    pub fn ci(&mut self, v: i64) -> Value {
+        let dst = self.fresh(Ty::I64);
+        self.push(Inst::ConstI { dst, v });
+        dst
+    }
+
+    /// Read a variable.
+    pub fn read(&mut self, var: Var) -> Value {
+        let ty = self.func.var_tys[var.0 as usize];
+        let dst = self.fresh(ty);
+        self.push(Inst::ReadVar { dst, var });
+        dst
+    }
+
+    /// Write a variable.
+    pub fn write(&mut self, var: Var, v: Value) {
+        debug_assert_eq!(self.func.var_tys[var.0 as usize], self.ty(v));
+        self.push(Inst::WriteVar { var, v });
+    }
+
+    // ---- FP ------------------------------------------------------------------
+
+    fn fbin(&mut self, op: FBinOp, a: Value, b: Value) -> Value {
+        debug_assert_eq!(self.ty(a), Ty::F64);
+        debug_assert_eq!(self.ty(b), Ty::F64);
+        let dst = self.fresh(Ty::F64);
+        self.push(Inst::FBin { op, dst, a, b });
+        dst
+    }
+
+    /// a + b.
+    pub fn fadd(&mut self, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::Add, a, b)
+    }
+    /// a − b.
+    pub fn fsub(&mut self, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::Sub, a, b)
+    }
+    /// a × b.
+    pub fn fmul(&mut self, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::Mul, a, b)
+    }
+    /// a ÷ b.
+    pub fn fdiv(&mut self, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::Div, a, b)
+    }
+    /// min(a, b) (x64 semantics).
+    pub fn fmin(&mut self, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::Min, a, b)
+    }
+    /// max(a, b).
+    pub fn fmax(&mut self, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::Max, a, b)
+    }
+    /// −a (compiles to the `xorpd` idiom).
+    pub fn fneg(&mut self, a: Value) -> Value {
+        let dst = self.fresh(Ty::F64);
+        self.push(Inst::FNeg { dst, a });
+        dst
+    }
+    /// |a| (compiles to the `andpd` idiom).
+    pub fn fabs(&mut self, a: Value) -> Value {
+        let dst = self.fresh(Ty::F64);
+        self.push(Inst::FAbs { dst, a });
+        dst
+    }
+    /// √a.
+    pub fn fsqrt(&mut self, a: Value) -> Value {
+        let dst = self.fresh(Ty::F64);
+        self.push(Inst::FSqrt { dst, a });
+        dst
+    }
+    /// FP compare → 0/1.
+    pub fn fcmp(&mut self, op: CmpOp, a: Value, b: Value) -> Value {
+        let dst = self.fresh(Ty::I64);
+        self.push(Inst::FCmp { op, dst, a, b });
+        dst
+    }
+
+    // ---- integer ----------------------------------------------------------------
+
+    fn ibin(&mut self, op: IBinOp, a: Value, b: Value) -> Value {
+        let dst = self.fresh(Ty::I64);
+        self.push(Inst::IBin { op, dst, a, b });
+        dst
+    }
+
+    /// a + b.
+    pub fn iadd(&mut self, a: Value, b: Value) -> Value {
+        self.ibin(IBinOp::Add, a, b)
+    }
+    /// a − b.
+    pub fn isub(&mut self, a: Value, b: Value) -> Value {
+        self.ibin(IBinOp::Sub, a, b)
+    }
+    /// a × b.
+    pub fn imul(&mut self, a: Value, b: Value) -> Value {
+        self.ibin(IBinOp::Mul, a, b)
+    }
+    /// a ÷ b (signed).
+    pub fn idiv(&mut self, a: Value, b: Value) -> Value {
+        self.ibin(IBinOp::Div, a, b)
+    }
+    /// a mod b.
+    pub fn irem(&mut self, a: Value, b: Value) -> Value {
+        self.ibin(IBinOp::Rem, a, b)
+    }
+    /// a & b.
+    pub fn iand(&mut self, a: Value, b: Value) -> Value {
+        self.ibin(IBinOp::And, a, b)
+    }
+    /// a | b.
+    pub fn ior(&mut self, a: Value, b: Value) -> Value {
+        self.ibin(IBinOp::Or, a, b)
+    }
+    /// a ^ b.
+    pub fn ixor(&mut self, a: Value, b: Value) -> Value {
+        self.ibin(IBinOp::Xor, a, b)
+    }
+    /// a << b.
+    pub fn ishl(&mut self, a: Value, b: Value) -> Value {
+        self.ibin(IBinOp::Shl, a, b)
+    }
+    /// a >> b (logical).
+    pub fn ishr(&mut self, a: Value, b: Value) -> Value {
+        self.ibin(IBinOp::Shr, a, b)
+    }
+    /// Integer compare → 0/1.
+    pub fn icmp(&mut self, op: CmpOp, a: Value, b: Value) -> Value {
+        let dst = self.fresh(Ty::I64);
+        self.push(Inst::ICmp { op, dst, a, b });
+        dst
+    }
+
+    // ---- conversions & bitcasts -----------------------------------------------
+
+    /// i64 → f64.
+    pub fn itof(&mut self, a: Value) -> Value {
+        let dst = self.fresh(Ty::F64);
+        self.push(Inst::IToF { dst, a });
+        dst
+    }
+    /// f64 → i64 (truncating).
+    pub fn ftoi(&mut self, a: Value) -> Value {
+        let dst = self.fresh(Ty::I64);
+        self.push(Inst::FToI { dst, a });
+        dst
+    }
+    /// Reinterpret f64 bits as i64 (the Fig. 6 pointer-punning idiom).
+    pub fn bitcast_fi(&mut self, a: Value) -> Value {
+        let dst = self.fresh(Ty::I64);
+        self.push(Inst::BitcastFI { dst, a });
+        dst
+    }
+    /// Reinterpret i64 bits as f64.
+    pub fn bitcast_if(&mut self, a: Value) -> Value {
+        let dst = self.fresh(Ty::F64);
+        self.push(Inst::BitcastIF { dst, a });
+        dst
+    }
+
+    // ---- memory ---------------------------------------------------------------
+
+    /// Address of a global.
+    pub fn global_addr(&mut self, g: GlobalId) -> Value {
+        let dst = self.fresh(Ty::I64);
+        self.push(Inst::GlobalAddr { dst, g });
+        dst
+    }
+    /// Load f64 at `addr + off`.
+    pub fn loadf(&mut self, addr: Value, off: i64) -> Value {
+        let dst = self.fresh(Ty::F64);
+        self.push(Inst::LoadF { dst, addr, off });
+        dst
+    }
+    /// Store f64 at `addr + off`.
+    pub fn storef(&mut self, addr: Value, off: i64, v: Value) {
+        self.push(Inst::StoreF { addr, off, v });
+    }
+    /// Load i64 at `addr + off`.
+    pub fn loadi(&mut self, addr: Value, off: i64) -> Value {
+        let dst = self.fresh(Ty::I64);
+        self.push(Inst::LoadI { dst, addr, off });
+        dst
+    }
+    /// Store i64 at `addr + off`.
+    pub fn storei(&mut self, addr: Value, off: i64, v: Value) {
+        self.push(Inst::StoreI { addr, off, v });
+    }
+    /// Heap-allocate `size` bytes.
+    pub fn alloc(&mut self, size: Value) -> Value {
+        let dst = self.fresh(Ty::I64);
+        self.push(Inst::Alloc { dst, size });
+        dst
+    }
+
+    // ---- calls & io -------------------------------------------------------------
+
+    /// Call a math-library function.
+    pub fn math(&mut self, f: MathFn, args: &[Value]) -> Value {
+        let dst = self.fresh(Ty::F64);
+        self.push(Inst::CallMath {
+            dst,
+            f,
+            args: args.to_vec(),
+        });
+        dst
+    }
+    /// Call another function.
+    pub fn call(&mut self, f: FuncId, args: &[Value], ret: Option<Ty>) -> Option<Value> {
+        let dst = ret.map(|t| self.fresh(t));
+        self.push(Inst::Call {
+            dst,
+            f,
+            args: args.to_vec(),
+        });
+        dst
+    }
+    /// printf("%.17g\n", v).
+    pub fn printf(&mut self, v: Value) {
+        self.push(Inst::PrintF { v });
+    }
+    /// printf("%ld\n", v).
+    pub fn printi(&mut self, v: Value) {
+        self.push(Inst::PrintI { v });
+    }
+
+    // ---- control flow -------------------------------------------------------------
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.push(Inst::Br { target });
+    }
+    /// Conditional branch on a nonzero i64.
+    pub fn cond_br(&mut self, cond: Value, then_b: BlockId, else_b: BlockId) {
+        self.push(Inst::CondBr {
+            cond,
+            then_b,
+            else_b,
+        });
+    }
+    /// Return.
+    pub fn ret(&mut self, v: Option<Value>) {
+        self.push(Inst::Ret { v });
+    }
+}

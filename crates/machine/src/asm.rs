@@ -1,0 +1,478 @@
+//! Two-pass assembler with labels, a constant pool, and named globals.
+//!
+//! All workloads (fpvm-workloads) and the IR code generator (fpvm-ir) emit
+//! programs through this interface; the output is a [`Program`] image —
+//! encoded code bytes plus an initialized data segment — which is what the
+//! static analyzer and binary patcher operate on, exactly as the paper's
+//! pipeline operates on unmodified application binaries.
+
+use crate::encode::encode;
+use crate::isa::*;
+use crate::mem::{CODE_BASE, DATA_BASE};
+use std::collections::HashMap;
+
+/// A forward-referenceable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// An assembled program image.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Encoded instruction bytes (loaded at [`CODE_BASE`]).
+    pub code: Vec<u8>,
+    /// Initialized data segment (loaded at [`DATA_BASE`]).
+    pub data: Vec<u8>,
+    /// Entry point address.
+    pub entry: u64,
+    /// Named global addresses (for tests and analysis reports).
+    pub symbols: HashMap<String, u64>,
+    /// Data-segment object extents `(base, size)` for named globals and
+    /// arrays — the allocation-site table the static analysis uses as
+    /// abstract locations (angr-VSA's a-locs).
+    pub objects: Vec<(u64, u64)>,
+}
+
+impl Program {
+    /// Disassemble the code segment (address, instruction, length).
+    pub fn disassemble(&self) -> Vec<(u64, Inst, usize)> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < self.code.len() {
+            match crate::encode::decode(&self.code, pos) {
+                Ok((inst, len)) => {
+                    out.push((CODE_BASE + pos as u64, inst, len));
+                    pos += len;
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+/// The assembler.
+#[derive(Debug, Default)]
+pub struct Asm {
+    code: Vec<u8>,
+    labels: Vec<Option<u64>>,
+    /// (position of rel32 within code, address of following instruction, label)
+    fixups: Vec<(usize, u64, Label)>,
+    data: Vec<u8>,
+    f64_pool: HashMap<u64, u64>,
+    symbols: HashMap<String, u64>,
+    objects: Vec<(u64, u64)>,
+}
+
+impl Asm {
+    /// New, empty assembler.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Current code address.
+    pub fn here(&self) -> u64 {
+        CODE_BASE + self.code.len() as u64
+    }
+
+    /// Create an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind a label to the current position.
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.here());
+    }
+
+    /// Create a label bound to the current position.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Emit a non-branch instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        debug_assert!(!matches!(
+            inst,
+            Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::Call { .. }
+        ));
+        encode(&inst, &mut self.code);
+    }
+
+    fn emit_branch(&mut self, inst: Inst, target: Label) {
+        encode(&inst, &mut self.code);
+        // rel32 is always the last four bytes of a branch encoding.
+        let rel_pos = self.code.len() - 4;
+        self.fixups.push((rel_pos, self.here(), target));
+    }
+
+    // ---- data segment ------------------------------------------------------
+
+    /// Intern an f64 constant in the pool; returns its absolute address.
+    pub fn f64c(&mut self, v: f64) -> u64 {
+        let bits = v.to_bits();
+        if let Some(&addr) = self.f64_pool.get(&bits) {
+            return addr;
+        }
+        let addr = self.alloc_data(&bits.to_le_bytes(), 8);
+        self.f64_pool.insert(bits, addr);
+        addr
+    }
+
+    /// Intern an f64 constant, returned as a memory operand.
+    pub fn f64m(&mut self, v: f64) -> Mem {
+        Mem::abs(self.f64c(v) as i64)
+    }
+
+    /// Intern a 128-bit constant (for `xorpd`/`andpd` masks).
+    pub fn u128c(&mut self, lanes: [u64; 2]) -> u64 {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&lanes[0].to_le_bytes());
+        bytes[8..].copy_from_slice(&lanes[1].to_le_bytes());
+        self.alloc_data(&bytes, 16)
+    }
+
+    /// Reserve a zero-initialized named global of `size` bytes (8-aligned).
+    pub fn global(&mut self, name: &str, size: usize) -> u64 {
+        let addr = self.alloc_data(&vec![0u8; size], 8);
+        self.symbols.insert(name.to_string(), addr);
+        self.objects.push((addr, size as u64));
+        addr
+    }
+
+    /// A named global f64 with an initial value.
+    pub fn global_f64(&mut self, name: &str, init: f64) -> u64 {
+        let addr = self.alloc_data(&init.to_bits().to_le_bytes(), 8);
+        self.symbols.insert(name.to_string(), addr);
+        self.objects.push((addr, 8));
+        addr
+    }
+
+    /// An initialized f64 array in the data segment; returns its address.
+    pub fn f64_array(&mut self, name: &str, vals: &[f64]) -> u64 {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let addr = self.alloc_data(&bytes, 8);
+        self.symbols.insert(name.to_string(), addr);
+        self.objects.push((addr, 8 * vals.len() as u64));
+        addr
+    }
+
+    /// An initialized i64 array in the data segment; returns its address.
+    pub fn i64_array(&mut self, name: &str, vals: &[i64]) -> u64 {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let addr = self.alloc_data(&bytes, 8);
+        self.symbols.insert(name.to_string(), addr);
+        self.objects.push((addr, 8 * vals.len() as u64));
+        addr
+    }
+
+    fn alloc_data(&mut self, bytes: &[u8], align: usize) -> u64 {
+        while !self.data.len().is_multiple_of(align) {
+            self.data.push(0);
+        }
+        let addr = DATA_BASE + self.data.len() as u64;
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    // ---- instruction helpers (thin wrappers over `emit`) -------------------
+
+    /// movsd dst, src.
+    pub fn movsd(&mut self, dst: impl Into<XM>, src: impl Into<XM>) {
+        self.emit(Inst::MovSd {
+            dst: dst.into(),
+            src: src.into(),
+        });
+    }
+    /// movapd dst, src.
+    pub fn movapd(&mut self, dst: impl Into<XM>, src: impl Into<XM>) {
+        self.emit(Inst::MovApd {
+            dst: dst.into(),
+            src: src.into(),
+        });
+    }
+    /// addsd dst, src.
+    pub fn addsd(&mut self, dst: Xmm, src: impl Into<XM>) {
+        self.emit(Inst::AddSd {
+            dst,
+            src: src.into(),
+        });
+    }
+    /// subsd dst, src.
+    pub fn subsd(&mut self, dst: Xmm, src: impl Into<XM>) {
+        self.emit(Inst::SubSd {
+            dst,
+            src: src.into(),
+        });
+    }
+    /// mulsd dst, src.
+    pub fn mulsd(&mut self, dst: Xmm, src: impl Into<XM>) {
+        self.emit(Inst::MulSd {
+            dst,
+            src: src.into(),
+        });
+    }
+    /// divsd dst, src.
+    pub fn divsd(&mut self, dst: Xmm, src: impl Into<XM>) {
+        self.emit(Inst::DivSd {
+            dst,
+            src: src.into(),
+        });
+    }
+    /// minsd dst, src.
+    pub fn minsd(&mut self, dst: Xmm, src: impl Into<XM>) {
+        self.emit(Inst::MinSd {
+            dst,
+            src: src.into(),
+        });
+    }
+    /// maxsd dst, src.
+    pub fn maxsd(&mut self, dst: Xmm, src: impl Into<XM>) {
+        self.emit(Inst::MaxSd {
+            dst,
+            src: src.into(),
+        });
+    }
+    /// sqrtsd dst, src.
+    pub fn sqrtsd(&mut self, dst: Xmm, src: impl Into<XM>) {
+        self.emit(Inst::SqrtSd {
+            dst,
+            src: src.into(),
+        });
+    }
+    /// xorpd dst, src.
+    pub fn xorpd(&mut self, dst: Xmm, src: impl Into<XM>) {
+        self.emit(Inst::XorPd {
+            dst,
+            src: src.into(),
+        });
+    }
+    /// andpd dst, src.
+    pub fn andpd(&mut self, dst: Xmm, src: impl Into<XM>) {
+        self.emit(Inst::AndPd {
+            dst,
+            src: src.into(),
+        });
+    }
+    /// ucomisd a, b.
+    pub fn ucomisd(&mut self, a: Xmm, b: impl Into<XM>) {
+        self.emit(Inst::UComISd { a, b: b.into() });
+    }
+    /// comisd a, b.
+    pub fn comisd(&mut self, a: Xmm, b: impl Into<XM>) {
+        self.emit(Inst::ComISd { a, b: b.into() });
+    }
+    /// cvtsi2sd dst, src (64-bit source).
+    pub fn cvtsi2sd(&mut self, dst: Xmm, src: impl Into<RM>) {
+        self.emit(Inst::CvtSi2Sd {
+            dst,
+            src: src.into(),
+            w: Width::W64,
+        });
+    }
+    /// cvttsd2si dst, src (64-bit destination).
+    pub fn cvttsd2si(&mut self, dst: Gpr, src: impl Into<XM>) {
+        self.emit(Inst::CvtTSd2Si {
+            dst,
+            src: src.into(),
+            w: Width::W64,
+        });
+    }
+    /// movq r64, xmm.
+    pub fn movq_xg(&mut self, dst: Gpr, src: Xmm) {
+        self.emit(Inst::MovQXG { dst, src });
+    }
+    /// movq xmm, r64.
+    pub fn movq_gx(&mut self, dst: Xmm, src: Gpr) {
+        self.emit(Inst::MovQGX { dst, src });
+    }
+    /// mov dst, src (registers).
+    pub fn mov_rr(&mut self, dst: Gpr, src: Gpr) {
+        self.emit(Inst::MovRR { dst, src });
+    }
+    /// mov dst, imm.
+    pub fn mov_ri(&mut self, dst: Gpr, imm: i64) {
+        self.emit(Inst::MovRI { dst, imm });
+    }
+    /// 64-bit load.
+    pub fn load(&mut self, dst: Gpr, addr: Mem) {
+        self.emit(Inst::Load {
+            dst,
+            addr,
+            w: Width::W64,
+        });
+    }
+    /// Load with explicit width.
+    pub fn load_w(&mut self, dst: Gpr, addr: Mem, w: Width) {
+        self.emit(Inst::Load { dst, addr, w });
+    }
+    /// 64-bit store.
+    pub fn store(&mut self, addr: Mem, src: Gpr) {
+        self.emit(Inst::Store {
+            addr,
+            src,
+            w: Width::W64,
+        });
+    }
+    /// lea.
+    pub fn lea(&mut self, dst: Gpr, addr: Mem) {
+        self.emit(Inst::Lea { dst, addr });
+    }
+    /// ALU reg, reg.
+    pub fn alu_rr(&mut self, op: AluOp, dst: Gpr, src: Gpr) {
+        self.emit(Inst::AluRR { op, dst, src });
+    }
+    /// ALU reg, imm.
+    pub fn alu_ri(&mut self, op: AluOp, dst: Gpr, imm: i64) {
+        self.emit(Inst::AluRI { op, dst, imm });
+    }
+    /// cmp reg, reg.
+    pub fn cmp_rr(&mut self, a: Gpr, b: Gpr) {
+        self.emit(Inst::CmpRR { a, b });
+    }
+    /// cmp reg, imm.
+    pub fn cmp_ri(&mut self, a: Gpr, imm: i64) {
+        self.emit(Inst::CmpRI { a, imm });
+    }
+    /// test reg, reg.
+    pub fn test_rr(&mut self, a: Gpr, b: Gpr) {
+        self.emit(Inst::TestRR { a, b });
+    }
+    /// jmp label.
+    pub fn jmp(&mut self, l: Label) {
+        self.emit_branch(Inst::Jmp { rel: 0 }, l);
+    }
+    /// jcc label.
+    pub fn jcc(&mut self, cond: Cond, l: Label) {
+        self.emit_branch(Inst::Jcc { cond, rel: 0 }, l);
+    }
+    /// call label.
+    pub fn call(&mut self, l: Label) {
+        self.emit_branch(Inst::Call { rel: 0 }, l);
+    }
+    /// call external function.
+    pub fn call_ext(&mut self, f: ExtFn) {
+        self.emit(Inst::CallExt { f });
+    }
+    /// ret.
+    pub fn ret(&mut self) {
+        self.emit(Inst::Ret);
+    }
+    /// push reg.
+    pub fn push(&mut self, src: Gpr) {
+        self.emit(Inst::Push { src });
+    }
+    /// pop reg.
+    pub fn pop(&mut self, dst: Gpr) {
+        self.emit(Inst::Pop { dst });
+    }
+    /// halt.
+    pub fn halt(&mut self) {
+        self.emit(Inst::Halt);
+    }
+
+    /// Finish assembly: resolve fixups and produce the [`Program`].
+    pub fn finish(mut self) -> Program {
+        for (rel_pos, next_addr, label) in &self.fixups {
+            let target = self.labels[label.0].expect("unbound label at finish");
+            let rel = i32::try_from(target as i64 - *next_addr as i64)
+                .expect("branch out of rel32 range");
+            self.code[*rel_pos..rel_pos + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+        Program {
+            code: self.code,
+            data: self.data,
+            entry: CODE_BASE,
+            symbols: self.symbols,
+            objects: self.objects,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut a = Asm::new();
+        let top = a.here_label();
+        let end = a.label();
+        a.mov_ri(Gpr::RAX, 1);
+        a.jcc(Cond::E, end);
+        a.jmp(top);
+        a.bind(end);
+        a.halt();
+        let p = a.finish();
+        let dis = p.disassemble();
+        // Find the two branches and verify targets.
+        let mut targets = Vec::new();
+        for (addr, inst, len) in &dis {
+            match inst {
+                Inst::Jcc { rel, .. } | Inst::Jmp { rel } => {
+                    targets.push(addr.wrapping_add(*len as u64).wrapping_add(i64::from(*rel) as u64));
+                }
+                _ => {}
+            }
+        }
+        let halt_addr = dis
+            .iter()
+            .find(|(_, i, _)| matches!(i, Inst::Halt))
+            .unwrap()
+            .0;
+        assert_eq!(targets, vec![halt_addr, CODE_BASE]);
+    }
+
+    #[test]
+    fn constant_pool_interns() {
+        let mut a = Asm::new();
+        let c1 = a.f64c(1.5);
+        let c2 = a.f64c(1.5);
+        let c3 = a.f64c(2.5);
+        assert_eq!(c1, c2);
+        assert_ne!(c1, c3);
+        a.halt();
+        let p = a.finish();
+        let off = (c1 - DATA_BASE) as usize;
+        let bits = u64::from_le_bytes(p.data[off..off + 8].try_into().unwrap());
+        assert_eq!(f64::from_bits(bits), 1.5);
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let mut a = Asm::new();
+        let g = a.global_f64("x", 3.25);
+        let arr = a.f64_array("v", &[1.0, 2.0, 3.0]);
+        a.halt();
+        let p = a.finish();
+        assert_eq!(p.symbols["x"], g);
+        assert_eq!(p.symbols["v"], arr);
+        let off = (arr - DATA_BASE) as usize;
+        let second = u64::from_le_bytes(p.data[off + 8..off + 16].try_into().unwrap());
+        assert_eq!(f64::from_bits(second), 2.0);
+    }
+
+    #[test]
+    fn disassemble_roundtrip() {
+        let mut a = Asm::new();
+        let c = a.f64m(0.5);
+        a.movsd(Xmm(0), c);
+        a.addsd(Xmm(0), Xmm(0));
+        a.sqrtsd(Xmm(1), Xmm(0));
+        a.halt();
+        let p = a.finish();
+        let dis = p.disassemble();
+        assert_eq!(dis.len(), 4);
+        assert!(matches!(dis[1].1, Inst::AddSd { .. }));
+        assert!(matches!(dis[3].1, Inst::Halt));
+    }
+}

@@ -1,0 +1,264 @@
+//! Cycle cost model: machine profiles and trap-delivery modes.
+//!
+//! The simulator executes instructions functionally and *accounts* cycles
+//! against a profile calibrated to the paper's three evaluation machines
+//! (§5.1, §5.3) and to the exception-delivery measurements the paper quotes
+//! from \[24\] in Fig. 14:
+//!
+//! * **R815** — quad 16-core AMD Opteron 6272 @ 2.1 GHz (the paper's main
+//!   testbed). Old microarchitecture with notoriously expensive exception
+//!   delivery.
+//! * **Dell7220** — Intel Xeon E3-1505M v6 (the paper's "7220").
+//! * **R730xd** — dual Intel Xeon E5-2695 v3.
+//!
+//! Delivery modes model §6's overhead-reduction prospects: the prototype's
+//! user-level SIGFPE path, a kernel-module FPVM (§6.1), and the ~10-cycle
+//! user→user "pipeline interrupt" (§6.2).
+//!
+//! Where the reproduction performs *real* work (BigFloat emulation, GC
+//! scans), the runtime measures host time and converts to cycles at the
+//! profile's clock; where the hardware is simulated (traps, kernel), the
+//! model charges these constants. EXPERIMENTS.md discusses this split.
+
+use crate::isa::{ExtFn, Inst};
+
+/// How FP exceptions reach FPVM (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// The prototype: hardware exception → kernel → SIGFPE to a user-level
+    /// handler (+ sigreturn on the way back).
+    #[default]
+    UserSignal,
+    /// FPVM as a kernel module (§6.1): no kernel→user crossing.
+    KernelModule,
+    /// Hardware user→user delivery (§6.2 "pipeline interrupt").
+    PipelineInterrupt,
+}
+
+/// A machine cost profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Profile name.
+    pub name: &'static str,
+    /// Clock rate, used to convert measured host-nanoseconds into
+    /// profile cycles for the real-work components.
+    pub clock_ghz: f64,
+    /// Microarchitectural cost of raising a precise FP exception and
+    /// entering the kernel (+ iret).
+    pub hw_exception: u64,
+    /// Kernel-side dispatch (exception table, signal setup).
+    pub kernel_dispatch: u64,
+    /// Kernel→user signal frame construction + `sigreturn`.
+    pub user_delivery: u64,
+    /// §6.2's projected user→user transfer.
+    pub pipeline_interrupt: u64,
+    /// Decode-cache miss: full instruction decode (Capstone analogue).
+    pub decode_miss: u64,
+    /// Decode-cache hit.
+    pub decode_hit: u64,
+    /// Operand binding (effective-address computation, operand pointers).
+    pub bind: u64,
+    /// Trap-and-patch: inlined precondition+postcondition checks (§3.2).
+    pub patch_check: u64,
+    /// Trap-and-patch: direct call into the custom handler.
+    pub patch_call: u64,
+    /// Fixed emulator dispatch overhead per emulated instruction
+    /// (op_map lookup, NaN-box encode, arena cell allocation).
+    pub emulate_dispatch: u64,
+}
+
+impl CostModel {
+    /// The paper's main testbed: Dell R815 (AMD Opteron 6272).
+    pub fn r815() -> Self {
+        CostModel {
+            name: "R815",
+            clock_ghz: 2.1,
+            hw_exception: 1000,
+            kernel_dispatch: 250,
+            user_delivery: 12750,
+            pipeline_interrupt: 12,
+            decode_miss: 2500,
+            decode_hit: 45,
+            bind: 320,
+            patch_check: 18,
+            patch_call: 40,
+            emulate_dispatch: 700,
+        }
+    }
+
+    /// Dell Precision 7720 (Xeon E3-1505M v6) — the paper's "7220".
+    pub fn dell7220() -> Self {
+        CostModel {
+            name: "7220",
+            clock_ghz: 3.0,
+            hw_exception: 600,
+            kernel_dispatch: 180,
+            user_delivery: 5820,
+            pipeline_interrupt: 10,
+            decode_miss: 1800,
+            decode_hit: 30,
+            bind: 220,
+            patch_check: 14,
+            patch_call: 30,
+            emulate_dispatch: 450,
+        }
+    }
+
+    /// Dell R730xd (dual Xeon E5-2695 v3).
+    pub fn r730xd() -> Self {
+        CostModel {
+            name: "R730xd",
+            clock_ghz: 2.3,
+            hw_exception: 650,
+            kernel_dispatch: 200,
+            user_delivery: 6550,
+            pipeline_interrupt: 10,
+            decode_miss: 2000,
+            decode_hit: 34,
+            bind: 250,
+            patch_check: 15,
+            patch_call: 32,
+            emulate_dispatch: 500,
+        }
+    }
+
+    /// All three profiles (the Fig. 12 machine columns).
+    pub fn all() -> [CostModel; 3] {
+        [Self::r815(), Self::dell7220(), Self::r730xd()]
+    }
+
+    /// One-way + return delivery cost of an FP exception/trap to FPVM under
+    /// the given mode.
+    pub fn delivery(&self, mode: DeliveryMode) -> u64 {
+        match mode {
+            DeliveryMode::UserSignal => {
+                self.hw_exception + self.kernel_dispatch + self.user_delivery
+            }
+            DeliveryMode::KernelModule => self.hw_exception + self.kernel_dispatch,
+            DeliveryMode::PipelineInterrupt => self.pipeline_interrupt,
+        }
+    }
+
+    /// Split of the delivery cost into (hardware, kernel, user) components
+    /// for the Fig. 9 breakdown.
+    pub fn delivery_parts(&self, mode: DeliveryMode) -> (u64, u64, u64) {
+        match mode {
+            DeliveryMode::UserSignal => {
+                (self.hw_exception, self.kernel_dispatch, self.user_delivery)
+            }
+            DeliveryMode::KernelModule => (self.hw_exception, self.kernel_dispatch, 0),
+            DeliveryMode::PipelineInterrupt => (self.pipeline_interrupt, 0, 0),
+        }
+    }
+
+    /// Convert measured host nanoseconds into profile cycles.
+    pub fn ns_to_cycles(&self, ns: u64) -> u64 {
+        (ns as f64 * self.clock_ghz) as u64
+    }
+
+    /// Base (non-faulting) execution cost of one instruction, in cycles —
+    /// a coarse per-class latency/throughput blend.
+    pub fn inst_cost(&self, inst: &Inst) -> u64 {
+        use Inst::*;
+        // Throughput-blended costs: a modern OoO core retires several
+        // simple integer ops per cycle, so address arithmetic and moves
+        // are charged near their amortized throughput, FP ops near their
+        // latency.
+        let mem_extra = |xm: &crate::isa::XM| -> u64 {
+            if matches!(xm, crate::isa::XM::Mem(_)) {
+                2
+            } else {
+                0
+            }
+        };
+        match inst {
+            Nop => 1,
+            MovRR { .. } | MovRI { .. } | Lea { .. } => 1,
+            MovSd { dst, src } | MovApd { dst, src } => 1 + mem_extra(dst) + mem_extra(src),
+            AddSd { src, .. } | SubSd { src, .. } | AddPd { src, .. } | SubPd { src, .. } => {
+                3 + mem_extra(src)
+            }
+            MulSd { src, .. } | MulPd { src, .. } => 5 + mem_extra(src),
+            DivSd { src, .. } | DivPd { src, .. } => 20 + mem_extra(src),
+            SqrtSd { src, .. } => 27 + mem_extra(src),
+            FmaSd { b, .. } => 5 + mem_extra(b),
+            MinSd { src, .. } | MaxSd { src, .. } => 3 + mem_extra(src),
+            UComISd { b, .. } | ComISd { b, .. } => 2 + mem_extra(b),
+            CvtSi2Sd { .. } | CvtTSd2Si { .. } | CvtSd2Ss { .. } | CvtSs2Sd { .. } => 5,
+            XorPd { src, .. } | AndPd { src, .. } | OrPd { src, .. } => 1 + mem_extra(src),
+            MovQXG { .. } | MovQGX { .. } => 2,
+            Load { .. } => 2,
+            Store { .. } => 1,
+            AluRR { op, .. } | AluRI { op, .. } => match op {
+                crate::isa::AluOp::IMul => 3,
+                _ => 1,
+            },
+            DivR { .. } | RemR { .. } => 24,
+            CmpRR { .. } | CmpRI { .. } | TestRR { .. } => 1,
+            Jmp { .. } | Jcc { .. } => 1,
+            Call { .. } | Ret => 2,
+            Push { .. } | Pop { .. } => 1,
+            CallExt { f } => match f {
+                ExtFn::PrintF64 | ExtFn::PrintI64 => 900,
+                ExtFn::AllocHeap => 120,
+                ExtFn::Exit => 10,
+                ExtFn::Pow | ExtFn::Atan2 => 90,
+                ExtFn::Fabs | ExtFn::Floor | ExtFn::Ceil => 6,
+                _ => 55, // libm transcendental
+            },
+            // Trap instructions: the dispatch cost is charged by the
+            // runtime per delivery mode; base cost covers the fetch only.
+            Trap { .. } => 1,
+            Halt => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Gpr, Inst, Mem, Xmm, XM};
+
+    #[test]
+    fn delivery_ordering_matches_fig14() {
+        // Fig. 14: kernel-level delivery is 7–30× cheaper than user-level.
+        for m in CostModel::all() {
+            let user = m.delivery(DeliveryMode::UserSignal);
+            let kernel = m.delivery(DeliveryMode::KernelModule);
+            let pipe = m.delivery(DeliveryMode::PipelineInterrupt);
+            assert!(user > kernel && kernel > pipe, "{}", m.name);
+            let ratio = user as f64 / kernel as f64;
+            assert!((1.5..35.0).contains(&ratio), "{}: ratio {ratio}", m.name);
+            // §6.2: pipeline interrupt in the ~10-cycle class.
+            assert!(pipe <= 100, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn r815_trap_cost_matches_fig9_scale() {
+        // §5.3: per-trap costs on R815 land in 12,000–24,000 cycles once
+        // emulation (≈ 100–2200 for 200-bit ops) and bookkeeping join the
+        // delivery cost. Delivery + decode-hit + bind + dispatch alone
+        // should be roughly 15k.
+        let m = CostModel::r815();
+        let fixed = m.delivery(DeliveryMode::UserSignal) + m.decode_hit + m.bind
+            + m.emulate_dispatch;
+        assert!((10_000..20_000).contains(&fixed), "{fixed}");
+    }
+
+    #[test]
+    fn memory_operands_cost_more() {
+        let m = CostModel::r815();
+        let reg = Inst::AddSd {
+            dst: Xmm(0),
+            src: XM::Reg(Xmm(1)),
+        };
+        let mem = Inst::AddSd {
+            dst: Xmm(0),
+            src: XM::Mem(Mem::base_disp(Gpr::RSP, 8)),
+        };
+        assert!(m.inst_cost(&mem) > m.inst_cost(&reg));
+        assert!(m.inst_cost(&Inst::DivSd { dst: Xmm(0), src: XM::Reg(Xmm(1)) })
+            > m.inst_cost(&reg));
+    }
+}

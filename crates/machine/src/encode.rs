@@ -1,0 +1,991 @@
+//! Binary encoding of the simulated ISA.
+//!
+//! Instructions are variable length (1–18 bytes), like real x64: an opcode
+//! byte followed by operand bytes. This is what makes the decode stage (and
+//! FPVM's decode cache, §4.1/§5.3) real work rather than an array index, and
+//! what gives the binary patcher the same "patch must fit the original
+//! instruction" problem that e9patch solves on x64 (§3.2, §4.2). The
+//! shortest patchable instruction (`movq r64, xmm`) is 3 bytes — exactly the
+//! size of an encoded `Trap`, so any FP-relevant site can be patched in
+//! place (with `Nop` padding for longer originals).
+
+use crate::isa::*;
+
+/// Decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte at the given offset.
+    BadOpcode(u8),
+    /// The instruction ran off the end of the buffer.
+    Truncated,
+}
+
+mod op {
+    pub const MOVSD: u8 = 0x01;
+    pub const MOVAPD: u8 = 0x02;
+    pub const ADDSD: u8 = 0x03;
+    pub const SUBSD: u8 = 0x04;
+    pub const MULSD: u8 = 0x05;
+    pub const DIVSD: u8 = 0x06;
+    pub const MINSD: u8 = 0x07;
+    pub const MAXSD: u8 = 0x08;
+    pub const SQRTSD: u8 = 0x09;
+    pub const FMASD: u8 = 0x0A;
+    pub const ADDPD: u8 = 0x0B;
+    pub const SUBPD: u8 = 0x0C;
+    pub const MULPD: u8 = 0x0D;
+    pub const DIVPD: u8 = 0x0E;
+    pub const UCOMISD: u8 = 0x0F;
+    pub const COMISD: u8 = 0x10;
+    pub const CVTSI2SD: u8 = 0x11;
+    pub const CVTTSD2SI: u8 = 0x12;
+    pub const CVTSD2SS: u8 = 0x13;
+    pub const CVTSS2SD: u8 = 0x14;
+    pub const XORPD: u8 = 0x15;
+    pub const ANDPD: u8 = 0x16;
+    pub const ORPD: u8 = 0x17;
+    pub const MOVQXG: u8 = 0x18;
+    pub const MOVQGX: u8 = 0x19;
+    pub const MOVRR: u8 = 0x20;
+    pub const MOVRI: u8 = 0x21;
+    pub const LOAD: u8 = 0x22;
+    pub const STORE: u8 = 0x23;
+    pub const LEA: u8 = 0x24;
+    pub const ALURR: u8 = 0x25;
+    pub const ALURI: u8 = 0x26;
+    pub const DIVR: u8 = 0x27;
+    pub const REMR: u8 = 0x28;
+    pub const CMPRR: u8 = 0x29;
+    pub const CMPRI: u8 = 0x2A;
+    pub const TESTRR: u8 = 0x2B;
+    pub const JMP: u8 = 0x30;
+    pub const JCC: u8 = 0x31;
+    pub const CALL: u8 = 0x32;
+    pub const CALLEXT: u8 = 0x33;
+    pub const RET: u8 = 0x34;
+    pub const PUSH: u8 = 0x35;
+    pub const POP: u8 = 0x36;
+    pub const TRAP_CORRECTNESS: u8 = 0xF0;
+    pub const TRAP_PATCH: u8 = 0xF1;
+    pub const HALT: u8 = 0xFE;
+    pub const NOP: u8 = 0x90;
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_mem(out: &mut Vec<u8>, m: &Mem) {
+    let mut flags = 0u8;
+    if m.base.is_some() {
+        flags |= 1;
+    }
+    if m.index.is_some() {
+        flags |= 2;
+    }
+    flags |= (m.scale.trailing_zeros() as u8 & 3) << 2;
+    out.push(flags);
+    if let Some(b) = m.base {
+        out.push(b.0);
+    }
+    if let Some(i) = m.index {
+        out.push(i.0);
+    }
+    let d = i32::try_from(m.disp).expect("mem displacement must fit in i32");
+    out.extend_from_slice(&d.to_le_bytes());
+}
+
+fn put_xm(out: &mut Vec<u8>, x: &XM) {
+    match x {
+        XM::Reg(r) => {
+            out.push(0);
+            out.push(r.0);
+        }
+        XM::Mem(m) => {
+            out.push(1);
+            put_mem(out, m);
+        }
+    }
+}
+
+fn put_rm(out: &mut Vec<u8>, x: &RM) {
+    match x {
+        RM::Reg(r) => {
+            out.push(0);
+            out.push(r.0);
+        }
+        RM::Mem(m) => {
+            out.push(1);
+            put_mem(out, m);
+        }
+    }
+}
+
+fn put_imm(out: &mut Vec<u8>, imm: i64) {
+    if let Ok(v) = i8::try_from(imm) {
+        out.push(0);
+        out.push(v as u8);
+    } else if let Ok(v) = i32::try_from(imm) {
+        out.push(1);
+        out.extend_from_slice(&v.to_le_bytes());
+    } else {
+        out.push(2);
+        out.extend_from_slice(&imm.to_le_bytes());
+    }
+}
+
+fn width_code(w: Width) -> u8 {
+    match w {
+        Width::W8 => 0,
+        Width::W16 => 1,
+        Width::W32 => 2,
+        Width::W64 => 3,
+    }
+}
+
+fn cond_code(c: Cond) -> u8 {
+    use Cond::*;
+    match c {
+        E => 0,
+        Ne => 1,
+        L => 2,
+        Le => 3,
+        G => 4,
+        Ge => 5,
+        B => 6,
+        Be => 7,
+        A => 8,
+        Ae => 9,
+        P => 10,
+        Np => 11,
+        S => 12,
+        Ns => 13,
+    }
+}
+
+fn alu_code(op: AluOp) -> u8 {
+    use AluOp::*;
+    match op {
+        Add => 0,
+        Sub => 1,
+        And => 2,
+        Or => 3,
+        Xor => 4,
+        Shl => 5,
+        Shr => 6,
+        Sar => 7,
+        IMul => 8,
+    }
+}
+
+fn ext_code(f: ExtFn) -> u8 {
+    use ExtFn::*;
+    match f {
+        Sin => 0,
+        Cos => 1,
+        Tan => 2,
+        Asin => 3,
+        Acos => 4,
+        Atan => 5,
+        Atan2 => 6,
+        Exp => 7,
+        Log => 8,
+        Log10 => 9,
+        Pow => 10,
+        Floor => 11,
+        Ceil => 12,
+        Fabs => 13,
+        PrintF64 => 14,
+        PrintI64 => 15,
+        AllocHeap => 16,
+        Exit => 17,
+    }
+}
+
+/// Encode one instruction, appending to `out`. Returns the encoded length.
+pub fn encode(inst: &Inst, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    use Inst::*;
+    match inst {
+        MovSd { dst, src } => {
+            out.push(op::MOVSD);
+            put_xm(out, dst);
+            put_xm(out, src);
+        }
+        MovApd { dst, src } => {
+            out.push(op::MOVAPD);
+            put_xm(out, dst);
+            put_xm(out, src);
+        }
+        AddSd { dst, src } => xmm_src(out, op::ADDSD, *dst, src),
+        SubSd { dst, src } => xmm_src(out, op::SUBSD, *dst, src),
+        MulSd { dst, src } => xmm_src(out, op::MULSD, *dst, src),
+        DivSd { dst, src } => xmm_src(out, op::DIVSD, *dst, src),
+        MinSd { dst, src } => xmm_src(out, op::MINSD, *dst, src),
+        MaxSd { dst, src } => xmm_src(out, op::MAXSD, *dst, src),
+        SqrtSd { dst, src } => xmm_src(out, op::SQRTSD, *dst, src),
+        FmaSd { dst, a, b } => {
+            out.push(op::FMASD);
+            out.push(dst.0);
+            out.push(a.0);
+            put_xm(out, b);
+        }
+        AddPd { dst, src } => xmm_src(out, op::ADDPD, *dst, src),
+        SubPd { dst, src } => xmm_src(out, op::SUBPD, *dst, src),
+        MulPd { dst, src } => xmm_src(out, op::MULPD, *dst, src),
+        DivPd { dst, src } => xmm_src(out, op::DIVPD, *dst, src),
+        UComISd { a, b } => xmm_src(out, op::UCOMISD, *a, b),
+        ComISd { a, b } => xmm_src(out, op::COMISD, *a, b),
+        CvtSi2Sd { dst, src, w } => {
+            out.push(op::CVTSI2SD);
+            out.push(dst.0);
+            out.push(width_code(*w));
+            put_rm(out, src);
+        }
+        CvtTSd2Si { dst, src, w } => {
+            out.push(op::CVTTSD2SI);
+            out.push(dst.0);
+            out.push(width_code(*w));
+            put_xm(out, src);
+        }
+        CvtSd2Ss { dst, src } => xmm_src(out, op::CVTSD2SS, *dst, src),
+        CvtSs2Sd { dst, src } => xmm_src(out, op::CVTSS2SD, *dst, src),
+        XorPd { dst, src } => xmm_src(out, op::XORPD, *dst, src),
+        AndPd { dst, src } => xmm_src(out, op::ANDPD, *dst, src),
+        OrPd { dst, src } => xmm_src(out, op::ORPD, *dst, src),
+        MovQXG { dst, src } => {
+            out.push(op::MOVQXG);
+            out.push(dst.0);
+            out.push(src.0);
+        }
+        MovQGX { dst, src } => {
+            out.push(op::MOVQGX);
+            out.push(dst.0);
+            out.push(src.0);
+        }
+        MovRR { dst, src } => {
+            out.push(op::MOVRR);
+            out.push(dst.0);
+            out.push(src.0);
+        }
+        MovRI { dst, imm } => {
+            out.push(op::MOVRI);
+            out.push(dst.0);
+            put_imm(out, *imm);
+        }
+        Load { dst, addr, w } => {
+            out.push(op::LOAD);
+            out.push(dst.0);
+            out.push(width_code(*w));
+            put_mem(out, addr);
+        }
+        Store { addr, src, w } => {
+            out.push(op::STORE);
+            out.push(src.0);
+            out.push(width_code(*w));
+            put_mem(out, addr);
+        }
+        Lea { dst, addr } => {
+            out.push(op::LEA);
+            out.push(dst.0);
+            put_mem(out, addr);
+        }
+        AluRR { op: o, dst, src } => {
+            out.push(op::ALURR);
+            out.push(alu_code(*o));
+            out.push(dst.0);
+            out.push(src.0);
+        }
+        AluRI { op: o, dst, imm } => {
+            out.push(op::ALURI);
+            out.push(alu_code(*o));
+            out.push(dst.0);
+            put_imm(out, *imm);
+        }
+        DivR { dst, src } => {
+            out.push(op::DIVR);
+            out.push(dst.0);
+            out.push(src.0);
+        }
+        RemR { dst, src } => {
+            out.push(op::REMR);
+            out.push(dst.0);
+            out.push(src.0);
+        }
+        CmpRR { a, b } => {
+            out.push(op::CMPRR);
+            out.push(a.0);
+            out.push(b.0);
+        }
+        CmpRI { a, imm } => {
+            out.push(op::CMPRI);
+            out.push(a.0);
+            put_imm(out, *imm);
+        }
+        TestRR { a, b } => {
+            out.push(op::TESTRR);
+            out.push(a.0);
+            out.push(b.0);
+        }
+        Jmp { rel } => {
+            out.push(op::JMP);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Jcc { cond, rel } => {
+            out.push(op::JCC);
+            out.push(cond_code(*cond));
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Call { rel } => {
+            out.push(op::CALL);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        CallExt { f } => {
+            out.push(op::CALLEXT);
+            out.push(ext_code(*f));
+        }
+        Ret => out.push(op::RET),
+        Push { src } => {
+            out.push(op::PUSH);
+            out.push(src.0);
+        }
+        Pop { dst } => {
+            out.push(op::POP);
+            out.push(dst.0);
+        }
+        Trap { kind, id } => {
+            out.push(match kind {
+                TrapKind::Correctness => op::TRAP_CORRECTNESS,
+                TrapKind::PatchCall => op::TRAP_PATCH,
+            });
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Halt => out.push(op::HALT),
+        Nop => out.push(op::NOP),
+    }
+    out.len() - start
+}
+
+fn xmm_src(out: &mut Vec<u8>, opcode: u8, dst: Xmm, src: &XM) {
+    out.push(opcode);
+    out.push(dst.0);
+    put_xm(out, src);
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + 4)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 4;
+        Ok(i32::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + 8)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 8;
+        Ok(i64::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + 2)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 2;
+        Ok(u16::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn gpr(&mut self) -> Result<Gpr, DecodeError> {
+        Ok(Gpr(self.u8()? & 15))
+    }
+    fn xmm(&mut self) -> Result<Xmm, DecodeError> {
+        Ok(Xmm(self.u8()? & 15))
+    }
+    fn mem(&mut self) -> Result<Mem, DecodeError> {
+        let flags = self.u8()?;
+        let base = if flags & 1 != 0 {
+            Some(self.gpr()?)
+        } else {
+            None
+        };
+        let index = if flags & 2 != 0 {
+            Some(self.gpr()?)
+        } else {
+            None
+        };
+        let scale = 1u8 << ((flags >> 2) & 3);
+        let disp = i64::from(self.i32()?);
+        Ok(Mem {
+            base,
+            index,
+            scale,
+            disp,
+        })
+    }
+    fn xm(&mut self) -> Result<XM, DecodeError> {
+        match self.u8()? {
+            0 => Ok(XM::Reg(self.xmm()?)),
+            _ => Ok(XM::Mem(self.mem()?)),
+        }
+    }
+    fn rm(&mut self) -> Result<RM, DecodeError> {
+        match self.u8()? {
+            0 => Ok(RM::Reg(self.gpr()?)),
+            _ => Ok(RM::Mem(self.mem()?)),
+        }
+    }
+    fn imm(&mut self) -> Result<i64, DecodeError> {
+        match self.u8()? {
+            0 => Ok(i64::from(self.u8()? as i8)),
+            1 => Ok(i64::from(self.i32()?)),
+            _ => self.i64(),
+        }
+    }
+    fn width(&mut self) -> Result<Width, DecodeError> {
+        Ok(match self.u8()? & 3 {
+            0 => Width::W8,
+            1 => Width::W16,
+            2 => Width::W32,
+            _ => Width::W64,
+        })
+    }
+    fn cond(&mut self) -> Result<Cond, DecodeError> {
+        use Cond::*;
+        Ok(match self.u8()? {
+            0 => E,
+            1 => Ne,
+            2 => L,
+            3 => Le,
+            4 => G,
+            5 => Ge,
+            6 => B,
+            7 => Be,
+            8 => A,
+            9 => Ae,
+            10 => P,
+            11 => Np,
+            12 => S,
+            _ => Ns,
+        })
+    }
+    fn alu(&mut self) -> Result<AluOp, DecodeError> {
+        use AluOp::*;
+        Ok(match self.u8()? {
+            0 => Add,
+            1 => Sub,
+            2 => And,
+            3 => Or,
+            4 => Xor,
+            5 => Shl,
+            6 => Shr,
+            7 => Sar,
+            _ => IMul,
+        })
+    }
+    fn ext(&mut self) -> Result<ExtFn, DecodeError> {
+        use ExtFn::*;
+        Ok(match self.u8()? {
+            0 => Sin,
+            1 => Cos,
+            2 => Tan,
+            3 => Asin,
+            4 => Acos,
+            5 => Atan,
+            6 => Atan2,
+            7 => Exp,
+            8 => Log,
+            9 => Log10,
+            10 => Pow,
+            11 => Floor,
+            12 => Ceil,
+            13 => Fabs,
+            14 => PrintF64,
+            15 => PrintI64,
+            16 => AllocHeap,
+            _ => Exit,
+        })
+    }
+}
+
+/// Decode one instruction from `buf` at `offset`. Returns the instruction
+/// and its encoded length.
+pub fn decode(buf: &[u8], offset: usize) -> Result<(Inst, usize), DecodeError> {
+    let mut c = Cursor { buf, pos: offset };
+    let opcode = c.u8()?;
+    use Inst::*;
+    let inst = match opcode {
+        op::MOVSD => MovSd {
+            dst: c.xm()?,
+            src: c.xm()?,
+        },
+        op::MOVAPD => MovApd {
+            dst: c.xm()?,
+            src: c.xm()?,
+        },
+        op::ADDSD => AddSd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::SUBSD => SubSd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::MULSD => MulSd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::DIVSD => DivSd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::MINSD => MinSd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::MAXSD => MaxSd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::SQRTSD => SqrtSd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::FMASD => FmaSd {
+            dst: c.xmm()?,
+            a: c.xmm()?,
+            b: c.xm()?,
+        },
+        op::ADDPD => AddPd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::SUBPD => SubPd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::MULPD => MulPd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::DIVPD => DivPd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::UCOMISD => UComISd {
+            a: c.xmm()?,
+            b: c.xm()?,
+        },
+        op::COMISD => ComISd {
+            a: c.xmm()?,
+            b: c.xm()?,
+        },
+        op::CVTSI2SD => {
+            let dst = c.xmm()?;
+            let w = c.width()?;
+            CvtSi2Sd {
+                dst,
+                src: c.rm()?,
+                w,
+            }
+        }
+        op::CVTTSD2SI => {
+            let dst = c.gpr()?;
+            let w = c.width()?;
+            CvtTSd2Si {
+                dst,
+                src: c.xm()?,
+                w,
+            }
+        }
+        op::CVTSD2SS => CvtSd2Ss {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::CVTSS2SD => CvtSs2Sd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::XORPD => XorPd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::ANDPD => AndPd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::ORPD => OrPd {
+            dst: c.xmm()?,
+            src: c.xm()?,
+        },
+        op::MOVQXG => MovQXG {
+            dst: c.gpr()?,
+            src: c.xmm()?,
+        },
+        op::MOVQGX => MovQGX {
+            dst: c.xmm()?,
+            src: c.gpr()?,
+        },
+        op::MOVRR => MovRR {
+            dst: c.gpr()?,
+            src: c.gpr()?,
+        },
+        op::MOVRI => MovRI {
+            dst: c.gpr()?,
+            imm: c.imm()?,
+        },
+        op::LOAD => {
+            let dst = c.gpr()?;
+            let w = c.width()?;
+            Load {
+                dst,
+                addr: c.mem()?,
+                w,
+            }
+        }
+        op::STORE => {
+            let src = c.gpr()?;
+            let w = c.width()?;
+            Store {
+                addr: c.mem()?,
+                src,
+                w,
+            }
+        }
+        op::LEA => Lea {
+            dst: c.gpr()?,
+            addr: c.mem()?,
+        },
+        op::ALURR => AluRR {
+            op: c.alu()?,
+            dst: c.gpr()?,
+            src: c.gpr()?,
+        },
+        op::ALURI => AluRI {
+            op: c.alu()?,
+            dst: c.gpr()?,
+            imm: c.imm()?,
+        },
+        op::DIVR => DivR {
+            dst: c.gpr()?,
+            src: c.gpr()?,
+        },
+        op::REMR => RemR {
+            dst: c.gpr()?,
+            src: c.gpr()?,
+        },
+        op::CMPRR => CmpRR {
+            a: c.gpr()?,
+            b: c.gpr()?,
+        },
+        op::CMPRI => CmpRI {
+            a: c.gpr()?,
+            imm: c.imm()?,
+        },
+        op::TESTRR => TestRR {
+            a: c.gpr()?,
+            b: c.gpr()?,
+        },
+        op::JMP => Jmp { rel: c.i32()? },
+        op::JCC => Jcc {
+            cond: c.cond()?,
+            rel: c.i32()?,
+        },
+        op::CALL => Call { rel: c.i32()? },
+        op::CALLEXT => CallExt { f: c.ext()? },
+        op::RET => Ret,
+        op::PUSH => Push { src: c.gpr()? },
+        op::POP => Pop { dst: c.gpr()? },
+        op::TRAP_CORRECTNESS => Trap {
+            kind: TrapKind::Correctness,
+            id: c.u16()?,
+        },
+        op::TRAP_PATCH => Trap {
+            kind: TrapKind::PatchCall,
+            id: c.u16()?,
+        },
+        op::HALT => Halt,
+        op::NOP => Nop,
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok((inst, c.pos - offset))
+}
+
+/// Encoded length of an instruction without materializing the bytes.
+pub fn encoded_len(inst: &Inst) -> usize {
+    let mut v = Vec::with_capacity(20);
+    encode(inst, &mut v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_insts() -> Vec<Inst> {
+        use Inst::*;
+        let m = Mem::bis(Gpr::RBP, Gpr::RCX, 8, -72);
+        let m2 = Mem::abs(0x10_0040);
+        vec![
+            MovSd {
+                dst: XM::Reg(Xmm(1)),
+                src: XM::Mem(m),
+            },
+            MovSd {
+                dst: XM::Mem(m2),
+                src: XM::Reg(Xmm(0)),
+            },
+            MovApd {
+                dst: XM::Reg(Xmm(3)),
+                src: XM::Reg(Xmm(4)),
+            },
+            AddSd {
+                dst: Xmm(0),
+                src: XM::Reg(Xmm(1)),
+            },
+            SubSd {
+                dst: Xmm(2),
+                src: XM::Mem(m),
+            },
+            MulSd {
+                dst: Xmm(5),
+                src: XM::Reg(Xmm(6)),
+            },
+            DivSd {
+                dst: Xmm(7),
+                src: XM::Mem(m2),
+            },
+            MinSd {
+                dst: Xmm(8),
+                src: XM::Reg(Xmm(9)),
+            },
+            MaxSd {
+                dst: Xmm(10),
+                src: XM::Reg(Xmm(11)),
+            },
+            SqrtSd {
+                dst: Xmm(12),
+                src: XM::Reg(Xmm(13)),
+            },
+            FmaSd {
+                dst: Xmm(0),
+                a: Xmm(1),
+                b: XM::Reg(Xmm(2)),
+            },
+            AddPd {
+                dst: Xmm(1),
+                src: XM::Mem(m),
+            },
+            SubPd {
+                dst: Xmm(1),
+                src: XM::Reg(Xmm(2)),
+            },
+            MulPd {
+                dst: Xmm(1),
+                src: XM::Reg(Xmm(2)),
+            },
+            DivPd {
+                dst: Xmm(1),
+                src: XM::Reg(Xmm(2)),
+            },
+            UComISd {
+                a: Xmm(0),
+                b: XM::Reg(Xmm(1)),
+            },
+            ComISd {
+                a: Xmm(0),
+                b: XM::Mem(m),
+            },
+            CvtSi2Sd {
+                dst: Xmm(0),
+                src: RM::Reg(Gpr::RDI),
+                w: Width::W64,
+            },
+            CvtTSd2Si {
+                dst: Gpr::RAX,
+                src: XM::Reg(Xmm(0)),
+                w: Width::W32,
+            },
+            CvtSd2Ss {
+                dst: Xmm(0),
+                src: XM::Reg(Xmm(1)),
+            },
+            CvtSs2Sd {
+                dst: Xmm(0),
+                src: XM::Reg(Xmm(1)),
+            },
+            XorPd {
+                dst: Xmm(0),
+                src: XM::Mem(m2),
+            },
+            AndPd {
+                dst: Xmm(0),
+                src: XM::Reg(Xmm(1)),
+            },
+            OrPd {
+                dst: Xmm(0),
+                src: XM::Reg(Xmm(1)),
+            },
+            MovQXG {
+                dst: Gpr::RAX,
+                src: Xmm(0),
+            },
+            MovQGX {
+                dst: Xmm(0),
+                src: Gpr::RAX,
+            },
+            MovRR {
+                dst: Gpr::RBX,
+                src: Gpr::RCX,
+            },
+            MovRI {
+                dst: Gpr::RAX,
+                imm: 5,
+            },
+            MovRI {
+                dst: Gpr::RAX,
+                imm: 100_000,
+            },
+            MovRI {
+                dst: Gpr::RAX,
+                imm: i64::MIN,
+            },
+            Load {
+                dst: Gpr::RAX,
+                addr: m,
+                w: Width::W64,
+            },
+            Store {
+                addr: m,
+                src: Gpr::RDX,
+                w: Width::W32,
+            },
+            Lea {
+                dst: Gpr::RSI,
+                addr: m,
+            },
+            AluRR {
+                op: AluOp::Add,
+                dst: Gpr::RAX,
+                src: Gpr::RBX,
+            },
+            AluRI {
+                op: AluOp::Shl,
+                dst: Gpr::RAX,
+                imm: 3,
+            },
+            DivR {
+                dst: Gpr::RAX,
+                src: Gpr::RCX,
+            },
+            RemR {
+                dst: Gpr::RAX,
+                src: Gpr::RCX,
+            },
+            CmpRR {
+                a: Gpr::RAX,
+                b: Gpr::RBX,
+            },
+            CmpRI {
+                a: Gpr::RAX,
+                imm: -1,
+            },
+            TestRR {
+                a: Gpr::RAX,
+                b: Gpr::RAX,
+            },
+            Jmp { rel: -20 },
+            Jcc {
+                cond: Cond::L,
+                rel: 44,
+            },
+            Call { rel: 1000 },
+            CallExt { f: ExtFn::Sin },
+            CallExt { f: ExtFn::PrintF64 },
+            Ret,
+            Push { src: Gpr::RBP },
+            Pop { dst: Gpr::RBP },
+            Trap {
+                kind: TrapKind::Correctness,
+                id: 42,
+            },
+            Trap {
+                kind: TrapKind::PatchCall,
+                id: 65535,
+            },
+            Halt,
+            Nop,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_instruction() {
+        for inst in all_sample_insts() {
+            let mut buf = Vec::new();
+            let len = encode(&inst, &mut buf);
+            assert_eq!(len, buf.len());
+            let (decoded, dlen) = decode(&buf, 0).unwrap_or_else(|e| {
+                panic!("decode failed for {inst:?}: {e:?}");
+            });
+            assert_eq!(decoded, inst);
+            assert_eq!(dlen, len);
+        }
+    }
+
+    #[test]
+    fn roundtrip_stream() {
+        // Decode a concatenated stream instruction by instruction.
+        let insts = all_sample_insts();
+        let mut buf = Vec::new();
+        let mut offsets = Vec::new();
+        for i in &insts {
+            offsets.push(buf.len());
+            encode(i, &mut buf);
+        }
+        let mut pos = 0;
+        for (i, &want_off) in insts.iter().zip(&offsets) {
+            assert_eq!(pos, want_off);
+            let (d, len) = decode(&buf, pos).unwrap();
+            assert_eq!(&d, i);
+            pos += len;
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn trap_fits_shortest_patchable() {
+        // A Trap must be patchable over the shortest FP-relevant
+        // instruction (movq r64, xmm = 3 bytes).
+        let movq = Inst::MovQXG {
+            dst: Gpr::RAX,
+            src: Xmm(0),
+        };
+        let trap = Inst::Trap {
+            kind: TrapKind::Correctness,
+            id: 7,
+        };
+        assert!(encoded_len(&trap) <= encoded_len(&movq));
+        assert_eq!(encoded_len(&trap), 3);
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(decode(&[0xCC], 0), Err(DecodeError::BadOpcode(0xCC)));
+        assert_eq!(decode(&[op::ADDSD], 0), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[], 0), Err(DecodeError::Truncated));
+    }
+}

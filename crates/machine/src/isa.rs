@@ -1,0 +1,492 @@
+//! The simulated x64-subset instruction set.
+//!
+//! This ISA reproduces, deliberately, the properties of real x64 that make
+//! floating point "almost virtualizable" (§1, §4.2):
+//!
+//! * SSE2 scalar/packed double arithmetic (`addsd` … `sqrtsd`, `addpd` …)
+//!   **faults** per `%mxcsr` when an unmasked exception condition arises —
+//!   including consumption of a signaling NaN. These are FPVM's hardware
+//!   hooks.
+//! * Bitwise FP ops (`xorpd`/`andpd`/`orpd` — the compiler idioms for
+//!   negation, `fabs`, sign tests), `movq` between XMM and GPR, and plain
+//!   integer loads of memory that happens to hold FP bits **never fault**:
+//!   these are the holes the static analysis (fpvm-analysis) must patch.
+//! * External calls (libm, printf) receive raw bit patterns: without the
+//!   runtime's math/output interposition they would bit-pick NaN-boxes
+//!   apart (the "printing problem" and "externals" limitations of §2).
+
+use std::fmt;
+
+/// General-purpose register (16, x64 names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gpr(pub u8);
+
+#[allow(missing_docs)]
+impl Gpr {
+    pub const RAX: Gpr = Gpr(0);
+    pub const RCX: Gpr = Gpr(1);
+    pub const RDX: Gpr = Gpr(2);
+    pub const RBX: Gpr = Gpr(3);
+    pub const RSP: Gpr = Gpr(4);
+    pub const RBP: Gpr = Gpr(5);
+    pub const RSI: Gpr = Gpr(6);
+    pub const RDI: Gpr = Gpr(7);
+    pub const R8: Gpr = Gpr(8);
+    pub const R9: Gpr = Gpr(9);
+    pub const R10: Gpr = Gpr(10);
+    pub const R11: Gpr = Gpr(11);
+    pub const R12: Gpr = Gpr(12);
+    pub const R13: Gpr = Gpr(13);
+    pub const R14: Gpr = Gpr(14);
+    pub const R15: Gpr = Gpr(15);
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 16] = [
+            "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11",
+            "r12", "r13", "r14", "r15",
+        ];
+        write!(f, "{}", NAMES[self.0 as usize & 15])
+    }
+}
+
+/// XMM register (16, two 64-bit lanes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Xmm(pub u8);
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xmm{}", self.0 & 15)
+    }
+}
+
+/// An x64-style memory operand: `disp + base + index × scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mem {
+    /// Base register.
+    pub base: Option<Gpr>,
+    /// Index register.
+    pub index: Option<Gpr>,
+    /// Scale: 1, 2, 4 or 8.
+    pub scale: u8,
+    /// Displacement.
+    pub disp: i64,
+}
+
+impl Mem {
+    /// `[base + disp]`.
+    pub fn base_disp(base: Gpr, disp: i64) -> Mem {
+        Mem {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+        }
+    }
+
+    /// `[disp]` (absolute).
+    pub fn abs(disp: i64) -> Mem {
+        Mem {
+            base: None,
+            index: None,
+            scale: 1,
+            disp,
+        }
+    }
+
+    /// `[base + index*scale + disp]`.
+    pub fn bis(base: Gpr, index: Gpr, scale: u8, disp: i64) -> Mem {
+        debug_assert!(matches!(scale, 1 | 2 | 4 | 8));
+        Mem {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+        }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some(i) = self.index {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}*{}", self.scale)?;
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if !first && self.disp >= 0 {
+                write!(f, "+")?;
+            }
+            write!(f, "{:#x}", self.disp)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// XMM-or-memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XM {
+    /// An XMM register.
+    Reg(Xmm),
+    /// A memory operand.
+    Mem(Mem),
+}
+
+impl From<Xmm> for XM {
+    fn from(x: Xmm) -> XM {
+        XM::Reg(x)
+    }
+}
+impl From<Mem> for XM {
+    fn from(m: Mem) -> XM {
+        XM::Mem(m)
+    }
+}
+
+/// GPR-or-memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RM {
+    /// A general-purpose register.
+    Reg(Gpr),
+    /// A memory operand.
+    Mem(Mem),
+}
+
+impl From<Gpr> for RM {
+    fn from(r: Gpr) -> RM {
+        RM::Reg(r)
+    }
+}
+impl From<Mem> for RM {
+    fn from(m: Mem) -> RM {
+        RM::Mem(m)
+    }
+}
+
+/// Access width for integer loads/stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Width {
+    W8,
+    W16,
+    W32,
+    W64,
+}
+
+impl Width {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W8 => 1,
+            Width::W16 => 2,
+            Width::W32 => 4,
+            Width::W64 => 8,
+        }
+    }
+}
+
+/// Integer ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+    IMul,
+}
+
+/// Branch condition (subset of x64 `jcc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Cond {
+    /// ZF = 1.
+    E,
+    /// ZF = 0.
+    Ne,
+    /// SF ≠ OF (signed less).
+    L,
+    /// ZF = 1 or SF ≠ OF.
+    Le,
+    /// ZF = 0 and SF = OF.
+    G,
+    /// SF = OF.
+    Ge,
+    /// CF = 1 (unsigned below; "less" after ucomisd).
+    B,
+    /// CF = 1 or ZF = 1.
+    Be,
+    /// CF = 0 and ZF = 0 (unsigned above; "greater" after ucomisd).
+    A,
+    /// CF = 0.
+    Ae,
+    /// PF = 1 (unordered after ucomisd).
+    P,
+    /// PF = 0.
+    Np,
+    /// SF = 1.
+    S,
+    /// SF = 0.
+    Ns,
+}
+
+/// External functions: the boundary between the virtualized process and
+/// code FPVM does not control (libm, libc I/O, the allocator). Scalar FP
+/// arguments arrive in `xmm0`/`xmm1`, integer arguments in `rdi`; FP results
+/// return in `xmm0`, integer results in `rax`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ExtFn {
+    // libm — interposable by FPVM's math wrapper.
+    Sin,
+    Cos,
+    Tan,
+    Asin,
+    Acos,
+    Atan,
+    Atan2,
+    Exp,
+    Log,
+    Log10,
+    Pow,
+    Floor,
+    Ceil,
+    Fabs,
+    // stdio — the "printing problem": reads raw f64 bits.
+    PrintF64,
+    PrintI64,
+    // process services.
+    AllocHeap,
+    Exit,
+}
+
+impl ExtFn {
+    /// True for math-library functions (subject to math interposition).
+    pub fn is_math(self) -> bool {
+        !matches!(
+            self,
+            ExtFn::PrintF64 | ExtFn::PrintI64 | ExtFn::AllocHeap | ExtFn::Exit
+        )
+    }
+
+    /// Number of `f64` arguments (in xmm0..).
+    pub fn fp_args(self) -> usize {
+        match self {
+            ExtFn::Atan2 | ExtFn::Pow => 2,
+            ExtFn::PrintI64 | ExtFn::AllocHeap | ExtFn::Exit => 0,
+            _ => 1,
+        }
+    }
+}
+
+/// Kind of software trap instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// Correctness trap inserted by static analysis (§4.2): delivered like a
+    /// hardware exception (int3 → SIGTRAP → FPVM) in the prototype.
+    Correctness,
+    /// Patch-site call installed by the trap-and-patch engine (§3.2):
+    /// a direct call into the handler, far cheaper than a trap.
+    PatchCall,
+}
+
+/// One instruction of the simulated ISA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)]
+pub enum Inst {
+    // ---- FP data movement (never faults) --------------------------------
+    /// movsd dst, src (64-bit lane 0; zeroes upper lane on reg←mem like x64).
+    MovSd { dst: XM, src: XM },
+    /// movapd: full 128-bit move.
+    MovApd { dst: XM, src: XM },
+    // ---- scalar FP arithmetic (faults per mxcsr) -------------------------
+    AddSd { dst: Xmm, src: XM },
+    SubSd { dst: Xmm, src: XM },
+    MulSd { dst: Xmm, src: XM },
+    DivSd { dst: Xmm, src: XM },
+    MinSd { dst: Xmm, src: XM },
+    MaxSd { dst: Xmm, src: XM },
+    SqrtSd { dst: Xmm, src: XM },
+    /// Fused multiply-add: dst = dst × a + b (vfmadd213-style).
+    FmaSd { dst: Xmm, a: Xmm, b: XM },
+    // ---- packed FP arithmetic (2 lanes, faults per mxcsr) ---------------
+    AddPd { dst: Xmm, src: XM },
+    SubPd { dst: Xmm, src: XM },
+    MulPd { dst: Xmm, src: XM },
+    DivPd { dst: Xmm, src: XM },
+    // ---- compares (fault on NaN per mxcsr) -------------------------------
+    UComISd { a: Xmm, b: XM },
+    ComISd { a: Xmm, b: XM },
+    // ---- conversions (fault per mxcsr) -----------------------------------
+    /// cvtsi2sd from a 32- or 64-bit integer.
+    CvtSi2Sd { dst: Xmm, src: RM, w: Width },
+    /// cvttsd2si (truncating) to a 32- or 64-bit integer.
+    CvtTSd2Si { dst: Gpr, src: XM, w: Width },
+    CvtSd2Ss { dst: Xmm, src: XM },
+    CvtSs2Sd { dst: Xmm, src: XM },
+    // ---- bitwise FP: the virtualization holes (never fault) --------------
+    XorPd { dst: Xmm, src: XM },
+    AndPd { dst: Xmm, src: XM },
+    OrPd { dst: Xmm, src: XM },
+    /// movq r64 ← xmm (lane 0) — leaks FP bits into the integer world.
+    MovQXG { dst: Gpr, src: Xmm },
+    /// movq xmm ← r64.
+    MovQGX { dst: Xmm, src: Gpr },
+    // ---- integer ----------------------------------------------------------
+    MovRR { dst: Gpr, src: Gpr },
+    MovRI { dst: Gpr, imm: i64 },
+    /// Zero-extending load — an integer window onto memory that may hold FP
+    /// bits (the paper's Fig. 6/7 "sink" instructions).
+    Load { dst: Gpr, addr: Mem, w: Width },
+    Store { addr: Mem, src: Gpr, w: Width },
+    Lea { dst: Gpr, addr: Mem },
+    AluRR { op: AluOp, dst: Gpr, src: Gpr },
+    AluRI { op: AluOp, dst: Gpr, imm: i64 },
+    /// Signed division dst = dst / src (simplified idiv).
+    DivR { dst: Gpr, src: Gpr },
+    /// Signed remainder dst = dst % src.
+    RemR { dst: Gpr, src: Gpr },
+    CmpRR { a: Gpr, b: Gpr },
+    CmpRI { a: Gpr, imm: i64 },
+    TestRR { a: Gpr, b: Gpr },
+    // ---- control flow ------------------------------------------------------
+    /// Relative jump (target = address of next instruction + rel).
+    Jmp { rel: i32 },
+    Jcc { cond: Cond, rel: i32 },
+    Call { rel: i32 },
+    CallExt { f: ExtFn },
+    Ret,
+    Push { src: Gpr },
+    Pop { dst: Gpr },
+    // ---- special ------------------------------------------------------------
+    /// Software trap into FPVM (patched in by fpvm-analysis or the
+    /// trap-and-patch engine). `id` indexes the patch side table.
+    Trap { kind: TrapKind, id: u16 },
+    Halt,
+    Nop,
+}
+
+impl Inst {
+    /// True for instructions that execute floating point arithmetic and can
+    /// raise `%mxcsr` exceptions (the trap-and-emulate hooks).
+    pub fn is_fp_arith(&self) -> bool {
+        use Inst::*;
+        matches!(
+            self,
+            AddSd { .. }
+                | SubSd { .. }
+                | MulSd { .. }
+                | DivSd { .. }
+                | MinSd { .. }
+                | MaxSd { .. }
+                | SqrtSd { .. }
+                | FmaSd { .. }
+                | AddPd { .. }
+                | SubPd { .. }
+                | MulPd { .. }
+                | DivPd { .. }
+                | UComISd { .. }
+                | ComISd { .. }
+                | CvtSi2Sd { .. }
+                | CvtTSd2Si { .. }
+                | CvtSd2Ss { .. }
+                | CvtSs2Sd { .. }
+        )
+    }
+
+    /// True for the non-faulting instructions that can still consume or
+    /// leak FP bit patterns — the virtualization holes of §4.2.
+    pub fn is_fp_hole(&self) -> bool {
+        use Inst::*;
+        matches!(
+            self,
+            XorPd { .. } | AndPd { .. } | OrPd { .. } | MovQXG { .. } | Load { .. }
+        )
+    }
+}
+
+impl fmt::Display for XM {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XM::Reg(x) => write!(f, "{x}"),
+            XM::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl fmt::Display for RM {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RM::Reg(r) => write!(f, "{r}"),
+            RM::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        match self {
+            MovSd { dst, src } => write!(f, "movsd   {dst}, {src}"),
+            MovApd { dst, src } => write!(f, "movapd  {dst}, {src}"),
+            AddSd { dst, src } => write!(f, "addsd   {dst}, {src}"),
+            SubSd { dst, src } => write!(f, "subsd   {dst}, {src}"),
+            MulSd { dst, src } => write!(f, "mulsd   {dst}, {src}"),
+            DivSd { dst, src } => write!(f, "divsd   {dst}, {src}"),
+            MinSd { dst, src } => write!(f, "minsd   {dst}, {src}"),
+            MaxSd { dst, src } => write!(f, "maxsd   {dst}, {src}"),
+            SqrtSd { dst, src } => write!(f, "sqrtsd  {dst}, {src}"),
+            FmaSd { dst, a, b } => write!(f, "vfmadd  {dst}, {a}, {b}"),
+            AddPd { dst, src } => write!(f, "addpd   {dst}, {src}"),
+            SubPd { dst, src } => write!(f, "subpd   {dst}, {src}"),
+            MulPd { dst, src } => write!(f, "mulpd   {dst}, {src}"),
+            DivPd { dst, src } => write!(f, "divpd   {dst}, {src}"),
+            UComISd { a, b } => write!(f, "ucomisd {a}, {b}"),
+            ComISd { a, b } => write!(f, "comisd  {a}, {b}"),
+            CvtSi2Sd { dst, src, w } => write!(f, "cvtsi2sd {dst}, {src} ({w:?})"),
+            CvtTSd2Si { dst, src, w } => write!(f, "cvttsd2si {dst}, {src} ({w:?})"),
+            CvtSd2Ss { dst, src } => write!(f, "cvtsd2ss {dst}, {src}"),
+            CvtSs2Sd { dst, src } => write!(f, "cvtss2sd {dst}, {src}"),
+            XorPd { dst, src } => write!(f, "xorpd   {dst}, {src}"),
+            AndPd { dst, src } => write!(f, "andpd   {dst}, {src}"),
+            OrPd { dst, src } => write!(f, "orpd    {dst}, {src}"),
+            MovQXG { dst, src } => write!(f, "movq    {dst}, {src}"),
+            MovQGX { dst, src } => write!(f, "movq    {dst}, {src}"),
+            MovRR { dst, src } => write!(f, "mov     {dst}, {src}"),
+            MovRI { dst, imm } => write!(f, "mov     {dst}, {imm:#x}"),
+            Load { dst, addr, w } => write!(f, "mov     {dst}, {w:?} {addr}"),
+            Store { addr, src, w } => write!(f, "mov     {w:?} {addr}, {src}"),
+            Lea { dst, addr } => write!(f, "lea     {dst}, {addr}"),
+            AluRR { op, dst, src } => write!(f, "{op:<7?} {dst}, {src}"),
+            AluRI { op, dst, imm } => write!(f, "{op:<7?} {dst}, {imm:#x}"),
+            DivR { dst, src } => write!(f, "idiv    {dst}, {src}"),
+            RemR { dst, src } => write!(f, "irem    {dst}, {src}"),
+            CmpRR { a, b } => write!(f, "cmp     {a}, {b}"),
+            CmpRI { a, imm } => write!(f, "cmp     {a}, {imm:#x}"),
+            TestRR { a, b } => write!(f, "test    {a}, {b}"),
+            Jmp { rel } => write!(f, "jmp     {rel:+}"),
+            Jcc { cond, rel } => write!(f, "j{cond:<6?} {rel:+}"),
+            Call { rel } => write!(f, "call    {rel:+}"),
+            CallExt { f: ext } => write!(f, "call    {ext:?}@plt"),
+            Ret => write!(f, "ret"),
+            Push { src } => write!(f, "push    {src}"),
+            Pop { dst } => write!(f, "pop     {dst}"),
+            Trap { kind, id } => write!(f, "trap    {kind:?}#{id}"),
+            Halt => write!(f, "hlt"),
+            Nop => write!(f, "nop"),
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! `%mxcsr` and `%rflags` state.
+//!
+//! `%mxcsr` follows the x64 layout: sticky exception flags in bits 0–5,
+//! exception *mask* bits in bits 7–12 (mask set = exception suppressed,
+//! IEEE-default result written), rounding control in bits 13–14. "Unlike
+//! integer condition codes, these flags are sticky, meaning they must be
+//! manually cleared by software. FPVM manages these flags so that they
+//! start at zero for each instruction." (§4.1)
+
+use fpvm_arith::{FpFlags, Round};
+
+/// The SSE control/status register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mxcsr(pub u32);
+
+impl Default for Mxcsr {
+    /// Power-on default: all exceptions masked (0x1F80), round-to-nearest.
+    fn default() -> Self {
+        Mxcsr(0x1F80)
+    }
+}
+
+impl Mxcsr {
+    /// Sticky exception flags (bits 0–5) as [`FpFlags`].
+    pub fn flags(self) -> FpFlags {
+        FpFlags((self.0 & 0x3F) as u8)
+    }
+
+    /// Set sticky flags (OR semantics, like hardware).
+    pub fn raise(&mut self, f: FpFlags) {
+        self.0 |= u32::from(f.0);
+    }
+
+    /// Clear all sticky exception flags (what FPVM does per instruction).
+    pub fn clear_flags(&mut self) {
+        self.0 &= !0x3F;
+    }
+
+    /// Exception masks (bits 7–12) as [`FpFlags`] (bit set = masked).
+    pub fn masks(self) -> FpFlags {
+        FpFlags(((self.0 >> 7) & 0x3F) as u8)
+    }
+
+    /// Set the exception masks.
+    pub fn set_masks(&mut self, m: FpFlags) {
+        self.0 = (self.0 & !(0x3F << 7)) | (u32::from(m.0) << 7);
+    }
+
+    /// Mask everything (native execution — never faults).
+    pub fn mask_all(&mut self) {
+        self.set_masks(FpFlags::ALL);
+    }
+
+    /// Unmask everything (FPVM trap-and-emulate mode: every rounding,
+    /// overflow, underflow, denormal and NaN event faults).
+    pub fn unmask_all(&mut self) {
+        self.set_masks(FpFlags::NONE);
+    }
+
+    /// Exceptions in `f` that are unmasked (would fault).
+    pub fn unmasked(self, f: FpFlags) -> FpFlags {
+        FpFlags(f.0 & !self.masks().0)
+    }
+
+    /// Rounding mode from the RC field (bits 13–14).
+    pub fn rounding(self) -> Round {
+        Round::from_rc(((self.0 >> 13) & 3) as u8)
+    }
+
+    /// Set the RC field.
+    pub fn set_rounding(&mut self, r: Round) {
+        self.0 = (self.0 & !(3 << 13)) | (u32::from(r.to_rc()) << 13);
+    }
+}
+
+/// The subset of `%rflags` the ISA uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RFlags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag.
+    pub cf: bool,
+    /// Overflow flag.
+    pub of: bool,
+    /// Parity flag (set by `ucomisd`/`comisd` for unordered).
+    pub pf: bool,
+}
+
+impl RFlags {
+    /// Flag state after `ucomisd`/`comisd` (the three-flag encoding).
+    pub fn set_fp_compare(&mut self, r: fpvm_arith::CmpResult) {
+        use fpvm_arith::CmpResult::*;
+        let (zf, pf, cf) = match r {
+            Less => (false, false, true),
+            Equal => (true, false, false),
+            Greater => (false, false, false),
+            Unordered => (true, true, true),
+        };
+        self.zf = zf;
+        self.pf = pf;
+        self.cf = cf;
+        self.of = false;
+        self.sf = false;
+    }
+
+    /// Flag state after an integer compare `a - b`.
+    pub fn set_int_compare(&mut self, a: u64, b: u64) {
+        let (res, borrow) = a.overflowing_sub(b);
+        self.zf = res == 0;
+        self.sf = (res as i64) < 0;
+        self.cf = borrow;
+        self.of = ((a ^ b) & (a ^ res)) >> 63 == 1;
+        self.pf = (res as u8).count_ones().is_multiple_of(2);
+    }
+
+    /// Flag state after `test` (bitwise AND).
+    pub fn set_logic(&mut self, res: u64) {
+        self.zf = res == 0;
+        self.sf = (res as i64) < 0;
+        self.cf = false;
+        self.of = false;
+        self.pf = (res as u8).count_ones().is_multiple_of(2);
+    }
+
+    /// Evaluate a branch condition.
+    pub fn cond(&self, c: crate::isa::Cond) -> bool {
+        use crate::isa::Cond::*;
+        match c {
+            E => self.zf,
+            Ne => !self.zf,
+            L => self.sf != self.of,
+            Le => self.zf || self.sf != self.of,
+            G => !self.zf && self.sf == self.of,
+            Ge => self.sf == self.of,
+            B => self.cf,
+            Be => self.cf || self.zf,
+            A => !self.cf && !self.zf,
+            Ae => !self.cf,
+            P => self.pf,
+            Np => !self.pf,
+            S => self.sf,
+            Ns => !self.sf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Cond;
+    use fpvm_arith::CmpResult;
+
+    #[test]
+    fn mxcsr_default_masked() {
+        let m = Mxcsr::default();
+        assert_eq!(m.masks(), FpFlags::ALL);
+        assert_eq!(m.flags(), FpFlags::NONE);
+        assert_eq!(m.rounding(), Round::NearestEven);
+        assert_eq!(m.unmasked(FpFlags::ALL), FpFlags::NONE);
+    }
+
+    #[test]
+    fn mxcsr_unmask_and_raise() {
+        let mut m = Mxcsr::default();
+        m.unmask_all();
+        assert_eq!(m.unmasked(FpFlags::INEXACT), FpFlags::INEXACT);
+        m.raise(FpFlags::INEXACT | FpFlags::OVERFLOW);
+        assert_eq!(m.flags(), FpFlags::INEXACT | FpFlags::OVERFLOW);
+        m.clear_flags();
+        assert_eq!(m.flags(), FpFlags::NONE);
+        // Selective masks.
+        m.set_masks(FpFlags::INEXACT); // only PE masked
+        assert_eq!(m.unmasked(FpFlags::INEXACT), FpFlags::NONE);
+        assert_eq!(m.unmasked(FpFlags::INVALID), FpFlags::INVALID);
+    }
+
+    #[test]
+    fn rounding_field() {
+        let mut m = Mxcsr::default();
+        for r in [Round::NearestEven, Round::Down, Round::Up, Round::Zero] {
+            m.set_rounding(r);
+            assert_eq!(m.rounding(), r);
+            assert_eq!(m.masks(), FpFlags::ALL, "masks must be preserved");
+        }
+    }
+
+    #[test]
+    fn fp_compare_flags_and_conditions() {
+        let mut f = RFlags::default();
+        f.set_fp_compare(CmpResult::Less);
+        assert!(f.cond(Cond::B) && !f.cond(Cond::A) && !f.cond(Cond::E) && !f.cond(Cond::P));
+        f.set_fp_compare(CmpResult::Greater);
+        assert!(f.cond(Cond::A) && !f.cond(Cond::B) && !f.cond(Cond::E));
+        f.set_fp_compare(CmpResult::Equal);
+        assert!(f.cond(Cond::E) && !f.cond(Cond::B) && !f.cond(Cond::A));
+        f.set_fp_compare(CmpResult::Unordered);
+        assert!(f.cond(Cond::P) && f.cond(Cond::E) && f.cond(Cond::B) && f.cond(Cond::Be));
+    }
+
+    #[test]
+    fn int_compare_flags() {
+        let mut f = RFlags::default();
+        f.set_int_compare(5, 5);
+        assert!(f.cond(Cond::E) && f.cond(Cond::Ge) && f.cond(Cond::Le));
+        f.set_int_compare(3, 5);
+        assert!(f.cond(Cond::L) && f.cond(Cond::B) && f.cond(Cond::Ne));
+        f.set_int_compare(5, 3);
+        assert!(f.cond(Cond::G) && f.cond(Cond::A));
+        // Signed vs unsigned: -1 vs 1.
+        f.set_int_compare(u64::MAX, 1);
+        assert!(f.cond(Cond::L), "-1 < 1 signed");
+        assert!(f.cond(Cond::A), "0xFFFF… > 1 unsigned");
+    }
+}

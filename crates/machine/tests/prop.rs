@@ -1,0 +1,171 @@
+//! Property tests for the machine substrate: encoder/decoder round-trips
+//! over random instruction streams, executor determinism, and MXCSR
+//! trap/mask semantics under random FP inputs.
+
+use fpvm_machine::*;
+use proptest::prelude::*;
+
+fn gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..16).prop_map(Gpr)
+}
+fn xmm() -> impl Strategy<Value = Xmm> {
+    (0u8..16).prop_map(Xmm)
+}
+fn mem() -> impl Strategy<Value = Mem> {
+    (
+        proptest::option::of(gpr()),
+        proptest::option::of(gpr()),
+        prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+        -100_000i64..100_000,
+    )
+        .prop_map(|(base, index, scale, disp)| Mem {
+            base,
+            index,
+            scale,
+            disp,
+        })
+}
+fn xm() -> impl Strategy<Value = XM> {
+    prop_oneof![xmm().prop_map(XM::Reg), mem().prop_map(XM::Mem)]
+}
+fn rm() -> impl Strategy<Value = RM> {
+    prop_oneof![gpr().prop_map(RM::Reg), mem().prop_map(RM::Mem)]
+}
+fn width() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::W8),
+        Just(Width::W16),
+        Just(Width::W32),
+        Just(Width::W64)
+    ]
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (xm(), xm()).prop_map(|(dst, src)| Inst::MovSd { dst, src }),
+        (xm(), xm()).prop_map(|(dst, src)| Inst::MovApd { dst, src }),
+        (xmm(), xm()).prop_map(|(dst, src)| Inst::AddSd { dst, src }),
+        (xmm(), xm()).prop_map(|(dst, src)| Inst::SubSd { dst, src }),
+        (xmm(), xm()).prop_map(|(dst, src)| Inst::MulSd { dst, src }),
+        (xmm(), xm()).prop_map(|(dst, src)| Inst::DivSd { dst, src }),
+        (xmm(), xm()).prop_map(|(dst, src)| Inst::SqrtSd { dst, src }),
+        (xmm(), xm()).prop_map(|(dst, src)| Inst::AddPd { dst, src }),
+        (xmm(), xm()).prop_map(|(a, b)| Inst::UComISd { a, b }),
+        (xmm(), rm(), width()).prop_map(|(dst, src, w)| Inst::CvtSi2Sd { dst, src, w }),
+        (gpr(), xm(), width()).prop_map(|(dst, src, w)| Inst::CvtTSd2Si { dst, src, w }),
+        (xmm(), xm()).prop_map(|(dst, src)| Inst::XorPd { dst, src }),
+        (gpr(), xmm()).prop_map(|(dst, src)| Inst::MovQXG { dst, src }),
+        (gpr(), gpr()).prop_map(|(dst, src)| Inst::MovRR { dst, src }),
+        (gpr(), any::<i64>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
+        (gpr(), mem(), width()).prop_map(|(dst, addr, w)| Inst::Load { dst, addr, w }),
+        (mem(), gpr(), width()).prop_map(|(addr, src, w)| Inst::Store { addr, src, w }),
+        (gpr(), mem()).prop_map(|(dst, addr)| Inst::Lea { dst, addr }),
+        any::<i32>().prop_map(|rel| Inst::Jmp { rel }),
+        any::<i32>().prop_map(|rel| Inst::Call { rel }),
+        Just(Inst::Ret),
+        Just(Inst::Halt),
+        Just(Inst::Nop),
+        (gpr()).prop_map(|src| Inst::Push { src }),
+        any::<u16>().prop_map(|id| Inst::Trap {
+            kind: TrapKind::Correctness,
+            id
+        }),
+    ]
+}
+
+proptest! {
+    /// Every instruction round-trips through the byte encoding, alone and
+    /// in a concatenated stream.
+    #[test]
+    fn encode_decode_roundtrip(insts in proptest::collection::vec(inst(), 1..40)) {
+        let mut buf = Vec::new();
+        let mut offsets = Vec::new();
+        for i in &insts {
+            offsets.push(buf.len());
+            encode(i, &mut buf);
+        }
+        let mut pos = 0;
+        for (k, i) in insts.iter().enumerate() {
+            prop_assert_eq!(pos, offsets[k]);
+            let (d, len) = decode(&buf, pos).expect("decode");
+            prop_assert_eq!(&d, i);
+            pos += len;
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    /// The executor is deterministic: two runs of the same program produce
+    /// identical final state.
+    #[test]
+    fn executor_deterministic(vals in proptest::collection::vec(-1e6..1e6f64, 4)) {
+        let mut a = Asm::new();
+        let mut mems = Vec::new();
+        for v in &vals {
+            mems.push(a.f64m(*v));
+        }
+        a.movsd(Xmm(0), mems[0]);
+        a.addsd(Xmm(0), mems[1]);
+        a.mulsd(Xmm(0), mems[2]);
+        a.divsd(Xmm(0), mems[3]);
+        a.halt();
+        let p = a.finish();
+        let run = || {
+            let mut m = Machine::new(CostModel::r815());
+            m.load_program(&p);
+            m.hook_ext = false;
+            m.mxcsr.mask_all();
+            let ev = m.run(1000);
+            (ev, m.xmm[0][0], m.cycles, m.icount)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// MXCSR contract: with everything masked, FP programs never fault and
+    /// results equal host arithmetic; with everything unmasked, a fault
+    /// occurs iff the op is inexact/special, and the faulting instruction
+    /// does not retire.
+    #[test]
+    fn mxcsr_contract(a in -1e10..1e10f64, b in -1e10..1e10f64) {
+        let mut asmb = Asm::new();
+        let ca = asmb.f64m(a);
+        let cb = asmb.f64m(b);
+        asmb.movsd(Xmm(0), ca);
+        asmb.mulsd(Xmm(0), cb);
+        asmb.halt();
+        let p = asmb.finish();
+        // Masked run.
+        let mut m = Machine::new(CostModel::r815());
+        m.load_program(&p);
+        m.hook_ext = false;
+        m.mxcsr.mask_all();
+        prop_assert_eq!(m.run(100), Event::Halted);
+        prop_assert_eq!(f64::from_bits(m.xmm[0][0]).to_bits(), (a * b).to_bits());
+        // Unmasked run.
+        let mut m2 = Machine::new(CostModel::r815());
+        m2.load_program(&p);
+        m2.hook_ext = false;
+        m2.mxcsr.unmask_all();
+        let (_, exact_flags) = fpvm_arith::softfp::mul(a, b);
+        match m2.run(100) {
+            Event::Halted => prop_assert!(
+                exact_flags.is_empty(),
+                "halted but op had flags {exact_flags}"
+            ),
+            Event::FpException { rip, flags } => {
+                prop_assert!(!exact_flags.is_empty());
+                prop_assert_eq!(flags, exact_flags);
+                // Not retired: xmm0 still holds a.
+                prop_assert_eq!(m2.xmm[0][0], a.to_bits());
+                // rip points at the mulsd.
+                let (inst, _) = fpvm_machine::decode(
+                    m2.mem.code_bytes(),
+                    (rip - CODE_BASE) as usize,
+                )
+                .unwrap();
+                let is_mul = matches!(inst, Inst::MulSd { .. });
+                prop_assert!(is_mul, "rip did not point at mulsd");
+            }
+            other => prop_assert!(false, "unexpected event {:?}", other),
+        }
+    }
+}

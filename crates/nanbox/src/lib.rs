@@ -1,0 +1,288 @@
+//! NaN-boxing of shadow-value pointers into IEEE 754 doubles (FPVM §2, Fig. 2).
+//!
+//! FPVM tracks values that have been *promoted* into an alternative arithmetic
+//! system by replacing the original `f64` with a **signaling NaN** whose
+//! payload encodes a pointer (here: an arena key) to the *shadow value*. The
+//! hardware can be configured to fault whenever a signaling NaN is consumed,
+//! so shadowed values are tracked through the program's own dataflow at zero
+//! cost until they are actually used.
+//!
+//! Bit layout of a 64-bit IEEE double (MSB first):
+//!
+//! ```text
+//!   63   62........52  51  50........................0
+//!  [ s ][ exponent   ][ q ][          payload          ]
+//! ```
+//!
+//! * A value is a NaN iff `exponent == 0x7FF` and `(q, payload) != 0`.
+//! * The quiet bit `q` (mantissa bit 51) distinguishes quiet (`q = 1`) from
+//!   signaling (`q = 0`) NaNs on x64 and every other relevant platform.
+//! * A **signaling** NaN therefore must have `q = 0` and `payload != 0`
+//!   (otherwise the encoding would be ±infinity), leaving exactly 2^51 − 1
+//!   usable payloads per sign — the paper's "51 bits of extra information".
+//!
+//! FPVM *owns* the entire signaling-NaN space (the paper's "NaN-space
+//! ownership" limitation): a program running under FPVM never observes a
+//! signaling NaN of its own. A signaling NaN whose key is not live in the
+//! shadow arena is treated as a *universal NaN* (e.g. the result of `0/0`,
+//! which is not a real number in any arithmetic system); that policy is
+//! implemented by the runtime, not here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Exponent field mask for `f64`.
+pub const F64_EXP_MASK: u64 = 0x7FF0_0000_0000_0000;
+/// Quiet-NaN bit (mantissa bit 51) for `f64`.
+pub const F64_QUIET_BIT: u64 = 0x0008_0000_0000_0000;
+/// Payload mask (mantissa bits 50..0) for `f64`.
+pub const F64_PAYLOAD_MASK: u64 = 0x0007_FFFF_FFFF_FFFF;
+/// Sign bit for `f64`.
+pub const F64_SIGN_BIT: u64 = 0x8000_0000_0000_0000;
+
+/// Maximum encodable shadow key: 2^51 − 1 (payload must be nonzero).
+pub const MAX_KEY: u64 = F64_PAYLOAD_MASK;
+
+/// A key identifying a shadow value in the alternative arithmetic system's
+/// arena. Keys are nonzero and at most [`MAX_KEY`].
+///
+/// The paper encodes a user-space *pointer* (< 48 bits on Linux) directly;
+/// we encode an arena slot key, which the paper's footnote 4 explicitly
+/// sanctions ("the 51 bits could simply be used as a key to a hash lookup
+/// scheme instead of directly as a pointer").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShadowKey(u64);
+
+impl ShadowKey {
+    /// Create a key. Returns `None` if `raw` is zero or exceeds [`MAX_KEY`].
+    #[inline]
+    pub fn new(raw: u64) -> Option<Self> {
+        if raw == 0 || raw > MAX_KEY {
+            None
+        } else {
+            Some(ShadowKey(raw))
+        }
+    }
+
+    /// The raw 51-bit key value (always nonzero).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Classification of a 64-bit pattern as seen by FPVM (Fig. 2's decode step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpClass {
+    /// ±0.
+    Zero,
+    /// Subnormal (denormal) finite value.
+    Subnormal,
+    /// Normal finite value.
+    Normal,
+    /// ±∞.
+    Infinite,
+    /// Quiet NaN — produced by ordinary IEEE hardware; *not* owned by FPVM.
+    QuietNan,
+    /// Signaling NaN — owned by FPVM; carries a shadow key.
+    Boxed(ShadowKey),
+}
+
+/// Classify raw `f64` bits.
+#[inline]
+pub fn classify(bits: u64) -> FpClass {
+    let exp = bits & F64_EXP_MASK;
+    let mantissa = bits & (F64_QUIET_BIT | F64_PAYLOAD_MASK);
+    if exp != F64_EXP_MASK {
+        if exp == 0 {
+            if mantissa == 0 {
+                FpClass::Zero
+            } else {
+                FpClass::Subnormal
+            }
+        } else {
+            FpClass::Normal
+        }
+    } else if mantissa == 0 {
+        FpClass::Infinite
+    } else if bits & F64_QUIET_BIT != 0 {
+        FpClass::QuietNan
+    } else {
+        // Signaling NaN: quiet bit clear, payload necessarily nonzero.
+        FpClass::Boxed(ShadowKey(bits & F64_PAYLOAD_MASK))
+    }
+}
+
+/// Encode a shadow key as a signaling NaN (Fig. 2's encode step).
+///
+/// The sign bit is left clear; [`decode`] tolerates either sign so that a
+/// stray `xorpd` sign flip (one of the paper's non-trapping hazards) corrupts
+/// nothing *if* the runtime still gets a chance to see the value — the static
+/// analysis exists precisely to guarantee that chance.
+#[inline]
+pub fn encode(key: ShadowKey) -> u64 {
+    F64_EXP_MASK | key.0
+}
+
+/// Encode a shadow key directly as an `f64`.
+#[inline]
+pub fn encode_f64(key: ShadowKey) -> f64 {
+    f64::from_bits(encode(key))
+}
+
+/// Decode raw bits into a shadow key, if the bits are a signaling NaN.
+#[inline]
+pub fn decode(bits: u64) -> Option<ShadowKey> {
+    match classify(bits) {
+        FpClass::Boxed(k) => Some(k),
+        _ => None,
+    }
+}
+
+/// Decode an `f64` into a shadow key, if it is a signaling NaN.
+#[inline]
+pub fn decode_f64(x: f64) -> Option<ShadowKey> {
+    decode(x.to_bits())
+}
+
+/// Returns true if the bit pattern is a NaN-box (signaling NaN) owned by FPVM.
+#[inline]
+pub fn is_boxed(bits: u64) -> bool {
+    decode(bits).is_some()
+}
+
+/// 32-bit NaN-boxing — included to demonstrate the paper's "float problem"
+/// limitation: an `f32` mantissa has only 23 bits, so after reserving the
+/// quiet bit just 2^22 − 1 keys remain, "likely to be insufficient" for a
+/// shadow arena of any real program.
+pub mod f32box {
+    /// Exponent mask for `f32`.
+    pub const F32_EXP_MASK: u32 = 0x7F80_0000;
+    /// Quiet bit (mantissa bit 22) for `f32`.
+    pub const F32_QUIET_BIT: u32 = 0x0040_0000;
+    /// Payload mask (mantissa bits 21..0) for `f32`.
+    pub const F32_PAYLOAD_MASK: u32 = 0x003F_FFFF;
+    /// Maximum encodable 22-bit key.
+    pub const MAX_KEY32: u32 = F32_PAYLOAD_MASK;
+
+    /// Encode a small key into an `f32` signaling NaN. `None` if the key is
+    /// zero or does not fit in 22 bits — the float problem in action.
+    #[inline]
+    pub fn encode32(key: u32) -> Option<u32> {
+        if key == 0 || key > MAX_KEY32 {
+            None
+        } else {
+            Some(F32_EXP_MASK | key)
+        }
+    }
+
+    /// Decode an `f32` bit pattern into a key, if it is a signaling NaN.
+    #[inline]
+    pub fn decode32(bits: u32) -> Option<u32> {
+        let exp = bits & F32_EXP_MASK;
+        let mant = bits & (F32_QUIET_BIT | F32_PAYLOAD_MASK);
+        if exp == F32_EXP_MASK && mant != 0 && bits & F32_QUIET_BIT == 0 {
+            Some(bits & F32_PAYLOAD_MASK)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_bounds() {
+        assert!(ShadowKey::new(0).is_none());
+        assert!(ShadowKey::new(1).is_some());
+        assert!(ShadowKey::new(MAX_KEY).is_some());
+        assert!(ShadowKey::new(MAX_KEY + 1).is_none());
+        assert!(ShadowKey::new(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        for raw in [1u64, 2, 42, 0xDEAD_BEEF, MAX_KEY] {
+            let k = ShadowKey::new(raw).unwrap();
+            assert_eq!(decode(encode(k)), Some(k));
+        }
+    }
+
+    #[test]
+    fn boxed_is_snan() {
+        // The host hardware must agree that a boxed value is a NaN, and that
+        // consuming it in arithmetic produces a NaN (quieted).
+        let k = ShadowKey::new(0x1234).unwrap();
+        let x = encode_f64(k);
+        assert!(x.is_nan());
+        let y = x + 1.0;
+        assert!(y.is_nan());
+        // After passing through an arithmetic op the NaN is quieted: it no
+        // longer decodes as a box. This is why every *consuming* instruction
+        // must trap (or be patched) before the hardware quiets it.
+        assert_eq!(decode_f64(y), None);
+    }
+
+    #[test]
+    fn ordinary_values_never_decode() {
+        for x in [
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            std::f64::consts::PI,
+            4.9e-324, // smallest subnormal
+        ] {
+            assert_eq!(decode_f64(x), None, "{x:?} decoded as a box");
+        }
+        // The default quiet NaN must not decode.
+        assert_eq!(decode_f64(f64::NAN), None);
+        // 0.0/0.0 produces a quiet NaN on the host.
+        let z: f64 = 0.0;
+        assert_eq!(decode_f64(z / z), None);
+    }
+
+    #[test]
+    fn classify_taxonomy() {
+        assert_eq!(classify(0), FpClass::Zero);
+        assert_eq!(classify(F64_SIGN_BIT), FpClass::Zero);
+        assert_eq!(classify(1), FpClass::Subnormal);
+        assert_eq!(classify(1.0f64.to_bits()), FpClass::Normal);
+        assert_eq!(classify(f64::INFINITY.to_bits()), FpClass::Infinite);
+        assert_eq!(classify(f64::NEG_INFINITY.to_bits()), FpClass::Infinite);
+        assert_eq!(classify(f64::NAN.to_bits()), FpClass::QuietNan);
+        let k = ShadowKey::new(7).unwrap();
+        assert_eq!(classify(encode(k)), FpClass::Boxed(k));
+    }
+
+    #[test]
+    fn sign_flip_tolerated_on_decode() {
+        // xorpd with the sign mask (compiler idiom for negation) flips bit 63.
+        let k = ShadowKey::new(0xABCDE).unwrap();
+        let flipped = encode(k) ^ F64_SIGN_BIT;
+        assert_eq!(decode(flipped), Some(k));
+    }
+
+    #[test]
+    fn float_problem() {
+        use f32box::*;
+        // 22-bit keys fit ...
+        assert!(encode32(1).is_some());
+        assert!(encode32(MAX_KEY32).is_some());
+        // ... but a key space sized for a real program does not.
+        assert!(encode32(MAX_KEY32 + 1).is_none());
+        assert!(encode32(1 << 30).is_none());
+        // Roundtrip what does fit.
+        assert_eq!(decode32(encode32(0x2ABCD).unwrap()), Some(0x2ABCD));
+        // Host agreement that it is a NaN.
+        assert!(f32::from_bits(encode32(5).unwrap()).is_nan());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for NaN-box encoding (FPVM §2 / Fig. 2 invariants).
+
+use fpvm_nanbox::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every valid key round-trips through encode/decode.
+    #[test]
+    fn roundtrip(raw in 1u64..=MAX_KEY) {
+        let k = ShadowKey::new(raw).unwrap();
+        prop_assert_eq!(decode(encode(k)), Some(k));
+        prop_assert_eq!(decode_f64(encode_f64(k)), Some(k));
+    }
+
+    /// Every encoded box is a NaN according to the host hardware.
+    #[test]
+    fn boxed_is_host_nan(raw in 1u64..=MAX_KEY) {
+        let k = ShadowKey::new(raw).unwrap();
+        prop_assert!(encode_f64(k).is_nan());
+    }
+
+    /// No finite or infinite double ever decodes as a box (no collisions
+    /// between the program's real values and FPVM's shadowed values).
+    #[test]
+    fn no_collision_with_reals(bits in any::<u64>()) {
+        let x = f64::from_bits(bits);
+        if !x.is_nan() {
+            prop_assert_eq!(decode(bits), None);
+        }
+    }
+
+    /// Quiet NaNs (quiet bit set) never decode as boxes.
+    #[test]
+    fn quiet_nans_not_owned(payload in 0u64..=F64_PAYLOAD_MASK, sign in any::<bool>()) {
+        let bits = F64_EXP_MASK | F64_QUIET_BIT | payload
+            | if sign { F64_SIGN_BIT } else { 0 };
+        prop_assert_eq!(decode(bits), None);
+        prop_assert_eq!(classify(bits), FpClass::QuietNan);
+    }
+
+    /// classify() partitions the full 2^64 space with no panics, and Boxed
+    /// appears exactly when decode() succeeds.
+    #[test]
+    fn classify_consistent(bits in any::<u64>()) {
+        let c = classify(bits);
+        match c {
+            FpClass::Boxed(k) => prop_assert_eq!(decode(bits), Some(k)),
+            _ => prop_assert_eq!(decode(bits), None),
+        }
+        // Class agrees with host predicates.
+        let x = f64::from_bits(bits);
+        match c {
+            FpClass::Zero => prop_assert!(x == 0.0),
+            FpClass::Subnormal => prop_assert!(x.is_subnormal()),
+            FpClass::Normal => prop_assert!(x.is_normal()),
+            FpClass::Infinite => prop_assert!(x.is_infinite()),
+            FpClass::QuietNan | FpClass::Boxed(_) => prop_assert!(x.is_nan()),
+        }
+    }
+
+    /// Host arithmetic quiets any signaling NaN: a box that flows through an
+    /// untrapped arithmetic instruction is lost. (This is the hardware
+    /// behavior the whole trap-and-emulate design leans on.)
+    #[test]
+    fn arithmetic_quiets(raw in 1u64..=MAX_KEY, y in any::<f64>()) {
+        let x = encode_f64(ShadowKey::new(raw).unwrap());
+        let sum = x + y;
+        prop_assert!(sum.is_nan());
+        prop_assert_eq!(decode_f64(sum), None);
+    }
+}

@@ -1,0 +1,338 @@
+//! Enzo-like cosmology workload (§5.1, §5.3).
+//!
+//! Enzo is a 307-kLoC AMR astrophysics code; what matters for FPVM's
+//! evaluation is its *correctness-trap profile*: "the traps occur in
+//! critical loops because the static analysis could not prove they were
+//! unneeded. The vast majority of the dynamic checks succeed however,
+//! meaning no special handling is needed."
+//!
+//! This toy particle-mesh gravity code reproduces exactly that structure:
+//! particles live in a **heap-allocated interleaved record array**
+//! `{id: i64, pos: f64, vel: f64}` (the Fig. 7 struct pattern). The VSA's
+//! one-cell heap summary cannot separate the `id` field from the FP
+//! fields, so the *integer* `id` loads in the hot per-particle loop get
+//! patched with correctness traps — which then almost never find a boxed
+//! value (ids are integers), i.e. the checks "succeed". A once-per-step
+//! bit-punned mass checksum adds the rare demoting trap.
+
+use crate::{f, i, Size, Workload};
+use fpvm_ir::build_util::loop_n;
+use fpvm_ir::{CmpOp, GlobalInit, Module, Ty};
+use fpvm_machine::OutputEvent;
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of particles.
+    pub particles: i64,
+    /// Grid cells.
+    pub grid: i64,
+    /// Time steps.
+    pub steps: i64,
+    /// Time step size.
+    pub dt: f64,
+}
+
+impl Params {
+    fn for_size(size: Size) -> Params {
+        match size {
+            Size::Tiny => Params {
+                particles: 32,
+                grid: 16,
+                steps: 4,
+                dt: 0.01,
+            },
+            Size::S => Params {
+                particles: 192,
+                grid: 32,
+                steps: 12,
+                dt: 0.01,
+            },
+        }
+    }
+}
+
+/// Record layout: 24 bytes per particle.
+const REC: i64 = 24;
+
+/// Build the IR module.
+pub fn build(p: Params) -> Module {
+    let np = p.particles;
+    let ng = p.grid;
+    let mut m = Module::new();
+    let g_density = m.global("density", GlobalInit::Zeroed(ng as usize * 8));
+    let g_force = m.global("force", GlobalInit::Zeroed(ng as usize * 8));
+    m.build_func("main", &[], None, |b| {
+        let density = b.var(Ty::I64);
+        let force = b.var(Ty::I64);
+        let a = b.global_addr(g_density);
+        b.write(density, a);
+        let a = b.global_addr(g_force);
+        b.write(force, a);
+        // Heap-allocated interleaved particle records (the Fig. 7 shape).
+        let parts = b.var(Ty::I64);
+        let sz = b.ci(np * REC);
+        let pp = b.alloc(sz);
+        b.write(parts, pp);
+        // Init: id = k, pos = (k + 0.37) * ng/np, vel = small alternating.
+        loop_n(b, np, |b, kv| {
+            let rec = b.ci(REC);
+            let off = b.imul(kv, rec);
+            let base = b.read(parts);
+            let addr = b.iadd(base, off);
+            b.storei(addr, 0, kv); // id
+            let kf = b.itof(kv);
+            let c = b.cf(0.37);
+            let kc = b.fadd(kf, c);
+            let scale = b.cf(ng as f64 / np as f64);
+            let pos = b.fmul(kc, scale);
+            b.storef(addr, 8, pos);
+            // vel = 0.05 if k even else -0.05 (integer parity).
+            let two = b.ci(2);
+            let par = b.irem(kv, two);
+            let zero = b.ci(0);
+            let even = b.icmp(CmpOp::Eq, par, zero);
+            let vel = b.var(Ty::F64);
+            fpvm_ir::build_util::if_else(
+                b,
+                even,
+                |b| {
+                    let v = b.cf(0.05);
+                    b.write(vel, v);
+                },
+                |b| {
+                    let v = b.cf(-0.05);
+                    b.write(vel, v);
+                },
+            );
+            let v = b.read(vel);
+            b.storef(addr, 16, v);
+        });
+        let checksum = b.var(Ty::I64);
+        let zi = b.ci(0);
+        b.write(checksum, zi);
+        loop_n(b, p.steps, |b, _step| {
+            // Clear density.
+            loop_n(b, ng, |b, cv| {
+                let three = b.ci(3);
+                let off = b.ishl(cv, three);
+                let base = b.read(density);
+                let addr = b.iadd(base, off);
+                let z = b.cf(0.0);
+                b.storef(addr, 0, z);
+            });
+            // Deposit (NGP): the HOT loop — reads the integer id from the
+            // heap record (patched; check succeeds) and the FP pos.
+            loop_n(b, np, |b, kv| {
+                let rec = b.ci(REC);
+                let off = b.imul(kv, rec);
+                let base = b.read(parts);
+                let addr = b.iadd(base, off);
+                let id = b.loadi(addr, 0); // <- patched int load of heap
+                let pos = b.loadf(addr, 8);
+                // cell = floor(pos) mod ng (kept in range by wrap below).
+                let cell = b.ftoi(pos);
+                let ngc = b.ci(ng);
+                let cw = b.irem(cell, ngc);
+                // mass weight depends on id parity (so the id load is live).
+                let two = b.ci(2);
+                let par = b.irem(id, two);
+                let parf = b.itof(par);
+                let c1 = b.cf(1.0);
+                let c01 = b.cf(0.1);
+                let extra = b.fmul(parf, c01);
+                let w = b.fadd(c1, extra);
+                let three = b.ci(3);
+                let coff = b.ishl(cw, three);
+                let dbase = b.read(density);
+                let daddr = b.iadd(dbase, coff);
+                let d = b.loadf(daddr, 0);
+                let d2 = b.fadd(d, w);
+                b.storef(daddr, 0, d2);
+            });
+            // "Solve": two smoothing passes density -> force (periodic).
+            for _pass in 0..2 {
+                loop_n(b, ng, |b, cv| {
+                    let one = b.ci(1);
+                    let ngc = b.ci(ng);
+                    let ngm1 = b.ci(ng - 1);
+                    let cm = b.iadd(cv, ngm1);
+                    let cmw = b.irem(cm, ngc);
+                    let cp = b.iadd(cv, one);
+                    let cpw = b.irem(cp, ngc);
+                    let three = b.ci(3);
+                    let dbase = b.read(density);
+                    let off_m = b.ishl(cmw, three);
+                    let a_m = b.iadd(dbase, off_m);
+                    let dm = b.loadf(a_m, 0);
+                    let off_p = b.ishl(cpw, three);
+                    let a_p = b.iadd(dbase, off_p);
+                    let dp = b.loadf(a_p, 0);
+                    let grad = b.fsub(dp, dm);
+                    let half = b.cf(-0.5);
+                    let fv = b.fmul(half, grad);
+                    let fbase = b.read(force);
+                    let off_c = b.ishl(cv, three);
+                    let fa = b.iadd(fbase, off_c);
+                    b.storef(fa, 0, fv);
+                });
+                // Second pass reads force into density-smoothed form only
+                // on the second iteration; keep it simple: copy force ->
+                // density scaled, so pass 2 differs.
+                loop_n(b, ng, |b, cv| {
+                    let three = b.ci(3);
+                    let off_c = b.ishl(cv, three);
+                    let fbase = b.read(force);
+                    let fa = b.iadd(fbase, off_c);
+                    let fv = b.loadf(fa, 0);
+                    let dbase = b.read(density);
+                    let da = b.iadd(dbase, off_c);
+                    let dv = b.loadf(da, 0);
+                    let c9 = b.cf(0.9);
+                    let mix1 = b.fmul(c9, dv);
+                    let c1 = b.cf(0.1);
+                    let mix2 = b.fmul(c1, fv);
+                    let mixed = b.fadd(mix1, mix2);
+                    b.storef(da, 0, mixed);
+                });
+            }
+            // Kick + drift: second hot loop with the same patched id load.
+            loop_n(b, np, |b, kv| {
+                let rec = b.ci(REC);
+                let off = b.imul(kv, rec);
+                let base = b.read(parts);
+                let addr = b.iadd(base, off);
+                let id = b.loadi(addr, 0); // <- patched int load, succeeds
+                let pos = b.loadf(addr, 8);
+                let vel = b.loadf(addr, 16);
+                let cell = b.ftoi(pos);
+                let ngc = b.ci(ng);
+                let cw = b.irem(cell, ngc);
+                let three = b.ci(3);
+                let off_c = b.ishl(cw, three);
+                let fbase = b.read(force);
+                let fa = b.iadd(fbase, off_c);
+                let fv = b.loadf(fa, 0);
+                let dt = b.cf(p.dt);
+                let dv = b.fmul(fv, dt);
+                let nv = b.fadd(vel, dv);
+                b.storef(addr, 16, nv);
+                let dx = b.fmul(nv, dt);
+                let np_ = b.fadd(pos, dx);
+                // Wrap into [0, ng): pos = pos - ng*floor(pos/ng).
+                let ngf = b.cf(ng as f64);
+                let q = b.fdiv(np_, ngf);
+                let fl = b.math(fpvm_ir::MathFn::Floor, &[q]);
+                let w = b.fmul(ngf, fl);
+                let wrapped = b.fsub(np_, w);
+                b.storef(addr, 8, wrapped);
+                // Keep the id live in an integer accumulator.
+                let c = b.read(checksum);
+                let c2 = b.iadd(c, id);
+                b.write(checksum, c2);
+            });
+            // Once per step: bit-punned total-mass checksum (the rare
+            // demoting correctness trap).
+            let msum = b.var(Ty::F64);
+            let zf = b.cf(0.0);
+            b.write(msum, zf);
+            loop_n(b, ng, |b, cv| {
+                let three = b.ci(3);
+                let off_c = b.ishl(cv, three);
+                let dbase = b.read(density);
+                let da = b.iadd(dbase, off_c);
+                let dv = b.loadf(da, 0);
+                let s = b.read(msum);
+                let s2 = b.fadd(s, dv);
+                b.write(msum, s2);
+            });
+            let s = b.read(msum);
+            let bits = b.bitcast_fi(s);
+            let sh = b.ci(32);
+            let hi = b.ishr(bits, sh);
+            let c = b.read(checksum);
+            let c2 = b.ixor(c, hi);
+            b.write(checksum, c2);
+        });
+        // Output: checksum + first few particle positions.
+        let c = b.read(checksum);
+        b.printi(c);
+        for k in 0..4.min(np) {
+            let kc = b.ci(k);
+            let rec = b.ci(REC);
+            let off = b.imul(kc, rec);
+            let base = b.read(parts);
+            let addr = b.iadd(base, off);
+            let pos = b.loadf(addr, 8);
+            b.printf(pos);
+        }
+        b.ret(None);
+    });
+    m
+}
+
+/// Op-for-op native reference.
+pub fn reference(p: Params) -> Vec<OutputEvent> {
+    let np = p.particles as usize;
+    let ng = p.grid as usize;
+    let mut ids = vec![0i64; np];
+    let mut pos = vec![0.0f64; np];
+    let mut vel = vec![0.0f64; np];
+    for k in 0..np {
+        ids[k] = k as i64;
+        pos[k] = (k as f64 + 0.37) * (p.grid as f64 / p.particles as f64);
+        vel[k] = if k % 2 == 0 { 0.05 } else { -0.05 };
+    }
+    let mut density = vec![0.0f64; ng];
+    let mut force = vec![0.0f64; ng];
+    let mut checksum = 0i64;
+    for _ in 0..p.steps {
+        for d in density.iter_mut() {
+            *d = 0.0;
+        }
+        for k in 0..np {
+            let cell = (pos[k] as i64).rem_euclid(p.grid) as usize;
+            let w = 1.0 + (ids[k] % 2) as f64 * 0.1;
+            density[cell] += w;
+        }
+        for _pass in 0..2 {
+            for c in 0..ng {
+                let cm = (c + ng - 1) % ng;
+                let cp = (c + 1) % ng;
+                force[c] = -0.5 * (density[cp] - density[cm]);
+            }
+            for c in 0..ng {
+                density[c] = 0.9 * density[c] + 0.1 * force[c];
+            }
+        }
+        for k in 0..np {
+            let cell = (pos[k] as i64).rem_euclid(p.grid) as usize;
+            vel[k] += force[cell] * p.dt;
+            let moved = pos[k] + vel[k] * p.dt;
+            let wrapped = moved - p.grid as f64 * (moved / p.grid as f64).floor();
+            pos[k] = wrapped;
+            checksum += ids[k];
+        }
+        let mut msum = 0.0f64;
+        for &d in &density {
+            msum += d;
+        }
+        checksum ^= (msum.to_bits() >> 32) as i64;
+    }
+    let mut out = vec![i(checksum)];
+    for &pv in pos.iter().take(4.min(np)) {
+        out.push(f(pv));
+    }
+    out
+}
+
+/// The packaged workload.
+pub fn workload(size: Size) -> Workload {
+    let p = Params::for_size(size);
+    Workload {
+        name: "Enzo",
+        config: "Cosmology Sim.",
+        module: build(p),
+        reference: reference(p),
+    }
+}

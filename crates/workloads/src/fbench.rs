@@ -1,0 +1,168 @@
+//! FBench — John Walker's floating point trigonometry benchmark (§5.1),
+//! adapted.
+//!
+//! The original FBench evaluates a four-surface lens design by tracing
+//! marginal rays trigonometrically (`sin`/`asin`-dense inner loop). This
+//! adaptation keeps the classic surface prescription and the
+//! `transit_surface` recurrence, traces a fan of ray heights, and repeats
+//! the trace with an accumulator carried between iterations (preventing
+//! algebraic simplification, as the original's repetition loop does).
+//! Math calls go through the external libm boundary, exercising FPVM's
+//! math-wrapper interposition.
+
+use crate::{f, Size, Workload};
+use fpvm_ir::{CmpOp, MathFn, Module, Ty};
+use fpvm_machine::OutputEvent;
+
+/// Lens prescription: (radius, n_from, n_to, spacing to next surface).
+/// The classic FBench 4-surface telescope objective.
+const SURFACES: [(f64, f64, f64, f64); 4] = [
+    (27.05, 1.0, 1.5137, 0.52),
+    (-16.68, 1.5137, 1.0, 0.138),
+    (-16.68, 1.0, 1.6164, 0.38),
+    (-78.1, 1.6164, 1.0, 0.0),
+];
+
+/// Ray heights traced (fractions of the 4 mm clear aperture).
+const HEIGHTS: [f64; 5] = [0.4, 0.8, 1.2, 1.6, 2.0];
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Outer repetitions of the full trace.
+    pub iterations: i64,
+}
+
+impl Params {
+    fn for_size(size: Size) -> Params {
+        match size {
+            Size::Tiny => Params { iterations: 4 },
+            Size::S => Params { iterations: 60 },
+        }
+    }
+}
+
+/// Build the IR module.
+pub fn build(p: Params) -> Module {
+    let mut m = Module::new();
+    m.build_func("main", &[], None, |b| {
+        let acc = b.var(Ty::F64);
+        let iter = b.var(Ty::I64);
+        let zero = b.cf(0.0);
+        b.write(acc, zero);
+        let czero = b.ci(0);
+        b.write(iter, czero);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+
+        b.switch_to(header);
+        let iv = b.read(iter);
+        let n = b.ci(p.iterations);
+        let c = b.icmp(CmpOp::Lt, iv, n);
+        b.cond_br(c, body, exit);
+
+        b.switch_to(body);
+        for &h0 in &HEIGHTS {
+            // Perturb the ray height with the accumulator so iterations
+            // cannot be collapsed: h = h0 + acc * 1e-12.
+            let accv = b.read(acc);
+            let tiny = b.cf(1e-12);
+            let pert = b.fmul(accv, tiny);
+            let h0c = b.cf(h0);
+            let mut h = b.fadd(h0c, pert);
+            // Surface 1: parallel incoming light (object_distance = 0).
+            let (r1, nf1, nt1, d1) = SURFACES[0];
+            let r = b.cf(r1);
+            let iang_sin = b.fdiv(h, r);
+            let iang = b.math(MathFn::Asin, &[iang_sin]);
+            let ratio = b.cf(nf1 / nt1);
+            let rang_sin = b.fmul(ratio, iang_sin);
+            let rang = b.math(MathFn::Asin, &[rang_sin]);
+            let mut asa = b.fsub(iang, rang); // axis slope angle (from 0)
+            let sin_asa = b.math(MathFn::Sin, &[asa]);
+            let mut od = b.fdiv(h, sin_asa); // object distance
+            let dmove = b.cf(d1);
+            od = b.fsub(od, dmove);
+            // Surfaces 2..4: general transit.
+            for &(rk, nfk, ntk, dk) in &SURFACES[1..] {
+                let r = b.cf(rk);
+                let omr = b.fsub(od, r);
+                let q = b.fdiv(omr, r);
+                let sin_asa = b.math(MathFn::Sin, &[asa]);
+                let iang_sin = b.fmul(q, sin_asa);
+                let iang = b.math(MathFn::Asin, &[iang_sin]);
+                let ratio = b.cf(nfk / ntk);
+                let rang_sin = b.fmul(ratio, iang_sin);
+                let rang = b.math(MathFn::Asin, &[rang_sin]);
+                let step = b.fsub(iang, rang);
+                let old_asa = asa;
+                asa = b.fadd(asa, step);
+                let sin_old = b.math(MathFn::Sin, &[old_asa]);
+                h = b.fmul(od, sin_old);
+                let sin_new = b.math(MathFn::Sin, &[asa]);
+                od = b.fdiv(h, sin_new);
+                let dmove = b.cf(dk);
+                od = b.fsub(od, dmove);
+            }
+            // Accumulate the back focal distance.
+            let accv = b.read(acc);
+            let nacc = b.fadd(accv, od);
+            b.write(acc, nacc);
+        }
+        let one = b.ci(1);
+        let inext = b.iadd(iv, one);
+        b.write(iter, inext);
+        b.br(header);
+
+        b.switch_to(exit);
+        let accv = b.read(acc);
+        b.printf(accv);
+        b.ret(None);
+    });
+    m
+}
+
+/// Op-for-op native reference.
+pub fn reference(p: Params) -> Vec<OutputEvent> {
+    let mut acc = 0.0f64;
+    for _ in 0..p.iterations {
+        for &h0 in &HEIGHTS {
+            let mut h = h0 + acc * 1e-12;
+            let (r1, nf1, nt1, d1) = SURFACES[0];
+            let iang_sin = h / r1;
+            let iang = iang_sin.asin();
+            let rang_sin = (nf1 / nt1) * iang_sin;
+            let rang = rang_sin.asin();
+            let mut asa = iang - rang;
+            let mut od = h / asa.sin();
+            od -= d1;
+            for &(rk, nfk, ntk, dk) in &SURFACES[1..] {
+                let q = (od - rk) / rk;
+                let iang_sin = q * asa.sin();
+                let iang = iang_sin.asin();
+                let rang_sin = (nfk / ntk) * iang_sin;
+                let rang = rang_sin.asin();
+                let old_asa = asa;
+                asa += iang - rang;
+                h = od * old_asa.sin();
+                od = h / asa.sin();
+                od -= dk;
+            }
+            acc += od;
+        }
+    }
+    vec![f(acc)]
+}
+
+/// The packaged workload.
+pub fn workload(size: Size) -> Workload {
+    let p = Params::for_size(size);
+    Workload {
+        name: "FBench",
+        config: "n.a.",
+        module: build(p),
+        reference: reference(p),
+    }
+}

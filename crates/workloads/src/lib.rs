@@ -1,0 +1,132 @@
+//! # fpvm-workloads — the paper's benchmark and application suite (§5.1)
+//!
+//! Every test code the paper evaluates, written against the fpvm-ir builder
+//! and compiled to the simulated ISA:
+//!
+//! | paper code | here | notes |
+//! |---|---|---|
+//! | FBench | [`fbench`] | Walker's trigonometry-test lens trace (adapted) |
+//! | Lorenz Attractor | [`lorenz`] | the paper's own simulator, σ=10 ρ=28 β=8/3 |
+//! | Three-Body | [`three_body`] | planar Newtonian three-body problem |
+//! | NAS CG | [`nas_cg`] | conjugate gradient, random sparse SPD matrix |
+//! | NAS EP | [`nas_ep`] | gaussian-pair tallies (Marsaglia polar) |
+//! | NAS MG | [`nas_mg`] | multigrid-style 3D stencil relaxation |
+//! | NAS LU | [`nas_lu`] | SSOR sweeps on a 5-point system |
+//! | NAS IS | [`nas_is`] | integer bucket sort (low FP density) |
+//! | miniAero | [`miniaero`] | 1D compressible-flow (Sod) Rusanov fluxes |
+//! | Enzo | [`enzo_like`] | particle-mesh toy with bit-punning idioms in the hot loop |
+//!
+//! Each module provides `build(size)` → IR [`Module`] plus a **native Rust
+//! reference** that mirrors the IR operation-for-operation; the validation
+//! suite checks the simulated machine's output is *bit-identical* to the
+//! reference, and then that FPVM-with-Vanilla is bit-identical to native
+//! (§5.2). Problem sizes are "Class S"-scale so the full pipeline (analysis
+//! → patching → virtualized run) completes in seconds per workload; the
+//! substitution argument is in DESIGN.md §2.
+
+#![forbid(unsafe_code)]
+// Reference implementations mirror the IR programs operation-for-
+// operation; index-based loops keep that correspondence literal.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod enzo_like;
+pub mod fbench;
+pub mod lorenz;
+pub mod miniaero;
+pub mod nas_cg;
+pub mod nas_ep;
+pub mod nas_is;
+pub mod nas_lu;
+pub mod nas_mg;
+pub mod three_body;
+
+use fpvm_ir::Module;
+use fpvm_machine::OutputEvent;
+
+/// Problem size, loosely following NAS class names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Size {
+    /// Tiny: fast enough for per-test validation.
+    Tiny,
+    /// "Class S"-like: the evaluation size.
+    #[default]
+    S,
+}
+
+/// A buildable workload.
+pub struct Workload {
+    /// Display name matching the paper's tables.
+    pub name: &'static str,
+    /// Configuration string ("Class S", "Flat Plate", …).
+    pub config: &'static str,
+    /// The IR module.
+    pub module: Module,
+    /// Reference output (from the op-for-op native Rust mirror).
+    pub reference: Vec<OutputEvent>,
+}
+
+/// Build every workload at the given size, in the paper's Fig. 12 order.
+pub fn all_workloads(size: Size) -> Vec<Workload> {
+    vec![
+        fbench::workload(size),
+        lorenz::workload(size),
+        three_body::workload(size),
+        miniaero::workload(size),
+        nas_is::workload(size),
+        nas_ep::workload(size),
+        nas_cg::workload(size),
+        nas_mg::workload(size),
+        nas_lu::workload(size),
+        enzo_like::workload(size),
+    ]
+}
+
+/// The subset used for the Fig. 9 / Fig. 10 breakdowns.
+pub fn breakdown_workloads(size: Size) -> Vec<Workload> {
+    vec![
+        miniaero::workload(size),
+        enzo_like::workload(size),
+        lorenz::workload(size),
+        nas_cg::workload(size),
+        fbench::workload(size),
+        three_body::workload(size),
+    ]
+}
+
+/// Helper: f64 output event.
+pub(crate) fn f(v: f64) -> OutputEvent {
+    OutputEvent::F64(v.to_bits())
+}
+
+/// Helper: i64 output event.
+pub(crate) fn i(v: i64) -> OutputEvent {
+    OutputEvent::I64(v)
+}
+
+/// A deterministic 64-bit LCG shared by the workload generators and their
+/// references (MMIX constants).
+#[derive(Debug, Clone, Copy)]
+pub struct Lcg(pub u64);
+
+#[allow(clippy::should_implement_trait)] // not an Iterator: infinite raw stream
+impl Lcg {
+    /// Next raw state.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform in [0, 1): top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / 9007199254740992.0)
+    }
+
+    /// Uniform integer below `n` (via modulo; fine for tests).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}

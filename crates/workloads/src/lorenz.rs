@@ -1,0 +1,183 @@
+//! The Lorenz system simulator (§5.1, §5.4, Fig. 13).
+//!
+//! `dx/dt = σ(y−x)`, `dy/dt = x(ρ−z) − y`, `dz/dt = xy − βz`, integrated
+//! with forward Euler — "the classic example of a chaotic dynamic system":
+//! every rounding event is a perturbation that diverges exponentially, so
+//! running the same binary under FPVM+MPFR produces a visibly different
+//! trajectory (Fig. 13) while FPVM+Vanilla is bit-identical.
+
+use crate::{f, Size, Workload};
+use fpvm_ir::{CmpOp, Module, Ty};
+use fpvm_machine::OutputEvent;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// σ.
+    pub sigma: f64,
+    /// ρ.
+    pub rho: f64,
+    /// β.
+    pub beta: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Steps to integrate (the paper runs 2500).
+    pub steps: i64,
+    /// Print (x, y, z) every this many steps (plus the final state).
+    pub print_every: i64,
+    /// Initial condition.
+    pub x0: (f64, f64, f64),
+}
+
+impl Params {
+    /// The paper's configuration: 2500 time steps of the classic system.
+    pub fn paper() -> Params {
+        Params {
+            sigma: 10.0,
+            rho: 28.0,
+            beta: 8.0 / 3.0,
+            dt: 0.02,
+            steps: 2500,
+            print_every: 100,
+            x0: (1.0, 1.0, 1.0),
+        }
+    }
+
+    fn for_size(size: Size) -> Params {
+        match size {
+            Size::Tiny => Params {
+                steps: 200,
+                print_every: 50,
+                ..Params::paper()
+            },
+            Size::S => Params::paper(),
+        }
+    }
+}
+
+/// Build the IR module.
+pub fn build(p: Params) -> Module {
+    let mut m = Module::new();
+    m.build_func("main", &[], None, |b| {
+        let x = b.var(Ty::F64);
+        let y = b.var(Ty::F64);
+        let z = b.var(Ty::F64);
+        let i = b.var(Ty::I64);
+        let c = b.cf(p.x0.0);
+        b.write(x, c);
+        let c = b.cf(p.x0.1);
+        b.write(y, c);
+        let c = b.cf(p.x0.2);
+        b.write(z, c);
+        let c = b.ci(0);
+        b.write(i, c);
+        let header = b.new_block();
+        let body = b.new_block();
+        let print_b = b.new_block();
+        let cont = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+
+        b.switch_to(header);
+        let iv = b.read(i);
+        let steps = b.ci(p.steps);
+        let c = b.icmp(CmpOp::Lt, iv, steps);
+        b.cond_br(c, body, exit);
+
+        b.switch_to(body);
+        let xv = b.read(x);
+        let yv = b.read(y);
+        let zv = b.read(z);
+        // dx = sigma * (y - x)
+        let sigma = b.cf(p.sigma);
+        let ymx = b.fsub(yv, xv);
+        let dx = b.fmul(sigma, ymx);
+        // dy = x * (rho - z) - y
+        let rho = b.cf(p.rho);
+        let rmz = b.fsub(rho, zv);
+        let xr = b.fmul(xv, rmz);
+        let dy = b.fsub(xr, yv);
+        // dz = x*y - beta*z
+        let xy = b.fmul(xv, yv);
+        let beta = b.cf(p.beta);
+        let bz = b.fmul(beta, zv);
+        let dz = b.fsub(xy, bz);
+        // Euler update.
+        let dt = b.cf(p.dt);
+        let sx = b.fmul(dx, dt);
+        let nx = b.fadd(xv, sx);
+        b.write(x, nx);
+        let sy = b.fmul(dy, dt);
+        let ny = b.fadd(yv, sy);
+        b.write(y, ny);
+        let sz = b.fmul(dz, dt);
+        let nz = b.fadd(zv, sz);
+        b.write(z, nz);
+        // Periodic print.
+        let one = b.ci(1);
+        let inext = b.iadd(iv, one);
+        b.write(i, inext);
+        let pe = b.ci(p.print_every);
+        let rem = b.irem(inext, pe);
+        let zero = b.ci(0);
+        let is_print = b.icmp(CmpOp::Eq, rem, zero);
+        b.cond_br(is_print, print_b, cont);
+
+        b.switch_to(print_b);
+        let xv = b.read(x);
+        b.printf(xv);
+        let yv = b.read(y);
+        b.printf(yv);
+        let zv = b.read(z);
+        b.printf(zv);
+        b.br(cont);
+
+        b.switch_to(cont);
+        b.br(header);
+
+        b.switch_to(exit);
+        // Final state.
+        let xv = b.read(x);
+        b.printf(xv);
+        let yv = b.read(y);
+        b.printf(yv);
+        let zv = b.read(z);
+        b.printf(zv);
+        b.ret(None);
+    });
+    m
+}
+
+/// Op-for-op native reference.
+pub fn reference(p: Params) -> Vec<OutputEvent> {
+    let mut out = Vec::new();
+    let (mut x, mut y, mut z) = p.x0;
+    for i in 0..p.steps {
+        let dx = p.sigma * (y - x);
+        let dy = x * (p.rho - z) - y;
+        let dz = x * y - p.beta * z;
+        x += dx * p.dt;
+        y += dy * p.dt;
+        z += dz * p.dt;
+        if (i + 1) % p.print_every == 0 {
+            out.push(f(x));
+            out.push(f(y));
+            out.push(f(z));
+        }
+    }
+    out.push(f(x));
+    out.push(f(y));
+    out.push(f(z));
+    out
+}
+
+/// The packaged workload.
+pub fn workload(size: Size) -> Workload {
+    let p = Params::for_size(size);
+    Workload {
+        name: "Lorenz Attractor",
+        config: "n.a.",
+        module: build(p),
+        reference: reference(p),
+    }
+}

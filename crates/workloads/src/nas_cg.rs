@@ -1,0 +1,332 @@
+//! NAS CG (§5.1): conjugate gradient iterations on a random sparse
+//! symmetric positive-definite matrix — the paper's worst-case slowdown
+//! (12,169× on R815, Fig. 12) because nearly every dynamic instruction is a
+//! rounding FP multiply-add in the sparse matvec.
+//!
+//! Structure follows NPB CG in "Class S" spirit: an outer loop of power-
+//! method-style iterations, each running `cg_iters` CG steps and printing
+//! the residual norm. The matrix is generated deterministically (diagonal-
+//! dominant, symmetrized) and stored CSR in global arrays — the integer
+//! `cols`/`rowptr` arrays and FP `vals` array are distinct *objects*, which
+//! the object-granular VSA distinguishes (no correctness traps in the
+//! matvec despite the computed indices).
+
+use crate::{f, Lcg, Size, Workload};
+use fpvm_ir::build_util::loop_n;
+use fpvm_ir::{CmpOp, FuncBuilder, GlobalInit, Module, Ty, Value, Var};
+use fpvm_machine::OutputEvent;
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Nonzeros per row (including the diagonal).
+    pub nnz_row: usize,
+    /// CG iterations per outer step.
+    pub cg_iters: i64,
+    /// Outer iterations.
+    pub outer: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    fn for_size(size: Size) -> Params {
+        match size {
+            Size::Tiny => Params {
+                n: 32,
+                nnz_row: 5,
+                cg_iters: 5,
+                outer: 1,
+                seed: 0x5E_EDC6,
+            },
+            Size::S => Params {
+                n: 192,
+                nnz_row: 8,
+                cg_iters: 15,
+                outer: 2,
+                seed: 0x5E_EDC6,
+            },
+        }
+    }
+}
+
+/// Deterministic CSR SPD-ish matrix: `A = D + S + Sᵀ` with a dominant
+/// diagonal. Returns (rowptr, cols, vals).
+pub fn gen_matrix(p: Params) -> (Vec<i64>, Vec<i64>, Vec<f64>) {
+    let n = p.n;
+    let mut rng = Lcg(p.seed);
+    let mut entries: Vec<std::collections::BTreeMap<usize, f64>> =
+        vec![std::collections::BTreeMap::new(); n];
+    for i in 0..n {
+        for _ in 0..(p.nnz_row - 1) / 2 {
+            let j = rng.below(n as u64) as usize;
+            if j != i {
+                let v = rng.next_f64() * 0.1;
+                *entries[i].entry(j).or_insert(0.0) += v;
+                *entries[j].entry(i).or_insert(0.0) += v;
+            }
+        }
+    }
+    for (i, e) in entries.iter_mut().enumerate() {
+        let row_sum: f64 = e.values().map(|v| v.abs()).sum();
+        e.insert(i, row_sum + 1.0 + (i % 7) as f64 * 0.25);
+    }
+    let mut rowptr = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    rowptr.push(0i64);
+    for e in &entries {
+        for (&j, &v) in e {
+            cols.push(j as i64);
+            vals.push(v);
+        }
+        rowptr.push(cols.len() as i64);
+    }
+    (rowptr, cols, vals)
+}
+
+/// vec[iv] address: base_var + 8*iv.
+fn elem(b: &mut FuncBuilder, base: Var, iv: Value) -> Value {
+    let three = b.ci(3);
+    let off = b.ishl(iv, three);
+    let bp = b.read(base);
+    b.iadd(bp, off)
+}
+
+/// Build the IR module.
+pub fn build(p: Params) -> Module {
+    let (rowptr, cols, vals) = gen_matrix(p);
+    let n = p.n as i64;
+    let mut m = Module::new();
+    let g_rowptr = m.global("rowptr", GlobalInit::I64s(rowptr));
+    let g_cols = m.global("cols", GlobalInit::I64s(cols));
+    let g_vals = m.global("vals", GlobalInit::F64s(vals));
+    let g_x = m.global("x", GlobalInit::Zeroed(p.n * 8));
+    let g_r = m.global("r", GlobalInit::Zeroed(p.n * 8));
+    let g_p = m.global("p", GlobalInit::Zeroed(p.n * 8));
+    let g_q = m.global("q", GlobalInit::Zeroed(p.n * 8));
+
+    m.build_func("main", &[], None, |b| {
+        let rowptr_v = b.var(Ty::I64);
+        let cols_v = b.var(Ty::I64);
+        let vals_v = b.var(Ty::I64);
+        let x_v = b.var(Ty::I64);
+        let r_v = b.var(Ty::I64);
+        let p_v = b.var(Ty::I64);
+        let q_v = b.var(Ty::I64);
+        for (var, g) in [
+            (rowptr_v, g_rowptr),
+            (cols_v, g_cols),
+            (vals_v, g_vals),
+            (x_v, g_x),
+            (r_v, g_r),
+            (p_v, g_p),
+            (q_v, g_q),
+        ] {
+            let a = b.global_addr(g);
+            b.write(var, a);
+        }
+        let rho = b.var(Ty::F64);
+
+        loop_n(b, p.outer, |b, _ov| {
+            // init: x = 0, r = p = ones; rho = r·r.
+            loop_n(b, n, |b, iv| {
+                let one = b.cf(1.0);
+                let addr = elem(b, r_v, iv);
+                b.storef(addr, 0, one);
+                let one2 = b.cf(1.0);
+                let addr = elem(b, p_v, iv);
+                b.storef(addr, 0, one2);
+                let z = b.cf(0.0);
+                let addr = elem(b, x_v, iv);
+                b.storef(addr, 0, z);
+            });
+            let acc = b.var(Ty::F64);
+            let z = b.cf(0.0);
+            b.write(acc, z);
+            loop_n(b, n, |b, iv| {
+                let addr = elem(b, r_v, iv);
+                let ri = b.loadf(addr, 0);
+                let sq = b.fmul(ri, ri);
+                let a = b.read(acc);
+                let a2 = b.fadd(a, sq);
+                b.write(acc, a2);
+            });
+            let a = b.read(acc);
+            b.write(rho, a);
+
+            loop_n(b, p.cg_iters, |b, _cgv| {
+                // q = A p (CSR matvec).
+                loop_n(b, n, |b, iv| {
+                    let rp_addr = elem(b, rowptr_v, iv);
+                    let start = b.loadi(rp_addr, 0);
+                    let end = b.loadi(rp_addr, 8);
+                    let end_v = b.var(Ty::I64);
+                    b.write(end_v, end);
+                    let k = b.var(Ty::I64);
+                    b.write(k, start);
+                    let sum = b.var(Ty::F64);
+                    let z = b.cf(0.0);
+                    b.write(sum, z);
+                    let kh = b.new_block();
+                    let kb = b.new_block();
+                    let ka = b.new_block();
+                    b.br(kh);
+                    b.switch_to(kh);
+                    let kv = b.read(k);
+                    let ev = b.read(end_v);
+                    let c = b.icmp(CmpOp::Lt, kv, ev);
+                    b.cond_br(c, kb, ka);
+                    b.switch_to(kb);
+                    let kv = b.read(k);
+                    let caddr = elem(b, cols_v, kv);
+                    let col = b.loadi(caddr, 0);
+                    let vaddr = elem(b, vals_v, kv);
+                    let av = b.loadf(vaddr, 0);
+                    let pj_addr = {
+                        let three = b.ci(3);
+                        let off = b.ishl(col, three);
+                        let base = b.read(p_v);
+                        b.iadd(base, off)
+                    };
+                    let pj = b.loadf(pj_addr, 0);
+                    let prod = b.fmul(av, pj);
+                    let s = b.read(sum);
+                    let s2 = b.fadd(s, prod);
+                    b.write(sum, s2);
+                    let one = b.ci(1);
+                    let knext = b.iadd(kv, one);
+                    b.write(k, knext);
+                    b.br(kh);
+                    b.switch_to(ka);
+                    let s = b.read(sum);
+                    let qaddr = elem(b, q_v, iv);
+                    b.storef(qaddr, 0, s);
+                });
+                // alpha = rho / (p·q).
+                let pq = b.var(Ty::F64);
+                let z = b.cf(0.0);
+                b.write(pq, z);
+                loop_n(b, n, |b, iv| {
+                    let paddr = elem(b, p_v, iv);
+                    let pi = b.loadf(paddr, 0);
+                    let qaddr = elem(b, q_v, iv);
+                    let qi = b.loadf(qaddr, 0);
+                    let prod = b.fmul(pi, qi);
+                    let a = b.read(pq);
+                    let a2 = b.fadd(a, prod);
+                    b.write(pq, a2);
+                });
+                let rhov = b.read(rho);
+                let pqv = b.read(pq);
+                let alpha = b.fdiv(rhov, pqv);
+                let alpha_v = b.var(Ty::F64);
+                b.write(alpha_v, alpha);
+                // x += alpha p; r -= alpha q; rho' = r·r.
+                let rho_new = b.var(Ty::F64);
+                let z = b.cf(0.0);
+                b.write(rho_new, z);
+                loop_n(b, n, |b, iv| {
+                    let al = b.read(alpha_v);
+                    let paddr = elem(b, p_v, iv);
+                    let pi = b.loadf(paddr, 0);
+                    let xaddr = elem(b, x_v, iv);
+                    let xi = b.loadf(xaddr, 0);
+                    let ap = b.fmul(al, pi);
+                    let x2 = b.fadd(xi, ap);
+                    b.storef(xaddr, 0, x2);
+                    let qaddr = elem(b, q_v, iv);
+                    let qi = b.loadf(qaddr, 0);
+                    let raddr = elem(b, r_v, iv);
+                    let ri = b.loadf(raddr, 0);
+                    let aq = b.fmul(al, qi);
+                    let r2 = b.fsub(ri, aq);
+                    b.storef(raddr, 0, r2);
+                    let sq = b.fmul(r2, r2);
+                    let a = b.read(rho_new);
+                    let a2 = b.fadd(a, sq);
+                    b.write(rho_new, a2);
+                });
+                // beta = rho'/rho; p = r + beta p; rho = rho'.
+                let rhov = b.read(rho);
+                let rnew = b.read(rho_new);
+                let beta = b.fdiv(rnew, rhov);
+                let beta_v = b.var(Ty::F64);
+                b.write(beta_v, beta);
+                b.write(rho, rnew);
+                loop_n(b, n, |b, iv| {
+                    let be = b.read(beta_v);
+                    let paddr = elem(b, p_v, iv);
+                    let pi = b.loadf(paddr, 0);
+                    let raddr = elem(b, r_v, iv);
+                    let ri = b.loadf(raddr, 0);
+                    let bp = b.fmul(be, pi);
+                    let pn = b.fadd(ri, bp);
+                    b.storef(paddr, 0, pn);
+                });
+            });
+            let rhov = b.read(rho);
+            let norm = b.fsqrt(rhov);
+            b.printf(norm);
+        });
+        b.ret(None);
+    });
+    m
+}
+
+/// Op-for-op native reference.
+pub fn reference(p: Params) -> Vec<OutputEvent> {
+    let (rowptr, cols, vals) = gen_matrix(p);
+    let n = p.n;
+    let mut out = Vec::new();
+    for _ in 0..p.outer {
+        let mut x = vec![0.0f64; n];
+        let mut r = vec![1.0f64; n];
+        let mut pvec = vec![1.0f64; n];
+        let mut q = vec![0.0f64; n];
+        let mut rho = 0.0f64;
+        for i in 0..n {
+            rho += r[i] * r[i];
+        }
+        for _ in 0..p.cg_iters {
+            for i in 0..n {
+                let mut sum = 0.0f64;
+                for k in rowptr[i] as usize..rowptr[i + 1] as usize {
+                    sum += vals[k] * pvec[cols[k] as usize];
+                }
+                q[i] = sum;
+            }
+            let mut pq = 0.0f64;
+            for i in 0..n {
+                pq += pvec[i] * q[i];
+            }
+            let alpha = rho / pq;
+            let mut rho_new = 0.0f64;
+            for i in 0..n {
+                x[i] += alpha * pvec[i];
+                r[i] -= alpha * q[i];
+                rho_new += r[i] * r[i];
+            }
+            let beta = rho_new / rho;
+            rho = rho_new;
+            for i in 0..n {
+                pvec[i] = r[i] + beta * pvec[i];
+            }
+        }
+        out.push(f(rho.sqrt()));
+    }
+    out
+}
+
+/// The packaged workload.
+pub fn workload(size: Size) -> Workload {
+    let p = Params::for_size(size);
+    Workload {
+        name: "NAS CG",
+        config: "Class S",
+        module: build(p),
+        reference: reference(p),
+    }
+}

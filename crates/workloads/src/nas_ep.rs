@@ -1,0 +1,192 @@
+//! NAS EP (§5.1): the "embarrassingly parallel" kernel — gaussian random
+//! deviates via the Marsaglia polar method, tallied into annuli.
+//!
+//! The uniform stream is a 64-bit LCG computed in guest *integer*
+//! arithmetic (no FP traps), so EP mixes long integer stretches with short
+//! bursts of `ln`/`sqrt`-heavy FP — giving it one of the lower slowdowns in
+//! Fig. 12 (396× on R815), between IS and the FP-dense codes.
+
+use crate::{f, i, Lcg, Size, Workload};
+use fpvm_ir::build_util::{if_then, loop_n};
+use fpvm_ir::{CmpOp, GlobalInit, MathFn, Module, Ty};
+use fpvm_machine::OutputEvent;
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of candidate pairs.
+    pub pairs: i64,
+    /// LCG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    fn for_size(size: Size) -> Params {
+        match size {
+            Size::Tiny => Params {
+                pairs: 400,
+                seed: 271_828_183,
+            },
+            Size::S => Params {
+                pairs: 6000,
+                seed: 271_828_183,
+            },
+        }
+    }
+}
+
+const NBINS: usize = 10;
+const INV_2_53: f64 = 1.0 / 9007199254740992.0;
+
+/// Build the IR module.
+pub fn build(p: Params) -> Module {
+    let mut m = Module::new();
+    let g_bins = m.global("bins", GlobalInit::Zeroed(NBINS * 8));
+    m.build_func("main", &[], None, |b| {
+        let state = b.var(Ty::I64);
+        let sx = b.var(Ty::F64);
+        let sy = b.var(Ty::F64);
+        let accepted = b.var(Ty::I64);
+        let seed = b.ci(p.seed as i64);
+        b.write(state, seed);
+        let zf = b.cf(0.0);
+        b.write(sx, zf);
+        b.write(sy, zf);
+        let zi = b.ci(0);
+        b.write(accepted, zi);
+        let bins = b.global_addr(g_bins);
+        let bins_var = b.var(Ty::I64);
+        b.write(bins_var, bins);
+
+        loop_n(b, p.pairs, |b, _it| {
+            // Two uniforms from the LCG (integer-only until the scale).
+            let uniform = |b: &mut fpvm_ir::FuncBuilder| {
+                let s = b.read(state);
+                let a = b.ci(6364136223846793005);
+                let c = b.ci(1442695040888963407);
+                let s1 = b.imul(s, a);
+                let s2 = b.iadd(s1, c);
+                b.write(state, s2);
+                let eleven = b.ci(11);
+                let top = b.ishr(s2, eleven);
+                let fl = b.itof(top);
+                let scale = b.cf(INV_2_53);
+                b.fmul(fl, scale)
+            };
+            let u1 = uniform(b);
+            let u2 = uniform(b);
+            // x = 2u − 1.
+            let two = b.cf(2.0);
+            let one = b.cf(1.0);
+            let x1 = b.fmul(two, u1);
+            let x = b.fsub(x1, one);
+            let y1 = b.fmul(two, u2);
+            let y = b.fsub(y1, one);
+            let x2 = b.fmul(x, x);
+            let y2 = b.fmul(y, y);
+            let t = b.fadd(x2, y2);
+            // Accept if 0 < t <= 1.
+            let le1 = b.fcmp(CmpOp::Le, t, one);
+            let zf = b.cf(0.0);
+            let gt0 = b.fcmp(CmpOp::Gt, t, zf);
+            let ok = b.iand(le1, gt0);
+            if_then(b, ok, |b| {
+                // factor = sqrt(-2 ln t / t).
+                let lt = b.math(MathFn::Log, &[t]);
+                let m2 = b.cf(-2.0);
+                let num = b.fmul(m2, lt);
+                let q = b.fdiv(num, t);
+                let factor = b.fsqrt(q);
+                let gx = b.fmul(x, factor);
+                let gy = b.fmul(y, factor);
+                let s = b.read(sx);
+                let s2 = b.fadd(s, gx);
+                b.write(sx, s2);
+                let s = b.read(sy);
+                let s2 = b.fadd(s, gy);
+                b.write(sy, s2);
+                let n = b.read(accepted);
+                let one_i = b.ci(1);
+                let n2 = b.iadd(n, one_i);
+                b.write(accepted, n2);
+                // Bin by floor(max(|gx|, |gy|)), via libm fabs.
+                let ax = b.math(MathFn::Fabs, &[gx]);
+                let ay = b.math(MathFn::Fabs, &[gy]);
+                let mx = b.fmax(ax, ay);
+                let bin = b.ftoi(mx);
+                let nb = b.ci(NBINS as i64 - 1);
+                let over = b.icmp(CmpOp::Gt, bin, nb);
+                let bin_var = b.var(Ty::I64);
+                b.write(bin_var, bin);
+                if_then(b, over, |b| {
+                    let nb = b.ci(NBINS as i64 - 1);
+                    b.write(bin_var, nb);
+                });
+                let bv = b.read(bin_var);
+                let three = b.ci(3);
+                let off = b.ishl(bv, three);
+                let base = b.read(bins_var);
+                let addr = b.iadd(base, off);
+                let cur = b.loadi(addr, 0);
+                let one_i = b.ci(1);
+                let next = b.iadd(cur, one_i);
+                b.storei(addr, 0, next);
+            });
+        });
+        let n = b.read(accepted);
+        b.printi(n);
+        let s = b.read(sx);
+        b.printf(s);
+        let s = b.read(sy);
+        b.printf(s);
+        for k in 0..NBINS as i64 {
+            let base = b.read(bins_var);
+            let cnt = b.loadi(base, 8 * k);
+            b.printi(cnt);
+        }
+        b.ret(None);
+    });
+    m
+}
+
+/// Op-for-op native reference.
+pub fn reference(p: Params) -> Vec<OutputEvent> {
+    let mut lcg = Lcg(p.seed);
+    let (mut sx, mut sy) = (0.0f64, 0.0f64);
+    let mut accepted = 0i64;
+    let mut bins = [0i64; NBINS];
+    for _ in 0..p.pairs {
+        let u1 = ((lcg.next() >> 11) as i64) as f64 * INV_2_53;
+        let u2 = ((lcg.next() >> 11) as i64) as f64 * INV_2_53;
+        let x = 2.0 * u1 - 1.0;
+        let y = 2.0 * u2 - 1.0;
+        let t = x * x + y * y;
+        if t <= 1.0 && t > 0.0 {
+            let factor = (-2.0 * t.ln() / t).sqrt();
+            let gx = x * factor;
+            let gy = y * factor;
+            sx += gx;
+            sy += gy;
+            accepted += 1;
+            let mut bin = gx.abs().max(gy.abs()) as i64;
+            if bin > NBINS as i64 - 1 {
+                bin = NBINS as i64 - 1;
+            }
+            bins[bin as usize] += 1;
+        }
+    }
+    let mut out = vec![i(accepted), f(sx), f(sy)];
+    out.extend(bins.iter().map(|&c| i(c)));
+    out
+}
+
+/// The packaged workload.
+pub fn workload(size: Size) -> Workload {
+    let p = Params::for_size(size);
+    Workload {
+        name: "NAS EP",
+        config: "Class S",
+        module: build(p),
+        reference: reference(p),
+    }
+}

@@ -1,0 +1,263 @@
+//! NAS IS (§5.1): integer bucket sort — the paper's *lowest* slowdown
+//! (204× on R815, Fig. 12). The sort itself is pure integer work that FPVM
+//! never touches; the floating point comes from NPB's `randlc`
+//! pseudorandom generator (double-precision multiplicative LCG modulo
+//! 2^46), which generates the keys, plus a small FP verification stat.
+
+use crate::{f, i, Size, Workload};
+use fpvm_ir::build_util::loop_n;
+use fpvm_ir::{FuncBuilder, GlobalInit, MathFn, Module, Ty, Value, Var};
+use fpvm_machine::OutputEvent;
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of keys.
+    pub n: i64,
+    /// Key range (power of two).
+    pub max_key: i64,
+    /// Ranking iterations (NPB IS runs 10).
+    pub iterations: i64,
+    /// randlc seed (odd, < 2^46).
+    pub seed: f64,
+}
+
+/// NPB randlc constants: a = 5^13, arithmetic mod 2^46 via 2^23 splits.
+const A: f64 = 1220703125.0;
+const T23: f64 = 8388608.0; // 2^23
+const R23: f64 = 1.0 / T23;
+const T46: f64 = T23 * T23;
+const R46: f64 = 1.0 / T46;
+
+/// One randlc step in the IR: updates `x_var`, returns the uniform in [0,1).
+fn randlc_ir(b: &mut FuncBuilder, x_var: Var) -> Value {
+    let floor = |b: &mut FuncBuilder, v: Value| b.math(MathFn::Floor, &[v]);
+    let a = b.cf(A);
+    let r23 = b.cf(R23);
+    let t23 = b.cf(T23);
+    let r46 = b.cf(R46);
+    let t46 = b.cf(T46);
+    // Split a.
+    let t1 = b.fmul(r23, a);
+    let a1 = floor(b, t1);
+    let t23a1 = b.fmul(t23, a1);
+    let a2 = b.fsub(a, t23a1);
+    // Split x.
+    let x = b.read(x_var);
+    let t1 = b.fmul(r23, x);
+    let x1 = floor(b, t1);
+    let t23x1 = b.fmul(t23, x1);
+    let x2 = b.fsub(x, t23x1);
+    // z = lower 46 bits of a1*x2 + a2*x1 (mod 2^23).
+    let p1 = b.fmul(a1, x2);
+    let p2 = b.fmul(a2, x1);
+    let t1 = b.fadd(p1, p2);
+    let rt1 = b.fmul(r23, t1);
+    let t2 = floor(b, rt1);
+    let t23t2 = b.fmul(t23, t2);
+    let z = b.fsub(t1, t23t2);
+    // x = (t23*z + a2*x2) mod 2^46.
+    let tz = b.fmul(t23, z);
+    let p3 = b.fmul(a2, x2);
+    let t3 = b.fadd(tz, p3);
+    let rt3 = b.fmul(r46, t3);
+    let t4 = floor(b, rt3);
+    let t46t4 = b.fmul(t46, t4);
+    let xn = b.fsub(t3, t46t4);
+    b.write(x_var, xn);
+    b.fmul(r46, xn)
+}
+
+/// One randlc step in the reference.
+fn randlc_ref(x: &mut f64) -> f64 {
+    let t1 = R23 * A;
+    let a1 = t1.floor();
+    let a2 = A - T23 * a1;
+    let t1 = R23 * *x;
+    let x1 = t1.floor();
+    let x2 = *x - T23 * x1;
+    let t1 = a1 * x2 + a2 * x1;
+    let t2 = (R23 * t1).floor();
+    let z = t1 - T23 * t2;
+    let t3 = T23 * z + a2 * x2;
+    let t4 = (R46 * t3).floor();
+    *x = t3 - T46 * t4;
+    R46 * *x
+}
+
+impl Params {
+    fn for_size(size: Size) -> Params {
+        match size {
+            Size::Tiny => Params {
+                n: 512,
+                max_key: 256,
+                iterations: 3,
+                seed: 314159265.0,
+            },
+            Size::S => Params {
+                n: 8192,
+                max_key: 2048,
+                iterations: 10,
+                seed: 314159265.0,
+            },
+        }
+    }
+}
+
+/// Build the IR module.
+pub fn build(p: Params) -> Module {
+    let mut m = Module::new();
+    let g_keys = m.global("keys", GlobalInit::Zeroed(p.n as usize * 8));
+    let g_counts = m.global("counts", GlobalInit::Zeroed(p.max_key as usize * 8));
+    m.build_func("main", &[], None, |b| {
+        let keys = b.global_addr(g_keys);
+        let keys_var = b.var(Ty::I64);
+        b.write(keys_var, keys);
+        let counts = b.global_addr(g_counts);
+        let counts_var = b.var(Ty::I64);
+        b.write(counts_var, counts);
+        let state = b.var(Ty::F64);
+        let seed = b.cf(p.seed);
+        b.write(state, seed);
+        // Generate keys with NPB's randlc (FP multiplicative LCG mod 2^46).
+        loop_n(b, p.n, |b, iv| {
+            let u = randlc_ir(b, state);
+            let range = b.cf(p.max_key as f64);
+            let scaled = b.fmul(u, range);
+            let key = b.ftoi(scaled);
+            let three = b.ci(3);
+            let off = b.ishl(iv, three);
+            let base = b.read(keys_var);
+            let addr = b.iadd(base, off);
+            b.storei(addr, 0, key);
+        });
+        // NPB IS ranks the keys `iterations` times (the FP generation above
+        // happens once, so the steady state is integer-dominated).
+        loop_n(b, p.iterations, |b, _it| {
+        // Clear counts.
+        loop_n(b, p.max_key, |b, kv| {
+            let three = b.ci(3);
+            let off = b.ishl(kv, three);
+            let cbase = b.read(counts_var);
+            let caddr = b.iadd(cbase, off);
+            let z = b.ci(0);
+            b.storei(caddr, 0, z);
+        });
+        // Count.
+        loop_n(b, p.n, |b, iv| {
+            let three = b.ci(3);
+            let off = b.ishl(iv, three);
+            let kbase = b.read(keys_var);
+            let kaddr = b.iadd(kbase, off);
+            let key = b.loadi(kaddr, 0);
+            let koff = b.ishl(key, three);
+            let cbase = b.read(counts_var);
+            let caddr = b.iadd(cbase, koff);
+            let cur = b.loadi(caddr, 0);
+            let one = b.ci(1);
+            let next = b.iadd(cur, one);
+            b.storei(caddr, 0, next);
+        });
+        // Prefix-sum the counts into ranks (in place).
+        let run = b.var(Ty::I64);
+        let z = b.ci(0);
+        b.write(run, z);
+        loop_n(b, p.max_key, |b, kv| {
+            let three = b.ci(3);
+            let off = b.ishl(kv, three);
+            let cbase = b.read(counts_var);
+            let caddr = b.iadd(cbase, off);
+            let c = b.loadi(caddr, 0);
+            let r = b.read(run);
+            b.storei(caddr, 0, r);
+            let r2 = b.iadd(r, c);
+            b.write(run, r2);
+        });
+        });
+        // Verification checksum: sum of rank(key_i) for sampled i, plus an
+        // FP mean of the sampled ranks (the workload's only FP).
+        let check = b.var(Ty::I64);
+        let fsum = b.var(Ty::F64);
+        let zi = b.ci(0);
+        b.write(check, zi);
+        let zf = b.cf(0.0);
+        b.write(fsum, zf);
+        let samples = 64i64.min(p.n);
+        let stride = p.n / samples;
+        loop_n(b, samples, |b, sv| {
+            let stride_c = b.ci(stride);
+            let idx = b.imul(sv, stride_c);
+            let three = b.ci(3);
+            let off = b.ishl(idx, three);
+            let kbase = b.read(keys_var);
+            let kaddr = b.iadd(kbase, off);
+            let key = b.loadi(kaddr, 0);
+            let koff = b.ishl(key, three);
+            let cbase = b.read(counts_var);
+            let caddr = b.iadd(cbase, koff);
+            let rank = b.loadi(caddr, 0);
+            let c = b.read(check);
+            let c2 = b.iadd(c, rank);
+            b.write(check, c2);
+            let rf = b.itof(rank);
+            let s = b.read(fsum);
+            let s2 = b.fadd(s, rf);
+            b.write(fsum, s2);
+        });
+        let c = b.read(check);
+        b.printi(c);
+        let s = b.read(fsum);
+        let cnt = b.cf(samples as f64);
+        let mean = b.fdiv(s, cnt);
+        b.printf(mean);
+        b.ret(None);
+    });
+    m
+}
+
+/// Op-for-op native reference.
+pub fn reference(p: Params) -> Vec<OutputEvent> {
+    let mut x = p.seed;
+    let n = p.n as usize;
+    let mut keys = vec![0i64; n];
+    for k in keys.iter_mut() {
+        let u = randlc_ref(&mut x);
+        *k = (u * p.max_key as f64) as i64;
+    }
+    let mut counts = vec![0i64; p.max_key as usize];
+    for _ in 0..p.iterations {
+        for c in counts.iter_mut() {
+            *c = 0;
+        }
+        for &k in &keys {
+            counts[k as usize] += 1;
+        }
+        let mut run = 0i64;
+        for c in counts.iter_mut() {
+            let t = *c;
+            *c = run;
+            run += t;
+        }
+    }
+    let samples = 64i64.min(p.n);
+    let stride = (p.n / samples) as usize;
+    let mut check = 0i64;
+    let mut fsum = 0.0f64;
+    for s in 0..samples as usize {
+        let rank = counts[keys[s * stride] as usize];
+        check += rank;
+        fsum += rank as f64;
+    }
+    vec![i(check), f(fsum / samples as f64)]
+}
+
+/// The packaged workload.
+pub fn workload(size: Size) -> Workload {
+    let p = Params::for_size(size);
+    Workload {
+        name: "NAS IS",
+        config: "Class S",
+        module: build(p),
+        reference: reference(p),
+    }
+}

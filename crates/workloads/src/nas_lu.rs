@@ -1,0 +1,225 @@
+//! NAS LU (§5.1): SSOR-flavored solver — symmetric successive
+//! over-relaxation sweeps (forward then backward) on a 2D 5-point system,
+//! printing the solution norm per iteration. (NPB LU applies SSOR to the
+//! 3D Navier-Stokes block system; this keeps the sweep structure and the
+//! FP profile — the paper measures LU at 10,773× on R815, among the worst,
+//! because like CG virtually every instruction is a rounding multiply-add.)
+
+use crate::{f, Size, Workload};
+use fpvm_ir::build_util::loop_n;
+use fpvm_ir::{FuncBuilder, GlobalInit, Module, Ty, Value, Var};
+use fpvm_machine::OutputEvent;
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Grid side.
+    pub n: i64,
+    /// SSOR iterations (each = forward + backward sweep).
+    pub iters: i64,
+    /// Relaxation factor.
+    pub omega: f64,
+}
+
+impl Params {
+    fn for_size(size: Size) -> Params {
+        match size {
+            Size::Tiny => Params {
+                n: 10,
+                iters: 2,
+                omega: 1.2,
+            },
+            Size::S => Params {
+                n: 24,
+                iters: 6,
+                omega: 1.2,
+            },
+        }
+    }
+}
+
+fn cell(b: &mut FuncBuilder, base: Var, n: i64, iv: Value, jv: Value) -> Value {
+    let nn = b.ci(n);
+    let row = b.imul(iv, nn);
+    let idx = b.iadd(row, jv);
+    let three = b.ci(3);
+    let off = b.ishl(idx, three);
+    let bp = b.read(base);
+    b.iadd(bp, off)
+}
+
+/// One SSOR update at (iv, jv): u += ω (rhs + up+dn+lf+rt − 4u) / 4.
+fn ssor_update(b: &mut FuncBuilder, u: Var, rhs: Var, n: i64, iv: Value, jv: Value, omega: f64) {
+    let one = b.ci(1);
+    let im = b.isub(iv, one);
+    let ip = b.iadd(iv, one);
+    let jm = b.isub(jv, one);
+    let jp = b.iadd(jv, one);
+    let a = cell(b, u, n, im, jv);
+    let up = b.loadf(a, 0);
+    let a = cell(b, u, n, ip, jv);
+    let dn = b.loadf(a, 0);
+    let a = cell(b, u, n, iv, jm);
+    let lf = b.loadf(a, 0);
+    let a = cell(b, u, n, iv, jp);
+    let rt = b.loadf(a, 0);
+    let ac = cell(b, u, n, iv, jv);
+    let uc = b.loadf(ac, 0);
+    let a = cell(b, rhs, n, iv, jv);
+    let fv = b.loadf(a, 0);
+    let s1 = b.fadd(up, dn);
+    let s2 = b.fadd(s1, lf);
+    let s3 = b.fadd(s2, rt);
+    let s4 = b.fadd(fv, s3);
+    let four = b.cf(4.0);
+    let fu = b.fmul(four, uc);
+    let r = b.fsub(s4, fu);
+    let w4 = b.cf(omega / 4.0);
+    let du = b.fmul(w4, r);
+    let un = b.fadd(uc, du);
+    b.storef(ac, 0, un);
+}
+
+/// Build the IR module.
+pub fn build(p: Params) -> Module {
+    let n = p.n;
+    let mut m = Module::new();
+    let g_u = m.global("u", GlobalInit::Zeroed((n * n) as usize * 8));
+    let g_rhs = m.global("rhs", GlobalInit::Zeroed((n * n) as usize * 8));
+    m.build_func("main", &[], None, |b| {
+        let u = b.var(Ty::I64);
+        let rhs = b.var(Ty::I64);
+        let a = b.global_addr(g_u);
+        b.write(u, a);
+        let a = b.global_addr(g_rhs);
+        b.write(rhs, a);
+        // RHS: smooth deterministic field rhs(i,j) = ((i*31+j*17) % 13 − 6)/13.
+        loop_n(b, n, |b, iv| {
+            let iv_var = b.var(Ty::I64);
+            b.write(iv_var, iv);
+            loop_n(b, n, |b, jv| {
+                let iv = b.read(iv_var);
+                let c31 = b.ci(31);
+                let c17 = b.ci(17);
+                let t1 = b.imul(iv, c31);
+                let t2 = b.imul(jv, c17);
+                let t3 = b.iadd(t1, t2);
+                let c13 = b.ci(13);
+                let r = b.irem(t3, c13);
+                let c6 = b.ci(6);
+                let centered = b.isub(r, c6);
+                let fv = b.itof(centered);
+                let thirteen = b.cf(13.0);
+                let scaled = b.fdiv(fv, thirteen);
+                let addr = cell(b, rhs, n, iv, jv);
+                b.storef(addr, 0, scaled);
+            });
+        });
+        let acc = b.var(Ty::F64);
+        for _ in 0..p.iters {
+            // Forward sweep.
+            loop_n(b, n - 2, |b, i0| {
+                let one = b.ci(1);
+                let iv = b.iadd(i0, one);
+                let iv_var = b.var(Ty::I64);
+                b.write(iv_var, iv);
+                loop_n(b, n - 2, |b, j0| {
+                    let one = b.ci(1);
+                    let jv = b.iadd(j0, one);
+                    let iv = b.read(iv_var);
+                    ssor_update(b, u, rhs, n, iv, jv, p.omega);
+                });
+            });
+            // Backward sweep (reverse traversal).
+            loop_n(b, n - 2, |b, i0| {
+                let nm2 = b.ci(n - 2);
+                let iv = b.isub(nm2, i0);
+                let iv_var = b.var(Ty::I64);
+                b.write(iv_var, iv);
+                loop_n(b, n - 2, |b, j0| {
+                    let nm2 = b.ci(n - 2);
+                    let jv = b.isub(nm2, j0);
+                    let iv = b.read(iv_var);
+                    ssor_update(b, u, rhs, n, iv, jv, p.omega);
+                });
+            });
+            // Solution norm.
+            let zf = b.cf(0.0);
+            b.write(acc, zf);
+            loop_n(b, n, |b, iv| {
+                let iv_var = b.var(Ty::I64);
+                b.write(iv_var, iv);
+                loop_n(b, n, |b, jv| {
+                    let iv = b.read(iv_var);
+                    let a = cell(b, u, n, iv, jv);
+                    let uv = b.loadf(a, 0);
+                    let sq = b.fmul(uv, uv);
+                    let av = b.read(acc);
+                    let av2 = b.fadd(av, sq);
+                    b.write(acc, av2);
+                });
+            });
+            let av = b.read(acc);
+            let norm = b.fsqrt(av);
+            b.printf(norm);
+        }
+        b.ret(None);
+    });
+    m
+}
+
+/// Op-for-op native reference.
+pub fn reference(p: Params) -> Vec<OutputEvent> {
+    let n = p.n as usize;
+    let mut u = vec![0.0f64; n * n];
+    let mut rhs = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let r = ((i as i64 * 31 + j as i64 * 17) % 13 - 6) as f64;
+            rhs[i * n + j] = r / 13.0;
+        }
+    }
+    let w4 = p.omega / 4.0;
+    let update = |u: &mut Vec<f64>, rhs: &Vec<f64>, i: usize, j: usize| {
+        let up = u[(i - 1) * n + j];
+        let dn = u[(i + 1) * n + j];
+        let lf = u[i * n + j - 1];
+        let rt = u[i * n + j + 1];
+        let uc = u[i * n + j];
+        let fv = rhs[i * n + j];
+        let r = fv + (((up + dn) + lf) + rt) - 4.0 * uc;
+        u[i * n + j] = uc + w4 * r;
+    };
+    let mut out = Vec::new();
+    for _ in 0..p.iters {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                update(&mut u, &rhs, i, j);
+            }
+        }
+        for i in (1..n - 1).rev() {
+            for j in (1..n - 1).rev() {
+                update(&mut u, &rhs, i, j);
+            }
+        }
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                acc += u[i * n + j] * u[i * n + j];
+            }
+        }
+        out.push(f(acc.sqrt()));
+    }
+    out
+}
+
+/// The packaged workload.
+pub fn workload(size: Size) -> Workload {
+    let p = Params::for_size(size);
+    Workload {
+        name: "NAS LU",
+        config: "Class S",
+        module: build(p),
+        reference: reference(p),
+    }
+}

@@ -1,0 +1,326 @@
+//! NAS MG (§5.1): a multigrid-flavored kernel — weighted-Jacobi smoothing
+//! sweeps on a 2D 5-point Poisson system with one restrict/correct/prolong
+//! V-cycle level, printing the residual norm per cycle. (The full NPB MG is
+//! a 3D 4-level V-cycle; this keeps the same arithmetic profile — dense
+//! stencil FP multiply-adds — at Class-S-like scale. See DESIGN.md §2.)
+
+use crate::{f, Size, Workload};
+use fpvm_ir::build_util::loop_n;
+use fpvm_ir::{FuncBuilder, GlobalInit, Module, Ty, Value, Var};
+use fpvm_machine::OutputEvent;
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Fine-grid side (coarse is half).
+    pub n: i64,
+    /// V-cycles.
+    pub cycles: i64,
+    /// Smoothing sweeps per leg.
+    pub sweeps: i64,
+}
+
+impl Params {
+    fn for_size(size: Size) -> Params {
+        match size {
+            Size::Tiny => Params {
+                n: 12,
+                cycles: 1,
+                sweeps: 2,
+            },
+            Size::S => Params {
+                n: 32,
+                cycles: 2,
+                sweeps: 4,
+            },
+        }
+    }
+}
+
+const OMEGA: f64 = 0.8;
+
+struct Grids {
+    u: Var,
+    rhs: Var,
+    coarse: Var,
+    n: i64,
+}
+
+/// addr = base + 8*(i*n + j)
+fn cell(b: &mut FuncBuilder, base: Var, n: i64, iv: Value, jv: Value) -> Value {
+    let nn = b.ci(n);
+    let row = b.imul(iv, nn);
+    let idx = b.iadd(row, jv);
+    let three = b.ci(3);
+    let off = b.ishl(idx, three);
+    let bp = b.read(base);
+    b.iadd(bp, off)
+}
+
+/// One weighted-Jacobi sweep over the interior of an n×n grid held in `u`
+/// with right-hand side `rhs` (in-place Gauss-Seidel-style update, matching
+/// the reference exactly).
+fn smooth(b: &mut FuncBuilder, g: &Grids, u: Var, rhs: Var, n: i64) {
+    loop_n(b, n - 2, |b, i0| {
+        let one = b.ci(1);
+        let iv = b.iadd(i0, one);
+        let iv_var = b.var(Ty::I64);
+        b.write(iv_var, iv);
+        loop_n(b, n - 2, |b, j0| {
+            let one = b.ci(1);
+            let jv = b.iadd(j0, one);
+            let iv = b.read(iv_var);
+            // neighbors
+            let im = b.isub(iv, one);
+            let ip = b.iadd(iv, one);
+            let jm = b.isub(jv, one);
+            let jp = b.iadd(jv, one);
+            let a_up = cell(b, u, n, im, jv);
+            let up = b.loadf(a_up, 0);
+            let a_dn = cell(b, u, n, ip, jv);
+            let dn = b.loadf(a_dn, 0);
+            let a_lf = cell(b, u, n, iv, jm);
+            let lf = b.loadf(a_lf, 0);
+            let a_rt = cell(b, u, n, iv, jp);
+            let rt = b.loadf(a_rt, 0);
+            let a_c = cell(b, u, n, iv, jv);
+            let uc = b.loadf(a_c, 0);
+            let a_f = cell(b, rhs, n, iv, jv);
+            let fv = b.loadf(a_f, 0);
+            // unew = (1-w)*u + w*( (up+dn+lf+rt+h2*f) / 4 )
+            let s1 = b.fadd(up, dn);
+            let s2 = b.fadd(s1, lf);
+            let s3 = b.fadd(s2, rt);
+            let h2 = b.cf(1.0 / ((g.n - 1) as f64 * (g.n - 1) as f64));
+            let hf = b.fmul(h2, fv);
+            let s4 = b.fadd(s3, hf);
+            let quarter = b.cf(0.25);
+            let gs = b.fmul(s4, quarter);
+            let w = b.cf(OMEGA);
+            let wm = b.cf(1.0 - OMEGA);
+            let t1 = b.fmul(wm, uc);
+            let t2 = b.fmul(w, gs);
+            let unew = b.fadd(t1, t2);
+            b.storef(a_c, 0, unew);
+        });
+    });
+}
+
+/// Residual L2 norm² accumulated into `acc`.
+fn residual_norm(b: &mut FuncBuilder, g: &Grids, acc: Var) {
+    let n = g.n;
+    let zf = b.cf(0.0);
+    b.write(acc, zf);
+    loop_n(b, n - 2, |b, i0| {
+        let one = b.ci(1);
+        let iv = b.iadd(i0, one);
+        let iv_var = b.var(Ty::I64);
+        b.write(iv_var, iv);
+        loop_n(b, n - 2, |b, j0| {
+            let one = b.ci(1);
+            let jv = b.iadd(j0, one);
+            let iv = b.read(iv_var);
+            let im = b.isub(iv, one);
+            let ip = b.iadd(iv, one);
+            let jm = b.isub(jv, one);
+            let jp = b.iadd(jv, one);
+            let a = cell(b, g.u, n, im, jv);
+            let up = b.loadf(a, 0);
+            let a = cell(b, g.u, n, ip, jv);
+            let dn = b.loadf(a, 0);
+            let a = cell(b, g.u, n, iv, jm);
+            let lf = b.loadf(a, 0);
+            let a = cell(b, g.u, n, iv, jp);
+            let rt = b.loadf(a, 0);
+            let a = cell(b, g.u, n, iv, jv);
+            let uc = b.loadf(a, 0);
+            let a = cell(b, g.rhs, n, iv, jv);
+            let fv = b.loadf(a, 0);
+            // r = f*h2 + up+dn+lf+rt - 4u
+            let h2 = b.cf(1.0 / ((n - 1) as f64 * (n - 1) as f64));
+            let fh = b.fmul(fv, h2);
+            let s1 = b.fadd(up, dn);
+            let s2 = b.fadd(s1, lf);
+            let s3 = b.fadd(s2, rt);
+            let s4 = b.fadd(fh, s3);
+            let four = b.cf(4.0);
+            let fu = b.fmul(four, uc);
+            let r = b.fsub(s4, fu);
+            let r2 = b.fmul(r, r);
+            let av = b.read(acc);
+            let av2 = b.fadd(av, r2);
+            b.write(acc, av2);
+        });
+    });
+}
+
+/// Build the IR module.
+pub fn build(p: Params) -> Module {
+    let n = p.n;
+    let nc = n / 2;
+    let mut m = Module::new();
+    let g_u = m.global("u", GlobalInit::Zeroed((n * n) as usize * 8));
+    let g_rhs = m.global("rhs", GlobalInit::Zeroed((n * n) as usize * 8));
+    let g_coarse = m.global("coarse", GlobalInit::Zeroed((nc * nc) as usize * 8));
+    m.build_func("main", &[], None, |b| {
+        let u = b.var(Ty::I64);
+        let rhs = b.var(Ty::I64);
+        let coarse = b.var(Ty::I64);
+        let a = b.global_addr(g_u);
+        b.write(u, a);
+        let a = b.global_addr(g_rhs);
+        b.write(rhs, a);
+        let a = b.global_addr(g_coarse);
+        b.write(coarse, a);
+        let g = Grids {
+            u,
+            rhs,
+            coarse,
+            n,
+        };
+        // RHS: a few deterministic point charges (as NPB MG seeds ±1).
+        for (ci, cj, v) in [(n / 4, n / 4, 1.0), (3 * n / 4, n / 2, -1.0), (n / 2, 3 * n / 4, 1.0)]
+        {
+            let iv = b.ci(ci);
+            let jv = b.ci(cj);
+            let addr = cell(b, g.rhs, n, iv, jv);
+            let val = b.cf(v * ((n - 1) * (n - 1)) as f64);
+            b.storef(addr, 0, val);
+        }
+        let acc = b.var(Ty::F64);
+        for _ in 0..p.cycles {
+            for _ in 0..p.sweeps {
+                smooth(b, &g, g.u, g.rhs, n);
+            }
+            // Restrict the residual-ish field (injection of u) to the
+            // coarse grid, smooth there, prolong the correction back.
+            loop_n(b, nc - 2, |b, i0| {
+                let one = b.ci(1);
+                let iv = b.iadd(i0, one);
+                let iv_var = b.var(Ty::I64);
+                b.write(iv_var, iv);
+                loop_n(b, nc - 2, |b, j0| {
+                    let one = b.ci(1);
+                    let jv = b.iadd(j0, one);
+                    let iv = b.read(iv_var);
+                    let two = b.ci(2);
+                    let fi = b.imul(iv, two);
+                    let fj = b.imul(jv, two);
+                    let fa = cell(b, g.u, n, fi, fj);
+                    let fv = b.loadf(fa, 0);
+                    let ca = cell(b, g.coarse, nc, iv, jv);
+                    b.storef(ca, 0, fv);
+                });
+            });
+            for _ in 0..p.sweeps / 2 {
+                smooth(b, &g, g.coarse, g.coarse, nc);
+            }
+            loop_n(b, nc - 2, |b, i0| {
+                let one = b.ci(1);
+                let iv = b.iadd(i0, one);
+                let iv_var = b.var(Ty::I64);
+                b.write(iv_var, iv);
+                loop_n(b, nc - 2, |b, j0| {
+                    let one = b.ci(1);
+                    let jv = b.iadd(j0, one);
+                    let iv = b.read(iv_var);
+                    let two = b.ci(2);
+                    let fi = b.imul(iv, two);
+                    let fj = b.imul(jv, two);
+                    let ca = cell(b, g.coarse, nc, iv, jv);
+                    let cv = b.loadf(ca, 0);
+                    let fa = cell(b, g.u, n, fi, fj);
+                    let fv = b.loadf(fa, 0);
+                    let half = b.cf(0.5);
+                    let corr = b.fmul(half, cv);
+                    let sum = b.fadd(fv, corr);
+                    b.storef(fa, 0, sum);
+                });
+            });
+            residual_norm(b, &g, acc);
+            let av = b.read(acc);
+            let norm = b.fsqrt(av);
+            b.printf(norm);
+        }
+        b.ret(None);
+    });
+    m
+}
+
+/// Op-for-op native reference.
+pub fn reference(p: Params) -> Vec<OutputEvent> {
+    let n = p.n as usize;
+    let nc = n / 2;
+    let mut u = vec![0.0f64; n * n];
+    let mut rhs = vec![0.0f64; n * n];
+    let mut coarse = vec![0.0f64; nc * nc];
+    let scale = ((p.n - 1) * (p.n - 1)) as f64;
+    for (ci, cj, v) in [
+        (p.n / 4, p.n / 4, 1.0),
+        (3 * p.n / 4, p.n / 2, -1.0),
+        (p.n / 2, 3 * p.n / 4, 1.0),
+    ] {
+        rhs[(ci * p.n + cj) as usize] = v * scale;
+    }
+    let h2_f = 1.0 / scale;
+    let smooth_ref = |u: &mut Vec<f64>, rhs: &Vec<f64>, nn: usize, h2: f64| {
+        for i in 1..nn - 1 {
+            for j in 1..nn - 1 {
+                let up = u[(i - 1) * nn + j];
+                let dn = u[(i + 1) * nn + j];
+                let lf = u[i * nn + j - 1];
+                let rt = u[i * nn + j + 1];
+                let uc = u[i * nn + j];
+                let fv = rhs[i * nn + j];
+                let gs = (((up + dn) + lf) + rt + h2 * fv) * 0.25;
+                u[i * nn + j] = (1.0 - OMEGA) * uc + OMEGA * gs;
+            }
+        }
+    };
+    let mut out = Vec::new();
+    for _ in 0..p.cycles {
+        for _ in 0..p.sweeps {
+            smooth_ref(&mut u, &rhs, n, h2_f);
+        }
+        for i in 1..nc - 1 {
+            for j in 1..nc - 1 {
+                coarse[i * nc + j] = u[(2 * i) * n + 2 * j];
+            }
+        }
+        for _ in 0..p.sweeps / 2 {
+            let c2 = coarse.clone();
+            smooth_ref(&mut coarse, &c2, nc, h2_f);
+        }
+        for i in 1..nc - 1 {
+            for j in 1..nc - 1 {
+                u[(2 * i) * n + 2 * j] += 0.5 * coarse[i * nc + j];
+            }
+        }
+        let mut acc = 0.0f64;
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let up = u[(i - 1) * n + j];
+                let dn = u[(i + 1) * n + j];
+                let lf = u[i * n + j - 1];
+                let rt = u[i * n + j + 1];
+                let uc = u[i * n + j];
+                let fv = rhs[i * n + j];
+                let r = fv * h2_f + (((up + dn) + lf) + rt) - 4.0 * uc;
+                acc += r * r;
+            }
+        }
+        out.push(f(acc.sqrt()));
+    }
+    out
+}
+
+/// The packaged workload.
+pub fn workload(size: Size) -> Workload {
+    let p = Params::for_size(size);
+    Workload {
+        name: "NAS MG",
+        config: "Class S",
+        module: build(p),
+        reference: reference(p),
+    }
+}

@@ -1,0 +1,251 @@
+//! Planar Newtonian three-body simulation (§5.1) — the second chaotic code
+//! the paper applies higher precision to.
+//!
+//! Symplectic (semi-implicit) Euler on three unit-ish masses near a
+//! figure-eight-adjacent initial condition; `sqrt`-dense pairwise force
+//! kernel, so nearly every dynamic FP instruction rounds.
+
+use crate::{f, Size, Workload};
+use fpvm_ir::{CmpOp, FuncBuilder, Module, Ty, Value, Var};
+use fpvm_machine::OutputEvent;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Gravitational constant (scaled).
+    pub g: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Steps.
+    pub steps: i64,
+    /// Print positions every this many steps.
+    pub print_every: i64,
+}
+
+impl Params {
+    fn for_size(size: Size) -> Params {
+        match size {
+            Size::Tiny => Params {
+                g: 1.0,
+                dt: 0.002,
+                steps: 150,
+                print_every: 50,
+            },
+            Size::S => Params {
+                g: 1.0,
+                dt: 0.002,
+                steps: 1500,
+                print_every: 250,
+            },
+        }
+    }
+}
+
+/// Masses and initial state (positions, velocities) for the three bodies.
+const MASSES: [f64; 3] = [1.0, 1.0, 0.975];
+const INIT: [(f64, f64, f64, f64); 3] = [
+    // (x, y, vx, vy) — near the figure-eight choreography.
+    (-0.97000436, 0.24308753, 0.4662036850, 0.4323657300),
+    (0.97000436, -0.24308753, 0.4662036850, 0.4323657300),
+    (0.0, 0.0, -0.93240737, -0.86473146),
+];
+
+struct BodyVars {
+    x: Var,
+    y: Var,
+    vx: Var,
+    vy: Var,
+}
+
+/// Accumulate the acceleration body `i` feels from body `j`.
+#[allow(clippy::too_many_arguments)]
+fn pair_accel(
+    b: &mut FuncBuilder,
+    bodies: &[BodyVars],
+    i: usize,
+    j: usize,
+    g: f64,
+    ax: Value,
+    ay: Value,
+) -> (Value, Value) {
+    let xi = b.read(bodies[i].x);
+    let yi = b.read(bodies[i].y);
+    let xj = b.read(bodies[j].x);
+    let yj = b.read(bodies[j].y);
+    let dx = b.fsub(xj, xi);
+    let dy = b.fsub(yj, yi);
+    let dx2 = b.fmul(dx, dx);
+    let dy2 = b.fmul(dy, dy);
+    let r2 = b.fadd(dx2, dy2);
+    let r = b.fsqrt(r2);
+    let r3 = b.fmul(r2, r);
+    let gm = b.cf(g * MASSES[j]);
+    let s = b.fdiv(gm, r3);
+    let fx = b.fmul(s, dx);
+    let fy = b.fmul(s, dy);
+    let nax = b.fadd(ax, fx);
+    let nay = b.fadd(ay, fy);
+    (nax, nay)
+}
+
+/// Build the IR module.
+pub fn build(p: Params) -> Module {
+    let mut m = Module::new();
+    m.build_func("main", &[], None, |b| {
+        let bodies: Vec<BodyVars> = (0..3)
+            .map(|_| BodyVars {
+                x: b.var(Ty::F64),
+                y: b.var(Ty::F64),
+                vx: b.var(Ty::F64),
+                vy: b.var(Ty::F64),
+            })
+            .collect();
+        for (k, bv) in bodies.iter().enumerate() {
+            let (x, y, vx, vy) = INIT[k];
+            let c = b.cf(x);
+            b.write(bv.x, c);
+            let c = b.cf(y);
+            b.write(bv.y, c);
+            let c = b.cf(vx);
+            b.write(bv.vx, c);
+            let c = b.cf(vy);
+            b.write(bv.vy, c);
+        }
+        let step = b.var(Ty::I64);
+        let c = b.ci(0);
+        b.write(step, c);
+        let header = b.new_block();
+        let body_b = b.new_block();
+        let print_b = b.new_block();
+        let cont = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+
+        b.switch_to(header);
+        let sv = b.read(step);
+        let steps = b.ci(p.steps);
+        let c = b.icmp(CmpOp::Lt, sv, steps);
+        b.cond_br(c, body_b, exit);
+
+        b.switch_to(body_b);
+        // Semi-implicit Euler: update velocities from current positions,
+        // then positions from new velocities.
+        let dt = b.cf(p.dt);
+        for i in 0..3 {
+            let mut ax = b.cf(0.0);
+            let mut ay = b.cf(0.0);
+            for j in 0..3 {
+                if i != j {
+                    let (nax, nay) = pair_accel(b, &bodies, i, j, p.g, ax, ay);
+                    ax = nax;
+                    ay = nay;
+                }
+            }
+            let vx = b.read(bodies[i].vx);
+            let dvx = b.fmul(ax, dt);
+            let nvx = b.fadd(vx, dvx);
+            b.write(bodies[i].vx, nvx);
+            let vy = b.read(bodies[i].vy);
+            let dvy = b.fmul(ay, dt);
+            let nvy = b.fadd(vy, dvy);
+            b.write(bodies[i].vy, nvy);
+        }
+        for bv in &bodies {
+            let x = b.read(bv.x);
+            let vx = b.read(bv.vx);
+            let dx = b.fmul(vx, dt);
+            let nx = b.fadd(x, dx);
+            b.write(bv.x, nx);
+            let y = b.read(bv.y);
+            let vy = b.read(bv.vy);
+            let dy = b.fmul(vy, dt);
+            let ny = b.fadd(y, dy);
+            b.write(bv.y, ny);
+        }
+        let one = b.ci(1);
+        let snext = b.iadd(sv, one);
+        b.write(step, snext);
+        let pe = b.ci(p.print_every);
+        let rem = b.irem(snext, pe);
+        let zero = b.ci(0);
+        let is_print = b.icmp(CmpOp::Eq, rem, zero);
+        b.cond_br(is_print, print_b, cont);
+
+        b.switch_to(print_b);
+        for bv in &bodies {
+            let x = b.read(bv.x);
+            b.printf(x);
+            let y = b.read(bv.y);
+            b.printf(y);
+        }
+        b.br(cont);
+
+        b.switch_to(cont);
+        b.br(header);
+
+        b.switch_to(exit);
+        for bv in &bodies {
+            let x = b.read(bv.x);
+            b.printf(x);
+            let y = b.read(bv.y);
+            b.printf(y);
+        }
+        b.ret(None);
+    });
+    m
+}
+
+/// Op-for-op native reference.
+pub fn reference(p: Params) -> Vec<OutputEvent> {
+    let mut out = Vec::new();
+    let mut pos: Vec<(f64, f64)> = INIT.iter().map(|&(x, y, _, _)| (x, y)).collect();
+    let mut vel: Vec<(f64, f64)> = INIT.iter().map(|&(_, _, vx, vy)| (vx, vy)).collect();
+    for s in 0..p.steps {
+        for i in 0..3 {
+            let mut ax = 0.0f64;
+            let mut ay = 0.0f64;
+            for j in 0..3 {
+                if i != j {
+                    let dx = pos[j].0 - pos[i].0;
+                    let dy = pos[j].1 - pos[i].1;
+                    let dx2 = dx * dx;
+                    let dy2 = dy * dy;
+                    let r2 = dx2 + dy2;
+                    let r = r2.sqrt();
+                    let r3 = r2 * r;
+                    let sgm = (p.g * MASSES[j]) / r3;
+                    ax += sgm * dx;
+                    ay += sgm * dy;
+                }
+            }
+            vel[i].0 += ax * p.dt;
+            vel[i].1 += ay * p.dt;
+        }
+        for i in 0..3 {
+            pos[i].0 += vel[i].0 * p.dt;
+            pos[i].1 += vel[i].1 * p.dt;
+        }
+        if (s + 1) % p.print_every == 0 {
+            for i in 0..3 {
+                out.push(f(pos[i].0));
+                out.push(f(pos[i].1));
+            }
+        }
+    }
+    for i in 0..3 {
+        out.push(f(pos[i].0));
+        out.push(f(pos[i].1));
+    }
+    out
+}
+
+/// The packaged workload.
+pub fn workload(size: Size) -> Workload {
+    let p = Params::for_size(size);
+    Workload {
+        name: "Three-Body",
+        config: "n.a.",
+        module: build(p),
+        reference: reference(p),
+    }
+}

@@ -1,0 +1,77 @@
+//! Workload validation: the compiled IR running on the simulated machine
+//! must be **bit-identical** to the op-for-op native Rust reference. This
+//! pins down machine semantics, codegen, and the references themselves —
+//! the foundation the §5.2 FPVM validation builds on.
+
+use fpvm_ir::{compile, CompileMode};
+use fpvm_machine::{CostModel, Event, Machine};
+use fpvm_workloads::{all_workloads, Size, Workload};
+
+fn run_native(w: &Workload) -> Vec<fpvm_machine::OutputEvent> {
+    let c = compile(&w.module, CompileMode::Native);
+    let mut m = Machine::new(CostModel::r815());
+    m.load_program(&c.program);
+    m.hook_ext = false;
+    m.mxcsr.mask_all();
+    let ev = m.run(2_000_000_000);
+    assert_eq!(ev, Event::Halted, "{}: {ev:?}", w.name);
+    m.output
+}
+
+#[test]
+fn every_workload_matches_its_reference_tiny() {
+    for w in all_workloads(Size::Tiny) {
+        let out = run_native(&w);
+        assert_eq!(
+            out.len(),
+            w.reference.len(),
+            "{}: output length mismatch",
+            w.name
+        );
+        for (idx, (got, want)) in out.iter().zip(&w.reference).enumerate() {
+            assert_eq!(
+                got, want,
+                "{}: output {idx} differs: got {} want {}",
+                w.name,
+                got.render(),
+                want.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn class_s_lorenz_and_cg_match() {
+    // Spot-check two Class S workloads end to end (the rest run at S size
+    // in the integration suite / harness).
+    for w in [
+        fpvm_workloads::lorenz::workload(Size::S),
+        fpvm_workloads::nas_cg::workload(Size::S),
+    ] {
+        let out = run_native(&w);
+        assert_eq!(out, w.reference, "{}", w.name);
+    }
+}
+
+#[test]
+fn workloads_have_meaningful_fp_profiles() {
+    // Ensure the suite spans the density spectrum the paper relies on:
+    // IS nearly FP-free, CG/LU FP-dense.
+    let ws = all_workloads(Size::Tiny);
+    for w in &ws {
+        let c = compile(&w.module, CompileMode::Native);
+        let mut m = Machine::new(CostModel::r815());
+        m.load_program(&c.program);
+        m.hook_ext = false;
+        m.mxcsr.mask_all();
+        m.run(2_000_000_000);
+        let density = m.fp_icount as f64 / m.icount as f64;
+        match w.name {
+            "NAS IS" => assert!(density < 0.05, "IS density {density}"),
+            "NAS CG" | "NAS LU" | "Lorenz Attractor" => {
+                assert!(density > 0.02, "{} density {density}", w.name)
+            }
+            _ => {}
+        }
+    }
+}

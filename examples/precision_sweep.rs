@@ -1,0 +1,96 @@
+//! Precision sweep: run one binary at many arbitrary precisions.
+//!
+//! ```sh
+//! cargo run --release --example precision_sweep
+//! ```
+//!
+//! "The precision used by FPVM is determined by a … configurable parameter"
+//! (§4.3). Here the same logistic-map binary runs at 53 / 80 / 120 / 200 /
+//! 400 bits; the iterate where each precision's trajectory departs from the
+//! next-higher one moves out linearly with precision — chaos eats mantissa
+//! bits at the map's Lyapunov rate (~0.67 bits/iterate at r = 3.9).
+
+use fpvm::arith::BigFloatCtx;
+use fpvm::ir::{compile, CompileMode};
+use fpvm::machine::{CostModel, Machine, OutputEvent};
+use fpvm::runtime::{Fpvm, FpvmConfig};
+use fpvm::ir::{CmpOp, Module, Ty};
+
+/// Logistic map x <- r x (1-x), printing every iterate.
+fn logistic(iters: i64) -> Module {
+    let mut m = Module::new();
+    m.build_func("main", &[], None, |b| {
+        let x = b.var(Ty::F64);
+        let i = b.var(Ty::I64);
+        let c = b.cf(0.2);
+        b.write(x, c);
+        let z = b.ci(0);
+        b.write(i, z);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.read(i);
+        let n = b.ci(iters);
+        let c = b.icmp(CmpOp::Lt, iv, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let xv = b.read(x);
+        let one = b.cf(1.0);
+        let om = b.fsub(one, xv);
+        let r = b.cf(3.9);
+        let rx = b.fmul(r, xv);
+        let nx = b.fmul(rx, om);
+        b.write(x, nx);
+        b.printf(nx);
+        let one_i = b.ci(1);
+        let inext = b.iadd(iv, one_i);
+        b.write(i, inext);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+    });
+    m
+}
+
+fn series(prog: &fpvm::machine::Program, prec: u32) -> Vec<f64> {
+    let mut m = Machine::new(CostModel::r815());
+    m.load_program(prog);
+    let mut rt = Fpvm::new(BigFloatCtx::new(prec), FpvmConfig::default());
+    rt.run(&mut m);
+    m.output
+        .iter()
+        .map(|o| match o {
+            OutputEvent::F64(b) => f64::from_bits(*b),
+            OutputEvent::I64(v) => *v as f64,
+        })
+        .collect()
+}
+
+fn main() {
+    const ITERS: i64 = 400;
+    let prog = compile(&logistic(ITERS), CompileMode::Native).program;
+    let precisions = [53u32, 80, 120, 200, 400];
+    let runs: Vec<(u32, Vec<f64>)> = precisions
+        .iter()
+        .map(|&p| {
+            println!("running at {p} bits …");
+            (p, series(&prog, p))
+        })
+        .collect();
+    println!("\nfirst iterate where each precision departs from the next higher:");
+    println!("{:>8} {:>18}", "bits", "departs at step");
+    for w in runs.windows(2) {
+        let (p_lo, lo) = &w[0];
+        let (_p_hi, hi) = &w[1];
+        let depart = lo
+            .iter()
+            .zip(hi)
+            .position(|(a, b)| (a - b).abs() > 1e-6)
+            .map_or("never".to_string(), |k| k.to_string());
+        println!("{p_lo:>8} {depart:>18}");
+    }
+    println!("\n(the map's Lyapunov exponent is ~0.67 bits/step, so each extra mantissa");
+    println!(" bit buys ~1.5 reliable steps — precision is a tunable dial on one binary.)");
+}

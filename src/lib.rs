@@ -1,0 +1,8 @@
+//! Facade crate: re-exports the FPVM workspace crates. See README.md.
+pub use fpvm_analysis as analysis;
+pub use fpvm_arith as arith;
+pub use fpvm_core as runtime;
+pub use fpvm_ir as ir;
+pub use fpvm_machine as machine;
+pub use fpvm_nanbox as nanbox;
+pub use fpvm_workloads as workloads;
