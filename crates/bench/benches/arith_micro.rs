@@ -2,86 +2,56 @@
 //! through the 37-function interface (§4.3), plus NaN-box encode/decode.
 //! These are the `emulate` component inputs of Fig. 9.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpvm_arith::{ArithSystem, BigFloatCtx, PositCtx, Round, Vanilla};
+use fpvm_bench::microbench::bench_ns;
 
-fn bench_systems(c: &mut Criterion) {
+fn main() {
     let rm = Round::NearestEven;
-    let mut g = c.benchmark_group("arith/add_mul_div_chain");
-    let chain = |add: &dyn Fn(f64, f64) -> f64,
-                 mul: &dyn Fn(f64, f64) -> f64,
-                 div: &dyn Fn(f64, f64) -> f64| {
+    println!("== arith: add/mul/div chain (16 rounds) ==");
+    bench_ns("arith/add_mul_div_chain/vanilla", || {
+        let v = Vanilla;
         let mut x = 0.1f64;
         for _ in 0..16 {
-            x = div(mul(add(x, 0.7), 1.3), 1.1);
+            x = v.div(&v.mul(&v.add(&x, &0.7, rm).0, &1.3, rm).0, &1.1, rm).0;
         }
         x
-    };
-    g.bench_function("vanilla", |b| {
-        let v = Vanilla;
-        b.iter(|| {
-            chain(
-                &|a, c| v.add(&a, &c, rm).0,
-                &|a, c| v.mul(&a, &c, rm).0,
-                &|a, c| v.div(&a, &c, rm).0,
-            )
-        })
     });
-    g.bench_function("bigfloat200", |b| {
+    bench_ns("arith/add_mul_div_chain/bigfloat200", || {
         let v = BigFloatCtx::new(200);
-        b.iter(|| {
-            let mut x = v.from_f64(0.1);
-            let k7 = v.from_f64(0.7);
-            let k13 = v.from_f64(1.3);
-            let k11 = v.from_f64(1.1);
-            for _ in 0..16 {
-                x = v.div(&v.mul(&v.add(&x, &k7, rm).0, &k13, rm).0, &k11, rm).0;
-            }
-            v.to_f64(&x, rm).0
-        })
+        let mut x = v.from_f64(0.1);
+        let k7 = v.from_f64(0.7);
+        let k13 = v.from_f64(1.3);
+        let k11 = v.from_f64(1.1);
+        for _ in 0..16 {
+            x = v.div(&v.mul(&v.add(&x, &k7, rm).0, &k13, rm).0, &k11, rm).0;
+        }
+        v.to_f64(&x, rm).0
     });
-    g.bench_function("posit64", |b| {
+    bench_ns("arith/add_mul_div_chain/posit64", || {
         let v = PositCtx::<64, 3>;
-        b.iter(|| {
-            let mut x = v.from_f64(0.1);
-            let k7 = v.from_f64(0.7);
-            let k13 = v.from_f64(1.3);
-            let k11 = v.from_f64(1.1);
-            for _ in 0..16 {
-                x = v.div(&v.mul(&v.add(&x, &k7, rm).0, &k13, rm).0, &k11, rm).0;
-            }
-            v.to_f64(&x, rm).0
-        })
+        let mut x = v.from_f64(0.1);
+        let k7 = v.from_f64(0.7);
+        let k13 = v.from_f64(1.3);
+        let k11 = v.from_f64(1.1);
+        for _ in 0..16 {
+            x = v.div(&v.mul(&v.add(&x, &k7, rm).0, &k13, rm).0, &k11, rm).0;
+        }
+        v.to_f64(&x, rm).0
     });
-    g.finish();
-}
 
-fn bench_transcendentals(c: &mut Criterion) {
-    let rm = Round::NearestEven;
-    let mut g = c.benchmark_group("arith/transcendental");
+    println!("== arith: transcendentals (bigfloat200) ==");
     let big = BigFloatCtx::new(200);
     let x = big.from_f64(0.7);
-    g.bench_function("bigfloat200/sin", |b| b.iter(|| big.sin(&x, rm).0));
-    g.bench_function("bigfloat200/exp", |b| b.iter(|| big.exp(&x, rm).0));
-    g.bench_function("bigfloat200/log", |b| b.iter(|| big.log(&x, rm).0));
-    g.bench_function("bigfloat200/asin", |b| b.iter(|| big.asin(&x, rm).0));
-    g.finish();
-}
+    bench_ns("arith/transcendental/bigfloat200/sin", || big.sin(&x, rm).0);
+    bench_ns("arith/transcendental/bigfloat200/exp", || big.exp(&x, rm).0);
+    bench_ns("arith/transcendental/bigfloat200/log", || big.log(&x, rm).0);
+    bench_ns("arith/transcendental/bigfloat200/asin", || big.asin(&x, rm).0);
 
-fn bench_nanbox(c: &mut Criterion) {
-    let mut g = c.benchmark_group("arith/nanbox");
+    println!("== arith: nanbox ==");
     let key = fpvm_nanbox::ShadowKey::new(0xABCDE).unwrap();
     let boxed = fpvm_nanbox::encode(key);
     let plain = 1.5f64.to_bits();
-    g.bench_function("encode", |b| b.iter(|| fpvm_nanbox::encode(key)));
-    g.bench_function("decode_hit", |b| b.iter(|| fpvm_nanbox::decode(boxed)));
-    g.bench_function("decode_miss", |b| b.iter(|| fpvm_nanbox::decode(plain)));
-    g.finish();
+    bench_ns("arith/nanbox/encode", || fpvm_nanbox::encode(key));
+    bench_ns("arith/nanbox/decode_hit", || fpvm_nanbox::decode(boxed));
+    bench_ns("arith/nanbox/decode_miss", || fpvm_nanbox::decode(plain));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_systems, bench_transcendentals, bench_nanbox
-}
-criterion_main!(benches);

@@ -1,13 +1,13 @@
-//! Fig. 9 (criterion): host-time cost of the runtime's trap-handling
+//! Fig. 9 microbenchmark: host-time cost of the runtime's trap-handling
 //! pipeline — decode (hit vs miss), bind, and emulation with each
 //! arithmetic system. The simulated-cycle breakdown comes from
 //! `reproduce --exp fig9`; this measures the *real* work the reproduction
 //! performs per trap.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpvm_arith::{BigFloatCtx, PositCtx, Vanilla};
+use fpvm_bench::microbench::bench_ns;
 use fpvm_core::{Fpvm, FpvmConfig};
-use fpvm_machine::{Asm, Cond, CostModel, Gpr, Machine, Xmm, AluOp};
+use fpvm_machine::{AluOp, Asm, Cond, CostModel, Gpr, Machine, Xmm};
 
 /// A guest that traps `iters` times (one rounding add per iteration).
 fn trapping_guest(iters: i64) -> fpvm_machine::Program {
@@ -28,61 +28,39 @@ fn trapping_guest(iters: i64) -> fpvm_machine::Program {
     a.finish()
 }
 
-fn bench_trap_pipeline(c: &mut Criterion) {
+fn main() {
     let prog = trapping_guest(1000);
-    let mut g = c.benchmark_group("fig09/per_trap_host_ns");
-    g.throughput(criterion::Throughput::Elements(1000));
-    g.bench_function("vanilla", |bench| {
-        bench.iter(|| {
-            let mut m = Machine::new(CostModel::r815());
-            m.load_program(&prog);
-            let mut rt = Fpvm::new(Vanilla, FpvmConfig::default());
-            rt.run(&mut m).stats.fp_traps
-        })
+    println!("== fig09: trap pipeline host time (1000 traps per iter) ==");
+    bench_ns("fig09/per_trap_host_ns/vanilla", || {
+        let mut m = Machine::new(CostModel::r815());
+        m.load_program(&prog);
+        let mut rt = Fpvm::new(Vanilla, FpvmConfig::default());
+        rt.run(&mut m).stats.fp_traps
     });
-    g.bench_function("bigfloat200", |bench| {
-        bench.iter(|| {
-            let mut m = Machine::new(CostModel::r815());
-            m.load_program(&prog);
-            let mut rt = Fpvm::new(BigFloatCtx::new(200), FpvmConfig::default());
-            rt.run(&mut m).stats.fp_traps
-        })
+    bench_ns("fig09/per_trap_host_ns/bigfloat200", || {
+        let mut m = Machine::new(CostModel::r815());
+        m.load_program(&prog);
+        let mut rt = Fpvm::new(BigFloatCtx::new(200), FpvmConfig::default());
+        rt.run(&mut m).stats.fp_traps
     });
-    g.bench_function("posit64", |bench| {
-        bench.iter(|| {
-            let mut m = Machine::new(CostModel::r815());
-            m.load_program(&prog);
-            let mut rt = Fpvm::new(PositCtx::<64, 3>, FpvmConfig::default());
-            rt.run(&mut m).stats.fp_traps
-        })
+    bench_ns("fig09/per_trap_host_ns/posit64", || {
+        let mut m = Machine::new(CostModel::r815());
+        m.load_program(&prog);
+        let mut rt = Fpvm::new(PositCtx::<64, 3>, FpvmConfig::default());
+        rt.run(&mut m).stats.fp_traps
     });
-    g.finish();
-}
-
-fn bench_decode_cache(c: &mut Criterion) {
     // §5.3 footnote 8 ablation: decode cache on vs off.
-    let prog = trapping_guest(1000);
-    let mut g = c.benchmark_group("fig09/decode_cache");
+    println!("== fig09: decode cache ablation ==");
     for (name, on) in [("cache_on", true), ("cache_off", false)] {
-        g.bench_function(name, |bench| {
-            bench.iter(|| {
-                let mut m = Machine::new(CostModel::r815());
-                m.load_program(&prog);
-                let cfg = FpvmConfig {
-                    decode_cache: on,
-                    ..FpvmConfig::default()
-                };
-                let mut rt = Fpvm::new(Vanilla, cfg);
-                rt.run(&mut m).cycles
-            })
+        bench_ns(&format!("fig09/decode_cache/{name}"), || {
+            let mut m = Machine::new(CostModel::r815());
+            m.load_program(&prog);
+            let cfg = FpvmConfig {
+                decode_cache: on,
+                ..FpvmConfig::default()
+            };
+            let mut rt = Fpvm::new(Vanilla, cfg);
+            rt.run(&mut m).cycles
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_trap_pipeline, bench_decode_cache
-}
-criterion_main!(benches);

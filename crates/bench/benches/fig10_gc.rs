@@ -1,9 +1,12 @@
-//! Fig. 10 (criterion): garbage collector pass latency as a function of
+//! Fig. 10 microbenchmark: garbage collector pass latency as a function of
 //! live shadow population, serial vs parallel mark (the DESIGN.md
-//! parallel-GC ablation).
+//! parallel-GC ablation). Each timed iteration rebuilds the arena + guest
+//! memory (collect mutates both), so the printed number includes that
+//! fixed setup; it is identical across the serial/parallel pair being
+//! compared.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpvm_arith::ShadowArena;
+use fpvm_bench::microbench::bench_ns;
 use fpvm_core::gc;
 use fpvm_machine::{Asm, CostModel, Machine, DATA_BASE};
 
@@ -25,33 +28,15 @@ fn machine_with_boxes(arena: &mut ShadowArena<f64>, n: usize) -> Machine {
     m
 }
 
-fn bench_gc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10/gc_pass");
+fn main() {
+    println!("== fig10: gc pass latency (setup + collect) ==");
     for &n in &[100usize, 1000, 10_000] {
         for (mode, parallel) in [("serial", false), ("parallel", true)] {
-            g.bench_with_input(
-                BenchmarkId::new(mode, n),
-                &n,
-                |bench, &n| {
-                    bench.iter_batched(
-                        || {
-                            let mut arena = ShadowArena::new();
-                            let m = machine_with_boxes(&mut arena, n);
-                            (m, arena)
-                        },
-                        |(m, mut arena)| gc::collect(&m, &mut arena, parallel),
-                        criterion::BatchSize::SmallInput,
-                    )
-                },
-            );
+            bench_ns(&format!("fig10/gc_pass/{mode}/{n}"), || {
+                let mut arena = ShadowArena::new();
+                let m = machine_with_boxes(&mut arena, n);
+                gc::collect(&m, &mut arena, parallel)
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_gc
-}
-criterion_main!(benches);

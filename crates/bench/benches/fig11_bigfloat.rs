@@ -1,12 +1,12 @@
-//! Fig. 11 (criterion): BigFloat add/sub/mul/div as a function of mantissa
-//! precision — the MPFR scaling curve. The `reproduce --exp fig11` harness
-//! prints the full table; this bench gives statistically robust per-op
-//! timings at selected precisions, plus the Karatsuba-vs-schoolbook
-//! multiplication ablation.
+//! Fig. 11 microbenchmark: BigFloat add/sub/mul/div as a function of
+//! mantissa precision — the MPFR scaling curve. The `reproduce --exp
+//! fig11` harness prints the full table; this bench gives per-op timings
+//! at selected precisions, plus the Karatsuba-vs-schoolbook multiplication
+//! ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpvm_arith::bigfloat::{self, limb, BigFloat};
 use fpvm_arith::Round;
+use fpvm_bench::microbench::bench_ns;
 
 fn operand(prec: u32, seed: u64) -> BigFloat {
     let mut limbs = vec![0u64; (prec as usize).div_ceil(64)];
@@ -19,32 +19,20 @@ fn operand(prec: u32, seed: u64) -> BigFloat {
     BigFloat::from_int(false, -(prec as i64), &limbs, false, prec, Round::NearestEven).0
 }
 
-fn bench_ops(c: &mut Criterion) {
+fn main() {
     let rm = Round::NearestEven;
-    let mut g = c.benchmark_group("fig11/bigfloat_ops");
+    println!("== fig11: bigfloat ops vs precision ==");
     for &lg in &[5u32, 8, 11, 14] {
         let prec = 1u32 << lg;
         let a = operand(prec, 1);
         let b = operand(prec, 2);
-        g.bench_with_input(BenchmarkId::new("add", prec), &prec, |bench, &p| {
-            bench.iter(|| bigfloat::add(&a, &b, p, rm).0)
-        });
-        g.bench_with_input(BenchmarkId::new("mul", prec), &prec, |bench, &p| {
-            bench.iter(|| bigfloat::mul(&a, &b, p, rm).0)
-        });
-        g.bench_with_input(BenchmarkId::new("div", prec), &prec, |bench, &p| {
-            bench.iter(|| bigfloat::div(&a, &b, p, rm).0)
-        });
-        g.bench_with_input(BenchmarkId::new("sqrt", prec), &prec, |bench, &p| {
-            bench.iter(|| bigfloat::sqrt(&a, p, rm).0)
-        });
+        bench_ns(&format!("fig11/add/{prec}"), || bigfloat::add(&a, &b, prec, rm).0);
+        bench_ns(&format!("fig11/mul/{prec}"), || bigfloat::mul(&a, &b, prec, rm).0);
+        bench_ns(&format!("fig11/div/{prec}"), || bigfloat::div(&a, &b, prec, rm).0);
+        bench_ns(&format!("fig11/sqrt/{prec}"), || bigfloat::sqrt(&a, prec, rm).0);
     }
-    g.finish();
-}
-
-fn bench_karatsuba_ablation(c: &mut Criterion) {
     // DESIGN.md ablation: the Karatsuba layer vs pure schoolbook.
-    let mut g = c.benchmark_group("fig11/karatsuba_ablation");
+    println!("== fig11: karatsuba ablation ==");
     for &nlimbs in &[16usize, 64, 256] {
         let mut s = 7u64;
         let mut next = move || {
@@ -53,21 +41,9 @@ fn bench_karatsuba_ablation(c: &mut Criterion) {
         };
         let a: Vec<u64> = (0..nlimbs).map(|_| next()).collect();
         let b: Vec<u64> = (0..nlimbs).map(|_| next()).collect();
-        g.bench_with_input(BenchmarkId::new("auto", nlimbs), &nlimbs, |bench, _| {
-            bench.iter(|| limb::mul(&a, &b))
+        bench_ns(&format!("fig11/karatsuba/auto/{nlimbs}"), || limb::mul(&a, &b));
+        bench_ns(&format!("fig11/karatsuba/schoolbook/{nlimbs}"), || {
+            limb::mul_basecase(&a, &b)
         });
-        g.bench_with_input(
-            BenchmarkId::new("schoolbook", nlimbs),
-            &nlimbs,
-            |bench, _| bench.iter(|| limb::mul_basecase(&a, &b)),
-        );
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_ops, bench_karatsuba_ablation
-}
-criterion_main!(benches);

@@ -1,67 +1,50 @@
-//! Fig. 12 (criterion): end-to-end workload execution, native vs
+//! Fig. 12 microbenchmark: end-to-end workload execution, native vs
 //! virtualized (Vanilla and 200-bit BigFloat), at reduced sizes. The cycle
 //! slowdown table comes from `reproduce --exp fig12`; this tracks the real
 //! wall-clock cost of the whole pipeline per workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpvm_analysis::analyze_and_patch;
 use fpvm_arith::{BigFloatCtx, Vanilla};
+use fpvm_bench::microbench::bench_ns;
 use fpvm_core::{Fpvm, FpvmConfig};
 use fpvm_ir::{compile, CompileMode};
 use fpvm_machine::{CostModel, Machine};
 use fpvm_workloads::{lorenz, nas_cg, nas_is, Size};
 
-fn bench_workloads(c: &mut Criterion) {
+fn main() {
     let cases = [
         ("lorenz", lorenz::workload(Size::Tiny)),
         ("nas_cg", nas_cg::workload(Size::Tiny)),
         ("nas_is", nas_is::workload(Size::Tiny)),
     ];
+    println!("== fig12: end-to-end workload host time ==");
     for (name, w) in cases {
         let compiled = compile(&w.module, CompileMode::Native);
         let patched = analyze_and_patch(&compiled.program);
-        let mut g = c.benchmark_group(format!("fig12/{name}"));
-        g.bench_function("native", |bench| {
-            bench.iter(|| {
-                let mut m = Machine::new(CostModel::r815());
-                fpvm_core::run_native(&mut m, &compiled.program, u64::MAX);
-                m.cycles
-            })
+        bench_ns(&format!("fig12/{name}/native"), || {
+            let mut m = Machine::new(CostModel::r815());
+            fpvm_core::run_native(&mut m, &compiled.program, u64::MAX);
+            m.cycles
         });
-        g.bench_function("fpvm_vanilla", |bench| {
-            bench.iter(|| {
-                let mut m = Machine::new(CostModel::r815());
-                m.load_program(&patched.program);
-                let mut rt = Fpvm::new(Vanilla, FpvmConfig::default());
-                rt.set_side_table(patched.side_table.clone());
-                rt.run(&mut m).cycles
-            })
+        bench_ns(&format!("fig12/{name}/fpvm_vanilla"), || {
+            let mut m = Machine::new(CostModel::r815());
+            m.load_program(&patched.program);
+            let mut rt = Fpvm::new(Vanilla, FpvmConfig::default());
+            rt.set_side_table(patched.side_table.clone());
+            rt.run(&mut m).cycles
         });
-        g.bench_function("fpvm_bigfloat200", |bench| {
-            bench.iter(|| {
-                let mut m = Machine::new(CostModel::r815());
-                m.load_program(&patched.program);
-                let mut rt = Fpvm::new(BigFloatCtx::new(200), FpvmConfig::default());
-                rt.set_side_table(patched.side_table.clone());
-                rt.run(&mut m).cycles
-            })
+        bench_ns(&format!("fig12/{name}/fpvm_bigfloat200"), || {
+            let mut m = Machine::new(CostModel::r815());
+            m.load_program(&patched.program);
+            let mut rt = Fpvm::new(BigFloatCtx::new(200), FpvmConfig::default());
+            rt.set_side_table(patched.side_table.clone());
+            rt.run(&mut m).cycles
         });
-        g.finish();
     }
-}
-
-fn bench_static_analysis(c: &mut Criterion) {
     // The offline cost (Fig. 3 "static costs: huge" — here: measurable).
     let w = nas_cg::workload(Size::Tiny);
     let compiled = compile(&w.module, CompileMode::Native);
-    c.bench_function("fig12/static_analysis_nas_cg", |bench| {
-        bench.iter(|| analyze_and_patch(&compiled.program).side_table.len())
+    bench_ns("fig12/static_analysis_nas_cg", || {
+        analyze_and_patch(&compiled.program).side_table.len()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_workloads, bench_static_analysis
-}
-criterion_main!(benches);

@@ -1,13 +1,13 @@
-//! §3.2 trap-and-patch proof of concept (criterion) + the crossover
-//! ablation: trap-and-emulate vs trap-and-patch as a function of how often
-//! a site is re-executed — "if the original instruction were to frequently
-//! see or produce shadowed values, trap-and-patch can operate with much
-//! less overhead than trap-and-emulate."
+//! §3.2 trap-and-patch proof of concept + the crossover ablation:
+//! trap-and-emulate vs trap-and-patch as a function of how often a site is
+//! re-executed — "if the original instruction were to frequently see or
+//! produce shadowed values, trap-and-patch can operate with much less
+//! overhead than trap-and-emulate."
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpvm_arith::Vanilla;
+use fpvm_bench::microbench::bench_ns;
 use fpvm_core::{Fpvm, FpvmConfig};
-use fpvm_machine::{Asm, Cond, CostModel, Gpr, Machine, Xmm, AluOp};
+use fpvm_machine::{AluOp, Asm, Cond, CostModel, Gpr, Machine, Xmm};
 
 /// One addsd site executed `n` times, always rounding (always boxed after
 /// the first trip) — the §3.2 microbenchmark.
@@ -30,80 +30,57 @@ fn hot_site(n: i64) -> fpvm_machine::Program {
     a.finish()
 }
 
-fn bench_tpatch(c: &mut Criterion) {
+fn run_with(prog: &fpvm_machine::Program, cfg: FpvmConfig) -> u64 {
+    let mut m = Machine::new(CostModel::r815());
+    m.load_program(prog);
+    let mut rt = Fpvm::new(Vanilla, cfg);
+    rt.run(&mut m).cycles
+}
+
+fn main() {
+    println!("== tpatch: hot site, 2000 hits ==");
     let prog = hot_site(2000);
-    let mut g = c.benchmark_group("tpatch/hot_site_2000_hits");
     for (name, tp) in [("trap_and_emulate", false), ("trap_and_patch", true)] {
-        g.bench_function(name, |bench| {
-            bench.iter(|| {
-                let mut m = Machine::new(CostModel::r815());
-                m.load_program(&prog);
-                let cfg = FpvmConfig {
+        bench_ns(&format!("tpatch/hot_site_2000_hits/{name}"), || {
+            run_with(
+                &prog,
+                FpvmConfig {
                     trap_and_patch: tp,
                     ..FpvmConfig::default()
-                };
-                let mut rt = Fpvm::new(Vanilla, cfg);
-                rt.run(&mut m).cycles
-            })
+                },
+            )
         });
     }
-    g.finish();
-}
-
-/// Crossover: model-cycle totals as hit count varies. Trap-and-emulate
-/// pays delivery per hit; trap-and-patch pays one trap + cheap calls.
-fn bench_crossover(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tpatch/crossover_cycles");
+    // Crossover: trap-and-emulate pays delivery per hit; trap-and-patch
+    // pays one trap + cheap calls.
+    println!("== tpatch: crossover vs hit count ==");
     for &n in &[1i64, 10, 100, 1000] {
         let prog = hot_site(n);
-        g.bench_with_input(BenchmarkId::new("emulate", n), &n, |bench, _| {
-            bench.iter(|| {
-                let mut m = Machine::new(CostModel::r815());
-                m.load_program(&prog);
-                let mut rt = Fpvm::new(Vanilla, FpvmConfig::default());
-                rt.run(&mut m).cycles
-            })
+        bench_ns(&format!("tpatch/crossover/emulate/{n}"), || {
+            run_with(&prog, FpvmConfig::default())
         });
-        g.bench_with_input(BenchmarkId::new("patch", n), &n, |bench, _| {
-            bench.iter(|| {
-                let mut m = Machine::new(CostModel::r815());
-                m.load_program(&prog);
-                let cfg = FpvmConfig {
+        bench_ns(&format!("tpatch/crossover/patch/{n}"), || {
+            run_with(
+                &prog,
+                FpvmConfig {
                     trap_and_patch: true,
                     ..FpvmConfig::default()
-                };
-                let mut rt = Fpvm::new(Vanilla, cfg);
-                rt.run(&mut m).cycles
-            })
+                },
+            )
         });
     }
-    g.finish();
-}
-
-/// GC epoch ablation (DESIGN.md): epoch length vs total runtime.
-fn bench_gc_epoch(c: &mut Criterion) {
+    // GC epoch ablation (DESIGN.md): epoch length vs total runtime.
+    println!("== ablation: gc epoch ==");
     let prog = hot_site(3000);
-    let mut g = c.benchmark_group("ablation/gc_epoch");
     for &epoch in &[5_000u64, 50_000, 500_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(epoch), &epoch, |bench, &e| {
-            bench.iter(|| {
-                let mut m = Machine::new(CostModel::r815());
-                m.load_program(&prog);
-                let cfg = FpvmConfig {
-                    gc_epoch: e,
+        bench_ns(&format!("ablation/gc_epoch/{epoch}"), || {
+            run_with(
+                &prog,
+                FpvmConfig {
+                    gc_epoch: epoch,
                     ..FpvmConfig::default()
-                };
-                let mut rt = Fpvm::new(Vanilla, cfg);
-                rt.run(&mut m).stats.gc_passes
-            })
+                },
+            )
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_tpatch, bench_crossover, bench_gc_epoch
-}
-criterion_main!(benches);

@@ -11,19 +11,17 @@
 //! Tables print to stdout; JSON records are archived under
 //! `target/experiments/`.
 
+use fpvm_bench::json::ToJson;
 use fpvm_bench::{experiments as exp, loc};
 use fpvm_workloads::Size;
-use serde::Serialize;
 use std::path::PathBuf;
 
-fn archive<T: Serialize>(name: &str, data: &T) {
+fn archive<T: ToJson>(name: &str, data: &T) {
     let dir = PathBuf::from("target/experiments");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
-    if let Ok(json) = serde_json::to_string_pretty(data) {
-        let _ = std::fs::write(dir.join(format!("{name}.json")), json);
-    }
+    let _ = std::fs::write(dir.join(format!("{name}.json")), data.to_json());
 }
 
 const EXPERIMENTS: &[(&str, &str)] = &[

@@ -11,8 +11,8 @@ use fpvm_arith::{bigfloat, BigFloat, BigFloatCtx, PositCtx, Round, Vanilla};
 use fpvm_core::{Fpvm, FpvmConfig};
 use fpvm_ir::{compile, CompileMode};
 use fpvm_machine::{CostModel, DeliveryMode, Machine, OutputEvent};
+use crate::json::json_struct;
 use fpvm_workloads::{all_workloads, breakdown_workloads, lorenz, Size};
-use serde::Serialize;
 use std::time::Instant;
 
 /// The paper's MPFR precision (§5.3).
@@ -23,7 +23,7 @@ pub const PAPER_PREC: u32 = 200;
 // ---------------------------------------------------------------------------
 
 /// One Fig. 9 bar.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Row {
     pub workload: String,
     pub traps: u64,
@@ -99,7 +99,7 @@ pub fn fig9(size: Size) -> Vec<Fig9Row> {
 // Fig. 10: garbage collector statistics and performance
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Row {
     pub workload: String,
     pub passes: u64,
@@ -174,7 +174,7 @@ pub fn fig10(size: Size) -> Vec<Fig10Row> {
 // Fig. 11: BigFloat (MPFR-substitute) performance vs precision
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Row {
     pub log2_prec: u32,
     pub prec_bits: u32,
@@ -275,7 +275,7 @@ pub fn fig11(max_log2: u32) -> Vec<Fig11Row> {
 // Fig. 12: wall-clock slowdown per benchmark per machine
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12Row {
     pub benchmark: String,
     pub config: String,
@@ -329,7 +329,7 @@ pub fn fig12(size: Size) -> Vec<Fig12Row> {
 // Fig. 13: Lorenz under IEEE vs Vanilla vs BigFloat
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13Result {
     pub vanilla_identical: bool,
     pub samples: Vec<(usize, f64, f64, f64)>,
@@ -405,7 +405,7 @@ pub fn fig13() -> Fig13Result {
 // Fig. 14: exception delivery overhead, user vs kernel
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14Row {
     pub machine: String,
     pub user_delivery_cycles: u64,
@@ -451,7 +451,7 @@ pub fn fig14() -> Vec<Fig14Row> {
 // Fig. 3 / §3.2: the four approaches + trap-and-patch proof of concept
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ApproachRow {
     pub approach: String,
     pub cycles: u64,
@@ -543,7 +543,7 @@ pub fn approaches() -> Vec<ApproachRow> {
     rows
 }
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TrapPatchPoc {
     pub trap_dispatch_cycles: u64,
     pub patch_check_pass_cycles: u64,
@@ -583,7 +583,7 @@ pub fn trap_and_patch_poc() -> TrapPatchPoc {
 // §6: prospects — overhead under the proposed kernel/hardware changes
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ProspectRow {
     pub variant: String,
     pub avg_trap_cycles: f64,
@@ -655,7 +655,7 @@ pub fn prospects() -> Vec<ProspectRow> {
 // Static analysis summary (§4.2)
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AnalysisRow {
     pub workload: String,
     pub instructions: usize,
@@ -747,7 +747,7 @@ pub fn validate(size: Size) -> bool {
 // Posit effects (§5.4 companion)
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PositRow {
     pub system: String,
     pub final_x: f64,
@@ -799,3 +799,90 @@ pub fn posit_effects() -> Vec<PositRow> {
     println!();
     rows
 }
+
+// ---------------------------------------------------------------------------
+// JSON archival encodings
+// ---------------------------------------------------------------------------
+
+json_struct!(Fig9Row {
+    workload,
+    traps,
+    avg_cycles_per_trap,
+    hardware,
+    kernel,
+    user_delivery,
+    decode,
+    bind,
+    emulate,
+    gc,
+    correctness_dispatch,
+    correctness_handler,
+});
+json_struct!(Fig10Row {
+    workload,
+    passes,
+    alive_avg,
+    freed_total,
+    latency_us_avg,
+    collected_fraction,
+});
+json_struct!(Fig11Row {
+    log2_prec,
+    prec_bits,
+    add_cycles,
+    sub_cycles,
+    mul_cycles,
+    div_cycles,
+});
+json_struct!(Fig12Row {
+    benchmark,
+    config,
+    slowdown,
+});
+json_struct!(Fig13Result {
+    vanilla_identical,
+    samples,
+    final_ieee,
+    final_mpfr,
+    divergence_norm,
+});
+json_struct!(Fig14Row {
+    machine,
+    user_delivery_cycles,
+    kernel_delivery_cycles,
+    ratio,
+    pipeline_interrupt_cycles,
+});
+json_struct!(ApproachRow {
+    approach,
+    cycles,
+    fp_traps,
+    patch_fast,
+    patch_slow,
+    output_identical,
+});
+json_struct!(TrapPatchPoc {
+    trap_dispatch_cycles,
+    patch_check_pass_cycles,
+    patch_slow_path_cycles,
+});
+json_struct!(ProspectRow {
+    variant,
+    avg_trap_cycles,
+    lorenz_slowdown,
+});
+json_struct!(AnalysisRow {
+    workload,
+    instructions,
+    functions,
+    loads_total,
+    loads_proven_safe,
+    sinks_patched,
+    correctness_traps_taken,
+    demote_rate,
+});
+json_struct!(PositRow {
+    system,
+    final_x,
+    delta_vs_ieee,
+});

@@ -1,0 +1,167 @@
+//! Minimal JSON emission for archived experiment records.
+//!
+//! The harness archives each experiment's rows under `target/experiments/`.
+//! The build environment is offline (no crates.io), so instead of serde the
+//! records implement the tiny [`ToJson`] trait below; the `json_struct!`
+//! macro derives the obvious field-by-field object encoding.
+
+/// Types that can render themselves as a JSON value.
+pub trait ToJson {
+    /// Append this value's JSON representation to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Render as a standalone JSON string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )+};
+}
+int_to_json!(u8, u16, u32, u64, usize, i32, i64);
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{:?}` is shortest-roundtrip, matching what serde_json emits.
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null"); // JSON has no NaN/Infinity
+        }
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        out.push('"');
+        for ch in self.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        self.as_str().write_json(out);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+macro_rules! tuple_to_json {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: ToJson),+> ToJson for ($($t,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut parts: Vec<String> = Vec::new();
+                $(parts.push(self.$n.to_json());)+
+                out.push_str(&parts.join(","));
+                out.push(']');
+            }
+        }
+    )+};
+}
+tuple_to_json!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+/// Implement [`ToJson`] for a struct, field by field.
+macro_rules! json_struct {
+    ($t:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                let mut parts: Vec<String> = Vec::new();
+                $(parts.push(format!(
+                    "{:?}:{}",
+                    stringify!($field),
+                    $crate::json::ToJson::to_json(&self.$field)
+                ));)+
+                out.push('{');
+                out.push_str(&parts.join(","));
+                out.push('}');
+            }
+        }
+    };
+}
+pub(crate) use json_struct;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Row {
+        name: String,
+        n: u64,
+        x: f64,
+        ok: bool,
+    }
+    json_struct!(Row { name, n, x, ok });
+
+    #[test]
+    fn scalars_and_escapes() {
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(42u64.to_json(), "42");
+        assert_eq!((-3i64).to_json(), "-3");
+        assert_eq!(0.5f64.to_json(), "0.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!("a\"b\\c\n".to_json(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn containers_and_structs() {
+        assert_eq!(vec![1u64, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(("hi".to_string(), 1.5f64).to_json(), "[\"hi\",1.5]");
+        let r = Row {
+            name: "w".into(),
+            n: 7,
+            x: 2.0,
+            ok: false,
+        };
+        assert_eq!(r.to_json(), "{\"name\":\"w\",\"n\":7,\"x\":2.0,\"ok\":false}");
+    }
+}

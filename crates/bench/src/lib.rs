@@ -8,7 +8,9 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
 pub mod loc;
+pub mod microbench;
 
 use fpvm_analysis::analyze_and_patch;
 use fpvm_arith::ArithSystem;

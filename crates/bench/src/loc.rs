@@ -1,10 +1,10 @@
 //! §5.5 "software engineering complexity": lines-of-code inventory.
 
-use serde::Serialize;
+use crate::json::json_struct;
 use std::path::Path;
 
 /// LoC for one component.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LocRow {
     /// Component (crate) name.
     pub component: String,
@@ -13,6 +13,12 @@ pub struct LocRow {
     /// Non-blank lines of Rust.
     pub lines: usize,
 }
+
+json_struct!(LocRow {
+    component,
+    role,
+    lines,
+});
 
 fn count_dir(dir: &Path) -> usize {
     let mut total = 0;

@@ -1,0 +1,53 @@
+//! A tiny `Instant`-based micro-benchmark harness.
+//!
+//! The offline build environment has no criterion, so the `benches/`
+//! targets (all `harness = false`) drive their scenarios through this
+//! module instead: auto-calibrated iteration counts, best-of-three
+//! samples, one printed line per scenario.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Target per-sample duration for calibration.
+const SAMPLE_NS: u64 = 20_000_000;
+
+/// Measure the mean latency of `f` and print a `name … ns/iter` line.
+///
+/// Runs `f` once to calibrate an iteration count targeting ~20 ms per
+/// sample, then takes three samples and reports the best (least-noisy)
+/// mean, in nanoseconds per iteration.
+pub fn bench_ns<T>(name: &str, mut f: impl FnMut() -> T) -> f64 {
+    let t = Instant::now();
+    black_box(f());
+    let once = (t.elapsed().as_nanos() as u64).max(1);
+    let iters = (SAMPLE_NS / once).clamp(1, 1_000_000) as u32;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per = t.elapsed().as_nanos() as f64 / f64::from(iters);
+        best = best.min(per);
+    }
+    println!("{name:<52} {best:>14.1} ns/iter");
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ns_returns_positive_finite() {
+        let ns = bench_ns("selftest/noop_sum", || {
+            let mut s = 0u64;
+            for i in 0..64u64 {
+                s = s.wrapping_add(i);
+            }
+            s
+        });
+        assert!(ns.is_finite() && ns > 0.0);
+    }
+}

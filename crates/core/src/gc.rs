@@ -14,8 +14,8 @@
 //! in a GPR after a `movq` leak).
 //!
 //! An optional **parallel mark** phase splits the memory scan across
-//! crossbeam scoped threads (an extension over the paper's collector; the
-//! ablation bench compares the two).
+//! scoped threads (an extension over the paper's collector; the ablation
+//! bench compares the two).
 
 use crate::stats::GcRecord;
 use fpvm_arith::ShadowArena;
@@ -75,11 +75,11 @@ pub fn collect<V>(
                 }
             }
         }
-        let results: Vec<Vec<ShadowKey>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<Vec<ShadowKey>> = std::thread::scope(|scope| {
             let handles: Vec<_> = slices
                 .iter()
                 .map(|s| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut v = Vec::new();
                         scan_range(s, &mut v);
                         v
@@ -87,8 +87,7 @@ pub fn collect<V>(
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("gc scan threads");
+        });
         for v in results {
             candidates.extend(v);
         }

@@ -1,83 +1,110 @@
-//! Property tests for the machine substrate: encoder/decoder round-trips
-//! over random instruction streams, executor determinism, and MXCSR
-//! trap/mask semantics under random FP inputs.
+//! Randomized tests for the machine substrate: encoder/decoder
+//! round-trips over random instruction streams, executor determinism, and
+//! MXCSR trap/mask semantics under random FP inputs. Driven by a
+//! deterministic SplitMix64 generator (the build environment has no
+//! proptest).
 
 use fpvm_machine::*;
-use proptest::prelude::*;
 
-fn gpr() -> impl Strategy<Value = Gpr> {
-    (0u8..16).prop_map(Gpr)
-}
-fn xmm() -> impl Strategy<Value = Xmm> {
-    (0u8..16).prop_map(Xmm)
-}
-fn mem() -> impl Strategy<Value = Mem> {
-    (
-        proptest::option::of(gpr()),
-        proptest::option::of(gpr()),
-        prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
-        -100_000i64..100_000,
-    )
-        .prop_map(|(base, index, scale, disp)| Mem {
-            base,
-            index,
-            scale,
-            disp,
-        })
-}
-fn xm() -> impl Strategy<Value = XM> {
-    prop_oneof![xmm().prop_map(XM::Reg), mem().prop_map(XM::Mem)]
-}
-fn rm() -> impl Strategy<Value = RM> {
-    prop_oneof![gpr().prop_map(RM::Reg), mem().prop_map(RM::Mem)]
-}
-fn width() -> impl Strategy<Value = Width> {
-    prop_oneof![
-        Just(Width::W8),
-        Just(Width::W16),
-        Just(Width::W32),
-        Just(Width::W64)
-    ]
+/// SplitMix64: tiny, deterministic, well-distributed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    fn gpr(&mut self) -> Gpr {
+        Gpr(self.below(16) as u8)
+    }
+
+    fn xmm(&mut self) -> Xmm {
+        Xmm(self.below(16) as u8)
+    }
+
+    fn mem(&mut self) -> Mem {
+        Mem {
+            base: if self.below(2) == 0 { Some(self.gpr()) } else { None },
+            index: if self.below(2) == 0 { Some(self.gpr()) } else { None },
+            scale: [1u8, 2, 4, 8][self.below(4) as usize],
+            disp: self.below(200_001) as i64 - 100_000,
+        }
+    }
+
+    fn xm(&mut self) -> XM {
+        if self.below(2) == 0 {
+            XM::Reg(self.xmm())
+        } else {
+            XM::Mem(self.mem())
+        }
+    }
+
+    fn rm(&mut self) -> RM {
+        if self.below(2) == 0 {
+            RM::Reg(self.gpr())
+        } else {
+            RM::Mem(self.mem())
+        }
+    }
+
+    fn width(&mut self) -> Width {
+        [Width::W8, Width::W16, Width::W32, Width::W64][self.below(4) as usize]
+    }
+
+    fn inst(&mut self) -> Inst {
+        match self.below(25) {
+            0 => Inst::MovSd { dst: self.xm(), src: self.xm() },
+            1 => Inst::MovApd { dst: self.xm(), src: self.xm() },
+            2 => Inst::AddSd { dst: self.xmm(), src: self.xm() },
+            3 => Inst::SubSd { dst: self.xmm(), src: self.xm() },
+            4 => Inst::MulSd { dst: self.xmm(), src: self.xm() },
+            5 => Inst::DivSd { dst: self.xmm(), src: self.xm() },
+            6 => Inst::SqrtSd { dst: self.xmm(), src: self.xm() },
+            7 => Inst::AddPd { dst: self.xmm(), src: self.xm() },
+            8 => Inst::UComISd { a: self.xmm(), b: self.xm() },
+            9 => Inst::CvtSi2Sd { dst: self.xmm(), src: self.rm(), w: self.width() },
+            10 => Inst::CvtTSd2Si { dst: self.gpr(), src: self.xm(), w: self.width() },
+            11 => Inst::XorPd { dst: self.xmm(), src: self.xm() },
+            12 => Inst::MovQXG { dst: self.gpr(), src: self.xmm() },
+            13 => Inst::MovRR { dst: self.gpr(), src: self.gpr() },
+            14 => Inst::MovRI { dst: self.gpr(), imm: self.next() as i64 },
+            15 => Inst::Load { dst: self.gpr(), addr: self.mem(), w: self.width() },
+            16 => Inst::Store { addr: self.mem(), src: self.gpr(), w: self.width() },
+            17 => Inst::Lea { dst: self.gpr(), addr: self.mem() },
+            18 => Inst::Jmp { rel: self.next() as i32 },
+            19 => Inst::Call { rel: self.next() as i32 },
+            20 => Inst::Ret,
+            21 => Inst::Halt,
+            22 => Inst::Nop,
+            23 => Inst::Push { src: self.gpr() },
+            _ => Inst::Trap {
+                kind: TrapKind::Correctness,
+                id: self.next() as u16,
+            },
+        }
+    }
 }
 
-fn inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (xm(), xm()).prop_map(|(dst, src)| Inst::MovSd { dst, src }),
-        (xm(), xm()).prop_map(|(dst, src)| Inst::MovApd { dst, src }),
-        (xmm(), xm()).prop_map(|(dst, src)| Inst::AddSd { dst, src }),
-        (xmm(), xm()).prop_map(|(dst, src)| Inst::SubSd { dst, src }),
-        (xmm(), xm()).prop_map(|(dst, src)| Inst::MulSd { dst, src }),
-        (xmm(), xm()).prop_map(|(dst, src)| Inst::DivSd { dst, src }),
-        (xmm(), xm()).prop_map(|(dst, src)| Inst::SqrtSd { dst, src }),
-        (xmm(), xm()).prop_map(|(dst, src)| Inst::AddPd { dst, src }),
-        (xmm(), xm()).prop_map(|(a, b)| Inst::UComISd { a, b }),
-        (xmm(), rm(), width()).prop_map(|(dst, src, w)| Inst::CvtSi2Sd { dst, src, w }),
-        (gpr(), xm(), width()).prop_map(|(dst, src, w)| Inst::CvtTSd2Si { dst, src, w }),
-        (xmm(), xm()).prop_map(|(dst, src)| Inst::XorPd { dst, src }),
-        (gpr(), xmm()).prop_map(|(dst, src)| Inst::MovQXG { dst, src }),
-        (gpr(), gpr()).prop_map(|(dst, src)| Inst::MovRR { dst, src }),
-        (gpr(), any::<i64>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
-        (gpr(), mem(), width()).prop_map(|(dst, addr, w)| Inst::Load { dst, addr, w }),
-        (mem(), gpr(), width()).prop_map(|(addr, src, w)| Inst::Store { addr, src, w }),
-        (gpr(), mem()).prop_map(|(dst, addr)| Inst::Lea { dst, addr }),
-        any::<i32>().prop_map(|rel| Inst::Jmp { rel }),
-        any::<i32>().prop_map(|rel| Inst::Call { rel }),
-        Just(Inst::Ret),
-        Just(Inst::Halt),
-        Just(Inst::Nop),
-        (gpr()).prop_map(|src| Inst::Push { src }),
-        any::<u16>().prop_map(|id| Inst::Trap {
-            kind: TrapKind::Correctness,
-            id
-        }),
-    ]
-}
-
-proptest! {
-    /// Every instruction round-trips through the byte encoding, alone and
-    /// in a concatenated stream.
-    #[test]
-    fn encode_decode_roundtrip(insts in proptest::collection::vec(inst(), 1..40)) {
+/// Every instruction round-trips through the byte encoding, alone and
+/// in a concatenated stream.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = Rng(0xA01);
+    for _ in 0..256 {
+        let n = 1 + rng.below(39) as usize;
+        let insts: Vec<Inst> = (0..n).map(|_| rng.inst()).collect();
         let mut buf = Vec::new();
         let mut offsets = Vec::new();
         for i in &insts {
@@ -86,18 +113,22 @@ proptest! {
         }
         let mut pos = 0;
         for (k, i) in insts.iter().enumerate() {
-            prop_assert_eq!(pos, offsets[k]);
+            assert_eq!(pos, offsets[k]);
             let (d, len) = decode(&buf, pos).expect("decode");
-            prop_assert_eq!(&d, i);
+            assert_eq!(&d, i);
             pos += len;
         }
-        prop_assert_eq!(pos, buf.len());
+        assert_eq!(pos, buf.len());
     }
+}
 
-    /// The executor is deterministic: two runs of the same program produce
-    /// identical final state.
-    #[test]
-    fn executor_deterministic(vals in proptest::collection::vec(-1e6..1e6f64, 4)) {
+/// The executor is deterministic: two runs of the same program produce
+/// identical final state.
+#[test]
+fn executor_deterministic() {
+    let mut rng = Rng(0xA02);
+    for _ in 0..64 {
+        let vals: Vec<f64> = (0..4).map(|_| rng.range_f64(-1e6, 1e6)).collect();
         let mut a = Asm::new();
         let mut mems = Vec::new();
         for v in &vals {
@@ -117,15 +148,20 @@ proptest! {
             let ev = m.run(1000);
             (ev, m.xmm[0][0], m.cycles, m.icount)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    /// MXCSR contract: with everything masked, FP programs never fault and
-    /// results equal host arithmetic; with everything unmasked, a fault
-    /// occurs iff the op is inexact/special, and the faulting instruction
-    /// does not retire.
-    #[test]
-    fn mxcsr_contract(a in -1e10..1e10f64, b in -1e10..1e10f64) {
+/// MXCSR contract: with everything masked, FP programs never fault and
+/// results equal host arithmetic; with everything unmasked, a fault
+/// occurs iff the op is inexact/special, and the faulting instruction
+/// does not retire.
+#[test]
+fn mxcsr_contract() {
+    let mut rng = Rng(0xA03);
+    for _ in 0..256 {
+        let a = rng.range_f64(-1e10, 1e10);
+        let b = rng.range_f64(-1e10, 1e10);
         let mut asmb = Asm::new();
         let ca = asmb.f64m(a);
         let cb = asmb.f64m(b);
@@ -138,8 +174,8 @@ proptest! {
         m.load_program(&p);
         m.hook_ext = false;
         m.mxcsr.mask_all();
-        prop_assert_eq!(m.run(100), Event::Halted);
-        prop_assert_eq!(f64::from_bits(m.xmm[0][0]).to_bits(), (a * b).to_bits());
+        assert_eq!(m.run(100), Event::Halted);
+        assert_eq!(f64::from_bits(m.xmm[0][0]).to_bits(), (a * b).to_bits());
         // Unmasked run.
         let mut m2 = Machine::new(CostModel::r815());
         m2.load_program(&p);
@@ -147,25 +183,23 @@ proptest! {
         m2.mxcsr.unmask_all();
         let (_, exact_flags) = fpvm_arith::softfp::mul(a, b);
         match m2.run(100) {
-            Event::Halted => prop_assert!(
-                exact_flags.is_empty(),
-                "halted but op had flags {exact_flags}"
-            ),
-            Event::FpException { rip, flags } => {
-                prop_assert!(!exact_flags.is_empty());
-                prop_assert_eq!(flags, exact_flags);
-                // Not retired: xmm0 still holds a.
-                prop_assert_eq!(m2.xmm[0][0], a.to_bits());
-                // rip points at the mulsd.
-                let (inst, _) = fpvm_machine::decode(
-                    m2.mem.code_bytes(),
-                    (rip - CODE_BASE) as usize,
-                )
-                .unwrap();
-                let is_mul = matches!(inst, Inst::MulSd { .. });
-                prop_assert!(is_mul, "rip did not point at mulsd");
+            Event::Halted => {
+                assert!(exact_flags.is_empty(), "halted but op had flags {exact_flags}")
             }
-            other => prop_assert!(false, "unexpected event {:?}", other),
+            Event::FpException { rip, flags } => {
+                assert!(!exact_flags.is_empty());
+                assert_eq!(flags, exact_flags);
+                // Not retired: xmm0 still holds a.
+                assert_eq!(m2.xmm[0][0], a.to_bits());
+                // rip points at the mulsd.
+                let (inst, _) =
+                    fpvm_machine::decode(m2.mem.code_bytes(), (rip - CODE_BASE) as usize).unwrap();
+                assert!(
+                    matches!(inst, Inst::MulSd { .. }),
+                    "rip did not point at mulsd"
+                );
+            }
+            other => panic!("unexpected event {other:?}"),
         }
     }
 }

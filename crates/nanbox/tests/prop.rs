@@ -1,71 +1,113 @@
-//! Property tests for NaN-box encoding (FPVM §2 / Fig. 2 invariants).
+//! Randomized tests for NaN-box encoding (FPVM §2 / Fig. 2 invariants),
+//! driven by a deterministic SplitMix64 generator (the build environment
+//! has no proptest).
 
 use fpvm_nanbox::*;
-use proptest::prelude::*;
 
-proptest! {
-    /// Every valid key round-trips through encode/decode.
-    #[test]
-    fn roundtrip(raw in 1u64..=MAX_KEY) {
-        let k = ShadowKey::new(raw).unwrap();
-        prop_assert_eq!(decode(encode(k)), Some(k));
-        prop_assert_eq!(decode_f64(encode_f64(k)), Some(k));
+/// SplitMix64: tiny, deterministic, well-distributed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    /// Every encoded box is a NaN according to the host hardware.
-    #[test]
-    fn boxed_is_host_nan(raw in 1u64..=MAX_KEY) {
-        let k = ShadowKey::new(raw).unwrap();
-        prop_assert!(encode_f64(k).is_nan());
+    fn key(&mut self) -> u64 {
+        1 + self.next() % MAX_KEY
     }
+}
 
-    /// No finite or infinite double ever decodes as a box (no collisions
-    /// between the program's real values and FPVM's shadowed values).
-    #[test]
-    fn no_collision_with_reals(bits in any::<u64>()) {
+const CASES: usize = 4096;
+
+/// Every valid key round-trips through encode/decode.
+#[test]
+fn roundtrip() {
+    let mut rng = Rng(1);
+    for raw in (1..=MAX_KEY).take(1000).chain((0..CASES).map(|_| rng.key())) {
+        let k = ShadowKey::new(raw).unwrap();
+        assert_eq!(decode(encode(k)), Some(k));
+        assert_eq!(decode_f64(encode_f64(k)), Some(k));
+    }
+    let k = ShadowKey::new(MAX_KEY).unwrap();
+    assert_eq!(decode(encode(k)), Some(k));
+}
+
+/// Every encoded box is a NaN according to the host hardware.
+#[test]
+fn boxed_is_host_nan() {
+    let mut rng = Rng(2);
+    for _ in 0..CASES {
+        let k = ShadowKey::new(rng.key()).unwrap();
+        assert!(encode_f64(k).is_nan());
+    }
+}
+
+/// No finite or infinite double ever decodes as a box (no collisions
+/// between the program's real values and FPVM's shadowed values).
+#[test]
+fn no_collision_with_reals() {
+    let mut rng = Rng(3);
+    for _ in 0..CASES {
+        let bits = rng.next();
         let x = f64::from_bits(bits);
         if !x.is_nan() {
-            prop_assert_eq!(decode(bits), None);
+            assert_eq!(decode(bits), None, "bits {bits:#018x}");
         }
     }
+}
 
-    /// Quiet NaNs (quiet bit set) never decode as boxes.
-    #[test]
-    fn quiet_nans_not_owned(payload in 0u64..=F64_PAYLOAD_MASK, sign in any::<bool>()) {
-        let bits = F64_EXP_MASK | F64_QUIET_BIT | payload
-            | if sign { F64_SIGN_BIT } else { 0 };
-        prop_assert_eq!(decode(bits), None);
-        prop_assert_eq!(classify(bits), FpClass::QuietNan);
+/// Quiet NaNs (quiet bit set) never decode as boxes.
+#[test]
+fn quiet_nans_not_owned() {
+    let mut rng = Rng(4);
+    for _ in 0..CASES {
+        let payload = rng.next() & F64_PAYLOAD_MASK;
+        let sign = if rng.next() & 1 == 1 { F64_SIGN_BIT } else { 0 };
+        let bits = F64_EXP_MASK | F64_QUIET_BIT | payload | sign;
+        assert_eq!(decode(bits), None);
+        assert_eq!(classify(bits), FpClass::QuietNan);
     }
+}
 
-    /// classify() partitions the full 2^64 space with no panics, and Boxed
-    /// appears exactly when decode() succeeds.
-    #[test]
-    fn classify_consistent(bits in any::<u64>()) {
+/// classify() partitions the full 2^64 space with no panics, and Boxed
+/// appears exactly when decode() succeeds.
+#[test]
+fn classify_consistent() {
+    let mut rng = Rng(5);
+    for _ in 0..CASES {
+        let bits = rng.next();
         let c = classify(bits);
         match c {
-            FpClass::Boxed(k) => prop_assert_eq!(decode(bits), Some(k)),
-            _ => prop_assert_eq!(decode(bits), None),
+            FpClass::Boxed(k) => assert_eq!(decode(bits), Some(k)),
+            _ => assert_eq!(decode(bits), None),
         }
         // Class agrees with host predicates.
         let x = f64::from_bits(bits);
         match c {
-            FpClass::Zero => prop_assert!(x == 0.0),
-            FpClass::Subnormal => prop_assert!(x.is_subnormal()),
-            FpClass::Normal => prop_assert!(x.is_normal()),
-            FpClass::Infinite => prop_assert!(x.is_infinite()),
-            FpClass::QuietNan | FpClass::Boxed(_) => prop_assert!(x.is_nan()),
+            FpClass::Zero => assert!(x == 0.0),
+            FpClass::Subnormal => assert!(x.is_subnormal()),
+            FpClass::Normal => assert!(x.is_normal()),
+            FpClass::Infinite => assert!(x.is_infinite()),
+            FpClass::QuietNan | FpClass::Boxed(_) => assert!(x.is_nan()),
         }
     }
+}
 
-    /// Host arithmetic quiets any signaling NaN: a box that flows through an
-    /// untrapped arithmetic instruction is lost. (This is the hardware
-    /// behavior the whole trap-and-emulate design leans on.)
-    #[test]
-    fn arithmetic_quiets(raw in 1u64..=MAX_KEY, y in any::<f64>()) {
-        let x = encode_f64(ShadowKey::new(raw).unwrap());
+/// Host arithmetic quiets any signaling NaN: a box that flows through an
+/// untrapped arithmetic instruction is lost. (This is the hardware
+/// behavior the whole trap-and-emulate design leans on.)
+#[test]
+fn arithmetic_quiets() {
+    let mut rng = Rng(6);
+    for _ in 0..CASES {
+        let x = encode_f64(ShadowKey::new(rng.key()).unwrap());
+        let y = f64::from_bits(rng.next());
         let sum = x + y;
-        prop_assert!(sum.is_nan());
-        prop_assert_eq!(decode_f64(sum), None);
+        assert!(sum.is_nan());
+        assert_eq!(decode_f64(sum), None);
     }
 }

@@ -1,4 +1,4 @@
-//! Property test for the whole pipeline: for *random programs* — including
+//! Randomized test for the whole pipeline: for *random programs* — including
 //! the bit-punning idioms the static analysis exists to catch — the full
 //! hybrid FPVM with Vanilla arithmetic must be bit-identical to native
 //! execution, and the compiler-based build must agree too.
@@ -24,11 +24,32 @@ use fpvm::arith::Vanilla;
 use fpvm::ir::{compile, CompileMode, CmpOp, FBinOp, GlobalInit, IBinOp, MathFn, Module, Ty};
 use fpvm::machine::{CostModel, Event, Machine, OutputEvent};
 use fpvm::runtime::{ExitReason, Fpvm, FpvmConfig};
-use proptest::prelude::*;
 
 const NF: usize = 6; // f64 variables
 const NI: usize = 4; // i64 variables
 const ARR: usize = 8; // global f64 array length
+
+/// SplitMix64: tiny, deterministic, well-distributed (the build
+/// environment has no proptest, so generation is seeded and fixed).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 /// One random statement operating on the variable pools.
 #[derive(Debug, Clone)]
@@ -49,36 +70,55 @@ enum Stmt {
     PrintI(u8),
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        4 => (0u8..6, 0u8..NF as u8, 0u8..NF as u8, 0u8..NF as u8)
-            .prop_map(|(op, d, a, b)| Stmt::FBin(op, d, a, b)),
-        2 => (0u8..3, 0u8..NF as u8, 0u8..NF as u8).prop_map(|(op, d, a)| Stmt::FUn(op, d, a)),
-        1 => (0u8..5, 0u8..NF as u8, 0u8..NF as u8).prop_map(|(f, d, a)| Stmt::Math(f, d, a)),
-        3 => (0u8..8, 0u8..NI as u8, 0u8..NI as u8, 0u8..NI as u8)
-            .prop_map(|(op, d, a, b)| Stmt::IBin(op, d, a, b)),
-        1 => (0u8..NF as u8, 0u8..NI as u8).prop_map(|(d, s)| Stmt::IToF(d, s)),
-        1 => (0u8..NI as u8, 0u8..NF as u8).prop_map(|(d, s)| Stmt::FToI(d, s)),
-        1 => (0u8..NI as u8, 0u8..NF as u8).prop_map(|(d, s)| Stmt::BitcastFI(d, s)),
-        1 => (0u8..NF as u8, 0u8..NI as u8).prop_map(|(d, s)| Stmt::BitcastIF(d, s)),
-        2 => (0u8..ARR as u8, 0u8..NF as u8).prop_map(|(i, s)| Stmt::StoreArr(i, s)),
-        2 => (0u8..NF as u8, 0u8..ARR as u8).prop_map(|(d, i)| Stmt::LoadArr(d, i)),
-        1 => (0u8..NI as u8, 0u8..ARR as u8).prop_map(|(d, i)| Stmt::LoadArrAsInt(d, i)),
-        1 => (0u8..6, 0u8..NI as u8, 0u8..NF as u8, 0u8..NF as u8)
-            .prop_map(|(p, d, a, b)| Stmt::FCmpToI(p, d, a, b)),
-        1 => (0u8..NF as u8).prop_map(Stmt::PrintF),
-        1 => (0u8..NI as u8).prop_map(Stmt::PrintI),
-    ]
+/// One weighted-random statement (same weights the proptest strategy used).
+fn random_stmt(rng: &mut Rng) -> Stmt {
+    let nf = NF as u64;
+    let ni = NI as u64;
+    let arr = ARR as u64;
+    match rng.below(22) {
+        0..=3 => Stmt::FBin(
+            rng.below(6) as u8,
+            rng.below(nf) as u8,
+            rng.below(nf) as u8,
+            rng.below(nf) as u8,
+        ),
+        4..=5 => Stmt::FUn(rng.below(3) as u8, rng.below(nf) as u8, rng.below(nf) as u8),
+        6 => Stmt::Math(rng.below(5) as u8, rng.below(nf) as u8, rng.below(nf) as u8),
+        7..=9 => Stmt::IBin(
+            rng.below(8) as u8,
+            rng.below(ni) as u8,
+            rng.below(ni) as u8,
+            rng.below(ni) as u8,
+        ),
+        10 => Stmt::IToF(rng.below(nf) as u8, rng.below(ni) as u8),
+        11 => Stmt::FToI(rng.below(ni) as u8, rng.below(nf) as u8),
+        12 => Stmt::BitcastFI(rng.below(ni) as u8, rng.below(nf) as u8),
+        13 => Stmt::BitcastIF(rng.below(nf) as u8, rng.below(ni) as u8),
+        14..=15 => Stmt::StoreArr(rng.below(arr) as u8, rng.below(nf) as u8),
+        16..=17 => Stmt::LoadArr(rng.below(nf) as u8, rng.below(arr) as u8),
+        18 => Stmt::LoadArrAsInt(rng.below(ni) as u8, rng.below(arr) as u8),
+        19 => Stmt::FCmpToI(
+            rng.below(6) as u8,
+            rng.below(ni) as u8,
+            rng.below(nf) as u8,
+            rng.below(nf) as u8,
+        ),
+        20 => Stmt::PrintF(rng.below(nf) as u8),
+        _ => Stmt::PrintI(rng.below(ni) as u8),
+    }
 }
 
-fn finite_f64() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        -100.0..100.0f64,
-        (-30i32..30, -1.0..1.0f64).prop_map(|(e, m)| m * 2f64.powi(e)),
-        Just(0.0),
-        Just(1.0),
-        Just(0.1),
-    ]
+fn finite_f64(rng: &mut Rng) -> f64 {
+    match rng.below(5) {
+        0 => -100.0 + 200.0 * rng.unit(),
+        1 => {
+            let e = rng.below(60) as i32 - 30;
+            (-1.0 + 2.0 * rng.unit()) * 2f64.powi(e)
+        }
+        2 => 0.0,
+        3 => 1.0,
+        _ => 0.1,
+    }
 }
 
 /// Build an IR module from a statement list, executed in a 3-iteration
@@ -269,20 +309,21 @@ fn run_native(prog: &fpvm::machine::Program) -> Vec<OutputEvent> {
     m.output
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        ..ProptestConfig::default()
-    })]
+/// One random program: initial values + a weighted statement list.
+fn random_case(rng: &mut Rng, max_stmts: u64) -> (Vec<f64>, Vec<i64>, Vec<Stmt>) {
+    let finits: Vec<f64> = (0..NF).map(|_| finite_f64(rng)).collect();
+    let iinits: Vec<i64> = (0..NI).map(|_| rng.below(2000) as i64 - 1000).collect();
+    let n = 1 + rng.below(max_stmts - 1) as usize;
+    let stmts: Vec<Stmt> = (0..n).map(|_| random_stmt(rng)).collect();
+    (finits, iinits, stmts)
+}
 
-    /// Hybrid pipeline soundness on random programs.
-    #[test]
-    fn hybrid_vanilla_bit_identical_on_random_programs(
-        finits in proptest::collection::vec(finite_f64(), NF),
-        iinits in proptest::collection::vec(-1000i64..1000, NI),
-        stmts in proptest::collection::vec(stmt_strategy(), 1..40),
-    ) {
+/// Hybrid pipeline soundness on random programs.
+#[test]
+fn hybrid_vanilla_bit_identical_on_random_programs() {
+    let mut rng = Rng(0xF1);
+    for case in 0..48 {
+        let (finits, iinits, stmts) = random_case(&mut rng, 40);
         let module = build_module(&finits, &iinits, &stmts);
         let compiled = compile(&module, CompileMode::Native);
         let native = run_native(&compiled.program);
@@ -290,21 +331,29 @@ proptest! {
         let patched = analyze_and_patch(&compiled.program);
         let mut m = Machine::new(CostModel::r815());
         m.load_program(&patched.program);
-        let mut rt = Fpvm::new(Vanilla, FpvmConfig { gc_epoch: 10_000, ..FpvmConfig::default() });
+        let mut rt = Fpvm::new(
+            Vanilla,
+            FpvmConfig {
+                gc_epoch: 10_000,
+                ..FpvmConfig::default()
+            },
+        );
         rt.set_side_table(patched.side_table);
         let report = rt.run(&mut m);
-        prop_assert_eq!(report.exit, ExitReason::Halted);
-        prop_assert_eq!(&m.output, &native,
-            "hybrid FPVM(Vanilla) diverged from native");
+        assert_eq!(report.exit, ExitReason::Halted, "case {case}: {stmts:?}");
+        assert_eq!(
+            &m.output, &native,
+            "case {case}: hybrid FPVM(Vanilla) diverged from native\n{stmts:?}"
+        );
     }
+}
 
-    /// Compiler-based build agrees with native on random programs.
-    #[test]
-    fn compiler_mode_bit_identical_on_random_programs(
-        finits in proptest::collection::vec(finite_f64(), NF),
-        iinits in proptest::collection::vec(-1000i64..1000, NI),
-        stmts in proptest::collection::vec(stmt_strategy(), 1..25),
-    ) {
+/// Compiler-based build agrees with native on random programs.
+#[test]
+fn compiler_mode_bit_identical_on_random_programs() {
+    let mut rng = Rng(0xF2);
+    for case in 0..48 {
+        let (finits, iinits, stmts) = random_case(&mut rng, 25);
         let module = build_module(&finits, &iinits, &stmts);
         let native = run_native(&compile(&module, CompileMode::Native).program);
 
@@ -314,9 +363,15 @@ proptest! {
         let mut rt = Fpvm::new(Vanilla, FpvmConfig::default());
         rt.preload_patch_sites(instr.patch_sites.clone());
         let report = rt.run(&mut m);
-        prop_assert_eq!(report.exit, ExitReason::Halted);
-        prop_assert_eq!(report.stats.fp_traps, 0, "compiler mode needs no hw traps");
-        prop_assert_eq!(&m.output, &native, "compiler-based FPVM diverged");
+        assert_eq!(report.exit, ExitReason::Halted, "case {case}: {stmts:?}");
+        assert_eq!(
+            report.stats.fp_traps, 0,
+            "case {case}: compiler mode needs no hw traps"
+        );
+        assert_eq!(
+            &m.output, &native,
+            "case {case}: compiler-based FPVM diverged\n{stmts:?}"
+        );
     }
 }
 
