@@ -13,8 +13,8 @@
 //! was designed that way; see fpvm-machine::encode).
 
 use crate::vsa::{analyze, Analysis, Sink};
-use fpvm_machine::{encode, Inst, Program, TrapKind, CODE_BASE};
 use fpvm_core::SideTableEntry;
+use fpvm_machine::{encode, Inst, Program, TrapKind, CODE_BASE};
 use std::collections::BTreeSet;
 
 /// Result of analyzing + patching a program.
@@ -52,8 +52,7 @@ pub fn apply_patches(p: &Program, sinks: &[Sink]) -> (Program, Vec<SideTableEntr
         if id > u16::MAX as usize {
             break; // side table full; remaining sinks stay unpatched
         }
-        let inside = (sink.addr + 1..sink.addr + u64::from(sink.len))
-            .any(|a| targets.contains(&a));
+        let inside = (sink.addr + 1..sink.addr + u64::from(sink.len)).any(|a| targets.contains(&a));
         if inside {
             continue;
         }

@@ -33,9 +33,7 @@
 //! interposes them directly (§4.1).
 
 use crate::cfg::{Block, Cfg, Site};
-use fpvm_machine::{
-    AluOp, ExtFn, Gpr, Inst, Mem, Program, DATA_BASE, HEAP_BASE, XM,
-};
+use fpvm_machine::{AluOp, ExtFn, Gpr, Inst, Mem, Program, DATA_BASE, HEAP_BASE, XM};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The data-segment object table (allocation sites).
@@ -120,9 +118,7 @@ impl AVal {
     /// Result of adding an unknown offset (array indexing).
     fn add_unknown(self, objs: &ObjMap) -> AVal {
         match self {
-            AVal::Global(a) => objs
-                .resolve(a)
-                .map_or(AVal::GlobalAny, AVal::GlobalObj),
+            AVal::Global(a) => objs.resolve(a).map_or(AVal::GlobalAny, AVal::GlobalObj),
             AVal::GlobalObj(k) => AVal::GlobalObj(k),
             AVal::GlobalAny => AVal::GlobalAny,
             AVal::Heap => AVal::Heap,
@@ -527,25 +523,28 @@ fn transfer(
     use Inst::*;
     let inst = &site.inst;
     // Helper: record a store's effect on frame-slot tracking.
-    let store_slot =
-        |s: &mut RegState, loc: ALoc, val: AVal, taint: bool| match loc {
-            ALoc::StackOff(o) => {
-                s.slots.insert(o & !7, (val, taint));
-            }
-            ALoc::StackAny | ALoc::Any => {
-                // Unknown store may have clobbered any slot.
-                s.slots.clear();
-            }
-            _ => {}
-        };
+    let store_slot = |s: &mut RegState, loc: ALoc, val: AVal, taint: bool| match loc {
+        ALoc::StackOff(o) => {
+            s.slots.insert(o & !7, (val, taint));
+        }
+        ALoc::StackAny | ALoc::Any => {
+            // Unknown store may have clobbered any slot.
+            s.slots.clear();
+        }
+        _ => {}
+    };
     match inst {
         // ---- FP stores: sources -------------------------------------------
-        MovSd { dst: XM::Mem(m), .. } => {
+        MovSd {
+            dst: XM::Mem(m), ..
+        } => {
             let loc = classify_addr(s, m, objs);
             mem.mark(loc, ctx);
             store_slot(s, loc, AVal::Top, true);
         }
-        MovApd { dst: XM::Mem(m), .. } => {
+        MovApd {
+            dst: XM::Mem(m), ..
+        } => {
             let loc = classify_addr(s, m, objs);
             mem.mark(loc, ctx);
             let loc2 = match loc {
@@ -611,8 +610,7 @@ fn transfer(
             }
             // A stack pointer escaping to non-stack memory breaks frame
             // locality; flag the whole frame.
-            if matches!(s.vals[src.0 as usize], AVal::Stack(_))
-                && !matches!(loc, ALoc::StackOff(_))
+            if matches!(s.vals[src.0 as usize], AVal::Stack(_)) && !matches!(loc, ALoc::StackOff(_))
             {
                 ctx.stack_any = true;
             }
@@ -690,10 +688,7 @@ fn transfer(
             let (val, taint) = match s.vals[rsp] {
                 AVal::Stack(o) => match s.slots.get(&(o & !7)) {
                     Some(&(v, t)) => (v, t),
-                    None => (
-                        AVal::Top,
-                        mem.maybe_fp(ALoc::StackOff(o), ctx, objs),
-                    ),
+                    None => (AVal::Top, mem.maybe_fp(ALoc::StackOff(o), ctx, objs)),
                 },
                 _ => (AVal::Top, true),
             };
@@ -804,9 +799,7 @@ mod tests {
         let p = a.finish();
         let an = analyze(&p);
         assert!(
-            an.sinks
-                .iter()
-                .any(|s| s.reason == SinkReason::IntLoadOfFp),
+            an.sinks.iter().any(|s| s.reason == SinkReason::IntLoadOfFp),
             "heap load after heap FP store must be a sink: {:?}",
             an.sinks
         );

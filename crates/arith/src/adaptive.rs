@@ -90,7 +90,13 @@ impl AdaptiveCtx {
 
     /// Wrap a result: combine propagated error with the rounding error of
     /// this operation (inexact at `prec` adds a representation-level term).
-    fn wrap(&self, value: BigFloat, prec: u32, propagated: Option<i64>, flags: FpFlags) -> AdaptiveValue {
+    fn wrap(
+        &self,
+        value: BigFloat,
+        prec: u32,
+        propagated: Option<i64>,
+        flags: FpFlags,
+    ) -> AdaptiveValue {
         let rounding = if flags.contains(FpFlags::INEXACT) {
             Some(Self::rep_err(&value, prec))
         } else {
@@ -179,7 +185,8 @@ impl ArithSystem for AdaptiveCtx {
         if x == 0 {
             return (self.exact(BigFloat::zero(false, 53)), FpFlags::NONE);
         }
-        let (v, _) = BigFloat::from_int(x < 0, 0, &[x.unsigned_abs()], false, 64, Round::NearestEven);
+        let (v, _) =
+            BigFloat::from_int(x < 0, 0, &[x.unsigned_abs()], false, 64, Round::NearestEven);
         (self.exact(v), FpFlags::NONE)
     }
     fn to_i32(&self, v: &AdaptiveValue) -> (i32, FpFlags) {
@@ -199,7 +206,14 @@ impl ArithSystem for AdaptiveCtx {
                 } else {
                     mag as i64
                 };
-                (val, if inexact { FpFlags::INEXACT } else { FpFlags::NONE })
+                (
+                    val,
+                    if inexact {
+                        FpFlags::INEXACT
+                    } else {
+                        FpFlags::NONE
+                    },
+                )
             }
         }
     }
@@ -346,8 +360,7 @@ impl ArithSystem for AdaptiveCtx {
     fn render(&self, v: &AdaptiveValue) -> String {
         match v.significant_bits() {
             None => {
-                let digits =
-                    (f64::from(self.target) * std::f64::consts::LOG10_2).ceil() as usize;
+                let digits = (f64::from(self.target) * std::f64::consts::LOG10_2).ceil() as usize;
                 v.value.to_decimal(digits.max(17))
             }
             Some(bits) => {

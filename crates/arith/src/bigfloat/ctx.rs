@@ -119,8 +119,7 @@ impl ArithSystem for BigFloatCtx {
         if x == 0 {
             return (BigFloat::zero(false, self.prec), FpFlags::NONE);
         }
-        let (v, inexact) =
-            BigFloat::from_int(false, 0, &[x], false, self.prec, Round::NearestEven);
+        let (v, inexact) = BigFloat::from_int(false, 0, &[x], false, self.prec, Round::NearestEven);
         (
             v,
             if inexact {
@@ -308,7 +307,9 @@ mod tests {
     #[test]
     fn render_full_precision() {
         let ctx = BigFloatCtx::new(200);
-        let third = ctx.div(&ctx.from_f64(1.0), &ctx.from_f64(3.0), Round::NearestEven).0;
+        let third = ctx
+            .div(&ctx.from_f64(1.0), &ctx.from_f64(3.0), Round::NearestEven)
+            .0;
         let s = ctx.render(&third);
         assert!(s.starts_with("3.3333333333333333333333333"), "{s}");
     }

@@ -468,7 +468,11 @@ impl BigFloat {
             });
         }
         if b_zero {
-            return Some(if a_neg { Ordering::Less } else { Ordering::Greater });
+            return Some(if a_neg {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            });
         }
         match (a_neg, b_neg) {
             (true, false) => return Some(Ordering::Less),
@@ -500,7 +504,7 @@ impl BigFloat {
         let shift10 = digits as i64 - 1 - exp10;
         let mut num = self.mant.clone();
         let mut bin_exp = self.exp - i64::from(self.prec); // unit exponent
-        // Multiply by 10^shift10 (or divide).
+                                                           // Multiply by 10^shift10 (or divide).
         let (p10, neg10) = (shift10.unsigned_abs(), shift10 < 0);
         let ten = pow10_limbs(p10);
         if !neg10 {
@@ -786,10 +790,10 @@ pub fn add(a: &BigFloat, b: &BigFloat, prec: u32, rm: Round) -> (BigFloat, FpFla
     }
     let same_sign = x.sign == y.sign;
     let ex = x.exp - i64::from(x.prec); // unit exponent of x's mantissa
-    // Working window: target precision + one guard limb + headroom, aligned
-    // to x's MSB — and always wide enough to hold ALL of x (whose own
-    // precision may exceed the target, e.g. when re-rounding downward), so
-    // no x bits are silently dropped without reaching the sticky path.
+                                        // Working window: target precision + one guard limb + headroom, aligned
+                                        // to x's MSB — and always wide enough to hold ALL of x (whose own
+                                        // precision may exceed the target, e.g. when re-rounding downward), so
+                                        // no x bits are silently dropped without reaching the sticky path.
     let wl = (prec.max(x.prec) as usize).div_ceil(64) + 2;
     let wbits = wl as u64 * 64;
     // Place x's MSB at bit (wbits - 2): one headroom bit at the top.
@@ -857,14 +861,9 @@ pub fn sub(a: &BigFloat, b: &BigFloat, prec: u32, rm: Round) -> (BigFloat, FpFla
 /// Re-round an existing value to a (possibly smaller) precision.
 pub fn round_to(a: &BigFloat, prec: u32, rm: Round) -> (BigFloat, bool) {
     match a.kind {
-        Kind::Finite => BigFloat::from_int(
-            a.sign,
-            a.exp - i64::from(a.prec),
-            &a.mant,
-            false,
-            prec,
-            rm,
-        ),
+        Kind::Finite => {
+            BigFloat::from_int(a.sign, a.exp - i64::from(a.prec), &a.mant, false, prec, rm)
+        }
         _ => {
             let mut r = a.clone();
             r.prec = prec;
@@ -1192,7 +1191,12 @@ mod tests {
     #[test]
     fn cancellation_is_exact() {
         // Sterbenz: nearby values subtract exactly.
-        let (r, f) = sub(&bf(1.0, 53), &bf(0.9999999999999999, 53), 53, Round::NearestEven);
+        let (r, f) = sub(
+            &bf(1.0, 53),
+            &bf(0.9999999999999999, 53),
+            53,
+            Round::NearestEven,
+        );
         let expect = 1.0 - 0.9999999999999999;
         assert_eq!(to_f(&r), expect);
         assert!(f.is_empty());
@@ -1229,10 +1233,7 @@ mod tests {
             .1
             .contains(FpFlags::INVALID));
         // Cross-precision comparison.
-        assert_eq!(
-            cmp_quiet(&bf(1.5, 200), &bf(1.5, 53)).0,
-            CmpResult::Equal
-        );
+        assert_eq!(cmp_quiet(&bf(1.5, 200), &bf(1.5, 53)).0, CmpResult::Equal);
     }
 
     #[test]

@@ -194,9 +194,15 @@ pub fn exp(a: &BigFloat, prec: u32, rm: Round) -> (BigFloat, FpFlags) {
     // count that cannot fit the exponent anyway).
     if a.exp() > 62 {
         return if a.sign() {
-            (BigFloat::zero(false, prec), FpFlags::UNDERFLOW | FpFlags::INEXACT)
+            (
+                BigFloat::zero(false, prec),
+                FpFlags::UNDERFLOW | FpFlags::INEXACT,
+            )
         } else {
-            (BigFloat::inf(false, prec), FpFlags::OVERFLOW | FpFlags::INEXACT)
+            (
+                BigFloat::inf(false, prec),
+                FpFlags::OVERFLOW | FpFlags::INEXACT,
+            )
         };
     }
     const HALVINGS: u32 = 10;
@@ -777,25 +783,55 @@ mod tests {
     #[test]
     fn trig_matches_host() {
         for x in [0.1, 0.5, 1.0, -1.0, 3.0, 10.0, -25.5, 100.0] {
-            close(&sin(&bf(x), 120, Round::NearestEven).0, x.sin(), &format!("sin({x})"));
-            close(&cos(&bf(x), 120, Round::NearestEven).0, x.cos(), &format!("cos({x})"));
-            close(&tan(&bf(x), 120, Round::NearestEven).0, x.tan(), &format!("tan({x})"));
+            close(
+                &sin(&bf(x), 120, Round::NearestEven).0,
+                x.sin(),
+                &format!("sin({x})"),
+            );
+            close(
+                &cos(&bf(x), 120, Round::NearestEven).0,
+                x.cos(),
+                &format!("cos({x})"),
+            );
+            close(
+                &tan(&bf(x), 120, Round::NearestEven).0,
+                x.tan(),
+                &format!("tan({x})"),
+            );
         }
     }
 
     #[test]
     fn inverse_trig_matches_host() {
         for x in [0.0f64, 0.1, 0.5, -0.5, 0.99, -0.99, 1.0, -1.0] {
-            close(&asin(&bf(x), 120, Round::NearestEven).0, x.asin(), &format!("asin({x})"));
-            close(&acos(&bf(x), 120, Round::NearestEven).0, x.acos(), &format!("acos({x})"));
+            close(
+                &asin(&bf(x), 120, Round::NearestEven).0,
+                x.asin(),
+                &format!("asin({x})"),
+            );
+            close(
+                &acos(&bf(x), 120, Round::NearestEven).0,
+                x.acos(),
+                &format!("acos({x})"),
+            );
         }
         for x in [0.0f64, 0.3, -2.0, 50.0, -1000.0] {
-            close(&atan(&bf(x), 120, Round::NearestEven).0, x.atan(), &format!("atan({x})"));
+            close(
+                &atan(&bf(x), 120, Round::NearestEven).0,
+                x.atan(),
+                &format!("atan({x})"),
+            );
         }
         assert!(asin(&bf(1.5), 64, Round::NearestEven)
             .1
             .contains(FpFlags::INVALID));
-        for (y, x) in [(1.0, 1.0), (1.0, -1.0), (-1.0, -1.0), (-1.0, 1.0), (2.0, 0.5)] {
+        for (y, x) in [
+            (1.0, 1.0),
+            (1.0, -1.0),
+            (-1.0, -1.0),
+            (-1.0, 1.0),
+            (2.0, 0.5),
+        ] {
             close(
                 &atan2(&bf(y), &bf(x), 120, Round::NearestEven).0,
                 y.atan2(x),
@@ -806,10 +842,26 @@ mod tests {
 
     #[test]
     fn pow_cases() {
-        close(&pow(&bf(2.0), &bf(10.0), 120, Round::NearestEven).0, 1024.0, "2^10");
-        close(&pow(&bf(2.0), &bf(0.5), 120, Round::NearestEven).0, 2f64.sqrt(), "2^0.5");
-        close(&pow(&bf(-2.0), &bf(3.0), 120, Round::NearestEven).0, -8.0, "(-2)^3");
-        close(&pow(&bf(10.0), &bf(-3.0), 120, Round::NearestEven).0, 1e-3, "10^-3");
+        close(
+            &pow(&bf(2.0), &bf(10.0), 120, Round::NearestEven).0,
+            1024.0,
+            "2^10",
+        );
+        close(
+            &pow(&bf(2.0), &bf(0.5), 120, Round::NearestEven).0,
+            2f64.sqrt(),
+            "2^0.5",
+        );
+        close(
+            &pow(&bf(-2.0), &bf(3.0), 120, Round::NearestEven).0,
+            -8.0,
+            "(-2)^3",
+        );
+        close(
+            &pow(&bf(10.0), &bf(-3.0), 120, Round::NearestEven).0,
+            1e-3,
+            "10^-3",
+        );
         assert!(pow(&bf(-2.0), &bf(0.5), 64, Round::NearestEven)
             .1
             .contains(FpFlags::INVALID));

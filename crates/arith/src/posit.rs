@@ -112,10 +112,18 @@ impl<const N: u32, const ES: u32> Posit<N, ES> {
         // Bits consumed: run + 1 terminator (unless the regime filled all
         // N-1 bits).
         let consumed = (run + 1).min(N - 1);
-        let rest = if consumed >= 64 { 0 } else { stream << consumed };
+        let rest = if consumed >= 64 {
+            0
+        } else {
+            stream << consumed
+        };
         // ES exponent bits (may be truncated by the field running out; the
         // missing low bits are zero by the standard).
-        let e = if ES == 0 { 0 } else { (rest >> (64 - ES)) as i32 };
+        let e = if ES == 0 {
+            0
+        } else {
+            (rest >> (64 - ES)) as i32
+        };
         let frac_bits = if ES >= 64 { 0 } else { rest << ES };
         let scale = (r << ES) + e;
         // Hidden bit at 63: 1.frac.
@@ -139,7 +147,11 @@ impl<const N: u32, const ES: u32> Posit<N, ES> {
         let r = scale >> es; // floor division (es may be 0)
         let e = scale - (r << es);
         debug_assert!((0..(1 << ES.max(1))).contains(&(e as u64 as i64 as i32)) || ES == 0);
-        let rlen = if r >= 0 { r as u32 + 2 } else { (-r) as u32 + 1 };
+        let rlen = if r >= 0 {
+            r as u32 + 2
+        } else {
+            (-r) as u32 + 1
+        };
         // Stream bit i (0-based, after the sign bit).
         let stream_bit = |i: u32| -> bool {
             if i < rlen {
@@ -707,8 +719,7 @@ mod tests {
     #[test]
     fn f64_roundtrip_exact_for_small() {
         for x in [
-            0.0, 1.0, -1.0, 2.0, -2.0, 0.5, 1.5, 3.25, -3.25, 100.0, 1e-4,
-            12345.678,
+            0.0, 1.0, -1.0, 2.0, -2.0, 0.5, 1.5, 3.25, -3.25, 100.0, 1e-4, 12345.678,
         ] {
             let p = Posit32::from_f64(x);
             let back = p.to_f64();
@@ -784,10 +795,7 @@ mod tests {
             let b = P::from_f64(w[1]);
             assert_eq!(a.cmp_p(b), CmpResult::Less, "{} < {}", w[0], w[1]);
         }
-        assert_eq!(
-            P::from_f64(5.0).cmp_p(P::from_f64(5.0)),
-            CmpResult::Equal
-        );
+        assert_eq!(P::from_f64(5.0).cmp_p(P::from_f64(5.0)), CmpResult::Equal);
         assert_eq!(P::NAR.cmp_p(P::from_f64(0.0)), CmpResult::Unordered);
     }
 

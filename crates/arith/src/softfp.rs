@@ -705,8 +705,19 @@ mod tests {
         // The value channel must agree with host IEEE arithmetic bit-for-bit
         // on a grid of interesting operands.
         let xs = [
-            0.0, -0.0, 1.0, -1.0, 0.1, 0.5, 3.5, 1e-300, 1e300, f64::MAX,
-            f64::MIN_POSITIVE, f64::INFINITY, f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            0.5,
+            3.5,
+            1e-300,
+            1e300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
         ];
         for &a in &xs {
             for &b in &xs {

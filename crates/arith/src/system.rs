@@ -66,8 +66,13 @@ pub trait ArithSystem: Send + Sync {
     /// Division.
     fn div(&self, a: &Self::Value, b: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
     /// Fused multiply-add `a*b + c`.
-    fn fma(&self, a: &Self::Value, b: &Self::Value, c: &Self::Value, rm: Round)
-        -> (Self::Value, FpFlags);
+    fn fma(
+        &self,
+        a: &Self::Value,
+        b: &Self::Value,
+        c: &Self::Value,
+        rm: Round,
+    ) -> (Self::Value, FpFlags);
     /// Square root.
     fn sqrt(&self, a: &Self::Value, rm: Round) -> (Self::Value, FpFlags);
     /// Minimum with x64 `minsd` operand semantics.

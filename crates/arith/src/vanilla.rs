@@ -75,7 +75,11 @@ impl ArithSystem for Vanilla {
             return (u64::MAX, FpFlags::INVALID);
         }
         let t = a.trunc();
-        let flags = if t != a { FpFlags::INEXACT } else { FpFlags::NONE };
+        let flags = if t != a {
+            FpFlags::INEXACT
+        } else {
+            FpFlags::NONE
+        };
         (t as u64, flags)
     }
 
@@ -152,7 +156,10 @@ impl ArithSystem for Vanilla {
     }
     fn pow(&self, a: &f64, b: &f64, _rm: Round) -> (f64, FpFlags) {
         let r = a.powf(*b);
-        (r, libm_flags(a.is_nan() || b.is_nan(), r, *b == 0.0 || *b == 1.0))
+        (
+            r,
+            libm_flags(a.is_nan() || b.is_nan(), r, *b == 0.0 || *b == 1.0),
+        )
     }
     fn floor(&self, a: &f64) -> (f64, FpFlags) {
         (a.floor(), FpFlags::NONE)

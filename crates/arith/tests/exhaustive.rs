@@ -148,7 +148,12 @@ fn exp_log_inverse() {
         let v = bf(x);
         let (l, _) = bigfloat::log(&v, P, RM);
         let (e, _) = bigfloat::exp(&l, P, RM);
-        close(&e, &v, 280 - v.exp().abs().max(1), &format!("exp(log({x}))"));
+        close(
+            &e,
+            &v,
+            280 - v.exp().abs().max(1),
+            &format!("exp(log({x}))"),
+        );
     }
 }
 

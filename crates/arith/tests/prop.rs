@@ -79,8 +79,14 @@ fn softfp_exactness_verified_by_bigfloat() {
         let (a, b) = (rng.finite(), rng.finite());
         let big = |x: f64| BigFloat::from_f64(x, 400, rm).0;
         for (op, host) in [
-            (bigfloat::add(&big(a), &big(b), 400, rm).0, softfp::add(a, b)),
-            (bigfloat::mul(&big(a), &big(b), 400, rm).0, softfp::mul(a, b)),
+            (
+                bigfloat::add(&big(a), &big(b), 400, rm).0,
+                softfp::add(a, b),
+            ),
+            (
+                bigfloat::mul(&big(a), &big(b), 400, rm).0,
+                softfp::mul(a, b),
+            ),
         ] {
             let (value, flags) = host;
             let exact_in_400 = op.to_f64(rm).0;

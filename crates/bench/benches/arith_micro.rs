@@ -12,7 +12,9 @@ fn main() {
         let v = Vanilla;
         let mut x = 0.1f64;
         for _ in 0..16 {
-            x = v.div(&v.mul(&v.add(&x, &0.7, rm).0, &1.3, rm).0, &1.1, rm).0;
+            x = v
+                .div(&v.mul(&v.add(&x, &0.7, rm).0, &1.3, rm).0, &1.1, rm)
+                .0;
         }
         x
     });
@@ -45,7 +47,9 @@ fn main() {
     bench_ns("arith/transcendental/bigfloat200/sin", || big.sin(&x, rm).0);
     bench_ns("arith/transcendental/bigfloat200/exp", || big.exp(&x, rm).0);
     bench_ns("arith/transcendental/bigfloat200/log", || big.log(&x, rm).0);
-    bench_ns("arith/transcendental/bigfloat200/asin", || big.asin(&x, rm).0);
+    bench_ns("arith/transcendental/bigfloat200/asin", || {
+        big.asin(&x, rm).0
+    });
 
     println!("== arith: nanbox ==");
     let key = fpvm_nanbox::ShadowKey::new(0xABCDE).unwrap();

@@ -12,11 +12,21 @@ fn operand(prec: u32, seed: u64) -> BigFloat {
     let mut limbs = vec![0u64; (prec as usize).div_ceil(64)];
     let mut s = seed;
     for l in limbs.iter_mut() {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *l = s | 1;
     }
     *limbs.last_mut().unwrap() |= 1 << 63;
-    BigFloat::from_int(false, -(prec as i64), &limbs, false, prec, Round::NearestEven).0
+    BigFloat::from_int(
+        false,
+        -(prec as i64),
+        &limbs,
+        false,
+        prec,
+        Round::NearestEven,
+    )
+    .0
 }
 
 fn main() {
@@ -26,10 +36,18 @@ fn main() {
         let prec = 1u32 << lg;
         let a = operand(prec, 1);
         let b = operand(prec, 2);
-        bench_ns(&format!("fig11/add/{prec}"), || bigfloat::add(&a, &b, prec, rm).0);
-        bench_ns(&format!("fig11/mul/{prec}"), || bigfloat::mul(&a, &b, prec, rm).0);
-        bench_ns(&format!("fig11/div/{prec}"), || bigfloat::div(&a, &b, prec, rm).0);
-        bench_ns(&format!("fig11/sqrt/{prec}"), || bigfloat::sqrt(&a, prec, rm).0);
+        bench_ns(&format!("fig11/add/{prec}"), || {
+            bigfloat::add(&a, &b, prec, rm).0
+        });
+        bench_ns(&format!("fig11/mul/{prec}"), || {
+            bigfloat::mul(&a, &b, prec, rm).0
+        });
+        bench_ns(&format!("fig11/div/{prec}"), || {
+            bigfloat::div(&a, &b, prec, rm).0
+        });
+        bench_ns(&format!("fig11/sqrt/{prec}"), || {
+            bigfloat::sqrt(&a, prec, rm).0
+        });
     }
     // DESIGN.md ablation: the Karatsuba layer vs pure schoolbook.
     println!("== fig11: karatsuba ablation ==");
@@ -41,7 +59,9 @@ fn main() {
         };
         let a: Vec<u64> = (0..nlimbs).map(|_| next()).collect();
         let b: Vec<u64> = (0..nlimbs).map(|_| next()).collect();
-        bench_ns(&format!("fig11/karatsuba/auto/{nlimbs}"), || limb::mul(&a, &b));
+        bench_ns(&format!("fig11/karatsuba/auto/{nlimbs}"), || {
+            limb::mul(&a, &b)
+        });
         bench_ns(&format!("fig11/karatsuba/schoolbook/{nlimbs}"), || {
             limb::mul_basecase(&a, &b)
         });

@@ -25,17 +25,35 @@ fn archive<T: ToJson>(name: &str, data: &T) {
 }
 
 const EXPERIMENTS: &[(&str, &str)] = &[
-    ("validate", "§5.2 validation: FPVM(Vanilla) bit-identical to native"),
+    (
+        "validate",
+        "§5.2 validation: FPVM(Vanilla) bit-identical to native",
+    ),
     ("fig9", "Fig. 9: per-trap virtualization cost breakdown"),
     ("fig10", "Fig. 10: garbage collector statistics"),
-    ("fig11", "Fig. 11: BigFloat op cost vs precision + crossovers"),
-    ("fig12", "Fig. 12: benchmark slowdowns on three machine profiles"),
-    ("fig13", "Fig. 13: Lorenz IEEE vs Vanilla vs BigFloat divergence"),
+    (
+        "fig11",
+        "Fig. 11: BigFloat op cost vs precision + crossovers",
+    ),
+    (
+        "fig12",
+        "Fig. 12: benchmark slowdowns on three machine profiles",
+    ),
+    (
+        "fig13",
+        "Fig. 13: Lorenz IEEE vs Vanilla vs BigFloat divergence",
+    ),
     ("fig14", "Fig. 14: user vs kernel trap delivery overhead"),
-    ("approaches", "Fig. 3 (measured): the four virtualization approaches"),
+    (
+        "approaches",
+        "Fig. 3 (measured): the four virtualization approaches",
+    ),
     ("tpatch", "§3.2: trap-and-patch proof-of-concept costs"),
     ("analysis", "§4.2: static analysis sink/demotion profile"),
-    ("prospects", "§6: overhead under proposed kernel/hardware support"),
+    (
+        "prospects",
+        "§6: overhead under proposed kernel/hardware support",
+    ),
     ("posits", "§5.4 companion: three-body under posits"),
     ("loc", "§5.5: lines-of-code inventory"),
 ];
@@ -50,12 +68,7 @@ fn main() {
         match a.as_str() {
             "--exp" => exp_name = it.next().cloned().unwrap_or_default(),
             "--tiny" => size = Size::Tiny,
-            "--max-log2" => {
-                max_log2 = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(14)
-            }
+            "--max-log2" => max_log2 = it.next().and_then(|s| s.parse().ok()).unwrap_or(14),
             "--list" => {
                 for (name, desc) in EXPERIMENTS {
                     println!("{name:<12} {desc}");

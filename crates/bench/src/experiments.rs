@@ -6,12 +6,12 @@
 //! measured; absolute trap-delivery constants come from the calibrated
 //! cost model (see EXPERIMENTS.md for the measured-vs-modeled split).
 
+use crate::json::json_struct;
 use crate::{commas, run_hybrid, run_native, slowdown_str};
 use fpvm_arith::{bigfloat, BigFloat, BigFloatCtx, PositCtx, Round, Vanilla};
-use fpvm_core::{Fpvm, FpvmConfig};
+use fpvm_core::{Component, Fpvm, FpvmConfig};
 use fpvm_ir::{compile, CompileMode};
 use fpvm_machine::{CostModel, DeliveryMode, Machine, OutputEvent};
-use crate::json::json_struct;
 use fpvm_workloads::{all_workloads, breakdown_workloads, lorenz, Size};
 use std::time::Instant;
 
@@ -45,8 +45,18 @@ pub fn fig9(size: Size) -> Vec<Fig9Row> {
     println!("== Fig. 9: avg cost of virtualizing an FP instruction (R815, bigfloat-200) ==");
     println!(
         "{:<18} {:>9} {:>10} | {:>8} {:>8} {:>8} {:>7} {:>6} {:>8} {:>6} {:>9} {:>9}",
-        "benchmark", "traps", "cyc/trap", "hw", "kernel", "user", "decode", "bind", "emulate",
-        "gc", "corr.disp", "corr.hand"
+        "benchmark",
+        "traps",
+        "cyc/trap",
+        "hw",
+        "kernel",
+        "user",
+        "decode",
+        "bind",
+        "emulate",
+        "gc",
+        "corr.disp",
+        "corr.hand"
     );
     let mut rows = Vec::new();
     for w in breakdown_workloads(size) {
@@ -58,21 +68,22 @@ pub fn fig9(size: Size) -> Vec<Fig9Row> {
         );
         let s = &report.stats;
         let t = s.fp_traps.max(1) as f64;
-        let c = &s.cycles;
+        // Read the breakdown through the accounting sink's component view;
+        // correctness costs amortized over FP traps, as in the figure.
+        let per = |comp: Component| s.cycles.get(comp) as f64 / t;
         let row = Fig9Row {
             workload: w.name.to_string(),
             traps: s.fp_traps,
             avg_cycles_per_trap: s.avg_trap_cost(),
-            hardware: c.hardware as f64 / t,
-            kernel: c.kernel as f64 / t,
-            user_delivery: c.user_delivery as f64 / t,
-            decode: c.decode as f64 / t,
-            bind: c.bind as f64 / t,
-            emulate: c.emulate as f64 / t,
-            gc: c.gc as f64 / t,
-            // Correctness costs amortized over FP traps, as in the figure.
-            correctness_dispatch: c.correctness_dispatch as f64 / t,
-            correctness_handler: c.correctness_handler as f64 / t,
+            hardware: per(Component::Hardware),
+            kernel: per(Component::Kernel),
+            user_delivery: per(Component::UserDelivery),
+            decode: per(Component::Decode),
+            bind: per(Component::Bind),
+            emulate: per(Component::Emulate),
+            gc: per(Component::Gc),
+            correctness_dispatch: per(Component::CorrectnessDispatch),
+            correctness_handler: per(Component::CorrectnessHandler),
         };
         println!(
             "{:<18} {:>9} {:>10.0} | {:>8.0} {:>8.0} {:>8.0} {:>7.0} {:>6.0} {:>8.0} {:>6.0} {:>9.1} {:>9.1}",
@@ -122,12 +133,7 @@ pub fn fig10(size: Size) -> Vec<Fig10Row> {
             gc_epoch: 150_000,
             ..FpvmConfig::default()
         };
-        let (report, _, _) = run_hybrid(
-            &w,
-            BigFloatCtx::new(PAPER_PREC),
-            CostModel::r815(),
-            cfg,
-        );
+        let (report, _, _) = run_hybrid(&w, BigFloatCtx::new(PAPER_PREC), CostModel::r815(), cfg);
         let recs = &report.stats.gc_records;
         if recs.is_empty() {
             println!(
@@ -184,21 +190,27 @@ pub struct Fig11Row {
     pub div_cycles: f64,
 }
 
-fn bench_op(
-    prec: u32,
-    reps: u32,
-    op: impl Fn(&BigFloat, &BigFloat, u32) -> BigFloat,
-) -> f64 {
+fn bench_op(prec: u32, reps: u32, op: impl Fn(&BigFloat, &BigFloat, u32) -> BigFloat) -> f64 {
     // Operands with full-width mantissas (worst case, like MPFR benchmarks).
     let mk = |seed: u64| -> BigFloat {
         let mut limbs = vec![0u64; (prec as usize).div_ceil(64)];
         let mut s = seed;
         for l in limbs.iter_mut() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *l = s | 1;
         }
         *limbs.last_mut().unwrap() |= 1 << 63;
-        BigFloat::from_int(false, -(prec as i64), &limbs, false, prec, Round::NearestEven).0
+        BigFloat::from_int(
+            false,
+            -(prec as i64),
+            &limbs,
+            false,
+            prec,
+            Round::NearestEven,
+        )
+        .0
     };
     let a = mk(1);
     let b = mk(2);
@@ -355,12 +367,7 @@ pub fn fig13() -> Fig13Result {
     println!("== Fig. 13: Lorenz system, IEEE vs FPVM(Vanilla) vs FPVM(bigfloat-200) ==");
     let w = lorenz::workload(Size::S);
     let native = run_native(&w, CostModel::r815());
-    let (_, van, _) = run_hybrid(
-        &w,
-        Vanilla,
-        CostModel::r815(),
-        FpvmConfig::default(),
-    );
+    let (_, van, _) = run_hybrid(&w, Vanilla, CostModel::r815(), FpvmConfig::default());
     let (_, mpfr, _) = run_hybrid(
         &w,
         BigFloatCtx::new(PAPER_PREC),
@@ -386,8 +393,8 @@ pub fn fig13() -> Fig13Result {
     }
     let fi = *ti.last().unwrap();
     let fm = *tm.last().unwrap();
-    let divergence_norm = ((fi.0 - fm.0).powi(2) + (fi.1 - fm.1).powi(2) + (fi.2 - fm.2).powi(2))
-        .sqrt();
+    let divergence_norm =
+        ((fi.0 - fm.0).powi(2) + (fi.1 - fm.1).powi(2) + (fi.2 - fm.2).powi(2)).sqrt();
     println!(
         "final IEEE   = ({:.6}, {:.6}, {:.6})\nfinal bigfloat = ({:.6}, {:.6}, {:.6})\n|divergence| = {:.4}  (paper: trajectories and final state differ)\n",
         fi.0, fi.1, fi.2, fm.0, fm.1, fm.2, divergence_norm
@@ -443,7 +450,9 @@ pub fn fig14() -> Vec<Fig14Row> {
         );
         rows.push(row);
     }
-    println!("(paper: kernel-level delivery is 7-30x cheaper; §6.2 projects ~10-cycle user→user)\n");
+    println!(
+        "(paper: kernel-level delivery is 7-30x cheaper; §6.2 projects ~10-cycle user→user)\n"
+    );
     rows
 }
 
@@ -601,8 +610,16 @@ pub fn prospects() -> Vec<ProspectRow> {
     let mut rows = Vec::new();
     for (name, mode, corr_call) in [
         ("prototype (user signals)", DeliveryMode::UserSignal, false),
-        ("kernel-module FPVM (§6.1)", DeliveryMode::KernelModule, true),
-        ("pipeline interrupt (§6.2)", DeliveryMode::PipelineInterrupt, true),
+        (
+            "kernel-module FPVM (§6.1)",
+            DeliveryMode::KernelModule,
+            true,
+        ),
+        (
+            "pipeline interrupt (§6.2)",
+            DeliveryMode::PipelineInterrupt,
+            true,
+        ),
     ] {
         let cfg = FpvmConfig {
             delivery: mode,
@@ -679,12 +696,7 @@ pub fn analysis_table(size: Size) -> Vec<AnalysisRow> {
     for w in all_workloads(size) {
         let c = compile(&w.module, CompileMode::Native);
         let patched = fpvm_analysis::analyze_and_patch(&c.program);
-        let (report, _, stats) = run_hybrid(
-            &w,
-            Vanilla,
-            CostModel::r815(),
-            FpvmConfig::default(),
-        );
+        let (report, _, stats) = run_hybrid(&w, Vanilla, CostModel::r815(), FpvmConfig::default());
         let s = &report.stats;
         let demote_rate = if s.correctness_traps > 0 {
             s.correctness_demotions as f64 / s.correctness_traps as f64
@@ -770,19 +782,25 @@ pub fn posit_effects() -> Vec<PositRow> {
         final_x: ieee,
         delta_vs_ieee: 0.0,
     }];
-    let (_, p32, _) = run_hybrid(&w, PositCtx::<32, 2>, CostModel::r815(), FpvmConfig::default());
-    let (_, p64, _) = run_hybrid(&w, PositCtx::<64, 3>, CostModel::r815(), FpvmConfig::default());
+    let (_, p32, _) = run_hybrid(
+        &w,
+        PositCtx::<32, 2>,
+        CostModel::r815(),
+        FpvmConfig::default(),
+    );
+    let (_, p64, _) = run_hybrid(
+        &w,
+        PositCtx::<64, 3>,
+        CostModel::r815(),
+        FpvmConfig::default(),
+    );
     let (_, big, _) = run_hybrid(
         &w,
         BigFloatCtx::new(PAPER_PREC),
         CostModel::r815(),
         FpvmConfig::default(),
     );
-    for (name, out) in [
-        ("posit32", &p32),
-        ("posit64", &p64),
-        ("bigfloat200", &big),
-    ] {
+    for (name, out) in [("posit32", &p32), ("posit64", &p64), ("bigfloat200", &big)] {
         let x = last_f(out);
         rows.push(PositRow {
             system: name.to_string(),

@@ -96,8 +96,7 @@ macro_rules! tuple_to_json {
         impl<$($t: ToJson),+> ToJson for ($($t,)+) {
             fn write_json(&self, out: &mut String) {
                 out.push('[');
-                let mut parts: Vec<String> = Vec::new();
-                $(parts.push(self.$n.to_json());)+
+                let parts: Vec<String> = vec![$(self.$n.to_json()),+];
                 out.push_str(&parts.join(","));
                 out.push(']');
             }
@@ -162,6 +161,9 @@ mod tests {
             x: 2.0,
             ok: false,
         };
-        assert_eq!(r.to_json(), "{\"name\":\"w\",\"n\":7,\"x\":2.0,\"ok\":false}");
+        assert_eq!(
+            r.to_json(),
+            "{\"name\":\"w\",\"n\":7,\"x\":2.0,\"ok\":false}"
+        );
     }
 }

@@ -43,9 +43,15 @@ fn count_dir(dir: &Path) -> usize {
 pub fn loc_table(repo_root: &Path) -> Vec<LocRow> {
     println!("== §5.5 software engineering complexity (non-blank Rust lines) ==");
     let components: [(&str, &str); 9] = [
-        ("crates/core", "trap-and-emulate runtime + GC + trap-and-patch"),
+        (
+            "crates/core",
+            "trap-and-emulate runtime + GC + trap-and-patch",
+        ),
         ("crates/analysis", "static analysis (VSA) + binary patcher"),
-        ("crates/arith", "arithmetic systems (vanilla/bigfloat/posit) + softfp"),
+        (
+            "crates/arith",
+            "arithmetic systems (vanilla/bigfloat/posit) + softfp",
+        ),
         ("crates/machine", "x64-FP machine substrate"),
         ("crates/ir", "IR + compiler (incl. compiler-based FPVM)"),
         ("crates/nanbox", "NaN-boxing"),

@@ -1,0 +1,193 @@
+//! Pins the deterministic half of the Fig. 9 trap-cost breakdown for two
+//! reference workloads against constants captured from the pre-refactor
+//! monolithic runtime. Every value asserted here is deterministic: trap
+//! counters, cost-model-derived cycle components, guest outputs (as an
+//! FNV-1a hash), and retired instruction counts. The measured components
+//! (emulate/gc wall time) are intentionally excluded.
+//!
+//! If the staged engine ever drifts from the monolith's accounting, these
+//! tests name the exact component that moved.
+
+use fpvm_arith::BigFloatCtx;
+use fpvm_bench::run_hybrid;
+use fpvm_core::{Component, FpvmConfig, Stats};
+use fpvm_machine::{CostModel, OutputEvent};
+use fpvm_workloads::{fbench, lorenz, Size};
+
+/// FNV-1a over the guest's output events, little-endian per event.
+fn fnv(out: &[OutputEvent]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for ev in out {
+        let bits = match ev {
+            OutputEvent::F64(b) => *b,
+            OutputEvent::I64(v) => *v as u64,
+        };
+        for byte in bits.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Deterministic fingerprint of one hybrid run.
+#[derive(Debug, PartialEq, Eq)]
+struct Baseline {
+    fp_traps: u64,
+    emulated: u64,
+    emulated_lanes: u64,
+    decode_hits: u64,
+    decode_misses: u64,
+    promotions: u64,
+    boxes_created: u64,
+    demotions: u64,
+    hardware: u64,
+    kernel: u64,
+    user_delivery: u64,
+    decode: u64,
+    bind: u64,
+    outputs: usize,
+    output_fnv: u64,
+    icount: u64,
+}
+
+fn run(w: &fpvm_workloads::Workload) -> (Stats, Baseline) {
+    let (report, out, _) = run_hybrid(
+        w,
+        BigFloatCtx::new(200),
+        CostModel::r815(),
+        FpvmConfig::default(),
+    );
+    let s = report.stats.clone();
+    let c = &s.cycles;
+    let b = Baseline {
+        fp_traps: s.fp_traps,
+        emulated: s.emulated,
+        emulated_lanes: s.emulated_lanes,
+        decode_hits: s.decode_hits,
+        decode_misses: s.decode_misses,
+        promotions: s.promotions,
+        boxes_created: s.boxes_created,
+        demotions: s.demotions,
+        hardware: c.get(Component::Hardware),
+        kernel: c.get(Component::Kernel),
+        user_delivery: c.get(Component::UserDelivery),
+        decode: c.get(Component::Decode),
+        bind: c.get(Component::Bind),
+        outputs: out.len(),
+        output_fnv: fnv(&out),
+        icount: report.icount,
+    };
+    // The default config installs no software traps, so those components
+    // stay zero on every baseline workload.
+    assert_eq!(c.get(Component::CorrectnessDispatch), 0, "{}", w.name);
+    assert_eq!(c.get(Component::Patch), 0, "{}", w.name);
+    (s, b)
+}
+
+#[test]
+fn fbench_tiny_matches_monolith_baseline() {
+    let (_, b) = run(&fbench::workload(Size::Tiny));
+    assert_eq!(
+        b,
+        Baseline {
+            fp_traps: 700,
+            emulated: 700,
+            emulated_lanes: 700,
+            decode_hits: 525,
+            decode_misses: 175,
+            promotions: 342,
+            boxes_created: 1060,
+            demotions: 1,
+            hardware: 700_000,
+            kernel: 175_000,
+            user_delivery: 8_925_000,
+            decode: 461_125,
+            bind: 224_000,
+            outputs: 1,
+            output_fnv: 0xe188_03e4_b7af_78bc,
+            icount: 2922,
+        }
+    );
+}
+
+#[test]
+fn fbench_s_matches_monolith_baseline() {
+    let (s, b) = run(&fbench::workload(Size::S));
+    assert_eq!(
+        b,
+        Baseline {
+            fp_traps: 10_500,
+            emulated: 10_500,
+            emulated_lanes: 10_500,
+            decode_hits: 10_325,
+            decode_misses: 175,
+            promotions: 5_102,
+            boxes_created: 15_900,
+            demotions: 1,
+            hardware: 10_500_000,
+            kernel: 2_625_000,
+            user_delivery: 133_875_000,
+            decode: 902_125,
+            bind: 3_360_000,
+            outputs: 1,
+            output_fnv: 0x95c0_f99d_151c_5835,
+            icount: 43_354,
+        }
+    );
+    // The Fig. 9 derived metrics recompute from the pinned breakdown.
+    assert!((s.decode_hit_rate() - 10_325.0 / 10_500.0).abs() < 1e-12);
+    assert!(s.avg_trap_cost() >= ((b.hardware + b.kernel + b.user_delivery) / b.fp_traps) as f64);
+}
+
+#[test]
+fn lorenz_tiny_matches_monolith_baseline() {
+    let (_, b) = run(&lorenz::workload(Size::Tiny));
+    assert_eq!(
+        b,
+        Baseline {
+            fp_traps: 2_793,
+            emulated: 2_793,
+            emulated_lanes: 2_793,
+            decode_hits: 2_779,
+            decode_misses: 14,
+            promotions: 1_204,
+            boxes_created: 2_793,
+            demotions: 15,
+            hardware: 2_793_000,
+            kernel: 698_250,
+            user_delivery: 35_610_750,
+            decode: 160_055,
+            bind: 893_760,
+            outputs: 15,
+            output_fnv: 0x6ade_03e4_6b29_f70d,
+            icount: 17_887,
+        }
+    );
+}
+
+#[test]
+fn lorenz_s_matches_monolith_baseline() {
+    let (_, b) = run(&lorenz::workload(Size::S));
+    assert_eq!(
+        b,
+        Baseline {
+            fp_traps: 34_993,
+            emulated: 34_993,
+            emulated_lanes: 34_993,
+            decode_hits: 34_979,
+            decode_misses: 14,
+            promotions: 15_004,
+            boxes_created: 34_993,
+            demotions: 78,
+            hardware: 34_993_000,
+            kernel: 8_748_250,
+            user_delivery: 446_160_750,
+            decode: 1_609_055,
+            bind: 11_197_760,
+            outputs: 78,
+            output_fnv: 0x5c35_bca2_e1ff_7c26,
+            icount: 222_755,
+        }
+    );
+}

@@ -274,10 +274,9 @@ pub fn has_boxed_src(m: &Machine, lane: &BoundLane) -> bool {
     if matches!(lane.op, CvtI32ToF | CvtI64ToF) {
         return false; // integer source
     }
-    lane.srcs.iter().any(|&loc| {
-        !matches!(loc, Loc::None)
-            && read_loc(m, loc).is_ok_and(fpvm_nanbox::is_boxed)
-    })
+    lane.srcs
+        .iter()
+        .any(|&loc| !matches!(loc, Loc::None) && read_loc(m, loc).is_ok_and(fpvm_nanbox::is_boxed))
 }
 
 #[cfg(test)]

@@ -1,0 +1,177 @@
+//! The accounting sink: every cycle the engine charges and every event it
+//! counts flows through [`Accounting`].
+//!
+//! The pre-refactor runtime triple-wrote each charge
+//! (`stats.cycles.X += c; m.charge(c)` at every site); here a charge is one
+//! call naming its [`Component`], so the per-stage breakdown, the machine's
+//! cycle counter, and the measured-time counters can never drift apart.
+
+use crate::stats::{Component, GcRecord, Stats};
+use fpvm_machine::Machine;
+
+/// An event counter in [`Stats`], named so handlers can tally through the
+/// sink instead of reaching into the struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Hardware FP exceptions delivered to FPVM.
+    FpTraps,
+    /// Decode-cache hits.
+    DecodeHits,
+    /// Decode-cache misses (full decodes).
+    DecodeMisses,
+    /// Instructions emulated.
+    Emulated,
+    /// Scalar lanes emulated.
+    EmulatedLanes,
+    /// Unboxed f64 → alternative-system promotions.
+    Promotions,
+    /// Shadow values allocated (boxes created).
+    BoxesCreated,
+    /// Shadow → f64 demotions.
+    Demotions,
+    /// Correctness traps taken.
+    CorrectnessTraps,
+    /// §6.2 hardware NaN-hole traps taken.
+    NanHoleTraps,
+    /// Correctness traps that demoted a boxed operand.
+    CorrectnessDemotions,
+    /// Math-library calls interposed.
+    MathInterposed,
+    /// Output-wrapper invocations.
+    OutputWrapped,
+    /// Patch-site fast-path executions.
+    PatchFast,
+    /// Patch-site slow-path executions.
+    PatchSlow,
+    /// Sites dynamically patched.
+    SitesPatched,
+}
+
+/// The unified per-stage accounting sink. Owns the run's [`Stats`]; the
+/// engine's stages and handlers hold no counters of their own.
+#[derive(Debug, Default)]
+pub struct Accounting {
+    stats: Stats,
+}
+
+impl Accounting {
+    /// A fresh sink with zeroed statistics.
+    pub fn new() -> Self {
+        Accounting::default()
+    }
+
+    /// Read-only view of the accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Snapshot the statistics (for [`crate::engine::RunReport`]).
+    pub fn snapshot(&self) -> Stats {
+        self.stats.clone()
+    }
+
+    /// Increment an event counter.
+    pub fn tally(&mut self, c: Counter) {
+        let slot = match c {
+            Counter::FpTraps => &mut self.stats.fp_traps,
+            Counter::DecodeHits => &mut self.stats.decode_hits,
+            Counter::DecodeMisses => &mut self.stats.decode_misses,
+            Counter::Emulated => &mut self.stats.emulated,
+            Counter::EmulatedLanes => &mut self.stats.emulated_lanes,
+            Counter::Promotions => &mut self.stats.promotions,
+            Counter::BoxesCreated => &mut self.stats.boxes_created,
+            Counter::Demotions => &mut self.stats.demotions,
+            Counter::CorrectnessTraps => &mut self.stats.correctness_traps,
+            Counter::NanHoleTraps => &mut self.stats.nan_hole_traps,
+            Counter::CorrectnessDemotions => &mut self.stats.correctness_demotions,
+            Counter::MathInterposed => &mut self.stats.math_interposed,
+            Counter::OutputWrapped => &mut self.stats.output_wrapped,
+            Counter::PatchFast => &mut self.stats.patch_fast,
+            Counter::PatchSlow => &mut self.stats.patch_slow,
+            Counter::SitesPatched => &mut self.stats.sites_patched,
+        };
+        *slot += 1;
+    }
+
+    /// Charge deterministic model cycles against one component: attributes
+    /// them in the breakdown and charges the machine's cycle counter.
+    pub fn charge(&mut self, m: &mut Machine, component: Component, cycles: u64) {
+        self.stats.cycles.add(component, cycles);
+        m.charge(cycles);
+    }
+
+    /// Charge a *measured* stage: convert host nanoseconds at the profile
+    /// clock, add `extra_cycles` of fixed dispatch cost, and attribute the
+    /// sum. Measured nanoseconds are also recorded for the components that
+    /// track them (emulation, GC). Returns the cycles charged.
+    pub fn charge_measured(
+        &mut self,
+        m: &mut Machine,
+        component: Component,
+        ns: u64,
+        extra_cycles: u64,
+    ) -> u64 {
+        match component {
+            Component::Emulate => self.stats.emulate_ns += ns,
+            Component::Gc => self.stats.gc_ns += ns,
+            _ => {}
+        }
+        let cycles = m.cost.ns_to_cycles(ns) + extra_cycles;
+        self.charge(m, component, cycles);
+        cycles
+    }
+
+    /// Record a completed GC pass (pass count, measured time, Fig. 10
+    /// record). Cycle attribution, when due, is a separate
+    /// [`Accounting::charge`] against [`Component::Gc`].
+    pub fn record_gc(&mut self, rec: GcRecord) {
+        self.stats.gc_passes += 1;
+        self.stats.gc_ns += rec.ns;
+        self.stats.gc_records.push(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm_machine::CostModel;
+
+    #[test]
+    fn charge_updates_breakdown_and_machine_together() {
+        let mut m = Machine::new(CostModel::r815());
+        let mut acct = Accounting::new();
+        acct.charge(&mut m, Component::Decode, 45);
+        acct.charge(&mut m, Component::Decode, 45);
+        acct.charge(&mut m, Component::Bind, 320);
+        assert_eq!(acct.stats().cycles.decode, 90);
+        assert_eq!(acct.stats().cycles.bind, 320);
+        assert_eq!(m.cycles, 410);
+        assert_eq!(acct.stats().cycles.total(), 410);
+    }
+
+    #[test]
+    fn measured_charges_convert_and_track_ns() {
+        let mut m = Machine::new(CostModel::r815());
+        let mut acct = Accounting::new();
+        let cyc = acct.charge_measured(&mut m, Component::Emulate, 1000, 700);
+        assert_eq!(cyc, m.cost.ns_to_cycles(1000) + 700);
+        assert_eq!(acct.stats().emulate_ns, 1000);
+        assert_eq!(acct.stats().cycles.emulate, cyc);
+        assert_eq!(m.cycles, cyc);
+        // CorrectnessHandler is measured but has no ns counter.
+        acct.charge_measured(&mut m, Component::CorrectnessHandler, 500, 0);
+        assert_eq!(acct.stats().emulate_ns, 1000);
+        assert_eq!(acct.stats().gc_ns, 0);
+    }
+
+    #[test]
+    fn tally_hits_the_right_counter() {
+        let mut acct = Accounting::new();
+        acct.tally(Counter::FpTraps);
+        acct.tally(Counter::FpTraps);
+        acct.tally(Counter::PatchFast);
+        assert_eq!(acct.stats().fp_traps, 2);
+        assert_eq!(acct.stats().patch_fast, 1);
+        assert_eq!(acct.stats().patch_slow, 0);
+    }
+}

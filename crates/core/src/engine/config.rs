@@ -1,0 +1,60 @@
+//! Runtime configuration.
+
+use fpvm_machine::DeliveryMode;
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FpvmConfig {
+    /// How traps reach the runtime (cost model only; §6).
+    pub delivery: DeliveryMode,
+    /// Enable the decode cache (§5.3 footnote 8 ablation).
+    pub decode_cache: bool,
+    /// Interpose libm calls onto the arithmetic system (the math wrapper).
+    pub interpose_math: bool,
+    /// Interpose output calls (the output wrapper).
+    pub interpose_output: bool,
+    /// GC epoch in retired guest instructions (the paper uses a 1 s timer;
+    /// instruction count is the deterministic analogue).
+    pub gc_epoch: u64,
+    /// Arena-pressure GC trigger (live cells).
+    pub gc_pressure: usize,
+    /// Use the parallel mark phase.
+    pub gc_parallel: bool,
+    /// Enable the trap-and-patch engine (§3.2).
+    pub trap_and_patch: bool,
+    /// Dispatch correctness traps as direct calls instead of full traps
+    /// (the §5.3 "matter of implementation effort" optimization).
+    pub correctness_as_call: bool,
+    /// Strawman: demote every emulated result immediately (the rejected
+    /// "demote on every store" design of §4.2 — "obviates the goal of
+    /// using the alternative arithmetic system, but guarantees
+    /// correctness").
+    pub always_demote: bool,
+    /// §6.2 hardware extension: assume trap-on-NaN-load + NaN checks on all
+    /// FP-adjacent instructions. Makes the FP ISA fully virtualizable —
+    /// **no static analysis or binary patching needed** ("If the hardware
+    /// could optionally trigger an exception when a NaN pattern is loaded
+    /// as a value, the static analysis could be avoided").
+    pub nan_load_hw: bool,
+    /// Guest instruction budget.
+    pub max_insts: u64,
+}
+
+impl Default for FpvmConfig {
+    fn default() -> Self {
+        FpvmConfig {
+            delivery: DeliveryMode::UserSignal,
+            decode_cache: true,
+            interpose_math: true,
+            interpose_output: true,
+            gc_epoch: 400_000,
+            gc_pressure: 1 << 20,
+            gc_parallel: false,
+            trap_and_patch: false,
+            correctness_as_call: false,
+            always_demote: false,
+            nan_load_hw: false,
+            max_insts: 4_000_000_000,
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The decode stage's cache (§5.3 footnote 8: "the decode cache hit rate
+//! is nearly 100%").
+//!
+//! Decoded instructions are cached behind the [`DecodeCache`] trait so the
+//! policy is swappable:
+//!
+//! * [`DirectMappedCache`] — the default. An inline array indexed by code
+//!   offset, sized to the guest's code segment at run start, so every
+//!   instruction address owns its slot and the hit path is a bounds check
+//!   plus a load (no hashing).
+//! * [`HashMapCache`] — the pre-refactor `HashMap` policy, kept as the
+//!   microbenchmark baseline.
+//! * [`PassthroughCache`] — never caches; backs the `decode_cache: false`
+//!   ablation (every trap pays a full decode).
+//!
+//! Because the direct-mapped table has one slot per code byte, its
+//! hit/miss counts are identical to the hash map's — the refactor changes
+//! the lookup cost, never the accounting.
+
+use fpvm_machine::{Inst, CODE_BASE};
+use std::collections::HashMap;
+
+/// A cached decode result: the instruction and its encoded length.
+pub type DecodeEntry = (Inst, u8);
+
+/// Policy interface for the decode stage's cache.
+pub trait DecodeCache {
+    /// Called once per [`crate::engine::Fpvm::run`] with the guest's code
+    /// segment length, before any lookup. Implementations may size
+    /// themselves here; the default does nothing.
+    fn prepare(&mut self, _code_len: usize) {}
+
+    /// The cached entry at `rip`, if any.
+    fn lookup(&self, rip: u64) -> Option<DecodeEntry>;
+
+    /// Cache the decode result at `rip`.
+    fn insert(&mut self, rip: u64, entry: DecodeEntry);
+
+    /// Drop the entry at `rip` (trap-and-patch rewrote the site).
+    fn invalidate(&mut self, rip: u64);
+
+    /// Policy name, for benchmark labels.
+    fn name(&self) -> &'static str;
+}
+
+/// Direct-mapped inline cache: one slot per guest code byte. Instruction
+/// addresses are unique byte offsets, so the mapping is collision-free and
+/// a lookup is a single indexed load.
+#[derive(Debug, Default)]
+pub struct DirectMappedCache {
+    slots: Vec<Option<DecodeEntry>>,
+}
+
+impl DirectMappedCache {
+    /// An empty cache; it sizes itself in [`DecodeCache::prepare`].
+    pub fn new() -> Self {
+        DirectMappedCache::default()
+    }
+
+    fn slot_index(&self, rip: u64) -> Option<usize> {
+        let off = rip.checked_sub(CODE_BASE)? as usize;
+        (off < self.slots.len()).then_some(off)
+    }
+}
+
+impl DecodeCache for DirectMappedCache {
+    fn prepare(&mut self, code_len: usize) {
+        // Keep existing entries when re-running the same program (the hash
+        // map policy also persisted across runs); reshape only when the
+        // code segment's size changes.
+        if self.slots.len() != code_len {
+            self.slots.clear();
+            self.slots.resize(code_len, None);
+        }
+    }
+
+    fn lookup(&self, rip: u64) -> Option<DecodeEntry> {
+        self.slots[self.slot_index(rip)?]
+    }
+
+    fn insert(&mut self, rip: u64, entry: DecodeEntry) {
+        if let Some(i) = self.slot_index(rip) {
+            self.slots[i] = Some(entry);
+        }
+    }
+
+    fn invalidate(&mut self, rip: u64) {
+        if let Some(i) = self.slot_index(rip) {
+            self.slots[i] = None;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "direct-mapped"
+    }
+}
+
+/// The pre-refactor policy: a `HashMap` keyed by rip. Retained as the
+/// baseline the direct-mapped cache is benchmarked against.
+#[derive(Debug, Default)]
+pub struct HashMapCache {
+    map: HashMap<u64, DecodeEntry>,
+}
+
+impl HashMapCache {
+    /// An empty hash-map cache.
+    pub fn new() -> Self {
+        HashMapCache::default()
+    }
+}
+
+impl DecodeCache for HashMapCache {
+    fn lookup(&self, rip: u64) -> Option<DecodeEntry> {
+        self.map.get(&rip).copied()
+    }
+
+    fn insert(&mut self, rip: u64, entry: DecodeEntry) {
+        self.map.insert(rip, entry);
+    }
+
+    fn invalidate(&mut self, rip: u64) {
+        self.map.remove(&rip);
+    }
+
+    fn name(&self) -> &'static str {
+        "hashmap"
+    }
+}
+
+/// The `decode_cache: false` ablation: nothing is ever cached, so every
+/// trap pays the full decode cost.
+#[derive(Debug, Default)]
+pub struct PassthroughCache;
+
+impl DecodeCache for PassthroughCache {
+    fn lookup(&self, _rip: u64) -> Option<DecodeEntry> {
+        None
+    }
+
+    fn insert(&mut self, _rip: u64, _entry: DecodeEntry) {}
+
+    fn invalidate(&mut self, _rip: u64) {}
+
+    fn name(&self) -> &'static str {
+        "passthrough"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> DecodeEntry {
+        (Inst::Nop, 1)
+    }
+
+    #[test]
+    fn direct_mapped_roundtrip_and_invalidate() {
+        let mut c = DirectMappedCache::new();
+        c.prepare(64);
+        assert_eq!(c.lookup(CODE_BASE + 3), None);
+        c.insert(CODE_BASE + 3, entry());
+        assert_eq!(c.lookup(CODE_BASE + 3), Some(entry()));
+        c.invalidate(CODE_BASE + 3);
+        assert_eq!(c.lookup(CODE_BASE + 3), None);
+    }
+
+    #[test]
+    fn direct_mapped_ignores_out_of_segment_rips() {
+        let mut c = DirectMappedCache::new();
+        c.prepare(16);
+        c.insert(CODE_BASE + 100, entry()); // beyond the segment: dropped
+        assert_eq!(c.lookup(CODE_BASE + 100), None);
+        assert_eq!(c.lookup(CODE_BASE.wrapping_sub(1)), None);
+    }
+
+    #[test]
+    fn direct_mapped_persists_across_same_size_prepare() {
+        let mut c = DirectMappedCache::new();
+        c.prepare(32);
+        c.insert(CODE_BASE + 1, entry());
+        c.prepare(32); // same program re-run: keep entries
+        assert_eq!(c.lookup(CODE_BASE + 1), Some(entry()));
+        c.prepare(48); // different program: flushed
+        assert_eq!(c.lookup(CODE_BASE + 1), None);
+    }
+
+    #[test]
+    fn hashmap_and_passthrough_policies() {
+        let mut h = HashMapCache::new();
+        h.insert(CODE_BASE, entry());
+        assert_eq!(h.lookup(CODE_BASE), Some(entry()));
+        h.invalidate(CODE_BASE);
+        assert_eq!(h.lookup(CODE_BASE), None);
+
+        let mut p = PassthroughCache;
+        p.insert(CODE_BASE, entry());
+        assert_eq!(p.lookup(CODE_BASE), None);
+    }
+}

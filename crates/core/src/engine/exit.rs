@@ -1,0 +1,155 @@
+//! Exit reasons and structured runtime errors.
+//!
+//! When the engine cannot handle a trap it exits with a [`RuntimeError`]
+//! that records *which pipeline stage* gave up, the faulting guest `rip`,
+//! and — for software traps — the patched-site id involved, so workload
+//! failures are diagnosable without a debugger.
+
+use fpvm_machine::Fault;
+use std::fmt;
+
+/// The trap-pipeline stage a [`RuntimeError`] originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Instruction decode (bad or truncated encoding at the trap site).
+    Decode,
+    /// Operand binding (the instruction has no bindable FP shape).
+    Bind,
+    /// Emulation (unemulable scalar op or an impossible destination).
+    Emulate,
+    /// Correctness-trap handling (bad side-table id, re-execution failed).
+    Correctness,
+    /// Trap-and-patch dispatch (unknown site id, re-execution failed).
+    Patch,
+    /// External-call interposition (native external behaved unexpectedly).
+    External,
+    /// §6.2 hardware NaN-hole handling.
+    NanHole,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Decode => "decode",
+            Stage::Bind => "bind",
+            Stage::Emulate => "emulate",
+            Stage::Correctness => "correctness",
+            Stage::Patch => "patch",
+            Stage::External => "external",
+            Stage::NanHole => "nan-hole",
+        })
+    }
+}
+
+/// A trap the runtime could not handle: which stage failed, where, and
+/// (for software traps) the side-table / patch-site id involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeError {
+    /// The pipeline stage that failed.
+    pub stage: Stage,
+    /// The faulting guest instruction pointer.
+    pub rip: u64,
+    /// The side-table or patch-site id, when the failing trap carried one.
+    pub site: Option<u16>,
+}
+
+impl RuntimeError {
+    /// An error in `stage` at guest address `rip`, with no site id.
+    pub fn at(stage: Stage, rip: u64) -> Self {
+        RuntimeError {
+            stage,
+            rip,
+            site: None,
+        }
+    }
+
+    /// Attach the software-trap site id.
+    pub fn with_site(mut self, id: u16) -> Self {
+        self.site = Some(id);
+        self
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} stage failed at rip {:#x}", self.stage, self.rip)?;
+        if let Some(id) = self.site {
+            write!(f, " (site id {id})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why the virtualized run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// Guest executed `Halt`.
+    Halted,
+    /// Guest called `Exit`.
+    Exited(i64),
+    /// Fatal guest fault.
+    Fault(Fault),
+    /// A trap arrived that the runtime cannot handle (bad side-table id,
+    /// unemulable instruction).
+    RuntimeError(RuntimeError),
+}
+
+impl ExitReason {
+    /// Shorthand for a [`RuntimeError`] exit with no site id.
+    pub(crate) fn error(stage: Stage, rip: u64) -> Self {
+        ExitReason::RuntimeError(RuntimeError::at(stage, rip))
+    }
+
+    /// Shorthand for a [`RuntimeError`] exit carrying a site id.
+    pub(crate) fn error_at_site(stage: Stage, rip: u64, id: u16) -> Self {
+        ExitReason::RuntimeError(RuntimeError::at(stage, rip).with_site(id))
+    }
+}
+
+impl fmt::Display for ExitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExitReason::Halted => f.write_str("halted"),
+            ExitReason::Exited(code) => write!(f, "exited with code {code}"),
+            ExitReason::Fault(fault) => write!(f, "guest fault: {fault:?}"),
+            ExitReason::RuntimeError(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_stage_rip_and_site() {
+        let plain = RuntimeError::at(Stage::Decode, 0x1040);
+        assert_eq!(plain.to_string(), "decode stage failed at rip 0x1040");
+        let sited = RuntimeError::at(Stage::Correctness, 0x2000).with_site(7);
+        assert_eq!(
+            sited.to_string(),
+            "correctness stage failed at rip 0x2000 (site id 7)"
+        );
+        assert_eq!(
+            ExitReason::RuntimeError(sited).to_string(),
+            "runtime error: correctness stage failed at rip 0x2000 (site id 7)"
+        );
+        assert_eq!(ExitReason::Exited(3).to_string(), "exited with code 3");
+    }
+
+    #[test]
+    fn exit_reason_still_compares_structurally() {
+        assert_eq!(
+            ExitReason::error(Stage::Bind, 0x10),
+            ExitReason::RuntimeError(RuntimeError {
+                stage: Stage::Bind,
+                rip: 0x10,
+                site: None
+            })
+        );
+        assert_ne!(
+            ExitReason::error(Stage::Bind, 0x10),
+            ExitReason::error(Stage::Emulate, 0x10)
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! The trap frame and the trap-and-emulate front half of the pipeline:
+//! delivery accounting → decode (cached) → bind → emulate → patch.
+
+use super::accounting::Counter;
+use super::exit::{ExitReason, Stage};
+use super::Fpvm;
+use crate::stats::Component;
+use fpvm_arith::{ArithSystem, FpFlags};
+use fpvm_machine::{decode, Inst, Machine, CODE_BASE};
+
+/// One hardware FP trap's lifecycle: the faulting site, the sticky
+/// condition flags at delivery, and — once the decode stage has run — the
+/// decoded instruction and its extent. Built by
+/// [`Fpvm::on_fp_trap`] and threaded through the pipeline stages.
+#[derive(Debug, Clone, Copy)]
+pub struct TrapFrame {
+    /// The faulting guest instruction pointer.
+    pub rip: u64,
+    /// MXCSR condition flags captured at delivery (cleared on entry, §4.1).
+    pub flags: FpFlags,
+    /// The decoded faulting instruction.
+    pub inst: Inst,
+    /// Its encoded length in bytes.
+    pub len: u8,
+}
+
+impl TrapFrame {
+    /// The resume point after the faulting instruction.
+    pub fn next_rip(&self) -> u64 {
+        self.rip + u64::from(self.len)
+    }
+}
+
+impl<A: ArithSystem> Fpvm<A> {
+    /// Handle one hardware FP exception: the trap-and-emulate pipeline.
+    pub fn on_fp_trap(
+        &mut self,
+        m: &mut Machine,
+        rip: u64,
+        flags: FpFlags,
+    ) -> Result<(), ExitReason> {
+        self.acct.tally(Counter::FpTraps);
+        // Delivery cost (Fig. 9: hardware + kernel + user components).
+        let (hw, kern, user) = m.cost.delivery_parts(self.config.delivery);
+        self.acct.charge(m, Component::Hardware, hw);
+        self.acct.charge(m, Component::Kernel, kern);
+        self.acct.charge(m, Component::UserDelivery, user);
+        // Inspect and clear the sticky condition codes (§4.1 "Trapping").
+        m.mxcsr.clear_flags();
+        // Decode (through the cache) fills in the rest of the frame.
+        let (inst, len) = self.decode_at(m, rip)?;
+        let frame = TrapFrame {
+            rip,
+            flags,
+            inst,
+            len,
+        };
+        // Bind + emulate.
+        let bind_cost = m.cost.bind;
+        self.acct.charge(m, Component::Bind, bind_cost);
+        self.emulate(m, &frame.inst, frame.next_rip())?;
+        // Trap-and-patch: install a patch at this site so the next
+        // encounter dispatches via a cheap call instead of a trap.
+        if self.config.trap_and_patch {
+            self.install_patch(m, &frame);
+        }
+        Ok(())
+    }
+
+    /// The decode stage: consult the [`super::DecodeCache`], fall back to a
+    /// full decode on miss, and charge the stage through the accounting
+    /// sink.
+    pub(crate) fn decode_at(
+        &mut self,
+        m: &mut Machine,
+        rip: u64,
+    ) -> Result<(Inst, u8), ExitReason> {
+        if let Some(hit) = self.cache.lookup(rip) {
+            self.acct.tally(Counter::DecodeHits);
+            let cyc = m.cost.decode_cost(true);
+            self.acct.charge(m, Component::Decode, cyc);
+            return Ok(hit);
+        }
+        self.acct.tally(Counter::DecodeMisses);
+        let cyc = m.cost.decode_cost(false);
+        self.acct.charge(m, Component::Decode, cyc);
+        let off = (rip - CODE_BASE) as usize;
+        match decode(m.mem.code_bytes(), off) {
+            Ok((inst, len)) => {
+                let entry = (inst, len as u8);
+                self.cache.insert(rip, entry);
+                Ok(entry)
+            }
+            Err(_) => Err(ExitReason::error(Stage::Decode, rip)),
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The handler table: event routing for software traps, external calls,
+//! and §6.2 NaN-hole faults.
+//!
+//! The run loop no longer hard-codes a match over event kinds; it
+//! dispatches through this table. Each slot is a plain function pointer so
+//! replacing a handler is cheap, and the defaults simply forward to the
+//! engine's built-in stages ([`Fpvm::on_correctness_trap`],
+//! [`Fpvm::on_patch_call`], [`Fpvm::on_ext_call`], [`Fpvm::on_nan_hole`]) —
+//! a custom handler can wrap or replace them and still delegate.
+
+use super::exit::ExitReason;
+use super::Fpvm;
+use fpvm_arith::ArithSystem;
+use fpvm_machine::{ExtFn, Machine};
+
+/// Handler for a software trap (`Trap` instruction): receives the trap id
+/// and the faulting rip.
+pub type SwTrapHandler<A> = fn(&mut Fpvm<A>, &mut Machine, u16, u64) -> Result<(), ExitReason>;
+
+/// Handler for an external call: receives the callee, the call-site rip,
+/// and the return rip.
+pub type ExtCallHandler<A> =
+    fn(&mut Fpvm<A>, &mut Machine, ExtFn, u64, u64) -> Result<(), ExitReason>;
+
+/// Handler for a §6.2 hardware NaN-hole fault: receives the faulting rip.
+pub type NanHoleHandler<A> = fn(&mut Fpvm<A>, &mut Machine, u64) -> Result<(), ExitReason>;
+
+/// Routing table consulted by [`Fpvm::run`] for every non-FP-exception
+/// event. Obtain it through [`Fpvm::handlers_mut`] to register overrides.
+pub struct HandlerTable<A: ArithSystem> {
+    /// `Trap { kind: Correctness }` sites (§4.2 static-analysis patches).
+    pub correctness: SwTrapHandler<A>,
+    /// `Trap { kind: PatchCall }` sites (§3.2 trap-and-patch).
+    pub patch_call: SwTrapHandler<A>,
+    /// External calls (math wrapper, output wrapper, native forwarding).
+    pub ext_call: ExtCallHandler<A>,
+    /// §6.2 NaN-hole faults (trap-on-NaN-load hardware extension).
+    pub nan_hole: NanHoleHandler<A>,
+}
+
+impl<A: ArithSystem> Default for HandlerTable<A> {
+    fn default() -> Self {
+        HandlerTable {
+            correctness: |vm, m, id, rip| vm.on_correctness_trap(m, id, rip),
+            patch_call: |vm, m, id, rip| vm.on_patch_call(m, id, rip),
+            ext_call: |vm, m, f, rip, next_rip| vm.on_ext_call(m, f, rip, next_rip),
+            nan_hole: |vm, m, rip| vm.on_nan_hole(m, rip),
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The staged trap-pipeline engine: the hybrid FPVM runtime (§3, §4).
+//!
+//! The engine drives the simulated machine exactly the way the paper's
+//! prototype drives a Linux process:
+//!
+//! 1. It unmasks every `%mxcsr` exception, so any rounding, overflow,
+//!    underflow, denormal or NaN event faults into the runtime
+//!    ([`Fpvm::run`] ↔ the SIGFPE handler).
+//! 2. On a trap it decodes the faulting instruction (through a pluggable
+//!    [`DecodeCache`]), **binds** its operands, **emulates** it on the
+//!    alternative arithmetic system, NaN-boxes the result, clears the
+//!    sticky condition flags, and resumes after the instruction. One
+//!    trap's lifecycle is a [`TrapFrame`]; the stages live in
+//!    [`frame`]/[`emulate`] as `Binder` → `Emulator` → `Committer`.
+//! 3. `Trap` instructions installed by the static analyzer demote any
+//!    boxed operands in place and re-execute the original instruction in
+//!    single-step mode (§4.2 "correctness traps", [`correctness`]).
+//! 4. External calls are interposed like an `LD_PRELOAD` shim
+//!    ([`external`]): libm routes into the arithmetic system (the math
+//!    wrapper) and `printf` demotes for rendering (the output wrapper).
+//! 5. Optionally, the trap-and-patch engine ([`patch`], §3.2) rewrites hot
+//!    faulting sites into direct patch calls with inline checks.
+//!
+//! Software traps, external calls and NaN-hole faults dispatch through a
+//! [`HandlerTable`] of registered handlers, and every cycle/stat is
+//! charged through one [`Accounting`] sink.
+
+pub mod accounting;
+pub mod config;
+mod correctness;
+pub mod decode;
+mod emulate;
+pub mod exit;
+mod external;
+pub mod frame;
+pub mod handlers;
+mod patch;
+
+pub use accounting::{Accounting, Counter};
+pub use config::FpvmConfig;
+pub use correctness::SideTableEntry;
+pub use decode::{DecodeCache, DirectMappedCache, HashMapCache, PassthroughCache};
+pub use emulate::{Binder, Committer, LaneOutcome};
+pub use exit::{ExitReason, RuntimeError, Stage};
+pub use frame::TrapFrame;
+pub use handlers::{ExtCallHandler, HandlerTable, NanHoleHandler, SwTrapHandler};
+
+use crate::gc;
+use crate::stats::{Component, Stats};
+use fpvm_machine::{Event, Fault, Inst, Machine, TrapKind};
+use fpvm_nanbox::ShadowKey;
+use std::time::Instant;
+
+use fpvm_arith::{ArithSystem, ShadowArena};
+
+/// Result of a virtualized run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Exit reason.
+    pub exit: ExitReason,
+    /// Runtime statistics.
+    pub stats: Stats,
+    /// Guest instructions retired.
+    pub icount: u64,
+    /// Guest FP instructions retired natively (did not trap).
+    pub fp_icount: u64,
+    /// Total accounted cycles (guest base + virtualization).
+    pub cycles: u64,
+    /// Wall-clock host time of the whole run.
+    pub wall_ns: u64,
+}
+
+/// The FPVM runtime, generic over the alternative arithmetic system.
+pub struct Fpvm<A: ArithSystem> {
+    arith: A,
+    /// The shadow-value arena (FPVM provides the arithmetic system with
+    /// memory management, §4.3).
+    pub arena: ShadowArena<A::Value>,
+    /// Runtime configuration.
+    pub config: FpvmConfig,
+    pub(crate) acct: Accounting,
+    pub(crate) cache: Box<dyn DecodeCache>,
+    pub(crate) side_table: Vec<SideTableEntry>,
+    pub(crate) patches: patch::PatchTable,
+    handlers: HandlerTable<A>,
+    last_gc_icount: u64,
+    pub(crate) rendered: Vec<String>,
+}
+
+impl<A: ArithSystem> Fpvm<A> {
+    /// Create a runtime over the given arithmetic system.
+    pub fn new(arith: A, config: FpvmConfig) -> Self {
+        let cache: Box<dyn DecodeCache> = if config.decode_cache {
+            Box::new(DirectMappedCache::new())
+        } else {
+            Box::new(PassthroughCache)
+        };
+        Fpvm {
+            arith,
+            arena: ShadowArena::new(),
+            config,
+            acct: Accounting::new(),
+            cache,
+            side_table: Vec::new(),
+            patches: patch::PatchTable::default(),
+            handlers: HandlerTable::default(),
+            last_gc_icount: 0,
+            rendered: Vec::new(),
+        }
+    }
+
+    /// The arithmetic system.
+    pub fn arith(&self) -> &A {
+        &self.arith
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &Stats {
+        self.acct.stats()
+    }
+
+    /// Full-precision rendered output lines (the output wrapper's view).
+    pub fn rendered_output(&self) -> &[String] {
+        &self.rendered
+    }
+
+    /// Install the correctness-trap side table (from the static patcher).
+    pub fn set_side_table(&mut self, table: Vec<SideTableEntry>) {
+        self.side_table = table;
+    }
+
+    /// Replace the decode-cache policy (benchmarks compare
+    /// [`DirectMappedCache`] against [`HashMapCache`] this way).
+    pub fn set_decode_cache(&mut self, cache: Box<dyn DecodeCache>) {
+        self.cache = cache;
+    }
+
+    /// The decode-cache policy's name.
+    pub fn decode_cache_name(&self) -> &'static str {
+        self.cache.name()
+    }
+
+    /// The event-routing table, for registering custom handlers.
+    pub fn handlers_mut(&mut self) -> &mut HandlerTable<A> {
+        &mut self.handlers
+    }
+
+    /// Preload patch-call sites emitted by the compiler-based approach
+    /// (§3.4): the IR pass replaced each FP operation with a
+    /// `Trap{PatchCall}` whose handler is registered here at load time.
+    pub fn preload_patch_sites(&mut self, sites: Vec<(u16, Inst, u64)>) {
+        for (id, original, next_rip) in sites {
+            self.patches.set(id, patch::TpSite { original, next_rip });
+        }
+    }
+
+    /// Run the machine under virtualization until it halts or faults.
+    pub fn run(&mut self, m: &mut Machine) -> RunReport {
+        let wall = Instant::now();
+        m.hook_ext = true;
+        m.nan_hole_traps = self.config.nan_load_hw;
+        m.mxcsr.unmask_all();
+        self.cache.prepare(m.mem.code_bytes().len());
+        let exit = loop {
+            if m.icount >= self.config.max_insts {
+                break ExitReason::Fault(Fault::Budget);
+            }
+            let budget = self.config.max_insts - m.icount;
+            match m.run(budget) {
+                Event::Halted => break ExitReason::Halted,
+                Event::Exited(code) => break ExitReason::Exited(code),
+                Event::Fault(f) => break ExitReason::Fault(f),
+                Event::SingleStepped => unreachable!("runtime never sets TF across run()"),
+                Event::FpException { rip, flags } => {
+                    if let Err(e) = self.on_fp_trap(m, rip, flags) {
+                        break e;
+                    }
+                }
+                Event::SwTrap { kind, id, rip } => {
+                    let handler = match kind {
+                        TrapKind::Correctness => self.handlers.correctness,
+                        TrapKind::PatchCall => self.handlers.patch_call,
+                    };
+                    if let Err(e) = handler(self, m, id, rip) {
+                        break e;
+                    }
+                }
+                Event::ExtCall { f, rip, next_rip } => {
+                    let handler = self.handlers.ext_call;
+                    if let Err(e) = handler(self, m, f, rip, next_rip) {
+                        break e;
+                    }
+                }
+                Event::NanHole { rip } => {
+                    let handler = self.handlers.nan_hole;
+                    if let Err(e) = handler(self, m, rip) {
+                        break e;
+                    }
+                }
+            }
+            self.maybe_gc(m);
+        };
+        RunReport {
+            exit,
+            stats: self.acct.snapshot(),
+            icount: m.icount,
+            fp_icount: m.fp_icount,
+            cycles: m.cycles,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+        }
+    }
+
+    // ---- GC ----------------------------------------------------------------
+
+    fn maybe_gc(&mut self, m: &mut Machine) {
+        let due_epoch = m.icount.saturating_sub(self.last_gc_icount) >= self.config.gc_epoch;
+        let due_pressure = self.arena.live() >= self.config.gc_pressure;
+        if !(due_epoch || due_pressure) || self.arena.live() == 0 {
+            return;
+        }
+        self.last_gc_icount = m.icount;
+        let rec = gc::collect(m, &mut self.arena, self.config.gc_parallel);
+        self.acct.record_gc(rec);
+        let cyc = m.cost.ns_to_cycles(rec.ns);
+        self.acct.charge(m, Component::Gc, cyc);
+    }
+
+    /// Force a GC pass now (used by tests and the Fig. 10 harness).
+    pub fn force_gc(&mut self, m: &mut Machine) -> crate::stats::GcRecord {
+        self.last_gc_icount = m.icount;
+        let rec = gc::collect(m, &mut self.arena, self.config.gc_parallel);
+        self.acct.record_gc(rec);
+        rec
+    }
+
+    /// Look up a shadow value by key (tests/inspection).
+    pub fn shadow(&self, key: ShadowKey) -> Option<&A::Value> {
+        self.arena.get(key)
+    }
+}

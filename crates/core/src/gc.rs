@@ -34,11 +34,7 @@ fn scan_range(bytes: &[u8], out: &mut Vec<ShadowKey>) {
 }
 
 /// Run one GC pass. Returns the pass record.
-pub fn collect<V>(
-    m: &Machine,
-    arena: &mut ShadowArena<V>,
-    parallel: bool,
-) -> GcRecord {
+pub fn collect<V>(m: &Machine, arena: &mut ShadowArena<V>, parallel: bool) -> GcRecord {
     let start = Instant::now();
     let before = arena.live();
     arena.clear_marks();
@@ -208,7 +204,9 @@ mod tests {
         let mut m = machine();
         let mut arena: ShadowArena<f64> = ShadowArena::new();
         m.mem.write_u64(DATA_BASE, f64::NAN.to_bits()).unwrap();
-        m.mem.write_u64(DATA_BASE + 8, 0x7FF0_0000_0000_9999).unwrap(); // sNaN, never allocated
+        m.mem
+            .write_u64(DATA_BASE + 8, 0x7FF0_0000_0000_9999)
+            .unwrap(); // sNaN, never allocated
         let rec = collect(&m, &mut arena, false);
         assert_eq!(rec.freed, 0);
         assert_eq!(rec.alive, 0);

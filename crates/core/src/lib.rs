@@ -38,13 +38,21 @@
 #![warn(missing_docs)]
 
 pub mod bound;
+pub mod engine;
 pub mod gc;
-pub mod runtime;
 pub mod stats;
 
+/// The staged engine under its historical name: `fpvm_core::runtime::*`
+/// paths keep working.
+pub use engine as runtime;
+
 pub use bound::{bind, Bound, BoundLane, Dst, Loc};
-pub use runtime::{ExitReason, Fpvm, FpvmConfig, RunReport, SideTableEntry};
-pub use stats::{CycleBreakdown, GcRecord, Stats};
+pub use engine::{
+    Accounting, Counter, DecodeCache, DirectMappedCache, ExitReason, Fpvm, FpvmConfig,
+    HandlerTable, HashMapCache, PassthroughCache, RunReport, RuntimeError, SideTableEntry, Stage,
+    TrapFrame,
+};
+pub use stats::{Component, CycleBreakdown, GcRecord, Stats};
 
 use fpvm_machine::{Event, Machine, Program};
 

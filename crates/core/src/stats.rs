@@ -9,6 +9,65 @@
 //! clock; the simulated components (trap delivery) are charged from the
 //! cost model — see EXPERIMENTS.md.
 
+/// One component of the Fig. 9 per-trap cost breakdown. Every cycle the
+/// engine charges is attributed to exactly one component through the
+/// [`crate::engine::Accounting`] sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Microarchitectural exception raise + return.
+    Hardware,
+    /// Kernel dispatch.
+    Kernel,
+    /// Kernel→user signal delivery + sigreturn.
+    UserDelivery,
+    /// Instruction decode (cache hits + misses).
+    Decode,
+    /// Operand binding.
+    Bind,
+    /// Emulation (arith-system work + dispatch + boxing).
+    Emulate,
+    /// Garbage collection (amortized over traps).
+    Gc,
+    /// Correctness-trap dispatch (delivery of static-analysis traps).
+    CorrectnessDispatch,
+    /// Correctness-trap handling (demotion checks + re-execution).
+    CorrectnessHandler,
+    /// Trap-and-patch check + call costs.
+    Patch,
+}
+
+impl Component {
+    /// Every component, in Fig. 9 bar order.
+    pub const ALL: [Component; 10] = [
+        Component::Hardware,
+        Component::Kernel,
+        Component::UserDelivery,
+        Component::Decode,
+        Component::Bind,
+        Component::Emulate,
+        Component::Gc,
+        Component::CorrectnessDispatch,
+        Component::CorrectnessHandler,
+        Component::Patch,
+    ];
+
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Hardware => "hardware",
+            Component::Kernel => "kernel",
+            Component::UserDelivery => "user_delivery",
+            Component::Decode => "decode",
+            Component::Bind => "bind",
+            Component::Emulate => "emulate",
+            Component::Gc => "gc",
+            Component::CorrectnessDispatch => "correctness_dispatch",
+            Component::CorrectnessHandler => "correctness_handler",
+            Component::Patch => "patch",
+        }
+    }
+}
+
 /// Per-component cycle breakdown (the Fig. 9 bars).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CycleBreakdown {
@@ -35,6 +94,39 @@ pub struct CycleBreakdown {
 }
 
 impl CycleBreakdown {
+    /// Cycles attributed to one component.
+    pub fn get(&self, c: Component) -> u64 {
+        match c {
+            Component::Hardware => self.hardware,
+            Component::Kernel => self.kernel,
+            Component::UserDelivery => self.user_delivery,
+            Component::Decode => self.decode,
+            Component::Bind => self.bind,
+            Component::Emulate => self.emulate,
+            Component::Gc => self.gc,
+            Component::CorrectnessDispatch => self.correctness_dispatch,
+            Component::CorrectnessHandler => self.correctness_handler,
+            Component::Patch => self.patch,
+        }
+    }
+
+    /// Attribute `cycles` to one component.
+    pub fn add(&mut self, c: Component, cycles: u64) {
+        let slot = match c {
+            Component::Hardware => &mut self.hardware,
+            Component::Kernel => &mut self.kernel,
+            Component::UserDelivery => &mut self.user_delivery,
+            Component::Decode => &mut self.decode,
+            Component::Bind => &mut self.bind,
+            Component::Emulate => &mut self.emulate,
+            Component::Gc => &mut self.gc,
+            Component::CorrectnessDispatch => &mut self.correctness_dispatch,
+            Component::CorrectnessHandler => &mut self.correctness_handler,
+            Component::Patch => &mut self.patch,
+        };
+        *slot += cycles;
+    }
+
     /// Total virtualization cycles.
     pub fn total(&self) -> u64 {
         self.hardware
@@ -151,6 +243,18 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(c.total(), 65);
+    }
+
+    #[test]
+    fn component_get_add_cover_every_field() {
+        let mut c = CycleBreakdown::default();
+        for (i, comp) in Component::ALL.into_iter().enumerate() {
+            c.add(comp, (i + 1) as u64);
+        }
+        for (i, comp) in Component::ALL.into_iter().enumerate() {
+            assert_eq!(c.get(comp), (i + 1) as u64, "{}", comp.label());
+        }
+        assert_eq!(c.total(), (1..=10).sum::<u64>());
     }
 
     #[test]

@@ -6,8 +6,8 @@
 use fpvm_arith::{ArithSystem, BigFloatCtx, PositCtx, Vanilla};
 use fpvm_core::{ExitReason, Fpvm, FpvmConfig, SideTableEntry};
 use fpvm_machine::{
-    encode, Asm, Cond, CostModel, Event, ExtFn, Gpr, Inst, Machine, Mem, OutputEvent, TrapKind,
-    Xmm, AluOp, XM,
+    encode, AluOp, Asm, Cond, CostModel, Event, ExtFn, Gpr, Inst, Machine, Mem, OutputEvent,
+    TrapKind, Xmm, XM,
 };
 
 fn native_output(p: &fpvm_machine::Program) -> Vec<OutputEvent> {
@@ -276,7 +276,12 @@ fn trap_and_patch_reduces_traps() {
     assert!(s.patch_fast + s.patch_slow > 300);
     // §3.2: when boxed operands are frequent, trap-and-patch is much
     // cheaper than trap-and-emulate.
-    assert!(tp.cycles < base.cycles / 2, "{} vs {}", tp.cycles, base.cycles);
+    assert!(
+        tp.cycles < base.cycles / 2,
+        "{} vs {}",
+        tp.cycles,
+        base.cycles
+    );
 }
 
 #[test]
@@ -419,7 +424,10 @@ fn fp_dense_code_traps_dense_integer_code_does_not() {
     let p = a.finish();
     let (report, _, _) = virt_run(&p, Vanilla, FpvmConfig::default());
     assert_eq!(report.exit, ExitReason::Halted);
-    assert_eq!(report.stats.fp_traps, 0, "no FP -> zero virtualization overhead");
+    assert_eq!(
+        report.stats.fp_traps, 0,
+        "no FP -> zero virtualization overhead"
+    );
     assert_eq!(report.stats.cycles.total(), 0);
 }
 
@@ -542,7 +550,7 @@ fn stale_box_after_gc_reads_as_universal_nan() {
     a.addsd(Xmm(0), c2); // boxed
     a.movsd(Mem::abs(g as i64), Xmm(0)); // live in a global
     a.halt(); // pause point for the test driver
-    // Phase 2 (re-entered by the test): consume the stale box.
+              // Phase 2 (re-entered by the test): consume the stale box.
     a.bind(unord);
     a.bind(end);
     let p = a.finish();

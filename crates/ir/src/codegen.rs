@@ -18,8 +18,7 @@
 
 use crate::{CmpOp, FBinOp, Func, GlobalInit, IBinOp, Inst as Ir, MathFn, Module, Ty, Value, Var};
 use fpvm_machine::{
-    AluOp, Asm, Cond, ExtFn, Gpr, Inst as MInst, Label, Mem, Program, TrapKind, Width, Xmm, RM,
-    XM,
+    AluOp, Asm, Cond, ExtFn, Gpr, Inst as MInst, Label, Mem, Program, TrapKind, Width, Xmm, RM, XM,
 };
 
 /// Compilation mode.
@@ -207,12 +206,30 @@ impl FnCg<'_> {
                 let (sa, sb, sd) = (self.vslot(*a), self.vslot(*b), self.vslot(*dst));
                 self.asm.movsd(x0, sa);
                 let m = match op {
-                    FBinOp::Add => MInst::AddSd { dst: x0, src: XM::Mem(sb) },
-                    FBinOp::Sub => MInst::SubSd { dst: x0, src: XM::Mem(sb) },
-                    FBinOp::Mul => MInst::MulSd { dst: x0, src: XM::Mem(sb) },
-                    FBinOp::Div => MInst::DivSd { dst: x0, src: XM::Mem(sb) },
-                    FBinOp::Min => MInst::MinSd { dst: x0, src: XM::Mem(sb) },
-                    FBinOp::Max => MInst::MaxSd { dst: x0, src: XM::Mem(sb) },
+                    FBinOp::Add => MInst::AddSd {
+                        dst: x0,
+                        src: XM::Mem(sb),
+                    },
+                    FBinOp::Sub => MInst::SubSd {
+                        dst: x0,
+                        src: XM::Mem(sb),
+                    },
+                    FBinOp::Mul => MInst::MulSd {
+                        dst: x0,
+                        src: XM::Mem(sb),
+                    },
+                    FBinOp::Div => MInst::DivSd {
+                        dst: x0,
+                        src: XM::Mem(sb),
+                    },
+                    FBinOp::Min => MInst::MinSd {
+                        dst: x0,
+                        src: XM::Mem(sb),
+                    },
+                    FBinOp::Max => MInst::MaxSd {
+                        dst: x0,
+                        src: XM::Mem(sb),
+                    },
                 };
                 self.fp_op(m);
                 self.asm.movsd(sd, x0);
@@ -429,7 +446,11 @@ impl FnCg<'_> {
                 let sd = self.vslot(*dst);
                 self.asm.movsd(sd, x0);
             }
-            Ir::Call { dst, f: callee, args } => {
+            Ir::Call {
+                dst,
+                f: callee,
+                args,
+            } => {
                 // Load arguments into registers per the convention.
                 let (mut ints, mut fps) = (0usize, 0usize);
                 // NOTE: argument types come from the *values'* types in this

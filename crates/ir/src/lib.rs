@@ -122,40 +122,135 @@ pub enum MathFn {
 #[derive(Debug, Clone)]
 #[allow(missing_docs)]
 pub enum Inst {
-    ConstF { dst: Value, v: f64 },
-    ConstI { dst: Value, v: i64 },
-    FBin { op: FBinOp, dst: Value, a: Value, b: Value },
-    FNeg { dst: Value, a: Value },
-    FAbs { dst: Value, a: Value },
-    FSqrt { dst: Value, a: Value },
-    FCmp { op: CmpOp, dst: Value, a: Value, b: Value },
-    IBin { op: IBinOp, dst: Value, a: Value, b: Value },
-    ICmp { op: CmpOp, dst: Value, a: Value, b: Value },
-    IToF { dst: Value, a: Value },
+    ConstF {
+        dst: Value,
+        v: f64,
+    },
+    ConstI {
+        dst: Value,
+        v: i64,
+    },
+    FBin {
+        op: FBinOp,
+        dst: Value,
+        a: Value,
+        b: Value,
+    },
+    FNeg {
+        dst: Value,
+        a: Value,
+    },
+    FAbs {
+        dst: Value,
+        a: Value,
+    },
+    FSqrt {
+        dst: Value,
+        a: Value,
+    },
+    FCmp {
+        op: CmpOp,
+        dst: Value,
+        a: Value,
+        b: Value,
+    },
+    IBin {
+        op: IBinOp,
+        dst: Value,
+        a: Value,
+        b: Value,
+    },
+    ICmp {
+        op: CmpOp,
+        dst: Value,
+        a: Value,
+        b: Value,
+    },
+    IToF {
+        dst: Value,
+        a: Value,
+    },
     /// Truncating f64 → i64.
-    FToI { dst: Value, a: Value },
+    FToI {
+        dst: Value,
+        a: Value,
+    },
     /// Reinterpret f64 bits as i64 (compiles to the Fig. 6 idiom).
-    BitcastFI { dst: Value, a: Value },
+    BitcastFI {
+        dst: Value,
+        a: Value,
+    },
     /// Reinterpret i64 bits as f64.
-    BitcastIF { dst: Value, a: Value },
-    ReadVar { dst: Value, var: Var },
-    WriteVar { var: Var, v: Value },
+    BitcastIF {
+        dst: Value,
+        a: Value,
+    },
+    ReadVar {
+        dst: Value,
+        var: Var,
+    },
+    WriteVar {
+        var: Var,
+        v: Value,
+    },
     /// Address of a global object.
-    GlobalAddr { dst: Value, g: GlobalId },
+    GlobalAddr {
+        dst: Value,
+        g: GlobalId,
+    },
     /// Load f64 through a pointer (+ constant byte offset).
-    LoadF { dst: Value, addr: Value, off: i64 },
-    StoreF { addr: Value, off: i64, v: Value },
-    LoadI { dst: Value, addr: Value, off: i64 },
-    StoreI { addr: Value, off: i64, v: Value },
-    CallMath { dst: Value, f: MathFn, args: Vec<Value> },
-    Call { dst: Option<Value>, f: FuncId, args: Vec<Value> },
+    LoadF {
+        dst: Value,
+        addr: Value,
+        off: i64,
+    },
+    StoreF {
+        addr: Value,
+        off: i64,
+        v: Value,
+    },
+    LoadI {
+        dst: Value,
+        addr: Value,
+        off: i64,
+    },
+    StoreI {
+        addr: Value,
+        off: i64,
+        v: Value,
+    },
+    CallMath {
+        dst: Value,
+        f: MathFn,
+        args: Vec<Value>,
+    },
+    Call {
+        dst: Option<Value>,
+        f: FuncId,
+        args: Vec<Value>,
+    },
     /// Heap allocation (bytes) → pointer.
-    Alloc { dst: Value, size: Value },
-    PrintF { v: Value },
-    PrintI { v: Value },
-    Br { target: BlockId },
-    CondBr { cond: Value, then_b: BlockId, else_b: BlockId },
-    Ret { v: Option<Value> },
+    Alloc {
+        dst: Value,
+        size: Value,
+    },
+    PrintF {
+        v: Value,
+    },
+    PrintI {
+        v: Value,
+    },
+    Br {
+        target: BlockId,
+    },
+    CondBr {
+        cond: Value,
+        then_b: BlockId,
+        else_b: BlockId,
+    },
+    Ret {
+        v: Option<Value>,
+    },
 }
 
 /// A function under construction / in a module.

@@ -419,7 +419,10 @@ mod tests {
         for (addr, inst, len) in &dis {
             match inst {
                 Inst::Jcc { rel, .. } | Inst::Jmp { rel } => {
-                    targets.push(addr.wrapping_add(*len as u64).wrapping_add(i64::from(*rel) as u64));
+                    targets.push(
+                        addr.wrapping_add(*len as u64)
+                            .wrapping_add(i64::from(*rel) as u64),
+                    );
                 }
                 _ => {}
             }

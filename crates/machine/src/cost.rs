@@ -151,6 +151,33 @@ impl CostModel {
         }
     }
 
+    /// Decode-stage cost: cache hit vs full decode (the runtime's decode
+    /// stage charges through this hook rather than picking fields).
+    pub fn decode_cost(&self, hit: bool) -> u64 {
+        if hit {
+            self.decode_hit
+        } else {
+            self.decode_miss
+        }
+    }
+
+    /// Correctness-trap dispatch cost: either a direct call (the §5.3
+    /// "matter of implementation effort" optimization) or a full trap
+    /// delivery under the given mode.
+    pub fn correctness_dispatch(&self, as_call: bool, mode: DeliveryMode) -> u64 {
+        if as_call {
+            self.patch_call
+        } else {
+            self.delivery(mode)
+        }
+    }
+
+    /// Trap-and-patch dispatch cost: direct call into the custom handler
+    /// plus the inlined pre/postcondition checks (§3.2).
+    pub fn patch_dispatch(&self) -> u64 {
+        self.patch_call + self.patch_check
+    }
+
     /// Convert measured host nanoseconds into profile cycles.
     pub fn ns_to_cycles(&self, ns: u64) -> u64 {
         (ns as f64 * self.clock_ghz) as u64
@@ -241,9 +268,25 @@ mod tests {
         // delivery cost. Delivery + decode-hit + bind + dispatch alone
         // should be roughly 15k.
         let m = CostModel::r815();
-        let fixed = m.delivery(DeliveryMode::UserSignal) + m.decode_hit + m.bind
-            + m.emulate_dispatch;
+        let fixed =
+            m.delivery(DeliveryMode::UserSignal) + m.decode_hit + m.bind + m.emulate_dispatch;
         assert!((10_000..20_000).contains(&fixed), "{fixed}");
+    }
+
+    #[test]
+    fn stage_hooks_match_fields() {
+        let m = CostModel::r815();
+        assert_eq!(m.decode_cost(true), m.decode_hit);
+        assert_eq!(m.decode_cost(false), m.decode_miss);
+        assert_eq!(
+            m.correctness_dispatch(true, DeliveryMode::UserSignal),
+            m.patch_call
+        );
+        assert_eq!(
+            m.correctness_dispatch(false, DeliveryMode::KernelModule),
+            m.delivery(DeliveryMode::KernelModule)
+        );
+        assert_eq!(m.patch_dispatch(), m.patch_call + m.patch_check);
     }
 
     #[test]
@@ -258,7 +301,11 @@ mod tests {
             src: XM::Mem(Mem::base_disp(Gpr::RSP, 8)),
         };
         assert!(m.inst_cost(&mem) > m.inst_cost(&reg));
-        assert!(m.inst_cost(&Inst::DivSd { dst: Xmm(0), src: XM::Reg(Xmm(1)) })
-            > m.inst_cost(&reg));
+        assert!(
+            m.inst_cost(&Inst::DivSd {
+                dst: Xmm(0),
+                src: XM::Reg(Xmm(1))
+            }) > m.inst_cost(&reg)
+        );
     }
 }

@@ -20,7 +20,7 @@
 use crate::cost::CostModel;
 use crate::encode::{decode, DecodeError};
 use crate::isa::*;
-use crate::mem::{Memory, MemFault, CODE_BASE};
+use crate::mem::{MemFault, Memory, CODE_BASE};
 use crate::mxcsr::{Mxcsr, RFlags};
 use crate::Program;
 use fpvm_arith::{softfp, FpFlags};
@@ -188,12 +188,7 @@ impl Machine {
     pub fn patch_code(&mut self, addr: u64, bytes: &[u8]) {
         self.mem.patch_code(addr, bytes);
         let off = (addr - CODE_BASE) as usize;
-        for slot in self
-            .predecoded
-            .iter_mut()
-            .skip(off)
-            .take(bytes.len())
-        {
+        for slot in self.predecoded.iter_mut().skip(off).take(bytes.len()) {
             *slot = None;
         }
     }
@@ -206,9 +201,9 @@ impl Machine {
     /// Effective address of a memory operand.
     pub fn ea(&self, m: &Mem) -> u64 {
         let base = m.base.map_or(0, |r| self.gpr[r.0 as usize]);
-        let index = m
-            .index
-            .map_or(0, |r| self.gpr[r.0 as usize].wrapping_mul(u64::from(m.scale)));
+        let index = m.index.map_or(0, |r| {
+            self.gpr[r.0 as usize].wrapping_mul(u64::from(m.scale))
+        });
         base.wrapping_add(index).wrapping_add(m.disp as u64)
     }
 
@@ -507,7 +502,10 @@ impl Machine {
                 let v = mem_try!(self.read_xm128(src));
                 if self.nan_hole_traps {
                     let d = &self.xmm[dst.0 as usize];
-                    if [d[0], d[1], v[0], v[1]].iter().any(|&x| fpvm_nanbox::is_boxed(x)) {
+                    if [d[0], d[1], v[0], v[1]]
+                        .iter()
+                        .any(|&x| fpvm_nanbox::is_boxed(x))
+                    {
                         return ExecResult::Event(Event::NanHole { rip });
                     }
                 }
@@ -519,7 +517,10 @@ impl Machine {
                 let v = mem_try!(self.read_xm128(src));
                 if self.nan_hole_traps {
                     let d = &self.xmm[dst.0 as usize];
-                    if [d[0], d[1], v[0], v[1]].iter().any(|&x| fpvm_nanbox::is_boxed(x)) {
+                    if [d[0], d[1], v[0], v[1]]
+                        .iter()
+                        .any(|&x| fpvm_nanbox::is_boxed(x))
+                    {
                         return ExecResult::Event(Event::NanHole { rip });
                     }
                 }
@@ -531,7 +532,10 @@ impl Machine {
                 let v = mem_try!(self.read_xm128(src));
                 if self.nan_hole_traps {
                     let d = &self.xmm[dst.0 as usize];
-                    if [d[0], d[1], v[0], v[1]].iter().any(|&x| fpvm_nanbox::is_boxed(x)) {
+                    if [d[0], d[1], v[0], v[1]]
+                        .iter()
+                        .any(|&x| fpvm_nanbox::is_boxed(x))
+                    {
                         return ExecResult::Event(Event::NanHole { rip });
                     }
                 }
@@ -556,10 +560,7 @@ impl Machine {
                 let v = mem_try!(self.mem.read_int(self.ea(addr), w.bytes()));
                 // §6.2 "trap on NaN-load": a 64-bit integer load of a
                 // signaling-NaN pattern faults before retirement.
-                if self.nan_hole_traps
-                    && matches!(w, Width::W64)
-                    && fpvm_nanbox::is_boxed(v)
-                {
+                if self.nan_hole_traps && matches!(w, Width::W64) && fpvm_nanbox::is_boxed(v) {
                     return ExecResult::Event(Event::NanHole { rip });
                 }
                 self.gpr[dst.0 as usize] = v;
@@ -604,7 +605,8 @@ impl Machine {
                     .set_int_compare(self.gpr[a.0 as usize], self.gpr[b.0 as usize]);
             }
             CmpRI { a, imm } => {
-                self.rflags.set_int_compare(self.gpr[a.0 as usize], *imm as u64);
+                self.rflags
+                    .set_int_compare(self.gpr[a.0 as usize], *imm as u64);
             }
             TestRR { a, b } => {
                 self.rflags
@@ -848,7 +850,7 @@ mod tests {
     }
 
     #[test]
-    fn snan_traps_on_consume_not_on_move(){
+    fn snan_traps_on_consume_not_on_move() {
         // The NaN-boxing contract: moves carry boxes freely; arithmetic
         // consuming one faults with IE.
         let snan_bits = fpvm_nanbox::encode(fpvm_nanbox::ShadowKey::new(77).unwrap());

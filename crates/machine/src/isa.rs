@@ -309,72 +309,206 @@ pub enum TrapKind {
 pub enum Inst {
     // ---- FP data movement (never faults) --------------------------------
     /// movsd dst, src (64-bit lane 0; zeroes upper lane on reg←mem like x64).
-    MovSd { dst: XM, src: XM },
+    MovSd {
+        dst: XM,
+        src: XM,
+    },
     /// movapd: full 128-bit move.
-    MovApd { dst: XM, src: XM },
+    MovApd {
+        dst: XM,
+        src: XM,
+    },
     // ---- scalar FP arithmetic (faults per mxcsr) -------------------------
-    AddSd { dst: Xmm, src: XM },
-    SubSd { dst: Xmm, src: XM },
-    MulSd { dst: Xmm, src: XM },
-    DivSd { dst: Xmm, src: XM },
-    MinSd { dst: Xmm, src: XM },
-    MaxSd { dst: Xmm, src: XM },
-    SqrtSd { dst: Xmm, src: XM },
+    AddSd {
+        dst: Xmm,
+        src: XM,
+    },
+    SubSd {
+        dst: Xmm,
+        src: XM,
+    },
+    MulSd {
+        dst: Xmm,
+        src: XM,
+    },
+    DivSd {
+        dst: Xmm,
+        src: XM,
+    },
+    MinSd {
+        dst: Xmm,
+        src: XM,
+    },
+    MaxSd {
+        dst: Xmm,
+        src: XM,
+    },
+    SqrtSd {
+        dst: Xmm,
+        src: XM,
+    },
     /// Fused multiply-add: dst = dst × a + b (vfmadd213-style).
-    FmaSd { dst: Xmm, a: Xmm, b: XM },
+    FmaSd {
+        dst: Xmm,
+        a: Xmm,
+        b: XM,
+    },
     // ---- packed FP arithmetic (2 lanes, faults per mxcsr) ---------------
-    AddPd { dst: Xmm, src: XM },
-    SubPd { dst: Xmm, src: XM },
-    MulPd { dst: Xmm, src: XM },
-    DivPd { dst: Xmm, src: XM },
+    AddPd {
+        dst: Xmm,
+        src: XM,
+    },
+    SubPd {
+        dst: Xmm,
+        src: XM,
+    },
+    MulPd {
+        dst: Xmm,
+        src: XM,
+    },
+    DivPd {
+        dst: Xmm,
+        src: XM,
+    },
     // ---- compares (fault on NaN per mxcsr) -------------------------------
-    UComISd { a: Xmm, b: XM },
-    ComISd { a: Xmm, b: XM },
+    UComISd {
+        a: Xmm,
+        b: XM,
+    },
+    ComISd {
+        a: Xmm,
+        b: XM,
+    },
     // ---- conversions (fault per mxcsr) -----------------------------------
     /// cvtsi2sd from a 32- or 64-bit integer.
-    CvtSi2Sd { dst: Xmm, src: RM, w: Width },
+    CvtSi2Sd {
+        dst: Xmm,
+        src: RM,
+        w: Width,
+    },
     /// cvttsd2si (truncating) to a 32- or 64-bit integer.
-    CvtTSd2Si { dst: Gpr, src: XM, w: Width },
-    CvtSd2Ss { dst: Xmm, src: XM },
-    CvtSs2Sd { dst: Xmm, src: XM },
+    CvtTSd2Si {
+        dst: Gpr,
+        src: XM,
+        w: Width,
+    },
+    CvtSd2Ss {
+        dst: Xmm,
+        src: XM,
+    },
+    CvtSs2Sd {
+        dst: Xmm,
+        src: XM,
+    },
     // ---- bitwise FP: the virtualization holes (never fault) --------------
-    XorPd { dst: Xmm, src: XM },
-    AndPd { dst: Xmm, src: XM },
-    OrPd { dst: Xmm, src: XM },
+    XorPd {
+        dst: Xmm,
+        src: XM,
+    },
+    AndPd {
+        dst: Xmm,
+        src: XM,
+    },
+    OrPd {
+        dst: Xmm,
+        src: XM,
+    },
     /// movq r64 ← xmm (lane 0) — leaks FP bits into the integer world.
-    MovQXG { dst: Gpr, src: Xmm },
+    MovQXG {
+        dst: Gpr,
+        src: Xmm,
+    },
     /// movq xmm ← r64.
-    MovQGX { dst: Xmm, src: Gpr },
+    MovQGX {
+        dst: Xmm,
+        src: Gpr,
+    },
     // ---- integer ----------------------------------------------------------
-    MovRR { dst: Gpr, src: Gpr },
-    MovRI { dst: Gpr, imm: i64 },
+    MovRR {
+        dst: Gpr,
+        src: Gpr,
+    },
+    MovRI {
+        dst: Gpr,
+        imm: i64,
+    },
     /// Zero-extending load — an integer window onto memory that may hold FP
     /// bits (the paper's Fig. 6/7 "sink" instructions).
-    Load { dst: Gpr, addr: Mem, w: Width },
-    Store { addr: Mem, src: Gpr, w: Width },
-    Lea { dst: Gpr, addr: Mem },
-    AluRR { op: AluOp, dst: Gpr, src: Gpr },
-    AluRI { op: AluOp, dst: Gpr, imm: i64 },
+    Load {
+        dst: Gpr,
+        addr: Mem,
+        w: Width,
+    },
+    Store {
+        addr: Mem,
+        src: Gpr,
+        w: Width,
+    },
+    Lea {
+        dst: Gpr,
+        addr: Mem,
+    },
+    AluRR {
+        op: AluOp,
+        dst: Gpr,
+        src: Gpr,
+    },
+    AluRI {
+        op: AluOp,
+        dst: Gpr,
+        imm: i64,
+    },
     /// Signed division dst = dst / src (simplified idiv).
-    DivR { dst: Gpr, src: Gpr },
+    DivR {
+        dst: Gpr,
+        src: Gpr,
+    },
     /// Signed remainder dst = dst % src.
-    RemR { dst: Gpr, src: Gpr },
-    CmpRR { a: Gpr, b: Gpr },
-    CmpRI { a: Gpr, imm: i64 },
-    TestRR { a: Gpr, b: Gpr },
+    RemR {
+        dst: Gpr,
+        src: Gpr,
+    },
+    CmpRR {
+        a: Gpr,
+        b: Gpr,
+    },
+    CmpRI {
+        a: Gpr,
+        imm: i64,
+    },
+    TestRR {
+        a: Gpr,
+        b: Gpr,
+    },
     // ---- control flow ------------------------------------------------------
     /// Relative jump (target = address of next instruction + rel).
-    Jmp { rel: i32 },
-    Jcc { cond: Cond, rel: i32 },
-    Call { rel: i32 },
-    CallExt { f: ExtFn },
+    Jmp {
+        rel: i32,
+    },
+    Jcc {
+        cond: Cond,
+        rel: i32,
+    },
+    Call {
+        rel: i32,
+    },
+    CallExt {
+        f: ExtFn,
+    },
     Ret,
-    Push { src: Gpr },
-    Pop { dst: Gpr },
+    Push {
+        src: Gpr,
+    },
+    Pop {
+        dst: Gpr,
+    },
     // ---- special ------------------------------------------------------------
     /// Software trap into FPVM (patched in by fpvm-analysis or the
     /// trap-and-patch engine). `id` indexes the patch side table.
-    Trap { kind: TrapKind, id: u16 },
+    Trap {
+        kind: TrapKind,
+        id: u16,
+    },
     Halt,
     Nop,
 }

@@ -32,5 +32,5 @@ pub use cost::{CostModel, DeliveryMode};
 pub use encode::{decode, encode, encoded_len, DecodeError};
 pub use exec::{Event, Fault, Machine, OutputEvent};
 pub use isa::*;
-pub use mem::{Memory, MemFault, CODE_BASE, DATA_BASE, HEAP_BASE};
+pub use mem::{MemFault, Memory, CODE_BASE, DATA_BASE, HEAP_BASE};
 pub use mxcsr::{Mxcsr, RFlags};

@@ -186,10 +186,7 @@ mod tests {
         let mut m = Memory::default();
         assert_eq!(m.read_u64(0), Err(MemFault::NullGuard(0)));
         assert_eq!(m.read_u64(0xFF8), Err(MemFault::NullGuard(0xFF8)));
-        assert_eq!(
-            m.write_u64(8, 1),
-            Err(MemFault::NullGuard(8))
-        );
+        assert_eq!(m.write_u64(8, 1), Err(MemFault::NullGuard(8)));
         // Out of bounds.
         let top = m.size();
         assert_eq!(m.read_u64(top - 4), Err(MemFault::OutOfBounds(top - 4)));

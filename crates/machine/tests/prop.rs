@@ -36,8 +36,16 @@ impl Rng {
 
     fn mem(&mut self) -> Mem {
         Mem {
-            base: if self.below(2) == 0 { Some(self.gpr()) } else { None },
-            index: if self.below(2) == 0 { Some(self.gpr()) } else { None },
+            base: if self.below(2) == 0 {
+                Some(self.gpr())
+            } else {
+                None
+            },
+            index: if self.below(2) == 0 {
+                Some(self.gpr())
+            } else {
+                None
+            },
             scale: [1u8, 2, 4, 8][self.below(4) as usize],
             disp: self.below(200_001) as i64 - 100_000,
         }
@@ -65,26 +73,88 @@ impl Rng {
 
     fn inst(&mut self) -> Inst {
         match self.below(25) {
-            0 => Inst::MovSd { dst: self.xm(), src: self.xm() },
-            1 => Inst::MovApd { dst: self.xm(), src: self.xm() },
-            2 => Inst::AddSd { dst: self.xmm(), src: self.xm() },
-            3 => Inst::SubSd { dst: self.xmm(), src: self.xm() },
-            4 => Inst::MulSd { dst: self.xmm(), src: self.xm() },
-            5 => Inst::DivSd { dst: self.xmm(), src: self.xm() },
-            6 => Inst::SqrtSd { dst: self.xmm(), src: self.xm() },
-            7 => Inst::AddPd { dst: self.xmm(), src: self.xm() },
-            8 => Inst::UComISd { a: self.xmm(), b: self.xm() },
-            9 => Inst::CvtSi2Sd { dst: self.xmm(), src: self.rm(), w: self.width() },
-            10 => Inst::CvtTSd2Si { dst: self.gpr(), src: self.xm(), w: self.width() },
-            11 => Inst::XorPd { dst: self.xmm(), src: self.xm() },
-            12 => Inst::MovQXG { dst: self.gpr(), src: self.xmm() },
-            13 => Inst::MovRR { dst: self.gpr(), src: self.gpr() },
-            14 => Inst::MovRI { dst: self.gpr(), imm: self.next() as i64 },
-            15 => Inst::Load { dst: self.gpr(), addr: self.mem(), w: self.width() },
-            16 => Inst::Store { addr: self.mem(), src: self.gpr(), w: self.width() },
-            17 => Inst::Lea { dst: self.gpr(), addr: self.mem() },
-            18 => Inst::Jmp { rel: self.next() as i32 },
-            19 => Inst::Call { rel: self.next() as i32 },
+            0 => Inst::MovSd {
+                dst: self.xm(),
+                src: self.xm(),
+            },
+            1 => Inst::MovApd {
+                dst: self.xm(),
+                src: self.xm(),
+            },
+            2 => Inst::AddSd {
+                dst: self.xmm(),
+                src: self.xm(),
+            },
+            3 => Inst::SubSd {
+                dst: self.xmm(),
+                src: self.xm(),
+            },
+            4 => Inst::MulSd {
+                dst: self.xmm(),
+                src: self.xm(),
+            },
+            5 => Inst::DivSd {
+                dst: self.xmm(),
+                src: self.xm(),
+            },
+            6 => Inst::SqrtSd {
+                dst: self.xmm(),
+                src: self.xm(),
+            },
+            7 => Inst::AddPd {
+                dst: self.xmm(),
+                src: self.xm(),
+            },
+            8 => Inst::UComISd {
+                a: self.xmm(),
+                b: self.xm(),
+            },
+            9 => Inst::CvtSi2Sd {
+                dst: self.xmm(),
+                src: self.rm(),
+                w: self.width(),
+            },
+            10 => Inst::CvtTSd2Si {
+                dst: self.gpr(),
+                src: self.xm(),
+                w: self.width(),
+            },
+            11 => Inst::XorPd {
+                dst: self.xmm(),
+                src: self.xm(),
+            },
+            12 => Inst::MovQXG {
+                dst: self.gpr(),
+                src: self.xmm(),
+            },
+            13 => Inst::MovRR {
+                dst: self.gpr(),
+                src: self.gpr(),
+            },
+            14 => Inst::MovRI {
+                dst: self.gpr(),
+                imm: self.next() as i64,
+            },
+            15 => Inst::Load {
+                dst: self.gpr(),
+                addr: self.mem(),
+                w: self.width(),
+            },
+            16 => Inst::Store {
+                addr: self.mem(),
+                src: self.gpr(),
+                w: self.width(),
+            },
+            17 => Inst::Lea {
+                dst: self.gpr(),
+                addr: self.mem(),
+            },
+            18 => Inst::Jmp {
+                rel: self.next() as i32,
+            },
+            19 => Inst::Call {
+                rel: self.next() as i32,
+            },
             20 => Inst::Ret,
             21 => Inst::Halt,
             22 => Inst::Nop,
@@ -184,7 +254,10 @@ fn mxcsr_contract() {
         let (_, exact_flags) = fpvm_arith::softfp::mul(a, b);
         match m2.run(100) {
             Event::Halted => {
-                assert!(exact_flags.is_empty(), "halted but op had flags {exact_flags}")
+                assert!(
+                    exact_flags.is_empty(),
+                    "halted but op had flags {exact_flags}"
+                )
             }
             Event::FpException { rip, flags } => {
                 assert!(!exact_flags.is_empty());

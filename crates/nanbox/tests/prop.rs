@@ -27,7 +27,10 @@ const CASES: usize = 4096;
 #[test]
 fn roundtrip() {
     let mut rng = Rng(1);
-    for raw in (1..=MAX_KEY).take(1000).chain((0..CASES).map(|_| rng.key())) {
+    for raw in (1..=MAX_KEY)
+        .take(1000)
+        .chain((0..CASES).map(|_| rng.key()))
+    {
         let k = ShadowKey::new(raw).unwrap();
         assert_eq!(decode(encode(k)), Some(k));
         assert_eq!(decode_f64(encode_f64(k)), Some(k));

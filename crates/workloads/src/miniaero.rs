@@ -69,12 +69,7 @@ fn load_state(
 }
 
 /// Physical fluxes + max wave speed for one state.
-fn flux_of(
-    b: &mut FuncBuilder,
-    r: Value,
-    mv: Value,
-    e: Value,
-) -> (Value, Value, Value, Value) {
+fn flux_of(b: &mut FuncBuilder, r: Value, mv: Value, e: Value) -> (Value, Value, Value, Value) {
     // u = m/ρ; p = (γ−1)(E − ½ρu²); c = √(γp/ρ); s = |u| + c
     let u = b.fdiv(mv, r);
     let half = b.cf(0.5);
@@ -187,11 +182,11 @@ pub fn build(p: Params) -> Module {
                 let smax = b.fmax(sl, sr);
                 let half = b.cf(0.5);
                 let store_flux = |b: &mut FuncBuilder,
-                                      favg_l: Value,
-                                      favg_r: Value,
-                                      ul: Value,
-                                      ur: Value,
-                                      dstv: Var| {
+                                  favg_l: Value,
+                                  favg_r: Value,
+                                  ul: Value,
+                                  ur: Value,
+                                  dstv: Var| {
                     let s = b.fadd(favg_l, favg_r);
                     let avg = b.fmul(half, s);
                     let du = b.fsub(ur, ul);

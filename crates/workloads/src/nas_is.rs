@@ -134,45 +134,45 @@ pub fn build(p: Params) -> Module {
         // NPB IS ranks the keys `iterations` times (the FP generation above
         // happens once, so the steady state is integer-dominated).
         loop_n(b, p.iterations, |b, _it| {
-        // Clear counts.
-        loop_n(b, p.max_key, |b, kv| {
-            let three = b.ci(3);
-            let off = b.ishl(kv, three);
-            let cbase = b.read(counts_var);
-            let caddr = b.iadd(cbase, off);
+            // Clear counts.
+            loop_n(b, p.max_key, |b, kv| {
+                let three = b.ci(3);
+                let off = b.ishl(kv, three);
+                let cbase = b.read(counts_var);
+                let caddr = b.iadd(cbase, off);
+                let z = b.ci(0);
+                b.storei(caddr, 0, z);
+            });
+            // Count.
+            loop_n(b, p.n, |b, iv| {
+                let three = b.ci(3);
+                let off = b.ishl(iv, three);
+                let kbase = b.read(keys_var);
+                let kaddr = b.iadd(kbase, off);
+                let key = b.loadi(kaddr, 0);
+                let koff = b.ishl(key, three);
+                let cbase = b.read(counts_var);
+                let caddr = b.iadd(cbase, koff);
+                let cur = b.loadi(caddr, 0);
+                let one = b.ci(1);
+                let next = b.iadd(cur, one);
+                b.storei(caddr, 0, next);
+            });
+            // Prefix-sum the counts into ranks (in place).
+            let run = b.var(Ty::I64);
             let z = b.ci(0);
-            b.storei(caddr, 0, z);
-        });
-        // Count.
-        loop_n(b, p.n, |b, iv| {
-            let three = b.ci(3);
-            let off = b.ishl(iv, three);
-            let kbase = b.read(keys_var);
-            let kaddr = b.iadd(kbase, off);
-            let key = b.loadi(kaddr, 0);
-            let koff = b.ishl(key, three);
-            let cbase = b.read(counts_var);
-            let caddr = b.iadd(cbase, koff);
-            let cur = b.loadi(caddr, 0);
-            let one = b.ci(1);
-            let next = b.iadd(cur, one);
-            b.storei(caddr, 0, next);
-        });
-        // Prefix-sum the counts into ranks (in place).
-        let run = b.var(Ty::I64);
-        let z = b.ci(0);
-        b.write(run, z);
-        loop_n(b, p.max_key, |b, kv| {
-            let three = b.ci(3);
-            let off = b.ishl(kv, three);
-            let cbase = b.read(counts_var);
-            let caddr = b.iadd(cbase, off);
-            let c = b.loadi(caddr, 0);
-            let r = b.read(run);
-            b.storei(caddr, 0, r);
-            let r2 = b.iadd(r, c);
-            b.write(run, r2);
-        });
+            b.write(run, z);
+            loop_n(b, p.max_key, |b, kv| {
+                let three = b.ci(3);
+                let off = b.ishl(kv, three);
+                let cbase = b.read(counts_var);
+                let caddr = b.iadd(cbase, off);
+                let c = b.loadi(caddr, 0);
+                let r = b.read(run);
+                b.storei(caddr, 0, r);
+                let r2 = b.iadd(r, c);
+                b.write(run, r2);
+            });
         });
         // Verification checksum: sum of rank(key_i) for sampled i, plus an
         // FP mean of the sampled ranks (the workload's only FP).

@@ -172,15 +172,13 @@ pub fn build(p: Params) -> Module {
         b.write(rhs, a);
         let a = b.global_addr(g_coarse);
         b.write(coarse, a);
-        let g = Grids {
-            u,
-            rhs,
-            coarse,
-            n,
-        };
+        let g = Grids { u, rhs, coarse, n };
         // RHS: a few deterministic point charges (as NPB MG seeds ±1).
-        for (ci, cj, v) in [(n / 4, n / 4, 1.0), (3 * n / 4, n / 2, -1.0), (n / 2, 3 * n / 4, 1.0)]
-        {
+        for (ci, cj, v) in [
+            (n / 4, n / 4, 1.0),
+            (3 * n / 4, n / 2, -1.0),
+            (n / 2, 3 * n / 4, 1.0),
+        ] {
             let iv = b.ci(ci);
             let jv = b.ci(cj);
             let addr = cell(b, g.rhs, n, iv, jv);

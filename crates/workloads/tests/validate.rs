@@ -30,7 +30,8 @@ fn every_workload_matches_its_reference_tiny() {
         );
         for (idx, (got, want)) in out.iter().zip(&w.reference).enumerate() {
             assert_eq!(
-                got, want,
+                got,
+                want,
                 "{}: output {idx} differs: got {} want {}",
                 w.name,
                 got.render(),

@@ -12,9 +12,9 @@
 
 use fpvm::arith::BigFloatCtx;
 use fpvm::ir::{compile, CompileMode};
+use fpvm::ir::{CmpOp, Module, Ty};
 use fpvm::machine::{CostModel, Machine, OutputEvent};
 use fpvm::runtime::{Fpvm, FpvmConfig};
-use fpvm::ir::{CmpOp, Module, Ty};
 
 /// Logistic map x <- r x (1-x), printing every iterate.
 fn logistic(iters: i64) -> Module {

@@ -11,7 +11,7 @@
 //! floating point virtualization.
 
 use fpvm::arith::{BigFloatCtx, PositCtx, Vanilla};
-use fpvm::machine::{Asm, Cond, CostModel, ExtFn, Gpr, Machine, Xmm, AluOp};
+use fpvm::machine::{AluOp, Asm, Cond, CostModel, ExtFn, Gpr, Machine, Xmm};
 use fpvm::runtime::{Fpvm, FpvmConfig};
 
 fn build_guest() -> fpvm::machine::Program {

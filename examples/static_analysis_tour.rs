@@ -63,8 +63,10 @@ fn main() {
 
     // The analysis sees it coming.
     let an = analyze(&prog);
-    println!("\nstatic analysis: {} instructions, {} integer loads, {} proven safe",
-        an.stats.instructions, an.stats.loads_total, an.stats.loads_proven_safe);
+    println!(
+        "\nstatic analysis: {} instructions, {} integer loads, {} proven safe",
+        an.stats.instructions, an.stats.loads_total, an.stats.loads_proven_safe
+    );
     for s in &an.sinks {
         println!("  sink @ {:#x}: {} ({:?})", s.addr, s.inst, s.reason);
     }

@@ -30,10 +30,7 @@ fn run_with<A: ArithSystem>(prog: &fpvm::machine::Program, arith: A) -> Vec<f64>
     m.load_program(prog);
     let mut rt = Fpvm::new(arith, FpvmConfig::default());
     let report = rt.run(&mut m);
-    assert!(matches!(
-        report.exit,
-        fpvm::runtime::ExitReason::Halted
-    ));
+    assert!(matches!(report.exit, fpvm::runtime::ExitReason::Halted));
     finals(&m.output)
 }
 

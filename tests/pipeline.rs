@@ -245,7 +245,11 @@ fn nan_load_hardware_extension_replaces_static_analysis() {
         let mut rt = Fpvm::new(Vanilla, cfg);
         let report = rt.run(&mut m);
         assert_eq!(report.exit, ExitReason::Halted, "{}", w.name);
-        assert_eq!(n, m.output, "{}: hw NaN-load traps must preserve results", w.name);
+        assert_eq!(
+            n, m.output,
+            "{}: hw NaN-load traps must preserve results",
+            w.name
+        );
         assert_eq!(report.stats.correctness_traps, 0, "no patched sites exist");
         assert!(
             report.stats.nan_hole_traps > 0,

@@ -21,7 +21,7 @@
 
 use fpvm::analysis::analyze_and_patch;
 use fpvm::arith::Vanilla;
-use fpvm::ir::{compile, CompileMode, CmpOp, FBinOp, GlobalInit, IBinOp, MathFn, Module, Ty};
+use fpvm::ir::{compile, CmpOp, CompileMode, FBinOp, GlobalInit, IBinOp, MathFn, Module, Ty};
 use fpvm::machine::{CostModel, Event, Machine, OutputEvent};
 use fpvm::runtime::{ExitReason, Fpvm, FpvmConfig};
 
@@ -401,10 +401,7 @@ fn nan_space_ownership_limitation() {
     let compiled = compile(&m, CompileMode::Native);
     let native = run_native(&compiled.program);
     // Natively the forged sNaN bits round-trip unchanged.
-    assert_eq!(
-        native[0],
-        OutputEvent::I64(0x7FF0_0000_0000_0001u64 as i64)
-    );
+    assert_eq!(native[0], OutputEvent::I64(0x7FF0_0000_0000_0001u64 as i64));
     // Under the hybrid FPVM the patched load demotes the pattern: the key
     // is not live in the arena, so it reads as the universal (quiet) NaN.
     let patched = analyze_and_patch(&compiled.program);
