@@ -5,6 +5,10 @@
 //! reproduce --exp all            # everything (a few minutes)
 //! reproduce --exp fig12          # one experiment
 //! reproduce --exp fig12 --tiny   # reduced problem sizes (seconds)
+//! reproduce --trace              # trace/profile mode: stream
+//!                                # target/experiments/trace.jsonl and
+//!                                # render the top-N hot-site report
+//! reproduce --smoke --trace      # CI smoke: tiny sizes, trace mode
 //! reproduce --list
 //! ```
 //!
@@ -56,18 +60,33 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ),
     ("posits", "§5.4 companion: three-body under posits"),
     ("loc", "§5.5: lines-of-code inventory"),
+    (
+        "trace",
+        "trace/profile mode: JSONL trap trace + hot-site profile",
+    ),
+    (
+        "pguided",
+        "profiler-guided patch-site selection vs the heuristic",
+    ),
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut exp_name = "all".to_string();
+    let mut exp_name: Option<String> = None;
     let mut size = Size::S;
     let mut max_log2 = 14u32;
+    let mut trace_mode = false;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--exp" => exp_name = it.next().cloned().unwrap_or_default(),
+            "--exp" => exp_name = it.next().cloned(),
             "--tiny" => size = Size::Tiny,
+            "--smoke" => {
+                // CI-friendly: tiny problem sizes and a short Fig. 11 sweep.
+                size = Size::Tiny;
+                max_log2 = 8;
+            }
+            "--trace" | "--profile" => trace_mode = true,
             "--max-log2" => max_log2 = it.next().and_then(|s| s.parse().ok()).unwrap_or(14),
             "--list" => {
                 for (name, desc) in EXPERIMENTS {
@@ -81,6 +100,15 @@ fn main() {
             }
         }
     }
+    // `--trace` alone means "just the trace/profile mode"; with `--exp` it
+    // rides along as an extra.
+    let exp_name = exp_name.unwrap_or_else(|| {
+        if trace_mode {
+            "none".to_string()
+        } else {
+            "all".to_string()
+        }
+    });
     let want = |n: &str| exp_name == "all" || exp_name == n;
     let mut ran = false;
     if want("validate") {
@@ -139,6 +167,14 @@ fn main() {
     if want("loc") {
         ran = true;
         archive("loc", &loc::loc_table(&PathBuf::from(".")));
+    }
+    if want("trace") || trace_mode {
+        ran = true;
+        archive("trace_profile", &exp::trace_profile(size));
+    }
+    if want("pguided") {
+        ran = true;
+        archive("pguided", &exp::profiler_guided(size));
     }
     if !ran {
         eprintln!("unknown experiment '{exp_name}' (try --list)");

@@ -7,12 +7,15 @@
 //! cost model (see EXPERIMENTS.md for the measured-vs-modeled split).
 
 use crate::json::json_struct;
-use crate::{commas, run_hybrid, run_native, slowdown_str};
+use crate::trace::JsonlTraceSink;
+use crate::{commas, run_hybrid, run_hybrid_with, run_native, slowdown_str};
 use fpvm_arith::{bigfloat, BigFloat, BigFloatCtx, PositCtx, Round, Vanilla};
-use fpvm_core::{Component, Fpvm, FpvmConfig};
+use fpvm_core::{Component, FanoutSink, Fpvm, FpvmConfig, ProfilerSink};
 use fpvm_ir::{compile, CompileMode};
 use fpvm_machine::{CostModel, DeliveryMode, Machine, OutputEvent};
 use fpvm_workloads::{all_workloads, breakdown_workloads, lorenz, Size};
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::Instant;
 
 /// The paper's MPFR precision (§5.3).
@@ -819,6 +822,247 @@ pub fn posit_effects() -> Vec<PositRow> {
 }
 
 // ---------------------------------------------------------------------------
+// Trace/profile mode: stream a full trap trace + aggregate hot-site profile
+// ---------------------------------------------------------------------------
+
+/// One hot-site row of the archived profile.
+#[derive(Debug, Clone)]
+pub struct HotSiteRow {
+    pub rip: u64,
+    pub traps: u64,
+    pub correctness_traps: u64,
+    pub patch_fast: u64,
+    pub patch_slow: u64,
+    pub cycles_total: u64,
+    pub dominant: String,
+    pub patched: bool,
+}
+
+/// One per-component latency histogram of the archived profile.
+#[derive(Debug, Clone)]
+pub struct HistRow {
+    pub component: String,
+    pub count: u64,
+    pub mean: f64,
+    pub max: u64,
+    /// `(bucket_lower_bound_cycles, count)` for each non-empty log₂ bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// The archived record of a `--trace`/`--profile` run.
+#[derive(Debug, Clone)]
+pub struct TraceProfileResult {
+    pub workload: String,
+    pub trace_path: String,
+    pub trace_lines: u64,
+    pub profiler_events: u64,
+    pub sites: u64,
+    pub hot_sites: Vec<HotSiteRow>,
+    pub histograms: Vec<HistRow>,
+    /// Arena occupancy time series: `(icount, live_before, live_after)`.
+    pub arena: Vec<(u64, u64, u64)>,
+}
+
+/// Trace/profile mode: run Lorenz under bigfloat-200 with the JSONL stream
+/// and the aggregating profiler fanned out from the same sink, write
+/// `target/experiments/trace.jsonl`, and render the top-N hot-site report.
+pub fn trace_profile(size: Size) -> TraceProfileResult {
+    println!("== trace/profile: Lorenz trap telemetry (bigfloat-200, R815) ==");
+    let w = lorenz::workload(size);
+    let dir = std::path::PathBuf::from("target/experiments");
+    let _ = std::fs::create_dir_all(&dir);
+    let trace_path = dir.join("trace.jsonl");
+    let jsonl = Rc::new(RefCell::new(
+        JsonlTraceSink::create(&trace_path).expect("create trace.jsonl"),
+    ));
+    let prof = Rc::new(RefCell::new(ProfilerSink::new()));
+    let cfg = FpvmConfig {
+        gc_epoch: 150_000, // make the GC contribute to the arena series
+        ..FpvmConfig::default()
+    };
+    let (report, _, _) = run_hybrid_with(
+        &w,
+        BigFloatCtx::new(PAPER_PREC),
+        CostModel::r815(),
+        cfg,
+        |rt| {
+            rt.set_trace_sink(Box::new(FanoutSink::new(vec![
+                Box::new(jsonl.clone()),
+                Box::new(prof.clone()),
+            ])));
+        },
+    );
+    let prof = prof.borrow();
+    let top_n = 10;
+    print!("{}", prof.report(top_n));
+    let hot_sites: Vec<HotSiteRow> = prof
+        .hot_sites(top_n)
+        .into_iter()
+        .map(|(rip, p)| HotSiteRow {
+            rip,
+            traps: p.traps,
+            correctness_traps: p.correctness_traps,
+            patch_fast: p.patch_fast,
+            patch_slow: p.patch_slow,
+            cycles_total: p.total_cycles(),
+            dominant: p.dominant().label().to_string(),
+            patched: p.patched,
+        })
+        .collect();
+    let histograms: Vec<HistRow> = Component::ALL
+        .into_iter()
+        .map(|c| {
+            let h = prof.histogram(c);
+            HistRow {
+                component: c.label().to_string(),
+                count: h.count(),
+                mean: h.mean(),
+                max: h.max(),
+                buckets: h.nonzero(),
+            }
+        })
+        .filter(|r| r.count > 0)
+        .collect();
+    for h in &histograms {
+        println!(
+            "hist {:<20} n={:<8} mean={:>10.0} max={:>10} buckets={}",
+            h.component,
+            h.count,
+            h.mean,
+            h.max,
+            h.buckets.len()
+        );
+    }
+    let arena: Vec<(u64, u64, u64)> = prof
+        .arena_series()
+        .iter()
+        .map(|s| (s.icount, s.before, s.alive))
+        .collect();
+    let lines = jsonl.borrow().lines();
+    println!(
+        "trace: {} events -> {} ({} lines); profiler: {} events over {} sites, {} GC samples",
+        commas(report.stats.fp_traps),
+        trace_path.display(),
+        commas(lines),
+        commas(prof.events()),
+        prof.sites().len(),
+        arena.len()
+    );
+    println!();
+    TraceProfileResult {
+        workload: w.name.to_string(),
+        trace_path: trace_path.display().to_string(),
+        trace_lines: lines,
+        profiler_events: prof.events(),
+        sites: prof.sites().len() as u64,
+        hot_sites,
+        histograms,
+        arena,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profiler-guided trap-and-patch site selection vs the heuristic
+// ---------------------------------------------------------------------------
+
+/// The archived comparison row for the `pguided` experiment.
+#[derive(Debug, Clone)]
+pub struct PguidedResult {
+    pub workload: String,
+    pub top_k: u64,
+    pub profiled_sites: u64,
+    pub top_rip: u64,
+    /// Acceptance check: the heuristic engine patches the profiler's #1 site.
+    pub top_rip_patched_by_heuristic: bool,
+    pub baseline_cycles: u64,
+    pub heuristic_cycles: u64,
+    pub heuristic_sites_patched: u64,
+    pub guided_cycles: u64,
+    pub guided_sites_patched: u64,
+    /// Guided cycles relative to the heuristic (≈1.0 means the top-K sites
+    /// capture all the win with a fraction of the patch budget).
+    pub guided_vs_heuristic: f64,
+}
+
+/// Feed the profiler's hot-site ranking into trap-and-patch site selection
+/// and compare against the patch-everything heuristic (§3.2).
+pub fn profiler_guided(size: Size) -> PguidedResult {
+    println!("== pguided: profiler-guided patch-site selection vs heuristic (Vanilla, R815) ==");
+    let w = lorenz::workload(size);
+    let top_k = 4usize;
+    // Pass 1 — profile a plain trap-and-emulate run to rank the sites.
+    let prof = Rc::new(RefCell::new(ProfilerSink::new()));
+    let (base, _, _) = run_hybrid_with(
+        &w,
+        Vanilla,
+        CostModel::r815(),
+        FpvmConfig::default(),
+        |rt| rt.set_trace_sink(Box::new(prof.clone())),
+    );
+    let prof = prof.borrow();
+    let ranked = prof.hot_sites(top_k);
+    assert!(!ranked.is_empty(), "workload must trap");
+    let top_rip = ranked[0].0;
+    print!("{}", prof.report(top_k));
+    // Pass 2 — the heuristic: patch every eligible site on first trap.
+    let patch_cfg = FpvmConfig {
+        trap_and_patch: true,
+        ..FpvmConfig::default()
+    };
+    let hprof = Rc::new(RefCell::new(ProfilerSink::new()));
+    let (heur, _, _) = run_hybrid_with(&w, Vanilla, CostModel::r815(), patch_cfg, |rt| {
+        rt.set_trace_sink(Box::new(hprof.clone()))
+    });
+    let top_rip_patched_by_heuristic = hprof
+        .borrow()
+        .site(top_rip)
+        .is_some_and(|site| site.patched);
+    // Pass 3 — guided: spend the patch budget only on the profiled top-K.
+    let allow: Vec<u64> = ranked.iter().map(|(rip, _)| *rip).collect();
+    let (guided, _, _) = run_hybrid_with(&w, Vanilla, CostModel::r815(), patch_cfg, |rt| {
+        rt.restrict_patching(allow.iter().copied())
+    });
+    let result = PguidedResult {
+        workload: w.name.to_string(),
+        top_k: top_k as u64,
+        profiled_sites: prof.sites().len() as u64,
+        top_rip,
+        top_rip_patched_by_heuristic,
+        baseline_cycles: base.cycles,
+        heuristic_cycles: heur.cycles,
+        heuristic_sites_patched: heur.stats.sites_patched,
+        guided_cycles: guided.cycles,
+        guided_sites_patched: guided.stats.sites_patched,
+        guided_vs_heuristic: guided.cycles as f64 / heur.cycles.max(1) as f64,
+    };
+    println!("{:<26} {:>14} {:>14}", "variant", "cycles", "sites patched");
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "trap-and-emulate",
+        commas(result.baseline_cycles),
+        "-"
+    );
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "heuristic (patch all)",
+        commas(result.heuristic_cycles),
+        result.heuristic_sites_patched
+    );
+    println!(
+        "{:<26} {:>14} {:>14}",
+        format!("profiler-guided (top {top_k})"),
+        commas(result.guided_cycles),
+        result.guided_sites_patched
+    );
+    println!(
+        "top site {:#x} patched by heuristic: {}; guided/heuristic cycle ratio: {:.3}",
+        result.top_rip, result.top_rip_patched_by_heuristic, result.guided_vs_heuristic
+    );
+    println!();
+    result
+}
+
+// ---------------------------------------------------------------------------
 // JSON archival encodings
 // ---------------------------------------------------------------------------
 
@@ -903,4 +1147,44 @@ json_struct!(PositRow {
     system,
     final_x,
     delta_vs_ieee,
+});
+json_struct!(HotSiteRow {
+    rip,
+    traps,
+    correctness_traps,
+    patch_fast,
+    patch_slow,
+    cycles_total,
+    dominant,
+    patched,
+});
+json_struct!(HistRow {
+    component,
+    count,
+    mean,
+    max,
+    buckets,
+});
+json_struct!(TraceProfileResult {
+    workload,
+    trace_path,
+    trace_lines,
+    profiler_events,
+    sites,
+    hot_sites,
+    histograms,
+    arena,
+});
+json_struct!(PguidedResult {
+    workload,
+    top_k,
+    profiled_sites,
+    top_rip,
+    top_rip_patched_by_heuristic,
+    baseline_cycles,
+    heuristic_cycles,
+    heuristic_sites_patched,
+    guided_cycles,
+    guided_sites_patched,
+    guided_vs_heuristic,
 });

@@ -78,7 +78,7 @@ impl<T: ToJson + ?Sized> ToJson for &T {
     }
 }
 
-impl<T: ToJson> ToJson for Vec<T> {
+impl<T: ToJson> ToJson for [T] {
     fn write_json(&self, out: &mut String) {
         out.push('[');
         for (i, v) in self.iter().enumerate() {
@@ -88,6 +88,21 @@ impl<T: ToJson> ToJson for Vec<T> {
             v.write_json(out);
         }
         out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
     }
 }
 
@@ -149,6 +164,24 @@ mod tests {
         assert_eq!(0.5f64.to_json(), "0.5");
         assert_eq!(f64::NAN.to_json(), "null");
         assert_eq!("a\"b\\c\n".to_json(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn options_and_slices() {
+        // Option: Some is transparent, None is null — the same shape a
+        // serde round-trip of `Option<T>` would produce.
+        assert_eq!(Some(7u16).to_json(), "7");
+        assert_eq!(None::<u16>.to_json(), "null");
+        assert_eq!(Some("x".to_string()).to_json(), "\"x\"");
+        assert_eq!(vec![Some(1u64), None, Some(3)].to_json(), "[1,null,3]");
+        // Slices encode like the owning Vec, and `&[T]` works through the
+        // reference-forwarding impl (histogram buckets are borrowed slices).
+        let v = vec![1u64, 2, 3];
+        assert_eq!(v.as_slice().to_json(), v.to_json());
+        let empty: &[u64] = &[];
+        assert_eq!(empty.to_json(), "[]");
+        let nested: &[(u64, f64)] = &[(1, 0.5), (2, 1.5)];
+        assert_eq!(nested.to_json(), "[[1,0.5],[2,1.5]]");
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod json;
 pub mod loc;
 pub mod microbench;
+pub mod trace;
 
 use fpvm_analysis::analyze_and_patch;
 use fpvm_arith::ArithSystem;
@@ -52,12 +53,25 @@ pub fn run_hybrid<A: ArithSystem>(
     cost: CostModel,
     cfg: FpvmConfig,
 ) -> (RunReport, Vec<OutputEvent>, fpvm_analysis::AnalysisStats) {
+    run_hybrid_with(w, arith, cost, cfg, |_| {})
+}
+
+/// [`run_hybrid`] with a setup hook that sees the runtime before it runs —
+/// install a trace sink, restrict patch sites, etc.
+pub fn run_hybrid_with<A: ArithSystem>(
+    w: &Workload,
+    arith: A,
+    cost: CostModel,
+    cfg: FpvmConfig,
+    setup: impl FnOnce(&mut Fpvm<A>),
+) -> (RunReport, Vec<OutputEvent>, fpvm_analysis::AnalysisStats) {
     let c = compile(&w.module, CompileMode::Native);
     let patched = analyze_and_patch(&c.program);
     let mut m = Machine::new(cost);
     m.load_program(&patched.program);
     let mut rt = Fpvm::new(arith, cfg);
     rt.set_side_table(patched.side_table);
+    setup(&mut rt);
     let report = rt.run(&mut m);
     assert_eq!(report.exit, ExitReason::Halted, "{}", w.name);
     (report, m.output, patched.analysis.stats)

@@ -1,0 +1,244 @@
+//! Streaming JSONL trace writer: one JSON object per [`TraceEvent`], one
+//! event per line, encoded with the harness's own [`ToJson`] values (the
+//! build is offline, so no serde).
+//!
+//! The object shape is flat and stable: every line carries an `"ev"` kind
+//! tag (from [`TraceEvent::kind`]) followed by that variant's fields, so
+//! `jq 'select(.ev == "emulate")'`-style filtering works without schema
+//! knowledge.
+
+use crate::json::ToJson;
+use fpvm_core::trace::{TraceEvent, TraceSink};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+fn field(out: &mut String, name: &str, v: &impl ToJson) {
+    out.push(',');
+    name.write_json(out);
+    out.push(':');
+    v.write_json(out);
+}
+
+/// Render one event as a single-line JSON object.
+pub fn event_json(ev: &TraceEvent) -> String {
+    let mut s = String::from("{\"ev\":");
+    ev.kind().write_json(&mut s);
+    match *ev {
+        TraceEvent::TrapBegin {
+            rip,
+            icount,
+            hardware,
+            kernel,
+            user,
+        } => {
+            field(&mut s, "rip", &rip);
+            field(&mut s, "icount", &icount);
+            field(&mut s, "hardware", &hardware);
+            field(&mut s, "kernel", &kernel);
+            field(&mut s, "user", &user);
+        }
+        TraceEvent::Decode { rip, hit, cycles } => {
+            field(&mut s, "rip", &rip);
+            field(&mut s, "hit", &hit);
+            field(&mut s, "cycles", &cycles);
+        }
+        TraceEvent::Bind { rip, cycles } => {
+            field(&mut s, "rip", &rip);
+            field(&mut s, "cycles", &cycles);
+        }
+        TraceEvent::Emulate { rip, lanes, cycles } => {
+            field(&mut s, "rip", &rip);
+            field(&mut s, "lanes", &lanes);
+            field(&mut s, "cycles", &cycles);
+        }
+        TraceEvent::Commit { rip, next_rip } => {
+            field(&mut s, "rip", &rip);
+            field(&mut s, "next_rip", &next_rip);
+        }
+        TraceEvent::CorrectnessTrap {
+            rip,
+            site,
+            demoted,
+            dispatch_cycles,
+            handler_cycles,
+        } => {
+            field(&mut s, "rip", &rip);
+            field(&mut s, "site", &site);
+            field(&mut s, "demoted", &demoted);
+            field(&mut s, "dispatch_cycles", &dispatch_cycles);
+            field(&mut s, "handler_cycles", &handler_cycles);
+        }
+        TraceEvent::NanHoleTrap {
+            rip,
+            demoted,
+            dispatch_cycles,
+            handler_cycles,
+        } => {
+            field(&mut s, "rip", &rip);
+            field(&mut s, "demoted", &demoted);
+            field(&mut s, "dispatch_cycles", &dispatch_cycles);
+            field(&mut s, "handler_cycles", &handler_cycles);
+        }
+        TraceEvent::ExtCall {
+            rip,
+            f,
+            disposition,
+            cycles,
+        } => {
+            field(&mut s, "rip", &rip);
+            field(&mut s, "fn", &format!("{f:?}"));
+            field(&mut s, "disposition", &disposition.label());
+            field(&mut s, "cycles", &cycles);
+        }
+        TraceEvent::PatchInstalled { rip, site } => {
+            field(&mut s, "rip", &rip);
+            field(&mut s, "site", &site);
+        }
+        TraceEvent::PatchCall {
+            rip,
+            site,
+            fast,
+            cycles,
+        } => {
+            field(&mut s, "rip", &rip);
+            field(&mut s, "site", &site);
+            field(&mut s, "fast", &fast);
+            field(&mut s, "cycles", &cycles);
+        }
+        TraceEvent::GcPass {
+            icount,
+            before,
+            freed,
+            alive,
+            cycles,
+        } => {
+            field(&mut s, "icount", &icount);
+            field(&mut s, "before", &before);
+            field(&mut s, "freed", &freed);
+            field(&mut s, "alive", &alive);
+            field(&mut s, "cycles", &cycles);
+        }
+        TraceEvent::RuntimeError { stage, rip, site } => {
+            field(&mut s, "stage", &format!("{stage:?}"));
+            field(&mut s, "rip", &rip);
+            field(&mut s, "site", &site);
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// A [`TraceSink`] streaming one JSON object per event to a writer.
+pub struct JsonlTraceSink<W: Write> {
+    // `Option` only so `into_inner` can move the writer out past `Drop`.
+    w: Option<W>,
+    lines: u64,
+}
+
+impl<W: Write> JsonlTraceSink<W> {
+    /// Stream events into `w`.
+    pub fn new(w: W) -> Self {
+        JsonlTraceSink {
+            w: Some(w),
+            lines: 0,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush and hand back the writer.
+    pub fn into_inner(mut self) -> W {
+        let mut w = self.w.take().expect("writer present until into_inner");
+        let _ = w.flush();
+        w
+    }
+}
+
+impl JsonlTraceSink<BufWriter<File>> {
+    /// Stream events to a file at `path` (truncating), buffered.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlTraceSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> TraceSink for JsonlTraceSink<W> {
+    fn emit(&mut self, ev: &TraceEvent) {
+        // Errors are swallowed: telemetry must never turn a good run into a
+        // failed one. The line count lets callers notice a short file.
+        let Some(w) = &mut self.w else { return };
+        if writeln!(w, "{}", event_json(ev)).is_ok() {
+            self.lines += 1;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "jsonl"
+    }
+}
+
+impl<W: Write> Drop for JsonlTraceSink<W> {
+    fn drop(&mut self) {
+        if let Some(w) = &mut self.w {
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm_core::Stage;
+
+    #[test]
+    fn event_lines_have_the_flat_tagged_shape() {
+        let e = TraceEvent::Decode {
+            rip: 0x101c,
+            hit: false,
+            cycles: 45,
+        };
+        assert_eq!(
+            event_json(&e),
+            "{\"ev\":\"decode\",\"rip\":4124,\"hit\":false,\"cycles\":45}"
+        );
+        let e = TraceEvent::RuntimeError {
+            stage: Stage::Correctness,
+            rip: 0x1000,
+            site: None,
+        };
+        assert_eq!(
+            event_json(&e),
+            "{\"ev\":\"runtime_error\",\"stage\":\"Correctness\",\"rip\":4096,\"site\":null}"
+        );
+        let e = TraceEvent::RuntimeError {
+            stage: Stage::Patch,
+            rip: 0x1000,
+            site: Some(7),
+        };
+        assert!(event_json(&e).ends_with("\"site\":7}"));
+    }
+
+    #[test]
+    fn sink_streams_one_line_per_event() {
+        let mut sink = JsonlTraceSink::new(Vec::new());
+        sink.emit(&TraceEvent::Bind {
+            rip: 0x1000,
+            cycles: 10,
+        });
+        sink.emit(&TraceEvent::Commit {
+            rip: 0x1000,
+            next_rip: 0x1004,
+        });
+        assert_eq!(sink.lines(), 2);
+        let buf = sink.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with("{\"ev\":\"") && line.ends_with('}'));
+        }
+    }
+}

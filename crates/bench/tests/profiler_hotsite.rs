@@ -1,0 +1,75 @@
+//! Acceptance tests for profiler-guided patch-site selection: the
+//! profiler's hot-site ranking must agree with what the trap-and-patch
+//! engine actually patches, and the `pguided` experiment must archive a
+//! well-formed comparison row.
+
+use fpvm_arith::Vanilla;
+use fpvm_bench::experiments;
+use fpvm_bench::json::ToJson;
+use fpvm_bench::run_hybrid_with;
+use fpvm_core::{FpvmConfig, ProfilerSink};
+use fpvm_machine::CostModel;
+use fpvm_workloads::{lorenz, Size};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[test]
+fn top_profiled_rip_matches_the_site_the_engine_patches() {
+    let w = lorenz::workload(Size::Tiny);
+    // Profile a plain trap-and-emulate run to rank sites by cost.
+    let prof = Rc::new(RefCell::new(ProfilerSink::new()));
+    run_hybrid_with(
+        &w,
+        Vanilla,
+        CostModel::r815(),
+        FpvmConfig::default(),
+        |rt| rt.set_trace_sink(Box::new(prof.clone())),
+    );
+    let ranked = prof.borrow().hot_sites(1);
+    assert!(!ranked.is_empty(), "lorenz traps");
+    let (top_rip, top) = &ranked[0];
+    assert!(top.traps > 0);
+    // Re-run with the heuristic trap-and-patch engine: the profiler's #1
+    // site must be among the sites the engine patches.
+    let patched_prof = Rc::new(RefCell::new(ProfilerSink::new()));
+    let cfg = FpvmConfig {
+        trap_and_patch: true,
+        ..FpvmConfig::default()
+    };
+    let (report, _, _) = run_hybrid_with(&w, Vanilla, CostModel::r815(), cfg, |rt| {
+        rt.set_trace_sink(Box::new(patched_prof.clone()))
+    });
+    assert!(report.stats.sites_patched > 0);
+    let patched_prof = patched_prof.borrow();
+    let site = patched_prof
+        .site(*top_rip)
+        .expect("top profiled site traps again");
+    assert!(
+        site.patched,
+        "engine must patch the profiler's top site {top_rip:#x}"
+    );
+}
+
+#[test]
+fn pguided_experiment_emits_a_comparison_row() {
+    let r = experiments::profiler_guided(Size::Tiny);
+    assert!(r.top_rip_patched_by_heuristic);
+    assert!(r.guided_sites_patched <= r.top_k);
+    assert!(r.guided_sites_patched >= 1);
+    assert!(r.heuristic_sites_patched >= r.guided_sites_patched);
+    // Guided patching must beat plain trap-and-emulate — the top-K sites
+    // carry real weight.
+    assert!(r.guided_cycles < r.baseline_cycles);
+    let j = r.to_json();
+    for key in [
+        "\"workload\":",
+        "\"top_rip\":",
+        "\"top_rip_patched_by_heuristic\":true",
+        "\"baseline_cycles\":",
+        "\"heuristic_cycles\":",
+        "\"guided_cycles\":",
+        "\"guided_vs_heuristic\":",
+    ] {
+        assert!(j.contains(key), "missing {key} in {j}");
+    }
+}

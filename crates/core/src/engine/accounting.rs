@@ -7,7 +7,9 @@
 //! cycle counter, and the measured-time counters can never drift apart.
 
 use crate::stats::{Component, GcRecord, Stats};
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use fpvm_machine::Machine;
+use std::fmt;
 
 /// An event counter in [`Stats`], named so handlers can tally through the
 /// sink instead of reaching into the struct.
@@ -47,17 +49,70 @@ pub enum Counter {
     SitesPatched,
 }
 
-/// The unified per-stage accounting sink. Owns the run's [`Stats`]; the
-/// engine's stages and handlers hold no counters of their own.
-#[derive(Debug, Default)]
+/// The unified per-stage accounting sink. Owns the run's [`Stats`] (the
+/// engine's stages and handlers hold no counters of their own) and the
+/// run's [`TraceSink`], so telemetry hangs off the same choke point that
+/// charges cycles.
 pub struct Accounting {
     stats: Stats,
+    sink: Box<dyn TraceSink>,
+    tracing: bool,
+}
+
+impl Default for Accounting {
+    fn default() -> Self {
+        Accounting {
+            stats: Stats::default(),
+            sink: Box::new(NullSink),
+            tracing: false,
+        }
+    }
+}
+
+impl fmt::Debug for Accounting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Accounting")
+            .field("stats", &self.stats)
+            .field("sink", &self.sink.name())
+            .field("tracing", &self.tracing)
+            .finish()
+    }
 }
 
 impl Accounting {
-    /// A fresh sink with zeroed statistics.
+    /// A fresh sink with zeroed statistics and tracing disabled.
     pub fn new() -> Self {
         Accounting::default()
+    }
+
+    /// Install a trace sink; its [`TraceSink::enabled`] answer is cached
+    /// here so disabled tracing costs one branch per emit site.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracing = sink.enabled();
+        self.sink = sink;
+    }
+
+    /// Remove the installed sink (handing it back for inspection) and
+    /// revert to the disabled [`NullSink`].
+    pub fn take_sink(&mut self) -> Box<dyn TraceSink> {
+        self.tracing = false;
+        std::mem::replace(&mut self.sink, Box::new(NullSink))
+    }
+
+    /// Is a live trace sink installed?
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Emit a trace event. The closure defers event construction so the
+    /// disabled path does no argument formatting or allocation.
+    #[inline]
+    pub fn emit(&mut self, ev: impl FnOnce() -> TraceEvent) {
+        if self.tracing {
+            let e = ev();
+            self.sink.emit(&e);
+        }
     }
 
     /// Read-only view of the accumulated statistics.
@@ -162,6 +217,28 @@ mod tests {
         acct.charge_measured(&mut m, Component::CorrectnessHandler, 500, 0);
         assert_eq!(acct.stats().emulate_ns, 1000);
         assert_eq!(acct.stats().gc_ns, 0);
+    }
+
+    #[test]
+    fn emit_is_skipped_when_disabled_and_delivered_when_enabled() {
+        use crate::trace::{RingBufferSink, TraceEvent};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut acct = Accounting::new();
+        assert!(!acct.tracing(), "NullSink is the default");
+        // Disabled: the closure must never run.
+        acct.emit(|| unreachable!("disabled sink constructed an event"));
+        let ring = Rc::new(RefCell::new(RingBufferSink::new(4)));
+        acct.set_sink(Box::new(ring.clone()));
+        assert!(acct.tracing());
+        acct.emit(|| TraceEvent::Bind {
+            rip: 0x40,
+            cycles: 320,
+        });
+        assert_eq!(ring.borrow().len(), 1);
+        let back = acct.take_sink();
+        assert_eq!(back.name(), "shared");
+        assert!(!acct.tracing(), "take reverts to NullSink");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use super::exit::{ExitReason, Stage};
 use super::Fpvm;
 use crate::bound::{read_loc, Loc};
 use crate::stats::Component;
+use crate::trace::TraceEvent;
 use fpvm_arith::{ArithSystem, Round};
 use fpvm_machine::{Event, Inst, Machine};
 use std::time::Instant;
@@ -63,8 +64,16 @@ impl<A: ArithSystem> Fpvm<A> {
         }
         let ns = t.elapsed().as_nanos() as u64;
         let check = m.cost.patch_check;
-        self.acct
+        let handler = self
+            .acct
             .charge_measured(m, Component::CorrectnessHandler, ns, check);
+        self.acct.emit(|| TraceEvent::CorrectnessTrap {
+            rip,
+            site: id,
+            demoted: demoted > 0,
+            dispatch_cycles: dispatch,
+            handler_cycles: handler,
+        });
         Ok(())
     }
 
@@ -90,8 +99,15 @@ impl<A: ArithSystem> Fpvm<A> {
             Err(_) => return Err(ExitReason::error(Stage::NanHole, rip)),
         }
         let ns = t.elapsed().as_nanos() as u64;
-        self.acct
+        let handler = self
+            .acct
             .charge_measured(m, Component::CorrectnessHandler, ns, 0);
+        self.acct.emit(|| TraceEvent::NanHoleTrap {
+            rip,
+            demoted: demoted > 0,
+            dispatch_cycles: dispatch,
+            handler_cycles: handler,
+        });
         Ok(())
     }
 

@@ -19,6 +19,7 @@ use super::exit::{ExitReason, Stage};
 use super::Fpvm;
 use crate::bound::{self, bind, read_int_loc, read_loc, Bound, Dst};
 use crate::stats::Component;
+use crate::trace::TraceEvent;
 use fpvm_arith::{ArithSystem, CmpResult, FpFlags, Round, ScalarOp, ShadowArena};
 use fpvm_machine::{Fault, Inst, Machine};
 use std::time::Instant;
@@ -260,20 +261,33 @@ impl<A: ArithSystem> Fpvm<A> {
         inst: &Inst,
         next_rip: u64,
     ) -> Result<(), ExitReason> {
+        let trap_rip = m.rip;
         let Some(b) = Binder.bind(m, inst, next_rip) else {
             return Err(ExitReason::error(Stage::Bind, m.rip));
         };
         let t = Instant::now();
         self.acct.tally(Counter::Emulated);
+        let mut lanes: u32 = 0;
         for lane in b.lanes.into_iter().flatten() {
             let outcome = self.emulator().eval_lane(m, &lane)?;
             Committer.commit(m, outcome)?;
+            lanes += 1;
         }
         m.rip = b.next_rip;
         let ns = t.elapsed().as_nanos() as u64;
         let dispatch = m.cost.emulate_dispatch;
-        self.acct
+        let cycles = self
+            .acct
             .charge_measured(m, Component::Emulate, ns, dispatch);
+        self.acct.emit(|| TraceEvent::Emulate {
+            rip: trap_rip,
+            lanes,
+            cycles,
+        });
+        self.acct.emit(|| TraceEvent::Commit {
+            rip: trap_rip,
+            next_rip: b.next_rip,
+        });
         Ok(())
     }
 

@@ -6,6 +6,7 @@ use super::exit::{ExitReason, Stage};
 use super::Fpvm;
 use crate::bound::Loc;
 use crate::stats::Component;
+use crate::trace::{ExtDisposition, TraceEvent};
 use fpvm_arith::{ArithSystem, Round};
 use fpvm_machine::{Event, ExtFn, Machine};
 use std::time::Instant;
@@ -19,7 +20,7 @@ impl<A: ArithSystem> Fpvm<A> {
         &mut self,
         m: &mut Machine,
         f: ExtFn,
-        _rip: u64,
+        rip: u64,
         next_rip: u64,
     ) -> Result<(), ExitReason> {
         if f.is_math() && self.config.interpose_math {
@@ -57,8 +58,15 @@ impl<A: ArithSystem> Fpvm<A> {
             m.rip = next_rip;
             let ns = t.elapsed().as_nanos() as u64;
             let dispatch = m.cost.emulate_dispatch;
-            self.acct
+            let cycles = self
+                .acct
                 .charge_measured(m, Component::Emulate, ns, dispatch);
+            self.acct.emit(|| TraceEvent::ExtCall {
+                rip,
+                f,
+                disposition: ExtDisposition::Math,
+                cycles,
+            });
             return Ok(());
         }
         if f == ExtFn::PrintF64 && self.config.interpose_output {
@@ -82,6 +90,12 @@ impl<A: ArithSystem> Fpvm<A> {
             m.output.push(fpvm_machine::OutputEvent::F64(demoted_bits));
             self.rendered.push(full);
             m.rip = next_rip;
+            self.acct.emit(|| TraceEvent::ExtCall {
+                rip,
+                f,
+                disposition: ExtDisposition::Output,
+                cycles: 0,
+            });
             return Ok(());
         }
         // Non-interposed external (or stdio/services): demote FP argument
@@ -99,6 +113,12 @@ impl<A: ArithSystem> Fpvm<A> {
             }
         }
         m.rip = next_rip;
+        self.acct.emit(|| TraceEvent::ExtCall {
+            rip,
+            f,
+            disposition: ExtDisposition::Native,
+            cycles: 0,
+        });
         Ok(())
     }
 }

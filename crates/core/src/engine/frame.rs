@@ -5,6 +5,7 @@ use super::accounting::Counter;
 use super::exit::{ExitReason, Stage};
 use super::Fpvm;
 use crate::stats::Component;
+use crate::trace::TraceEvent;
 use fpvm_arith::{ArithSystem, FpFlags};
 use fpvm_machine::{decode, Inst, Machine, CODE_BASE};
 
@@ -45,6 +46,14 @@ impl<A: ArithSystem> Fpvm<A> {
         self.acct.charge(m, Component::Hardware, hw);
         self.acct.charge(m, Component::Kernel, kern);
         self.acct.charge(m, Component::UserDelivery, user);
+        let icount = m.icount;
+        self.acct.emit(|| TraceEvent::TrapBegin {
+            rip,
+            icount,
+            hardware: hw,
+            kernel: kern,
+            user,
+        });
         // Inspect and clear the sticky condition codes (§4.1 "Trapping").
         m.mxcsr.clear_flags();
         // Decode (through the cache) fills in the rest of the frame.
@@ -58,6 +67,10 @@ impl<A: ArithSystem> Fpvm<A> {
         // Bind + emulate.
         let bind_cost = m.cost.bind;
         self.acct.charge(m, Component::Bind, bind_cost);
+        self.acct.emit(|| TraceEvent::Bind {
+            rip,
+            cycles: bind_cost,
+        });
         self.emulate(m, &frame.inst, frame.next_rip())?;
         // Trap-and-patch: install a patch at this site so the next
         // encounter dispatches via a cheap call instead of a trap.
@@ -79,11 +92,21 @@ impl<A: ArithSystem> Fpvm<A> {
             self.acct.tally(Counter::DecodeHits);
             let cyc = m.cost.decode_cost(true);
             self.acct.charge(m, Component::Decode, cyc);
+            self.acct.emit(|| TraceEvent::Decode {
+                rip,
+                hit: true,
+                cycles: cyc,
+            });
             return Ok(hit);
         }
         self.acct.tally(Counter::DecodeMisses);
         let cyc = m.cost.decode_cost(false);
         self.acct.charge(m, Component::Decode, cyc);
+        self.acct.emit(|| TraceEvent::Decode {
+            rip,
+            hit: false,
+            cycles: cyc,
+        });
         let off = (rip - CODE_BASE) as usize;
         match decode(m.mem.code_bytes(), off) {
             Ok((inst, len)) => {

@@ -47,8 +47,11 @@ pub use handlers::{ExtCallHandler, HandlerTable, NanHoleHandler, SwTrapHandler};
 
 use crate::gc;
 use crate::stats::{Component, Stats};
+use crate::trace::{TraceEvent, TraceSink};
 use fpvm_machine::{Event, Fault, Inst, Machine, TrapKind};
 use fpvm_nanbox::ShadowKey;
+use std::collections::HashSet;
+use std::fmt;
 use std::time::Instant;
 
 use fpvm_arith::{ArithSystem, ShadowArena};
@@ -70,6 +73,43 @@ pub struct RunReport {
     pub wall_ns: u64,
 }
 
+impl fmt::Display for RunReport {
+    /// One-paragraph human summary: exit, instruction counts, trap cost,
+    /// decode hit rate, GC passes.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.stats;
+        write!(
+            f,
+            "{}: {} guest instructions retired ({} native FP) in {} cycles; \
+             {} FP traps at {:.0} cycles/trap on average, decode hit rate {:.1}%, \
+             {} correctness traps, {} GC passes; wall time {:.3} ms",
+            self.exit,
+            commas(self.icount),
+            commas(self.fp_icount),
+            commas(self.cycles),
+            commas(s.fp_traps),
+            s.avg_trap_cost(),
+            s.decode_hit_rate() * 100.0,
+            commas(s.correctness_traps),
+            s.gc_passes,
+            self.wall_ns as f64 / 1e6,
+        )
+    }
+}
+
+/// Format a count with thousands separators (display helper).
+fn commas(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::new();
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
 /// The FPVM runtime, generic over the alternative arithmetic system.
 pub struct Fpvm<A: ArithSystem> {
     arith: A,
@@ -82,6 +122,7 @@ pub struct Fpvm<A: ArithSystem> {
     pub(crate) cache: Box<dyn DecodeCache>,
     pub(crate) side_table: Vec<SideTableEntry>,
     pub(crate) patches: patch::PatchTable,
+    pub(crate) patch_allow: Option<HashSet<u64>>,
     handlers: HandlerTable<A>,
     last_gc_icount: u64,
     pub(crate) rendered: Vec<String>,
@@ -103,6 +144,7 @@ impl<A: ArithSystem> Fpvm<A> {
             cache,
             side_table: Vec::new(),
             patches: patch::PatchTable::default(),
+            patch_allow: None,
             handlers: HandlerTable::default(),
             last_gc_icount: 0,
             rendered: Vec::new(),
@@ -143,6 +185,33 @@ impl<A: ArithSystem> Fpvm<A> {
     /// The event-routing table, for registering custom handlers.
     pub fn handlers_mut(&mut self) -> &mut HandlerTable<A> {
         &mut self.handlers
+    }
+
+    /// Install a trace sink (see [`crate::trace`]). Every trap-lifecycle
+    /// step emits a [`TraceEvent`] into it from the same choke points
+    /// that charge cycles; with the default [`crate::trace::NullSink`]
+    /// nothing is constructed or emitted.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.acct.set_sink(sink);
+    }
+
+    /// Remove the installed trace sink (for post-run inspection),
+    /// reverting to the disabled default.
+    pub fn take_trace_sink(&mut self) -> Box<dyn TraceSink> {
+        self.acct.take_sink()
+    }
+
+    /// Restrict the trap-and-patch engine (§3.2) to the given sites: only
+    /// RIPs in the set are eligible for dynamic patching. This is how a
+    /// profiler's hot-site ranking drives site selection instead of the
+    /// default patch-everything-on-first-trap heuristic.
+    pub fn restrict_patching(&mut self, rips: impl IntoIterator<Item = u64>) {
+        self.patch_allow = Some(rips.into_iter().collect());
+    }
+
+    /// Has the trap-and-patch engine patched this address?
+    pub fn is_patched(&self, addr: u64) -> bool {
+        self.patches.contains_addr(addr)
     }
 
     /// Preload patch-call sites emitted by the compiler-based approach
@@ -200,6 +269,13 @@ impl<A: ArithSystem> Fpvm<A> {
             }
             self.maybe_gc(m);
         };
+        if let ExitReason::RuntimeError(e) = exit {
+            self.acct.emit(|| TraceEvent::RuntimeError {
+                stage: e.stage,
+                rip: e.rip,
+                site: e.site,
+            });
+        }
         RunReport {
             exit,
             stats: self.acct.snapshot(),
@@ -223,6 +299,13 @@ impl<A: ArithSystem> Fpvm<A> {
         self.acct.record_gc(rec);
         let cyc = m.cost.ns_to_cycles(rec.ns);
         self.acct.charge(m, Component::Gc, cyc);
+        self.acct.emit(|| TraceEvent::GcPass {
+            icount: m.icount,
+            before: rec.before as u64,
+            freed: rec.freed as u64,
+            alive: rec.alive as u64,
+            cycles: cyc,
+        });
     }
 
     /// Force a GC pass now (used by tests and the Fig. 10 harness).
@@ -230,6 +313,13 @@ impl<A: ArithSystem> Fpvm<A> {
         self.last_gc_icount = m.icount;
         let rec = gc::collect(m, &mut self.arena, self.config.gc_parallel);
         self.acct.record_gc(rec);
+        self.acct.emit(|| TraceEvent::GcPass {
+            icount: m.icount,
+            before: rec.before as u64,
+            freed: rec.freed as u64,
+            alive: rec.alive as u64,
+            cycles: m.cost.ns_to_cycles(rec.ns),
+        });
         rec
     }
 

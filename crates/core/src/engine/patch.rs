@@ -7,6 +7,7 @@ use super::frame::TrapFrame;
 use super::Fpvm;
 use crate::bound::{has_boxed_src, native_eval, Dst};
 use crate::stats::Component;
+use crate::trace::TraceEvent;
 use fpvm_arith::ArithSystem;
 use fpvm_machine::{encode, Event, Inst, Machine, TrapKind};
 use std::collections::HashMap;
@@ -69,6 +70,13 @@ impl<A: ArithSystem> Fpvm<A> {
         if self.patches.contains_addr(rip) || frame.len < 3 {
             return;
         }
+        // Profiler-guided site selection: when an allowlist is installed,
+        // only the ranked sites are eligible for dynamic patching.
+        if let Some(allow) = &self.patch_allow {
+            if !allow.contains(&rip) {
+                return;
+            }
+        }
         let Some(id) = self.patches.next_id() else {
             return;
         };
@@ -98,6 +106,8 @@ impl<A: ArithSystem> Fpvm<A> {
             },
         );
         self.acct.tally(Counter::SitesPatched);
+        self.acct
+            .emit(|| TraceEvent::PatchInstalled { rip, site: id });
     }
 
     /// Handle a `Trap { PatchCall }`: run the inlined pre/postcondition
@@ -115,6 +125,12 @@ impl<A: ArithSystem> Fpvm<A> {
             // Unbindable patched instruction (e.g. a bitwise FP op with a
             // non-canonical mask): fall back to demote + re-execute, like a
             // correctness trap.
+            self.acct.emit(|| TraceEvent::PatchCall {
+                rip,
+                site: id,
+                fast: false,
+                cycles: dispatch,
+            });
             self.demote_operands(m, &site.original);
             return match m.exec_masked(&site.original, site.next_rip) {
                 Ok(_) => Ok(()),
@@ -139,6 +155,12 @@ impl<A: ArithSystem> Fpvm<A> {
                 }
             }
         }
+        self.acct.emit(|| TraceEvent::PatchCall {
+            rip,
+            site: id,
+            fast,
+            cycles: dispatch,
+        });
         if fast {
             self.acct.tally(Counter::PatchFast);
             for (dst, bits) in native {

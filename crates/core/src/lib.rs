@@ -40,7 +40,9 @@
 pub mod bound;
 pub mod engine;
 pub mod gc;
+pub mod profile;
 pub mod stats;
+pub mod trace;
 
 /// The staged engine under its historical name: `fpvm_core::runtime::*`
 /// paths keep working.
@@ -52,7 +54,9 @@ pub use engine::{
     HandlerTable, HashMapCache, PassthroughCache, RunReport, RuntimeError, SideTableEntry, Stage,
     TrapFrame,
 };
+pub use profile::{ArenaSample, Log2Histogram, ProfilerSink, SiteProfile};
 pub use stats::{Component, CycleBreakdown, GcRecord, Stats};
+pub use trace::{ExtDisposition, FanoutSink, NullSink, RingBufferSink, TraceEvent, TraceSink};
 
 use fpvm_machine::{Event, Machine, Program};
 

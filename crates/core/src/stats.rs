@@ -51,6 +51,23 @@ impl Component {
         Component::Patch,
     ];
 
+    /// Dense index of this component in [`Component::ALL`] order (used by
+    /// the profiler's per-component histogram array).
+    pub fn index(self) -> usize {
+        match self {
+            Component::Hardware => 0,
+            Component::Kernel => 1,
+            Component::UserDelivery => 2,
+            Component::Decode => 3,
+            Component::Bind => 4,
+            Component::Emulate => 5,
+            Component::Gc => 6,
+            Component::CorrectnessDispatch => 7,
+            Component::CorrectnessHandler => 8,
+            Component::Patch => 9,
+        }
+    }
+
     /// Short label used in tables.
     pub fn label(self) -> &'static str {
         match self {
@@ -158,7 +175,7 @@ pub struct GcRecord {
 }
 
 /// Aggregate runtime statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     /// Hardware FP exceptions delivered to FPVM.
     pub fp_traps: u64,
@@ -218,6 +235,35 @@ impl Stats {
             / self.fp_traps as f64
     }
 
+    /// Fold another run's statistics into this one: every counter and
+    /// cycle component sums field-wise, GC records concatenate. Multi-run
+    /// experiments aggregate with this instead of hand-summing fields.
+    pub fn merge(&mut self, other: &Stats) {
+        self.fp_traps += other.fp_traps;
+        self.decode_hits += other.decode_hits;
+        self.decode_misses += other.decode_misses;
+        self.emulated += other.emulated;
+        self.emulated_lanes += other.emulated_lanes;
+        self.promotions += other.promotions;
+        self.boxes_created += other.boxes_created;
+        self.demotions += other.demotions;
+        self.correctness_traps += other.correctness_traps;
+        self.nan_hole_traps += other.nan_hole_traps;
+        self.correctness_demotions += other.correctness_demotions;
+        self.math_interposed += other.math_interposed;
+        self.output_wrapped += other.output_wrapped;
+        self.patch_fast += other.patch_fast;
+        self.patch_slow += other.patch_slow;
+        self.sites_patched += other.sites_patched;
+        self.gc_passes += other.gc_passes;
+        self.gc_records.extend_from_slice(&other.gc_records);
+        for c in Component::ALL {
+            self.cycles.add(c, other.cycles.get(c));
+        }
+        self.emulate_ns += other.emulate_ns;
+        self.gc_ns += other.gc_ns;
+    }
+
     /// Decode cache hit rate.
     pub fn decode_hit_rate(&self) -> f64 {
         let total = self.decode_hits + self.decode_misses;
@@ -255,6 +301,100 @@ mod tests {
             assert_eq!(c.get(comp), (i + 1) as u64, "{}", comp.label());
         }
         assert_eq!(c.total(), (1..=10).sum::<u64>());
+    }
+
+    #[test]
+    fn component_index_matches_all_order() {
+        for (i, c) in Component::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i, "{}", c.label());
+        }
+    }
+
+    /// A `Stats` whose every field holds a distinct value derived from
+    /// `seed`, so a dropped field in `merge` shows up as a sum mismatch.
+    fn filled(seed: u64) -> Stats {
+        let mut cycles = CycleBreakdown::default();
+        for (i, c) in Component::ALL.into_iter().enumerate() {
+            cycles.add(c, seed + 23 + i as u64);
+        }
+        Stats {
+            fp_traps: seed + 1,
+            decode_hits: seed + 2,
+            decode_misses: seed + 3,
+            emulated: seed + 4,
+            emulated_lanes: seed + 5,
+            promotions: seed + 6,
+            boxes_created: seed + 7,
+            demotions: seed + 8,
+            correctness_traps: seed + 9,
+            nan_hole_traps: seed + 10,
+            correctness_demotions: seed + 11,
+            math_interposed: seed + 12,
+            output_wrapped: seed + 13,
+            patch_fast: seed + 14,
+            patch_slow: seed + 15,
+            sites_patched: seed + 16,
+            gc_passes: seed + 17,
+            gc_records: vec![GcRecord {
+                before: (seed + 18) as usize,
+                freed: (seed + 19) as usize,
+                alive: (seed + 20) as usize,
+                scanned_bytes: seed + 21,
+                ns: seed + 22,
+            }],
+            cycles,
+            emulate_ns: seed + 40,
+            gc_ns: seed + 41,
+        }
+    }
+
+    #[test]
+    fn merge_equals_fieldwise_sum_for_every_field() {
+        let a = filled(100);
+        let b = filled(5000);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.fp_traps, a.fp_traps + b.fp_traps);
+        assert_eq!(m.decode_hits, a.decode_hits + b.decode_hits);
+        assert_eq!(m.decode_misses, a.decode_misses + b.decode_misses);
+        assert_eq!(m.emulated, a.emulated + b.emulated);
+        assert_eq!(m.emulated_lanes, a.emulated_lanes + b.emulated_lanes);
+        assert_eq!(m.promotions, a.promotions + b.promotions);
+        assert_eq!(m.boxes_created, a.boxes_created + b.boxes_created);
+        assert_eq!(m.demotions, a.demotions + b.demotions);
+        assert_eq!(
+            m.correctness_traps,
+            a.correctness_traps + b.correctness_traps
+        );
+        assert_eq!(m.nan_hole_traps, a.nan_hole_traps + b.nan_hole_traps);
+        assert_eq!(
+            m.correctness_demotions,
+            a.correctness_demotions + b.correctness_demotions
+        );
+        assert_eq!(m.math_interposed, a.math_interposed + b.math_interposed);
+        assert_eq!(m.output_wrapped, a.output_wrapped + b.output_wrapped);
+        assert_eq!(m.patch_fast, a.patch_fast + b.patch_fast);
+        assert_eq!(m.patch_slow, a.patch_slow + b.patch_slow);
+        assert_eq!(m.sites_patched, a.sites_patched + b.sites_patched);
+        assert_eq!(m.gc_passes, a.gc_passes + b.gc_passes);
+        assert_eq!(m.gc_records.len(), a.gc_records.len() + b.gc_records.len());
+        assert_eq!(m.gc_records[0], a.gc_records[0]);
+        assert_eq!(m.gc_records[1], b.gc_records[0]);
+        for c in Component::ALL {
+            assert_eq!(
+                m.cycles.get(c),
+                a.cycles.get(c) + b.cycles.get(c),
+                "component {}",
+                c.label()
+            );
+        }
+        assert_eq!(m.cycles.total(), a.cycles.total() + b.cycles.total());
+        assert_eq!(m.emulate_ns, a.emulate_ns + b.emulate_ns);
+        assert_eq!(m.gc_ns, a.gc_ns + b.gc_ns);
+        // Merging into a default is a clone.
+        let mut z = Stats::default();
+        z.merge(&a);
+        assert_eq!(z, a);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Integration tests for the trap telemetry subsystem: event lifecycle
+//! ordering, post-mortem ring capture on `RuntimeError`, profiler hot-site
+//! ranking feeding trap-and-patch site selection, tracing-on/off stats
+//! identity, and the pressure-triggered GC path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use fpvm_arith::Vanilla;
+use fpvm_core::profile::ProfilerSink;
+use fpvm_core::trace::{RingBufferSink, TraceEvent};
+use fpvm_core::{ExitReason, Fpvm, FpvmConfig, Stage, Stats};
+use fpvm_machine::{AluOp, Asm, Cond, CostModel, Gpr, Inst, Machine, TrapKind, Xmm};
+
+/// One hot FP site (`addsd` trapping `iters` times in a loop) followed by
+/// one cold site (`divsd`, trapping once).
+fn hot_cold_program(iters: i64) -> fpvm_machine::Program {
+    let mut a = Asm::new();
+    // Seed with 1.0 so every `+ 0.1` is inexact and traps (0.0 + 0.1 and
+    // 0.1 + 0.1 would be exact).
+    let tenth = a.f64m(0.1);
+    let one = a.f64m(1.0);
+    let three = a.f64m(3.0);
+    a.movsd(Xmm(2), one);
+    a.mov_ri(Gpr::RCX, 0);
+    let top = a.here_label();
+    let done = a.label();
+    a.cmp_ri(Gpr::RCX, iters);
+    a.jcc(Cond::Ge, done);
+    a.addsd(Xmm(2), tenth); // hot: traps every iteration
+    a.alu_ri(AluOp::Add, Gpr::RCX, 1);
+    a.jmp(top);
+    a.bind(done);
+    a.movsd(Xmm(1), three);
+    a.divsd(Xmm(1), tenth); // cold: traps once
+    a.halt();
+    a.finish()
+}
+
+/// A guest that traps exactly once (`0.1 + 0.2` is inexact).
+fn single_trap_program() -> fpvm_machine::Program {
+    let mut a = Asm::new();
+    let c1 = a.f64m(0.1);
+    let c2 = a.f64m(0.2);
+    a.movsd(Xmm(0), c1);
+    a.addsd(Xmm(0), c2);
+    a.halt();
+    a.finish()
+}
+
+fn machine(p: &fpvm_machine::Program) -> Machine {
+    let mut m = Machine::new(CostModel::r815());
+    m.load_program(p);
+    m
+}
+
+#[test]
+fn one_trap_emits_the_full_lifecycle_in_order() {
+    let p = single_trap_program();
+    let mut m = machine(&p);
+    let mut vm = Fpvm::new(Vanilla, FpvmConfig::default());
+    let ring = Rc::new(RefCell::new(RingBufferSink::new(64)));
+    vm.set_trace_sink(Box::new(ring.clone()));
+    let r = vm.run(&mut m);
+    assert_eq!(r.exit, ExitReason::Halted);
+    let kinds: Vec<&'static str> = ring.borrow().events().map(|e| e.kind()).collect();
+    assert_eq!(
+        kinds,
+        vec!["trap_begin", "decode", "bind", "emulate", "commit"]
+    );
+    // The whole lifecycle is anchored to the one faulting rip, and the
+    // decode was a cold miss.
+    let ring = ring.borrow();
+    let mut evs = ring.events();
+    let begin = *evs.next().unwrap();
+    let TraceEvent::TrapBegin { rip, .. } = begin else {
+        panic!("expected TrapBegin, got {begin:?}");
+    };
+    assert!(ring.events().all(|e| e.rip() == Some(rip)));
+    assert!(matches!(
+        ring.events().nth(1),
+        Some(TraceEvent::Decode { hit: false, .. })
+    ));
+    // And the cycles recorded in the trace match what accounting charged.
+    let traced_decode: u64 = ring
+        .events()
+        .filter_map(|e| match e {
+            TraceEvent::Decode { cycles, .. } => Some(*cycles),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(traced_decode, r.stats.cycles.decode);
+}
+
+#[test]
+fn ring_buffer_post_mortem_ends_with_the_runtime_error() {
+    // A correctness trap with no side-table entry aborts the run; the ring
+    // tail must show the structured error as its final event.
+    let mut a = Asm::new();
+    a.emit(Inst::Trap {
+        kind: TrapKind::Correctness,
+        id: 3,
+    });
+    a.halt();
+    let p = a.finish();
+    let mut m = machine(&p);
+    let mut vm = Fpvm::new(Vanilla, FpvmConfig::default());
+    let ring = Rc::new(RefCell::new(RingBufferSink::new(8)));
+    vm.set_trace_sink(Box::new(ring.clone()));
+    let r = vm.run(&mut m);
+    assert!(matches!(r.exit, ExitReason::RuntimeError(_)));
+    let ring = ring.borrow();
+    let last = ring.events().last().copied().expect("trace not empty");
+    assert_eq!(
+        last,
+        TraceEvent::RuntimeError {
+            stage: Stage::Correctness,
+            rip: fpvm_machine::CODE_BASE,
+            site: Some(3),
+        }
+    );
+    assert!(ring.dump().contains("runtime_error"));
+}
+
+/// Zero out the host-measured (nondeterministic) fields so the remaining
+/// comparison is exact: emulation/GC wall time and the cycle components
+/// derived from them.
+fn deterministic_view(mut s: Stats) -> Stats {
+    s.emulate_ns = 0;
+    s.gc_ns = 0;
+    s.cycles.emulate = 0;
+    s.cycles.gc = 0;
+    s.cycles.correctness_handler = 0;
+    for r in &mut s.gc_records {
+        r.ns = 0;
+    }
+    s
+}
+
+#[test]
+fn stats_identical_with_tracing_on_and_off() {
+    let p = hot_cold_program(300);
+    // Off: the default NullSink.
+    let mut m_off = machine(&p);
+    let mut vm_off = Fpvm::new(Vanilla, FpvmConfig::default());
+    let r_off = vm_off.run(&mut m_off);
+    // On: ring + profiler see every event.
+    let mut m_on = machine(&p);
+    let mut vm_on = Fpvm::new(Vanilla, FpvmConfig::default());
+    let ring = Rc::new(RefCell::new(RingBufferSink::new(1024)));
+    let prof = Rc::new(RefCell::new(ProfilerSink::new()));
+    vm_on.set_trace_sink(Box::new(fpvm_core::FanoutSink::new(vec![
+        Box::new(ring.clone()),
+        Box::new(prof.clone()),
+    ])));
+    let r_on = vm_on.run(&mut m_on);
+    assert!(prof.borrow().events() > 0, "sink saw the run");
+    // Enabling telemetry must not perturb any deterministic statistic,
+    // any guest-visible state, or the instruction/cycle accounting that
+    // Fig. 9 is built from.
+    assert_eq!(
+        deterministic_view(r_on.stats.clone()),
+        deterministic_view(r_off.stats.clone())
+    );
+    assert_eq!(r_on.icount, r_off.icount);
+    assert_eq!(r_on.fp_icount, r_off.fp_icount);
+    assert_eq!(m_on.output, m_off.output);
+    assert_eq!(m_on.xmm, m_off.xmm);
+}
+
+#[test]
+fn profiler_top_site_is_what_trap_and_patch_patches() {
+    let iters = 500;
+    let p = hot_cold_program(iters);
+    // Pass 1: profile without patching to rank the sites.
+    let mut m = machine(&p);
+    let mut vm = Fpvm::new(Vanilla, FpvmConfig::default());
+    let prof = Rc::new(RefCell::new(ProfilerSink::new()));
+    vm.set_trace_sink(Box::new(prof.clone()));
+    assert_eq!(vm.run(&mut m).exit, ExitReason::Halted);
+    let prof = prof.borrow();
+    let top = prof.hot_sites(2);
+    assert_eq!(top.len(), 2, "two distinct FP sites trapped");
+    let (hot_rip, hot) = (&top[0].0, &top[0].1);
+    let (cold_rip, cold) = (&top[1].0, &top[1].1);
+    assert_eq!(hot.traps, iters as u64, "hot loop traps every iteration");
+    assert_eq!(cold.traps, 1, "cold site traps once");
+    // Pass 2: heuristic trap-and-patch patches the profiler's top site.
+    let cfg = FpvmConfig {
+        trap_and_patch: true,
+        ..FpvmConfig::default()
+    };
+    let mut m2 = machine(&p);
+    let mut vm2 = Fpvm::new(Vanilla, cfg);
+    let r2 = vm2.run(&mut m2);
+    assert_eq!(r2.exit, ExitReason::Halted);
+    assert!(
+        vm2.is_patched(*hot_rip),
+        "top-1 profiled rip {hot_rip:#x} must be patched"
+    );
+    // Pass 3: profiler-guided selection patches ONLY the ranked site.
+    let mut m3 = machine(&p);
+    let mut vm3 = Fpvm::new(Vanilla, cfg);
+    vm3.restrict_patching([*hot_rip]);
+    let prof3 = Rc::new(RefCell::new(ProfilerSink::new()));
+    vm3.set_trace_sink(Box::new(prof3.clone()));
+    let r3 = vm3.run(&mut m3);
+    assert_eq!(r3.exit, ExitReason::Halted);
+    assert!(vm3.is_patched(*hot_rip));
+    assert!(
+        !vm3.is_patched(*cold_rip),
+        "allowlist excludes the cold site"
+    );
+    assert_eq!(r3.stats.sites_patched, 1);
+    assert!(prof3.borrow().site(*hot_rip).unwrap().patched);
+    // Guided patching converts the hot site's traps into patch calls.
+    assert!(r3.stats.patch_fast + r3.stats.patch_slow >= (iters - 1) as u64);
+    assert!(r3.stats.fp_traps < iters as u64 / 2);
+}
+
+#[test]
+fn pressure_triggered_gc_fires_with_epoch_not_due() {
+    // Regression for the arena-pressure branch of `Fpvm::maybe_gc`: live
+    // cells ≥ gc_pressure must trigger a pass even when the epoch trigger
+    // is unreachable.
+    let p = single_trap_program();
+    let cfg = FpvmConfig {
+        gc_epoch: u64::MAX, // epoch never due
+        gc_pressure: 8,
+        ..FpvmConfig::default()
+    };
+    let mut m = machine(&p);
+    let mut vm = Fpvm::new(Vanilla, cfg);
+    // Pre-fill the arena past the pressure threshold with unreachable
+    // values; the first trip through the run loop must collect them.
+    for i in 0..64 {
+        vm.arena.alloc(i as f64);
+    }
+    let r = vm.run(&mut m);
+    assert_eq!(r.exit, ExitReason::Halted);
+    assert!(r.stats.gc_passes >= 1, "pressure trigger must fire");
+    let first = &r.stats.gc_records[0];
+    assert!(
+        first.before as u64 >= 8,
+        "pass ran at ≥ gc_pressure live cells (before = {})",
+        first.before
+    );
+    assert!(first.freed >= 63, "unreachable pre-fill is collected");
+
+    // Control: identical run below the threshold never collects.
+    let cfg_quiet = FpvmConfig {
+        gc_epoch: u64::MAX,
+        gc_pressure: 1 << 20,
+        ..FpvmConfig::default()
+    };
+    let mut m2 = machine(&p);
+    let mut vm2 = Fpvm::new(Vanilla, cfg_quiet);
+    for i in 0..64 {
+        vm2.arena.alloc(i as f64);
+    }
+    let r2 = vm2.run(&mut m2);
+    assert_eq!(r2.exit, ExitReason::Halted);
+    assert_eq!(
+        r2.stats.gc_passes, 0,
+        "neither trigger due → no pass in maybe_gc"
+    );
+}

@@ -1,0 +1,109 @@
+//! fpvm-profile: trap telemetry on a live run.
+//!
+//! ```sh
+//! cargo run --release --example fpvm_profile
+//! ```
+//!
+//! Runs a guest with one hot FP site and a handful of cold ones under the
+//! aggregating profiler + a post-mortem ring buffer, prints the hot-site
+//! table and the per-component latency histograms, then uses the ranking
+//! to drive profiler-guided trap-and-patch: only the #1 site gets the
+//! patch budget, and the re-run shows the traps collapsing into patch
+//! calls.
+
+use fpvm::arith::Vanilla;
+use fpvm::machine::{AluOp, Asm, Cond, CostModel, Gpr, Machine, Xmm};
+use fpvm::runtime::{Component, Fpvm, FpvmConfig, ProfilerSink, RingBufferSink};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn build_guest() -> fpvm::machine::Program {
+    // A hot accumulation loop (one addsd trapping every iteration) plus two
+    // cold sites that trap once each.
+    let mut a = Asm::new();
+    let tenth = a.f64m(0.1);
+    let one = a.f64m(1.0);
+    let three = a.f64m(3.0);
+    a.movsd(Xmm(2), one);
+    a.mov_ri(Gpr::RCX, 0);
+    let top = a.here_label();
+    let done = a.label();
+    a.cmp_ri(Gpr::RCX, 2000);
+    a.jcc(Cond::Ge, done);
+    a.addsd(Xmm(2), tenth); // hot
+    a.alu_ri(AluOp::Add, Gpr::RCX, 1);
+    a.jmp(top);
+    a.bind(done);
+    a.movsd(Xmm(1), three);
+    a.divsd(Xmm(1), tenth); // cold
+    a.mulsd(Xmm(1), tenth); // cold
+    a.halt();
+    a.finish()
+}
+
+fn main() {
+    let prog = build_guest();
+
+    // Pass 1 — profile: every trap-pipeline event flows into the profiler,
+    // and a ring buffer keeps the last few events for post-mortem.
+    let mut m = Machine::new(CostModel::r815());
+    m.load_program(&prog);
+    let mut rt = Fpvm::new(Vanilla, FpvmConfig::default());
+    let prof = Rc::new(RefCell::new(ProfilerSink::new()));
+    let ring = Rc::new(RefCell::new(RingBufferSink::new(6)));
+    rt.set_trace_sink(Box::new(fpvm::runtime::FanoutSink::new(vec![
+        Box::new(prof.clone()),
+        Box::new(ring.clone()),
+    ])));
+    let report = rt.run(&mut m);
+    println!("{report}\n");
+
+    let prof = prof.borrow();
+    println!("hot sites:\n{}", prof.report(5));
+    for c in [
+        Component::UserDelivery,
+        Component::Emulate,
+        Component::Decode,
+    ] {
+        let h = prof.histogram(c);
+        println!(
+            "{:<14} latency: n={:<6} mean={:>8.0} max={:>8}  log2 buckets {:?}",
+            c.label(),
+            h.count(),
+            h.mean(),
+            h.max(),
+            h.nonzero()
+        );
+    }
+    println!(
+        "\nlast events (ring tail, capacity 6, {} dropped):",
+        ring.borrow().dropped()
+    );
+    print!("{}", ring.borrow().dump());
+
+    // Pass 2 — guided: give the patch budget to the profiled #1 site only.
+    let top_rip = prof.hot_sites(1)[0].0;
+    let mut m2 = Machine::new(CostModel::r815());
+    m2.load_program(&prog);
+    let mut rt2 = Fpvm::new(
+        Vanilla,
+        FpvmConfig {
+            trap_and_patch: true,
+            ..FpvmConfig::default()
+        },
+    );
+    rt2.restrict_patching([top_rip]);
+    let report2 = rt2.run(&mut m2);
+    println!("\nafter patching only {top_rip:#x} (the profiled top site):");
+    println!("{report2}");
+    println!(
+        "traps {} -> {}; patch calls {} (fast {} / slow {}); cycles {} -> {}",
+        report.stats.fp_traps,
+        report2.stats.fp_traps,
+        report2.stats.patch_fast + report2.stats.patch_slow,
+        report2.stats.patch_fast,
+        report2.stats.patch_slow,
+        report.cycles,
+        report2.cycles
+    );
+}
