@@ -167,8 +167,9 @@ impl ArithSystem for AdaptiveCtx {
     fn to_f64(&self, v: &AdaptiveValue, rm: Round) -> (f64, FpFlags) {
         v.value.to_f64(rm)
     }
-    fn from_f32(&self, x: f32) -> AdaptiveValue {
-        self.exact(BigFloat::from_f64(f64::from(x), 53, Round::NearestEven).0)
+    fn from_f32(&self, x: f32) -> (AdaptiveValue, FpFlags) {
+        let (v, flags) = BigFloat::from_f64(f64::from(x), 53, Round::NearestEven);
+        (self.exact(v), flags)
     }
     fn to_f32(&self, v: &AdaptiveValue, rm: Round) -> (f32, FpFlags) {
         let (d, f1) = v.value.to_f64(rm);

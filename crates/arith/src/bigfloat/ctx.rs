@@ -54,8 +54,8 @@ impl ArithSystem for BigFloatCtx {
     fn to_f64(&self, v: &BigFloat, rm: Round) -> (f64, FpFlags) {
         v.to_f64(rm)
     }
-    fn from_f32(&self, x: f32) -> BigFloat {
-        BigFloat::from_f64(f64::from(x), self.prec, Round::NearestEven).0
+    fn from_f32(&self, x: f32) -> (BigFloat, FpFlags) {
+        BigFloat::from_f64(f64::from(x), self.prec, Round::NearestEven)
     }
     fn to_f32(&self, v: &BigFloat, rm: Round) -> (f32, FpFlags) {
         let (d, f1) = v.to_f64(rm);
@@ -88,8 +88,31 @@ impl ArithSystem for BigFloatCtx {
         )
     }
     fn to_i32(&self, v: &BigFloat) -> (i32, FpFlags) {
-        let (d, _) = v.to_f64(Round::Zero);
-        crate::softfp::cvt_f64_to_i32(d)
+        // Truncate from the full significand (like `to_i64` below), not via
+        // an f64 intermediate: at prec 200 a >53-bit integer would round
+        // twice on the old `to_f64(Round::Zero)` path.
+        match v.to_integer_parts() {
+            None => (i32::MIN, FpFlags::INVALID),
+            Some((sign, mag, inexact)) => {
+                let limit = if sign { 1u128 << 31 } else { (1u128 << 31) - 1 };
+                if mag > limit {
+                    return (i32::MIN, FpFlags::INVALID);
+                }
+                let val = if sign {
+                    (mag as u32).wrapping_neg() as i32
+                } else {
+                    mag as i32
+                };
+                (
+                    val,
+                    if inexact {
+                        FpFlags::INEXACT
+                    } else {
+                        FpFlags::NONE
+                    },
+                )
+            }
+        }
     }
     fn to_i64(&self, v: &BigFloat) -> (i64, FpFlags) {
         match v.to_integer_parts() {
@@ -286,6 +309,45 @@ mod tests {
         let narrow = BigFloatCtx::new(24);
         let (_, f) = narrow.from_i64((1 << 30) + 1);
         assert!(f.contains(FpFlags::INEXACT));
+    }
+
+    #[test]
+    fn i32_conversions_single_rounding() {
+        let ctx = BigFloatCtx::new(200);
+        // 2^31 − 0.5 holds 32+1 significant bits — fine for f64, but the
+        // point is the flags: truncate to i32::MAX with INEXACT, no
+        // INVALID (the old via-f64 path used cvt semantics on a value
+        // that had already been rounded).
+        let (v, f) = ctx.sub(
+            &ctx.from_f64(2147483648.0),
+            &ctx.from_f64(0.5),
+            Round::NearestEven,
+        );
+        assert!(f.is_empty());
+        assert_eq!(ctx.to_i32(&v), (i32::MAX, FpFlags::INEXACT));
+        // A 60-bit integer plus a fraction: exact at prec 200, far outside
+        // f64's 53 bits. Must report out-of-range INVALID, and the
+        // in-range wide case must truncate exactly.
+        let (wide, f) = ctx.add(
+            &ctx.from_i64(1 << 60).0,
+            &ctx.from_f64(0.25),
+            Round::NearestEven,
+        );
+        assert!(f.is_empty());
+        assert_eq!(ctx.to_i32(&wide), (i32::MIN, FpFlags::INVALID));
+        // i32::MIN itself is in range; one below is not.
+        assert_eq!(
+            ctx.to_i32(&ctx.from_f64(i32::MIN as f64)),
+            (i32::MIN, FpFlags::NONE)
+        );
+        assert_eq!(
+            ctx.to_i32(&ctx.from_f64(i32::MIN as f64 - 1.0)),
+            (i32::MIN, FpFlags::INVALID)
+        );
+        assert_eq!(
+            ctx.to_i32(&BigFloat::nan(200)),
+            (i32::MIN, FpFlags::INVALID)
+        );
     }
 
     #[test]

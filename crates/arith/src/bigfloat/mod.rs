@@ -261,45 +261,20 @@ impl BigFloat {
                     };
                     return (v, FpFlags::OVERFLOW | FpFlags::INEXACT);
                 }
-                let target_prec: i64 = if self.exp >= -1021 {
-                    53
-                } else {
-                    // Subnormal: fewer bits available.
-                    53 - (-1021 - self.exp)
-                };
-                if target_prec <= 0 {
-                    // Underflows to zero (or min subnormal for directed).
-                    let tiny = f64::from_bits(1);
-                    let v = match rm {
-                        Round::Up if !self.sign => tiny,
-                        Round::Down if self.sign => -tiny,
-                        _ => {
-                            if self.sign {
-                                -0.0
-                            } else {
-                                0.0
-                            }
-                        }
-                    };
-                    return (v, FpFlags::UNDERFLOW | FpFlags::INEXACT);
-                }
-                let (r, inexact) = BigFloat::from_int(
+                // Round once to 53 bits with the exponent unbounded: x64
+                // masked-mode tininess is judged on THIS result (IEEE
+                // "after rounding"), and whenever the result is not tiny
+                // it is also exactly the value to deliver.
+                let (r53, ix53) = BigFloat::from_int(
                     self.sign,
                     self.exp - i64::from(self.prec),
                     &self.mant,
                     false,
-                    target_prec as u32,
+                    53,
                     rm,
                 );
-                // r now has ≤ 53-bit mantissa; rebuild the f64.
-                let mut flags = if inexact {
-                    FpFlags::INEXACT
-                } else {
-                    FpFlags::NONE
-                };
-                // Rounding can push a subnormal up into the normal range or
-                // past the overflow boundary.
-                if r.exp > 1024 {
+                // Rounding can carry past the overflow boundary.
+                if r53.exp > 1024 {
                     return (
                         if self.sign {
                             f64::NEG_INFINITY
@@ -309,22 +284,67 @@ impl BigFloat {
                         FpFlags::OVERFLOW | FpFlags::INEXACT,
                     );
                 }
-                let m53 = widen_to_53(&r);
-                let value = if r.exp >= -1021 {
-                    // Normal: value = m × 2^(exp-53), 2^52 ≤ m < 2^53.
-                    let e = r.exp - 1; // unbiased IEEE exponent
+                // Tiny ⇔ |r53| < 2^-1021-1 (min normal); |r53| ∈
+                // [2^(exp−1), 2^exp) makes that an exponent test.
+                let tiny = r53.exp <= -1022;
+                if !tiny {
+                    // Normal result: r53 is the delivered value, and the
+                    // bounded rounding agrees with the unbounded one.
+                    let m53 = widen_to_53(&r53);
+                    let e = r53.exp - 1; // unbiased IEEE exponent
                     let bits = ((e + 1023) as u64) << 52 | (m53 & 0x000F_FFFF_FFFF_FFFF);
-                    f64::from_bits(bits)
+                    let value = f64::from_bits(bits);
+                    let flags = if ix53 {
+                        FpFlags::INEXACT
+                    } else {
+                        FpFlags::NONE
+                    };
+                    return (if self.sign { -value } else { value }, flags);
+                }
+                // Tiny result: round the ORIGINAL mantissa directly onto
+                // the subnormal grid, m = round(|x| / 2^-1074). Going back
+                // through `from_int` would re-round r53 (double rounding)
+                // and its MIN_PREC floor can't express the 1-bit precision
+                // of the lowest binades. Raise UNDERFLOW iff the delivery
+                // is inexact — tiny *and* inexact, the masked-x64 rule.
+                // `|x| = mant × 2^(exp − prec)`, so `m_exact = mant × 2^k`.
+                let k = self.exp - i64::from(self.prec) + 1074;
+                let mut m: u64;
+                let inexact;
+                if k >= 0 {
+                    // Exact left shift: tininess bounds the result under
+                    // 2^53, so only the low limb can be populated.
+                    debug_assert!(self.mant.iter().skip(1).all(|&l| l == 0));
+                    m = self.mant[0] << k;
+                    inexact = false;
                 } else {
-                    // Subnormal: value = m' × 2^-1074.
-                    let shift = (-1021 - r.exp) as u32;
-                    let m_sub = m53 >> shift; // exact: low bits are zero
-                    debug_assert_eq!(m_sub << shift, m53);
-                    if inexact {
-                        flags |= FpFlags::UNDERFLOW;
+                    let cut = (-k) as usize;
+                    let round_bit = bit_at(&self.mant, cut - 1);
+                    let sticky = any_bits_below(&self.mant, cut - 1);
+                    m = shift_right_into(&self.mant, cut, 1)[0];
+                    inexact = round_bit || sticky;
+                    let up = match rm {
+                        Round::NearestEven => round_bit && (sticky || m & 1 == 1),
+                        Round::Up => inexact && !self.sign,
+                        Round::Down => inexact && self.sign,
+                        Round::Zero => false,
+                    };
+                    if up {
+                        m += 1;
                     }
-                    f64::from_bits(m_sub)
+                }
+                let flags = if inexact {
+                    // Tininess was judged on the unbounded rounding above,
+                    // so UNDERFLOW applies even if the grid rounding
+                    // carries up to the min-normal boundary.
+                    FpFlags::UNDERFLOW | FpFlags::INEXACT
+                } else {
+                    FpFlags::NONE
                 };
+                // m ∈ [0, 2^52]: the subnormal encodings, with m = 2^52
+                // landing exactly on the min-normal bit pattern.
+                debug_assert!(m <= 1 << 52);
+                let value = f64::from_bits(m);
                 (if self.sign { -value } else { value }, flags)
             }
         }
@@ -1277,6 +1297,48 @@ mod tests {
         let (d, flags) = big.to_f64(Round::NearestEven);
         assert!(d.is_infinite());
         assert!(flags.contains(FpFlags::OVERFLOW));
+    }
+
+    #[test]
+    fn underflow_judged_after_rounding() {
+        // (1 − 2^-53)·2^-1022 is exact at 53 bits and tiny (just below the
+        // min normal), but the 52-bit subnormal delivery rounds up to
+        // exactly 2^-1022. x64 masked mode judges tininess after rounding
+        // with unbounded exponent, so this is UNDERFLOW|INEXACT even
+        // though the delivered value is normal.
+        // Build (1 − 2^-53)·2^-1022 = (1.11…1₂ × 2^-1022) / 2 exactly —
+        // the f64 literal 2^-1075 would underflow to zero.
+        let a = bf((-1022f64).exp2(), 200);
+        let num = bf(f64::from_bits(0x001F_FFFF_FFFF_FFFF), 200);
+        let (v, vf) = div(&num, &bf(2.0, 200), 200, Round::NearestEven);
+        assert!(vf.is_empty(), "construction must be exact");
+        let (d, flags) = v.to_f64(Round::NearestEven);
+        assert_eq!(d, f64::MIN_POSITIVE);
+        assert_eq!(flags, FpFlags::UNDERFLOW | FpFlags::INEXACT);
+
+        // Just above the boundary: 2^-1022 + 2^-1082 rounds (unbounded) to
+        // exactly 2^-1022 — not tiny, so INEXACT only.
+        let (eps, _) = div(&a, &bf(60f64.exp2(), 200), 200, Round::NearestEven);
+        let (w, _) = add(&a, &eps, 200, Round::NearestEven);
+        let (d, flags) = w.to_f64(Round::NearestEven);
+        assert_eq!(d, f64::MIN_POSITIVE);
+        assert_eq!(flags, FpFlags::INEXACT);
+
+        // An exactly representable subnormal raises nothing.
+        let (d, flags) = bf((-1073f64).exp2(), 200).to_f64(Round::NearestEven);
+        assert!(d.is_subnormal());
+        assert_eq!(flags, FpFlags::NONE);
+
+        // Deep underflow still reports UNDERFLOW|INEXACT.
+        let (q, _) = mul(
+            &bf((-1000f64).exp2(), 200),
+            &bf((-1000f64).exp2(), 200),
+            200,
+            Round::NearestEven,
+        );
+        let (d, flags) = q.to_f64(Round::NearestEven);
+        assert_eq!(d, 0.0);
+        assert_eq!(flags, FpFlags::UNDERFLOW | FpFlags::INEXACT);
     }
 
     #[test]

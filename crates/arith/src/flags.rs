@@ -2,7 +2,7 @@
 //! condition-code bits that drive FPVM's trap-and-emulate engine (§4.1).
 
 use std::fmt;
-use std::ops::{BitOr, BitOrAssign};
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Not};
 
 /// Sticky IEEE exception flags, with the same bit positions as the low six
 /// bits of `%mxcsr` so the machine can splice them in directly.
@@ -60,6 +60,30 @@ impl BitOrAssign for FpFlags {
     #[inline]
     fn bitor_assign(&mut self, rhs: FpFlags) {
         self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for FpFlags {
+    type Output = FpFlags;
+    #[inline]
+    fn bitand(self, rhs: FpFlags) -> FpFlags {
+        FpFlags(self.0 & rhs.0)
+    }
+}
+
+impl BitAndAssign for FpFlags {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: FpFlags) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl Not for FpFlags {
+    type Output = FpFlags;
+    /// Complement within the six defined flag bits.
+    #[inline]
+    fn not(self) -> FpFlags {
+        FpFlags(!self.0 & FpFlags::ALL.0)
     }
 }
 
@@ -141,6 +165,9 @@ mod tests {
         assert!(f.intersects(FpFlags::INEXACT | FpFlags::OVERFLOW));
         assert!(!f.intersects(FpFlags::OVERFLOW));
         assert!(FpFlags::NONE.is_empty());
+        assert_eq!(f & FpFlags::INVALID, FpFlags::INVALID);
+        assert_eq!(f & !FpFlags::INVALID, FpFlags::INEXACT);
+        assert_eq!(!FpFlags::NONE, FpFlags::ALL);
         assert_eq!(f.to_string(), "IE|PE");
         assert_eq!(FpFlags::NONE.to_string(), "-");
     }

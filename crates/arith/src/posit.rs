@@ -45,6 +45,22 @@ struct Unpacked {
     frac: u64,
 }
 
+/// Result of truncating a posit toward zero ([`Posit::trunc_magnitude`]).
+enum PositTrunc {
+    /// NaR input.
+    Nar,
+    /// Zero input.
+    Zero,
+    /// Magnitude fits in a u128; `inexact` if fraction bits were dropped.
+    Val {
+        sign: bool,
+        mag: u128,
+        inexact: bool,
+    },
+    /// Magnitude ≥ 2^128 — out of range for every integer target here.
+    Huge,
+}
+
 impl<const N: u32, const ES: u32> Posit<N, ES> {
     const MASK: u64 = if N == 64 { u64::MAX } else { (1u64 << N) - 1 };
     const SIGN_BIT: u64 = 1u64 << (N - 1);
@@ -220,6 +236,51 @@ impl<const N: u32, const ES: u32> Posit<N, ES> {
             self.negate()
         } else {
             self
+        }
+    }
+
+    /// Decompose into `(sign, scale, frac)` with the hidden bit at
+    /// position 63 (`frac ∈ [2^63, 2^64)`), so `|v| = frac × 2^(scale−63)`.
+    /// `None` for zero and NaR.
+    pub fn to_parts(self) -> Option<(bool, i32, u64)> {
+        self.decode().map(|u| (u.sign, u.scale, u.frac))
+    }
+
+    /// Truncate toward zero directly from the significand — no f64
+    /// intermediate, so wide posits (e.g. posit64es3 values with more
+    /// than 53 significant bits) convert with a single rounding.
+    fn trunc_magnitude(self) -> PositTrunc {
+        if self.is_nar() {
+            return PositTrunc::Nar;
+        }
+        let Some(u) = self.decode() else {
+            return PositTrunc::Zero;
+        };
+        if u.scale < 0 {
+            // |v| < 1, nonzero: truncates to 0, inexactly.
+            return PositTrunc::Val {
+                sign: u.sign,
+                mag: 0,
+                inexact: true,
+            };
+        }
+        if u.scale > 127 {
+            // Beyond u128; out of range for every 64-bit target.
+            return PositTrunc::Huge;
+        }
+        if u.scale <= 63 {
+            let shift = 63 - u.scale; // 0..=63
+            PositTrunc::Val {
+                sign: u.sign,
+                mag: u128::from(u.frac >> shift),
+                inexact: shift > 0 && u.frac & ((1u64 << shift) - 1) != 0,
+            }
+        } else {
+            PositTrunc::Val {
+                sign: u.sign,
+                mag: u128::from(u.frac) << (u.scale - 63),
+                inexact: false,
+            }
         }
     }
 
@@ -547,8 +608,14 @@ impl<const N: u32, const ES: u32> ArithSystem for PositCtx<N, ES> {
     fn to_f64(&self, v: &Posit<N, ES>, _rm: Round) -> (f64, FpFlags) {
         (v.to_f64(), FpFlags::NONE)
     }
-    fn from_f32(&self, x: f32) -> Posit<N, ES> {
-        Posit::from_f64(f64::from(x))
+    fn from_f32(&self, x: f32) -> (Posit<N, ES>, FpFlags) {
+        let p = Posit::from_f64(f64::from(x));
+        let flags = if p.is_nar() || p.to_f64() == f64::from(x) {
+            FpFlags::NONE
+        } else {
+            FpFlags::INEXACT
+        };
+        (p, flags)
     }
     fn to_f32(&self, v: &Posit<N, ES>, _rm: Round) -> (f32, FpFlags) {
         crate::softfp::cvt_f64_to_f32(v.to_f64())
@@ -565,21 +632,60 @@ impl<const N: u32, const ES: u32> ArithSystem for PositCtx<N, ES> {
         };
         (p, flags)
     }
+    // The truncating conversions go directly through the posit significand
+    // (`trunc_magnitude`), not via `to_f64()`: posit64es3 carries up to
+    // ~58 fraction bits mid-range, so an f64 intermediate would round
+    // twice and misreport INVALID/INEXACT near the integer boundaries.
     fn to_i32(&self, v: &Posit<N, ES>) -> (i32, FpFlags) {
-        crate::softfp::cvt_f64_to_i32(v.to_f64())
+        match v.trunc_magnitude() {
+            PositTrunc::Nar | PositTrunc::Huge => (i32::MIN, FpFlags::INVALID),
+            PositTrunc::Zero => (0, FpFlags::NONE),
+            PositTrunc::Val { sign, mag, inexact } => {
+                let limit = if sign { 1u128 << 31 } else { (1u128 << 31) - 1 };
+                if mag > limit {
+                    return (i32::MIN, FpFlags::INVALID);
+                }
+                let val = if sign {
+                    (mag as u32).wrapping_neg() as i32
+                } else {
+                    mag as i32
+                };
+                (val, pe(inexact))
+            }
+        }
     }
     fn to_i64(&self, v: &Posit<N, ES>) -> (i64, FpFlags) {
-        crate::softfp::cvt_f64_to_i64(v.to_f64())
+        match v.trunc_magnitude() {
+            PositTrunc::Nar | PositTrunc::Huge => (i64::MIN, FpFlags::INVALID),
+            PositTrunc::Zero => (0, FpFlags::NONE),
+            PositTrunc::Val { sign, mag, inexact } => {
+                let limit = if sign { 1u128 << 63 } else { (1u128 << 63) - 1 };
+                if mag > limit {
+                    return (i64::MIN, FpFlags::INVALID);
+                }
+                let val = if sign {
+                    (mag as u64).wrapping_neg() as i64
+                } else {
+                    mag as i64
+                };
+                (val, pe(inexact))
+            }
+        }
     }
     fn from_u64(&self, x: u64) -> (Posit<N, ES>, FpFlags) {
         (Posit::from_f64(x as f64), FpFlags::NONE)
     }
     fn to_u64(&self, v: &Posit<N, ES>) -> (u64, FpFlags) {
-        let x = v.to_f64();
-        if x.is_nan() || x < 0.0 {
-            return (u64::MAX, FpFlags::INVALID);
+        match v.trunc_magnitude() {
+            PositTrunc::Nar | PositTrunc::Huge => (u64::MAX, FpFlags::INVALID),
+            PositTrunc::Zero => (0, FpFlags::NONE),
+            PositTrunc::Val { sign, mag, inexact } => {
+                if (sign && mag != 0) || mag > u128::from(u64::MAX) {
+                    return (u64::MAX, FpFlags::INVALID);
+                }
+                (mag as u64, pe(inexact))
+            }
         }
-        (x as u64, FpFlags::NONE)
     }
 
     fn add(&self, a: &Posit<N, ES>, b: &Posit<N, ES>, _rm: Round) -> (Posit<N, ES>, FpFlags) {
@@ -822,6 +928,61 @@ mod tests {
         assert!(f.contains(FpFlags::INEXACT));
         assert!(ctx.is_nan(&Posit64::NAR));
         assert_eq!(ctx.name(), "posit64es3");
+    }
+
+    #[test]
+    fn int_conversion_no_double_rounding() {
+        // 2 − 2^-57 has 58 significant bits: exact in posit64es3 near 1.0
+        // (59 significant bits available at scale 0) but NOT in f64. The
+        // old via-f64 path rounded it to 2.0 first and returned (2, NONE);
+        // the direct path must truncate to (1, INEXACT).
+        let ctx = Posit64Ctx::default();
+        let two = ctx.from_f64(2.0);
+        let ulp = ctx.from_f64((-57f64).exp2());
+        let (v, f) = ctx.sub(&two, &ulp, Round::NearestEven);
+        assert_eq!(f, FpFlags::NONE, "2 - 2^-57 is posit64-exact");
+        assert_eq!(v.to_f64(), 2.0, "f64 cannot hold it (the trap)");
+        assert_eq!(ctx.to_i32(&v), (1, FpFlags::INEXACT));
+        assert_eq!(ctx.to_i64(&v), (1, FpFlags::INEXACT));
+        assert_eq!(ctx.to_u64(&v), (1, FpFlags::INEXACT));
+    }
+
+    #[test]
+    fn int_conversion_boundaries() {
+        let ctx = Posit64Ctx::default();
+        let p = |x: f64| ctx.from_f64(x);
+        // i32 range edges, ±1 ulp (integers near 2^31 are posit64-exact).
+        assert_eq!(ctx.to_i32(&p(i32::MAX as f64)), (i32::MAX, FpFlags::NONE));
+        assert_eq!(
+            ctx.to_i32(&p(i32::MAX as f64 + 1.0)),
+            (i32::MIN, FpFlags::INVALID)
+        );
+        assert_eq!(ctx.to_i32(&p(i32::MIN as f64)), (i32::MIN, FpFlags::NONE));
+        assert_eq!(
+            ctx.to_i32(&p(i32::MIN as f64 - 1.0)),
+            (i32::MIN, FpFlags::INVALID)
+        );
+        // Fractional neighbors truncate toward zero with INEXACT.
+        assert_eq!(
+            ctx.to_i32(&p(i32::MAX as f64 + 0.5)),
+            (i32::MAX, FpFlags::INEXACT)
+        );
+        assert_eq!(
+            ctx.to_i32(&p(i32::MIN as f64 - 0.5)),
+            (i32::MIN, FpFlags::INEXACT)
+        );
+        // i64 edges: −2^63 is exactly representable and in range; +2^63
+        // overflows (cvttsd2si-style integer indefinite).
+        assert_eq!(ctx.to_i64(&p(-(63f64.exp2()))), (i64::MIN, FpFlags::NONE));
+        assert_eq!(ctx.to_i64(&p(63f64.exp2())), (i64::MIN, FpFlags::INVALID));
+        // u64: 2^63 fits, 2^64 does not; small negatives truncate to 0.
+        assert_eq!(ctx.to_u64(&p(63f64.exp2())), (1u64 << 63, FpFlags::NONE));
+        assert_eq!(ctx.to_u64(&p(64f64.exp2())), (u64::MAX, FpFlags::INVALID));
+        assert_eq!(ctx.to_u64(&p(-0.25)), (0, FpFlags::INEXACT));
+        assert_eq!(ctx.to_u64(&p(-1.0)), (u64::MAX, FpFlags::INVALID));
+        // NaR and huge-scale posits (maxpos has scale 496) → INVALID.
+        assert_eq!(ctx.to_i32(&Posit64::NAR), (i32::MIN, FpFlags::INVALID));
+        assert_eq!(ctx.to_i64(&Posit64::maxpos()), (i64::MIN, FpFlags::INVALID));
     }
 
     #[test]

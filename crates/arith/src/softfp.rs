@@ -69,6 +69,16 @@ fn propagate_nan2(a: f64, b: f64) -> (f64, FpFlags) {
 }
 
 /// Tiny-and-inexact underflow check on a rounded finite result.
+///
+/// Judging tininess from the *delivered* result is exact except at one
+/// boundary: a tiny value can round up (at subnormal precision) to exactly
+/// ±2^-1022, a normal result, while the IEEE/x64 masked rule judges it on
+/// the rounding with unbounded exponent — still tiny, so UNDERFLOW.
+/// For `add` that boundary is unreachable (exact sums of two f64s are
+/// multiples of 2^-1074, and no such multiple lies strictly between the
+/// largest subnormal and 2^-1022), so this test is exact there. `mul` and
+/// `div` use [`tiny_scaled`] instead; `fma` keeps this test as part of its
+/// documented conservative flag detection.
 #[inline]
 fn underflow_of(result: f64, inexact: bool) -> FpFlags {
     if inexact && (result == 0.0 || result.is_subnormal()) {
@@ -76,6 +86,18 @@ fn underflow_of(result: f64, inexact: bool) -> FpFlags {
     } else {
         FpFlags::NONE
     }
+}
+
+/// After-rounding tininess for a normalized product or quotient: `m` is the
+/// 53-bit-rounded mantissa with `|m| ∈ [0.25, 2)` and the true result is
+/// `m × 2^scale` before any exponent clamping — i.e. exactly the "rounded
+/// with unbounded exponent" value the masked-x64 rule inspects. It lies in
+/// `[2^(E−1), 2^E)` for `E = frexp(m).1 + scale`, so tininess (< 2^-1022)
+/// is an exponent test.
+#[inline]
+fn tiny_scaled(m: f64, scale: i32) -> bool {
+    let (_, em) = frexp(m);
+    em + scale <= -1022
 }
 
 /// Knuth two-sum: returns `(s, e)` with `s = fl(a + b)` and `a + b = s + e`
@@ -154,6 +176,9 @@ pub fn mul(a: f64, b: f64) -> (f64, FpFlags) {
     if a.is_infinite() || b.is_infinite() {
         return (p, flags);
     }
+    if a == 0.0 || b == 0.0 {
+        return (p, flags); // correctly-signed zero, always exact
+    }
     // Exactness via the residual in *normalized* space: the naive residual
     // fma(a, b, -p) itself underflows to zero for deeply tiny products,
     // silently hiding inexactness. Normalizing both operands to [0.5, 1)
@@ -166,7 +191,9 @@ pub fn mul(a: f64, b: f64) -> (f64, FpFlags) {
     let scale_back_exact = p != 0.0 && ldexp_exact_eq(p, -(ea + eb), pm, e);
     if e != 0.0 || !scale_back_exact {
         flags |= FpFlags::INEXACT;
-        flags |= underflow_of(p, true);
+        if tiny_scaled(pm, ea + eb) {
+            flags |= FpFlags::UNDERFLOW;
+        }
     }
     (p, flags)
 }
@@ -251,7 +278,9 @@ pub fn div(a: f64, b: f64) -> (f64, FpFlags) {
     let exact = q != 0.0 && ldexp_exact_eq(q, -(ea - eb), qm, r);
     if !exact {
         flags |= FpFlags::INEXACT;
-        flags |= underflow_of(q, true);
+        if tiny_scaled(qm, ea - eb) {
+            flags |= FpFlags::UNDERFLOW;
+        }
     }
     (q, flags)
 }
@@ -272,8 +301,29 @@ pub fn sqrt(a: f64) -> (f64, FpFlags) {
         return (a, flags); // ±0 -> ±0, +inf -> +inf, exact
     }
     let r = a.sqrt();
-    let e = r.mul_add(r, -a);
-    if e != 0.0 {
+    // Exactness check in integer arithmetic. The fma residual trick
+    // (r.mul_add(r, -a) != 0) fails for subnormal inputs: the residual is
+    // below 2^-1074 and flushes to zero, misreporting exact. Instead
+    // compare odd-normalized m·2^e forms: sqrt is exact iff mr² == ma and
+    // 2·er == ea.
+    let parts = |x: f64| -> (u64, i32) {
+        let bits = x.to_bits();
+        let biased = ((bits >> 52) & 0x7FF) as i32;
+        let frac = bits & 0x000F_FFFF_FFFF_FFFF;
+        let (mut m, mut e) = if biased > 0 {
+            (frac | (1 << 52), biased - 1075)
+        } else {
+            (frac, -1074)
+        };
+        while m & 1 == 0 {
+            m >>= 1;
+            e += 1;
+        }
+        (m, e)
+    };
+    let (ma, ea) = parts(a);
+    let (mr, er) = parts(r);
+    if u128::from(mr) * u128::from(mr) != u128::from(ma) || 2 * er != ea {
         flags |= FpFlags::INEXACT;
     }
     (r, flags)
@@ -344,6 +394,22 @@ pub fn fma(a: f64, b: f64, c: f64) -> (f64, FpFlags) {
         // finite; certainly inexact detection is unreliable — report it.
         flags |= FpFlags::INEXACT;
         return (r, flags);
+    }
+    if a != 0.0 && b != 0.0 && p.abs() < 2f64.powi(-966) {
+        // The product sits so deep that the error-free transform's own
+        // error terms underflow (a·b can reach 2^-2098): e1/e2 flush to
+        // zero and exactness cannot be decided in f64. Decide it in
+        // extended precision instead; the cold path only triggers when
+        // |a·b| < 2^-966.
+        let rm = crate::flags::Round::NearestEven;
+        let ba = crate::bigfloat::BigFloat::from_f64(a, 53, rm).0;
+        let bb = crate::bigfloat::BigFloat::from_f64(b, 53, rm).0;
+        let bc = crate::bigfloat::BigFloat::from_f64(c, 53, rm).0;
+        // 4400 bits hold the exact 106-bit product (exp ≥ -2098) against
+        // any 53-bit addend (exp ≤ 1024): span < 3130 + slack.
+        let (s, f1) = crate::bigfloat::fma(&ba, &bb, &bc, 4400, rm);
+        let (_, f2) = s.to_f64(rm);
+        return (r, flags | f1 | f2);
     }
     let (_, e2) = two_sum(p, c);
     if e1 != 0.0 || e2 != 0.0 {
@@ -428,7 +494,10 @@ pub fn cvt_f64_to_i64(a: f64) -> (i64, FpFlags) {
 /// x64 `cvttsd2si` (truncating) to i32.
 pub fn cvt_f64_to_i32(a: f64) -> (i32, FpFlags) {
     let mut flags = denormal_in(&[a]);
-    if a.is_nan() || !(-2147483649.0..2147483648.0).contains(&a) {
+    // Valid iff trunc(a) fits i32, i.e. a ∈ (-2^31 - 1, 2^31): the lower
+    // bound is *exclusive* — trunc(-2147483649.0) = -2147483649 does not
+    // fit and must produce the integer indefinite + IE.
+    if a.is_nan() || !(-2147483649.0 < a && a < 2147483648.0) {
         return (i32::MIN, flags | FpFlags::INVALID);
     }
     let t = a.trunc();
@@ -453,7 +522,19 @@ pub fn cvt_f64_to_f32(a: f64) -> (f32, FpFlags) {
     }
     if f64::from(r) != a {
         flags |= FpFlags::INEXACT;
-        if r == 0.0 || r.is_subnormal() {
+        // Tininess is judged on the rounding with unbounded exponent: a
+        // delivered result of exactly ±2^-126 can come from a value whose
+        // 24-bit rounding is still below the normal range. Scaling by
+        // 2^100 (exact — `a` is within a factor of two of 2^-126 here)
+        // moves the cast's rounding into the f32 normal range, where it
+        // reproduces the unbounded-exponent rounding.
+        let tiny = r == 0.0
+            || r.is_subnormal()
+            || (r.abs() == f32::MIN_POSITIVE && {
+                let unbounded = (a * 2f64.powi(100)) as f32;
+                f64::from(unbounded.abs()) < 2f64.powi(-26)
+            });
+        if tiny {
             flags |= FpFlags::UNDERFLOW;
         }
     }
@@ -553,9 +634,16 @@ mod tests {
         let (v, f) = mul(2f64.powi(-1000), 2f64.powi(-74));
         assert_eq!(v, f64::from_bits(1), "min subnormal");
         assert!(f.is_empty(), "exact subnormal result: {f}");
-        // But 3 * 2^-1074 / 2 style rounding in subnormal range is inexact.
-        let (_, f) = mul(3.0 * 2f64.powi(-1074), 0.4);
+        // But 3 * 2^-1074 (built from bits: powi(-1074) underflows to
+        // zero) times 0.4 rounds in the subnormal range: inexact.
+        let (_, f) = mul(f64::from_bits(3), 0.4);
         assert!(f.contains(FpFlags::INEXACT));
+        assert!(f.contains(FpFlags::UNDERFLOW));
+        // Zero times anything finite is exact, even though the zero
+        // cannot be normalized for the residual check.
+        let (v, f) = mul(-0.0, 0.4);
+        assert_eq!(v.to_bits(), (-0.0f64).to_bits());
+        assert!(f.is_empty(), "signed zero product is exact: {f}");
     }
 
     #[test]
@@ -610,6 +698,56 @@ mod tests {
         assert!(f.contains(FpFlags::INVALID));
         // min(+0, -0) returns the second operand.
         assert_eq!(min(0.0, -0.0).0.to_bits(), (-0.0f64).to_bits());
+        // ... and so do max and the equal-magnitude cases: every ±0 pair
+        // and every a == b tie is second-operand-wins on x64.
+        assert_eq!(max(0.0, -0.0).0.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(max(-0.0, 0.0).0.to_bits(), 0.0f64.to_bits());
+        assert_eq!(min(-0.0, 0.0).0.to_bits(), 0.0f64.to_bits());
+        // A forwarded NaN keeps its payload and quietness bit: minsd moves
+        // src2 through unchanged, even a signaling NaN.
+        let snan = f64::from_bits(0x7FF0_0000_0000_0001);
+        let (v, f) = min(1.0, snan);
+        assert_eq!(v.to_bits(), snan.to_bits(), "sNaN forwarded unquieted");
+        assert!(f.contains(FpFlags::INVALID));
+        // Quiet NaN also raises IE (unlike addsd): minsd documents invalid
+        // on *any* NaN source.
+        let (_, f) = max(f64::NAN, 1.0);
+        assert!(f.contains(FpFlags::INVALID));
+        // Denormal operand flags DE, result still second-operand-wins rules.
+        let tiny = f64::from_bits(1);
+        let (v, f) = min(tiny, tiny);
+        assert_eq!(v.to_bits(), tiny.to_bits());
+        assert!(f.contains(FpFlags::DENORMAL));
+    }
+
+    #[test]
+    fn mul_underflow_at_min_normal_boundary() {
+        // (1 − 2^-53) × 2^-1022: the delivered product rounds up to
+        // exactly MIN_POSITIVE (a *normal* number), but rounding with
+        // unbounded exponent keeps it tiny — masked x64 raises UE|PE.
+        let a = f64::from_bits(0x3FEF_FFFF_FFFF_FFFF); // 1 − 2^-53
+        let b = f64::MIN_POSITIVE;
+        let (p, f) = mul(a, b);
+        assert_eq!(p, f64::MIN_POSITIVE);
+        assert!(f.contains(FpFlags::UNDERFLOW), "tiny after rounding: {f}");
+        assert!(f.contains(FpFlags::INEXACT));
+        // Same boundary through div: (1.111…1₂ × 2^-1022) / 2 has the
+        // exact quotient (1 − 2^-53) × 2^-1022, which also delivers
+        // MIN_POSITIVE (tie-to-even at subnormal precision) yet is tiny
+        // with the exponent unbounded.
+        let num = f64::from_bits(0x001F_FFFF_FFFF_FFFF);
+        let (q, f) = div(num, 2.0);
+        assert_eq!(q, f64::MIN_POSITIVE);
+        assert!(f.contains(FpFlags::UNDERFLOW), "div boundary: {f}");
+        assert!(f.contains(FpFlags::INEXACT));
+        // Just above: (1 + 2^-52)² × 2^-1022 is inexact but rounds
+        // (unbounded) to at least the min normal — PE without UE.
+        let one_ulp = f64::from_bits(0x3FF0_0000_0000_0001); // 1 + 2^-52
+        let c = f64::MIN_POSITIVE * one_ulp; // exact: 2^-1022 + 2^-1074
+        let (p, f) = mul(c, one_ulp);
+        assert!(p >= f64::MIN_POSITIVE && !p.is_subnormal());
+        assert!(f.contains(FpFlags::INEXACT));
+        assert!(!f.contains(FpFlags::UNDERFLOW), "not tiny after rounding");
     }
 
     #[test]
@@ -676,6 +814,30 @@ mod tests {
     fn exact_i(v: i64, got: (i64, FpFlags)) {
         assert_eq!(got.0, v);
         assert_eq!(got.1, FpFlags::NONE);
+    }
+
+    #[test]
+    fn cvt_f32_underflow_at_min_normal_boundary() {
+        // a = 2^-126 − 3·2^-152: the 24-bit rounding with unbounded
+        // exponent gives 2^-126 − 2^-150 (still tiny), but the delivered
+        // subnormal-precision rounding carries up to exactly 2^-126 — a
+        // normal f32. Tininess is judged on the former: UNDERFLOW.
+        let a = 2f64.powi(-126) - 3.0 * 2f64.powi(-152);
+        let (v, f) = cvt_f64_to_f32(a);
+        assert_eq!(v, f32::MIN_POSITIVE);
+        assert_eq!(f, FpFlags::UNDERFLOW | FpFlags::INEXACT);
+
+        // a = 2^-126 − 2^-152 rounds to 2^-126 already at 24 bits with the
+        // exponent unbounded: not tiny, INEXACT only.
+        let a = 2f64.powi(-126) - 2f64.powi(-152);
+        let (v, f) = cvt_f64_to_f32(a);
+        assert_eq!(v, f32::MIN_POSITIVE);
+        assert_eq!(f, FpFlags::INEXACT);
+
+        // Exact subnormal: no flags at all.
+        let (v, f) = cvt_f64_to_f32(2f64.powi(-149));
+        assert_eq!(v, f32::from_bits(1));
+        assert_eq!(f, FpFlags::NONE);
     }
 
     #[test]

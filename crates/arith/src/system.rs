@@ -37,8 +37,9 @@ pub trait ArithSystem: Send + Sync {
     /// Demote to an IEEE double (used when a shadowed value must escape:
     /// printf, serialization, correctness traps).
     fn to_f64(&self, v: &Self::Value, rm: Round) -> (f64, FpFlags);
-    /// Promote an IEEE single.
-    fn from_f32(&self, x: f32) -> Self::Value;
+    /// Promote an IEEE single (`cvtss2sd` semantics: DENORMAL on a
+    /// subnormal input, INVALID + quieting on a signaling NaN).
+    fn from_f32(&self, x: f32) -> (Self::Value, FpFlags);
     /// Demote to an IEEE single.
     fn to_f32(&self, v: &Self::Value, rm: Round) -> (f32, FpFlags);
     /// Convert from a 32-bit signed integer (`cvtsi2sd` semantics).

@@ -42,8 +42,8 @@ impl ArithSystem for Vanilla {
     fn to_f64(&self, v: &f64, _rm: Round) -> (f64, FpFlags) {
         (*v, FpFlags::NONE)
     }
-    fn from_f32(&self, x: f32) -> f64 {
-        softfp::cvt_f32_to_f64(x).0
+    fn from_f32(&self, x: f32) -> (f64, FpFlags) {
+        softfp::cvt_f32_to_f64(x)
     }
     fn to_f32(&self, v: &f64, _rm: Round) -> (f32, FpFlags) {
         softfp::cvt_f64_to_f32(*v)
@@ -71,7 +71,11 @@ impl ArithSystem for Vanilla {
     }
     fn to_u64(&self, v: &f64) -> (u64, FpFlags) {
         let a = *v;
-        if a.is_nan() || !(0.0..1.8446744073709552e19).contains(&a) {
+        // Truncation happens before the range check (vcvttsd2usi): values
+        // in (-1, 0) convert to 0 with INEXACT, matching the BigFloat and
+        // posit backends; only truncated values outside [0, 2^64) are
+        // invalid.
+        if a.is_nan() || !(-1.0 < a && a < 1.8446744073709552e19) {
             return (u64::MAX, FpFlags::INVALID);
         }
         let t = a.trunc();
@@ -80,7 +84,7 @@ impl ArithSystem for Vanilla {
         } else {
             FpFlags::NONE
         };
-        (t as u64, flags)
+        (t.abs() as u64, flags)
     }
 
     fn add(&self, a: &f64, b: &f64, _rm: Round) -> (f64, FpFlags) {
@@ -162,9 +166,27 @@ impl ArithSystem for Vanilla {
         )
     }
     fn floor(&self, a: &f64) -> (f64, FpFlags) {
+        // roundsd: signaling NaNs are quieted and raise IE; the precision
+        // exception is suppressed (imm8 bit 3), so no other flags.
+        if a.is_nan() {
+            let f = if softfp::is_snan(*a) {
+                FpFlags::INVALID
+            } else {
+                FpFlags::NONE
+            };
+            return (softfp::quiet(*a), f);
+        }
         (a.floor(), FpFlags::NONE)
     }
     fn ceil(&self, a: &f64) -> (f64, FpFlags) {
+        if a.is_nan() {
+            let f = if softfp::is_snan(*a) {
+                FpFlags::INVALID
+            } else {
+                FpFlags::NONE
+            };
+            return (softfp::quiet(*a), f);
+        }
         (a.ceil(), FpFlags::NONE)
     }
 

@@ -59,6 +59,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "§6: overhead under proposed kernel/hardware support",
     ),
     ("posits", "§5.4 companion: three-body under posits"),
+    (
+        "conform",
+        "E4b: per-operation conformance across arithmetic backends",
+    ),
     ("loc", "§5.5: lines-of-code inventory"),
     (
         "trace",
@@ -163,6 +167,16 @@ fn main() {
     if want("posits") {
         ran = true;
         archive("posits", &exp::posit_effects());
+    }
+    if want("conform") {
+        ran = true;
+        let rows = exp::conform(size);
+        let ok = rows.iter().all(|r| r.clean);
+        archive("conform", &rows);
+        if !ok {
+            eprintln!("CONFORMANCE FAILED (reproducers in target/experiments/conform_repro.jsonl)");
+            std::process::exit(1);
+        }
     }
     if want("loc") {
         ran = true;

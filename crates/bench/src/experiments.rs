@@ -1063,6 +1063,112 @@ pub fn profiler_guided(size: Size) -> PguidedResult {
 }
 
 // ---------------------------------------------------------------------------
+// E4b: per-operation conformance (differential suite over every backend)
+// ---------------------------------------------------------------------------
+
+/// One conformance suite's outcome.
+#[derive(Debug, Clone)]
+pub struct ConformRow {
+    pub suite: String,
+    pub cases: u64,
+    pub mismatches: u64,
+    pub oracle_conflicts: u64,
+    pub permitted: u64,
+    pub reproducers: u64,
+    pub clean: bool,
+}
+
+/// E4b: drive every `ArithSystem` backend through the persisted regression
+/// corpus plus fresh deterministic sweeps, cross-checking value, flags, and
+/// comparison outcomes against the oracle per operation and rounding mode.
+/// Failing cases are shrunk to one-operation reproducers and archived under
+/// `target/experiments/conform_repro.jsonl`, ready to paste into the corpus.
+pub fn conform(size: Size) -> Vec<ConformRow> {
+    use fpvm_conformance::{parse_corpus, run_cases, shrink, sweep_cases, Case};
+    println!("== E4b: per-operation conformance across arithmetic backends ==");
+    let mut suites: Vec<(String, Vec<Case>)> = Vec::new();
+    // Persisted regression corpus (paths relative to the repo root, where
+    // `reproduce` runs; silently absent under an out-of-tree invocation).
+    let corpus_dir = std::path::Path::new("crates/conformance/corpus");
+    if let Ok(rd) = std::fs::read_dir(corpus_dir) {
+        let mut paths: Vec<_> = rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            let name = format!(
+                "corpus/{}",
+                p.file_name().unwrap_or_default().to_string_lossy()
+            );
+            match std::fs::read_to_string(&p)
+                .map_err(|e| e.to_string())
+                .and_then(|t| parse_corpus(&t))
+            {
+                Ok(cases) => suites.push((name, cases)),
+                Err(e) => eprintln!("warning: skipping {name}: {e}"),
+            }
+        }
+    }
+    let n = if size == Size::Tiny { 2_000 } else { 24_000 };
+    suites.push(("sweep(seed=0xf9)".to_string(), sweep_cases(0xF9, n)));
+    suites.push(("sweep(seed=0x51)".to_string(), sweep_cases(0x51, n)));
+    println!(
+        "{:<26} {:>8} {:>9} {:>9} {:>10}",
+        "suite", "cases", "mismatch", "conflict", "permitted"
+    );
+    let mut reproducers: Vec<Case> = Vec::new();
+    let mut rows = Vec::new();
+    for (suite, cases) in suites {
+        let report = run_cases(&cases);
+        let permitted: u64 = report.permitted.values().sum();
+        for case in &report.failing_cases {
+            reproducers.push(shrink(case, |c| {
+                !run_cases(std::slice::from_ref(c)).clean()
+            }));
+        }
+        println!(
+            "{:<26} {:>8} {:>9} {:>9} {:>10}  {}",
+            suite,
+            commas(report.cases),
+            report.total_mismatches,
+            report.oracle_conflicts,
+            permitted,
+            if report.clean() { "clean" } else { "FAIL" }
+        );
+        rows.push(ConformRow {
+            suite,
+            cases: report.cases,
+            mismatches: report.total_mismatches,
+            oracle_conflicts: report.oracle_conflicts,
+            permitted,
+            reproducers: report.failing_cases.len() as u64,
+            clean: report.clean(),
+        });
+    }
+    if !reproducers.is_empty() {
+        let dir = std::path::PathBuf::from("target/experiments");
+        let _ = std::fs::create_dir_all(&dir);
+        let mut text =
+            String::from("# shrunk reproducers from the last `reproduce --exp conform` run\n");
+        for c in &reproducers {
+            text.push_str(&c.to_jsonl());
+            text.push('\n');
+        }
+        let path = dir.join("conform_repro.jsonl");
+        let _ = std::fs::write(&path, text);
+        println!(
+            "wrote {} shrunk reproducer(s) to {}",
+            reproducers.len(),
+            path.display()
+        );
+    }
+    println!();
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // JSON archival encodings
 // ---------------------------------------------------------------------------
 
@@ -1147,6 +1253,15 @@ json_struct!(PositRow {
     system,
     final_x,
     delta_vs_ieee,
+});
+json_struct!(ConformRow {
+    suite,
+    cases,
+    mismatches,
+    oracle_conflicts,
+    permitted,
+    reproducers,
+    clean,
 });
 json_struct!(HotSiteRow {
     rip,

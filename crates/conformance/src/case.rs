@@ -1,0 +1,294 @@
+//! The test-case model and its JSONL persistence.
+//!
+//! A [`Case`] is one operation applied to operands given as f64 bit
+//! patterns (or raw integer bits for the `From*` conversions), under one
+//! rounding mode. Cases serialize one-per-line as JSON objects — the same
+//! format the bench harness's `ToJson` emits for experiment records — so
+//! the regression corpus under `corpus/*.jsonl` is diffable and greppable.
+
+use fpvm_arith::Round;
+use std::fmt;
+
+/// The operation a case exercises. Every entry maps onto the §4.3
+/// `ArithSystem` interface (and, where one exists, the x64 instruction the
+/// trap-and-emulate engine virtualizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `addsd`.
+    Add,
+    /// `subsd`.
+    Sub,
+    /// `mulsd`.
+    Mul,
+    /// `divsd`.
+    Div,
+    /// Fused multiply-add `a*b + c`.
+    Fma,
+    /// `sqrtsd` (unary).
+    Sqrt,
+    /// `minsd`: second-operand-wins on NaN and ±0.
+    Min,
+    /// `maxsd`: second-operand-wins on NaN and ±0.
+    Max,
+    /// Sign flip (xorpd with the sign mask).
+    Neg,
+    /// Absolute value (andpd with the magnitude mask).
+    Abs,
+    /// `roundsd` toward −∞.
+    Floor,
+    /// `roundsd` toward +∞.
+    Ceil,
+    /// `ucomisd`: quiet compare, IE on sNaN only.
+    CmpQ,
+    /// `comisd`: signaling compare, IE on any NaN.
+    CmpS,
+    /// `cvttsd2si` r32.
+    ToI32,
+    /// `cvttsd2si` r64.
+    ToI64,
+    /// `vcvttsd2usi`-style unsigned truncation.
+    ToU64,
+    /// `cvtsd2ss`.
+    ToF32,
+    /// `cvtsi2sd` from the low 32 bits of `a`.
+    FromI32,
+    /// `cvtsi2sd` from `a` as i64.
+    FromI64,
+    /// Unsigned 64-bit promotion from `a`.
+    FromU64,
+    /// `cvtss2sd` from the low 32 bits of `a`.
+    FromF32,
+}
+
+/// All ops, for sweeping.
+pub const ALL_OPS: &[Op] = &[
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::Div,
+    Op::Fma,
+    Op::Sqrt,
+    Op::Min,
+    Op::Max,
+    Op::Neg,
+    Op::Abs,
+    Op::Floor,
+    Op::Ceil,
+    Op::CmpQ,
+    Op::CmpS,
+    Op::ToI32,
+    Op::ToI64,
+    Op::ToU64,
+    Op::ToF32,
+    Op::FromI32,
+    Op::FromI64,
+    Op::FromU64,
+    Op::FromF32,
+];
+
+impl Op {
+    /// Number of f64 operands consumed (`From*` ops consume `a` as raw
+    /// integer bits and report 1).
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Fma => 3,
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Min | Op::Max | Op::CmpQ | Op::CmpS => 2,
+            _ => 1,
+        }
+    }
+
+    /// Stable wire name used in the JSONL corpus.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Fma => "fma",
+            Op::Sqrt => "sqrt",
+            Op::Min => "min",
+            Op::Max => "max",
+            Op::Neg => "neg",
+            Op::Abs => "abs",
+            Op::Floor => "floor",
+            Op::Ceil => "ceil",
+            Op::CmpQ => "cmpq",
+            Op::CmpS => "cmps",
+            Op::ToI32 => "to_i32",
+            Op::ToI64 => "to_i64",
+            Op::ToU64 => "to_u64",
+            Op::ToF32 => "to_f32",
+            Op::FromI32 => "from_i32",
+            Op::FromI64 => "from_i64",
+            Op::FromU64 => "from_u64",
+            Op::FromF32 => "from_f32",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<Op> {
+        ALL_OPS.iter().copied().find(|o| o.name() == s)
+    }
+}
+
+/// Wire code for a rounding mode.
+pub fn rm_name(rm: Round) -> &'static str {
+    match rm {
+        Round::NearestEven => "ne",
+        Round::Down => "dn",
+        Round::Up => "up",
+        Round::Zero => "tz",
+    }
+}
+
+/// Parse a rounding-mode wire code.
+pub fn rm_parse(s: &str) -> Option<Round> {
+    match s {
+        "ne" => Some(Round::NearestEven),
+        "dn" => Some(Round::Down),
+        "up" => Some(Round::Up),
+        "tz" => Some(Round::Zero),
+        _ => None,
+    }
+}
+
+/// One differential test case: an operation, a rounding mode, and up to
+/// three operands as raw bit patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Case {
+    /// The operation.
+    pub op: Op,
+    /// Rounding mode (exercised by the BigFloat leg and the engine
+    /// replay; SoftFP/Vanilla are nearest-even only).
+    pub rm: Round,
+    /// First operand, as f64 bits (or raw integer bits for `From*`).
+    pub a: u64,
+    /// Second operand (binary/ternary ops).
+    pub b: u64,
+    /// Third operand (fma).
+    pub c: u64,
+}
+
+impl Case {
+    /// A unary/binary/ternary case under nearest-even.
+    pub fn new(op: Op, a: u64, b: u64, c: u64) -> Case {
+        Case {
+            op,
+            rm: Round::NearestEven,
+            a,
+            b,
+            c,
+        }
+    }
+
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"op\":\"{}\",\"rm\":\"{}\",\"a\":\"{:016x}\",\"b\":\"{:016x}\",\"c\":\"{:016x}\"}}",
+            self.op.name(),
+            rm_name(self.rm),
+            self.a,
+            self.b,
+            self.c
+        )
+    }
+
+    /// Parse one JSONL line. Lines that are empty or start with `#` are
+    /// comments and return `None`; malformed lines return an error.
+    pub fn from_jsonl(line: &str) -> Result<Option<Case>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let field = |key: &str| -> Result<String, String> {
+            let pat = format!("\"{key}\":\"");
+            let start = line
+                .find(&pat)
+                .ok_or_else(|| format!("missing field {key:?} in {line:?}"))?
+                + pat.len();
+            let end = line[start..]
+                .find('"')
+                .ok_or_else(|| format!("unterminated field {key:?}"))?;
+            Ok(line[start..start + end].to_string())
+        };
+        let op = Op::parse(&field("op")?).ok_or_else(|| format!("bad op in {line:?}"))?;
+        let rm = rm_parse(&field("rm")?).ok_or_else(|| format!("bad rm in {line:?}"))?;
+        let hex = |k: &str| -> Result<u64, String> {
+            u64::from_str_radix(&field(k)?, 16).map_err(|e| format!("bad {k}: {e}"))
+        };
+        Ok(Some(Case {
+            op,
+            rm,
+            a: hex("a")?,
+            b: hex("b")?,
+            c: hex("c")?,
+        }))
+    }
+}
+
+impl fmt::Display for Case {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}](a={:e}",
+            self.op.name(),
+            rm_name(self.rm),
+            f64::from_bits(self.a)
+        )?;
+        if self.op.arity() >= 2 {
+            write!(f, ", b={:e}", f64::from_bits(self.b))?;
+        }
+        if self.op.arity() >= 3 {
+            write!(f, ", c={:e}", f64::from_bits(self.c))?;
+        }
+        write!(
+            f,
+            ") bits a={:016x} b={:016x} c={:016x}",
+            self.a, self.b, self.c
+        )
+    }
+}
+
+/// Parse a whole corpus file (JSONL, `#` comments allowed).
+pub fn parse_corpus(text: &str) -> Result<Vec<Case>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        match Case::from_jsonl(line) {
+            Ok(Some(c)) => out.push(c),
+            Ok(None) => {}
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trip() {
+        let c = Case {
+            op: Op::Fma,
+            rm: Round::Up,
+            a: 0x3FF0_0000_0000_0000,
+            b: 0x7FF8_0000_0000_0001,
+            c: 0x8000_0000_0000_0000,
+        };
+        let line = c.to_jsonl();
+        assert_eq!(Case::from_jsonl(&line).unwrap(), Some(c));
+        for op in ALL_OPS {
+            let c = Case::new(*op, 1, 2, 3);
+            assert_eq!(Case::from_jsonl(&c.to_jsonl()).unwrap(), Some(c));
+        }
+    }
+
+    #[test]
+    fn comments_and_errors() {
+        assert_eq!(Case::from_jsonl("# header").unwrap(), None);
+        assert_eq!(Case::from_jsonl("   ").unwrap(), None);
+        assert!(Case::from_jsonl("{\"op\":\"nope\"}").is_err());
+        let text = "# corpus\n{\"op\":\"add\",\"rm\":\"ne\",\"a\":\"0\",\"b\":\"1\",\"c\":\"0\"}\n";
+        assert_eq!(parse_corpus(text).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,794 @@
+//! The differential engine: drive every backend through a case stream and
+//! cross-check values, flags, and comparison results against the oracle.
+//!
+//! Three kinds of leg:
+//!
+//! - **IEEE legs** (`softfp` free functions and the `Vanilla` backend
+//!   behind the [`ArithSystem`] trait): compared *exactly* — result bits
+//!   (including NaN payload and quietness) and the full flag set. The two
+//!   legs are additionally required to be bit-identical to each other.
+//! - **BigFloat@53 leg**: the arbitrary-precision backend pinned to
+//!   double precision, promoted → operated → demoted per case. Compared
+//!   for values and flags modulo an explicit, *enumerated* list of
+//!   permitted deviations (quiet-NaN-only arithmetic, no denormal
+//!   tracking, subnormal double rounding) — anything else is a mismatch.
+//! - **Posit legs** (posit32es2, posit64es3): posits round differently by
+//!   design, so they are checked against algebraic laws instead of oracle
+//!   values: NaR propagation, demote/promote stability, comparison
+//!   consistency with the decoded fields, and integer conversions against
+//!   an independent truncation built from [`Posit::to_parts`].
+
+use crate::case::{rm_name, Case, Op};
+use crate::oracle::{oracle, Expected, OracleOut};
+use fpvm_arith::{
+    softfp, ArithSystem, BigFloatCtx, CmpResult, FpFlags, Posit, PositCtx, Round, Vanilla,
+};
+use std::collections::BTreeMap;
+
+/// Outcome of one backend on one case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Agrees with the oracle (or satisfies every law).
+    Match,
+    /// Deviates in a way the named category explicitly permits.
+    Permitted(&'static str),
+    /// Disagrees: a conformance bug in the backend (or the oracle).
+    Mismatch(String),
+}
+
+/// How many distinct mismatches to keep verbatim in a report.
+const MAX_KEPT: usize = 32;
+
+/// Aggregated results of a conformance run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Cases checked.
+    pub cases: u64,
+    /// Per-rounding-mode case counts (ne, dn, up, tz).
+    pub per_rm: BTreeMap<&'static str, u64>,
+    /// Total mismatching (case, backend) pairs.
+    pub total_mismatches: u64,
+    /// Permitted-deviation tallies by category.
+    pub permitted: BTreeMap<&'static str, u64>,
+    /// Oracle-internal conflicts (bigfloat leg vs host hardware).
+    pub oracle_conflicts: u64,
+    /// Kept mismatches, deduplicated by (backend, op), capped.
+    pub mismatches: Vec<MismatchRecord>,
+    /// The failing cases behind `mismatches` (same order) — reproducer
+    /// seeds for the shrinker.
+    pub failing_cases: Vec<Case>,
+}
+
+/// One kept mismatch.
+#[derive(Debug, Clone)]
+pub struct MismatchRecord {
+    /// Which leg disagreed.
+    pub backend: &'static str,
+    /// The case, already minimized if the caller shrank it.
+    pub case: Case,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl Report {
+    /// True when no mismatch and no oracle conflict occurred.
+    pub fn clean(&self) -> bool {
+        self.total_mismatches == 0 && self.oracle_conflicts == 0
+    }
+
+    fn record(&mut self, backend: &'static str, case: &Case, verdict: Verdict) {
+        match verdict {
+            Verdict::Match => {}
+            Verdict::Permitted(cat) => {
+                *self.permitted.entry(cat).or_insert(0) += 1;
+            }
+            Verdict::Mismatch(detail) => {
+                self.total_mismatches += 1;
+                let dup = self
+                    .mismatches
+                    .iter()
+                    .any(|m| m.backend == backend && m.case.op == case.op);
+                if !dup && self.mismatches.len() < MAX_KEPT {
+                    self.mismatches.push(MismatchRecord {
+                        backend,
+                        case: *case,
+                        detail,
+                    });
+                    self.failing_cases.push(*case);
+                }
+            }
+        }
+    }
+}
+
+/// A backend result in oracle-comparable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observed {
+    /// The produced result.
+    pub got: Expected,
+    /// The produced flags (op flags | demotion flags).
+    pub flags: FpFlags,
+}
+
+/// Ops whose result is independent of the rounding mode (so the
+/// nearest-even-only IEEE legs can be checked under every mode).
+fn rm_insensitive(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Min
+            | Op::Max
+            | Op::Neg
+            | Op::Abs
+            | Op::Floor
+            | Op::Ceil
+            | Op::CmpQ
+            | Op::CmpS
+            | Op::ToI32
+            | Op::ToI64
+            | Op::ToU64
+            | Op::FromI32
+            | Op::FromF32
+    )
+}
+
+/// Run a case through any [`ArithSystem`] backend: promote the operands,
+/// apply the operation, demote the result with the case's rounding mode.
+/// Returned flags are the union of operation and demotion flags.
+pub fn apply<S: ArithSystem>(sys: &S, case: &Case) -> Observed {
+    let a = f64::from_bits(case.a);
+    let b = f64::from_bits(case.b);
+    let demote = |(v, f): (S::Value, FpFlags)| {
+        let (d, df) = sys.to_f64(&v, case.rm);
+        Observed {
+            got: Expected::F64(d.to_bits()),
+            flags: f | df,
+        }
+    };
+    match case.op {
+        Op::Add => demote(sys.add(&sys.from_f64(a), &sys.from_f64(b), case.rm)),
+        Op::Sub => demote(sys.sub(&sys.from_f64(a), &sys.from_f64(b), case.rm)),
+        Op::Mul => demote(sys.mul(&sys.from_f64(a), &sys.from_f64(b), case.rm)),
+        Op::Div => demote(sys.div(&sys.from_f64(a), &sys.from_f64(b), case.rm)),
+        Op::Fma => demote(sys.fma(
+            &sys.from_f64(a),
+            &sys.from_f64(b),
+            &sys.from_f64(f64::from_bits(case.c)),
+            case.rm,
+        )),
+        Op::Sqrt => demote(sys.sqrt(&sys.from_f64(a), case.rm)),
+        Op::Min => demote(sys.min(&sys.from_f64(a), &sys.from_f64(b))),
+        Op::Max => demote(sys.max(&sys.from_f64(a), &sys.from_f64(b))),
+        Op::Neg => demote(sys.neg(&sys.from_f64(a))),
+        Op::Abs => demote(sys.abs(&sys.from_f64(a))),
+        Op::Floor => demote(sys.floor(&sys.from_f64(a))),
+        Op::Ceil => demote(sys.ceil(&sys.from_f64(a))),
+        Op::CmpQ => {
+            let (r, f) = sys.cmp_quiet(&sys.from_f64(a), &sys.from_f64(b));
+            Observed {
+                got: Expected::Cmp(r),
+                flags: f,
+            }
+        }
+        Op::CmpS => {
+            let (r, f) = sys.cmp_signaling(&sys.from_f64(a), &sys.from_f64(b));
+            Observed {
+                got: Expected::Cmp(r),
+                flags: f,
+            }
+        }
+        Op::ToI32 => {
+            let (r, f) = sys.to_i32(&sys.from_f64(a));
+            Observed {
+                got: Expected::I32(r),
+                flags: f,
+            }
+        }
+        Op::ToI64 => {
+            let (r, f) = sys.to_i64(&sys.from_f64(a));
+            Observed {
+                got: Expected::I64(r),
+                flags: f,
+            }
+        }
+        Op::ToU64 => {
+            let (r, f) = sys.to_u64(&sys.from_f64(a));
+            Observed {
+                got: Expected::U64(r),
+                flags: f,
+            }
+        }
+        Op::ToF32 => {
+            let (r, f) = sys.to_f32(&sys.from_f64(a), case.rm);
+            Observed {
+                got: Expected::F32(r.to_bits()),
+                flags: f,
+            }
+        }
+        Op::FromI32 => demote(sys.from_i32(case.a as u32 as i32)),
+        Op::FromI64 => demote(sys.from_i64(case.a as i64)),
+        Op::FromU64 => demote(sys.from_u64(case.a)),
+        Op::FromF32 => {
+            let (v, vf) = sys.from_f32(f32::from_bits(case.a as u32));
+            let (d, df) = sys.to_f64(&v, case.rm);
+            Observed {
+                got: Expected::F64(d.to_bits()),
+                flags: vf | df,
+            }
+        }
+    }
+}
+
+/// Run a case through the raw `softfp` functions (no trait indirection).
+/// `None` when softfp cannot express the case (directed rounding).
+fn softfp_apply(case: &Case) -> Option<Observed> {
+    if case.rm != Round::NearestEven && !rm_insensitive(case.op) {
+        return None;
+    }
+    let a = f64::from_bits(case.a);
+    let b = f64::from_bits(case.b);
+    let ob = |(v, f): (f64, FpFlags)| Observed {
+        got: Expected::F64(v.to_bits()),
+        flags: f,
+    };
+    Some(match case.op {
+        Op::Add => ob(softfp::add(a, b)),
+        Op::Sub => ob(softfp::sub(a, b)),
+        Op::Mul => ob(softfp::mul(a, b)),
+        Op::Div => ob(softfp::div(a, b)),
+        Op::Fma => ob(softfp::fma(a, b, f64::from_bits(case.c))),
+        Op::Sqrt => ob(softfp::sqrt(a)),
+        Op::Min => ob(softfp::min(a, b)),
+        Op::Max => ob(softfp::max(a, b)),
+        Op::Neg | Op::Abs | Op::Floor | Op::Ceil => return None, // trait-only ops
+        Op::CmpQ => {
+            let (r, f) = softfp::ucomi(a, b);
+            Observed {
+                got: Expected::Cmp(r),
+                flags: f,
+            }
+        }
+        Op::CmpS => {
+            let (r, f) = softfp::comi(a, b);
+            Observed {
+                got: Expected::Cmp(r),
+                flags: f,
+            }
+        }
+        Op::ToI32 => {
+            let (r, f) = softfp::cvt_f64_to_i32(a);
+            Observed {
+                got: Expected::I32(r),
+                flags: f,
+            }
+        }
+        Op::ToI64 => {
+            let (r, f) = softfp::cvt_f64_to_i64(a);
+            Observed {
+                got: Expected::I64(r),
+                flags: f,
+            }
+        }
+        Op::ToU64 => return None, // not part of softfp's instruction set
+        Op::ToF32 => {
+            let (r, f) = softfp::cvt_f64_to_f32(a);
+            Observed {
+                got: Expected::F32(r.to_bits()),
+                flags: f,
+            }
+        }
+        Op::FromI32 => ob(softfp::cvt_i32_to_f64(case.a as u32 as i32)),
+        Op::FromI64 => ob(softfp::cvt_i64_to_f64(case.a as i64)),
+        Op::FromU64 => return None,
+        Op::FromF32 => ob(softfp::cvt_f32_to_f64(f32::from_bits(case.a as u32))),
+    })
+}
+
+fn both_nan_f64(x: u64, y: u64) -> bool {
+    f64::from_bits(x).is_nan() && f64::from_bits(y).is_nan()
+}
+
+fn both_nan_f32(x: u32, y: u32) -> bool {
+    f32::from_bits(x).is_nan() && f32::from_bits(y).is_nan()
+}
+
+/// Exact value equality (bit-for-bit, NaN payloads included).
+fn value_eq_exact(want: &Expected, got: &Expected) -> bool {
+    want == got
+}
+
+/// Value equality up to NaN identity (any NaN equals any NaN).
+fn value_eq_nan_loose(want: &Expected, got: &Expected) -> bool {
+    match (want, got) {
+        (Expected::F64(w), Expected::F64(g)) => w == g || both_nan_f64(*w, *g),
+        (Expected::F32(w), Expected::F32(g)) => w == g || both_nan_f32(*w, *g),
+        _ => want == got,
+    }
+}
+
+fn describe(want: &Expected, wf: FpFlags, got: &Expected, gf: FpFlags) -> String {
+    format!("expected {want:?} flags {wf:?}, got {got:?} flags {gf:?}")
+}
+
+/// Compare an IEEE leg (softfp or Vanilla) against the oracle: exact bits,
+/// exact flags, with one documented exception for `fma`'s conservative
+/// inexact/underflow detection.
+fn compare_ieee(case: &Case, ora: &OracleOut, obs: &Observed) -> Verdict {
+    let value_ok = value_eq_exact(&ora.expected, &obs.got);
+    if value_ok && obs.flags == ora.flags {
+        return Verdict::Match;
+    }
+    if value_ok && case.op == Op::Fma {
+        // softfp::fma documents over-approximated PE (and the UE that
+        // rides on it): extra PE/UE bits are permitted, missing ones not.
+        let extra = obs.flags & !ora.flags;
+        let missing = ora.flags & !obs.flags;
+        let pe_ue = FpFlags::INEXACT | FpFlags::UNDERFLOW;
+        if missing.is_empty() && (extra & !pe_ue).is_empty() {
+            return Verdict::Permitted("softfp-fma-conservative");
+        }
+        // The reverse direction (missing UE at the min-normal boundary)
+        // is also part of the documented conservatism.
+        if extra.is_empty() && (missing & !FpFlags::UNDERFLOW).is_empty() {
+            return Verdict::Permitted("softfp-fma-conservative");
+        }
+    }
+    Verdict::Mismatch(describe(&ora.expected, ora.flags, &obs.got, obs.flags))
+}
+
+/// Compare the BigFloat@53 leg against the oracle, modulo its permitted
+/// deviation categories.
+fn compare_bigfloat(case: &Case, ora: &OracleOut, obs: &Observed) -> Verdict {
+    let any_nan_input = match case.op {
+        // Integer sources can never be NaN.
+        Op::FromI32 | Op::FromI64 | Op::FromU64 => false,
+        // `a` holds f32 bits, zero-extended: test at f32 width.
+        Op::FromF32 => f32::from_bits(case.a as u32).is_nan(),
+        Op::Fma => [case.a, case.b, case.c]
+            .iter()
+            .any(|x| f64::from_bits(*x).is_nan()),
+        _ => [case.a, case.b]
+            .iter()
+            .take(case.op.arity().max(1))
+            .any(|x| f64::from_bits(*x).is_nan()),
+    };
+    // BigFloat has no signaling NaNs and no payloads: with a NaN input the
+    // value must still be a NaN, but quietness/IE accounting is exempt.
+    if any_nan_input {
+        return if value_eq_nan_loose(&ora.expected, &obs.got) {
+            Verdict::Permitted("bf-quiet-nan-input")
+        } else {
+            Verdict::Mismatch(describe(&ora.expected, ora.flags, &obs.got, obs.flags))
+        };
+    }
+    // BigFloat does not track input denormality in its own ops (though
+    // its importers/exporters may still report it): DENORMAL is
+    // don't-care on this leg, in both directions.
+    let de_waived = (ora.flags & FpFlags::DENORMAL) != (obs.flags & FpFlags::DENORMAL);
+    let want_flags = ora.flags & !FpFlags::DENORMAL;
+    let obs_flags = obs.flags & !FpFlags::DENORMAL;
+    let value_ok = value_eq_nan_loose(&ora.expected, &obs.got);
+    if value_ok && obs_flags == want_flags {
+        return if de_waived {
+            Verdict::Permitted("bf-no-denormal-flag")
+        } else {
+            Verdict::Match
+        };
+    }
+    // Operating at 53 bits and then demoting re-rounds tiny results at
+    // subnormal precision: value (±1 ulp) and PE/UE accounting may differ
+    // from the single-rounded oracle. Only permitted when the result is
+    // actually in the tiny range and inexact.
+    if ring_op(case.op) {
+        let tiny_inexact = match (&ora.expected, &obs.got) {
+            (Expected::F64(w), Expected::F64(g)) => {
+                let wv = f64::from_bits(*w);
+                let gv = f64::from_bits(*g);
+                let tiny = wv.abs() <= f64::MIN_POSITIVE && gv.abs() <= f64::MIN_POSITIVE;
+                let close = wv == gv || (*w).abs_diff(*g) <= 1;
+                tiny && close && ora.flags.contains(FpFlags::INEXACT)
+            }
+            _ => false,
+        };
+        if tiny_inexact {
+            return Verdict::Permitted("bf53-subnormal-double-rounding");
+        }
+    }
+    Verdict::Mismatch(describe(&ora.expected, ora.flags, &obs.got, obs.flags))
+}
+
+fn ring_op(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Fma | Op::Sqrt
+    )
+}
+
+/// Which cases the BigFloat leg can express: directed rounding is fine for
+/// ring ops and demotions, but its integer/f32 imports are nearest-even.
+fn bigfloat_expressible(case: &Case) -> bool {
+    match case.op {
+        Op::FromI64 | Op::FromU64 | Op::ToF32 => case.rm == Round::NearestEven,
+        _ => true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Posit laws
+// ---------------------------------------------------------------------------
+
+/// Independent truncation of a posit toward zero, from its decoded fields.
+/// Returns `None` for NaR, otherwise `(sign, magnitude, inexact)`;
+/// magnitudes above `u128` range (scale > 127) saturate to `u128::MAX`.
+fn posit_truncate<const N: u32, const ES: u32>(p: Posit<N, ES>) -> Option<(bool, u128, bool)> {
+    if p.is_nar() {
+        return None;
+    }
+    match p.to_parts() {
+        None => Some((false, 0, false)), // zero
+        Some((sign, scale, frac)) => {
+            if scale < 0 {
+                return Some((sign, 0, true));
+            }
+            if scale > 127 {
+                return Some((sign, u128::MAX, false));
+            }
+            if scale <= 63 {
+                let shift = 63 - scale as u32;
+                let mag = u128::from(frac >> shift);
+                let inexact = shift > 0 && frac & ((1u64 << shift) - 1) != 0;
+                Some((sign, mag, inexact))
+            } else {
+                Some((sign, u128::from(frac) << (scale - 63), false))
+            }
+        }
+    }
+}
+
+/// Total order on posit decoded fields (NaR handled by the caller).
+fn parts_cmp<const N: u32, const ES: u32>(a: Posit<N, ES>, b: Posit<N, ES>) -> CmpResult {
+    let key = |p: Posit<N, ES>| -> (i8, i64, u128) {
+        match p.to_parts() {
+            None => (0, 0, 0),
+            Some((sign, scale, frac)) => {
+                let s: i8 = if sign { -1 } else { 1 };
+                // Order by sign, then scale, then fraction — magnitudes
+                // reverse under a negative sign.
+                if sign {
+                    (s, -i64::from(scale), u128::MAX - u128::from(frac))
+                } else {
+                    (s, i64::from(scale), u128::from(frac))
+                }
+            }
+        }
+    };
+    let (ka, kb) = (key(a), key(b));
+    match ka.cmp(&kb) {
+        std::cmp::Ordering::Less => CmpResult::Less,
+        std::cmp::Ordering::Equal => CmpResult::Equal,
+        std::cmp::Ordering::Greater => CmpResult::Greater,
+    }
+}
+
+/// Check the posit laws for one case. The posit systems round differently
+/// from IEEE by design, so this leg never compares against oracle values —
+/// it checks internal consistency contracts that are rounding-agnostic.
+fn posit_leg<const N: u32, const ES: u32>(ctx: &PositCtx<N, ES>, case: &Case) -> Verdict {
+    let a = f64::from_bits(case.a);
+    let b = f64::from_bits(case.b);
+    let pa = ctx.from_f64(a);
+    let pb = ctx.from_f64(b);
+    let result: Posit<N, ES> = match case.op {
+        Op::Add => ctx.add(&pa, &pb, case.rm).0,
+        Op::Sub => ctx.sub(&pa, &pb, case.rm).0,
+        Op::Mul => ctx.mul(&pa, &pb, case.rm).0,
+        Op::Div => ctx.div(&pa, &pb, case.rm).0,
+        Op::Fma => {
+            let pc = ctx.from_f64(f64::from_bits(case.c));
+            ctx.fma(&pa, &pb, &pc, case.rm).0
+        }
+        Op::Sqrt => ctx.sqrt(&pa, case.rm).0,
+        Op::Min => ctx.min(&pa, &pb).0,
+        Op::Max => ctx.max(&pa, &pb).0,
+        Op::Neg => ctx.neg(&pa).0,
+        Op::Abs => ctx.abs(&pa).0,
+        Op::Floor => ctx.floor(&pa).0,
+        Op::Ceil => ctx.ceil(&pa).0,
+        Op::CmpQ | Op::CmpS => {
+            // Comparison law: the trait's quiet compare must agree with
+            // the decoded-field order.
+            if pa.is_nar() || pb.is_nar() {
+                let (r, _) = ctx.cmp_quiet(&pa, &pb);
+                return if r == CmpResult::Unordered {
+                    Verdict::Match
+                } else {
+                    Verdict::Mismatch(format!("NaR compare returned {r:?}"))
+                };
+            }
+            let (r, _) = ctx.cmp_quiet(&pa, &pb);
+            let want = parts_cmp(pa, pb);
+            return if r == want {
+                Verdict::Match
+            } else {
+                Verdict::Mismatch(format!("posit compare {r:?}, decoded order {want:?}"))
+            };
+        }
+        // Conversions apply to the promoted operand directly.
+        Op::ToI32 | Op::ToI64 | Op::ToU64 => pa,
+        // Import/narrowing ops are not law-checked on this leg.
+        Op::ToF32 | Op::FromI32 | Op::FromI64 | Op::FromU64 | Op::FromF32 => return Verdict::Match,
+    };
+
+    // Law 1 — NaR propagation: NaN/inf inputs have no posit value, so the
+    // result must be NaR. Min/max instead mirror minsd/maxsd's
+    // second-operand-wins rule: an unordered pair forwards `b`.
+    if matches!(case.op, Op::Min | Op::Max) {
+        if (pa.is_nar() || pb.is_nar()) && result.bits() != pb.bits() {
+            return Verdict::Mismatch(format!(
+                "posit min/max law: unordered pair must forward b ({:#x}), got {:#x}",
+                pb.bits(),
+                result.bits()
+            ));
+        }
+    } else {
+        let used: &[f64] = match case.op {
+            Op::Fma => &[a, b, f64::from_bits(case.c)],
+            Op::Sqrt
+            | Op::Neg
+            | Op::Abs
+            | Op::Floor
+            | Op::Ceil
+            | Op::ToI32
+            | Op::ToI64
+            | Op::ToU64 => &[a],
+            _ => &[a, b],
+        };
+        if used.iter().any(|x| x.is_nan() || x.is_infinite()) && !result.is_nar() {
+            return Verdict::Mismatch(format!(
+                "NaR law: non-finite input did not produce NaR (got bits {:#x})",
+                result.bits()
+            ));
+        }
+    }
+
+    // Law 2 — demote/promote stability: the f64 projection of any result
+    // is a fixpoint (to_f64 ∘ from_f64 ∘ to_f64 ≡ to_f64).
+    let y = result.to_f64();
+    let back = Posit::<N, ES>::from_f64(y).to_f64();
+    if y.to_bits() != back.to_bits() && !(y.is_nan() && back.is_nan()) {
+        return Verdict::Mismatch(format!(
+            "stability law: to_f64 {:016x} reimports as {:016x}",
+            y.to_bits(),
+            back.to_bits()
+        ));
+    }
+
+    // Law 3 — integer conversions against the independent truncation.
+    // Checked on every result, so wide posits (more significand bits than
+    // f64 carries) exercise the no-double-rounding contract.
+    if matches!(case.op, Op::ToI32 | Op::ToI64 | Op::ToU64) || ring_op(case.op) {
+        let t = posit_truncate(result);
+        let (gi64, gf64) = ctx.to_i64(&result);
+        let want_i64: (i64, FpFlags) = match t {
+            None => (i64::MIN, FpFlags::INVALID),
+            Some((sign, mag, inexact)) => {
+                let limit = if sign { 1u128 << 63 } else { (1u128 << 63) - 1 };
+                if mag > limit {
+                    (i64::MIN, FpFlags::INVALID)
+                } else {
+                    let v = if sign {
+                        (mag as u64).wrapping_neg() as i64
+                    } else {
+                        mag as i64
+                    };
+                    (
+                        v,
+                        if inexact {
+                            FpFlags::INEXACT
+                        } else {
+                            FpFlags::NONE
+                        },
+                    )
+                }
+            }
+        };
+        if (gi64, gf64) != want_i64 {
+            return Verdict::Mismatch(format!(
+                "to_i64 law: got ({gi64}, {gf64:?}), decoded truncation wants {want_i64:?}"
+            ));
+        }
+        let (gi32, gf32) = ctx.to_i32(&result);
+        let want_i32: (i32, FpFlags) = match t {
+            None => (i32::MIN, FpFlags::INVALID),
+            Some((sign, mag, inexact)) => {
+                let limit = if sign { 1u128 << 31 } else { (1u128 << 31) - 1 };
+                if mag > limit {
+                    (i32::MIN, FpFlags::INVALID)
+                } else {
+                    let v = if sign {
+                        (mag as u32).wrapping_neg() as i32
+                    } else {
+                        mag as i32
+                    };
+                    (
+                        v,
+                        if inexact {
+                            FpFlags::INEXACT
+                        } else {
+                            FpFlags::NONE
+                        },
+                    )
+                }
+            }
+        };
+        if (gi32, gf32) != want_i32 {
+            return Verdict::Mismatch(format!(
+                "to_i32 law: got ({gi32}, {gf32:?}), decoded truncation wants {want_i32:?}"
+            ));
+        }
+        let (gu64, gfu) = ctx.to_u64(&result);
+        let want_u64: (u64, FpFlags) = match t {
+            None => (u64::MAX, FpFlags::INVALID),
+            Some((sign, mag, inexact)) => {
+                if (sign && mag != 0) || mag > u128::from(u64::MAX) {
+                    (u64::MAX, FpFlags::INVALID)
+                } else {
+                    (
+                        mag as u64,
+                        if inexact {
+                            FpFlags::INEXACT
+                        } else {
+                            FpFlags::NONE
+                        },
+                    )
+                }
+            }
+        };
+        if (gu64, gfu) != want_u64 {
+            return Verdict::Mismatch(format!(
+                "to_u64 law: got ({gu64}, {gfu:?}), decoded truncation wants {want_u64:?}"
+            ));
+        }
+    }
+    Verdict::Match
+}
+
+// ---------------------------------------------------------------------------
+// The run loop
+// ---------------------------------------------------------------------------
+
+/// The backends of one conformance run.
+pub struct Backends {
+    vanilla: Vanilla,
+    bigfloat53: BigFloatCtx,
+    posit32: PositCtx<32, 2>,
+    posit64: PositCtx<64, 3>,
+}
+
+impl Default for Backends {
+    fn default() -> Self {
+        Backends {
+            vanilla: Vanilla,
+            bigfloat53: BigFloatCtx::new(53),
+            posit32: PositCtx::<32, 2>,
+            posit64: PositCtx::<64, 3>,
+        }
+    }
+}
+
+/// Check one case against every leg, recording verdicts into the report.
+pub fn check_case(backends: &Backends, case: &Case, report: &mut Report) {
+    report.cases += 1;
+    *report.per_rm.entry(rm_name(case.rm)).or_insert(0) += 1;
+    let ora = oracle(case);
+    if let Some(c) = &ora.conflict {
+        report.oracle_conflicts += 1;
+        report.record("oracle", case, Verdict::Mismatch(c.clone()));
+        return;
+    }
+
+    // IEEE legs.
+    let softfp_obs = softfp_apply(case);
+    if let Some(obs) = &softfp_obs {
+        report.record("softfp", case, compare_ieee(case, &ora, obs));
+    }
+    if case.rm == Round::NearestEven || rm_insensitive(case.op) {
+        let vo = apply(&backends.vanilla, case);
+        report.record("vanilla", case, compare_ieee(case, &ora, &vo));
+        // Delegation pin: the trait route and the raw functions must be
+        // bit-identical wherever both exist.
+        if let Some(so) = &softfp_obs {
+            if vo != *so {
+                report.record(
+                    "vanilla-vs-softfp",
+                    case,
+                    Verdict::Mismatch(format!("vanilla {vo:?} != softfp {so:?}")),
+                );
+            }
+        }
+    }
+
+    // BigFloat@53 leg.
+    if bigfloat_expressible(case) {
+        let bo = apply(&backends.bigfloat53, case);
+        report.record("bigfloat53", case, compare_bigfloat(case, &ora, &bo));
+    }
+
+    // Posit legs.
+    report.record("posit32", case, posit_leg(&backends.posit32, case));
+    report.record("posit64", case, posit_leg(&backends.posit64, case));
+}
+
+/// Run a whole case list.
+pub fn run_cases(cases: &[Case]) -> Report {
+    let backends = Backends::default();
+    let mut report = Report::default();
+    for case in cases {
+        check_case(&backends, case, &mut report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::sweep_cases;
+
+    #[test]
+    fn specials_sweep_is_clean() {
+        // The exhaustive specials prefix (op × rm × specials) plus a
+        // seeded random tail.
+        let cases = sweep_cases(0x5EED, 6_000);
+        let report = run_cases(&cases);
+        assert!(
+            report.clean(),
+            "{} mismatches, first: {:?}",
+            report.total_mismatches,
+            report.mismatches.first()
+        );
+        assert_eq!(report.cases, 6_000);
+    }
+
+    #[test]
+    fn permitted_categories_observed() {
+        let cases = sweep_cases(0x5EED, 20_000);
+        let report = run_cases(&cases);
+        assert!(report.clean(), "{:?}", report.mismatches.first());
+        // The NaN strata guarantee the quiet-NaN category fires; the
+        // subnormal strata guarantee the denormal category fires.
+        assert!(report.permitted.contains_key("bf-quiet-nan-input"));
+        assert!(report.permitted.contains_key("bf-no-denormal-flag"));
+    }
+
+    #[test]
+    fn satellite_regressions_detected_by_construction() {
+        // The satellite bug shapes, as cases: each must be clean now.
+        let regressions = [
+            // posit wide-result integer conversion (sub result 2 − 2^-57).
+            Case::new(Op::Sub, 2f64.to_bits(), 2f64.powi(-57).to_bits(), 0),
+            // min/max signed-zero and NaN operand order.
+            Case::new(Op::Min, 0f64.to_bits(), (-0f64).to_bits(), 0),
+            Case::new(Op::Max, (-0f64).to_bits(), 0f64.to_bits(), 0),
+            Case::new(Op::Min, 1f64.to_bits(), 0x7FF0_0000_0000_0001, 0),
+            // underflow judged after rounding (div delivers min normal).
+            Case::new(Op::Div, 0x001F_FFFF_FFFF_FFFF, 2f64.to_bits(), 0),
+            Case::new(
+                Op::Mul,
+                0x3FEF_FFFF_FFFF_FFFF,
+                f64::MIN_POSITIVE.to_bits(),
+                0,
+            ),
+            // f32 narrowing at the same boundary.
+            Case::new(
+                Op::ToF32,
+                (2f64.powi(-126) - 3.0 * 2f64.powi(-152)).to_bits(),
+                0,
+                0,
+            ),
+            // i32 truncation boundaries.
+            Case::new(Op::ToI32, 2147483647.5f64.to_bits(), 0, 0),
+            Case::new(Op::ToI32, (-2147483648.9f64).to_bits(), 0, 0),
+        ];
+        let report = run_cases(&regressions);
+        assert!(report.clean(), "{:?}", report.mismatches.first());
+    }
+}

@@ -1,0 +1,243 @@
+//! Deterministic stratified case generation.
+//!
+//! Purely random f64 bit patterns almost never land on the values where
+//! soft-float bugs live (subnormal thresholds, rounding midpoints, NaN
+//! payloads, exponent boundaries), so the generator mixes a curated
+//! special-value pool with shaped random values: biased exponents near the
+//! interesting binades, low-entropy mantissas that produce exact results
+//! and midpoint ties, and raw xorshift bulk for everything else.
+
+use crate::case::{Case, Op, ALL_OPS};
+use fpvm_arith::Round;
+
+/// xorshift64* — deterministic, seedable, no external crates.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator. A zero seed is remapped (xorshift fixpoint).
+    pub fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    /// Next raw 64-bit value.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value below `n`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Special-value pool: the strata every sweep visits.
+pub fn special_values() -> Vec<u64> {
+    let mut v: Vec<u64> = vec![
+        0x0000_0000_0000_0000, // +0
+        0x8000_0000_0000_0000, // -0
+        0x3FF0_0000_0000_0000, // 1.0
+        0xBFF0_0000_0000_0000, // -1.0
+        0x4000_0000_0000_0000, // 2.0
+        0x3FE0_0000_0000_0000, // 0.5
+        0x7FF0_0000_0000_0000, // +inf
+        0xFFF0_0000_0000_0000, // -inf
+        0x7FF8_0000_0000_0000, // qNaN canonical
+        0xFFF8_0000_0000_0000, // -qNaN (indefinite)
+        0x7FF8_0000_0000_0001, // qNaN with payload
+        0x7FF0_0000_0000_0001, // sNaN min payload
+        0x7FF7_FFFF_FFFF_FFFF, // sNaN max payload
+        0xFFF0_0000_0000_0001, // -sNaN
+        0x0010_0000_0000_0000, // min normal 2^-1022
+        0x0010_0000_0000_0001, // min normal + 1 ulp
+        0x000F_FFFF_FFFF_FFFF, // max subnormal
+        0x001F_FFFF_FFFF_FFFF, // 1.11…1 × 2^-1022 (UE boundary seed)
+        0x0000_0000_0000_0001, // min subnormal 2^-1074
+        0x0000_0000_0000_0002, // 2^-1073
+        0x8000_0000_0000_0001, // -min subnormal
+        0x800F_FFFF_FFFF_FFFF, // -max subnormal
+        0x7FEF_FFFF_FFFF_FFFF, // max finite
+        0xFFEF_FFFF_FFFF_FFFF, // -max finite
+        0x7FEF_FFFF_FFFF_FFFE, // max finite - 1 ulp
+        0x3FEF_FFFF_FFFF_FFFF, // 1 - 2^-53 (boundary multiplier)
+        0x3FF0_0000_0000_0001, // 1 + 2^-52
+        0x4340_0000_0000_0000, // 2^53
+        0x4340_0000_0000_0001, // 2^53 + 2 (odd-ulp)
+        0x4330_0000_0000_0000, // 2^52
+        0xC340_0000_0000_0000, // -2^53
+        0x41DF_FFFF_FFC0_0000, // i32::MAX as f64
+        0x41E0_0000_0000_0000, // 2^31
+        0xC1E0_0000_0000_0000, // i32::MIN as f64
+        0xC1E0_0000_0020_0000, // i32::MIN - 1
+        0x41DF_FFFF_FFE0_0000, // i32::MAX + 0.5
+        0x43E0_0000_0000_0000, // 2^63
+        0xC3E0_0000_0000_0000, // i64::MIN as f64
+        0x43F0_0000_0000_0000, // 2^64
+        0x3FD5_5555_5555_5555, // 1/3 (repeating mantissa)
+        0x400921FB54442D18,    // pi
+        0x3FB9_9999_9999_999A, // 0.1
+    ];
+    // Exponent ladder around the binades where flag behavior changes:
+    // powers of two near the subnormal threshold, near 1, and near
+    // overflow, each with ±1-ulp neighbors (rounding-midpoint fodder).
+    for e in [
+        -1074i32, -1060, -1030, -1023, -1022, -1021, -540, -60, -1, 0, 1, 52, 53, 60, 511, 1020,
+        1023,
+    ] {
+        let bits = pow2_bits(e);
+        v.push(bits);
+        v.push(bits | 1);
+        v.push(bits.wrapping_sub(1));
+        v.push(bits | 0x8000_0000_0000_0000);
+    }
+    v
+}
+
+/// Bit pattern of 2^e for e in [-1074, 1023].
+fn pow2_bits(e: i32) -> u64 {
+    if e < -1022 {
+        // Subnormal power of two.
+        1u64 << (e + 1074)
+    } else {
+        ((e + 1023) as u64) << 52
+    }
+}
+
+/// Shaped random operand: mixes strata so rounding midpoints, exact cases,
+/// subnormals and cross-binade pairs all occur with useful frequency.
+pub fn gen_operand(rng: &mut Rng, pool: &[u64]) -> u64 {
+    match rng.below(8) {
+        // Curated specials: 25%.
+        0 | 1 => pool[rng.below(pool.len() as u64) as usize],
+        // Small-exponent-spread value: sums hit midpoints and exact cases.
+        2 | 3 => {
+            let sign = rng.next() & (1 << 63);
+            let exp = 1023 + rng.below(40) - 20;
+            let mant = match rng.below(4) {
+                0 => rng.next() & 0xF_FFFF_FFFF_FFFF,    // dense
+                1 => rng.below(16),                      // tiny integer mantissa
+                2 => 0xF_FFFF_FFFF_FFFF ^ rng.below(15), // all-ones-ish (carry chains)
+                _ => (rng.below(1 << 13)) << 39,         // low bits clear (exact ops)
+            };
+            sign | exp << 52 | mant
+        }
+        // Near the subnormal threshold: exponents in [-1080, -1000].
+        4 => {
+            let sign = rng.next() & (1 << 63);
+            let exp = rng.below(25); // biased 0..24: subnormal + tiny normal
+            let mant = rng.next() & 0xF_FFFF_FFFF_FFFF;
+            sign | exp << 52 | mant
+        }
+        // Near overflow.
+        5 => {
+            let sign = rng.next() & (1 << 63);
+            let exp = 2046 - rng.below(8);
+            let mant = rng.next() & 0xF_FFFF_FFFF_FFFF;
+            sign | exp << 52 | mant
+        }
+        // Raw bits (any class, including NaNs with random payloads).
+        _ => rng.next(),
+    }
+}
+
+/// Rounding mode for a case: biased toward nearest-even (the mode the
+/// whole machine runs in) with regular visits to the directed modes.
+fn gen_rm(rng: &mut Rng) -> Round {
+    match rng.below(10) {
+        0 => Round::Down,
+        1 => Round::Up,
+        2 => Round::Zero,
+        _ => Round::NearestEven,
+    }
+}
+
+/// Generate the `i`-th case of a seeded stream.
+pub fn gen_case(rng: &mut Rng, pool: &[u64]) -> Case {
+    let op = ALL_OPS[rng.below(ALL_OPS.len() as u64) as usize];
+    let a = match op {
+        // Integer sources: mix boundary integers with raw bits.
+        Op::FromI32 | Op::FromI64 | Op::FromU64 => match rng.below(4) {
+            0 => rng.next(),
+            1 => rng.below(1 << 54).wrapping_sub(1 << 53),
+            2 => (1u64 << 63).wrapping_add(rng.below(16)).wrapping_sub(8),
+            _ => rng.below(u32::MAX as u64 + 1),
+        },
+        Op::FromF32 => rng.next() & 0xFFFF_FFFF,
+        _ => gen_operand(rng, pool),
+    };
+    Case {
+        op,
+        rm: gen_rm(rng),
+        a,
+        b: gen_operand(rng, pool),
+        c: gen_operand(rng, pool),
+    }
+}
+
+/// The deterministic sweep stream: `n` cases from `seed`.
+pub fn sweep_cases(seed: u64, n: u64) -> Vec<Case> {
+    let mut rng = Rng::new(seed);
+    let pool = special_values();
+    // Exhaustive pass first: every op × every rounding mode over a small
+    // cross-product of specials, so the strata are visited even for tiny n.
+    let mut out = Vec::with_capacity(n as usize);
+    'fill: for op in ALL_OPS {
+        for rm in [Round::NearestEven, Round::Down, Round::Up, Round::Zero] {
+            for i in 0..8u64 {
+                if out.len() as u64 >= n {
+                    break 'fill;
+                }
+                let a = pool[(i * 7 + 3) as usize % pool.len()];
+                let b = pool[(i * 13 + 11) as usize % pool.len()];
+                let c = pool[(i * 29 + 17) as usize % pool.len()];
+                out.push(Case {
+                    op: *op,
+                    rm,
+                    a,
+                    b,
+                    c,
+                });
+            }
+        }
+    }
+    while (out.len() as u64) < n {
+        out.push(gen_case(&mut rng, &pool));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = sweep_cases(42, 1000);
+        let b = sweep_cases(42, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+        let c = sweep_cases(43, 1000);
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn strata_present() {
+        let cases = sweep_cases(7, 20_000);
+        let has = |f: &dyn Fn(&Case) -> bool| cases.iter().any(f);
+        assert!(has(&|c| f64::from_bits(c.a).is_nan()));
+        assert!(has(&|c| f64::from_bits(c.b).is_subnormal()));
+        assert!(has(&|c| c.rm == Round::Down));
+        assert!(has(&|c| c.op == Op::Fma && c.rm == Round::Zero));
+        assert!(has(&|c| f64::from_bits(c.a) == f64::INFINITY));
+    }
+}

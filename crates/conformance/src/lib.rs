@@ -1,0 +1,45 @@
+//! Differential conformance engine for the `ArithSystem` backends.
+//!
+//! The paper validates FPVM by checking that Vanilla is bit-identical to
+//! native execution (§5.2). This crate generalizes that idea into a
+//! TestFloat-style harness: every backend (softfp, Vanilla, BigFloat@53,
+//! the posit contexts) is driven through the *same* deterministic stream
+//! of operations, and each result — value, exception flags, comparison
+//! outcome — is checked against an independent oracle, per operation, per
+//! rounding mode.
+//!
+//! The pieces:
+//!
+//! - [`case`] — the wire format: one operation with operands, rounding
+//!   mode, JSONL (de)serialization for the persisted corpus.
+//! - [`generate`] — deterministic stratified case generation (subnormals,
+//!   signed zeros, NaN payloads, exponent boundaries, midpoint neighbors,
+//!   xorshift bulk).
+//! - [`oracle`] — the reference answer: spec rules for non-finite cases,
+//!   a high-precision BigFloat leg for finite ring values under every
+//!   rounding mode, and a host-hardware cross-check at nearest-even.
+//! - [`engine`] — runs every backend leg, classifies each result as
+//!   `Match`, `Permitted` (a documented backend deviation, e.g. BigFloat
+//!   carries no NaN payloads), or `Mismatch`.
+//! - [`shrink`] — minimizes a failing case to a one-operation reproducer
+//!   with the simplest operands that still fail.
+//! - [`replay`] — replays a reproducer through the full machine pipeline
+//!   (native vs. hybrid-FPVM), tying arithmetic-level conformance back to
+//!   the §5.2 whole-pipeline property.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod engine;
+pub mod generate;
+pub mod oracle;
+pub mod replay;
+pub mod shrink;
+
+pub use case::{parse_corpus, Case, Op};
+pub use engine::{run_cases, Backends, Report, Verdict};
+pub use generate::sweep_cases;
+pub use oracle::{oracle, Expected, OracleOut};
+pub use replay::{replay, replayable};
+pub use shrink::shrink;

@@ -1,0 +1,651 @@
+//! The conformance oracle: for each [`Case`], the value, flags, and
+//! comparison result the equivalent x64 instruction sequence would produce.
+//!
+//! The oracle is deliberately *not* one of the backends under test. It is
+//! assembled from three independent legs:
+//!
+//! 1. **Spec rules** (this file) for everything the SDM defines by case
+//!    analysis: NaN propagation and quieting, invalid-operation combos,
+//!    min/max second-operand semantics, comparisons, integer conversions,
+//!    and the input-class flags (`IE`/`DE`/`ZE`).
+//! 2. **High-precision BigFloat arithmetic** for finite ring-operation
+//!    values under every rounding mode and the result-class flags
+//!    (`PE`/`OE`/`UE`). The working precisions are chosen so the
+//!    intermediate is either *exact* (add/sub 2400 bits, mul 120, fma
+//!    4400 — each covers the worst-case bit span of f64 operands) or far
+//!    below the worst-case distance from a quotient/root to any 53-bit
+//!    rounding boundary (div/sqrt at 300 bits), so the final demotion is a
+//!    single correct rounding.
+//! 3. **Host hardware** as a cross-check: under nearest-even the host's own
+//!    `+`, `*`, `/`, `sqrt`, `mul_add` must agree bit-for-bit with leg 2.
+//!    A disagreement is reported as an oracle conflict, never silently
+//!    resolved.
+
+use crate::case::{Case, Op};
+use fpvm_arith::bigfloat;
+use fpvm_arith::{BigFloat, CmpResult, FpFlags, Round};
+
+/// Exact-intermediate precision for add/sub: operand exponents span
+/// [-1074, 1023], so any nonzero sum fits in ~2150 bits.
+const ADD_PREC: u32 = 2400;
+/// Exact product of two 53-bit significands.
+const MUL_PREC: u32 = 120;
+/// Exact fused a·b + c: product exponents span [-2148, 2046] against an
+/// addend in [-1074, 1023] — under 3300 bits end to end.
+const FMA_PREC: u32 = 4400;
+/// div/sqrt: not exact, but ≫ the ~110-bit worst-case closeness of a
+/// quotient or square root of f64 operands to any 53-bit rounding
+/// boundary (including the subnormal grid), so demotion rounds correctly.
+const DIV_PREC: u32 = 300;
+
+/// What the hardware would have produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expected {
+    /// An f64 result, as bits. NaN bits are exact for the IEEE legs
+    /// (propagation order and quieting are part of the contract).
+    F64(u64),
+    /// An f32 result, as bits.
+    F32(u32),
+    /// `cvttsd2si` r32.
+    I32(i32),
+    /// `cvttsd2si` r64.
+    I64(i64),
+    /// Unsigned truncation.
+    U64(u64),
+    /// A comparison outcome.
+    Cmp(CmpResult),
+}
+
+/// Oracle output for one case.
+#[derive(Debug, Clone)]
+pub struct OracleOut {
+    /// Expected result.
+    pub expected: Expected,
+    /// Expected MXCSR exception flags.
+    pub flags: FpFlags,
+    /// Set when the high-precision leg and the host hardware disagreed at
+    /// nearest-even — an internal inconsistency that must surface as a
+    /// failure, not be absorbed.
+    pub conflict: Option<String>,
+}
+
+fn is_snan(x: f64) -> bool {
+    x.is_nan() && x.to_bits() & 0x0008_0000_0000_0000 == 0
+}
+
+fn quiet(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() | 0x0008_0000_0000_0000)
+}
+
+const QNAN_INDEFINITE: u64 = 0xFFF8_0000_0000_0000;
+
+fn de(inputs: &[f64]) -> FpFlags {
+    if inputs.iter().any(|x| x.is_subnormal()) {
+        FpFlags::DENORMAL
+    } else {
+        FpFlags::NONE
+    }
+}
+
+fn snan_flag(inputs: &[f64]) -> FpFlags {
+    if inputs.iter().any(|x| is_snan(*x)) {
+        FpFlags::INVALID
+    } else {
+        FpFlags::NONE
+    }
+}
+
+/// First-NaN-quieted propagation (SSE operand order).
+fn propagate(inputs: &[f64]) -> f64 {
+    for x in inputs {
+        if x.is_nan() {
+            return quiet(*x);
+        }
+    }
+    unreachable!("propagate called without a NaN input")
+}
+
+fn out(expected: Expected, flags: FpFlags) -> OracleOut {
+    OracleOut {
+        expected,
+        flags,
+        conflict: None,
+    }
+}
+
+/// Promote an f64 into a BigFloat exactly (53 bits always suffice).
+fn bf(x: f64) -> BigFloat {
+    let (v, fl) = BigFloat::from_f64(x, 53, Round::NearestEven);
+    debug_assert!(fl.is_empty(), "f64 promotion must be exact");
+    v
+}
+
+/// Finite-operand ring operation through the high-precision leg, plus the
+/// host cross-check at nearest-even.
+fn ring_finite(case: &Case, ins: &[f64]) -> OracleOut {
+    let a = ins[0];
+    let (r, opfl) = match case.op {
+        Op::Add => bigfloat::add(&bf(a), &bf(ins[1]), ADD_PREC, case.rm),
+        Op::Sub => bigfloat::sub(&bf(a), &bf(ins[1]), ADD_PREC, case.rm),
+        Op::Mul => bigfloat::mul(&bf(a), &bf(ins[1]), MUL_PREC, case.rm),
+        Op::Div => bigfloat::div(&bf(a), &bf(ins[1]), DIV_PREC, case.rm),
+        Op::Fma => bigfloat::fma(&bf(a), &bf(ins[1]), &bf(ins[2]), FMA_PREC, case.rm),
+        Op::Sqrt => bigfloat::sqrt(&bf(a), DIV_PREC, case.rm),
+        _ => unreachable!("not a ring op"),
+    };
+    let (v, demote_fl) = r.to_f64(case.rm);
+    let mut flags = de(ins) | demote_fl;
+    if opfl.contains(FpFlags::INEXACT) {
+        flags |= FpFlags::INEXACT;
+    }
+    let mut conflict = None;
+    if case.rm == Round::NearestEven {
+        let host = match case.op {
+            Op::Add => ins[0] + ins[1],
+            Op::Sub => ins[0] - ins[1],
+            Op::Mul => ins[0] * ins[1],
+            Op::Div => ins[0] / ins[1],
+            Op::Fma => ins[0].mul_add(ins[1], ins[2]),
+            Op::Sqrt => ins[0].sqrt(),
+            _ => unreachable!(),
+        };
+        if host.to_bits() != v.to_bits() && !(host.is_nan() && v.is_nan()) {
+            conflict = Some(format!(
+                "oracle conflict: bigfloat {:016x} vs host {:016x}",
+                v.to_bits(),
+                host.to_bits()
+            ));
+        }
+    }
+    OracleOut {
+        expected: Expected::F64(v.to_bits()),
+        flags,
+        conflict,
+    }
+}
+
+/// add/sub/mul/div/fma/sqrt: NaN and special-case analysis, then the
+/// high-precision leg for finite operands.
+fn ring(case: &Case) -> OracleOut {
+    let a = f64::from_bits(case.a);
+    let b = f64::from_bits(case.b);
+    let c = f64::from_bits(case.c);
+    // Effective operand list (sub negates b only for the *value* rules;
+    // NaN propagation sees the raw operand).
+    let ins: &[f64] = match case.op {
+        Op::Fma => &[a, b, c],
+        Op::Sqrt => &[a],
+        _ => &[a, b],
+    };
+    let dflags = de(ins);
+    if ins.iter().any(|x| x.is_nan()) {
+        let v = propagate(ins);
+        return out(Expected::F64(v.to_bits()), dflags | snan_flag(ins));
+    }
+    let indefinite = || out(Expected::F64(QNAN_INDEFINITE), dflags | FpFlags::INVALID);
+    match case.op {
+        Op::Add | Op::Sub => {
+            let b_eff = if case.op == Op::Sub { -b } else { b };
+            if a.is_infinite() && b_eff.is_infinite() && a.signum() != b_eff.signum() {
+                return indefinite();
+            }
+            if a.is_infinite() || b_eff.is_infinite() {
+                let v = if a.is_infinite() { a } else { b_eff };
+                return out(Expected::F64(v.to_bits()), dflags);
+            }
+            // Exact-zero sums carry an IEEE-defined sign: like-signed zero
+            // operands keep the sign; cancellation yields +0, except −0
+            // under round-down.
+            if a == 0.0 && b_eff == 0.0 {
+                let v = if a.is_sign_negative() == b_eff.is_sign_negative() {
+                    a
+                } else if case.rm == Round::Down {
+                    -0.0
+                } else {
+                    0.0
+                };
+                return out(Expected::F64(v.to_bits()), dflags);
+            }
+            if a == -b_eff {
+                let v: f64 = if case.rm == Round::Down { -0.0 } else { 0.0 };
+                return out(Expected::F64(v.to_bits()), dflags);
+            }
+        }
+        Op::Mul => {
+            if (a == 0.0 && b.is_infinite()) || (b == 0.0 && a.is_infinite()) {
+                return indefinite();
+            }
+            if a.is_infinite() || b.is_infinite() {
+                return out(Expected::F64((a * b).to_bits()), dflags);
+            }
+        }
+        Op::Div => {
+            if b == 0.0 {
+                if a == 0.0 {
+                    return indefinite();
+                }
+                if a.is_finite() {
+                    return out(Expected::F64((a / b).to_bits()), dflags | FpFlags::DIVZERO);
+                }
+                return out(Expected::F64((a / b).to_bits()), dflags);
+            }
+            if a.is_infinite() && b.is_infinite() {
+                return indefinite();
+            }
+            if a.is_infinite() || b.is_infinite() {
+                return out(Expected::F64((a / b).to_bits()), dflags);
+            }
+        }
+        Op::Fma => {
+            if (a == 0.0 && b.is_infinite()) || (b == 0.0 && a.is_infinite()) {
+                return indefinite();
+            }
+            if a.is_infinite() || b.is_infinite() || c.is_infinite() {
+                // Product is ±inf or finite against an infinite addend;
+                // inf − inf cancellation is invalid.
+                let r = a.mul_add(b, c);
+                if r.is_nan() {
+                    return indefinite();
+                }
+                return out(Expected::F64(r.to_bits()), dflags);
+            }
+        }
+        Op::Sqrt => {
+            if a < 0.0 {
+                return indefinite();
+            }
+            if a == 0.0 || a.is_infinite() {
+                return out(Expected::F64(a.to_bits()), dflags);
+            }
+        }
+        _ => unreachable!(),
+    }
+    ring_finite(case, ins)
+}
+
+/// Directed f64 → f32 narrowing with after-rounding tininess, built on
+/// `BigFloat::from_f64`'s arbitrary-precision rounding (exponent
+/// unbounded) rather than any backend's converter.
+fn narrow_f32(a: f64, rm: Round) -> (f32, FpFlags) {
+    let flags = de(&[a]);
+    if a.is_nan() {
+        return (quiet(a) as f32, flags | snan_flag(&[a]));
+    }
+    if a.is_infinite() || a == 0.0 {
+        return (a as f32, flags);
+    }
+    // Round once to 24 bits with the exponent unbounded.
+    let (r24, ix24) = BigFloat::from_f64(a, 24, rm);
+    // Exact except when the 24-bit rounding left the f64 range entirely
+    // (|a| near f64::MAX rounding up to 2^1024) — that delivers ±inf,
+    // which the overflow branch below catches.
+    let (h24, _) = r24.to_f64(Round::NearestEven);
+    if h24.abs() >= 2f64.powi(128) {
+        // Overflow: delivery per rounding mode, like the hardware.
+        let v = match rm {
+            Round::Zero => f32::MAX,
+            Round::Down if a > 0.0 => f32::MAX,
+            Round::Up if a < 0.0 => f32::MIN,
+            _ => f32::INFINITY,
+        };
+        let v = if a < 0.0 && v.is_infinite() {
+            f32::NEG_INFINITY
+        } else if a < 0.0 && v == f32::MAX {
+            f32::MIN
+        } else {
+            v
+        };
+        return (v, flags | FpFlags::OVERFLOW | FpFlags::INEXACT);
+    }
+    if h24.abs() >= f64::from(f32::MIN_POSITIVE) {
+        let v = h24 as f32; // exact: ≤24 bits, normal f32 range
+        let fl = if ix24.contains(FpFlags::INEXACT) {
+            FpFlags::INEXACT
+        } else {
+            FpFlags::NONE
+        };
+        return (v, flags | fl);
+    }
+    // Tiny after rounding: deliver the subnormal-precision rounding of the
+    // *original* value; UNDERFLOW iff that delivery is inexact. The
+    // delivered precision follows the exact value's binade: |a| ∈
+    // [2^(ea-1), 2^ea) lands on the 2^-149 grid with ea + 149 bits.
+    let ea = exp_of(a);
+    let target_prec = 24 - (-125 - ea);
+    if target_prec <= 0 {
+        let tiny_val = f32::from_bits(1);
+        let v = match rm {
+            Round::Up if a > 0.0 => tiny_val,
+            Round::Down if a < 0.0 => -tiny_val,
+            _ => {
+                if a < 0.0 {
+                    -0.0
+                } else {
+                    0.0
+                }
+            }
+        };
+        return (v, flags | FpFlags::UNDERFLOW | FpFlags::INEXACT);
+    }
+    let (rs, ixs) = BigFloat::from_f64(a, target_prec as u32, rm);
+    let (hs, sfl) = rs.to_f64(Round::NearestEven); // exact
+    debug_assert!(sfl.is_empty());
+    let v = hs as f32; // exact: fits the subnormal grid (or min normal)
+    let fl = if ixs.contains(FpFlags::INEXACT) {
+        FpFlags::UNDERFLOW | FpFlags::INEXACT
+    } else {
+        FpFlags::NONE
+    };
+    (v, flags | fl)
+}
+
+/// Exponent `e` with |x| ∈ [2^(e-1), 2^e) for a finite nonzero f64.
+fn exp_of(x: f64) -> i64 {
+    let bits = x.to_bits();
+    let biased = ((bits >> 52) & 0x7FF) as i64;
+    if biased != 0 {
+        return biased - 1022;
+    }
+    // Subnormal: 2^(-1022) × 0.mant — find the top set bit.
+    let mant = bits & 0x000F_FFFF_FFFF_FFFF;
+    let top = 63 - mant.leading_zeros() as i64; // bit index of MSB
+    top - 52 - 1021
+}
+
+/// Signed/unsigned truncating conversions, spec-level: truncate first,
+/// range-check the truncated value, `IE` + indefinite out of range, `PE`
+/// if fractional, `DE` on denormal input (the signed forms).
+fn to_int(case: &Case) -> OracleOut {
+    let a = f64::from_bits(case.a);
+    match case.op {
+        Op::ToI32 => {
+            let flags = de(&[a]);
+            let t = a.trunc();
+            if a.is_nan() || !(-2147483649.0 < t && t < 2147483648.0) {
+                return out(Expected::I32(i32::MIN), flags | FpFlags::INVALID);
+            }
+            let pe = if t != a {
+                FpFlags::INEXACT
+            } else {
+                FpFlags::NONE
+            };
+            out(Expected::I32(t as i32), flags | pe)
+        }
+        Op::ToI64 => {
+            let flags = de(&[a]);
+            let t = a.trunc();
+            if a.is_nan() || !(-9.223372036854776e18..9.223372036854776e18).contains(&t) {
+                return out(Expected::I64(i64::MIN), flags | FpFlags::INVALID);
+            }
+            let pe = if t != a {
+                FpFlags::INEXACT
+            } else {
+                FpFlags::NONE
+            };
+            out(Expected::I64(t as i64), flags | pe)
+        }
+        Op::ToU64 => {
+            // No DE here: the unsigned form is modeled flag-minimal across
+            // every backend (it is not an SSE2 instruction).
+            let t = a.trunc();
+            if a.is_nan() || !(-1.0 < a && t < 1.8446744073709552e19) {
+                return out(Expected::U64(u64::MAX), FpFlags::INVALID);
+            }
+            let pe = if t != a {
+                FpFlags::INEXACT
+            } else {
+                FpFlags::NONE
+            };
+            out(Expected::U64(t.abs() as u64), pe)
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Integer → f64 promotions under every rounding mode: compute the
+/// nearest-even value on the host, then step one ulp in the directed
+/// modes when the host rounding went the wrong way.
+fn from_int(case: &Case) -> OracleOut {
+    match case.op {
+        Op::FromI32 => {
+            let x = case.a as u32 as i32;
+            out(Expected::F64((f64::from(x)).to_bits()), FpFlags::NONE)
+        }
+        Op::FromI64 => {
+            let x = case.a as i64;
+            let r = x as f64;
+            if r as i128 == i128::from(x) {
+                return out(Expected::F64(r.to_bits()), FpFlags::NONE);
+            }
+            let v = directed_fix(r, i128::from(x), case.rm);
+            out(Expected::F64(v.to_bits()), FpFlags::INEXACT)
+        }
+        Op::FromU64 => {
+            let x = case.a;
+            let r = x as f64;
+            if r as u128 == u128::from(x) {
+                return out(Expected::F64(r.to_bits()), FpFlags::NONE);
+            }
+            let v = directed_fix(r, i128::from(x), case.rm);
+            out(Expected::F64(v.to_bits()), FpFlags::INEXACT)
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Adjust a nearest-even integer promotion to a directed mode. `r` is the
+/// host's RN result for true value `x` (inexact, |x| ≥ 2^53 so stepping
+/// stays in the same binade region and never crosses zero).
+fn directed_fix(r: f64, x: i128, rm: Round) -> f64 {
+    let want_down = match rm {
+        Round::NearestEven => return r,
+        Round::Down => true,
+        Round::Up => false,
+        Round::Zero => x > 0,
+    };
+    let rt = r as i128;
+    if want_down && rt > x {
+        step_toward_neg(r)
+    } else if !want_down && rt < x {
+        step_toward_pos(r)
+    } else {
+        r
+    }
+}
+
+fn step_toward_neg(r: f64) -> f64 {
+    let bits = r.to_bits();
+    if r > 0.0 {
+        f64::from_bits(bits - 1)
+    } else {
+        f64::from_bits(bits + 1)
+    }
+}
+
+fn step_toward_pos(r: f64) -> f64 {
+    let bits = r.to_bits();
+    if r > 0.0 {
+        f64::from_bits(bits + 1)
+    } else {
+        f64::from_bits(bits - 1)
+    }
+}
+
+/// The oracle: spec-level expected result and flags for a case.
+pub fn oracle(case: &Case) -> OracleOut {
+    let a = f64::from_bits(case.a);
+    let b = f64::from_bits(case.b);
+    match case.op {
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Fma | Op::Sqrt => ring(case),
+        Op::Min => {
+            let flags = de(&[a, b]);
+            if a.is_nan() || b.is_nan() {
+                // Second operand forwarded raw (even a signaling NaN);
+                // invalid on any NaN operand.
+                return out(Expected::F64(case.b), flags | FpFlags::INVALID);
+            }
+            let v = if a < b { a } else { b };
+            out(Expected::F64(v.to_bits()), flags)
+        }
+        Op::Max => {
+            let flags = de(&[a, b]);
+            if a.is_nan() || b.is_nan() {
+                return out(Expected::F64(case.b), flags | FpFlags::INVALID);
+            }
+            let v = if a > b { a } else { b };
+            out(Expected::F64(v.to_bits()), flags)
+        }
+        Op::Neg => out(Expected::F64(case.a ^ 0x8000_0000_0000_0000), FpFlags::NONE),
+        Op::Abs => out(
+            Expected::F64(case.a & !0x8000_0000_0000_0000),
+            FpFlags::NONE,
+        ),
+        Op::Floor | Op::Ceil => {
+            if a.is_nan() {
+                return out(Expected::F64(quiet(a).to_bits()), snan_flag(&[a]));
+            }
+            let v = if case.op == Op::Floor {
+                a.floor()
+            } else {
+                a.ceil()
+            };
+            out(Expected::F64(v.to_bits()), FpFlags::NONE)
+        }
+        Op::CmpQ | Op::CmpS => {
+            let mut flags = de(&[a, b]);
+            let r = if a.is_nan() || b.is_nan() {
+                CmpResult::Unordered
+            } else if a < b {
+                CmpResult::Less
+            } else if a > b {
+                CmpResult::Greater
+            } else {
+                CmpResult::Equal
+            };
+            if r == CmpResult::Unordered && (case.op == Op::CmpS || is_snan(a) || is_snan(b)) {
+                flags |= FpFlags::INVALID;
+            }
+            out(Expected::Cmp(r), flags)
+        }
+        Op::ToI32 | Op::ToI64 | Op::ToU64 => to_int(case),
+        Op::ToF32 => {
+            let (v, flags) = narrow_f32(a, case.rm);
+            out(Expected::F32(v.to_bits()), flags)
+        }
+        Op::FromI32 | Op::FromI64 | Op::FromU64 => from_int(case),
+        Op::FromF32 => {
+            let x = f32::from_bits(case.a as u32);
+            let mut flags = FpFlags::NONE;
+            if x.is_subnormal() {
+                flags |= FpFlags::DENORMAL;
+            }
+            if x.is_nan() && x.to_bits() & 0x0040_0000 == 0 {
+                return out(
+                    Expected::F64(quiet(f64::from(x)).to_bits()),
+                    flags | FpFlags::INVALID,
+                );
+            }
+            out(Expected::F64(f64::from(x).to_bits()), flags)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::Case;
+
+    fn f64_case(op: Op, a: f64, b: f64, rm: Round) -> Case {
+        Case {
+            op,
+            rm,
+            a: a.to_bits(),
+            b: b.to_bits(),
+            c: 0,
+        }
+    }
+
+    #[test]
+    fn ring_matches_host_at_ne() {
+        let r = oracle(&f64_case(Op::Add, 0.1, 0.2, Round::NearestEven));
+        assert!(r.conflict.is_none());
+        assert_eq!(r.expected, Expected::F64((0.1f64 + 0.2).to_bits()));
+        assert_eq!(r.flags, FpFlags::INEXACT);
+    }
+
+    #[test]
+    fn directed_div_differs_from_ne() {
+        let ne = oracle(&f64_case(Op::Div, 1.0, 3.0, Round::NearestEven));
+        let dn = oracle(&f64_case(Op::Div, 1.0, 3.0, Round::Down));
+        let up = oracle(&f64_case(Op::Div, 1.0, 3.0, Round::Up));
+        let (Expected::F64(n), Expected::F64(d), Expected::F64(u)) =
+            (&ne.expected, &dn.expected, &up.expected)
+        else {
+            panic!()
+        };
+        assert_eq!(*d + 1, *u, "down and up bracket by one ulp");
+        assert!(*n == *d || *n == *u);
+    }
+
+    #[test]
+    fn underflow_boundary_after_rounding() {
+        // (1 − 2^-53)·2^-1022 by exact division: rounds up to min normal,
+        // but tininess is judged before the carry → UNDERFLOW.
+        let a = f64::from_bits(0x001F_FFFF_FFFF_FFFF);
+        let r = oracle(&f64_case(Op::Div, a, 2.0, Round::NearestEven));
+        assert_eq!(r.expected, Expected::F64(f64::MIN_POSITIVE.to_bits()));
+        assert!(r.flags.contains(FpFlags::UNDERFLOW | FpFlags::INEXACT));
+        // Both operands are normal (0x001F… is the top of the lowest
+        // normal binade), so no DENORMAL.
+        assert!(!r.flags.contains(FpFlags::DENORMAL));
+        assert!(r.conflict.is_none());
+    }
+
+    #[test]
+    fn min_max_second_operand_semantics() {
+        let r = oracle(&f64_case(Op::Min, 0.0, -0.0, Round::NearestEven));
+        assert_eq!(r.expected, Expected::F64((-0.0f64).to_bits()));
+        let r = oracle(&f64_case(Op::Max, 0.0, -0.0, Round::NearestEven));
+        assert_eq!(r.expected, Expected::F64((-0.0f64).to_bits()));
+        let snan = f64::from_bits(0x7FF0_0000_0000_0001);
+        let r = oracle(&f64_case(Op::Min, 1.0, snan, Round::NearestEven));
+        assert_eq!(r.expected, Expected::F64(snan.to_bits()), "forwarded raw");
+        assert!(r.flags.contains(FpFlags::INVALID));
+    }
+
+    #[test]
+    fn narrow_f32_underflow_boundary() {
+        // 2^-126 − 3·2^-152: delivered min-normal f32, but still tiny
+        // after 24-bit rounding with unbounded exponent.
+        let a = 2f64.powi(-126) - 3.0 * 2f64.powi(-152);
+        let r = oracle(&f64_case(Op::ToF32, a, 0.0, Round::NearestEven));
+        assert_eq!(r.expected, Expected::F32(f32::MIN_POSITIVE.to_bits()));
+        assert!(r.flags.contains(FpFlags::UNDERFLOW | FpFlags::INEXACT));
+    }
+
+    #[test]
+    fn int_conversions() {
+        let r = oracle(&f64_case(Op::ToI32, 2147483647.5, 0.0, Round::NearestEven));
+        assert_eq!(r.expected, Expected::I32(i32::MAX));
+        assert_eq!(r.flags, FpFlags::INEXACT);
+        let r = oracle(&f64_case(Op::ToI32, 2147483648.0, 0.0, Round::NearestEven));
+        assert_eq!(r.expected, Expected::I32(i32::MIN));
+        assert_eq!(r.flags, FpFlags::INVALID);
+        let r = oracle(&f64_case(Op::ToU64, -0.25, 0.0, Round::NearestEven));
+        assert_eq!(r.expected, Expected::U64(0));
+        assert_eq!(r.flags, FpFlags::INEXACT);
+        // Directed i64 promotion: 2^53 + 1 is inexact; Down must not
+        // round up.
+        let big = (1i64 << 53) + 1;
+        let c = Case {
+            op: Op::FromI64,
+            rm: Round::Down,
+            a: big as u64,
+            b: 0,
+            c: 0,
+        };
+        let r = oracle(&c);
+        assert_eq!(r.expected, Expected::F64(((1i64 << 53) as f64).to_bits()));
+        assert_eq!(r.flags, FpFlags::INEXACT);
+    }
+}

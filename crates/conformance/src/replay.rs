@@ -1,0 +1,171 @@
+//! Replay a conformance reproducer through the full machine pipeline.
+//!
+//! A corpus entry that only exercises `ArithSystem` proves the arithmetic
+//! layer; replaying it as a tiny IR program and running native vs. the
+//! hybrid trap-based FPVM (with Vanilla arithmetic) ties the same case to
+//! the §5.2 whole-pipeline property: the virtualized run must be
+//! bit-identical to native execution.
+
+use crate::case::{Case, Op};
+use fpvm_analysis::analyze_and_patch;
+use fpvm_arith::{Round, Vanilla};
+use fpvm_core::{run_native, ExitReason, Fpvm, FpvmConfig};
+use fpvm_ir::{compile, CmpOp, CompileMode, MathFn, Module};
+use fpvm_machine::{CostModel, Event, Machine};
+
+fn is_snan_bits(bits: u64) -> bool {
+    let v = f64::from_bits(bits);
+    v.is_nan() && bits & 0x0008_0000_0000_0000 == 0
+}
+
+/// Whether this case can be expressed in the IR and replayed through the
+/// machine pipeline: ops the builder can express, nearest-even rounding
+/// only (the machine has no rounding-mode control), and no signaling-NaN
+/// operand constants — forged sNaN bit patterns are outside FPVM's §2
+/// NaN-space ownership contract.
+pub fn replayable(case: &Case) -> bool {
+    let op_ok = matches!(
+        case.op,
+        Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Min
+            | Op::Max
+            | Op::Sqrt
+            | Op::Neg
+            | Op::Abs
+            | Op::Floor
+            | Op::Ceil
+            | Op::ToI64
+            | Op::CmpQ
+    );
+    let no_snan = !is_snan_bits(case.a) && (case.op.arity() < 2 || !is_snan_bits(case.b));
+    op_ok && case.rm == Round::NearestEven && no_snan
+}
+
+/// Build the one-operation IR program for a replayable case.
+fn build(case: &Case) -> Module {
+    let case = *case;
+    let mut m = Module::new();
+    m.build_func("main", &[], None, move |b| {
+        let a = b.cf(f64::from_bits(case.a));
+        match case.op {
+            Op::ToI64 => {
+                let i = b.ftoi(a);
+                b.printi(i);
+            }
+            Op::CmpQ => {
+                // Print three orderings so Less / Equal / Greater /
+                // Unordered are all distinguishable from the output.
+                let bb = b.cf(f64::from_bits(case.b));
+                let lt = b.fcmp(CmpOp::Lt, a, bb);
+                b.printi(lt);
+                let eq = b.fcmp(CmpOp::Eq, a, bb);
+                b.printi(eq);
+                let gt = b.fcmp(CmpOp::Gt, a, bb);
+                b.printi(gt);
+            }
+            _ => {
+                let r = match case.op {
+                    Op::Add => {
+                        let bb = b.cf(f64::from_bits(case.b));
+                        b.fadd(a, bb)
+                    }
+                    Op::Sub => {
+                        let bb = b.cf(f64::from_bits(case.b));
+                        b.fsub(a, bb)
+                    }
+                    Op::Mul => {
+                        let bb = b.cf(f64::from_bits(case.b));
+                        b.fmul(a, bb)
+                    }
+                    Op::Div => {
+                        let bb = b.cf(f64::from_bits(case.b));
+                        b.fdiv(a, bb)
+                    }
+                    Op::Min => {
+                        let bb = b.cf(f64::from_bits(case.b));
+                        b.fmin(a, bb)
+                    }
+                    Op::Max => {
+                        let bb = b.cf(f64::from_bits(case.b));
+                        b.fmax(a, bb)
+                    }
+                    Op::Sqrt => b.fsqrt(a),
+                    Op::Neg => b.fneg(a),
+                    Op::Abs => b.fabs(a),
+                    Op::Floor => b.math(MathFn::Floor, &[a]),
+                    Op::Ceil => b.math(MathFn::Ceil, &[a]),
+                    _ => unreachable!("guarded by replayable()"),
+                };
+                b.printf(r);
+            }
+        }
+        b.ret(None);
+    });
+    m
+}
+
+/// Replay `case` native vs. hybrid FPVM(Vanilla); `Ok(())` means the two
+/// runs produced identical output events (bit-exact).
+pub fn replay(case: &Case) -> Result<(), String> {
+    assert!(replayable(case), "replay() requires replayable(case)");
+    let module = build(case);
+    let compiled = compile(&module, CompileMode::Native);
+
+    let mut nm = Machine::new(CostModel::r815());
+    let ev = run_native(&mut nm, &compiled.program, 1_000_000);
+    if ev != Event::Halted {
+        return Err(format!("{case}: native run did not halt: {ev:?}"));
+    }
+
+    let patched = analyze_and_patch(&compiled.program);
+    let mut hm = Machine::new(CostModel::r815());
+    hm.load_program(&patched.program);
+    let mut rt = Fpvm::new(Vanilla, FpvmConfig::default());
+    rt.set_side_table(patched.side_table);
+    let report = rt.run(&mut hm);
+    if report.exit != ExitReason::Halted {
+        return Err(format!("{case}: hybrid run exited {:?}", report.exit));
+    }
+
+    if hm.output != nm.output {
+        return Err(format!(
+            "{case}: pipeline divergence — native {:?}, hybrid {:?}",
+            nm.output, hm.output
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_basic_ops() {
+        let cases = [
+            Case::new(Op::Add, 0x3FB9_9999_9999_999A, 0x3FD5_5555_5555_5555, 0),
+            Case::new(Op::Div, 0x3FF0_0000_0000_0000, 0x0000_0000_0000_0000, 0),
+            Case::new(Op::Min, 0x8000_0000_0000_0000, 0x0000_0000_0000_0000, 0),
+            Case::new(Op::Max, 0x3FF0_0000_0000_0000, 0x7FF8_0000_0000_0000, 0),
+            Case::new(Op::Sqrt, 0xBFF0_0000_0000_0000, 0, 0),
+            Case::new(Op::ToI64, 0x41DF_FFFF_FFE0_0000, 0, 0),
+            Case::new(Op::CmpQ, 0x7FF8_0000_0000_0000, 0x3FF0_0000_0000_0000, 0),
+        ];
+        for c in &cases {
+            assert!(replayable(c), "{c}");
+            replay(c).unwrap();
+        }
+    }
+
+    #[test]
+    fn snan_operands_not_replayable() {
+        let c = Case::new(Op::Add, 0x7FF0_0000_0000_0001, 0x3FF0_0000_0000_0000, 0);
+        assert!(!replayable(&c));
+        let mut d = Case::new(Op::Add, 0x3FF0_0000_0000_0000, 0x3FF0_0000_0000_0000, 0);
+        d.rm = Round::Down;
+        assert!(!replayable(&d));
+    }
+}

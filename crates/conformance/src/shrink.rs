@@ -1,0 +1,152 @@
+//! Failing-case minimizer.
+//!
+//! Given a failing [`Case`] and a predicate that re-runs the check, walk a
+//! deterministic candidate ladder toward "simpler" cases (fewer set bits,
+//! canonical NaNs, nearest-even rounding, zeroed unused operands) and keep
+//! every step that still fails. The result is a one-operation reproducer
+//! fit for the persisted corpus.
+
+use crate::case::Case;
+use fpvm_arith::Round;
+
+/// Well-founded simplicity order: fewer set bits, then smaller value.
+/// Acceptance requires a strict decrease, so shrinking always terminates
+/// and can never oscillate between two "equally simple" values.
+fn simpler(v: u64, than: u64) -> bool {
+    (v.count_ones(), v) < (than.count_ones(), than)
+}
+
+/// Simplification candidates for one operand, most aggressive first.
+fn operand_candidates(bits: u64) -> Vec<u64> {
+    let mut c = Vec::new();
+    let push = |c: &mut Vec<u64>, v: u64| {
+        if simpler(v, bits) && !c.contains(&v) {
+            c.push(v);
+        }
+    };
+    push(&mut c, 0); // +0
+    push(&mut c, 0x3FF0_0000_0000_0000); // 1.0
+    if f64::from_bits(bits).is_nan() {
+        // Canonical quiet NaN, then a payload-free signaling NaN (keeps
+        // "signaling-ness" reproducers minimal without losing the class).
+        push(&mut c, 0x7FF8_0000_0000_0000);
+        if bits & 0x0008_0000_0000_0000 == 0 {
+            push(&mut c, 0x7FF0_0000_0000_0001);
+        }
+    }
+    push(&mut c, bits & !(1 << 63)); // clear sign
+    push(&mut c, bits & 0xFFF0_0000_0000_0000); // keep class/exponent only
+    push(&mut c, bits & !0xFFFF_FFFF); // clear low mantissa half
+    push(&mut c, bits & !0xFFFF); // clear low 16 bits
+    c
+}
+
+/// Minimize `case` under `still_fails`. The predicate must return `true`
+/// for the input case (it is what made the case interesting); the returned
+/// case also satisfies it. Deterministic: same input, same output.
+pub fn shrink(case: &Case, still_fails: impl Fn(&Case) -> bool) -> Case {
+    let mut cur = *case;
+    // Fixpoint with a safety bound: each accepted candidate strictly
+    // simplifies one field, so convergence is fast in practice.
+    for _ in 0..64 {
+        let mut changed = false;
+
+        if cur.rm != Round::NearestEven {
+            let mut cand = cur;
+            cand.rm = Round::NearestEven;
+            if still_fails(&cand) {
+                cur = cand;
+                changed = true;
+            }
+        }
+
+        // Unused operands normalize to zero regardless of their value.
+        let arity = cur.op.arity();
+        for (slot, used) in [(1usize, arity >= 1), (2, arity >= 2), (3, arity >= 3)] {
+            let get = |c: &Case, s: usize| match s {
+                1 => c.a,
+                2 => c.b,
+                _ => c.c,
+            };
+            let set = |c: &mut Case, s: usize, v: u64| match s {
+                1 => c.a = v,
+                2 => c.b = v,
+                _ => c.c = v,
+            };
+            let bits = get(&cur, slot);
+            if !used {
+                if bits != 0 {
+                    let mut cand = cur;
+                    set(&mut cand, slot, 0);
+                    if still_fails(&cand) {
+                        cur = cand;
+                        changed = true;
+                    }
+                }
+                continue;
+            }
+            for v in operand_candidates(bits) {
+                let mut cand = cur;
+                set(&mut cand, slot, v);
+                if still_fails(&cand) {
+                    cur = cand;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::Op;
+
+    #[test]
+    fn shrinks_to_simplest_failing_case() {
+        // Pretend the bug is "any Add whose first operand is NaN".
+        let noisy = Case {
+            op: Op::Add,
+            rm: Round::Up,
+            a: 0x7FFC_DEAD_BEEF_1234,
+            b: 0x400921FB54442D18,
+            c: 0xABCD_EF01_2345_6789,
+        };
+        let fails = |c: &Case| c.op == Op::Add && f64::from_bits(c.a).is_nan();
+        assert!(fails(&noisy));
+        let min = shrink(&noisy, fails);
+        assert!(fails(&min), "shrinking must preserve the failure");
+        assert_eq!(min.rm, Round::NearestEven);
+        assert_eq!(min.a, 0x7FF8_0000_0000_0000, "NaN canonicalized");
+        assert_eq!(min.b, 0, "irrelevant operand zeroed");
+        assert_eq!(min.c, 0, "unused operand zeroed");
+    }
+
+    #[test]
+    fn deterministic() {
+        let case = Case {
+            op: Op::Mul,
+            rm: Round::Zero,
+            a: 0x3FE0_0000_0000_0000, // 0.5
+            b: 0x0010_0000_0000_0000, // min normal → product is subnormal
+            c: 7,
+        };
+        // "Fails" whenever the product would be subnormal-ish: keeps a
+        // nontrivial constraint on both operands.
+        let fails = |c: &Case| {
+            let p = f64::from_bits(c.a) * f64::from_bits(c.b);
+            c.op == Op::Mul && p != 0.0 && p.abs() < f64::MIN_POSITIVE
+        };
+        assert!(fails(&case));
+        let m1 = shrink(&case, fails);
+        let m2 = shrink(&case, fails);
+        assert_eq!(m1, m2);
+        assert!(fails(&m1));
+    }
+}

@@ -1,0 +1,72 @@
+//! Tier-1 regression gate: every persisted corpus case must (a) pass the
+//! differential engine cleanly across all backends and (b) — when the case
+//! is expressible as guest IR — produce identical output under native
+//! execution and the full trap-and-emulate pipeline.
+//!
+//! Corpus files live in `corpus/*.jsonl` next to this crate; each entry is
+//! a minimized reproducer for a bug the suite has caught (or a behavior
+//! pinned on purpose). Adding a reproducer here is the last step of every
+//! conformance-found fix.
+
+use fpvm_conformance::{parse_corpus, replay, replayable, run_cases, Case};
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_files() -> Vec<(String, Vec<Case>)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut files: Vec<_> = fs::read_dir(&dir)
+        .expect("corpus dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus dir has at least one .jsonl file");
+    files
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = fs::read_to_string(&p).expect("corpus file readable");
+            let cases = parse_corpus(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!cases.is_empty(), "{name}: no cases");
+            (name, cases)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_passes_differential_engine() {
+    for (name, cases) in corpus_files() {
+        let report = run_cases(&cases);
+        let detail: Vec<String> = report
+            .mismatches
+            .iter()
+            .map(|m| format!("[{}] {}: {}", m.backend, m.case, m.detail))
+            .collect();
+        assert!(
+            report.clean(),
+            "{name}: corpus regressed:\n{}",
+            detail.join("\n")
+        );
+    }
+}
+
+#[test]
+fn corpus_replays_through_pipeline() {
+    let mut replayed = 0usize;
+    for (name, cases) in corpus_files() {
+        for case in cases {
+            if !replayable(&case) {
+                continue;
+            }
+            replay(&case).unwrap_or_else(|e| panic!("{name}: {case}: {e}"));
+            replayed += 1;
+        }
+    }
+    // The corpus deliberately contains a healthy replayable majority; a
+    // collapse here means `replayable` tightened or the corpus thinned out.
+    assert!(
+        replayed >= 20,
+        "only {replayed} corpus cases were replayable"
+    );
+}

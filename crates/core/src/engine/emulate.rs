@@ -204,7 +204,7 @@ impl<'rt, A: ArithSystem> Emulator<'rt, A> {
             }
             CvtF32ToF => {
                 let raw = read_loc(m, lane.srcs[0]).map_err(|_| err)? as u32;
-                (self.arith.from_f32(f32::from_bits(raw)), FpFlags::NONE)
+                self.arith.from_f32(f32::from_bits(raw))
             }
             _ => return Err(ExitReason::error(Stage::Emulate, m.rip)),
         };

@@ -375,6 +375,56 @@ fn compiler_mode_bit_identical_on_random_programs() {
     }
 }
 
+/// §2 NaN-space ownership as a property over random payloads: a *forged*
+/// signaling-NaN operand reaching the engine must surface as the canonical
+/// quiet NaN — the guest never sees its own payload bits, under any sign,
+/// through any NaN-propagating operation. The payloads keep a high bit set
+/// so they can never alias a live arena key allocated during the run.
+#[test]
+fn forged_snan_operand_surfaces_as_canonical_qnan() {
+    const CANONICAL_QNAN: u64 = 0x7FF8_0000_0000_0000;
+    let mut rng = Rng(0x5AA5);
+    for case in 0..32 {
+        let payload = ((rng.next() & fpvm::nanbox::F64_PAYLOAD_MASK) | (1 << 40)).max(1);
+        let sign = (rng.next() & 1) << 63;
+        let snan_bits = (sign | 0x7FF0_0000_0000_0000 | payload) & !fpvm::nanbox::F64_QUIET_BIT;
+        assert!(f64::from_bits(snan_bits).is_nan());
+        let mut m = Module::new();
+        m.build_func("main", &[], None, move |b| {
+            let bits = b.ci(snan_bits as i64);
+            let forged = b.bitcast_if(bits);
+            let one = b.cf(1.0);
+            let r = b.fadd(forged, one);
+            b.printf(r);
+            let r = b.fmul(forged, one);
+            b.printf(r);
+            let r = b.fsub(one, forged);
+            b.printf(r);
+            let r = b.fsqrt(forged);
+            b.printf(r);
+            b.ret(None);
+        });
+        let compiled = compile(&m, CompileMode::Native);
+        let patched = analyze_and_patch(&compiled.program);
+        let mut mach = Machine::new(CostModel::r815());
+        mach.load_program(&patched.program);
+        let mut rt = Fpvm::new(Vanilla, FpvmConfig::default());
+        rt.set_side_table(patched.side_table);
+        let report = rt.run(&mut mach);
+        assert_eq!(report.exit, ExitReason::Halted, "case {case}");
+        assert_eq!(mach.output.len(), 4, "case {case}");
+        for (i, ev) in mach.output.iter().enumerate() {
+            match *ev {
+                OutputEvent::F64(bits) => assert_eq!(
+                    bits, CANONICAL_QNAN,
+                    "case {case} output {i}: forged payload {payload:#x} leaked"
+                ),
+                ref other => panic!("case {case} output {i}: {other:?}"),
+            }
+        }
+    }
+}
+
 /// §2 "NaN-space ownership" documented: a guest that forges a signaling
 /// NaN bit pattern from integer arithmetic sees FPVM's view of it (a
 /// universal/quiet NaN after any FPVM-owned demotion), not its own bits —
