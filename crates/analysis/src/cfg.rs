@@ -237,6 +237,95 @@ mod tests {
     }
 
     #[test]
+    fn dead_code_after_unconditional_jmp_is_isolated() {
+        // The instruction run after an unconditional jmp is carved into its
+        // own block (the post-branch address is a leader), but the jmp must
+        // NOT grow a fallthrough edge into it, and reachability-based
+        // function assignment must leave the dead block unowned.
+        let mut a = Asm::new();
+        let end = a.label();
+        a.jmp(end);
+        let dead = a.here();
+        a.mov_ri(Gpr::RAX, 42); // unreachable
+        a.bind(end);
+        a.halt();
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        let jmp_block = cfg.blocks.get(&p.entry).unwrap();
+        assert!(matches!(
+            jmp_block.insts.last().unwrap().inst,
+            Inst::Jmp { .. }
+        ));
+        assert_eq!(
+            jmp_block.succs.len(),
+            1,
+            "jmp must have only its target as successor"
+        );
+        assert_ne!(jmp_block.succs[0], dead);
+        // The dead block exists in the disassembly...
+        assert!(cfg.blocks.contains_key(&dead));
+        // ...but belongs to no function and is excluded from analysis.
+        assert!(!cfg.block_fn.contains_key(&dead));
+        assert!(cfg.function_blocks(p.entry).iter().all(|b| b.start != dead));
+    }
+
+    #[test]
+    fn non_returning_callee_still_splits_caller() {
+        // The callee halts and never returns. The call edge still makes it
+        // a function, and the caller's post-call block exists (the static
+        // CFG keeps the optimistic return edge) and belongs to the caller.
+        let mut a = Asm::new();
+        let f = a.label();
+        a.call(f);
+        let after_call = a.here();
+        a.mov_ri(Gpr::RBX, 1);
+        a.halt();
+        a.bind(f);
+        a.mov_ri(Gpr::RAX, 7);
+        a.halt(); // never returns
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.functions.len(), 2, "entry + non-returning callee");
+        let callee_entry = *cfg.functions.iter().max().unwrap();
+        let fb = cfg.function_blocks(callee_entry);
+        assert_eq!(fb.len(), 1);
+        assert!(matches!(fb[0].insts.last().unwrap().inst, Inst::Halt));
+        // The call block's fallthrough successor is the post-call block,
+        // and it is owned by the caller, not the callee.
+        let call_block = cfg.blocks.get(&p.entry).unwrap();
+        assert_eq!(call_block.call_target, Some(callee_entry));
+        assert_eq!(call_block.succs, vec![after_call]);
+        assert_eq!(cfg.block_fn.get(&after_call), Some(&p.entry));
+    }
+
+    #[test]
+    fn back_to_back_terminators_are_singleton_blocks() {
+        // halt; halt; ret — every terminator ends its block immediately,
+        // so each lands in its own single-instruction block with no
+        // successors, and block slicing never merges or drops one.
+        let mut a = Asm::new();
+        let b0 = a.here();
+        a.halt();
+        let b1 = a.here();
+        a.halt();
+        let b2 = a.here();
+        a.ret();
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.inst_count, 3);
+        assert_eq!(cfg.blocks.len(), 3);
+        for addr in [b0, b1, b2] {
+            let b = cfg.blocks.get(&addr).unwrap();
+            assert_eq!(b.insts.len(), 1);
+            assert!(b.succs.is_empty());
+        }
+        // Only the entry block is reachable.
+        assert_eq!(cfg.block_fn.get(&b0), Some(&p.entry));
+        assert!(!cfg.block_fn.contains_key(&b1));
+        assert!(!cfg.block_fn.contains_key(&b2));
+    }
+
+    #[test]
     fn functions_recovered_from_calls() {
         let mut a = Asm::new();
         let f = a.label();

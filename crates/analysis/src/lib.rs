@@ -17,10 +17,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cfg;
 pub mod patch;
 pub mod vsa;
 
+pub use audit::{audit, AuditReport, AuditSite, ReasonMetrics, SiteClass, SiteDyn};
 pub use cfg::Cfg;
-pub use patch::{analyze_and_patch, apply_patches, PatchedProgram};
-pub use vsa::{analyze, Analysis, AnalysisStats, Sink, SinkReason};
+pub use patch::{
+    analyze_and_patch, analyze_and_patch_with, apply_patches, PatchedProgram, SkipReason,
+    SkippedSink,
+};
+pub use vsa::{
+    analyze, analyze_with, Analysis, AnalysisConfig, AnalysisStats, HeapModel, Sink, SinkReason,
+};

@@ -12,10 +12,31 @@
 //! straddling problem §3.2 describes for real x64 does not arise (the ISA
 //! was designed that way; see fpvm-machine::encode).
 
-use crate::vsa::{analyze, Analysis, Sink};
+use crate::vsa::{analyze_with, Analysis, AnalysisConfig, Sink};
 use fpvm_core::SideTableEntry;
 use fpvm_machine::{encode, Inst, Program, TrapKind, CODE_BASE};
 use std::collections::BTreeSet;
+
+/// Why the patcher declined to patch a sink. Every skipped sink is a
+/// *soundness hole* — the site stays untrapped — so skips are recorded,
+/// surfaced in [`crate::AnalysisStats`], and checked by the audit harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The u16 side-table id space is exhausted.
+    SideTableFull,
+    /// A branch targets the interior of the would-be patch span, so the
+    /// trap + nop rewrite would change that path's behavior.
+    BranchStraddle,
+}
+
+/// A sink the patcher left unpatched, with the reason.
+#[derive(Debug, Clone, Copy)]
+pub struct SkippedSink {
+    /// The sink that was not patched.
+    pub sink: Sink,
+    /// Why it was skipped.
+    pub reason: SkipReason,
+}
 
 /// Result of analyzing + patching a program.
 #[derive(Debug, Clone)]
@@ -26,23 +47,45 @@ pub struct PatchedProgram {
     pub side_table: Vec<SideTableEntry>,
     /// The analysis that produced the patches.
     pub analysis: Analysis,
+    /// Sinks the patcher could not patch (remaining soundness holes).
+    pub skipped: Vec<SkippedSink>,
 }
 
 /// Analyze a program and patch every sink with a correctness trap.
 pub fn analyze_and_patch(p: &Program) -> PatchedProgram {
-    let analysis = analyze(p);
-    let (program, side_table) = apply_patches(p, &analysis.sinks);
+    analyze_and_patch_with(p, &AnalysisConfig::default())
+}
+
+/// [`analyze_and_patch`] under an explicit analysis configuration.
+pub fn analyze_and_patch_with(p: &Program, cfg: &AnalysisConfig) -> PatchedProgram {
+    let mut analysis = analyze_with(p, cfg);
+    let (program, side_table, skipped) = apply_patches(p, &analysis.sinks);
+    analysis.stats.sinks_patched = side_table.len();
+    analysis.stats.sinks_skipped_table_full = skipped
+        .iter()
+        .filter(|s| s.reason == SkipReason::SideTableFull)
+        .count();
+    analysis.stats.sinks_skipped_straddle = skipped
+        .iter()
+        .filter(|s| s.reason == SkipReason::BranchStraddle)
+        .count();
     PatchedProgram {
         program,
         side_table,
         analysis,
+        skipped,
     }
 }
 
-/// Apply a specific sink list (exposed for tests and ablations).
-pub fn apply_patches(p: &Program, sinks: &[Sink]) -> (Program, Vec<SideTableEntry>) {
+/// Apply a specific sink list (exposed for tests and ablations). Returns
+/// the patched image, the side table, and every sink that was skipped.
+pub fn apply_patches(
+    p: &Program,
+    sinks: &[Sink],
+) -> (Program, Vec<SideTableEntry>, Vec<SkippedSink>) {
     let mut out = p.clone();
     let mut table = Vec::new();
+    let mut skipped = Vec::new();
     // Branch targets must never land inside a patched region other than at
     // the patch start; with whole-instruction patching this can only be
     // violated by hand-crafted images — verify anyway.
@@ -50,10 +93,19 @@ pub fn apply_patches(p: &Program, sinks: &[Sink]) -> (Program, Vec<SideTableEntr
     for sink in sinks {
         let id = table.len();
         if id > u16::MAX as usize {
-            break; // side table full; remaining sinks stay unpatched
+            // Side table full; remaining sinks stay unpatched.
+            skipped.push(SkippedSink {
+                sink: *sink,
+                reason: SkipReason::SideTableFull,
+            });
+            continue;
         }
         let inside = (sink.addr + 1..sink.addr + u64::from(sink.len)).any(|a| targets.contains(&a));
         if inside {
+            skipped.push(SkippedSink {
+                sink: *sink,
+                reason: SkipReason::BranchStraddle,
+            });
             continue;
         }
         let mut bytes = Vec::with_capacity(sink.len as usize);
@@ -79,7 +131,7 @@ pub fn apply_patches(p: &Program, sinks: &[Sink]) -> (Program, Vec<SideTableEntr
             len: sink.len,
         });
     }
-    (out, table)
+    (out, table, skipped)
 }
 
 fn branch_targets(p: &Program) -> BTreeSet<u64> {
@@ -164,6 +216,103 @@ mod tests {
             0.1 + 0.2,
             "integer view must hold the demoted double"
         );
+    }
+
+    #[test]
+    fn branch_straddled_sink_is_skipped_and_recorded() {
+        // Hand-craft an image where a jmp targets the *interior* of a load:
+        // unreachable through the assembler (labels bind at instruction
+        // boundaries), so splice the jmp bytes in manually.
+        let mut a = Asm::new();
+        let g = a.global("w", 8);
+        let pad = a.here();
+        for _ in 0..8 {
+            a.emit(Inst::Nop);
+        }
+        let load_site = a.here();
+        a.load(Gpr::RAX, Mem::abs(g as i64));
+        a.halt();
+        let mut p = a.finish();
+        let mut probe = Vec::new();
+        encode(&Inst::Jmp { rel: 0 }, &mut probe);
+        let jlen = probe.len() as u64;
+        assert!(jlen <= 8);
+        // target = pad + jlen + rel = load_site + 1
+        let rel = (load_site + 1).wrapping_sub(pad + jlen) as i32;
+        let mut jbytes = Vec::new();
+        encode(&Inst::Jmp { rel }, &mut jbytes);
+        assert_eq!(jbytes.len() as u64, jlen);
+        let off = (pad - CODE_BASE) as usize;
+        p.code[off..off + jbytes.len()].copy_from_slice(&jbytes);
+
+        let (addr, inst, len) = p
+            .disassemble()
+            .into_iter()
+            .find(|&(a2, _, _)| a2 == load_site)
+            .unwrap();
+        assert!(len > 1, "need a multi-byte sink to straddle");
+        let sink = crate::vsa::Sink {
+            addr,
+            inst,
+            len: len as u8,
+            reason: crate::vsa::SinkReason::IntLoadOfFp,
+        };
+        let (out, table, skipped) = apply_patches(&p, &[sink]);
+        assert!(table.is_empty(), "straddled sink must not be patched");
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].reason, SkipReason::BranchStraddle);
+        assert_eq!(skipped[0].sink.addr, load_site);
+        assert_eq!(out.code, p.code, "skipped patch must leave code intact");
+    }
+
+    #[test]
+    fn side_table_overflow_is_skipped_and_recorded() {
+        let mut a = Asm::new();
+        let g = a.global("w", 8);
+        let site = a.here();
+        a.load(Gpr::RAX, Mem::abs(g as i64));
+        a.halt();
+        let p = a.finish();
+        let (addr, inst, len) = p
+            .disassemble()
+            .into_iter()
+            .find(|&(a2, _, _)| a2 == site)
+            .unwrap();
+        let sink = crate::vsa::Sink {
+            addr,
+            inst,
+            len: len as u8,
+            reason: crate::vsa::SinkReason::IntLoadOfFp,
+        };
+        // The id space holds u16::MAX + 1 entries; two more must overflow.
+        let n = u16::MAX as usize + 3;
+        let sinks = vec![sink; n];
+        let (_, table, skipped) = apply_patches(&p, &sinks);
+        assert_eq!(table.len(), u16::MAX as usize + 1);
+        assert_eq!(skipped.len(), 2);
+        assert!(skipped
+            .iter()
+            .all(|s| s.reason == SkipReason::SideTableFull));
+    }
+
+    #[test]
+    fn patch_stats_are_surfaced() {
+        let mut a = Asm::new();
+        let c = a.f64m(1.5);
+        a.alu_ri(AluOp::Sub, Gpr::RSP, 16);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::base_disp(Gpr::RSP, 8), Xmm(0));
+        a.load_w(Gpr::RAX, Mem::base_disp(Gpr::RSP, 8), Width::W64);
+        a.movq_xg(Gpr::RBX, Xmm(0));
+        a.halt();
+        let p = a.finish();
+        let patched = analyze_and_patch(&p);
+        let st = patched.analysis.stats;
+        assert_eq!(st.sinks_found, 2);
+        assert_eq!(st.sinks_patched, 2);
+        assert_eq!(st.sinks_skipped_table_full, 0);
+        assert_eq!(st.sinks_skipped_straddle, 0);
+        assert!(patched.skipped.is_empty());
     }
 
     #[test]

@@ -63,6 +63,27 @@ impl ObjMap {
     }
 }
 
+/// How the heap is summarized (the one measured precision knob; the audit
+/// harness drives the comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeapModel {
+    /// Paper-faithful single summary cell: one FP store anywhere on the
+    /// heap taints every heap load (the deliberate Enzo imprecision).
+    #[default]
+    OneCell,
+    /// Allocation-site partitioning: pointers returned by distinct
+    /// `AllocHeap` call sites are distinguished; merged or unknown heap
+    /// pointers still degrade to the one-cell summary.
+    AllocSite,
+}
+
+/// Static analysis configuration (ablation knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisConfig {
+    /// Heap summarization model.
+    pub heap: HeapModel,
+}
+
 /// Abstract register / slot value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum AVal {
@@ -77,6 +98,9 @@ enum AVal {
     GlobalObj(u32),
     /// Somewhere in the data segment.
     GlobalAny,
+    /// Somewhere in the allocation made at call site `addr`
+    /// ([`HeapModel::AllocSite`] only).
+    HeapSite(u64),
     /// Somewhere in dynamic memory (heap summary).
     Heap,
     Top,
@@ -102,6 +126,9 @@ impl AVal {
             (Global(_) | GlobalObj(_) | GlobalAny, Global(_) | GlobalObj(_) | GlobalAny) => {
                 GlobalAny
             }
+            // Distinct allocation sites (or a site against the summary)
+            // merge into the one-cell summary.
+            (HeapSite(_) | Heap, HeapSite(_) | Heap) => Heap,
             _ => Top,
         }
     }
@@ -121,6 +148,7 @@ impl AVal {
             AVal::Global(a) => objs.resolve(a).map_or(AVal::GlobalAny, AVal::GlobalObj),
             AVal::GlobalObj(k) => AVal::GlobalObj(k),
             AVal::GlobalAny => AVal::GlobalAny,
+            AVal::HeapSite(s) => AVal::HeapSite(s),
             AVal::Heap => AVal::Heap,
             _ => AVal::Top,
         }
@@ -148,6 +176,8 @@ enum ALoc {
     GlobalWord(u64),
     GlobalObj(u32),
     GlobalAny,
+    /// Inside the allocation made at call site `addr`.
+    HeapSite(u64),
     Heap,
     Any,
 }
@@ -161,6 +191,8 @@ struct MemTypes {
     /// Objects where *some* unknown offset may hold FP data.
     objs_fp: BTreeSet<u32>,
     global_any_fp: bool,
+    /// Allocation sites whose allocation may hold FP data.
+    heap_site_fp: BTreeSet<u64>,
     heap_fp: bool,
     any_fp: bool,
 }
@@ -179,6 +211,9 @@ impl MemTypes {
                 self.objs_fp.insert(k);
             }
             ALoc::GlobalAny => self.global_any_fp = true,
+            ALoc::HeapSite(s) => {
+                self.heap_site_fp.insert(s);
+            }
             ALoc::Heap => self.heap_fp = true,
             ALoc::Any => self.any_fp = true,
         }
@@ -207,9 +242,11 @@ impl MemTypes {
             ALoc::GlobalAny => {
                 self.global_any_fp || !self.words_fp.is_empty() || !self.objs_fp.is_empty()
             }
-            ALoc::Heap => self.heap_fp,
+            ALoc::HeapSite(s) => self.heap_fp || self.heap_site_fp.contains(&s),
+            ALoc::Heap => self.heap_fp || !self.heap_site_fp.is_empty(),
             ALoc::Any => {
                 self.heap_fp
+                    || !self.heap_site_fp.is_empty()
                     || self.global_any_fp
                     || !self.words_fp.is_empty()
                     || !self.objs_fp.is_empty()
@@ -316,6 +353,16 @@ pub struct AnalysisStats {
     pub loads_proven_safe: usize,
     /// Outer fixpoint rounds.
     pub rounds: usize,
+    /// Sink instructions found by the analysis.
+    pub sinks_found: usize,
+    /// Sinks actually patched with correctness traps (filled by the
+    /// patcher; zero when only [`analyze`] ran).
+    pub sinks_patched: usize,
+    /// Sinks skipped because the side table ran out of u16 ids.
+    pub sinks_skipped_table_full: usize,
+    /// Sinks skipped because a branch targets the middle of the
+    /// would-be patch span.
+    pub sinks_skipped_straddle: usize,
 }
 
 /// Full analysis result.
@@ -332,8 +379,14 @@ struct FnCtx {
     stack_any: bool,
 }
 
-/// Run the analysis on a program image.
+/// Run the analysis on a program image with the paper-faithful default
+/// configuration (one-cell heap summary).
 pub fn analyze(p: &Program) -> Analysis {
+    analyze_with(p, &AnalysisConfig::default())
+}
+
+/// Run the analysis on a program image under an explicit configuration.
+pub fn analyze_with(p: &Program, acfg: &AnalysisConfig) -> Analysis {
     let cfg = Cfg::build(p);
     let objs = ObjMap::new(p);
     let mut mem = MemTypes::default();
@@ -360,7 +413,15 @@ pub fn analyze(p: &Program) -> Analysis {
             .map(|(f, c)| (*f, (c.stack_fp.len(), c.stack_any)))
             .collect();
         for &f in &cfg.functions {
-            analyze_function(&cfg, f, &objs, &mut mem, fn_ctxs.get_mut(&f).unwrap(), None);
+            analyze_function(
+                &cfg,
+                f,
+                acfg,
+                &objs,
+                &mut mem,
+                fn_ctxs.get_mut(&f).unwrap(),
+                None,
+            );
         }
         let frames_after: BTreeMap<u64, (usize, bool)> = fn_ctxs
             .iter()
@@ -381,13 +442,14 @@ pub fn analyze(p: &Program) -> Analysis {
             loads_total: 0,
             loads_safe: 0,
         };
-        analyze_function(&cfg, f, &objs, &mut mem, ctx, Some(&mut collect));
+        analyze_function(&cfg, f, acfg, &objs, &mut mem, ctx, Some(&mut collect));
         sinks.extend(collect.sinks);
         loads_total += collect.loads_total;
         loads_safe += collect.loads_safe;
     }
     sinks.sort_by_key(|s| s.addr);
     sinks.dedup_by_key(|s| s.addr);
+    let sinks_found = sinks.len();
     Analysis {
         sinks,
         stats: AnalysisStats {
@@ -397,6 +459,10 @@ pub fn analyze(p: &Program) -> Analysis {
             loads_total,
             loads_proven_safe: loads_safe,
             rounds,
+            sinks_found,
+            sinks_patched: 0,
+            sinks_skipped_table_full: 0,
+            sinks_skipped_straddle: 0,
         },
     }
 }
@@ -410,6 +476,7 @@ struct SinkCollector {
 fn analyze_function(
     cfg: &Cfg,
     entry: u64,
+    acfg: &AnalysisConfig,
     objs: &ObjMap,
     mem: &mut MemTypes,
     ctx: &mut FnCtx,
@@ -439,7 +506,7 @@ fn analyze_function(
             continue;
         };
         for site in &block.insts {
-            transfer(site, &mut s, objs, mem, ctx, collect.as_deref_mut());
+            transfer(site, &mut s, acfg, objs, mem, ctx, collect.as_deref_mut());
         }
         for &succ in &block.succs {
             if cfg.block_fn.get(&succ) != Some(&entry) {
@@ -484,6 +551,7 @@ fn aval_to_loc(v: AVal, objs: &ObjMap) -> ALoc {
         AVal::Global(a) => ALoc::GlobalWord(a),
         AVal::GlobalObj(k) => ALoc::GlobalObj(k),
         AVal::GlobalAny => ALoc::GlobalAny,
+        AVal::HeapSite(s) => ALoc::HeapSite(s),
         AVal::Heap => ALoc::Heap,
         AVal::Const(c) => {
             // A constant address (absolute operands).
@@ -515,6 +583,7 @@ const CALLER_SAVED: [usize; 9] = [0, 1, 2, 6, 7, 8, 9, 10, 11]; // rax rcx rdx r
 fn transfer(
     site: &Site,
     s: &mut RegState,
+    acfg: &AnalysisConfig,
     objs: &ObjMap,
     mem: &mut MemTypes,
     ctx: &mut FnCtx,
@@ -708,7 +777,12 @@ fn transfer(
         CallExt { f } => {
             let rax = Gpr::RAX.0 as usize;
             s.vals[rax] = if *f == ExtFn::AllocHeap {
-                AVal::Heap
+                match acfg.heap {
+                    // Under allocation-site partitioning the call site
+                    // itself names the abstract object.
+                    HeapModel::AllocSite => AVal::HeapSite(site.addr),
+                    HeapModel::OneCell => AVal::Heap,
+                }
             } else {
                 AVal::Top
             };
@@ -808,6 +882,59 @@ mod tests {
         // exactly the Enzo situation of §5.3).
         assert_eq!(an.stats.loads_total, 1);
         assert_eq!(an.stats.loads_proven_safe, 0);
+    }
+
+    #[test]
+    fn alloc_site_partitioning_separates_heap_allocations() {
+        // Two allocations from distinct call sites: FP lands in the first,
+        // integers in the second. One-cell merges them (both loads sink);
+        // allocation-site partitioning proves the integer-only load safe.
+        let mut a = Asm::new();
+        let c = a.f64m(2.5);
+        a.mov_ri(Gpr::RDI, 32);
+        a.call_ext(ExtFn::AllocHeap); // site A
+        a.mov_rr(Gpr::RBX, Gpr::RAX);
+        a.mov_ri(Gpr::RDI, 32);
+        a.call_ext(ExtFn::AllocHeap); // site B
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::base_disp(Gpr::RBX, 0), Xmm(0)); // FP -> A
+        a.mov_ri(Gpr::RDX, 7);
+        a.store(Mem::base_disp(Gpr::RAX, 0), Gpr::RDX); // int -> B
+        a.load(Gpr::RCX, Mem::base_disp(Gpr::RAX, 0)); // from B: safe
+        a.load(Gpr::RSI, Mem::base_disp(Gpr::RBX, 0)); // from A: sink
+        a.halt();
+        let p = a.finish();
+
+        let one = analyze(&p);
+        assert_eq!(one.stats.loads_total, 2);
+        assert_eq!(
+            one.stats.loads_proven_safe, 0,
+            "one-cell heap must merge both allocations"
+        );
+
+        let cfg = AnalysisConfig {
+            heap: HeapModel::AllocSite,
+        };
+        let an = analyze_with(&p, &cfg);
+        assert_eq!(an.stats.loads_total, 2);
+        assert_eq!(
+            an.stats.loads_proven_safe, 1,
+            "alloc-site heap must prove the integer allocation safe: {:?}",
+            an.sinks
+        );
+        assert_eq!(
+            an.sinks
+                .iter()
+                .filter(|s| s.reason == SinkReason::IntLoadOfFp)
+                .count(),
+            1
+        );
+        // The FP-bearing allocation is still a sink under both models
+        // (soundness is preserved; only precision improves).
+        assert!(an.sinks.iter().all(|s| one
+            .sinks
+            .iter()
+            .any(|o| o.addr == s.addr && o.reason == s.reason)));
     }
 
     #[test]

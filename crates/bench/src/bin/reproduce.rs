@@ -63,6 +63,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "conform",
         "E4b: per-operation conformance across arithmetic backends",
     ),
+    (
+        "audit",
+        "E14: dynamic taint oracle vs static sink set (soundness gate)",
+    ),
     ("loc", "§5.5: lines-of-code inventory"),
     (
         "trace",
@@ -175,6 +179,16 @@ fn main() {
         archive("conform", &rows);
         if !ok {
             eprintln!("CONFORMANCE FAILED (reproducers in target/experiments/conform_repro.jsonl)");
+            std::process::exit(1);
+        }
+    }
+    if want("audit") {
+        ran = true;
+        let rows = exp::audit_table(size);
+        let missed: usize = rows.iter().map(|r| r.missed).sum();
+        archive("audit", &rows);
+        if missed > 0 {
+            eprintln!("AUDIT FAILED: {missed} missed sink(s) — static analysis soundness hole");
             std::process::exit(1);
         }
     }

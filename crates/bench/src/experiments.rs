@@ -682,7 +682,9 @@ pub struct AnalysisRow {
     pub functions: usize,
     pub loads_total: usize,
     pub loads_proven_safe: usize,
+    pub sinks_found: usize,
     pub sinks_patched: usize,
+    pub sinks_skipped: usize,
     pub correctness_traps_taken: u64,
     pub demote_rate: f64,
 }
@@ -692,13 +694,20 @@ pub struct AnalysisRow {
 pub fn analysis_table(size: Size) -> Vec<AnalysisRow> {
     println!("== §4.2 static analysis: sinks found and their dynamic behavior (Vanilla) ==");
     println!(
-        "{:<18} {:>6} {:>5} {:>7} {:>7} {:>6} {:>10} {:>8}",
-        "workload", "insts", "fns", "loads", "safe", "sinks", "corr.traps", "demote%"
+        "{:<18} {:>6} {:>5} {:>7} {:>7} {:>6} {:>7} {:>7} {:>10} {:>8}",
+        "workload",
+        "insts",
+        "fns",
+        "loads",
+        "safe",
+        "sinks",
+        "patched",
+        "skipped",
+        "corr.traps",
+        "demote%"
     );
     let mut rows = Vec::new();
     for w in all_workloads(size) {
-        let c = compile(&w.module, CompileMode::Native);
-        let patched = fpvm_analysis::analyze_and_patch(&c.program);
         let (report, _, stats) = run_hybrid(&w, Vanilla, CostModel::r815(), FpvmConfig::default());
         let s = &report.stats;
         let demote_rate = if s.correctness_traps > 0 {
@@ -712,18 +721,22 @@ pub fn analysis_table(size: Size) -> Vec<AnalysisRow> {
             functions: stats.functions,
             loads_total: stats.loads_total,
             loads_proven_safe: stats.loads_proven_safe,
-            sinks_patched: patched.side_table.len(),
+            sinks_found: stats.sinks_found,
+            sinks_patched: stats.sinks_patched,
+            sinks_skipped: stats.sinks_skipped_table_full + stats.sinks_skipped_straddle,
             correctness_traps_taken: s.correctness_traps,
             demote_rate,
         };
         println!(
-            "{:<18} {:>6} {:>5} {:>7} {:>7} {:>6} {:>10} {:>7.1}%",
+            "{:<18} {:>6} {:>5} {:>7} {:>7} {:>6} {:>7} {:>7} {:>10} {:>7.1}%",
             row.workload,
             row.instructions,
             row.functions,
             row.loads_total,
             row.loads_proven_safe,
+            row.sinks_found,
             row.sinks_patched,
+            row.sinks_skipped,
             commas(row.correctness_traps_taken),
             row.demote_rate * 100.0
         );
@@ -1169,8 +1182,255 @@ pub fn conform(size: Size) -> Vec<ConformRow> {
 }
 
 // ---------------------------------------------------------------------------
+// E14: soundness/precision audit — dynamic taint oracle vs static sink set
+// ---------------------------------------------------------------------------
+
+/// Per-[`fpvm_analysis::SinkReason`] slice of one audit run.
+#[derive(Debug, Clone)]
+pub struct AuditReasonRow {
+    pub reason: String,
+    pub confirmed: usize,
+    pub spurious: usize,
+    pub unexercised: usize,
+    pub missed: usize,
+    pub precision: f64,
+    pub recall: f64,
+}
+
+/// One (workload, heap model) audit result.
+#[derive(Debug, Clone)]
+pub struct AuditRow {
+    pub workload: String,
+    pub heap_model: String,
+    pub analysis: fpvm_analysis::AnalysisStats,
+    pub confirmed: usize,
+    pub spurious: usize,
+    pub unexercised: usize,
+    pub missed: usize,
+    pub tainted_only: usize,
+    pub precision: f64,
+    pub recall: f64,
+    pub correctness_traps: u64,
+    pub wasted_cycles: u64,
+    pub per_reason: Vec<AuditReasonRow>,
+}
+
+/// Trace sink that folds `CorrectnessTrap` events into per-site dynamic
+/// observations for the audit.
+#[derive(Default)]
+struct TrapLedger {
+    per_rip: std::collections::BTreeMap<u64, fpvm_analysis::SiteDyn>,
+}
+
+impl fpvm_core::TraceSink for TrapLedger {
+    fn emit(&mut self, ev: &fpvm_core::TraceEvent) {
+        if let fpvm_core::TraceEvent::CorrectnessTrap {
+            rip,
+            demoted,
+            dispatch_cycles,
+            handler_cycles,
+            ..
+        } = ev
+        {
+            self.per_rip
+                .entry(*rip)
+                .or_default()
+                .record(*demoted, dispatch_cycles + handler_cycles);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "audit-trap-ledger"
+    }
+}
+
+fn reason_name(r: fpvm_analysis::SinkReason) -> &'static str {
+    match r {
+        fpvm_analysis::SinkReason::IntLoadOfFp => "int-load",
+        fpvm_analysis::SinkReason::MovqLeak => "movq-leak",
+        fpvm_analysis::SinkReason::BitwiseFp => "bitwise-fp",
+    }
+}
+
+fn heap_name(h: fpvm_analysis::HeapModel) -> &'static str {
+    match h {
+        fpvm_analysis::HeapModel::OneCell => "one-cell",
+        fpvm_analysis::HeapModel::AllocSite => "alloc-site",
+    }
+}
+
+/// Run one workload under the dynamic taint oracle with the given heap
+/// model and diff the run against the static sink set.
+fn audit_one(w: &fpvm_workloads::Workload, heap: fpvm_analysis::HeapModel) -> AuditRow {
+    let c = compile(&w.module, CompileMode::Native);
+    let acfg = fpvm_analysis::AnalysisConfig { heap };
+    let patched = fpvm_analysis::analyze_and_patch_with(&c.program, &acfg);
+    let mut m = Machine::new(CostModel::r815());
+    m.load_program(&patched.program);
+    let mut rt = Fpvm::new(
+        Vanilla,
+        FpvmConfig {
+            taint_oracle: true,
+            ..FpvmConfig::default()
+        },
+    );
+    rt.set_side_table(patched.side_table.clone());
+    let ledger = Rc::new(RefCell::new(TrapLedger::default()));
+    rt.set_trace_sink(Box::new(Rc::clone(&ledger)));
+    let report = rt.run(&mut m);
+    assert_eq!(report.exit, fpvm_core::ExitReason::Halted, "{}", w.name);
+    let patched_addrs: std::collections::BTreeSet<u64> =
+        patched.side_table.iter().map(|e| e.addr).collect();
+    let plane = m.taint_plane().expect("taint oracle was enabled");
+    let ledger = ledger.borrow();
+    let rep = fpvm_analysis::audit(
+        &patched.analysis,
+        &patched_addrs,
+        &ledger.per_rip,
+        &plane.sites,
+    );
+    let per_reason = rep
+        .per_reason
+        .iter()
+        .map(|&(r, met)| AuditReasonRow {
+            reason: reason_name(r).to_string(),
+            confirmed: met.confirmed,
+            spurious: met.spurious,
+            unexercised: met.unexercised,
+            missed: met.missed,
+            precision: met.precision(),
+            recall: met.recall(),
+        })
+        .collect();
+    AuditRow {
+        workload: w.name.to_string(),
+        heap_model: heap_name(heap).to_string(),
+        analysis: patched.analysis.stats,
+        confirmed: rep.total.confirmed,
+        spurious: rep.total.spurious,
+        unexercised: rep.total.unexercised,
+        missed: rep.total.missed,
+        tainted_only: rep.tainted_only,
+        precision: rep.total.precision(),
+        recall: rep.total.recall(),
+        correctness_traps: report.stats.correctness_traps,
+        wasted_cycles: rep.wasted_cycles,
+        per_reason,
+    }
+}
+
+/// E14: run every workload under the dynamic taint oracle and audit the
+/// static sink set — soundness (missed sinks: the oracle saw live NaN-box
+/// bits enter the integer world unpatched) and precision (spurious sinks:
+/// patched, exercised, never demoted). Each workload runs under both heap
+/// models; the one-cell vs alloc-site delta is the measured precision
+/// upgrade.
+pub fn audit_table(size: Size) -> Vec<AuditRow> {
+    println!("== E14 audit: dynamic taint oracle vs static sink set (Vanilla, R815) ==");
+    println!(
+        "{:<18} {:<10} {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>6} {:>6} {:>12}",
+        "workload",
+        "heap",
+        "sinks",
+        "conf",
+        "spur",
+        "unex",
+        "miss",
+        "t-only",
+        "prec",
+        "recall",
+        "wasted-cyc"
+    );
+    let mut rows = Vec::new();
+    for w in all_workloads(size) {
+        for heap in [
+            fpvm_analysis::HeapModel::OneCell,
+            fpvm_analysis::HeapModel::AllocSite,
+        ] {
+            let row = audit_one(&w, heap);
+            println!(
+                "{:<18} {:<10} {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>6.2} {:>6.2} {:>12}",
+                row.workload,
+                row.heap_model,
+                row.analysis.sinks_found,
+                row.confirmed,
+                row.spurious,
+                row.unexercised,
+                row.missed,
+                row.tainted_only,
+                row.precision,
+                row.recall,
+                commas(row.wasted_cycles)
+            );
+            rows.push(row);
+        }
+    }
+    // Ablation summary: what alloc-site partitioning buys per workload.
+    for pair in rows.chunks(2) {
+        let (one, site) = (&pair[0], &pair[1]);
+        if site.spurious < one.spurious {
+            println!(
+                "  {}: alloc-site removes {} spurious sink(s) ({} -> {}), saving {} wasted cycles",
+                one.workload,
+                one.spurious - site.spurious,
+                one.spurious,
+                site.spurious,
+                commas(one.wasted_cycles.saturating_sub(site.wasted_cycles))
+            );
+        }
+    }
+    let missed: usize = rows.iter().map(|r| r.missed).sum();
+    if missed == 0 {
+        println!("soundness: zero missed sinks across {} runs", rows.len());
+    } else {
+        println!("SOUNDNESS HOLES: {missed} missed sink(s) — see per-row `miss`");
+    }
+    println!();
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // JSON archival encodings
 // ---------------------------------------------------------------------------
+
+json_struct!(fpvm_analysis::AnalysisStats {
+    instructions,
+    blocks,
+    functions,
+    loads_total,
+    loads_proven_safe,
+    rounds,
+    sinks_found,
+    sinks_patched,
+    sinks_skipped_table_full,
+    sinks_skipped_straddle,
+});
+
+json_struct!(AuditReasonRow {
+    reason,
+    confirmed,
+    spurious,
+    unexercised,
+    missed,
+    precision,
+    recall,
+});
+
+json_struct!(AuditRow {
+    workload,
+    heap_model,
+    analysis,
+    confirmed,
+    spurious,
+    unexercised,
+    missed,
+    tainted_only,
+    precision,
+    recall,
+    correctness_traps,
+    wasted_cycles,
+    per_reason,
+});
 
 json_struct!(Fig9Row {
     workload,
@@ -1245,7 +1505,9 @@ json_struct!(AnalysisRow {
     functions,
     loads_total,
     loads_proven_safe,
+    sinks_found,
     sinks_patched,
+    sinks_skipped,
     correctness_traps_taken,
     demote_rate,
 });

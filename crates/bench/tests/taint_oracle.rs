@@ -1,0 +1,128 @@
+//! The dynamic taint oracle must be a pure observer: enabling
+//! `FpvmConfig::taint_oracle` may not perturb any deterministic statistic,
+//! guest-visible output, or the instruction/cycle accounting Fig. 9 is
+//! built from. These tests pin that, plus the workload-level value of the
+//! alloc-site heap model the audit measures.
+
+use fpvm_analysis::{analyze_and_patch_with, AnalysisConfig, HeapModel};
+use fpvm_arith::Vanilla;
+use fpvm_core::{ExitReason, Fpvm, FpvmConfig, Stats};
+use fpvm_ir::{compile, CompileMode};
+use fpvm_machine::{CostModel, Machine};
+use fpvm_workloads::{all_workloads, Size};
+
+/// Zero out the host-measured (nondeterministic) fields so the remaining
+/// comparison is exact — same view as `crates/core/tests/trace.rs`.
+fn deterministic_view(mut s: Stats) -> Stats {
+    s.emulate_ns = 0;
+    s.gc_ns = 0;
+    s.cycles.emulate = 0;
+    s.cycles.gc = 0;
+    s.cycles.correctness_handler = 0;
+    for r in &mut s.gc_records {
+        r.ns = 0;
+    }
+    s
+}
+
+#[test]
+fn fig9_accounting_identical_with_taint_oracle_on_and_off() {
+    for w in all_workloads(Size::Tiny) {
+        let off = fpvm_bench::run_hybrid(&w, Vanilla, CostModel::r815(), FpvmConfig::default());
+        let on = fpvm_bench::run_hybrid(
+            &w,
+            Vanilla,
+            CostModel::r815(),
+            FpvmConfig {
+                taint_oracle: true,
+                ..FpvmConfig::default()
+            },
+        );
+        let (r_off, out_off, _) = off;
+        let (r_on, out_on, _) = on;
+        assert_eq!(
+            deterministic_view(r_on.stats.clone()),
+            deterministic_view(r_off.stats.clone()),
+            "{}: stats diverge under the taint oracle",
+            w.name
+        );
+        assert_eq!(r_on.icount, r_off.icount, "{}", w.name);
+        assert_eq!(r_on.fp_icount, r_off.fp_icount, "{}", w.name);
+        assert_eq!(out_on, out_off, "{}: guest output", w.name);
+    }
+}
+
+/// Folds `CorrectnessTrap` trace events into per-site observations.
+#[derive(Default)]
+struct TrapLedger {
+    per_rip: std::collections::BTreeMap<u64, fpvm_analysis::SiteDyn>,
+}
+
+impl fpvm_core::TraceSink for TrapLedger {
+    fn emit(&mut self, ev: &fpvm_core::TraceEvent) {
+        if let fpvm_core::TraceEvent::CorrectnessTrap {
+            rip,
+            demoted,
+            dispatch_cycles,
+            handler_cycles,
+            ..
+        } = ev
+        {
+            self.per_rip
+                .entry(*rip)
+                .or_default()
+                .record(*demoted, dispatch_cycles + handler_cycles);
+        }
+    }
+}
+
+/// Run one workload under the oracle with the given heap model and return
+/// the audit report.
+fn audit_workload(name: &str, heap: HeapModel) -> fpvm_analysis::AuditReport {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let w = all_workloads(Size::Tiny)
+        .into_iter()
+        .find(|w| w.name == name)
+        .expect("workload exists");
+    let c = compile(&w.module, CompileMode::Native);
+    let patched = analyze_and_patch_with(&c.program, &AnalysisConfig { heap });
+    let mut m = Machine::new(CostModel::r815());
+    m.load_program(&patched.program);
+    let mut rt = Fpvm::new(
+        Vanilla,
+        FpvmConfig {
+            taint_oracle: true,
+            ..FpvmConfig::default()
+        },
+    );
+    rt.set_side_table(patched.side_table.clone());
+    let ledger = Rc::new(RefCell::new(TrapLedger::default()));
+    rt.set_trace_sink(Box::new(Rc::clone(&ledger)));
+    let report = rt.run(&mut m);
+    assert_eq!(report.exit, ExitReason::Halted);
+    let patched_addrs = patched.side_table.iter().map(|e| e.addr).collect();
+    let plane = m.taint_plane().expect("oracle enabled");
+    let ledger = ledger.borrow();
+    fpvm_analysis::audit(
+        &patched.analysis,
+        &patched_addrs,
+        &ledger.per_rip,
+        &plane.sites,
+    )
+}
+
+#[test]
+fn alloc_site_model_reduces_enzo_spurious_sinks_without_missed() {
+    let one = audit_workload("Enzo", HeapModel::OneCell);
+    let site = audit_workload("Enzo", HeapModel::AllocSite);
+    assert!(one.is_sound(), "one-cell must have zero missed sinks");
+    assert!(site.is_sound(), "alloc-site must have zero missed sinks");
+    assert!(
+        site.total.spurious < one.total.spurious,
+        "alloc-site must prove the integer-only order table safe: {} !< {}",
+        site.total.spurious,
+        one.total.spurious
+    );
+    assert!(site.total.confirmed >= one.total.confirmed);
+}

@@ -38,6 +38,11 @@ pub struct FpvmConfig {
     pub nan_load_hw: bool,
     /// Guest instruction budget.
     pub max_insts: u64,
+    /// Attach the machine's shadow taint plane and register every
+    /// correctness-trap site with it (the dynamic audit oracle;
+    /// `fpvm-analysis::audit`). Off by default: the hot path and its
+    /// deterministic accounting are untouched.
+    pub taint_oracle: bool,
 }
 
 impl Default for FpvmConfig {
@@ -55,6 +60,7 @@ impl Default for FpvmConfig {
             always_demote: false,
             nan_load_hw: false,
             max_insts: 4_000_000_000,
+            taint_oracle: false,
         }
     }
 }

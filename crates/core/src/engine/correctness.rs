@@ -173,13 +173,21 @@ impl<A: ArithSystem> Fpvm<A> {
         match loc {
             Loc::XmmLane(r, l) => {
                 m.xmm[r as usize][l as usize] = demoted;
+                m.taint_reclassify_xmm(r as usize, l as usize);
                 true
             }
             Loc::Gpr(r) => {
                 m.gpr[r as usize] = demoted;
+                m.taint_reclassify_gpr(r as usize);
                 true
             }
-            Loc::Mem(a) => m.mem.write_u64(a, demoted).is_ok(),
+            Loc::Mem(a) => {
+                let ok = m.mem.write_u64(a, demoted).is_ok();
+                if ok {
+                    m.taint_reclassify_mem(a);
+                }
+                ok
+            }
             Loc::None => false,
         }
     }

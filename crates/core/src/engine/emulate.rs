@@ -225,7 +225,12 @@ impl Committer {
         match outcome {
             LaneOutcome::F64 { dst, bits, flags } => {
                 match dst {
-                    Dst::F64Lane(r, l) => m.xmm[r as usize][l as usize] = bits,
+                    Dst::F64Lane(r, l) => {
+                        m.xmm[r as usize][l as usize] = bits;
+                        // Boxed results seed the audit oracle's taint plane
+                        // (no-op unless the plane is enabled).
+                        m.taint_reclassify_xmm(r as usize, l as usize);
+                    }
                     _ => return Err(ExitReason::error(Stage::Emulate, m.rip)),
                 }
                 m.mxcsr.raise(flags);
@@ -233,6 +238,7 @@ impl Committer {
             LaneOutcome::Int { dst, bits, flags } => {
                 if let Dst::Int(r, _) = dst {
                     m.gpr[r as usize] = bits;
+                    m.taint_reclassify_gpr(r as usize);
                 }
                 m.mxcsr.raise(flags);
             }
@@ -240,6 +246,7 @@ impl Committer {
                 if let Dst::F32Lane(r) = dst {
                     let lane0 = &mut m.xmm[r as usize][0];
                     *lane0 = (*lane0 & !0xFFFF_FFFF) | u64::from(bits);
+                    m.taint_reclassify_xmm(r as usize, 0);
                 }
                 m.mxcsr.raise(flags);
             }

@@ -55,6 +55,7 @@ impl<A: ArithSystem> Fpvm<A> {
             let boxed = emu.boxv(v);
             m.mxcsr.raise(flags);
             m.xmm[0][0] = boxed;
+            m.taint_reclassify_xmm(0, 0);
             m.rip = next_rip;
             let ns = t.elapsed().as_nanos() as u64;
             let dispatch = m.cost.emulate_dispatch;

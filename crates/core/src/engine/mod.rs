@@ -228,6 +228,10 @@ impl<A: ArithSystem> Fpvm<A> {
         let wall = Instant::now();
         m.hook_ext = true;
         m.nan_hole_traps = self.config.nan_load_hw;
+        if self.config.taint_oracle {
+            m.taint_enable();
+            m.taint_install_trapped(self.side_table.iter().map(|e| e.addr));
+        }
         m.mxcsr.unmask_all();
         self.cache.prepare(m.mem.code_bytes().len());
         let exit = loop {

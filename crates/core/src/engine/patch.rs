@@ -166,6 +166,7 @@ impl<A: ArithSystem> Fpvm<A> {
             for (dst, bits) in native {
                 if let Dst::F64Lane(r, l) = dst {
                     m.xmm[r as usize][l as usize] = bits;
+                    m.taint_reclassify_xmm(r as usize, l as usize);
                 }
             }
             m.rip = site.next_rip;

@@ -22,6 +22,7 @@ use crate::encode::{decode, DecodeError};
 use crate::isa::*;
 use crate::mem::{MemFault, Memory, CODE_BASE};
 use crate::mxcsr::{Mxcsr, RFlags};
+use crate::taint::TaintPlane;
 use crate::Program;
 use fpvm_arith::{softfp, FpFlags};
 
@@ -144,6 +145,9 @@ pub struct Machine {
     /// Pre-decoded instruction cache, indexed by code offset (this is the
     /// *hardware* decoder — free; FPVM's software decode cache is separate).
     predecoded: Vec<Option<(Inst, u8)>>,
+    /// Shadow taint plane (the audit oracle). `None` — the default — means
+    /// the hot path is completely untouched.
+    taint: Option<Box<TaintPlane>>,
 }
 
 impl Machine {
@@ -165,6 +169,7 @@ impl Machine {
             single_step: false,
             nan_hole_traps: false,
             predecoded: Vec::new(),
+            taint: None,
         }
     }
 
@@ -182,6 +187,61 @@ impl Machine {
         self.fp_icount = 0;
         self.output.clear();
         self.predecoded = vec![None; p.code.len()];
+        if self.taint.is_some() {
+            self.taint = Some(Box::default());
+        }
+    }
+
+    /// Enable (or reset) the shadow taint plane. Costs nothing when never
+    /// called: the plane is `None` by default and every taint hook is a
+    /// no-op.
+    pub fn taint_enable(&mut self) {
+        self.taint = Some(Box::default());
+    }
+
+    /// The taint plane, if enabled.
+    pub fn taint_plane(&self) -> Option<&TaintPlane> {
+        self.taint.as_deref()
+    }
+
+    /// Tell the plane which sites the patcher trapped: taint consumption
+    /// there is handled by the correctness-trap machinery and is not a
+    /// leak. No-op when the plane is disabled.
+    pub fn taint_install_trapped(&mut self, addrs: impl IntoIterator<Item = u64>) {
+        if let Some(t) = self.taint.as_deref_mut() {
+            t.trapped.extend(addrs);
+        }
+    }
+
+    /// Reclassify XMM `r` lane `l` from its current bits (called by the
+    /// runtime after it writes a register — this is how boxed results
+    /// *enter* the plane). No-op when disabled.
+    pub fn taint_reclassify_xmm(&mut self, r: usize, l: usize) {
+        let boxed = fpvm_nanbox::is_boxed(self.xmm[r][l]);
+        if let Some(t) = self.taint.as_deref_mut() {
+            t.set_xmm(r, l, boxed);
+        }
+    }
+
+    /// Reclassify GPR `r` from its current bits. No-op when disabled.
+    pub fn taint_reclassify_gpr(&mut self, r: usize) {
+        let boxed = fpvm_nanbox::is_boxed(self.gpr[r]);
+        if let Some(t) = self.taint.as_deref_mut() {
+            t.set_gpr(r, boxed);
+        }
+    }
+
+    /// Reclassify the 8-byte word containing `addr` from memory contents.
+    /// No-op when disabled.
+    pub fn taint_reclassify_mem(&mut self, addr: u64) {
+        let boxed = self
+            .mem
+            .read_u64(addr & !7)
+            .map(fpvm_nanbox::is_boxed)
+            .unwrap_or(false);
+        if let Some(t) = self.taint.as_deref_mut() {
+            t.set_mem_word(addr, boxed);
+        }
     }
 
     /// Patch code bytes and invalidate the predecode cache for that range.
@@ -292,12 +352,23 @@ impl Machine {
         let saved_flags = self.mxcsr.flags();
         let saved_nan_traps = self.nan_hole_traps;
         self.nan_hole_traps = false;
+        // The runtime re-executes originals it demoted; any taint they
+        // consume is already handled — suppress leak events, but keep
+        // propagating taint.
+        let saved_suppress = self.taint.as_deref_mut().map(|t| {
+            let s = t.suppress;
+            t.suppress = true;
+            s
+        });
         self.mxcsr.mask_all();
         self.mxcsr.clear_flags();
         self.cycles += self.cost.inst_cost(inst);
         let r = self.exec(inst, self.rip, next_rip);
         let raised = self.mxcsr.flags();
         self.nan_hole_traps = saved_nan_traps;
+        if let (Some(t), Some(s)) = (self.taint.as_deref_mut(), saved_suppress) {
+            t.suppress = s;
+        }
         self.mxcsr.set_masks(saved_masks);
         self.mxcsr.clear_flags();
         self.mxcsr.raise(saved_flags);
@@ -350,10 +421,27 @@ impl Machine {
                 return Some(Event::Exited(self.gpr[Gpr::RDI.0 as usize] as i64));
             }
         }
+        if let Some(t) = self.taint.as_deref_mut() {
+            t.apply_ext(f);
+        }
         None
     }
 
     fn exec(&mut self, inst: &Inst, rip: u64, next: u64) -> ExecResult {
+        if self.taint.is_none() {
+            return self.exec_inner(inst, rip, next);
+        }
+        let pre = crate::taint::PreState::capture(self, inst);
+        let r = self.exec_inner(inst, rip, next);
+        if matches!(r, ExecResult::Retired) {
+            let mut t = self.taint.take().expect("taint plane present");
+            t.step(self, inst, rip, &pre);
+            self.taint = Some(t);
+        }
+        r
+    }
+
+    fn exec_inner(&mut self, inst: &Inst, rip: u64, next: u64) -> ExecResult {
         use Inst::*;
         macro_rules! mem_try {
             ($e:expr) => {

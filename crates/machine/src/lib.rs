@@ -26,6 +26,7 @@ pub mod exec;
 pub mod isa;
 pub mod mem;
 pub mod mxcsr;
+pub mod taint;
 
 pub use asm::{Asm, Label, Program};
 pub use cost::{CostModel, DeliveryMode};
@@ -34,3 +35,4 @@ pub use exec::{Event, Fault, Machine, OutputEvent};
 pub use isa::*;
 pub use mem::{MemFault, Memory, CODE_BASE, DATA_BASE, HEAP_BASE};
 pub use mxcsr::{Mxcsr, RFlags};
+pub use taint::{TaintEvent, TaintPlane, TaintSinkKind, TaintSite};

@@ -1,0 +1,509 @@
+//! Shadow NaN-box taint plane — the dynamic oracle the §4.2 static
+//! analysis is audited against.
+//!
+//! One taint bit per GPR, per XMM lane, and per 8-byte memory word means
+//! "this location *may* hold NaN-box bits". The runtime seeds taint when
+//! it boxes a result (via the `Machine::taint_reclassify_*` hooks); the
+//! plane then propagates it through moves, ALU ops, loads and stores in
+//! lock-step with execution, and records a [`TaintEvent`] whenever an
+//! integer-world instruction consumes tainted bits at a site the static
+//! patcher did **not** trap. A recorded event whose consumed bits really
+//! decode as a box (`boxed == true`) is a soundness hole; a site the
+//! patcher trapped but that never consumes a box is precision loss.
+//!
+//! The plane is deliberately conservative (NSan-style shadow execution):
+//! partial-width stores never *clear* a word's taint, and narrow loads of
+//! a tainted word taint the whole destination register. It is attached to
+//! the interpreter only when enabled ([`Machine::taint_enable`]); the
+//! normal hot path is untouched and its deterministic accounting is
+//! bit-identical (pinned by `fig9_taint_identity` in fpvm-bench).
+
+use crate::exec::Machine;
+use crate::isa::{ExtFn, Gpr, Inst, XM};
+use fpvm_nanbox::is_boxed;
+use std::collections::{BTreeMap, HashSet};
+
+/// Cap on individually recorded events (sites aggregate everything).
+const MAX_EVENTS: usize = 1024;
+
+/// Why a taint consumption was classified as a leak (mirrors the static
+/// analysis' `SinkReason`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintSinkKind {
+    /// Integer load of a tainted memory word.
+    IntLoad,
+    /// `movq r64 ← xmm` of a tainted lane.
+    MovqLeak,
+    /// Bitwise FP op (`xorpd`/`andpd`/`orpd`) consuming a tainted lane.
+    BitwiseFp,
+}
+
+/// One dynamic taint consumption at an unpatched site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaintEvent {
+    /// Address of the consuming instruction.
+    pub rip: u64,
+    /// The instruction.
+    pub inst: Inst,
+    /// Leak classification.
+    pub kind: TaintSinkKind,
+    /// Whether the consumed bits actually decode as a NaN-box (a *true*
+    /// leak, not just conservative taint spread).
+    pub boxed: bool,
+}
+
+/// Per-site aggregation of taint consumptions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaintSite {
+    /// The instruction at the site.
+    pub inst: Inst,
+    /// Leak classification.
+    pub kind: TaintSinkKind,
+    /// Times tainted bits were consumed here.
+    pub hits: u64,
+    /// Times the consumed bits actually decoded as a NaN-box.
+    pub boxed_hits: u64,
+}
+
+/// The shadow taint plane (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct TaintPlane {
+    gpr: [bool; 16],
+    xmm: [[bool; 2]; 16],
+    /// Tainted 8-byte-aligned memory word addresses.
+    mem: HashSet<u64>,
+    /// Sites the patcher trapped — events there are never leaks.
+    pub(crate) trapped: HashSet<u64>,
+    /// Event recording suppressed (during masked re-execution at traps).
+    pub(crate) suppress: bool,
+    /// Per-site leak aggregation, keyed by instruction address.
+    pub sites: BTreeMap<u64, TaintSite>,
+    /// Individually recorded events (capped at an internal limit; `sites`
+    /// aggregates everything).
+    pub events: Vec<TaintEvent>,
+    /// Total leak events, including those beyond the recording cap.
+    pub events_total: u64,
+}
+
+/// Pre-execution operand capture: the effective address and stack pointer
+/// an instruction will use, plus whether the bits a would-be sink consumes
+/// actually decode as a box — all read *before* the instruction mutates
+/// the machine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PreState {
+    ea: Option<u64>,
+    rsp: u64,
+    sink_boxed: bool,
+}
+
+impl PreState {
+    pub(crate) fn capture(m: &Machine, inst: &Inst) -> PreState {
+        use Inst::*;
+        let ea = match inst {
+            MovSd { dst, src } | MovApd { dst, src } => match (dst, src) {
+                (XM::Mem(mm), _) | (_, XM::Mem(mm)) => Some(m.ea(mm)),
+                _ => None,
+            },
+            XorPd {
+                src: XM::Mem(mm), ..
+            }
+            | AndPd {
+                src: XM::Mem(mm), ..
+            }
+            | OrPd {
+                src: XM::Mem(mm), ..
+            } => Some(m.ea(mm)),
+            Load { addr, .. } | Store { addr, .. } => Some(m.ea(addr)),
+            _ => None,
+        };
+        let sink_boxed = match inst {
+            XorPd { dst, src } | AndPd { dst, src } | OrPd { dst, src } => {
+                let d = m.xmm[dst.0 as usize];
+                let s = m.read_xm128(src).unwrap_or([0, 0]);
+                [d[0], d[1], s[0], s[1]].iter().any(|&x| is_boxed(x))
+            }
+            MovQXG { src, .. } => is_boxed(m.xmm[src.0 as usize][0]),
+            Load { addr, w, .. } => {
+                let ea = m.ea(addr);
+                let mut boxed = m.mem.read_u64(ea & !7).map(is_boxed).unwrap_or(false);
+                if (ea & 7) + w.bytes() > 8 {
+                    boxed |= m.mem.read_u64((ea & !7) + 8).map(is_boxed).unwrap_or(false);
+                }
+                boxed
+            }
+            _ => false,
+        };
+        PreState {
+            ea,
+            rsp: m.gpr[Gpr::RSP.0 as usize],
+            sink_boxed,
+        }
+    }
+}
+
+impl TaintPlane {
+    /// Is this 8-byte-aligned word (of `addr`) tainted?
+    pub fn mem_word(&self, addr: u64) -> bool {
+        self.mem.contains(&(addr & !7))
+    }
+
+    /// Is GPR `r` tainted?
+    pub fn gpr(&self, r: usize) -> bool {
+        self.gpr[r]
+    }
+
+    /// Is XMM register `r`, lane `l` tainted?
+    pub fn xmm(&self, r: usize, l: usize) -> bool {
+        self.xmm[r][l]
+    }
+
+    pub(crate) fn set_gpr(&mut self, r: usize, t: bool) {
+        self.gpr[r] = t;
+    }
+
+    pub(crate) fn set_xmm(&mut self, r: usize, l: usize, t: bool) {
+        self.xmm[r][l] = t;
+    }
+
+    pub(crate) fn set_mem_word(&mut self, addr: u64, t: bool) {
+        if t {
+            self.mem.insert(addr & !7);
+        } else {
+            self.mem.remove(&(addr & !7));
+        }
+    }
+
+    /// Store of `len` bytes at `ea`: an aligned full-word store sets the
+    /// word's taint exactly; partial or straddling stores only ever *add*
+    /// taint (box bits may survive in the untouched bytes).
+    fn mem_store(&mut self, ea: u64, len: u64, t: bool) {
+        if ea & 7 == 0 && len == 8 {
+            self.set_mem_word(ea, t);
+        } else if t {
+            let mut w = ea & !7;
+            while w < ea + len {
+                self.mem.insert(w);
+                w += 8;
+            }
+        }
+    }
+
+    /// Any word overlapping `[ea, ea+len)` tainted?
+    fn mem_load(&self, ea: u64, len: u64) -> bool {
+        let mut w = ea & !7;
+        while w < ea + len {
+            if self.mem.contains(&w) {
+                return true;
+            }
+            w += 8;
+        }
+        false
+    }
+
+    fn sink(&mut self, rip: u64, inst: &Inst, kind: TaintSinkKind, boxed: bool) {
+        if self.suppress || self.trapped.contains(&rip) {
+            return;
+        }
+        let e = self.sites.entry(rip).or_insert(TaintSite {
+            inst: *inst,
+            kind,
+            hits: 0,
+            boxed_hits: 0,
+        });
+        e.hits += 1;
+        if boxed {
+            e.boxed_hits += 1;
+        }
+        self.events_total += 1;
+        if self.events.len() < MAX_EVENTS {
+            self.events.push(TaintEvent {
+                rip,
+                inst: *inst,
+                kind,
+                boxed,
+            });
+        }
+    }
+
+    /// Transfer function: called after `inst` at `rip` retired, with the
+    /// machine in its *post*-state and operand addresses captured in `pre`.
+    pub(crate) fn step(&mut self, m: &Machine, inst: &Inst, rip: u64, pre: &PreState) {
+        use Inst::*;
+        match inst {
+            MovSd { dst, src } => {
+                let st = match src {
+                    XM::Reg(x) => self.xmm[x.0 as usize][0],
+                    XM::Mem(_) => self.mem_word(pre.ea.unwrap()),
+                };
+                match dst {
+                    XM::Reg(x) => {
+                        self.xmm[x.0 as usize][0] = st;
+                        if matches!(src, XM::Mem(_)) {
+                            self.xmm[x.0 as usize][1] = false;
+                        }
+                    }
+                    XM::Mem(_) => self.mem_store(pre.ea.unwrap(), 8, st),
+                }
+            }
+            MovApd { dst, src } => {
+                let st = match src {
+                    XM::Reg(x) => self.xmm[x.0 as usize],
+                    XM::Mem(_) => {
+                        let ea = pre.ea.unwrap();
+                        [self.mem_word(ea), self.mem_word(ea + 8)]
+                    }
+                };
+                match dst {
+                    XM::Reg(x) => self.xmm[x.0 as usize] = st,
+                    XM::Mem(_) => {
+                        let ea = pre.ea.unwrap();
+                        self.mem_store(ea, 8, st[0]);
+                        self.mem_store(ea + 8, 8, st[1]);
+                    }
+                }
+            }
+            // Native FP arithmetic writes a freshly computed f64 — never a
+            // signaling-NaN box pattern.
+            AddSd { dst, .. }
+            | SubSd { dst, .. }
+            | MulSd { dst, .. }
+            | DivSd { dst, .. }
+            | MinSd { dst, .. }
+            | MaxSd { dst, .. }
+            | SqrtSd { dst, .. }
+            | FmaSd { dst, .. }
+            | CvtSi2Sd { dst, .. }
+            | CvtSs2Sd { dst, .. } => self.xmm[dst.0 as usize][0] = false,
+            AddPd { dst, .. } | SubPd { dst, .. } | MulPd { dst, .. } | DivPd { dst, .. } => {
+                self.xmm[dst.0 as usize] = [false, false];
+            }
+            // Partial 32-bit lane overwrite: the upper half may still hold
+            // box bits — keep the lane's taint.
+            CvtSd2Ss { .. } => {}
+            CvtTSd2Si { dst, .. } => self.gpr[dst.0 as usize] = false,
+            UComISd { .. } | ComISd { .. } => {}
+            XorPd { dst, src } | AndPd { dst, src } | OrPd { dst, src } => {
+                let st = match src {
+                    XM::Reg(x) => self.xmm[x.0 as usize],
+                    XM::Mem(_) => {
+                        let ea = pre.ea.unwrap();
+                        [self.mem_word(ea), self.mem_word(ea + 8)]
+                    }
+                };
+                let d = self.xmm[dst.0 as usize];
+                let consumed = d[0] || d[1] || st[0] || st[1];
+                self.xmm[dst.0 as usize] = [d[0] || st[0], d[1] || st[1]];
+                if consumed {
+                    self.sink(rip, inst, TaintSinkKind::BitwiseFp, pre.sink_boxed);
+                }
+            }
+            MovQXG { dst, src } => {
+                let t = self.xmm[src.0 as usize][0];
+                self.gpr[dst.0 as usize] = t;
+                if t {
+                    self.sink(rip, inst, TaintSinkKind::MovqLeak, pre.sink_boxed);
+                }
+            }
+            MovQGX { dst, src } => {
+                self.xmm[dst.0 as usize] = [self.gpr[src.0 as usize], false];
+            }
+            MovRR { dst, src } => self.gpr[dst.0 as usize] = self.gpr[src.0 as usize],
+            MovRI { dst, .. } | Lea { dst, .. } => self.gpr[dst.0 as usize] = false,
+            Load { dst, w, .. } => {
+                let t = self.mem_load(pre.ea.unwrap(), w.bytes());
+                self.gpr[dst.0 as usize] = t;
+                if t {
+                    self.sink(rip, inst, TaintSinkKind::IntLoad, pre.sink_boxed);
+                }
+            }
+            Store { src, w, .. } => {
+                self.mem_store(pre.ea.unwrap(), w.bytes(), self.gpr[src.0 as usize]);
+            }
+            AluRR { op, dst, src } => {
+                if matches!(op, crate::isa::AluOp::Xor) && dst == src {
+                    self.gpr[dst.0 as usize] = false;
+                } else {
+                    self.gpr[dst.0 as usize] |= self.gpr[src.0 as usize];
+                }
+            }
+            // Immediate ALU keeps the destination's taint: masking/shifting
+            // box bits may still expose them (conservative).
+            AluRI { .. } => {}
+            DivR { dst, src } | RemR { dst, src } => {
+                self.gpr[dst.0 as usize] |= self.gpr[src.0 as usize];
+            }
+            CmpRR { .. } | CmpRI { .. } | TestRR { .. } => {}
+            Jmp { .. } | Jcc { .. } | Ret => {}
+            Call { .. } => {
+                // The pushed return address is a code pointer, never a box.
+                self.mem_store(pre.rsp.wrapping_sub(8), 8, false);
+            }
+            Push { src } => {
+                self.mem_store(pre.rsp.wrapping_sub(8), 8, self.gpr[src.0 as usize]);
+            }
+            Pop { dst } => self.gpr[dst.0 as usize] = self.mem_word(pre.rsp),
+            // Native external effects are applied by `exec_ext_native`
+            // itself (it is also called directly by the runtime).
+            CallExt { .. } => {}
+            Nop | Halt | Trap { .. } => {}
+        }
+        let _ = m;
+    }
+
+    /// Taint effect of a *natively executed* external call.
+    pub(crate) fn apply_ext(&mut self, f: ExtFn) {
+        match f {
+            // libm fabs is a bit op: a box in, a (sign-cleared) box out.
+            ExtFn::Fabs => {}
+            ExtFn::PrintF64 | ExtFn::PrintI64 | ExtFn::Exit => {}
+            ExtFn::AllocHeap => self.gpr[Gpr::RAX.0 as usize] = false,
+            // Every other math routine computes a fresh f64 into xmm0.
+            _ => self.xmm[0][0] = false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::cost::CostModel;
+    use crate::exec::{Event, Machine};
+    use crate::isa::{AluOp, Mem};
+    use crate::Xmm;
+    use fpvm_nanbox::{encode, ShadowKey};
+
+    fn boxed_bits() -> u64 {
+        encode(ShadowKey::new(42).unwrap())
+    }
+
+    /// Fig. 6 under the oracle: a runtime-boxed value flows through the
+    /// stack into an integer load and a movq — both must surface as leaks.
+    #[test]
+    fn box_leaks_are_observed() {
+        let mut a = Asm::new();
+        a.alu_ri(AluOp::Sub, Gpr::RSP, 16);
+        let store_site = a.here();
+        a.movsd(Mem::base_disp(Gpr::RSP, 0), Xmm(0));
+        let load_site = a.here();
+        a.load(Gpr::RAX, Mem::base_disp(Gpr::RSP, 0));
+        let movq_site = a.here();
+        a.movq_xg(Gpr::RBX, Xmm(0));
+        a.halt();
+        let p = a.finish();
+        let mut m = Machine::new(CostModel::r815());
+        m.load_program(&p);
+        m.taint_enable();
+        // The "runtime" boxes xmm0 and reclassifies — the taint source.
+        m.xmm[0][0] = boxed_bits();
+        m.taint_reclassify_xmm(0, 0);
+        assert_eq!(m.run(100), Event::Halted);
+        let t = m.taint_plane().unwrap();
+        assert!(t.sites.contains_key(&load_site), "int load must leak");
+        assert!(t.sites.contains_key(&movq_site), "movq must leak");
+        assert!(!t.sites.contains_key(&store_site), "stores are not sinks");
+        let l = &t.sites[&load_site];
+        assert_eq!(l.kind, TaintSinkKind::IntLoad);
+        assert_eq!((l.hits, l.boxed_hits), (1, 1));
+        assert_eq!(t.sites[&movq_site].kind, TaintSinkKind::MovqLeak);
+        // The loaded register is tainted too.
+        assert!(t.gpr(Gpr::RAX.0 as usize));
+    }
+
+    /// Sites registered as statically trapped never produce leak events.
+    #[test]
+    fn trapped_sites_are_not_leaks() {
+        let mut a = Asm::new();
+        a.alu_ri(AluOp::Sub, Gpr::RSP, 16);
+        a.movsd(Mem::base_disp(Gpr::RSP, 0), Xmm(0));
+        let load_site = a.here();
+        a.load(Gpr::RAX, Mem::base_disp(Gpr::RSP, 0));
+        a.halt();
+        let p = a.finish();
+        let mut m = Machine::new(CostModel::r815());
+        m.load_program(&p);
+        m.taint_enable();
+        m.taint_install_trapped([load_site]);
+        m.xmm[0][0] = boxed_bits();
+        m.taint_reclassify_xmm(0, 0);
+        assert_eq!(m.run(100), Event::Halted);
+        assert!(m.taint_plane().unwrap().sites.is_empty());
+    }
+
+    /// Native FP arithmetic clears taint; untainted loads stay silent.
+    #[test]
+    fn fp_arith_clears_and_clean_loads_are_silent() {
+        let mut a = Asm::new();
+        let c = a.f64m(1.5);
+        let g = a.global("slot", 8);
+        a.movsd(Xmm(1), c);
+        a.addsd(Xmm(0), Xmm(1)); // overwrites the box with a real result
+        a.movsd(Mem::abs(g as i64), Xmm(0));
+        a.load(Gpr::RAX, Mem::abs(g as i64));
+        a.halt();
+        let p = a.finish();
+        let mut m = Machine::new(CostModel::r815());
+        m.load_program(&p);
+        m.taint_enable();
+        m.xmm[0][0] = 2.5f64.to_bits();
+        m.taint_reclassify_xmm(0, 0); // real double: no taint seeded
+        assert_eq!(m.run(100), Event::Halted);
+        let t = m.taint_plane().unwrap();
+        assert!(t.sites.is_empty(), "{:?}", t.sites);
+        assert_eq!(t.events_total, 0);
+    }
+
+    /// Taint rides gpr→gpr moves, ALU combining, push/pop; xor-self clears.
+    #[test]
+    fn integer_world_propagation() {
+        let mut a = Asm::new();
+        a.movq_xg(Gpr::RAX, Xmm(0)); // leak 1: rax tainted
+        a.mov_rr(Gpr::RBX, Gpr::RAX);
+        a.push(Gpr::RBX);
+        a.pop(Gpr::RCX);
+        a.alu_rr(AluOp::Add, Gpr::RDX, Gpr::RCX); // rdx |= taint
+        a.alu_rr(AluOp::Xor, Gpr::RAX, Gpr::RAX); // idiom: clears
+        a.halt();
+        let p = a.finish();
+        let mut m = Machine::new(CostModel::r815());
+        m.load_program(&p);
+        m.taint_enable();
+        m.xmm[0][0] = boxed_bits();
+        m.taint_reclassify_xmm(0, 0);
+        assert_eq!(m.run(100), Event::Halted);
+        let t = m.taint_plane().unwrap();
+        assert!(t.gpr(Gpr::RCX.0 as usize), "taint survives push/pop");
+        assert!(t.gpr(Gpr::RDX.0 as usize), "taint survives alu combine");
+        assert!(!t.gpr(Gpr::RAX.0 as usize), "xor-self clears taint");
+    }
+
+    /// The plane never perturbs architectural state: cycles, icount and
+    /// outputs are bit-identical with the oracle on and off.
+    #[test]
+    fn oracle_is_observationally_transparent() {
+        let build = || {
+            let mut a = Asm::new();
+            let c1 = a.f64m(0.1);
+            let c2 = a.f64m(0.2);
+            a.alu_ri(AluOp::Sub, Gpr::RSP, 16);
+            a.movsd(Xmm(0), c1);
+            a.addsd(Xmm(0), c2);
+            a.movsd(Mem::base_disp(Gpr::RSP, 0), Xmm(0));
+            a.load(Gpr::RDI, Mem::base_disp(Gpr::RSP, 0));
+            a.call_ext(crate::isa::ExtFn::PrintI64);
+            a.halt();
+            a.finish()
+        };
+        let mut base = Machine::new(CostModel::r815());
+        base.load_program(&build());
+        assert_eq!(base.run(1000), Event::Halted);
+        let mut traced = Machine::new(CostModel::r815());
+        traced.load_program(&build());
+        traced.taint_enable();
+        assert_eq!(traced.run(1000), Event::Halted);
+        assert_eq!(base.cycles, traced.cycles);
+        assert_eq!(base.icount, traced.icount);
+        assert_eq!(base.output, traced.output);
+        assert_eq!(base.gpr, traced.gpr);
+    }
+}

@@ -14,6 +14,15 @@
 //! patched with correctness traps — which then almost never find a boxed
 //! value (ids are integers), i.e. the checks "succeed". A once-per-step
 //! bit-punned mass checksum adds the rare demoting trap.
+//!
+//! A second heap allocation holds the particle *iteration order* (an
+//! integer permutation table, the index-array pattern real AMR codes use
+//! for traversal). Its loads in the hot loops are spurious sinks under the
+//! one-cell heap summary — no FP value ever lands in that allocation — and
+//! are proven safe under allocation-site partitioning
+//! (`HeapModel::AllocSite`), which is exactly the precision delta the
+//! audit experiment measures. The interleaved record array stays imprecise
+//! under both models (the paper-faithful Enzo residual).
 
 use crate::{f, i, Size, Workload};
 use fpvm_ir::build_util::loop_n;
@@ -74,6 +83,22 @@ pub fn build(p: Params) -> Module {
         let sz = b.ci(np * REC);
         let pp = b.alloc(sz);
         b.write(parts, pp);
+        // Integer-only iteration-order table in a *separate* allocation:
+        // particles are visited in reverse (a stand-in for the gather /
+        // traversal index arrays of real AMR codes).
+        let order = b.var(Ty::I64);
+        let osz = b.ci(np * 8);
+        let op = b.alloc(osz);
+        b.write(order, op);
+        loop_n(b, np, |b, jv| {
+            let three = b.ci(3);
+            let off = b.ishl(jv, three);
+            let base = b.read(order);
+            let addr = b.iadd(base, off);
+            let last = b.ci(np - 1);
+            let k = b.isub(last, jv);
+            b.storei(addr, 0, k);
+        });
         // Init: id = k, pos = (k + 0.37) * ng/np, vel = small alternating.
         loop_n(b, np, |b, kv| {
             let rec = b.ci(REC);
@@ -123,7 +148,12 @@ pub fn build(p: Params) -> Module {
             });
             // Deposit (NGP): the HOT loop — reads the integer id from the
             // heap record (patched; check succeeds) and the FP pos.
-            loop_n(b, np, |b, kv| {
+            loop_n(b, np, |b, jv| {
+                let three = b.ci(3);
+                let joff = b.ishl(jv, three);
+                let obase = b.read(order);
+                let oaddr = b.iadd(obase, joff);
+                let kv = b.loadi(oaddr, 0); // int-only allocation: spurious
                 let rec = b.ci(REC);
                 let off = b.imul(kv, rec);
                 let base = b.read(parts);
@@ -197,7 +227,12 @@ pub fn build(p: Params) -> Module {
                 });
             }
             // Kick + drift: second hot loop with the same patched id load.
-            loop_n(b, np, |b, kv| {
+            loop_n(b, np, |b, jv| {
+                let three = b.ci(3);
+                let joff = b.ishl(jv, three);
+                let obase = b.read(order);
+                let oaddr = b.iadd(obase, joff);
+                let kv = b.loadi(oaddr, 0); // int-only allocation: spurious
                 let rec = b.ci(REC);
                 let off = b.imul(kv, rec);
                 let base = b.read(parts);
@@ -283,6 +318,8 @@ pub fn reference(p: Params) -> Vec<OutputEvent> {
         pos[k] = (k as f64 + 0.37) * (p.grid as f64 / p.particles as f64);
         vel[k] = if k % 2 == 0 { 0.05 } else { -0.05 };
     }
+    // Particles are visited through the reversed iteration-order table.
+    let order: Vec<usize> = (0..np).rev().collect();
     let mut density = vec![0.0f64; ng];
     let mut force = vec![0.0f64; ng];
     let mut checksum = 0i64;
@@ -290,7 +327,7 @@ pub fn reference(p: Params) -> Vec<OutputEvent> {
         for d in density.iter_mut() {
             *d = 0.0;
         }
-        for k in 0..np {
+        for &k in &order {
             let cell = (pos[k] as i64).rem_euclid(p.grid) as usize;
             let w = 1.0 + (ids[k] % 2) as f64 * 0.1;
             density[cell] += w;
@@ -305,7 +342,7 @@ pub fn reference(p: Params) -> Vec<OutputEvent> {
                 density[c] = 0.9 * density[c] + 0.1 * force[c];
             }
         }
-        for k in 0..np {
+        for &k in &order {
             let cell = (pos[k] as i64).rem_euclid(p.grid) as usize;
             vel[k] += force[cell] * p.dt;
             let moved = pos[k] + vel[k] * p.dt;
