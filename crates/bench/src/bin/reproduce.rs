@@ -76,6 +76,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "pguided",
         "profiler-guided patch-site selection vs the heuristic",
     ),
+    (
+        "fleet",
+        "E15: sharded fleet scaling — guests/sec per worker count",
+    ),
 ];
 
 fn main() {
@@ -203,6 +207,18 @@ fn main() {
     if want("pguided") {
         ran = true;
         archive("pguided", &exp::profiler_guided(size));
+    }
+    if want("fleet") {
+        ran = true;
+        let r = exp::fleet(size == Size::Tiny);
+        archive("fleet", &r);
+        // The perf trajectory is a first-class artifact: write it at the
+        // invocation root too, where CI uploads it.
+        let _ = std::fs::write("BENCH_fleet.json", r.to_json());
+        if !r.deterministic {
+            eprintln!("FLEET DETERMINISM FAILED: merged results depend on worker count");
+            std::process::exit(1);
+        }
     }
     if !ran {
         eprintln!("unknown experiment '{exp_name}' (try --list)");

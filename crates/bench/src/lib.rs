@@ -65,6 +65,26 @@ pub fn run_hybrid_with<A: ArithSystem>(
     cfg: FpvmConfig,
     setup: impl FnOnce(&mut Fpvm<A>),
 ) -> (RunReport, Vec<OutputEvent>, fpvm_analysis::AnalysisStats) {
+    let (report, output, stats, _) = run_hybrid_owned(w, arith, cost, cfg, setup);
+    (report, output, stats)
+}
+
+/// [`run_hybrid_with`] that also hands back the runtime itself, so callers
+/// can tear down installed sinks ([`Fpvm::take_trace_sink`] + `downcast`)
+/// or inspect patch state after the run. Sinks are owned by the engine —
+/// this is the only way to read them back.
+pub fn run_hybrid_owned<A: ArithSystem>(
+    w: &Workload,
+    arith: A,
+    cost: CostModel,
+    cfg: FpvmConfig,
+    setup: impl FnOnce(&mut Fpvm<A>),
+) -> (
+    RunReport,
+    Vec<OutputEvent>,
+    fpvm_analysis::AnalysisStats,
+    Fpvm<A>,
+) {
     let c = compile(&w.module, CompileMode::Native);
     let patched = analyze_and_patch(&c.program);
     let mut m = Machine::new(cost);
@@ -74,7 +94,7 @@ pub fn run_hybrid_with<A: ArithSystem>(
     setup(&mut rt);
     let report = rt.run(&mut m);
     assert_eq!(report.exit, ExitReason::Halted, "{}", w.name);
-    (report, m.output, patched.analysis.stats)
+    (report, m.output, patched.analysis.stats, rt)
 }
 
 /// Format a count with thousands separators.

@@ -165,7 +165,7 @@ impl JsonlTraceSink<BufWriter<File>> {
     }
 }
 
-impl<W: Write> TraceSink for JsonlTraceSink<W> {
+impl<W: Write + Send + 'static> TraceSink for JsonlTraceSink<W> {
     fn emit(&mut self, ev: &TraceEvent) {
         // Errors are swallowed: telemetry must never turn a good run into a
         // failed one. The line count lets callers notice a short file.

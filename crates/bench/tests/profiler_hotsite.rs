@@ -6,41 +6,39 @@
 use fpvm_arith::Vanilla;
 use fpvm_bench::experiments;
 use fpvm_bench::json::ToJson;
-use fpvm_bench::run_hybrid_with;
+use fpvm_bench::run_hybrid_owned;
 use fpvm_core::{FpvmConfig, ProfilerSink};
 use fpvm_machine::CostModel;
 use fpvm_workloads::{lorenz, Size};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 #[test]
 fn top_profiled_rip_matches_the_site_the_engine_patches() {
     let w = lorenz::workload(Size::Tiny);
-    // Profile a plain trap-and-emulate run to rank sites by cost.
-    let prof = Rc::new(RefCell::new(ProfilerSink::new()));
-    run_hybrid_with(
+    // Profile a plain trap-and-emulate run to rank sites by cost; the
+    // engine owns the sink, so the teardown hands it back for inspection.
+    let (_, _, _, mut rt) = run_hybrid_owned(
         &w,
         Vanilla,
         CostModel::r815(),
         FpvmConfig::default(),
-        |rt| rt.set_trace_sink(Box::new(prof.clone())),
+        |rt| rt.set_trace_sink(Box::new(ProfilerSink::new())),
     );
-    let ranked = prof.borrow().hot_sites(1);
+    let prof = rt.take_trace_sink().downcast::<ProfilerSink>().unwrap();
+    let ranked = prof.hot_sites(1);
     assert!(!ranked.is_empty(), "lorenz traps");
     let (top_rip, top) = &ranked[0];
     assert!(top.traps > 0);
     // Re-run with the heuristic trap-and-patch engine: the profiler's #1
     // site must be among the sites the engine patches.
-    let patched_prof = Rc::new(RefCell::new(ProfilerSink::new()));
     let cfg = FpvmConfig {
         trap_and_patch: true,
         ..FpvmConfig::default()
     };
-    let (report, _, _) = run_hybrid_with(&w, Vanilla, CostModel::r815(), cfg, |rt| {
-        rt.set_trace_sink(Box::new(patched_prof.clone()))
+    let (report, _, _, mut rt2) = run_hybrid_owned(&w, Vanilla, CostModel::r815(), cfg, |rt| {
+        rt.set_trace_sink(Box::new(ProfilerSink::new()))
     });
     assert!(report.stats.sites_patched > 0);
-    let patched_prof = patched_prof.borrow();
+    let patched_prof = rt2.take_trace_sink().downcast::<ProfilerSink>().unwrap();
     let site = patched_prof
         .site(*top_rip)
         .expect("top profiled site traps again");

@@ -6,24 +6,10 @@
 
 use fpvm_analysis::{analyze_and_patch_with, AnalysisConfig, HeapModel};
 use fpvm_arith::Vanilla;
-use fpvm_core::{ExitReason, Fpvm, FpvmConfig, Stats};
+use fpvm_core::{ExitReason, Fpvm, FpvmConfig};
 use fpvm_ir::{compile, CompileMode};
 use fpvm_machine::{CostModel, Machine};
 use fpvm_workloads::{all_workloads, Size};
-
-/// Zero out the host-measured (nondeterministic) fields so the remaining
-/// comparison is exact — same view as `crates/core/tests/trace.rs`.
-fn deterministic_view(mut s: Stats) -> Stats {
-    s.emulate_ns = 0;
-    s.gc_ns = 0;
-    s.cycles.emulate = 0;
-    s.cycles.gc = 0;
-    s.cycles.correctness_handler = 0;
-    for r in &mut s.gc_records {
-        r.ns = 0;
-    }
-    s
-}
 
 #[test]
 fn fig9_accounting_identical_with_taint_oracle_on_and_off() {
@@ -41,8 +27,8 @@ fn fig9_accounting_identical_with_taint_oracle_on_and_off() {
         let (r_off, out_off, _) = off;
         let (r_on, out_on, _) = on;
         assert_eq!(
-            deterministic_view(r_on.stats.clone()),
-            deterministic_view(r_off.stats.clone()),
+            r_on.stats.deterministic_view(),
+            r_off.stats.deterministic_view(),
             "{}: stats diverge under the taint oracle",
             w.name
         );
@@ -79,8 +65,6 @@ impl fpvm_core::TraceSink for TrapLedger {
 /// Run one workload under the oracle with the given heap model and return
 /// the audit report.
 fn audit_workload(name: &str, heap: HeapModel) -> fpvm_analysis::AuditReport {
-    use std::cell::RefCell;
-    use std::rc::Rc;
     let w = all_workloads(Size::Tiny)
         .into_iter()
         .find(|w| w.name == name)
@@ -97,13 +81,12 @@ fn audit_workload(name: &str, heap: HeapModel) -> fpvm_analysis::AuditReport {
         },
     );
     rt.set_side_table(patched.side_table.clone());
-    let ledger = Rc::new(RefCell::new(TrapLedger::default()));
-    rt.set_trace_sink(Box::new(Rc::clone(&ledger)));
+    rt.set_trace_sink(Box::new(TrapLedger::default()));
     let report = rt.run(&mut m);
     assert_eq!(report.exit, ExitReason::Halted);
     let patched_addrs = patched.side_table.iter().map(|e| e.addr).collect();
     let plane = m.taint_plane().expect("oracle enabled");
-    let ledger = ledger.borrow();
+    let ledger = rt.take_trace_sink().downcast::<TrapLedger>().unwrap();
     fpvm_analysis::audit(
         &patched.analysis,
         &patched_addrs,

@@ -222,23 +222,22 @@ mod tests {
     #[test]
     fn emit_is_skipped_when_disabled_and_delivered_when_enabled() {
         use crate::trace::{RingBufferSink, TraceEvent};
-        use std::cell::RefCell;
-        use std::rc::Rc;
         let mut acct = Accounting::new();
         assert!(!acct.tracing(), "NullSink is the default");
         // Disabled: the closure must never run.
         acct.emit(|| unreachable!("disabled sink constructed an event"));
-        let ring = Rc::new(RefCell::new(RingBufferSink::new(4)));
-        acct.set_sink(Box::new(ring.clone()));
+        acct.set_sink(Box::new(RingBufferSink::new(4)));
         assert!(acct.tracing());
         acct.emit(|| TraceEvent::Bind {
             rip: 0x40,
             cycles: 320,
         });
-        assert_eq!(ring.borrow().len(), 1);
+        // Teardown: take the owned sink back and downcast to inspect it.
         let back = acct.take_sink();
-        assert_eq!(back.name(), "shared");
+        assert_eq!(back.name(), "ring");
         assert!(!acct.tracing(), "take reverts to NullSink");
+        let ring: Box<RingBufferSink> = back.downcast().unwrap();
+        assert_eq!(ring.len(), 1);
     }
 
     #[test]

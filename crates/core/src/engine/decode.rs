@@ -24,7 +24,11 @@ use std::collections::HashMap;
 pub type DecodeEntry = (Inst, u8);
 
 /// Policy interface for the decode stage's cache.
-pub trait DecodeCache {
+///
+/// `Send` because the cache is owned by the engine and the engine must be
+/// movable onto a fleet worker thread; a policy that needs shared state
+/// should own it (or use `Arc`/atomics), not alias it through `Rc`.
+pub trait DecodeCache: Send {
     /// Called once per [`crate::engine::Fpvm::run`] with the guest's code
     /// segment length, before any lookup. Implementations may size
     /// themselves here; the default does nothing.

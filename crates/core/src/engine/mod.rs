@@ -111,6 +111,14 @@ fn commas(n: u64) -> String {
 }
 
 /// The FPVM runtime, generic over the alternative arithmetic system.
+///
+/// The runtime owns everything it touches — arena, decode cache,
+/// accounting, trace sink — so `Fpvm<A>` is [`Send`] whenever the
+/// arithmetic system and its values are (all in-tree backends qualify;
+/// `crates/core/tests/send.rs` compile-asserts it). A fleet worker can
+/// therefore own a machine + engine + sinks outright on its own thread;
+/// post-run telemetry is recovered by [`Fpvm::take_trace_sink`] and
+/// `dyn TraceSink::downcast`, never by aliasing a shared handle.
 pub struct Fpvm<A: ArithSystem> {
     arith: A,
     /// The shadow-value arena (FPVM provides the arithmetic system with
@@ -191,12 +199,18 @@ impl<A: ArithSystem> Fpvm<A> {
     /// step emits a [`TraceEvent`] into it from the same choke points
     /// that charge cycles; with the default [`crate::trace::NullSink`]
     /// nothing is constructed or emitted.
+    ///
+    /// The engine takes **ownership**: read the sink back after the run
+    /// with [`Fpvm::take_trace_sink`] and downcast it to its concrete
+    /// type (`sink.downcast::<ProfilerSink>()`), or use a
+    /// [`crate::trace::FanoutSink`] and `into_sinks()` to recover several.
     pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
         self.acct.set_sink(sink);
     }
 
-    /// Remove the installed trace sink (for post-run inspection),
-    /// reverting to the disabled default.
+    /// Remove the installed trace sink — the teardown half of the owned-
+    /// sink protocol — reverting to the disabled default. Downcast the
+    /// returned box to inspect the concrete sink.
     pub fn take_trace_sink(&mut self) -> Box<dyn TraceSink> {
         self.acct.take_sink()
     }

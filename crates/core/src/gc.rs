@@ -15,7 +15,14 @@
 //!
 //! An optional **parallel mark** phase splits the memory scan across
 //! scoped threads (an extension over the paper's collector; the ablation
-//! bench compares the two).
+//! bench compares the two). The worker count is capped at the host's
+//! available parallelism rather than one thread per chunk, so a pass
+//! nested inside an `fpvm-fleet` worker (which already owns one core)
+//! degrades gracefully instead of oversubscribing the machine; fleet jobs
+//! normally leave `gc_parallel` off and let the fleet parallelize across
+//! guests instead. Candidate order never affects the outcome — marking is
+//! idempotent and the sweep reads only the mark bits — so serial and
+//! parallel passes free exactly the same cells.
 
 use crate::stats::GcRecord;
 use fpvm_arith::ShadowArena;
@@ -56,7 +63,10 @@ pub fn collect<V>(m: &Machine, arena: &mut ShadowArena<V>, parallel: bool) -> Gc
         }
     }
     if parallel {
-        // Split every range into chunks and scan concurrently.
+        // Split every range into chunks, then scan them on a bounded set
+        // of scoped workers (not one thread per chunk: a pass running
+        // inside an already-parallel host, e.g. a fleet worker, must not
+        // oversubscribe the machine).
         const CHUNK: usize = 256 * 1024;
         let mut slices: Vec<&[u8]> = Vec::new();
         for &(lo, hi) in &ranges {
@@ -71,13 +81,21 @@ pub fn collect<V>(m: &Machine, arena: &mut ShadowArena<V>, parallel: bool) -> Gc
                 }
             }
         }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(slices.len().max(1));
         let results: Vec<Vec<ShadowKey>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = slices
-                .iter()
-                .map(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let slices = &slices;
                     scope.spawn(move || {
                         let mut v = Vec::new();
-                        scan_range(s, &mut v);
+                        // Round-robin chunk assignment: worker w scans
+                        // chunks w, w+workers, w+2*workers, …
+                        for s in slices.iter().skip(w).step_by(workers) {
+                            scan_range(s, &mut v);
+                        }
                         v
                     })
                 })

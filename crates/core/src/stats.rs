@@ -264,6 +264,26 @@ impl Stats {
         self.gc_ns += other.gc_ns;
     }
 
+    /// This run's statistics with every host-measured (nondeterministic)
+    /// field zeroed: emulation/GC wall time, the cycle components derived
+    /// from them (emulate, gc, correctness-handler), and per-pass GC
+    /// latencies. What remains is charged purely from the deterministic
+    /// cost model, so two runs of the same guest — or two fleet runs of
+    /// the same job set at different worker counts — compare bit-identical
+    /// through this view.
+    pub fn deterministic_view(&self) -> Stats {
+        let mut s = self.clone();
+        s.emulate_ns = 0;
+        s.gc_ns = 0;
+        s.cycles.emulate = 0;
+        s.cycles.gc = 0;
+        s.cycles.correctness_handler = 0;
+        for r in &mut s.gc_records {
+            r.ns = 0;
+        }
+        s
+    }
+
     /// Decode cache hit rate.
     pub fn decode_hit_rate(&self) -> f64 {
         let total = self.decode_hits + self.decode_misses;
@@ -395,6 +415,30 @@ mod tests {
         let mut z = Stats::default();
         z.merge(&a);
         assert_eq!(z, a);
+    }
+
+    #[test]
+    fn deterministic_view_zeroes_exactly_the_measured_fields() {
+        let s = filled(7);
+        let d = s.deterministic_view();
+        assert_eq!(d.emulate_ns, 0);
+        assert_eq!(d.gc_ns, 0);
+        assert_eq!(d.cycles.emulate, 0);
+        assert_eq!(d.cycles.gc, 0);
+        assert_eq!(d.cycles.correctness_handler, 0);
+        assert!(d.gc_records.iter().all(|r| r.ns == 0));
+        // Everything else survives untouched.
+        let mut expect = s.clone();
+        expect.emulate_ns = 0;
+        expect.gc_ns = 0;
+        expect.cycles.emulate = 0;
+        expect.cycles.gc = 0;
+        expect.cycles.correctness_handler = 0;
+        for r in &mut expect.gc_records {
+            r.ns = 0;
+        }
+        assert_eq!(d, expect);
+        assert_eq!(s.emulate_ns, 47, "view must not mutate the source");
     }
 
     #[test]

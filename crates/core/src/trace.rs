@@ -22,12 +22,20 @@
 //! * `fpvm-bench`'s `JsonlTraceSink` — streaming JSONL writer (lives in
 //!   the bench crate, which owns the `ToJson` encoder).
 //! * [`FanoutSink`] — broadcast to several sinks at once.
+//!
+//! Sinks are **owned**, never shared: the engine's accounting choke point
+//! holds the one live handle, and post-run inspection takes the sink back
+//! out (`Fpvm::take_trace_sink` → [`dyn TraceSink::downcast`]) instead of
+//! aliasing it through `Rc<RefCell<_>>`. That ownership discipline is what
+//! makes every sink — and therefore the whole engine — [`Send`], so a
+//! fleet worker can own its machine + engine + sinks on its own thread and
+//! hand the sinks back for merging at join (`fpvm-fleet`).
 
 use crate::engine::exit::Stage;
 use fpvm_machine::ExtFn;
-use std::cell::RefCell;
+use std::any::Any;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::fmt;
 
 /// How the external-call interposer handled a call site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,7 +232,13 @@ impl TraceEvent {
 /// [`crate::engine::Fpvm::set_trace_sink`]; the engine consults
 /// [`TraceSink::enabled`] once at install time and skips event
 /// construction entirely when it returns `false`.
-pub trait TraceSink {
+///
+/// The `Send + Any` supertraits are the ownership contract: a sink is
+/// owned by exactly one engine (which may live on any thread), and after
+/// the run the caller takes it back with
+/// [`crate::engine::Fpvm::take_trace_sink`] and recovers the concrete
+/// type via [`dyn TraceSink::downcast`].
+pub trait TraceSink: Send + Any {
     /// Whether this sink wants events at all. Cached by the engine at
     /// install time — the disabled path costs a single branch per site.
     fn enabled(&self) -> bool {
@@ -237,6 +251,53 @@ pub trait TraceSink {
     /// A short name for reports.
     fn name(&self) -> &'static str {
         "sink"
+    }
+}
+
+impl dyn TraceSink {
+    /// Is the concrete sink behind this handle an `S`?
+    pub fn is<S: TraceSink>(&self) -> bool {
+        let any: &dyn Any = self;
+        any.is::<S>()
+    }
+
+    /// Borrow the concrete sink, if it is an `S`.
+    pub fn downcast_ref<S: TraceSink>(&self) -> Option<&S> {
+        let any: &dyn Any = self;
+        any.downcast_ref::<S>()
+    }
+
+    /// Mutably borrow the concrete sink, if it is an `S`.
+    pub fn downcast_mut<S: TraceSink>(&mut self) -> Option<&mut S> {
+        let any: &mut dyn Any = self;
+        any.downcast_mut::<S>()
+    }
+
+    /// Recover the owned concrete sink — the teardown half of the owned-
+    /// sink protocol. On type mismatch the boxed sink is handed back
+    /// unchanged.
+    ///
+    /// ```
+    /// use fpvm_core::trace::{RingBufferSink, TraceSink};
+    /// let boxed: Box<dyn TraceSink> = Box::new(RingBufferSink::new(8));
+    /// let ring: Box<RingBufferSink> = boxed.downcast().unwrap();
+    /// assert_eq!(ring.len(), 0);
+    /// ```
+    pub fn downcast<S: TraceSink>(self: Box<Self>) -> Result<Box<S>, Box<dyn TraceSink>> {
+        if self.is::<S>() {
+            let any: Box<dyn Any> = self;
+            Ok(any.downcast::<S>().expect("type checked above"))
+        } else {
+            Err(self)
+        }
+    }
+}
+
+/// Identify a sink by [`TraceSink::name`]; lets `downcast(..).unwrap()`
+/// report which sink was actually installed on a mismatch.
+impl fmt::Debug for dyn TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TraceSink({})", self.name())
     }
 }
 
@@ -342,6 +403,17 @@ impl FanoutSink {
     pub fn new(sinks: Vec<Box<dyn TraceSink>>) -> Self {
         FanoutSink { sinks }
     }
+
+    /// Borrow the fanned-out sinks, in installation order.
+    pub fn sinks(&self) -> &[Box<dyn TraceSink>] {
+        &self.sinks
+    }
+
+    /// Teardown: hand back the owned sinks, in installation order, so each
+    /// can be [`dyn TraceSink::downcast`] to its concrete type after a run.
+    pub fn into_sinks(self) -> Vec<Box<dyn TraceSink>> {
+        self.sinks
+    }
 }
 
 impl TraceSink for FanoutSink {
@@ -357,22 +429,6 @@ impl TraceSink for FanoutSink {
 
     fn name(&self) -> &'static str {
         "fanout"
-    }
-}
-
-/// A shared handle to a sink: install the `Rc` on the runtime and keep a
-/// clone to read the sink back after the run.
-impl<S: TraceSink> TraceSink for Rc<RefCell<S>> {
-    fn enabled(&self) -> bool {
-        self.borrow().enabled()
-    }
-
-    fn emit(&mut self, ev: &TraceEvent) {
-        self.borrow_mut().emit(ev);
-    }
-
-    fn name(&self) -> &'static str {
-        "shared"
     }
 }
 
@@ -410,13 +466,35 @@ mod tests {
     }
 
     #[test]
-    fn fanout_broadcasts_and_shared_handle_reads_back() {
-        let ring = Rc::new(RefCell::new(RingBufferSink::new(8)));
-        let mut fan = FanoutSink::new(vec![Box::new(NullSink), Box::new(ring.clone())]);
+    fn fanout_broadcasts_and_teardown_recovers_owned_sinks() {
+        let mut fan = FanoutSink::new(vec![Box::new(NullSink), Box::new(RingBufferSink::new(8))]);
         assert!(fan.enabled(), "one live sink is enough");
         fan.emit(&ev(7));
-        assert_eq!(ring.borrow().len(), 1);
-        assert_eq!(ring.borrow().events().next().unwrap().rip(), Some(7));
+        // Teardown: take the owned sinks back out and downcast each.
+        let mut sinks = fan.into_sinks().into_iter();
+        let null = sinks.next().unwrap();
+        assert!(null.is::<NullSink>());
+        let ring: Box<RingBufferSink> = sinks.next().unwrap().downcast().unwrap();
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.events().next().unwrap().rip(), Some(7));
+    }
+
+    #[test]
+    fn downcast_mismatch_hands_the_sink_back() {
+        let boxed: Box<dyn TraceSink> = Box::new(RingBufferSink::new(4));
+        let back = boxed.downcast::<NullSink>().unwrap_err();
+        assert_eq!(back.name(), "ring", "mismatch returns the sink intact");
+        assert!(back.downcast::<RingBufferSink>().is_ok());
+    }
+
+    #[test]
+    fn downcast_ref_and_mut_reach_through_the_trait_object() {
+        let mut boxed: Box<dyn TraceSink> = Box::new(RingBufferSink::new(4));
+        boxed.emit(&ev(1));
+        assert!(boxed.downcast_ref::<NullSink>().is_none());
+        assert_eq!(boxed.downcast_ref::<RingBufferSink>().unwrap().len(), 1);
+        boxed.downcast_mut::<RingBufferSink>().unwrap().emit(&ev(2));
+        assert_eq!(boxed.downcast_ref::<RingBufferSink>().unwrap().len(), 2);
     }
 
     #[test]

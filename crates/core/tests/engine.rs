@@ -2,9 +2,8 @@
 //! invalidation under trap-and-patch, structured runtime errors, handler
 //! registration, and stats derived through real runs.
 
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use fpvm_arith::Vanilla;
 use fpvm_core::runtime::{
@@ -39,10 +38,12 @@ fn logistic_program(iters: i64) -> fpvm_machine::Program {
 }
 
 /// A decode cache that records every invalidation, delegating storage to
-/// the real direct-mapped policy.
+/// the real direct-mapped policy. The shared log is `Arc<Mutex<_>>`, not
+/// `Rc<RefCell<_>>`: `DecodeCache: Send` so caches can cross into fleet
+/// workers, and custom caches must satisfy the same bound.
 struct SpyCache {
     inner: DirectMappedCache,
-    invalidated: Rc<RefCell<Vec<u64>>>,
+    invalidated: Arc<Mutex<Vec<u64>>>,
 }
 
 impl DecodeCache for SpyCache {
@@ -56,7 +57,7 @@ impl DecodeCache for SpyCache {
         self.inner.insert(rip, entry);
     }
     fn invalidate(&mut self, rip: u64) {
-        self.invalidated.borrow_mut().push(rip);
+        self.invalidated.lock().unwrap().push(rip);
         self.inner.invalidate(rip);
     }
     fn name(&self) -> &'static str {
@@ -78,16 +79,16 @@ fn trap_and_patch_invalidates_decode_cache_at_patched_sites() {
     let mut m = Machine::new(CostModel::r815());
     m.load_program(&p);
     let mut fpvm = Fpvm::new(Vanilla, cfg);
-    let invalidated = Rc::new(RefCell::new(Vec::new()));
+    let invalidated = Arc::new(Mutex::new(Vec::new()));
     fpvm.set_decode_cache(Box::new(SpyCache {
         inner: DirectMappedCache::new(),
-        invalidated: Rc::clone(&invalidated),
+        invalidated: Arc::clone(&invalidated),
     }));
     let report = fpvm.run(&mut m);
     assert_eq!(report.exit, ExitReason::Halted);
     let sites = report.stats.sites_patched;
     assert!(sites >= 2, "loop FP sites must be patched, got {sites}");
-    let inv = invalidated.borrow();
+    let inv = invalidated.lock().unwrap();
     assert_eq!(
         inv.len() as u64,
         sites,

@@ -2,14 +2,15 @@
 //! ordering, post-mortem ring capture on `RuntimeError`, profiler hot-site
 //! ranking feeding trap-and-patch site selection, tracing-on/off stats
 //! identity, and the pressure-triggered GC path.
-
-use std::cell::RefCell;
-use std::rc::Rc;
+//!
+//! All sinks are installed by value and recovered after the run with
+//! [`Fpvm::take_trace_sink`] + `downcast` — the owned-sink teardown
+//! protocol that replaced the `Rc<RefCell<_>>` handle pattern.
 
 use fpvm_arith::Vanilla;
 use fpvm_core::profile::ProfilerSink;
-use fpvm_core::trace::{RingBufferSink, TraceEvent};
-use fpvm_core::{ExitReason, Fpvm, FpvmConfig, Stage, Stats};
+use fpvm_core::trace::{RingBufferSink, TraceEvent, TraceSink};
+use fpvm_core::{ExitReason, Fpvm, FpvmConfig, Stage};
 use fpvm_machine::{AluOp, Asm, Cond, CostModel, Gpr, Inst, Machine, TrapKind, Xmm};
 
 /// One hot FP site (`addsd` trapping `iters` times in a loop) followed by
@@ -54,23 +55,29 @@ fn machine(p: &fpvm_machine::Program) -> Machine {
     m
 }
 
+/// Take the installed sink back out of the engine and downcast it.
+fn take_sink<S: TraceSink>(vm: &mut Fpvm<Vanilla>) -> Box<S> {
+    vm.take_trace_sink()
+        .downcast::<S>()
+        .unwrap_or_else(|s| panic!("sink was `{}`", s.name()))
+}
+
 #[test]
 fn one_trap_emits_the_full_lifecycle_in_order() {
     let p = single_trap_program();
     let mut m = machine(&p);
     let mut vm = Fpvm::new(Vanilla, FpvmConfig::default());
-    let ring = Rc::new(RefCell::new(RingBufferSink::new(64)));
-    vm.set_trace_sink(Box::new(ring.clone()));
+    vm.set_trace_sink(Box::new(RingBufferSink::new(64)));
     let r = vm.run(&mut m);
     assert_eq!(r.exit, ExitReason::Halted);
-    let kinds: Vec<&'static str> = ring.borrow().events().map(|e| e.kind()).collect();
+    let ring: Box<RingBufferSink> = take_sink(&mut vm);
+    let kinds: Vec<&'static str> = ring.events().map(|e| e.kind()).collect();
     assert_eq!(
         kinds,
         vec!["trap_begin", "decode", "bind", "emulate", "commit"]
     );
     // The whole lifecycle is anchored to the one faulting rip, and the
     // decode was a cold miss.
-    let ring = ring.borrow();
     let mut evs = ring.events();
     let begin = *evs.next().unwrap();
     let TraceEvent::TrapBegin { rip, .. } = begin else {
@@ -105,11 +112,10 @@ fn ring_buffer_post_mortem_ends_with_the_runtime_error() {
     let p = a.finish();
     let mut m = machine(&p);
     let mut vm = Fpvm::new(Vanilla, FpvmConfig::default());
-    let ring = Rc::new(RefCell::new(RingBufferSink::new(8)));
-    vm.set_trace_sink(Box::new(ring.clone()));
+    vm.set_trace_sink(Box::new(RingBufferSink::new(8)));
     let r = vm.run(&mut m);
     assert!(matches!(r.exit, ExitReason::RuntimeError(_)));
-    let ring = ring.borrow();
+    let ring: Box<RingBufferSink> = take_sink(&mut vm);
     let last = ring.events().last().copied().expect("trace not empty");
     assert_eq!(
         last,
@@ -122,21 +128,6 @@ fn ring_buffer_post_mortem_ends_with_the_runtime_error() {
     assert!(ring.dump().contains("runtime_error"));
 }
 
-/// Zero out the host-measured (nondeterministic) fields so the remaining
-/// comparison is exact: emulation/GC wall time and the cycle components
-/// derived from them.
-fn deterministic_view(mut s: Stats) -> Stats {
-    s.emulate_ns = 0;
-    s.gc_ns = 0;
-    s.cycles.emulate = 0;
-    s.cycles.gc = 0;
-    s.cycles.correctness_handler = 0;
-    for r in &mut s.gc_records {
-        r.ns = 0;
-    }
-    s
-}
-
 #[test]
 fn stats_identical_with_tracing_on_and_off() {
     let p = hot_cold_program(300);
@@ -147,20 +138,24 @@ fn stats_identical_with_tracing_on_and_off() {
     // On: ring + profiler see every event.
     let mut m_on = machine(&p);
     let mut vm_on = Fpvm::new(Vanilla, FpvmConfig::default());
-    let ring = Rc::new(RefCell::new(RingBufferSink::new(1024)));
-    let prof = Rc::new(RefCell::new(ProfilerSink::new()));
     vm_on.set_trace_sink(Box::new(fpvm_core::FanoutSink::new(vec![
-        Box::new(ring.clone()),
-        Box::new(prof.clone()),
+        Box::new(RingBufferSink::new(1024)),
+        Box::new(ProfilerSink::new()),
     ])));
     let r_on = vm_on.run(&mut m_on);
-    assert!(prof.borrow().events() > 0, "sink saw the run");
+    // Teardown: unpack the fanout and recover both owned sinks.
+    let fan: Box<fpvm_core::FanoutSink> = take_sink(&mut vm_on);
+    let mut sinks = fan.into_sinks().into_iter();
+    let ring = sinks.next().unwrap().downcast::<RingBufferSink>().unwrap();
+    let prof = sinks.next().unwrap().downcast::<ProfilerSink>().unwrap();
+    assert!(!ring.is_empty(), "ring saw the run");
+    assert!(prof.events() > 0, "profiler saw the run");
     // Enabling telemetry must not perturb any deterministic statistic,
     // any guest-visible state, or the instruction/cycle accounting that
     // Fig. 9 is built from.
     assert_eq!(
-        deterministic_view(r_on.stats.clone()),
-        deterministic_view(r_off.stats.clone())
+        r_on.stats.deterministic_view(),
+        r_off.stats.deterministic_view()
     );
     assert_eq!(r_on.icount, r_off.icount);
     assert_eq!(r_on.fp_icount, r_off.fp_icount);
@@ -175,10 +170,9 @@ fn profiler_top_site_is_what_trap_and_patch_patches() {
     // Pass 1: profile without patching to rank the sites.
     let mut m = machine(&p);
     let mut vm = Fpvm::new(Vanilla, FpvmConfig::default());
-    let prof = Rc::new(RefCell::new(ProfilerSink::new()));
-    vm.set_trace_sink(Box::new(prof.clone()));
+    vm.set_trace_sink(Box::new(ProfilerSink::new()));
     assert_eq!(vm.run(&mut m).exit, ExitReason::Halted);
-    let prof = prof.borrow();
+    let prof: Box<ProfilerSink> = take_sink(&mut vm);
     let top = prof.hot_sites(2);
     assert_eq!(top.len(), 2, "two distinct FP sites trapped");
     let (hot_rip, hot) = (&top[0].0, &top[0].1);
@@ -202,8 +196,7 @@ fn profiler_top_site_is_what_trap_and_patch_patches() {
     let mut m3 = machine(&p);
     let mut vm3 = Fpvm::new(Vanilla, cfg);
     vm3.restrict_patching([*hot_rip]);
-    let prof3 = Rc::new(RefCell::new(ProfilerSink::new()));
-    vm3.set_trace_sink(Box::new(prof3.clone()));
+    vm3.set_trace_sink(Box::new(ProfilerSink::new()));
     let r3 = vm3.run(&mut m3);
     assert_eq!(r3.exit, ExitReason::Halted);
     assert!(vm3.is_patched(*hot_rip));
@@ -212,7 +205,8 @@ fn profiler_top_site_is_what_trap_and_patch_patches() {
         "allowlist excludes the cold site"
     );
     assert_eq!(r3.stats.sites_patched, 1);
-    assert!(prof3.borrow().site(*hot_rip).unwrap().patched);
+    let prof3: Box<ProfilerSink> = take_sink(&mut vm3);
+    assert!(prof3.site(*hot_rip).unwrap().patched);
     // Guided patching converts the hot site's traps into patch calls.
     assert!(r3.stats.patch_fast + r3.stats.patch_slow >= (iters - 1) as u64);
     assert!(r3.stats.fp_traps < iters as u64 / 2);

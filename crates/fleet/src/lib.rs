@@ -1,0 +1,443 @@
+//! # fpvm-fleet — the deterministic sharded fleet runner
+//!
+//! The paper's evaluation runs one guest per FPVM process; this crate runs
+//! a *fleet* of guests across OS threads, one fully-owned engine stack per
+//! worker. It exists because the sink-ownership refactor made the whole
+//! engine [`Send`]: a worker owns its [`Machine`], its [`Fpvm`], its shadow
+//! arena, and its trace sinks, so guests shard across
+//! [`std::thread::scope`] workers with no shared mutable state at all —
+//! the only synchronization is the atomic work-queue cursor.
+//!
+//! ## Determinism contract
+//!
+//! The same job list produces **bit-identical merged results for any
+//! worker count** (1, 2, 4, N…). Two properties make that true:
+//!
+//! 1. Each job is hermetic: it compiles, patches, and runs its own guest
+//!    on its own engine, so no job observes another job's scheduling.
+//! 2. Results are collected *by job index* and merged *in job order* at
+//!    join, so the merged [`Stats`] and [`ProfilerSink`] never depend on
+//!    which worker ran which job or in what order they finished.
+//!
+//! Host-measured wall-time fields are inherently nondeterministic, so the
+//! contract is stated over [`Stats::deterministic_view`] and
+//! [`FleetReport::deterministic_hot_sites`] (the per-site table with the
+//! measured cycle components projected out). The pinned test in
+//! `tests/determinism.rs` runs the same job set at 1, 2, and 4 workers
+//! and asserts exact equality of those views.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use fpvm_analysis::analyze_and_patch;
+use fpvm_arith::Vanilla;
+use fpvm_core::trace::{FanoutSink, RingBufferSink};
+use fpvm_core::{ExitReason, Fpvm, FpvmConfig, ProfilerSink, SiteProfile, Stats};
+use fpvm_ir::{compile, CompileMode};
+use fpvm_machine::{CostModel, Machine, Program};
+use fpvm_workloads::{
+    enzo_like, fbench, lorenz, miniaero, nas_cg, nas_ep, nas_is, nas_lu, nas_mg, three_body, Size,
+    Workload,
+};
+
+/// Run every job through `f`, sharded across `workers` scoped threads.
+///
+/// Jobs are pulled from an atomic cursor (dynamic load balancing), but the
+/// returned vector is indexed by job position — `result[i]` is `f(i,
+/// &jobs[i])` regardless of which worker ran it — so any fold over the
+/// results in order is independent of scheduling.
+pub fn run_sharded<J, R, F>(jobs: &[J], workers: usize, f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    let workers = workers.clamp(1, jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let r = f(i, job);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every job slot filled"))
+        .collect()
+}
+
+/// The named workloads a fleet job can run (the paper's Fig. 12 suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant names mirror `fpvm_workloads` modules
+pub enum WorkloadId {
+    Fbench,
+    Lorenz,
+    ThreeBody,
+    MiniAero,
+    NasIs,
+    NasEp,
+    NasCg,
+    NasMg,
+    NasLu,
+    Enzo,
+}
+
+impl WorkloadId {
+    /// Every workload, in the paper's Fig. 12 order.
+    pub const ALL: [WorkloadId; 10] = [
+        WorkloadId::Fbench,
+        WorkloadId::Lorenz,
+        WorkloadId::ThreeBody,
+        WorkloadId::MiniAero,
+        WorkloadId::NasIs,
+        WorkloadId::NasEp,
+        WorkloadId::NasCg,
+        WorkloadId::NasMg,
+        WorkloadId::NasLu,
+        WorkloadId::Enzo,
+    ];
+
+    /// Build the workload at the given size.
+    pub fn build(self, size: Size) -> Workload {
+        match self {
+            WorkloadId::Fbench => fbench::workload(size),
+            WorkloadId::Lorenz => lorenz::workload(size),
+            WorkloadId::ThreeBody => three_body::workload(size),
+            WorkloadId::MiniAero => miniaero::workload(size),
+            WorkloadId::NasIs => nas_is::workload(size),
+            WorkloadId::NasEp => nas_ep::workload(size),
+            WorkloadId::NasCg => nas_cg::workload(size),
+            WorkloadId::NasMg => nas_mg::workload(size),
+            WorkloadId::NasLu => nas_lu::workload(size),
+            WorkloadId::Enzo => enzo_like::workload(size),
+        }
+    }
+}
+
+/// What guest a fleet job runs.
+#[derive(Debug, Clone)]
+pub enum GuestSpec {
+    /// A named workload from the paper suite, compiled + analyzed +
+    /// patched inside the worker.
+    Workload(WorkloadId, Size),
+    /// A Lorenz ensemble member: the initial condition is perturbed
+    /// deterministically from the seed (the input-farm use case — same
+    /// binary, many inputs).
+    LorenzSeeded {
+        /// Problem size.
+        size: Size,
+        /// Ensemble seed (0 = the paper's unperturbed initial condition).
+        seed: u64,
+    },
+    /// A pre-assembled program image, loaded as-is (no analysis pass).
+    /// Lets tests inject faulting guests into a worker.
+    Raw {
+        /// Display name for the outcome.
+        name: &'static str,
+        /// The program image.
+        program: Program,
+    },
+}
+
+/// One unit of fleet work: a guest, an engine configuration, and the
+/// post-mortem ring capacity.
+#[derive(Debug, Clone)]
+pub struct FleetJob {
+    /// The guest to run.
+    pub spec: GuestSpec,
+    /// Engine configuration for this job.
+    pub config: FpvmConfig,
+    /// Capacity of the per-job post-mortem [`RingBufferSink`].
+    pub ring_capacity: usize,
+}
+
+impl FleetJob {
+    /// A job with the default engine configuration.
+    pub fn new(spec: GuestSpec) -> FleetJob {
+        FleetJob {
+            spec,
+            config: FpvmConfig::default(),
+            ring_capacity: 32,
+        }
+    }
+}
+
+/// Everything one job produced, recovered from the worker by value.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Job index in the submitted list.
+    pub job: usize,
+    /// Guest display name.
+    pub name: String,
+    /// How the guest exited.
+    pub exit: ExitReason,
+    /// The run's statistics.
+    pub stats: Stats,
+    /// The run's per-site profile (merged fleet-wide at join).
+    pub profile: ProfilerSink,
+    /// Guest instructions retired.
+    pub icount: u64,
+    /// Guest FP instructions retired natively.
+    pub fp_icount: u64,
+    /// Host wall time of the run (nondeterministic; excluded from the
+    /// determinism contract).
+    pub wall_ns: u64,
+    /// The post-mortem ring tail, captured iff the run ended in a
+    /// [`ExitReason::RuntimeError`].
+    pub ring_tail: Option<String>,
+}
+
+/// The fleet-wide aggregate: per-job outcomes in job order plus the
+/// order-independent merged views.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Worker count the fleet ran with.
+    pub workers: usize,
+    /// Per-job outcomes, indexed by job position.
+    pub outcomes: Vec<JobOutcome>,
+    /// All job [`Stats`] merged in job order.
+    pub merged: Stats,
+    /// All job profiles merged in job order.
+    pub profile: ProfilerSink,
+    /// Total guest instructions retired across the fleet.
+    pub icount: u64,
+    /// Total guest FP instructions retired natively.
+    pub fp_icount: u64,
+    /// Wall time of the whole fleet run (nondeterministic).
+    pub wall_ns: u64,
+}
+
+impl FleetReport {
+    /// Guests completed per host second.
+    pub fn guests_per_sec(&self) -> f64 {
+        self.outcomes.len() as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Host nanoseconds spent per guest instruction, fleet-wide.
+    pub fn ns_per_guest_inst(&self) -> f64 {
+        self.wall_ns as f64 / self.icount.max(1) as f64
+    }
+
+    /// The hot-site ranking with the host-measured cycle components
+    /// (emulate, GC, correctness handler) projected out of every site, so
+    /// the table — contents *and* order — is bit-identical across worker
+    /// counts. The deterministic components fully determine the ranking
+    /// for any fixed job set.
+    pub fn deterministic_hot_sites(&self, n: usize) -> Vec<(u64, SiteProfile)> {
+        let mut v: Vec<(u64, SiteProfile)> = self
+            .profile
+            .sites()
+            .iter()
+            .map(|(&rip, p)| (rip, deterministic_site(p)))
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.total_cycles()
+                .cmp(&a.1.total_cycles())
+                .then(a.0.cmp(&b.0))
+        });
+        v.truncate(n);
+        v
+    }
+}
+
+/// A [`SiteProfile`] with the host-measured cycle components zeroed —
+/// the per-site analogue of [`Stats::deterministic_view`].
+fn deterministic_site(p: &SiteProfile) -> SiteProfile {
+    let mut q = p.clone();
+    q.cycles.emulate = 0;
+    q.cycles.gc = 0;
+    q.cycles.correctness_handler = 0;
+    q
+}
+
+/// Run one job to completion on the calling thread, building the whole
+/// engine stack locally so nothing is shared with other workers.
+pub fn run_job(index: usize, job: &FleetJob) -> JobOutcome {
+    let start = Instant::now();
+    let (name, program, side_table) = match &job.spec {
+        GuestSpec::Workload(id, size) => {
+            let w = id.build(*size);
+            let c = compile(&w.module, CompileMode::Native);
+            let patched = analyze_and_patch(&c.program);
+            (w.name.to_string(), patched.program, patched.side_table)
+        }
+        GuestSpec::LorenzSeeded { size, seed } => {
+            let w = lorenz::workload_seeded(*size, *seed);
+            let c = compile(&w.module, CompileMode::Native);
+            let patched = analyze_and_patch(&c.program);
+            (
+                format!("{} seed={seed}", w.name),
+                patched.program,
+                patched.side_table,
+            )
+        }
+        GuestSpec::Raw { name, program } => (name.to_string(), program.clone(), Vec::new()),
+    };
+    let mut m = Machine::new(CostModel::r815());
+    m.load_program(&program);
+    let mut vm = Fpvm::new(Vanilla, job.config);
+    vm.set_side_table(side_table);
+    vm.set_trace_sink(Box::new(FanoutSink::new(vec![
+        Box::new(ProfilerSink::new()),
+        Box::new(RingBufferSink::new(job.ring_capacity)),
+    ])));
+    let report = vm.run(&mut m);
+    // Teardown: the engine owns the sinks; take the fanout apart to get
+    // the profiler and the post-mortem ring back by value.
+    let fan = vm.take_trace_sink().downcast::<FanoutSink>().unwrap();
+    let mut sinks = fan.into_sinks().into_iter();
+    let profile = *sinks.next().unwrap().downcast::<ProfilerSink>().unwrap();
+    let ring = sinks.next().unwrap().downcast::<RingBufferSink>().unwrap();
+    let ring_tail = match report.exit {
+        ExitReason::RuntimeError(_) => Some(ring.dump()),
+        _ => None,
+    };
+    JobOutcome {
+        job: index,
+        name,
+        exit: report.exit,
+        stats: report.stats,
+        profile,
+        icount: report.icount,
+        fp_icount: report.fp_icount,
+        wall_ns: start.elapsed().as_nanos() as u64,
+        ring_tail,
+    }
+}
+
+/// Run a fleet of jobs across `workers` threads and merge at join.
+pub fn run_fleet(jobs: &[FleetJob], workers: usize) -> FleetReport {
+    let start = Instant::now();
+    let outcomes = run_sharded(jobs, workers, run_job);
+    // Merge in job order — never in completion order — so the merged
+    // views are identical for every worker count.
+    let mut merged = Stats::default();
+    let mut profile = ProfilerSink::new();
+    let mut icount = 0u64;
+    let mut fp_icount = 0u64;
+    for o in &outcomes {
+        merged.merge(&o.stats);
+        profile.merge(&o.profile);
+        icount += o.icount;
+        fp_icount += o.fp_icount;
+    }
+    FleetReport {
+        workers,
+        outcomes,
+        merged,
+        profile,
+        icount,
+        fp_icount,
+        wall_ns: start.elapsed().as_nanos() as u64,
+    }
+}
+
+/// The standard smoke job set: every Fig. 12 workload at `Tiny` plus a
+/// Lorenz ensemble, sized so a laptop-class host finishes in seconds while
+/// still giving the scheduler enough jobs to balance.
+pub fn smoke_jobs(ensemble: u64) -> Vec<FleetJob> {
+    let mut jobs: Vec<FleetJob> = WorkloadId::ALL
+        .iter()
+        .map(|&id| FleetJob::new(GuestSpec::Workload(id, Size::Tiny)))
+        .collect();
+    for seed in 0..ensemble {
+        jobs.push(FleetJob::new(GuestSpec::LorenzSeeded {
+            size: Size::Tiny,
+            seed,
+        }));
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_sharded_returns_results_in_job_order() {
+        let jobs: Vec<u64> = (0..97).collect();
+        for workers in [1, 3, 8] {
+            let out = run_sharded(&jobs, workers, |i, &j| {
+                assert_eq!(i as u64, j);
+                j * j
+            });
+            assert_eq!(out.len(), jobs.len());
+            for (i, &r) in out.iter().enumerate() {
+                assert_eq!(r, (i * i) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn run_sharded_handles_empty_and_oversubscribed() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(run_sharded(&empty, 4, |_, &j| j).is_empty());
+        let one = [7u64];
+        assert_eq!(run_sharded(&one, 64, |_, &j| j + 1), vec![8]);
+    }
+
+    #[test]
+    fn single_job_fleet_matches_a_direct_run() {
+        let job = FleetJob::new(GuestSpec::Workload(WorkloadId::Lorenz, Size::Tiny));
+        let report = run_fleet(std::slice::from_ref(&job), 1);
+        assert_eq!(report.outcomes.len(), 1);
+        let o = &report.outcomes[0];
+        assert_eq!(o.exit, ExitReason::Halted);
+        assert!(o.ring_tail.is_none(), "no error, no post-mortem");
+        let direct = run_job(0, &job);
+        assert_eq!(
+            report.merged.deterministic_view(),
+            direct.stats.deterministic_view()
+        );
+        assert_eq!(report.icount, direct.icount);
+    }
+
+    #[test]
+    fn lorenz_seeds_give_distinct_trajectories_same_sites() {
+        let a = run_job(
+            0,
+            &FleetJob::new(GuestSpec::LorenzSeeded {
+                size: Size::Tiny,
+                seed: 1,
+            }),
+        );
+        let b = run_job(
+            1,
+            &FleetJob::new(GuestSpec::LorenzSeeded {
+                size: Size::Tiny,
+                seed: 2,
+            }),
+        );
+        assert_eq!(a.exit, ExitReason::Halted);
+        assert_eq!(b.exit, ExitReason::Halted);
+        // Distinct trajectories: chaos separates the perturbed initial
+        // conditions, so the runs do different amounts of rounding.
+        assert_ne!(
+            a.stats.deterministic_view(),
+            b.stats.deterministic_view(),
+            "perturbed seeds must diverge"
+        );
+        // …but the binary structure is identical, so both runs trap at
+        // the same set of sites.
+        let sa: Vec<u64> = {
+            let mut v: Vec<u64> = a.profile.sites().keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let sb: Vec<u64> = {
+            let mut v: Vec<u64> = b.profile.sites().keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sa, sb);
+    }
+}

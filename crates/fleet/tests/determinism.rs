@@ -1,0 +1,98 @@
+//! The fleet determinism contract, pinned: the same job set produces
+//! bit-identical merged statistics, Fig. 9 cycle breakdown, and hot-site
+//! ranking for 1, 2, and 4 workers — and the post-mortem ring still
+//! surfaces on a `RuntimeError` raised inside a worker thread.
+
+use fpvm_core::{ExitReason, Stats};
+use fpvm_fleet::{run_fleet, smoke_jobs, FleetJob, GuestSpec};
+use fpvm_machine::{Asm, Inst, TrapKind};
+
+#[test]
+fn merged_results_are_bit_identical_for_any_worker_count() {
+    let jobs = smoke_jobs(6);
+    let base = run_fleet(&jobs, 1);
+    let base_stats: Stats = base.merged.deterministic_view();
+    let base_sites = base.deterministic_hot_sites(usize::MAX);
+    assert!(
+        base.outcomes.iter().all(|o| o.exit == ExitReason::Halted),
+        "smoke jobs all halt"
+    );
+    assert!(base_stats.fp_traps > 0, "the job set traps");
+    assert!(!base_sites.is_empty(), "the job set profiles sites");
+    for workers in [2usize, 4] {
+        let r = run_fleet(&jobs, workers);
+        // Merged statistics: every deterministic counter and cycle
+        // component, bit for bit.
+        assert_eq!(
+            r.merged.deterministic_view(),
+            base_stats,
+            "{workers}-worker merged stats diverge from 1 worker"
+        );
+        // The Fig. 9 accounting specifically (subset of the above, called
+        // out because the perf trajectory reports it).
+        assert_eq!(
+            r.merged.deterministic_view().cycles,
+            base_stats.cycles,
+            "{workers}-worker cycle breakdown diverges"
+        );
+        // The full hot-site ranking: same sites, same order, same
+        // deterministic per-site profiles.
+        assert_eq!(
+            r.deterministic_hot_sites(usize::MAX),
+            base_sites,
+            "{workers}-worker hot-site table diverges"
+        );
+        // Totals that must also be scheduling-independent.
+        assert_eq!(r.icount, base.icount);
+        assert_eq!(r.fp_icount, base.fp_icount);
+        // Per-job outcomes line up one-to-one in job order.
+        assert_eq!(r.outcomes.len(), base.outcomes.len());
+        for (a, b) in r.outcomes.iter().zip(base.outcomes.iter()) {
+            assert_eq!(a.job, b.job);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.exit, b.exit);
+            assert_eq!(
+                a.stats.deterministic_view(),
+                b.stats.deterministic_view(),
+                "job {} ({}) diverges at {workers} workers",
+                a.job,
+                a.name
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_tail_surfaces_runtime_errors_raised_inside_workers() {
+    // A correctness trap with no side-table entry aborts the run; when the
+    // guest runs inside a fleet worker, the post-mortem ring must come
+    // back across the join with the structured error as its last event.
+    let mut a = Asm::new();
+    a.emit(Inst::Trap {
+        kind: TrapKind::Correctness,
+        id: 3,
+    });
+    a.halt();
+    let faulting = a.finish();
+    let mut jobs = smoke_jobs(0);
+    jobs.push(FleetJob::new(GuestSpec::Raw {
+        name: "faulting-guest",
+        program: faulting,
+    }));
+    let r = run_fleet(&jobs, 4);
+    let bad = r.outcomes.last().unwrap();
+    assert_eq!(bad.name, "faulting-guest");
+    assert!(matches!(bad.exit, ExitReason::RuntimeError(_)));
+    let tail = bad
+        .ring_tail
+        .as_ref()
+        .expect("post-mortem ring captured in the worker");
+    assert!(
+        tail.contains("runtime_error"),
+        "ring tail must end with the structured error, got:\n{tail}"
+    );
+    // Healthy jobs in the same fleet carry no post-mortem.
+    assert!(r.outcomes[..r.outcomes.len() - 1]
+        .iter()
+        .all(|o| o.ring_tail.is_none() && o.exit == ExitReason::Halted));
+}

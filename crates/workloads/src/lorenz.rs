@@ -181,3 +181,26 @@ pub fn workload(size: Size) -> Workload {
         reference: reference(p),
     }
 }
+
+/// A seeded variant for input-farm sweeps (the `fpvm-fleet` runner): the
+/// initial condition is perturbed deterministically from `seed`, so each
+/// member of the ensemble integrates a distinct trajectory while the
+/// module structure (and thus the trap sites) stays identical. Seed 0 is
+/// the unperturbed paper initial condition.
+pub fn workload_seeded(size: Size, seed: u64) -> Workload {
+    let mut p = Params::for_size(size);
+    if seed != 0 {
+        let mut rng = crate::Lcg(seed);
+        // Perturbations in [0, 1e-3): small enough to stay on the
+        // attractor, large enough that chaos separates the trajectories.
+        p.x0.0 += rng.next_f64() * 1e-3;
+        p.x0.1 += rng.next_f64() * 1e-3;
+        p.x0.2 += rng.next_f64() * 1e-3;
+    }
+    Workload {
+        name: "Lorenz Attractor (seeded)",
+        config: "n.a.",
+        module: build(p),
+        reference: reference(p),
+    }
+}

@@ -14,8 +14,6 @@
 use fpvm::arith::Vanilla;
 use fpvm::machine::{AluOp, Asm, Cond, CostModel, Gpr, Machine, Xmm};
 use fpvm::runtime::{Component, Fpvm, FpvmConfig, ProfilerSink, RingBufferSink};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 fn build_guest() -> fpvm::machine::Program {
     // A hot accumulation loop (one addsd trapping every iteration) plus two
@@ -49,16 +47,22 @@ fn main() {
     let mut m = Machine::new(CostModel::r815());
     m.load_program(&prog);
     let mut rt = Fpvm::new(Vanilla, FpvmConfig::default());
-    let prof = Rc::new(RefCell::new(ProfilerSink::new()));
-    let ring = Rc::new(RefCell::new(RingBufferSink::new(6)));
     rt.set_trace_sink(Box::new(fpvm::runtime::FanoutSink::new(vec![
-        Box::new(prof.clone()),
-        Box::new(ring.clone()),
+        Box::new(ProfilerSink::new()),
+        Box::new(RingBufferSink::new(6)),
     ])));
     let report = rt.run(&mut m);
     println!("{report}\n");
 
-    let prof = prof.borrow();
+    // Teardown: the engine owns the sinks, so take the fanout back and
+    // recover each one by downcast.
+    let fan = rt
+        .take_trace_sink()
+        .downcast::<fpvm::runtime::FanoutSink>()
+        .unwrap();
+    let mut sinks = fan.into_sinks().into_iter();
+    let prof = sinks.next().unwrap().downcast::<ProfilerSink>().unwrap();
+    let ring = sinks.next().unwrap().downcast::<RingBufferSink>().unwrap();
     println!("hot sites:\n{}", prof.report(5));
     for c in [
         Component::UserDelivery,
@@ -77,9 +81,9 @@ fn main() {
     }
     println!(
         "\nlast events (ring tail, capacity 6, {} dropped):",
-        ring.borrow().dropped()
+        ring.dropped()
     );
-    print!("{}", ring.borrow().dump());
+    print!("{}", ring.dump());
 
     // Pass 2 — guided: give the patch budget to the profiled #1 site only.
     let top_rip = prof.hot_sites(1)[0].0;

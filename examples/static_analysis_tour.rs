@@ -16,9 +16,7 @@ use fpvm::analysis::{analyze, analyze_and_patch, audit, SiteDyn};
 use fpvm::arith::Vanilla;
 use fpvm::machine::{AluOp, Asm, CostModel, ExtFn, Gpr, Machine, Mem, Xmm};
 use fpvm::runtime::{Fpvm, FpvmConfig, TraceEvent, TraceSink};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
 
 /// Folds correctness-trap trace events into the per-site observations the
 /// audit consumes.
@@ -157,12 +155,11 @@ fn main() {
         },
     );
     rt.set_side_table(patched.side_table.clone());
-    let ledger = Rc::new(RefCell::new(TrapLedger::default()));
-    rt.set_trace_sink(Box::new(Rc::clone(&ledger)));
+    rt.set_trace_sink(Box::new(TrapLedger::default()));
     rt.run(&mut m);
     let patched_addrs: BTreeSet<u64> = patched.side_table.iter().map(|e| e.addr).collect();
     let plane = m.taint_plane().expect("oracle enabled");
-    let ledger = ledger.borrow();
+    let ledger = rt.take_trace_sink().downcast::<TrapLedger>().unwrap();
     let report = audit(
         &patched.analysis,
         &patched_addrs,
