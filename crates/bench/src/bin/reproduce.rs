@@ -16,7 +16,7 @@
 //! `target/experiments/`.
 
 use fpvm_bench::json::ToJson;
-use fpvm_bench::{experiments as exp, loc};
+use fpvm_bench::{experiments as exp, loc, trajectory};
 use fpvm_workloads::Size;
 use std::path::PathBuf;
 
@@ -79,6 +79,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "fleet",
         "E15: sharded fleet scaling — guests/sec per worker count",
+    ),
+    (
+        "obs",
+        "E16: observability — stage wall-clock timing, exporters, overhead",
     ),
 ];
 
@@ -212,11 +216,35 @@ fn main() {
         ran = true;
         let r = exp::fleet(size == Size::Tiny);
         archive("fleet", &r);
-        // The perf trajectory is a first-class artifact: write it at the
-        // invocation root too, where CI uploads it.
-        let _ = std::fs::write("BENCH_fleet.json", r.to_json());
+        // The perf trajectory is a first-class artifact at the invocation
+        // root, where CI uploads it — appended per run, never overwritten.
+        let _ = trajectory::append_entry(
+            std::path::Path::new("BENCH_fleet.json"),
+            "fleet",
+            &trajectory::run_meta(size == Size::Tiny),
+            &r.to_json(),
+        );
         if !r.deterministic {
             eprintln!("FLEET DETERMINISM FAILED: merged results depend on worker count");
+            std::process::exit(1);
+        }
+    }
+    if want("obs") {
+        ran = true;
+        let r = exp::obs(size == Size::Tiny);
+        archive("obs", &r);
+        let _ = trajectory::append_entry(
+            std::path::Path::new("BENCH_obs.json"),
+            "obs",
+            &trajectory::run_meta(size == Size::Tiny),
+            &r.to_json(),
+        );
+        if !r.deterministic {
+            eprintln!("OBS DETERMINISM FAILED: merged metrics depend on worker count");
+            std::process::exit(1);
+        }
+        if !r.fig9_pinned {
+            eprintln!("OBS FIG9 PIN FAILED: the metrics plane perturbed deterministic stats");
             std::process::exit(1);
         }
     }

@@ -12,6 +12,7 @@ pub mod json;
 pub mod loc;
 pub mod microbench;
 pub mod trace;
+pub mod trajectory;
 
 use fpvm_analysis::analyze_and_patch;
 use fpvm_arith::ArithSystem;

@@ -1,0 +1,148 @@
+//! Trajectory-style `BENCH_*.json` writers.
+//!
+//! Earlier PRs overwrote `BENCH_fleet.json` on every run, so the archived
+//! perf record only ever held the latest point. This module appends each
+//! run as one entry of a growing trajectory instead:
+//!
+//! ```json
+//! {"schema_version":1,"experiment":"fleet","entries":[
+//!   {"meta":{"unix_ts":...,"host_parallelism":...,"smoke":false},"data":{...}},
+//!   ...
+//! ]}
+//! ```
+//!
+//! Legacy single-object files (the pre-trajectory format) are wrapped in
+//! place as the first entry, with `{"legacy":true}` metadata, so no history
+//! is lost on upgrade. Appending splices before the trailing `]` of
+//! `entries`, which is always the last array in the document — the writer
+//! never re-parses or re-serializes earlier entries.
+
+use std::path::Path;
+
+/// Format version stamped into every trajectory file.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Standard per-run metadata: wall-clock epoch seconds, the host's exposed
+/// parallelism, and whether this was a smoke-sized run.
+pub fn run_meta(smoke: bool) -> String {
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!("{{\"unix_ts\":{unix_ts},\"host_parallelism\":{host},\"smoke\":{smoke}}}")
+}
+
+/// Append one `{"meta":...,"data":...}` entry to the trajectory at `path`,
+/// creating the file (or wrapping a legacy single-object file) as needed.
+/// `meta_json` and `data_json` must each be a complete JSON value.
+pub fn append_entry(
+    path: &Path,
+    experiment: &str,
+    meta_json: &str,
+    data_json: &str,
+) -> std::io::Result<()> {
+    let entry = format!("{{\"meta\":{meta_json},\"data\":{data_json}}}");
+    let head = format!("{{\"schema_version\":{SCHEMA_VERSION},\"experiment\":\"{experiment}\"");
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) if !s.trim().is_empty() => Some(s),
+        _ => None,
+    };
+    let out = match existing {
+        None => format!("{head},\"entries\":[{entry}]}}"),
+        Some(s) if s.trim_start().starts_with("{\"schema_version\"") => {
+            // Already a trajectory: splice before the closing `]` of
+            // `entries` (the last `]` in the document).
+            let Some(close) = s.rfind(']') else {
+                // Corrupt tail; start the trajectory over rather than
+                // writing unparseable JSON.
+                return std::fs::write(path, format!("{head},\"entries\":[{entry}]}}"));
+            };
+            let empty = s[..close].trim_end().ends_with('[');
+            let sep = if empty { "" } else { "," };
+            format!("{}{sep}{entry}{}", &s[..close], &s[close..])
+        }
+        Some(s) => {
+            // Legacy single-object record: keep it as entry zero.
+            let legacy = s.trim();
+            format!(
+                "{head},\"entries\":[{{\"meta\":{{\"legacy\":true}},\"data\":{legacy}}},{entry}]}}"
+            )
+        }
+    };
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("fpvm_traj_{}_{name}.json", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn fresh_file_holds_one_entry() {
+        let p = scratch("fresh");
+        append_entry(&p, "obs", "{\"smoke\":true}", "{\"x\":1}").unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(
+            s,
+            "{\"schema_version\":1,\"experiment\":\"obs\",\
+             \"entries\":[{\"meta\":{\"smoke\":true},\"data\":{\"x\":1}}]}"
+        );
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn appends_grow_the_entries_array() {
+        let p = scratch("append");
+        append_entry(&p, "fleet", "{\"run\":1}", "{\"x\":1}").unwrap();
+        append_entry(&p, "fleet", "{\"run\":2}", "{\"x\":2}").unwrap();
+        append_entry(&p, "fleet", "{\"run\":3}", "{\"x\":3}").unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(s.matches("\"data\"").count(), 3);
+        assert_eq!(s.matches("\"schema_version\":1").count(), 1);
+        assert!(s.ends_with("{\"meta\":{\"run\":3},\"data\":{\"x\":3}}]}"));
+        // Entries stay in append order.
+        assert!(s.find("\"run\":1").unwrap() < s.find("\"run\":2").unwrap());
+        assert!(s.find("\"run\":2").unwrap() < s.find("\"run\":3").unwrap());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn legacy_single_object_is_wrapped_as_entry_zero() {
+        let p = scratch("legacy");
+        std::fs::write(&p, "{\"jobs\":54,\"points\":[{\"workers\":1}]}").unwrap();
+        append_entry(&p, "fleet", "{\"run\":2}", "{\"jobs\":54}").unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.starts_with("{\"schema_version\":1,\"experiment\":\"fleet\""));
+        assert!(s.contains(
+            "{\"meta\":{\"legacy\":true},\"data\":{\"jobs\":54,\"points\":[{\"workers\":1}]}}"
+        ));
+        assert!(s.ends_with("{\"meta\":{\"run\":2},\"data\":{\"jobs\":54}}]}"));
+        // A further append still splices (the legacy `]` inside entry zero
+        // must not confuse the writer).
+        append_entry(&p, "fleet", "{\"run\":3}", "{\"jobs\":54}").unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(s.matches("\"data\"").count(), 3);
+        assert!(s.ends_with("{\"meta\":{\"run\":3},\"data\":{\"jobs\":54}}]}"));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn empty_file_is_treated_as_fresh() {
+        let p = scratch("empty");
+        std::fs::write(&p, "  \n").unwrap();
+        append_entry(&p, "obs", "{}", "{\"x\":1}").unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.starts_with("{\"schema_version\":1"));
+        assert_eq!(s.matches("\"data\"").count(), 1);
+        let _ = std::fs::remove_file(&p);
+    }
+}

@@ -1,0 +1,88 @@
+//! E16 plumbing tests: the heartbeat JSONL encoding, the archived
+//! `ObsResult` shape, and the trajectory writer handling a real record.
+
+use fpvm_bench::experiments::{ObsResult, ObsStageRow};
+use fpvm_bench::json::ToJson;
+use fpvm_bench::trajectory;
+use fpvm_fleet::{run_fleet_observed, smoke_jobs, ObsOptions};
+
+#[test]
+fn heartbeat_series_encodes_one_json_object_per_sample() {
+    let jobs = smoke_jobs(2);
+    let obs = run_fleet_observed(&jobs, 2, ObsOptions::default());
+    assert!(!obs.samples.is_empty());
+    for s in &obs.samples {
+        let line = s.to_json();
+        assert!(line.starts_with("{\"t_ns\":"), "{line}");
+        for key in [
+            "\"jobs_completed\":",
+            "\"queue_depth\":",
+            "\"busy_workers\":",
+            "\"guests_per_sec\":",
+            "\"sealed\":",
+        ] {
+            assert!(line.contains(key), "{line} missing {key}");
+        }
+        assert!(!line.contains('\n'), "JSONL lines must be single-line");
+    }
+    let last = obs.samples.last().unwrap();
+    assert!(last.to_json().ends_with("\"sealed\":true}"));
+}
+
+fn sample_result() -> ObsResult {
+    ObsResult {
+        jobs: 10,
+        workers: 2,
+        host_parallelism: 2,
+        sample_shift: 5,
+        fp_traps: 1234,
+        wall_on_ms: 10.5,
+        wall_off_ms: 10.25,
+        overhead_pct: 2.44,
+        overhead_budget_pct: 3.0,
+        overhead_within_budget: true,
+        ns_per_trap_p50: 511,
+        ns_per_trap_p99: 4095,
+        heartbeats: 3,
+        stragglers: 0,
+        deterministic: true,
+        fig9_pinned: true,
+        stages: vec![ObsStageRow {
+            stage: "frame".to_string(),
+            samples: 39,
+            p50_ns: 511,
+            p95_ns: 2047,
+            p99_ns: 4095,
+            max_ns: 5000,
+        }],
+    }
+}
+
+#[test]
+fn obs_result_json_carries_the_gates_and_stage_rows() {
+    let j = sample_result().to_json();
+    for key in [
+        "\"overhead_pct\":2.44",
+        "\"overhead_within_budget\":true",
+        "\"deterministic\":true",
+        "\"fig9_pinned\":true",
+        "\"ns_per_trap_p50\":511",
+        "\"stages\":[{\"stage\":\"frame\",\"samples\":39",
+    ] {
+        assert!(j.contains(key), "{j} missing {key}");
+    }
+}
+
+#[test]
+fn bench_obs_trajectory_accumulates_runs() {
+    let p = std::env::temp_dir().join(format!("fpvm_bench_obs_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    let r = sample_result();
+    trajectory::append_entry(&p, "obs", &trajectory::run_meta(true), &r.to_json()).unwrap();
+    trajectory::append_entry(&p, "obs", &trajectory::run_meta(true), &r.to_json()).unwrap();
+    let s = std::fs::read_to_string(&p).unwrap();
+    assert!(s.starts_with("{\"schema_version\":1,\"experiment\":\"obs\""));
+    assert_eq!(s.matches("\"fig9_pinned\":true").count(), 2);
+    assert_eq!(s.matches("\"smoke\":true").count(), 2);
+    let _ = std::fs::remove_file(&p);
+}

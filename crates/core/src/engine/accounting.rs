@@ -6,10 +6,12 @@
 //! call naming its [`Component`], so the per-stage breakdown, the machine's
 //! cycle counter, and the measured-time counters can never drift apart.
 
+use crate::metrics::{EngineMetrics, MetricStage};
 use crate::stats::{Component, GcRecord, Stats};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use fpvm_machine::Machine;
 use std::fmt;
+use std::time::Instant;
 
 /// An event counter in [`Stats`], named so handlers can tally through the
 /// sink instead of reaching into the struct.
@@ -57,6 +59,8 @@ pub struct Accounting {
     stats: Stats,
     sink: Box<dyn TraceSink>,
     tracing: bool,
+    metrics: Option<Box<EngineMetrics>>,
+    msample: bool,
 }
 
 impl Default for Accounting {
@@ -65,6 +69,8 @@ impl Default for Accounting {
             stats: Stats::default(),
             sink: Box::new(NullSink),
             tracing: false,
+            metrics: None,
+            msample: false,
         }
     }
 }
@@ -75,6 +81,7 @@ impl fmt::Debug for Accounting {
             .field("stats", &self.stats)
             .field("sink", &self.sink.name())
             .field("tracing", &self.tracing)
+            .field("metrics", &self.metrics.is_some())
             .finish()
     }
 }
@@ -112,6 +119,68 @@ impl Accounting {
         if self.tracing {
             let e = ev();
             self.sink.emit(&e);
+        }
+    }
+
+    /// Attach the wall-clock metrics plane. Until the next
+    /// [`Accounting::trap_metrics_begin`] / `ext_metrics_begin` tick, no
+    /// stage is sampled.
+    pub fn set_metrics(&mut self, m: EngineMetrics) {
+        self.metrics = Some(Box::new(m));
+        self.msample = false;
+    }
+
+    /// Detach and return the metrics plane, if one was attached.
+    pub fn take_metrics(&mut self) -> Option<Box<EngineMetrics>> {
+        self.msample = false;
+        self.metrics.take()
+    }
+
+    /// Read-only view of the metrics plane.
+    pub fn metrics(&self) -> Option<&EngineMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Trap-entry tick of the metrics plane: advance the trap sequence,
+    /// decide (purely from that sequence) whether this trap's stages are
+    /// sampled, and if so start the whole-frame timer. With the plane
+    /// detached this is the one cached branch the disabled path pays.
+    #[inline]
+    pub fn trap_metrics_begin(&mut self) -> Option<Instant> {
+        match &mut self.metrics {
+            None => None,
+            Some(m) => {
+                self.msample = m.trap_tick();
+                self.msample.then(Instant::now)
+            }
+        }
+    }
+
+    /// Ext-call tick of the metrics plane (independent sequence — ext-call
+    /// interposition bypasses `on_fp_trap`).
+    #[inline]
+    pub fn ext_metrics_begin(&mut self) -> Option<Instant> {
+        match &mut self.metrics {
+            None => None,
+            Some(m) => {
+                self.msample = m.ext_tick();
+                self.msample.then(Instant::now)
+            }
+        }
+    }
+
+    /// Start a stage timer if the current trap is sampled.
+    #[inline]
+    pub fn stage_timer(&self) -> Option<Instant> {
+        self.msample.then(Instant::now)
+    }
+
+    /// Record a stage latency begun at `t0` (no-op when `t0` is `None`,
+    /// i.e. the trap was not sampled or the plane is detached).
+    #[inline]
+    pub fn stage_record(&mut self, stage: MetricStage, t0: Option<Instant>) {
+        if let (Some(t0), Some(m)) = (t0, &mut self.metrics) {
+            m.record(stage, t0.elapsed().as_nanos() as u64);
         }
     }
 
@@ -238,6 +307,31 @@ mod tests {
         assert!(!acct.tracing(), "take reverts to NullSink");
         let ring: Box<RingBufferSink> = back.downcast().unwrap();
         assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn metrics_plane_samples_only_when_attached_and_ticked() {
+        let mut acct = Accounting::new();
+        // Detached: every hook is inert.
+        assert!(acct.trap_metrics_begin().is_none());
+        assert!(acct.stage_timer().is_none());
+        acct.stage_record(MetricStage::Decode, None);
+        assert!(acct.metrics().is_none());
+        // Attached with shift 1: alternating traps are sampled.
+        acct.set_metrics(EngineMetrics::new(1));
+        assert!(acct.stage_timer().is_none(), "no tick yet");
+        let t0 = acct.trap_metrics_begin();
+        assert!(t0.is_some(), "first trap is always sampled");
+        let td = acct.stage_timer();
+        acct.stage_record(MetricStage::Decode, td);
+        acct.stage_record(MetricStage::Frame, t0);
+        assert!(acct.trap_metrics_begin().is_none(), "second trap skipped");
+        assert!(acct.stage_timer().is_none());
+        let m = acct.take_metrics().expect("plane comes back");
+        assert_eq!(m.stage_histogram(MetricStage::Decode).count(), 1);
+        assert_eq!(m.stage_histogram(MetricStage::Frame).count(), 1);
+        assert_eq!(m.stage_histogram(MetricStage::Bind).count(), 0);
+        assert!(acct.take_metrics().is_none());
     }
 
     #[test]

@@ -43,6 +43,16 @@ pub struct FpvmConfig {
     /// `fpvm-analysis::audit`). Off by default: the hot path and its
     /// deterministic accounting are untouched.
     pub taint_oracle: bool,
+    /// Attach the wall-clock metrics plane (`fpvm-obs`): sampled host-ns
+    /// stage timers around the trap pipeline, exported via
+    /// `Fpvm::metrics_snapshot`. Off by default: disabled costs one cached
+    /// branch per trap, and Fig. 9 accounting is bit-identical on/off
+    /// (same discipline as tracing).
+    pub metrics: bool,
+    /// Sample every `2^metrics_sample_shift`-th trap (and ext-call) when
+    /// the metrics plane is on. 0 times every trap; the default (5 → every
+    /// 32nd) keeps observability's own overhead within the E16 ≤3% budget.
+    pub metrics_sample_shift: u32,
 }
 
 impl Default for FpvmConfig {
@@ -61,6 +71,8 @@ impl Default for FpvmConfig {
             nan_load_hw: false,
             max_insts: 4_000_000_000,
             taint_oracle: false,
+            metrics: false,
+            metrics_sample_shift: 5,
         }
     }
 }

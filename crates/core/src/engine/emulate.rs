@@ -269,15 +269,24 @@ impl<A: ArithSystem> Fpvm<A> {
         next_rip: u64,
     ) -> Result<(), ExitReason> {
         let trap_rip = m.rip;
+        let t_bind = self.acct.stage_timer();
         let Some(b) = Binder.bind(m, inst, next_rip) else {
             return Err(ExitReason::error(Stage::Bind, m.rip));
         };
+        self.acct
+            .stage_record(crate::metrics::MetricStage::Bind, t_bind);
         let t = Instant::now();
         self.acct.tally(Counter::Emulated);
         let mut lanes: u32 = 0;
         for lane in b.lanes.into_iter().flatten() {
+            let t_eval = self.acct.stage_timer();
             let outcome = self.emulator().eval_lane(m, &lane)?;
+            self.acct
+                .stage_record(crate::metrics::MetricStage::Emulate, t_eval);
+            let t_commit = self.acct.stage_timer();
             Committer.commit(m, outcome)?;
+            self.acct
+                .stage_record(crate::metrics::MetricStage::Commit, t_commit);
             lanes += 1;
         }
         m.rip = b.next_rip;

@@ -5,6 +5,7 @@ use super::accounting::Counter;
 use super::exit::{ExitReason, Stage};
 use super::Fpvm;
 use crate::bound::Loc;
+use crate::metrics::MetricStage;
 use crate::stats::Component;
 use crate::trace::{ExtDisposition, TraceEvent};
 use fpvm_arith::{ArithSystem, Round};
@@ -23,6 +24,7 @@ impl<A: ArithSystem> Fpvm<A> {
         rip: u64,
         next_rip: u64,
     ) -> Result<(), ExitReason> {
+        let t0 = self.acct.ext_metrics_begin();
         if f.is_math() && self.config.interpose_math {
             self.acct.tally(Counter::MathInterposed);
             let t = Instant::now();
@@ -68,6 +70,7 @@ impl<A: ArithSystem> Fpvm<A> {
                 disposition: ExtDisposition::Math,
                 cycles,
             });
+            self.acct.stage_record(MetricStage::ExtCall, t0);
             return Ok(());
         }
         if f == ExtFn::PrintF64 && self.config.interpose_output {
@@ -97,6 +100,7 @@ impl<A: ArithSystem> Fpvm<A> {
                 disposition: ExtDisposition::Output,
                 cycles: 0,
             });
+            self.acct.stage_record(MetricStage::ExtCall, t0);
             return Ok(());
         }
         // Non-interposed external (or stdio/services): demote FP argument
@@ -120,6 +124,7 @@ impl<A: ArithSystem> Fpvm<A> {
             disposition: ExtDisposition::Native,
             cycles: 0,
         });
+        self.acct.stage_record(MetricStage::ExtCall, t0);
         Ok(())
     }
 }

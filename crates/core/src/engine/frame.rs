@@ -4,6 +4,7 @@
 use super::accounting::Counter;
 use super::exit::{ExitReason, Stage};
 use super::Fpvm;
+use crate::metrics::MetricStage;
 use crate::stats::Component;
 use crate::trace::TraceEvent;
 use fpvm_arith::{ArithSystem, FpFlags};
@@ -41,6 +42,9 @@ impl<A: ArithSystem> Fpvm<A> {
         flags: FpFlags,
     ) -> Result<(), ExitReason> {
         self.acct.tally(Counter::FpTraps);
+        // Wall-clock plane: tick the sample sequence and, on sampled
+        // traps, time the whole frame (the ns/trap distribution).
+        let t_frame = self.acct.trap_metrics_begin();
         // Delivery cost (Fig. 9: hardware + kernel + user components).
         let (hw, kern, user) = m.cost.delivery_parts(self.config.delivery);
         self.acct.charge(m, Component::Hardware, hw);
@@ -77,6 +81,7 @@ impl<A: ArithSystem> Fpvm<A> {
         if self.config.trap_and_patch {
             self.install_patch(m, &frame);
         }
+        self.acct.stage_record(MetricStage::Frame, t_frame);
         Ok(())
     }
 
@@ -88,6 +93,7 @@ impl<A: ArithSystem> Fpvm<A> {
         m: &mut Machine,
         rip: u64,
     ) -> Result<(Inst, u8), ExitReason> {
+        let t_decode = self.acct.stage_timer();
         if let Some(hit) = self.cache.lookup(rip) {
             self.acct.tally(Counter::DecodeHits);
             let cyc = m.cost.decode_cost(true);
@@ -97,6 +103,7 @@ impl<A: ArithSystem> Fpvm<A> {
                 hit: true,
                 cycles: cyc,
             });
+            self.acct.stage_record(MetricStage::Decode, t_decode);
             return Ok(hit);
         }
         self.acct.tally(Counter::DecodeMisses);
@@ -112,6 +119,7 @@ impl<A: ArithSystem> Fpvm<A> {
             Ok((inst, len)) => {
                 let entry = (inst, len as u8);
                 self.cache.insert(rip, entry);
+                self.acct.stage_record(MetricStage::Decode, t_decode);
                 Ok(entry)
             }
             Err(_) => Err(ExitReason::error(Stage::Decode, rip)),

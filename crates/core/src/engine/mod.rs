@@ -144,11 +144,17 @@ impl<A: ArithSystem> Fpvm<A> {
         } else {
             Box::new(PassthroughCache)
         };
+        let mut acct = Accounting::new();
+        if config.metrics {
+            acct.set_metrics(crate::metrics::EngineMetrics::new(
+                config.metrics_sample_shift,
+            ));
+        }
         Fpvm {
             arith,
             arena: ShadowArena::new(),
             config,
-            acct: Accounting::new(),
+            acct,
             cache,
             side_table: Vec::new(),
             patches: patch::PatchTable::default(),
@@ -213,6 +219,20 @@ impl<A: ArithSystem> Fpvm<A> {
     /// returned box to inspect the concrete sink.
     pub fn take_trace_sink(&mut self) -> Box<dyn TraceSink> {
         self.acct.take_sink()
+    }
+
+    /// Read-only view of the wall-clock metrics plane, if
+    /// [`FpvmConfig::metrics`] attached one.
+    pub fn engine_metrics(&self) -> Option<&crate::metrics::EngineMetrics> {
+        self.acct.metrics()
+    }
+
+    /// Export the metrics plane (stage-ns histograms + the run's
+    /// deterministic execution counters) as a
+    /// [`fpvm_obs::MetricsSnapshot`]. `None` when the plane is off — a
+    /// metrics-off run emits *no* samples at all, it does not emit zeros.
+    pub fn metrics_snapshot(&self) -> Option<fpvm_obs::MetricsSnapshot> {
+        self.acct.metrics().map(|m| m.snapshot(self.acct.stats()))
     }
 
     /// Restrict the trap-and-patch engine (§3.2) to the given sites: only

@@ -40,6 +40,7 @@
 pub mod bound;
 pub mod engine;
 pub mod gc;
+pub mod metrics;
 pub mod profile;
 pub mod stats;
 pub mod trace;
@@ -54,6 +55,7 @@ pub use engine::{
     HandlerTable, HashMapCache, PassthroughCache, RunReport, RuntimeError, SideTableEntry, Stage,
     TrapFrame,
 };
+pub use metrics::{EngineMetrics, MetricStage};
 pub use profile::{ArenaSample, Log2Histogram, ProfilerSink, SiteProfile};
 pub use stats::{Component, CycleBreakdown, GcRecord, Stats};
 pub use trace::{ExtDisposition, FanoutSink, NullSink, RingBufferSink, TraceEvent, TraceSink};

@@ -1,0 +1,265 @@
+//! The engine's wall-clock metrics plane: sampled host-ns stage timers
+//! around the trap pipeline, exported as a [`MetricsSnapshot`].
+//!
+//! Fig. 9 accounting simulates trap-delivery cycles from the cost model;
+//! this module measures what the *host* actually pays per pipeline stage
+//! (frame/decode/bind/emulate/commit and ext-call interposition) so the
+//! interpreter-speed work has real trend lines to read. It is gated behind
+//! [`crate::engine::FpvmConfig::metrics`] and follows the tracing
+//! discipline from PR 2: disabled costs one cached branch per trap, and
+//! Fig. 9 accounting is bit-identical on/off (pinned in
+//! `crates/core/tests/metrics.rs`).
+//!
+//! Per-trap work is on the order of a microsecond, so timing every stage
+//! of every trap would dominate the thing being measured. Instead the
+//! plane samples: every `2^sample_shift`-th trap (and ext-call) runs with
+//! timers armed. The sampling decision is a pure function of the trap
+//! sequence number — deterministic guest execution means the *set* of
+//! sampled traps, and therefore every histogram's sample count, is
+//! identical across runs and worker counts; only the nanosecond values
+//! are host-dependent. Snapshots split accordingly: `fpvm_stage_samples_*`
+//! counters are deterministic, `fpvm_stage_ns_*` histograms are not.
+
+use crate::stats::{Component, Stats};
+use fpvm_obs::{Log2Histogram, MetricsSnapshot};
+
+/// One wall-clock-timed stage of the trap pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricStage {
+    /// The whole `on_fp_trap` frame: trap entry to resume. Its histogram
+    /// is the ns/trap distribution.
+    Frame,
+    /// Instruction decode (cache hit or full decode).
+    Decode,
+    /// Operand binding.
+    Bind,
+    /// Per-lane evaluation in the alternative arithmetic.
+    Emulate,
+    /// Per-lane result commit (boxing + writeback).
+    Commit,
+    /// External-call interposition (math/output/native).
+    ExtCall,
+}
+
+impl MetricStage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [MetricStage; 6] = [
+        MetricStage::Frame,
+        MetricStage::Decode,
+        MetricStage::Bind,
+        MetricStage::Emulate,
+        MetricStage::Commit,
+        MetricStage::ExtCall,
+    ];
+
+    /// Dense index in [`MetricStage::ALL`] order.
+    pub fn index(self) -> usize {
+        match self {
+            MetricStage::Frame => 0,
+            MetricStage::Decode => 1,
+            MetricStage::Bind => 2,
+            MetricStage::Emulate => 3,
+            MetricStage::Commit => 4,
+            MetricStage::ExtCall => 5,
+        }
+    }
+
+    /// Metric-name label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricStage::Frame => "frame",
+            MetricStage::Decode => "decode",
+            MetricStage::Bind => "bind",
+            MetricStage::Emulate => "emulate",
+            MetricStage::Commit => "commit",
+            MetricStage::ExtCall => "ext_call",
+        }
+    }
+}
+
+/// The per-engine metrics plane: sampling state plus one host-ns histogram
+/// per stage. Owned by `Accounting` when `FpvmConfig::metrics` is on;
+/// never constructed otherwise.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    shift: u32,
+    trap_seq: u64,
+    ext_seq: u64,
+    stage_ns: [Log2Histogram; MetricStage::ALL.len()],
+}
+
+impl EngineMetrics {
+    /// A fresh plane sampling every `2^shift`-th trap (shift 0 = every
+    /// trap).
+    pub fn new(shift: u32) -> Self {
+        EngineMetrics {
+            shift: shift.min(63),
+            trap_seq: 0,
+            ext_seq: 0,
+            stage_ns: Default::default(),
+        }
+    }
+
+    fn mask(&self) -> u64 {
+        (1u64 << self.shift) - 1
+    }
+
+    /// Advance the trap sequence and decide whether this trap is sampled.
+    /// The first trap is always sampled (seq 0 hits every mask), so short
+    /// runs still produce data.
+    pub fn trap_tick(&mut self) -> bool {
+        let sampled = self.trap_seq & self.mask() == 0;
+        self.trap_seq += 1;
+        sampled
+    }
+
+    /// Advance the ext-call sequence and decide whether it is sampled.
+    pub fn ext_tick(&mut self) -> bool {
+        let sampled = self.ext_seq & self.mask() == 0;
+        self.ext_seq += 1;
+        sampled
+    }
+
+    /// Record one sampled stage latency.
+    pub fn record(&mut self, stage: MetricStage, ns: u64) {
+        self.stage_ns[stage.index()].record(ns);
+    }
+
+    /// One stage's host-ns histogram.
+    pub fn stage_histogram(&self, stage: MetricStage) -> &Log2Histogram {
+        &self.stage_ns[stage.index()]
+    }
+
+    /// Total samples recorded across all stages.
+    pub fn samples(&self) -> u64 {
+        self.stage_ns.iter().map(|h| h.count()).sum()
+    }
+
+    /// Export the plane as a [`MetricsSnapshot`], folding in the run's
+    /// [`Stats`] so the deterministic execution counters ride along:
+    ///
+    /// - `fpvm_*_total` counters and `fpvm_cycles_*` — from `Stats`,
+    ///   deterministic except the host-measured cycle components
+    ///   (emulate/gc/correctness_handler, exactly the fields
+    ///   `Stats::deterministic_view` zeroes) and the ns totals;
+    /// - `fpvm_stage_samples_{stage}` — deterministic sample counts (the
+    ///   sampling decision is a pure function of the trap sequence);
+    /// - `fpvm_stage_ns_{stage}` and `fpvm_trap_ns` — host-measured
+    ///   histograms, flagged nondeterministic.
+    pub fn snapshot(&self, stats: &Stats) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        for (name, v) in [
+            ("fpvm_traps_total", stats.fp_traps),
+            ("fpvm_decode_hits_total", stats.decode_hits),
+            ("fpvm_decode_misses_total", stats.decode_misses),
+            ("fpvm_emulated_total", stats.emulated),
+            ("fpvm_emulated_lanes_total", stats.emulated_lanes),
+            ("fpvm_promotions_total", stats.promotions),
+            ("fpvm_boxes_created_total", stats.boxes_created),
+            ("fpvm_demotions_total", stats.demotions),
+            ("fpvm_correctness_traps_total", stats.correctness_traps),
+            ("fpvm_nan_hole_traps_total", stats.nan_hole_traps),
+            (
+                "fpvm_correctness_demotions_total",
+                stats.correctness_demotions,
+            ),
+            ("fpvm_math_interposed_total", stats.math_interposed),
+            ("fpvm_output_wrapped_total", stats.output_wrapped),
+            ("fpvm_patch_fast_total", stats.patch_fast),
+            ("fpvm_patch_slow_total", stats.patch_slow),
+            ("fpvm_sites_patched_total", stats.sites_patched),
+            ("fpvm_gc_passes_total", stats.gc_passes),
+        ] {
+            s.set_counter(name, true, v);
+        }
+        for c in Component::ALL {
+            let det = !matches!(
+                c,
+                Component::Emulate | Component::Gc | Component::CorrectnessHandler
+            );
+            s.set_counter(
+                &format!("fpvm_cycles_{}", c.label()),
+                det,
+                stats.cycles.get(c),
+            );
+        }
+        s.set_counter("fpvm_emulate_ns_total", false, stats.emulate_ns);
+        s.set_counter("fpvm_gc_ns_total", false, stats.gc_ns);
+        for stage in MetricStage::ALL {
+            let h = self.stage_histogram(stage);
+            s.set_counter(
+                &format!("fpvm_stage_samples_{}", stage.label()),
+                true,
+                h.count(),
+            );
+            s.set_histogram(
+                &format!("fpvm_stage_ns_{}", stage.label()),
+                false,
+                h.clone(),
+            );
+        }
+        s.set_histogram(
+            "fpvm_trap_ns",
+            false,
+            self.stage_histogram(MetricStage::Frame).clone(),
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_index_matches_all_order() {
+        for (i, s) in MetricStage::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_the_sequence() {
+        let mut m = EngineMetrics::new(2); // every 4th
+        let picks: Vec<bool> = (0..9).map(|_| m.trap_tick()).collect();
+        assert_eq!(
+            picks,
+            [true, false, false, false, true, false, false, false, true]
+        );
+        let mut every = EngineMetrics::new(0);
+        assert!((0..5).all(|_| every.trap_tick()));
+        // Ext-calls tick an independent sequence.
+        let mut e = EngineMetrics::new(1);
+        assert!(e.ext_tick());
+        assert!(!e.ext_tick());
+        assert!(e.trap_tick(), "trap seq unaffected by ext ticks");
+    }
+
+    #[test]
+    fn snapshot_splits_deterministic_from_measured() {
+        let mut m = EngineMetrics::new(0);
+        m.record(MetricStage::Frame, 1200);
+        m.record(MetricStage::Decode, 300);
+        let stats = Stats {
+            fp_traps: 5,
+            emulated: 4,
+            ..Default::default()
+        };
+        let s = m.snapshot(&stats);
+        assert_eq!(s.counter("fpvm_traps_total"), Some(5));
+        assert!(s.get("fpvm_traps_total").unwrap().deterministic);
+        assert_eq!(s.counter("fpvm_stage_samples_frame"), Some(1));
+        assert!(s.get("fpvm_stage_samples_frame").unwrap().deterministic);
+        assert!(!s.get("fpvm_stage_ns_frame").unwrap().deterministic);
+        assert_eq!(s.histogram("fpvm_stage_ns_decode").unwrap().max(), 300);
+        assert_eq!(s.histogram("fpvm_trap_ns").unwrap().max(), 1200);
+        assert!(!s.get("fpvm_cycles_emulate").unwrap().deterministic);
+        assert!(s.get("fpvm_cycles_hardware").unwrap().deterministic);
+        // The deterministic view drops every ns-valued metric.
+        let d = s.deterministic_view();
+        assert!(d.get("fpvm_stage_ns_frame").is_none());
+        assert!(d.get("fpvm_trap_ns").is_none());
+        assert!(d.get("fpvm_emulate_ns_total").is_none());
+        assert_eq!(d.counter("fpvm_stage_samples_decode"), Some(1));
+    }
+}

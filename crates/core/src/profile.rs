@@ -12,100 +12,9 @@ use crate::stats::{Component, CycleBreakdown};
 use crate::trace::{TraceEvent, TraceSink};
 use std::collections::HashMap;
 
-/// Number of buckets in a [`Log2Histogram`]: bucket `i` (for `i > 0`)
-/// counts values in `[2^(i-1), 2^i)`; bucket 0 counts zeros.
-pub const HIST_BUCKETS: usize = 33;
-
-/// A log₂-bucketed latency histogram (cycles).
-#[derive(Debug, Clone)]
-pub struct Log2Histogram {
-    buckets: [u64; HIST_BUCKETS],
-    count: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl Default for Log2Histogram {
-    fn default() -> Self {
-        Log2Histogram {
-            buckets: [0; HIST_BUCKETS],
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-}
-
-impl Log2Histogram {
-    /// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`,
-    /// saturating at the last bucket.
-    pub fn bucket_of(v: u64) -> usize {
-        if v == 0 {
-            0
-        } else {
-            ((63 - v.leading_zeros()) as usize + 1).min(HIST_BUCKETS - 1)
-        }
-    }
-
-    /// Record one sample.
-    pub fn record(&mut self, v: u64) {
-        self.buckets[Self::bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum += v;
-        self.max = self.max.max(v);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sum of all samples.
-    pub fn sum(&self) -> u64 {
-        self.sum
-    }
-
-    /// Largest sample seen.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Mean sample, or 0 with no samples.
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// The raw bucket counts.
-    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
-        &self.buckets
-    }
-
-    /// Fold another histogram into this one: buckets, count and sum add
-    /// field-wise, max takes the larger. Merging the histograms of two
-    /// runs equals the histogram of the concatenated sample streams.
-    pub fn merge(&mut self, other: &Log2Histogram) {
-        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *b += o;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-    }
-
-    /// `(bucket_lower_bound, count)` for every non-empty bucket.
-    pub fn nonzero(&self) -> Vec<(u64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
-            .collect()
-    }
-}
+// The histogram lives in fpvm-obs now (the fleet registry shares its
+// bucketing); re-exported here so `fpvm_core::Log2Histogram` keeps working.
+pub use fpvm_obs::{Log2Histogram, HIST_BUCKETS};
 
 /// Everything the profiler learned about one guest site (RIP).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -242,6 +151,29 @@ impl ProfilerSink {
                 p.dominant().label()
             ));
         }
+        // Per-component latency tail, derived from the log2 histograms.
+        let mut wrote_header = false;
+        for c in Component::ALL {
+            let h = self.histogram(c);
+            if h.count() == 0 {
+                continue;
+            }
+            if !wrote_header {
+                s.push_str(&format!(
+                    "\n{:<20} {:>9} {:>10} {:>10} {:>10}\n",
+                    "component latency", "samples", "p50", "p99", "max"
+                ));
+                wrote_header = true;
+            }
+            s.push_str(&format!(
+                "{:<20} {:>9} {:>10} {:>10} {:>10}\n",
+                c.label(),
+                h.count(),
+                h.p50(),
+                h.p99(),
+                h.max()
+            ));
+        }
         s
     }
 
@@ -362,27 +294,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_are_log2() {
-        assert_eq!(Log2Histogram::bucket_of(0), 0);
-        assert_eq!(Log2Histogram::bucket_of(1), 1);
-        assert_eq!(Log2Histogram::bucket_of(2), 2);
-        assert_eq!(Log2Histogram::bucket_of(3), 2);
-        assert_eq!(Log2Histogram::bucket_of(4), 3);
-        assert_eq!(Log2Histogram::bucket_of(1023), 10);
-        assert_eq!(Log2Histogram::bucket_of(1024), 11);
-        assert_eq!(Log2Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
-        let mut h = Log2Histogram::default();
-        for v in [0, 1, 3, 1000, 1000] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 5);
-        assert_eq!(h.sum(), 2004);
-        assert_eq!(h.max(), 1000);
-        assert!((h.mean() - 400.8).abs() < 1e-9);
-        assert_eq!(h.nonzero(), vec![(0, 1), (1, 1), (2, 1), (512, 2)]);
-    }
-
-    #[test]
     fn profiler_attributes_per_site_and_ranks() {
         let mut p = ProfilerSink::new();
         let hot = 0x1000u64;
@@ -422,6 +333,41 @@ mod tests {
         assert_eq!(p.histogram(Component::Emulate).count(), 10);
         assert_eq!(p.histogram(Component::Decode).count(), 1);
         assert!(p.report(2).contains("0x1000"));
+    }
+
+    /// The hot-site report's latency footer shows the p50/p99 derived from
+    /// the per-component histograms, and only for components that sampled.
+    #[test]
+    fn report_shows_component_latency_tail() {
+        let mut p = ProfilerSink::new();
+        for cycles in [100, 200, 400, 800, 10_000] {
+            p.emit(&TraceEvent::Emulate {
+                rip: 0x1000,
+                lanes: 1,
+                cycles,
+            });
+        }
+        let r = p.report(1);
+        assert!(r.contains("component latency"));
+        let h = p.histogram(Component::Emulate);
+        let line = r
+            .lines()
+            .find(|l| l.starts_with("emulate"))
+            .expect("emulate row in latency footer");
+        for v in [h.count(), h.p50(), h.p99(), h.max()] {
+            assert!(line.contains(&v.to_string()), "{line} missing {v}");
+        }
+        // p50 of [100,200,400,800,10000]: rank 3 → bucket of 400 → upper 511.
+        assert_eq!(h.p50(), 511);
+        assert_eq!(h.p99(), 10_000, "tail clamps to the observed max");
+        assert!(
+            !r.contains("\ndecode"),
+            "components with zero samples stay out of the footer"
+        );
+        assert!(
+            !ProfilerSink::new().report(1).contains("component latency"),
+            "no footer with no samples at all"
+        );
     }
 
     /// A `ProfilerSink` whose every aggregate holds a distinct value

@@ -29,9 +29,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fpvm_analysis::analyze_and_patch;
 use fpvm_arith::Vanilla;
@@ -39,6 +39,7 @@ use fpvm_core::trace::{FanoutSink, RingBufferSink};
 use fpvm_core::{ExitReason, Fpvm, FpvmConfig, ProfilerSink, SiteProfile, Stats};
 use fpvm_ir::{compile, CompileMode};
 use fpvm_machine::{CostModel, Machine, Program};
+use fpvm_obs::{MetricsRegistry, MetricsSnapshot};
 use fpvm_workloads::{
     enzo_like, fbench, lorenz, miniaero, nas_cg, nas_ep, nas_is, nas_lu, nas_mg, three_body, Size,
     Workload,
@@ -194,6 +195,10 @@ pub struct JobOutcome {
     /// The post-mortem ring tail, captured iff the run ended in a
     /// [`ExitReason::RuntimeError`].
     pub ring_tail: Option<String>,
+    /// The engine's metrics snapshot, iff the job's config had
+    /// `FpvmConfig::metrics` on. Folded fleet-wide in job order by
+    /// [`run_fleet_observed`].
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// The fleet-wide aggregate: per-job outcomes in job order plus the
@@ -291,6 +296,7 @@ pub fn run_job(index: usize, job: &FleetJob) -> JobOutcome {
         Box::new(RingBufferSink::new(job.ring_capacity)),
     ])));
     let report = vm.run(&mut m);
+    let metrics = vm.metrics_snapshot();
     // Teardown: the engine owns the sinks; take the fanout apart to get
     // the profiler and the post-mortem ring back by value.
     let fan = vm.take_trace_sink().downcast::<FanoutSink>().unwrap();
@@ -311,6 +317,7 @@ pub fn run_job(index: usize, job: &FleetJob) -> JobOutcome {
         fp_icount: report.fp_icount,
         wall_ns: start.elapsed().as_nanos() as u64,
         ring_tail,
+        metrics,
     }
 }
 
@@ -338,6 +345,207 @@ pub fn run_fleet(jobs: &[FleetJob], workers: usize) -> FleetReport {
         icount,
         fp_icount,
         wall_ns: start.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Options for [`run_fleet_observed`]'s live sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsOptions {
+    /// Milliseconds between heartbeat snapshots (the sampler polls the
+    /// shared registry at this period; it checks for shutdown every 1 ms
+    /// regardless).
+    pub sample_interval_ms: u64,
+    /// A job is flagged a straggler when its wall time exceeds
+    /// `straggler_factor ×` the fleet-wide p50 job wall time.
+    pub straggler_factor: u64,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            sample_interval_ms: 5,
+            straggler_factor: 4,
+        }
+    }
+}
+
+/// One heartbeat snapshot of the live fleet, taken by the sampler thread
+/// from the shared [`MetricsRegistry`] while workers run. Inherently
+/// nondeterministic (it is a wall-clock series) — excluded from the
+/// determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSample {
+    /// Nanoseconds since fleet start.
+    pub t_ns: u64,
+    /// Jobs completed so far.
+    pub jobs_completed: u64,
+    /// Jobs not yet claimed by a worker.
+    pub queue_depth: u64,
+    /// Workers currently running a guest.
+    pub busy_workers: u64,
+    /// Completed guests per host second, over the elapsed window.
+    pub guests_per_sec: f64,
+    /// True only on the final snapshot, taken after every worker joined
+    /// (the registry is sealed and the values are exact).
+    pub sealed: bool,
+}
+
+/// A fleet run with the observability plane attached: the base report plus
+/// the live heartbeat series, the sealed registry snapshot, the job-order
+/// fold of per-job engine metrics, and straggler flags.
+#[derive(Debug)]
+pub struct FleetObs {
+    /// The base fleet report (outcomes + merged deterministic views).
+    pub report: FleetReport,
+    /// The shared registry at quiescence: `fleet_jobs_completed`,
+    /// `fleet_queue_depth`, `fleet_busy_workers`, `fleet_job_wall_ns`.
+    pub registry: MetricsSnapshot,
+    /// Every job's engine [`MetricsSnapshot`] folded **in job order** —
+    /// bit-identical across worker counts on its
+    /// [`MetricsSnapshot::deterministic_view`], exactly like
+    /// `Stats::merge`. `None` when no job ran with metrics on.
+    pub merged_metrics: Option<MetricsSnapshot>,
+    /// The heartbeat series, in sample order (last entry is sealed).
+    pub samples: Vec<FleetSample>,
+    /// Indices of jobs whose wall time exceeded the straggler threshold.
+    pub stragglers: Vec<usize>,
+    /// Wall time from fleet start to the *last job completing*, recorded
+    /// by the completing worker itself — excludes sampler-thread teardown,
+    /// so overhead measurements compare like against like.
+    pub observed_wall_ns: u64,
+}
+
+/// [`run_fleet`] with the observability plane attached: per-worker
+/// heartbeats into a shared [`MetricsRegistry`], a sampler thread
+/// producing a [`FleetSample`] series, straggler detection from the job
+/// wall-time histogram, and the deterministic job-order fold of per-job
+/// engine metrics.
+pub fn run_fleet_observed(jobs: &[FleetJob], workers: usize, opts: ObsOptions) -> FleetObs {
+    let start = Instant::now();
+    let registry = MetricsRegistry::new();
+    let jobs_completed = registry.counter("fleet_jobs_completed", true);
+    let queue_depth = registry.gauge("fleet_queue_depth", false);
+    let busy_workers = registry.gauge("fleet_busy_workers", false);
+    let job_wall = registry.histogram("fleet_job_wall_ns", false);
+    queue_depth.set(jobs.len() as u64);
+    let completed = AtomicUsize::new(0);
+    let end_ns = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let samples = Mutex::new(Vec::new());
+
+    let outcomes = std::thread::scope(|scope| {
+        // The sampler: polls the shared registry while workers run. It
+        // never blocks a worker — reads are relaxed atomics.
+        scope.spawn(|| {
+            // One wakeup per heartbeat — on few-core hosts a finer poll
+            // loop would steal measurable time from the workers. Stop
+            // latency is at most one interval, which only delays the
+            // sampler join, never the observed wall (stamped by the
+            // last-finishing worker).
+            let interval = Duration::from_millis(opts.sample_interval_ms.max(1));
+            loop {
+                let t_ns = start.elapsed().as_nanos() as u64;
+                let done = jobs_completed.get();
+                samples.lock().unwrap().push(FleetSample {
+                    t_ns,
+                    jobs_completed: done,
+                    queue_depth: queue_depth.get(),
+                    busy_workers: busy_workers.get(),
+                    guests_per_sec: done as f64 / (t_ns.max(1) as f64 / 1e9),
+                    sealed: false,
+                });
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::sleep(interval);
+            }
+        });
+        let outcomes = run_sharded(jobs, workers, |i, job| {
+            queue_depth.sub(1);
+            busy_workers.add(1);
+            let r = run_job(i, job);
+            job_wall.record(r.wall_ns);
+            busy_workers.sub(1);
+            jobs_completed.inc();
+            // The worker that finishes the last job stamps the fleet's
+            // observed end — the sampler's exit latency never inflates
+            // the measured wall time.
+            if completed.fetch_add(1, Ordering::Relaxed) + 1 == jobs.len() {
+                end_ns.store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            r
+        });
+        stop.store(true, Ordering::Release);
+        outcomes
+    });
+
+    registry.seal();
+    let observed_wall_ns = match end_ns.load(Ordering::Relaxed) {
+        0 => start.elapsed().as_nanos() as u64, // empty job list
+        ns => ns,
+    };
+    let mut samples = samples.into_inner().unwrap();
+    // Timestamped after the sampler joined, so the series stays
+    // time-ordered even if a heartbeat landed between the last job
+    // completing and the stop flag being observed.
+    samples.push(FleetSample {
+        t_ns: start.elapsed().as_nanos() as u64,
+        jobs_completed: jobs_completed.get(),
+        queue_depth: queue_depth.get(),
+        busy_workers: busy_workers.get(),
+        guests_per_sec: jobs.len() as f64 / (observed_wall_ns.max(1) as f64 / 1e9),
+        sealed: true,
+    });
+
+    // Straggler detection: a job far beyond the fleet's median wall time.
+    let registry_snap = registry.snapshot();
+    let p50 = registry_snap
+        .histogram("fleet_job_wall_ns")
+        .map(|h| h.p50())
+        .unwrap_or(0);
+    let stragglers = if p50 > 0 && jobs.len() >= 2 {
+        outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.wall_ns > opts.straggler_factor.max(1) * p50)
+            .map(|(i, _)| i)
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Merge in job order — the same canonical fold as `run_fleet`.
+    let mut merged = Stats::default();
+    let mut profile = ProfilerSink::new();
+    let mut icount = 0u64;
+    let mut fp_icount = 0u64;
+    let mut merged_metrics: Option<MetricsSnapshot> = None;
+    for o in &outcomes {
+        merged.merge(&o.stats);
+        profile.merge(&o.profile);
+        icount += o.icount;
+        fp_icount += o.fp_icount;
+        if let Some(m) = &o.metrics {
+            merged_metrics
+                .get_or_insert_with(MetricsSnapshot::new)
+                .merge(m);
+        }
+    }
+    FleetObs {
+        report: FleetReport {
+            workers,
+            outcomes,
+            merged,
+            profile,
+            icount,
+            fp_icount,
+            wall_ns: start.elapsed().as_nanos() as u64,
+        },
+        registry: registry_snap,
+        merged_metrics,
+        samples,
+        stragglers,
+        observed_wall_ns,
     }
 }
 

@@ -1,0 +1,117 @@
+//! The observed-fleet determinism contract, pinned: with metrics on in
+//! every job, the job-order fold of per-job metric snapshots is
+//! bit-identical (on its deterministic view) for 1, 2, and 4 workers; the
+//! heartbeat sampler produces a well-formed sealed series; and metrics-off
+//! jobs contribute no metrics at all.
+
+use fpvm_core::FpvmConfig;
+use fpvm_fleet::{run_fleet, run_fleet_observed, smoke_jobs, FleetJob, ObsOptions};
+
+fn metered_jobs(ensemble: u64, shift: u32) -> Vec<FleetJob> {
+    smoke_jobs(ensemble)
+        .into_iter()
+        .map(|mut j| {
+            j.config = FpvmConfig {
+                metrics: true,
+                metrics_sample_shift: shift,
+                ..j.config
+            };
+            j
+        })
+        .collect()
+}
+
+#[test]
+fn merged_metrics_are_bit_identical_for_any_worker_count() {
+    let jobs = metered_jobs(4, 3);
+    let base = run_fleet_observed(&jobs, 1, ObsOptions::default());
+    let base_metrics = base
+        .merged_metrics
+        .as_ref()
+        .expect("metrics on in every job")
+        .clone();
+    assert!(
+        base_metrics.counter("fpvm_traps_total").unwrap() > 0,
+        "the job set traps"
+    );
+    assert!(
+        base_metrics.counter("fpvm_stage_samples_frame").unwrap() > 0,
+        "the stage timers sampled"
+    );
+    for workers in [2usize, 4] {
+        let r = run_fleet_observed(&jobs, workers, ObsOptions::default());
+        let m = r.merged_metrics.as_ref().unwrap();
+        // The deterministic projection: every execution counter and
+        // sample count, bit for bit, independent of scheduling.
+        assert_eq!(
+            m.deterministic_view(),
+            base_metrics.deterministic_view(),
+            "{workers}-worker merged metrics diverge from 1 worker"
+        );
+        // The nondeterministic histograms still agree on their
+        // deterministic *sample counts* (the ns values differ).
+        for stage in ["frame", "decode", "bind", "emulate", "commit"] {
+            let name = format!("fpvm_stage_ns_{stage}");
+            assert_eq!(
+                m.histogram(&name).unwrap().count(),
+                base_metrics.histogram(&name).unwrap().count(),
+                "{name} sample count diverges at {workers} workers"
+            );
+        }
+        // The merged engine Stats stay pinned too (same contract as the
+        // unobserved fleet).
+        assert_eq!(
+            r.report.merged.deterministic_view(),
+            base.report.merged.deterministic_view()
+        );
+    }
+}
+
+#[test]
+fn observed_run_matches_unobserved_deterministic_views() {
+    // Attaching the observability plane (registry, sampler, heartbeats)
+    // must not change what the guests compute.
+    let jobs = smoke_jobs(2);
+    let plain = run_fleet(&jobs, 2);
+    let obs = run_fleet_observed(&jobs, 2, ObsOptions::default());
+    assert_eq!(
+        obs.report.merged.deterministic_view(),
+        plain.merged.deterministic_view()
+    );
+    assert_eq!(obs.report.icount, plain.icount);
+    assert!(
+        obs.merged_metrics.is_none(),
+        "metrics-off jobs contribute no metric snapshots"
+    );
+}
+
+#[test]
+fn heartbeats_and_registry_reflect_the_finished_fleet() {
+    let jobs = metered_jobs(2, 0);
+    let n = jobs.len() as u64;
+    let obs = run_fleet_observed(&jobs, 2, ObsOptions::default());
+    // The sealed registry is exact at quiescence.
+    assert_eq!(obs.registry.counter("fleet_jobs_completed"), Some(n));
+    assert_eq!(obs.registry.gauge("fleet_queue_depth"), Some(0));
+    assert_eq!(obs.registry.gauge("fleet_busy_workers"), Some(0));
+    let wall = obs.registry.histogram("fleet_job_wall_ns").unwrap();
+    assert_eq!(wall.count(), n, "every job recorded its wall time");
+    assert!(wall.p50() > 0 && wall.p99() >= wall.p50());
+    // The heartbeat series ends with exactly one sealed sample whose
+    // counts match the registry.
+    let last = obs.samples.last().expect("at least the sealed sample");
+    assert!(last.sealed);
+    assert_eq!(last.jobs_completed, n);
+    assert_eq!(last.queue_depth, 0);
+    assert_eq!(last.busy_workers, 0);
+    assert!(last.guests_per_sec > 0.0);
+    assert_eq!(obs.samples.iter().filter(|s| s.sealed).count(), 1);
+    // Samples are time-ordered.
+    assert!(obs.samples.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    // The observed wall is stamped by the last-finishing worker and can
+    // only be at or before the full-join wall.
+    assert!(obs.observed_wall_ns > 0);
+    assert!(obs.observed_wall_ns <= obs.report.wall_ns);
+    // Stragglers, if any, index real jobs.
+    assert!(obs.stragglers.iter().all(|&i| i < jobs.len()));
+}

@@ -1,0 +1,321 @@
+//! Log₂-bucketed histograms: the plain single-owner flavor the engine and
+//! profiler accumulate into, and the atomic flavor the shared fleet
+//! registry samples live.
+//!
+//! Both share one bucketing scheme so their snapshots merge losslessly:
+//! bucket 0 counts zeros, bucket `i > 0` counts values in
+//! `[2^(i-1), 2^i)`, and the last bucket saturates. Quantiles are derived
+//! from the bucket counts (the value at the requested rank resolves to its
+//! bucket's inclusive upper bound, clamped to the largest sample seen), so
+//! p50/p95/p99 are exact functions of the merged buckets — any fold order
+//! yields the same answer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets in a [`Log2Histogram`]: bucket `i` (for `i > 0`)
+/// counts values in `[2^(i-1), 2^i)`; bucket 0 counts zeros.
+pub const HIST_BUCKETS: usize = 33;
+
+/// A log₂-bucketed latency histogram (cycles or host nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`,
+    /// saturating at the last bucket.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((63 - v.leading_zeros()) as usize + 1).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i` (the last bucket is
+    /// unbounded and answers `u64::MAX`).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The value at quantile `q` (0..=1), derived from the buckets: the
+    /// sample at rank `ceil(q·count)` resolves to its bucket's inclusive
+    /// upper bound, clamped to the largest sample actually seen. 0 with no
+    /// samples. The answer is a pure function of the bucket counts and
+    /// max, so merged histograms report the same quantiles in any fold
+    /// order.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Log2Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (see [`Log2Histogram::quantile`]).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (see [`Log2Histogram::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one: buckets, count and sum add
+    /// field-wise, max takes the larger. Merging the histograms of two
+    /// runs equals the histogram of the concatenated sample streams.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// `(bucket_lower_bound, count)` for every non-empty bucket.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+            .collect()
+    }
+}
+
+/// The thread-shared flavor of [`Log2Histogram`]: every field is an
+/// atomic, so fleet workers record into one instance concurrently and the
+/// sampler thread snapshots it live without taking a lock. All updates are
+/// relaxed — the histogram is a commutative sum, so ordering between
+/// recorders never changes a snapshot taken at quiescence.
+#[derive(Debug)]
+pub struct AtomicLog2Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicLog2Histogram {
+    fn default() -> Self {
+        AtomicLog2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicLog2Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        AtomicLog2Histogram::default()
+    }
+
+    /// Record one sample (lock-free; callable from any thread).
+    pub fn record(&self, v: u64) {
+        self.buckets[Log2Histogram::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time plain copy. Taken mid-run the fields may lag each
+    /// other by in-flight records (count/sum/buckets are updated
+    /// independently); at quiescence it equals the plain histogram of the
+    /// same samples.
+    pub fn snapshot(&self) -> Log2Histogram {
+        let mut h = Log2Histogram::default();
+        for (b, a) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1023), 10);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        let mut h = Log2Histogram::default();
+        for v in [0, 1, 3, 1000, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 2004);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 400.8).abs() < 1e-9);
+        assert_eq!(h.nonzero(), vec![(0, 1), (1, 1), (2, 1), (512, 2)]);
+    }
+
+    /// The field-wise quantile contract: every derivation is an exact
+    /// function of (buckets, count, max), checked sample by sample.
+    #[test]
+    fn quantiles_derive_from_buckets_fieldwise() {
+        let empty = Log2Histogram::default();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+
+        let mut h = Log2Histogram::default();
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        // rank(0.5 * 5) = 3 → cumulative hits bucket 2 (values 2..=3):
+        // upper bound 3, below max.
+        assert_eq!(h.p50(), 3);
+        // rank 5 → bucket of 1000 (512..=1023): upper bound 1023 clamps to
+        // the observed max.
+        assert_eq!(h.p95(), 1000);
+        assert_eq!(h.p99(), 1000);
+        assert_eq!(h.quantile(0.0), 0, "rank clamps to the first sample");
+        assert_eq!(h.quantile(1.0), 1000);
+
+        // A single sample answers itself (upper bound clamped to max).
+        let mut one = Log2Histogram::default();
+        one.record(5);
+        assert_eq!(one.p50(), 5);
+        assert_eq!(one.p99(), 5);
+
+        // Quantiles are merge-invariant: merged buckets answer the same as
+        // the concatenated stream.
+        let mut a = Log2Histogram::default();
+        let mut b = Log2Histogram::default();
+        let mut all = Log2Histogram::default();
+        for v in [10, 20, 40] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [80, 160, 5000] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            assert_eq!(m.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds() {
+        assert_eq!(Log2Histogram::bucket_upper(0), 0);
+        assert_eq!(Log2Histogram::bucket_upper(1), 1);
+        assert_eq!(Log2Histogram::bucket_upper(2), 3);
+        assert_eq!(Log2Histogram::bucket_upper(10), 1023);
+        assert_eq!(Log2Histogram::bucket_upper(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain_at_quiescence() {
+        let a = AtomicLog2Histogram::new();
+        let mut plain = Log2Histogram::default();
+        std::thread::scope(|s| {
+            for chunk in 0..4u64 {
+                let a = &a;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        a.record(chunk * 1000 + i);
+                    }
+                });
+            }
+        });
+        for chunk in 0..4u64 {
+            for i in 0..100 {
+                plain.record(chunk * 1000 + i);
+            }
+        }
+        assert_eq!(a.snapshot(), plain);
+        assert_eq!(a.count(), 400);
+    }
+}

@@ -1,0 +1,322 @@
+//! fpvm-obs — the observability plane for the FPVM reproduction.
+//!
+//! Three pieces, all std-only and dependency-free:
+//!
+//! - [`Log2Histogram`] / [`AtomicLog2Histogram`]: the shared bucketing
+//!   scheme (zeros, then one bucket per power of two) with exact
+//!   p50/p95/p99 derivations from the buckets, in single-owner and
+//!   lock-free thread-shared flavors.
+//! - [`MetricsRegistry`]: a `Send + Sync` registry of named atomic
+//!   counters, gauges, and histograms. Fleet workers clone cheap handles
+//!   and record lock-free; a sampler thread calls
+//!   [`MetricsRegistry::snapshot`] live without stopping anyone.
+//! - [`MetricsSnapshot`]: the plain point-in-time export — merged in job
+//!   order exactly like `Stats::merge` so any worker count yields
+//!   bit-identical metrics, rendered as Prometheus text or JSON, with a
+//!   [`MetricsSnapshot::deterministic_view`] projection for the
+//!   worker-count bit-identity gate.
+//!
+//! The engine (fpvm-core) keeps its own per-run metrics plane behind
+//! `FpvmConfig::metrics` and exports a [`MetricsSnapshot`]; the fleet
+//! additionally shares one `MetricsRegistry` across workers for live
+//! heartbeats. Both meet in the same snapshot type, so exporters don't
+//! care where a metric came from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod snapshot;
+
+pub use hist::{AtomicLog2Histogram, Log2Histogram, HIST_BUCKETS};
+pub use snapshot::{MetricEntry, MetricKind, MetricValue, MetricsSnapshot};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One registered metric's shared storage.
+enum Slot {
+    Counter {
+        deterministic: bool,
+        cell: Arc<AtomicU64>,
+    },
+    Gauge {
+        deterministic: bool,
+        cell: Arc<AtomicU64>,
+    },
+    Histogram {
+        deterministic: bool,
+        cell: Arc<AtomicLog2Histogram>,
+    },
+}
+
+impl Slot {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Slot::Counter { .. } => MetricKind::Counter,
+            Slot::Gauge { .. } => MetricKind::Gauge,
+            Slot::Histogram { .. } => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A cheap cloneable handle to a registered counter. Recording is a single
+/// relaxed `fetch_add` — callable from any thread, no lock.
+#[derive(Clone)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A cheap cloneable handle to a registered gauge (last-written level).
+#[derive(Clone)]
+pub struct GaugeHandle(Arc<AtomicU64>);
+
+impl GaugeHandle {
+    /// Set the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the level.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n` from the level (saturating at 0 under races is the
+    /// caller's problem; fleet gauges only move one direction at a time).
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A cheap cloneable handle to a registered histogram.
+#[derive(Clone)]
+pub struct HistogramHandle(Arc<AtomicLog2Histogram>);
+
+impl HistogramHandle {
+    /// Record one sample (lock-free).
+    pub fn record(&self, v: u64) {
+        self.0.record(v);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count()
+    }
+}
+
+/// A `Send + Sync` registry of named metrics shared across fleet workers.
+///
+/// Registration takes a short mutex (once per metric name, typically at
+/// worker startup); recording through the returned handles is lock-free.
+/// Re-registering an existing name returns a handle to the same storage —
+/// that is how every worker ends up feeding one `fleet_jobs_completed`
+/// counter. Registering a name under a *different* kind panics: that is a
+/// producer bug, not a runtime condition.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+    sealed: AtomicBool,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Register (or look up) a counter. `deterministic` marks it a pure
+    /// function of guest execution, part of the worker-count bit-identity
+    /// gate.
+    pub fn counter(&self, name: &str, deterministic: bool) -> CounterHandle {
+        let mut slots = self.slots.lock().unwrap();
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter {
+                deterministic,
+                cell: Arc::new(AtomicU64::new(0)),
+            });
+        match slot {
+            Slot::Counter { cell, .. } => CounterHandle(Arc::clone(cell)),
+            other => panic!(
+                "metric {name} already registered as {}",
+                other.kind().label()
+            ),
+        }
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&self, name: &str, deterministic: bool) -> GaugeHandle {
+        let mut slots = self.slots.lock().unwrap();
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge {
+                deterministic,
+                cell: Arc::new(AtomicU64::new(0)),
+            });
+        match slot {
+            Slot::Gauge { cell, .. } => GaugeHandle(Arc::clone(cell)),
+            other => panic!(
+                "metric {name} already registered as {}",
+                other.kind().label()
+            ),
+        }
+    }
+
+    /// Register (or look up) a histogram.
+    pub fn histogram(&self, name: &str, deterministic: bool) -> HistogramHandle {
+        let mut slots = self.slots.lock().unwrap();
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Histogram {
+                deterministic,
+                cell: Arc::new(AtomicLog2Histogram::new()),
+            });
+        match slot {
+            Slot::Histogram { cell, .. } => HistogramHandle(Arc::clone(cell)),
+            other => panic!(
+                "metric {name} already registered as {}",
+                other.kind().label()
+            ),
+        }
+    }
+
+    /// Mark the registry quiescent: all recorders have joined, so the next
+    /// snapshot is exact rather than a live sample. Purely informational —
+    /// exporters read it via [`MetricsRegistry::is_sealed`].
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::Release);
+    }
+
+    /// Has [`MetricsRegistry::seal`] been called?
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::Acquire)
+    }
+
+    /// A point-in-time plain snapshot of every registered metric. Safe to
+    /// call from a sampler thread while workers record; individual values
+    /// may lag each other mid-run, and are exact at quiescence.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.slots.lock().unwrap();
+        let mut snap = MetricsSnapshot::new();
+        for (name, slot) in slots.iter() {
+            match slot {
+                Slot::Counter {
+                    deterministic,
+                    cell,
+                } => snap.set_counter(name, *deterministic, cell.load(Ordering::Relaxed)),
+                Slot::Gauge {
+                    deterministic,
+                    cell,
+                } => snap.set_gauge(name, *deterministic, cell.load(Ordering::Relaxed)),
+                Slot::Histogram {
+                    deterministic,
+                    cell,
+                } => snap.set_histogram(name, *deterministic, cell.snapshot()),
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry and its handles must be shareable across fleet worker
+    /// threads.
+    #[test]
+    fn registry_is_send_sync() {
+        fn pin<T: Send + Sync>() {}
+        pin::<MetricsRegistry>();
+        pin::<CounterHandle>();
+        pin::<GaugeHandle>();
+        pin::<HistogramHandle>();
+    }
+
+    #[test]
+    fn handles_share_storage_by_name() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("jobs_total", true);
+        let b = r.counter("jobs_total", true);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+
+        let g = r.gauge("queue_depth", false);
+        g.set(5);
+        g.sub(2);
+        g.add(1);
+        assert_eq!(r.gauge("queue_depth", false).get(), 4);
+
+        let h = r.histogram("lat_ns", false);
+        h.record(100);
+        r.histogram("lat_ns", false).record(200);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_reflects_all_slots() {
+        let r = MetricsRegistry::new();
+        r.counter("c", true).add(7);
+        r.gauge("g", false).set(9);
+        r.histogram("h", false).record(1000);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), Some(7));
+        assert_eq!(s.gauge("g"), Some(9));
+        assert_eq!(s.histogram("h").unwrap().max(), 1000);
+        assert!(s.get("c").unwrap().deterministic);
+        assert!(!s.get("g").unwrap().deterministic);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x", true);
+        r.gauge("x", true);
+    }
+
+    #[test]
+    fn concurrent_recording_sums_exactly() {
+        let r = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = r.counter("n", true);
+                let h = r.histogram("v", false);
+                s.spawn(move || {
+                    for i in 0..250 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        r.seal();
+        assert!(r.is_sealed());
+        let s = r.snapshot();
+        assert_eq!(s.counter("n"), Some(1000));
+        assert_eq!(s.histogram("v").unwrap().count(), 1000);
+    }
+}

@@ -1,0 +1,385 @@
+//! Point-in-time metric snapshots: the plain, order-independent value the
+//! registry exports, merges, and renders.
+//!
+//! A snapshot is a sorted name → value map. Fleet workers each produce one
+//! per job; the join loop folds them **in job order** with
+//! [`MetricsSnapshot::merge`] — counters, gauges and histogram buckets sum
+//! field-wise, exactly like `Stats::merge` — so the merged export is
+//! bit-identical for any worker count. Wall-clock values are inherently
+//! nondeterministic, so every entry carries a `deterministic` flag and
+//! [`MetricsSnapshot::deterministic_view`] projects the gate-able subset.
+
+use crate::hist::Log2Histogram;
+use std::collections::BTreeMap;
+
+/// The three metric families a snapshot can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically accumulated count.
+    Counter,
+    /// A last-written level (queue depth, busy workers…).
+    Gauge,
+    /// A log₂ distribution of samples.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One metric's exported value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically accumulated count.
+    Counter(u64),
+    /// A last-written level.
+    Gauge(u64),
+    /// A log₂ distribution (boxed: a histogram is ~36× the size of the
+    /// scalar variants).
+    Histogram(Box<Log2Histogram>),
+}
+
+impl MetricValue {
+    /// Which family this value belongs to.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// One named metric in a snapshot: its value plus whether it is a pure
+/// function of deterministic execution (and therefore part of the
+/// worker-count bit-identity gate) or host-measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Is this metric scheduling- and wall-clock-independent?
+    pub deterministic: bool,
+    /// The exported value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time, name-sorted view of a registry (or of one engine's
+/// metrics plane). See the module docs for the merge/determinism contract.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Install (or overwrite) a counter.
+    pub fn set_counter(&mut self, name: &str, deterministic: bool, value: u64) {
+        self.entries.insert(
+            name.to_string(),
+            MetricEntry {
+                deterministic,
+                value: MetricValue::Counter(value),
+            },
+        );
+    }
+
+    /// Install (or overwrite) a gauge.
+    pub fn set_gauge(&mut self, name: &str, deterministic: bool, value: u64) {
+        self.entries.insert(
+            name.to_string(),
+            MetricEntry {
+                deterministic,
+                value: MetricValue::Gauge(value),
+            },
+        );
+    }
+
+    /// Install (or overwrite) a histogram.
+    pub fn set_histogram(&mut self, name: &str, deterministic: bool, h: Log2Histogram) {
+        self.entries.insert(
+            name.to_string(),
+            MetricEntry {
+                deterministic,
+                value: MetricValue::Histogram(Box::new(h)),
+            },
+        );
+    }
+
+    /// One entry by name.
+    pub fn get(&self, name: &str) -> Option<&MetricEntry> {
+        self.entries.get(name)
+    }
+
+    /// A counter's value, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name)?.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A gauge's value, if `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name)?.value {
+            MetricValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A histogram by name, if `name` is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        match &self.entries.get(name)?.value {
+            MetricValue::Histogram(h) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &MetricEntry)> {
+        self.entries.iter()
+    }
+
+    /// Fold another snapshot into this one, field-wise and name-wise:
+    /// counters and gauges sum, histograms merge bucket-wise, names only
+    /// one side knows arrive intact, and an entry is deterministic only if
+    /// both sides flag it so. Summation is commutative and associative, so
+    /// folding per-job snapshots **in job order** yields one canonical
+    /// merged export regardless of which worker produced which part —
+    /// the same contract as `Stats::merge`. A name carried with different
+    /// kinds on the two sides keeps this side's value (producer bug;
+    /// debug-asserted).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, o) in &other.entries {
+            match self.entries.get_mut(name) {
+                None => {
+                    self.entries.insert(name.clone(), o.clone());
+                }
+                Some(e) => {
+                    e.deterministic &= o.deterministic;
+                    match (&mut e.value, &o.value) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                        (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                        (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                        _ => debug_assert!(false, "metric {name} merged across kinds"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Only the entries flagged deterministic — the subset the fleet gate
+    /// compares bit-identical across worker counts.
+    pub fn deterministic_view(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.deterministic)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Render in the Prometheus text exposition format: `# TYPE` headers,
+    /// plain samples for counters/gauges, and cumulative `_bucket{le=…}` /
+    /// `_sum` / `_count` series for histograms (bucket upper bounds are the
+    /// log₂ boundaries).
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        for (name, e) in &self.entries {
+            s.push_str(&format!("# TYPE {name} {}\n", e.value.kind().label()));
+            match &e.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    s.push_str(&format!("{name} {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    let top = h
+                        .buckets()
+                        .iter()
+                        .rposition(|&c| c > 0)
+                        .map(|i| i.min(crate::hist::HIST_BUCKETS - 2))
+                        .unwrap_or(0);
+                    let mut cum = 0u64;
+                    for (i, &c) in h.buckets().iter().enumerate().take(top + 1) {
+                        cum += c;
+                        s.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                            Log2Histogram::bucket_upper(i)
+                        ));
+                    }
+                    s.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                    s.push_str(&format!("{name}_sum {}\n", h.sum()));
+                    s.push_str(&format!("{name}_count {}\n", h.count()));
+                }
+            }
+        }
+        s
+    }
+
+    /// Render as one JSON object: `name → {type, det, …value fields…}`.
+    /// Histograms carry count/sum/max, mean, the p50/p95/p99 derivations,
+    /// and the non-empty `[lower_bound, count]` bucket pairs. Metric names
+    /// are `[a-z0-9_]` by construction; quotes/backslashes are escaped
+    /// defensively anyway.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{");
+        for (i, (name, e)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{{", esc(name)));
+            out.push_str(&format!(
+                "\"type\":\"{}\",\"det\":{}",
+                e.value.kind().label(),
+                e.deterministic
+            ));
+            match &e.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.push_str(&format!(",\"value\":{v}"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        ",\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.1},\
+                         \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum(),
+                        h.max(),
+                        h.mean(),
+                        h.p50(),
+                        h.p95(),
+                        h.p99()
+                    ));
+                    for (j, (lb, c)) in h.nonzero().into_iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("[{lb},{c}]"));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        s.set_counter("fpvm_traps_total", true, 7);
+        s.set_gauge("fleet_queue_depth", false, 3);
+        let mut h = Log2Histogram::default();
+        for v in [1, 2, 1000] {
+            h.record(v);
+        }
+        s.set_histogram("fpvm_trap_ns", false, h);
+        s
+    }
+
+    #[test]
+    fn accessors_and_kinds() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.counter("fpvm_traps_total"), Some(7));
+        assert_eq!(s.gauge("fleet_queue_depth"), Some(3));
+        assert_eq!(s.histogram("fpvm_trap_ns").unwrap().count(), 3);
+        assert_eq!(s.counter("fleet_queue_depth"), None, "kind-checked");
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(
+            s.get("fpvm_trap_ns").unwrap().value.kind(),
+            MetricKind::Histogram
+        );
+    }
+
+    #[test]
+    fn merge_sums_fieldwise_and_unions_names() {
+        let a = sample();
+        let mut b = sample();
+        b.set_counter("only_b_total", true, 5);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.counter("fpvm_traps_total"), Some(14));
+        assert_eq!(m.gauge("fleet_queue_depth"), Some(6));
+        assert_eq!(m.histogram("fpvm_trap_ns").unwrap().count(), 6);
+        assert_eq!(m.counter("only_b_total"), Some(5));
+        // Merge in job order is canonical: (a+b)+c == a+(b+c) and the
+        // same multiset of snapshots in the same order is bit-identical.
+        let c = sample();
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut right = MetricsSnapshot::new();
+        right.merge(&a);
+        right.merge(&b);
+        right.merge(&c);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn deterministic_view_filters_and_flags_and() {
+        let s = sample();
+        let d = s.deterministic_view();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.counter("fpvm_traps_total"), Some(7));
+        // A nondeterministic copy of a deterministic name poisons the flag.
+        let mut nd = MetricsSnapshot::new();
+        nd.set_counter("fpvm_traps_total", false, 1);
+        let mut m = s.clone();
+        m.merge(&nd);
+        assert!(m.deterministic_view().is_empty());
+    }
+
+    #[test]
+    fn prometheus_text_format() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE fpvm_traps_total counter\nfpvm_traps_total 7\n"));
+        assert!(p.contains("# TYPE fleet_queue_depth gauge\nfleet_queue_depth 3\n"));
+        assert!(p.contains("# TYPE fpvm_trap_ns histogram\n"));
+        // Cumulative buckets: 1 ≤ le=1, 2 ≤ le=3, all ≤ +Inf.
+        assert!(p.contains("fpvm_trap_ns_bucket{le=\"1\"} 1\n"));
+        assert!(p.contains("fpvm_trap_ns_bucket{le=\"3\"} 2\n"));
+        assert!(p.contains("fpvm_trap_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(p.contains("fpvm_trap_ns_sum 1003\n"));
+        assert!(p.contains("fpvm_trap_ns_count 3\n"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"fpvm_traps_total\":{\"type\":\"counter\",\"det\":true,\"value\":7}"));
+        assert!(j.contains("\"fleet_queue_depth\":{\"type\":\"gauge\",\"det\":false,\"value\":3}"));
+        assert!(
+            j.contains("\"p50\":3"),
+            "rank 2 of [1,2,1000] resolves to bucket upper 3"
+        );
+        assert!(j.contains("\"buckets\":[[1,1],[2,1],[512,1]]"));
+    }
+}
