@@ -118,6 +118,17 @@ impl<V> ShadowArena<V> {
         self.stats
     }
 
+    /// Reset to the fresh-arena state, keeping the slab allocation. Engine
+    /// recycling uses this: after a reset the key sequence, free-list
+    /// behavior, and statistics are indistinguishable from a brand-new
+    /// arena (no free list survives — allocation order must not drift).
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.free_head = None;
+        self.live = 0;
+        self.stats = ArenaStats::default();
+    }
+
     /// Clear all mark bits (start of a GC cycle).
     pub fn clear_marks(&mut self) {
         for slot in &mut self.slots {

@@ -31,7 +31,7 @@ fn entry(id: u16) -> (Inst, u8) {
 }
 
 fn populate(cache: &mut dyn DecodeCache) {
-    cache.prepare(CODE_LEN);
+    cache.prepare(CODE_LEN, 0x5eed);
     for i in 0..SITES {
         cache.insert(CODE_BASE + i * 5, entry(i as u16));
     }

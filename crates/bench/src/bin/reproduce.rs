@@ -84,6 +84,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "obs",
         "E16: observability — stage wall-clock timing, exporters, overhead",
     ),
+    (
+        "speed",
+        "E17: raw interpreter speed — host-ns/trap, emulate cache on/off",
+    ),
 ];
 
 fn main() {
@@ -245,6 +249,25 @@ fn main() {
         }
         if !r.fig9_pinned {
             eprintln!("OBS FIG9 PIN FAILED: the metrics plane perturbed deterministic stats");
+            std::process::exit(1);
+        }
+    }
+    if want("speed") {
+        ran = true;
+        let r = exp::speed(size == Size::Tiny);
+        archive("speed", &r);
+        let _ = trajectory::append_entry(
+            std::path::Path::new("BENCH_speed.json"),
+            "speed",
+            &trajectory::run_meta(size == Size::Tiny),
+            &r.to_json(),
+        );
+        if !r.deterministic {
+            eprintln!("SPEED DETERMINISM FAILED: an emulate-cache mode changed results");
+            std::process::exit(1);
+        }
+        if !r.fig9_pinned {
+            eprintln!("SPEED FIG9 PIN FAILED: cycle accounting moved with the emulate cache");
             std::process::exit(1);
         }
     }

@@ -1,0 +1,89 @@
+//! Pins the Fig. 9 cycle accounting across emulate-cache modes: the
+//! deterministic view of a run must be bit-identical whether the emulate
+//! cache is on (direct-mapped), off (`emulate_cache: false`, bind every
+//! trap), or an enabled-but-never-caching passthrough policy — and
+//! whether the engine is fresh or recycled. The cache may only move host
+//! wall time, never a deterministic stat.
+
+use fpvm_arith::BigFloatCtx;
+use fpvm_bench::{run_hybrid, run_hybrid_with};
+use fpvm_core::{FpvmConfig, PassthroughEmulateCache, Stats};
+use fpvm_machine::{CostModel, OutputEvent};
+use fpvm_workloads::{fbench, lorenz, Size, Workload};
+
+fn run_mode(w: &Workload, cfg: FpvmConfig, passthrough: bool) -> (Stats, Vec<OutputEvent>) {
+    let (report, out, _) =
+        run_hybrid_with(w, BigFloatCtx::new(200), CostModel::r815(), cfg, |vm| {
+            if passthrough {
+                vm.set_emulate_cache(Box::new(PassthroughEmulateCache));
+            }
+        });
+    (report.stats, out)
+}
+
+fn pin_workload(w: &Workload) {
+    let (s_on, out_on) = run_mode(w, FpvmConfig::default(), false);
+    let (s_off, out_off) = run_mode(
+        w,
+        FpvmConfig {
+            emulate_cache: false,
+            ..FpvmConfig::default()
+        },
+        false,
+    );
+    let (s_pass, out_pass) = run_mode(w, FpvmConfig::default(), true);
+
+    let base = s_on.deterministic_view();
+    assert_eq!(
+        s_off.deterministic_view(),
+        base,
+        "{}: ecache off moved a deterministic stat",
+        w.name
+    );
+    assert_eq!(
+        s_pass.deterministic_view(),
+        base,
+        "{}: passthrough ecache policy moved a deterministic stat",
+        w.name
+    );
+    assert_eq!(out_off, out_on, "{}: guest output diverged (off)", w.name);
+    assert_eq!(out_pass, out_on, "{}: guest output diverged (pass)", w.name);
+    // The accounting replay on the hit path books hits, not misses: the
+    // decode counters are identical in all three modes.
+    assert_eq!(s_off.decode_hits, s_on.decode_hits, "{}", w.name);
+    assert_eq!(s_off.decode_misses, s_on.decode_misses, "{}", w.name);
+}
+
+#[test]
+fn fig9_pinned_across_emulate_cache_modes() {
+    pin_workload(&fbench::workload(Size::Tiny));
+    pin_workload(&lorenz::workload(Size::Tiny));
+}
+
+/// The same pin under trap-and-patch: patched sites interact with the
+/// emulate cache (install_patch invalidates the entry), so the accounting
+/// must stay identical there too.
+#[test]
+fn fig9_pinned_across_emulate_cache_modes_with_patching() {
+    let w = lorenz::workload(Size::Tiny);
+    let tp = FpvmConfig {
+        trap_and_patch: true,
+        ..FpvmConfig::default()
+    };
+    let (on, out_on, _) = {
+        let (r, o, a) = run_hybrid(&w, BigFloatCtx::new(200), CostModel::r815(), tp);
+        (r.stats, o, a)
+    };
+    let (off, out_off, _) = run_hybrid(
+        &w,
+        BigFloatCtx::new(200),
+        CostModel::r815(),
+        FpvmConfig {
+            emulate_cache: false,
+            ..tp
+        },
+    );
+    assert_eq!(off.stats.deterministic_view(), on.deterministic_view());
+    assert_eq!(out_off, out_on);
+    assert!(on.sites_patched > 0, "patching must actually happen");
+}

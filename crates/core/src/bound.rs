@@ -14,7 +14,7 @@
 //! file — exactly the paper's example.
 
 use fpvm_arith::{FpFlags, ScalarOp};
-use fpvm_machine::{Inst, Machine, MemFault, Width, Xmm, RM, XM};
+use fpvm_machine::{Inst, Machine, Mem, MemFault, Width, Xmm, RM, XM};
 
 /// A resolved operand location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +64,107 @@ pub struct Bound {
     pub next_rip: u64,
 }
 
+/// A *symbolic* operand location: the machine-independent half of a
+/// [`Loc`]. Register operands are already fully resolved; memory operands
+/// keep the addressing form (base/index/scale/disp) so the effective
+/// address can be re-resolved against whatever register state holds at
+/// each trap. This is what makes a bound plan cacheable per RIP: the plan
+/// depends only on the instruction bytes, never on machine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanLoc {
+    /// One 64-bit lane of an XMM register.
+    XmmLane(u8, u8),
+    /// A general-purpose register.
+    Gpr(u8),
+    /// An unresolved memory operand plus a byte offset into it (packed
+    /// lane 1 reads at +8).
+    Mem(Mem, u64),
+    /// No operand.
+    None,
+}
+
+impl PlanLoc {
+    /// Resolve against the current machine state (memory operands pay one
+    /// effective-address computation; everything else is a re-tag).
+    #[inline]
+    pub fn resolve(self, m: &Machine) -> Loc {
+        match self {
+            PlanLoc::XmmLane(r, l) => Loc::XmmLane(r, l),
+            PlanLoc::Gpr(r) => Loc::Gpr(r),
+            PlanLoc::Mem(mem, off) => Loc::Mem(m.ea(&mem) + off),
+            PlanLoc::None => Loc::None,
+        }
+    }
+}
+
+/// The symbolic form of one [`BoundLane`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlanLane {
+    /// The simplified operation.
+    pub op: ScalarOp,
+    /// Symbolic source operands.
+    pub srcs: [PlanLoc; 3],
+    /// Integer source width (CvtI*ToF only).
+    pub int_width: Width,
+    /// Destination.
+    pub dst: Dst,
+}
+
+impl PlanLane {
+    #[inline]
+    fn resolve(&self, m: &Machine) -> BoundLane {
+        BoundLane {
+            op: self.op,
+            srcs: [
+                self.srcs[0].resolve(m),
+                self.srcs[1].resolve(m),
+                self.srcs[2].resolve(m),
+            ],
+            int_width: self.int_width,
+            dst: self.dst,
+        }
+    }
+}
+
+/// A memoizable bound-operand plan: everything [`bind`] derives from the
+/// instruction alone, with memory operands left symbolic. Resolving a plan
+/// against a machine reproduces [`bind`]'s result exactly, at the cost of
+/// an effective-address computation per memory operand instead of the full
+/// instruction-shape match.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundPlan {
+    /// The lanes to emulate in order.
+    pub lanes: [Option<PlanLane>; 2],
+    /// Address of the next instruction (resume point).
+    pub next_rip: u64,
+}
+
+impl BoundPlan {
+    /// Resolve every symbolic operand against the current machine state.
+    #[inline]
+    pub fn resolve(&self, m: &Machine) -> Bound {
+        Bound {
+            lanes: [
+                self.lanes[0].as_ref().map(|l| l.resolve(m)),
+                self.lanes[1].as_ref().map(|l| l.resolve(m)),
+            ],
+            next_rip: self.next_rip,
+        }
+    }
+}
+
+/// Whether an instruction's binding can be memoized.
+#[derive(Debug, Clone, Copy)]
+pub enum Planability {
+    /// The binding is a pure function of the instruction: cache the plan.
+    Static(BoundPlan),
+    /// The binding reads machine state beyond operand addressing (the
+    /// XorPd/AndPd mask inspection): bind fresh at every trap.
+    Dynamic,
+    /// The instruction has no emulable FP shape.
+    Unbindable,
+}
+
 /// Read a 64-bit value from a location.
 pub fn read_loc(m: &Machine, loc: Loc) -> Result<u64, MemFault> {
     match loc {
@@ -90,66 +191,74 @@ pub fn read_int_loc(m: &Machine, loc: Loc, w: Width) -> Result<i64, MemFault> {
     })
 }
 
-fn xm_loc(m: &Machine, xm: &XM, lane: u8) -> Loc {
+fn xm_plan(xm: &XM, lane: u8) -> PlanLoc {
     match xm {
-        XM::Reg(x) => Loc::XmmLane(x.0, lane),
-        XM::Mem(mem) => Loc::Mem(m.ea(mem) + u64::from(lane) * 8),
+        XM::Reg(x) => PlanLoc::XmmLane(x.0, lane),
+        XM::Mem(mem) => PlanLoc::Mem(*mem, u64::from(lane) * 8),
     }
 }
 
-fn rm_loc(m: &Machine, rm: &RM) -> Loc {
+fn rm_plan(rm: &RM) -> PlanLoc {
     match rm {
-        RM::Reg(r) => Loc::Gpr(r.0),
-        RM::Mem(mem) => Loc::Mem(m.ea(mem)),
+        RM::Reg(r) => PlanLoc::Gpr(r.0),
+        RM::Mem(mem) => PlanLoc::Mem(*mem, 0),
     }
 }
 
-fn scalar2(op: ScalarOp, dst: Xmm, m: &Machine, src: &XM) -> BoundLane {
-    BoundLane {
+fn scalar2(op: ScalarOp, dst: Xmm, src: &XM) -> PlanLane {
+    PlanLane {
         op,
-        srcs: [Loc::XmmLane(dst.0, 0), xm_loc(m, src, 0), Loc::None],
+        srcs: [PlanLoc::XmmLane(dst.0, 0), xm_plan(src, 0), PlanLoc::None],
         int_width: Width::W64,
         dst: Dst::F64Lane(dst.0, 0),
     }
 }
 
-fn packed2(op: ScalarOp, dst: Xmm, m: &Machine, src: &XM, lane: u8) -> BoundLane {
-    BoundLane {
+fn packed2(op: ScalarOp, dst: Xmm, src: &XM, lane: u8) -> PlanLane {
+    PlanLane {
         op,
-        srcs: [Loc::XmmLane(dst.0, lane), xm_loc(m, src, lane), Loc::None],
+        srcs: [
+            PlanLoc::XmmLane(dst.0, lane),
+            xm_plan(src, lane),
+            PlanLoc::None,
+        ],
         int_width: Width::W64,
         dst: Dst::F64Lane(dst.0, lane),
     }
 }
 
-/// Bind an instruction to operand locations. Returns `None` for
-/// instructions the emulator never sees (moves, integer ops, control flow).
-pub fn bind(m: &Machine, inst: &Inst, next_rip: u64) -> Option<Bound> {
+/// Derive the machine-independent binding plan of an instruction. The
+/// single source of truth for operand shapes: [`bind`] is implemented as
+/// `plan(..).resolve(m)`, and the emulate cache memoizes the `Static`
+/// plans per RIP so hot traps skip this match entirely.
+pub fn plan(inst: &Inst, next_rip: u64) -> Planability {
     use Inst::*;
     use ScalarOp::*;
-    let one = |l: BoundLane| Bound {
-        lanes: [Some(l), None],
-        next_rip,
+    let one = |l: PlanLane| {
+        Planability::Static(BoundPlan {
+            lanes: [Some(l), None],
+            next_rip,
+        })
     };
-    Some(match inst {
-        AddSd { dst, src } => one(scalar2(Add, *dst, m, src)),
-        SubSd { dst, src } => one(scalar2(Sub, *dst, m, src)),
-        MulSd { dst, src } => one(scalar2(Mul, *dst, m, src)),
-        DivSd { dst, src } => one(scalar2(Div, *dst, m, src)),
-        MinSd { dst, src } => one(scalar2(Min, *dst, m, src)),
-        MaxSd { dst, src } => one(scalar2(Max, *dst, m, src)),
-        SqrtSd { dst, src } => one(BoundLane {
+    match inst {
+        AddSd { dst, src } => one(scalar2(Add, *dst, src)),
+        SubSd { dst, src } => one(scalar2(Sub, *dst, src)),
+        MulSd { dst, src } => one(scalar2(Mul, *dst, src)),
+        DivSd { dst, src } => one(scalar2(Div, *dst, src)),
+        MinSd { dst, src } => one(scalar2(Min, *dst, src)),
+        MaxSd { dst, src } => one(scalar2(Max, *dst, src)),
+        SqrtSd { dst, src } => one(PlanLane {
             op: Sqrt,
-            srcs: [xm_loc(m, src, 0), Loc::None, Loc::None],
+            srcs: [xm_plan(src, 0), PlanLoc::None, PlanLoc::None],
             int_width: Width::W64,
             dst: Dst::F64Lane(dst.0, 0),
         }),
-        FmaSd { dst, a, b } => one(BoundLane {
+        FmaSd { dst, a, b } => one(PlanLane {
             op: Fma,
             srcs: [
-                Loc::XmmLane(dst.0, 0),
-                Loc::XmmLane(a.0, 0),
-                xm_loc(m, b, 0),
+                PlanLoc::XmmLane(dst.0, 0),
+                PlanLoc::XmmLane(a.0, 0),
+                xm_plan(b, 0),
             ],
             int_width: Width::W64,
             dst: Dst::F64Lane(dst.0, 0),
@@ -161,62 +270,84 @@ pub fn bind(m: &Machine, inst: &Inst, next_rip: u64) -> Option<Bound> {
                 MulPd { .. } => Mul,
                 _ => Div,
             };
-            Bound {
+            Planability::Static(BoundPlan {
                 lanes: [
-                    Some(packed2(op, *dst, m, src, 0)),
-                    Some(packed2(op, *dst, m, src, 1)),
+                    Some(packed2(op, *dst, src, 0)),
+                    Some(packed2(op, *dst, src, 1)),
                 ],
                 next_rip,
-            }
+            })
         }
-        UComISd { a, b } => one(BoundLane {
+        UComISd { a, b } => one(PlanLane {
             op: CmpQuiet,
-            srcs: [Loc::XmmLane(a.0, 0), xm_loc(m, b, 0), Loc::None],
+            srcs: [PlanLoc::XmmLane(a.0, 0), xm_plan(b, 0), PlanLoc::None],
             int_width: Width::W64,
             dst: Dst::Rflags,
         }),
-        ComISd { a, b } => one(BoundLane {
+        ComISd { a, b } => one(PlanLane {
             op: CmpSignaling,
-            srcs: [Loc::XmmLane(a.0, 0), xm_loc(m, b, 0), Loc::None],
+            srcs: [PlanLoc::XmmLane(a.0, 0), xm_plan(b, 0), PlanLoc::None],
             int_width: Width::W64,
             dst: Dst::Rflags,
         }),
-        CvtSi2Sd { dst, src, w } => one(BoundLane {
+        CvtSi2Sd { dst, src, w } => one(PlanLane {
             op: if matches!(w, Width::W32) {
                 CvtI32ToF
             } else {
                 CvtI64ToF
             },
-            srcs: [rm_loc(m, src), Loc::None, Loc::None],
+            srcs: [rm_plan(src), PlanLoc::None, PlanLoc::None],
             int_width: *w,
             dst: Dst::F64Lane(dst.0, 0),
         }),
-        CvtTSd2Si { dst, src, w } => one(BoundLane {
+        CvtTSd2Si { dst, src, w } => one(PlanLane {
             op: if matches!(w, Width::W32) {
                 CvtFToI32
             } else {
                 CvtFToI64
             },
-            srcs: [xm_loc(m, src, 0), Loc::None, Loc::None],
+            srcs: [xm_plan(src, 0), PlanLoc::None, PlanLoc::None],
             int_width: *w,
             dst: Dst::Int(dst.0, *w),
         }),
-        CvtSd2Ss { dst, src } => one(BoundLane {
+        CvtSd2Ss { dst, src } => one(PlanLane {
             op: CvtFToF32,
-            srcs: [xm_loc(m, src, 0), Loc::None, Loc::None],
+            srcs: [xm_plan(src, 0), PlanLoc::None, PlanLoc::None],
             int_width: Width::W32,
             dst: Dst::F32Lane(dst.0),
         }),
-        CvtSs2Sd { dst, src } => one(BoundLane {
+        CvtSs2Sd { dst, src } => one(PlanLane {
             op: CvtF32ToF,
-            srcs: [xm_loc(m, src, 0), Loc::None, Loc::None],
+            srcs: [xm_plan(src, 0), PlanLoc::None, PlanLoc::None],
             int_width: Width::W32,
             dst: Dst::F64Lane(dst.0, 0),
         }),
-        // Bitwise FP ops with the canonical compiler masks bind to Neg/Abs
-        // — the runtime can then emulate a sign flip on the *shadow value*
-        // instead of demoting (used by the compiler-based approach and the
-        // smart-bitwise extension; plain static analysis demotes instead).
+        // Binding inspects the mask *value*, so the result depends on
+        // machine state beyond operand addressing: never memoizable.
+        XorPd { .. } | AndPd { .. } => Planability::Dynamic,
+        _ => Planability::Unbindable,
+    }
+}
+
+/// Bind an instruction to operand locations. Returns `None` for
+/// instructions the emulator never sees (moves, integer ops, control flow).
+pub fn bind(m: &Machine, inst: &Inst, next_rip: u64) -> Option<Bound> {
+    match plan(inst, next_rip) {
+        Planability::Static(p) => Some(p.resolve(m)),
+        Planability::Dynamic => bind_dynamic(m, inst, next_rip),
+        Planability::Unbindable => None,
+    }
+}
+
+/// The data-dependent bindings ([`Planability::Dynamic`]): bitwise FP ops
+/// with the canonical compiler masks bind to Neg/Abs — the runtime can
+/// then emulate a sign flip on the *shadow value* instead of demoting
+/// (used by the compiler-based approach and the smart-bitwise extension;
+/// plain static analysis demotes instead).
+fn bind_dynamic(m: &Machine, inst: &Inst, next_rip: u64) -> Option<Bound> {
+    use Inst::*;
+    use ScalarOp::*;
+    match inst {
         XorPd { dst, src } | AndPd { dst, src } => {
             let mask = m.read_xm128(src).ok()?;
             let is_xor = matches!(inst, XorPd { .. });
@@ -233,13 +364,13 @@ pub fn bind(m: &Machine, inst: &Inst, next_rip: u64) -> Option<Bound> {
                 int_width: Width::W64,
                 dst: Dst::F64Lane(dst.0, l),
             };
-            Bound {
+            Some(Bound {
                 lanes: [Some(mk(0)), if lane1_active { Some(mk(1)) } else { None }],
                 next_rip,
-            }
+            })
         }
-        _ => return None,
-    })
+        _ => None,
+    }
 }
 
 /// Pure softfp evaluation of one bound lane from raw bits — the
@@ -364,6 +495,73 @@ mod tests {
             0
         )
         .is_none());
+    }
+
+    #[test]
+    fn plan_resolve_matches_direct_bind() {
+        // The memoizable plan, resolved against the machine, must agree
+        // with a fresh bind for every static shape — including memory
+        // operands whose effective address changes between traps.
+        let mut m = machine_with(|_| {});
+        m.gpr[Gpr::RSP.0 as usize] = 0x40_0000;
+        let insts = [
+            Inst::AddSd {
+                dst: Xmm(0),
+                src: XM::Mem(Mem::base_disp(Gpr::RSP, 8)),
+            },
+            Inst::MulPd {
+                dst: Xmm(2),
+                src: XM::Mem(Mem::base_disp(Gpr::RSP, 16)),
+            },
+            Inst::SqrtSd {
+                dst: Xmm(1),
+                src: XM::Reg(Xmm(3)),
+            },
+            Inst::UComISd {
+                a: Xmm(0),
+                b: XM::Reg(Xmm(1)),
+            },
+        ];
+        for inst in &insts {
+            let Planability::Static(p) = plan(inst, 0x2000) else {
+                panic!("{inst:?} must be statically plannable");
+            };
+            for rsp in [0x40_0000u64, 0x41_0000] {
+                m.gpr[Gpr::RSP.0 as usize] = rsp;
+                let fresh = bind(&m, inst, 0x2000).unwrap();
+                let cached = p.resolve(&m);
+                assert_eq!(format!("{fresh:?}"), format!("{cached:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn mask_dependent_ops_are_dynamic() {
+        // XorPd/AndPd read the mask value at bind time, so their plans
+        // must never be memoized (a cached Neg could replay after the
+        // guest rewrote the mask).
+        for inst in [
+            Inst::XorPd {
+                dst: Xmm(0),
+                src: XM::Reg(Xmm(1)),
+            },
+            Inst::AndPd {
+                dst: Xmm(0),
+                src: XM::Reg(Xmm(1)),
+            },
+        ] {
+            assert!(matches!(plan(&inst, 0), Planability::Dynamic));
+        }
+        assert!(matches!(
+            plan(
+                &Inst::MovRR {
+                    dst: Gpr::RAX,
+                    src: Gpr::RBX
+                },
+                0
+            ),
+            Planability::Unbindable
+        ));
     }
 
     #[test]

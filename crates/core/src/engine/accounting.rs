@@ -189,6 +189,12 @@ impl Accounting {
         &self.stats
     }
 
+    /// Zero the accumulated statistics (engine recycle): the next run
+    /// starts from the same state a fresh sink would.
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+    }
+
     /// Snapshot the statistics (for [`crate::engine::RunReport`]).
     pub fn snapshot(&self) -> Stats {
         self.stats.clone()

@@ -115,39 +115,49 @@ impl<A: ArithSystem> Fpvm<A> {
     /// number of demotions performed.
     pub(crate) fn demote_operands(&mut self, m: &mut Machine, inst: &Inst) -> usize {
         use Inst::*;
-        let mut locs: Vec<Loc> = Vec::new();
-        match inst {
-            Load { addr, .. } => locs.push(Loc::Mem(m.ea(addr))),
-            MovQXG { src, .. } => locs.push(Loc::XmmLane(src.0, 0)),
-            XorPd { dst, src } | AndPd { dst, src } | OrPd { dst, src } => {
-                locs.push(Loc::XmmLane(dst.0, 0));
-                locs.push(Loc::XmmLane(dst.0, 1));
-                match src {
-                    fpvm_machine::XM::Reg(x) => {
-                        locs.push(Loc::XmmLane(x.0, 0));
-                        locs.push(Loc::XmmLane(x.0, 1));
-                    }
-                    fpvm_machine::XM::Mem(mem) => {
-                        let ea = m.ea(mem);
-                        locs.push(Loc::Mem(ea));
-                        locs.push(Loc::Mem(ea + 8));
+        // No shape touches more than four locations (the bitwise ops: two
+        // dst lanes + two source lanes/words), so a fixed array replaces
+        // the former per-trap Vec.
+        let mut locs = [Loc::None; 4];
+        let mut ln = 0;
+        {
+            let mut push = |l: Loc| {
+                locs[ln] = l;
+                ln += 1;
+            };
+            match inst {
+                Load { addr, .. } => push(Loc::Mem(m.ea(addr))),
+                MovQXG { src, .. } => push(Loc::XmmLane(src.0, 0)),
+                XorPd { dst, src } | AndPd { dst, src } | OrPd { dst, src } => {
+                    push(Loc::XmmLane(dst.0, 0));
+                    push(Loc::XmmLane(dst.0, 1));
+                    match src {
+                        fpvm_machine::XM::Reg(x) => {
+                            push(Loc::XmmLane(x.0, 0));
+                            push(Loc::XmmLane(x.0, 1));
+                        }
+                        fpvm_machine::XM::Mem(mem) => {
+                            let ea = m.ea(mem);
+                            push(Loc::Mem(ea));
+                            push(Loc::Mem(ea + 8));
+                        }
                     }
                 }
-            }
-            MovSd { src, .. } | MovApd { src, .. } => {
-                if let fpvm_machine::XM::Mem(mem) = src {
-                    locs.push(Loc::Mem(m.ea(mem)));
+                MovSd { src, .. } | MovApd { src, .. } => {
+                    if let fpvm_machine::XM::Mem(mem) = src {
+                        push(Loc::Mem(m.ea(mem)));
+                    }
                 }
-            }
-            Store { src, .. } => locs.push(Loc::Gpr(src.0)),
-            _ => {
-                // Conservative: demoting all xmm lanes the instruction
-                // touches is unnecessary for our patch set; other shapes do
-                // not reach the side table.
+                Store { src, .. } => push(Loc::Gpr(src.0)),
+                _ => {
+                    // Conservative: demoting all xmm lanes the instruction
+                    // touches is unnecessary for our patch set; other
+                    // shapes do not reach the side table.
+                }
             }
         }
         let mut n = 0;
-        for loc in locs {
+        for &loc in &locs[..ln] {
             n += usize::from(self.demote_loc(m, loc));
         }
         n

@@ -30,9 +30,13 @@ pub type DecodeEntry = (Inst, u8);
 /// should own it (or use `Arc`/atomics), not alias it through `Rc`.
 pub trait DecodeCache: Send {
     /// Called once per [`crate::engine::Fpvm::run`] with the guest's code
-    /// segment length, before any lookup. Implementations may size
-    /// themselves here; the default does nothing.
-    fn prepare(&mut self, _code_len: usize) {}
+    /// segment length and its content fingerprint, before any lookup.
+    /// Implementations must drop every entry when the fingerprint differs
+    /// from the one they were filled under — two *different* programs of
+    /// identical length must never share entries (the stale-reload bug:
+    /// keying on length alone served program A's decodes to program B).
+    /// The default does nothing (stateless policies).
+    fn prepare(&mut self, _code_len: usize, _fingerprint: u64) {}
 
     /// The cached entry at `rip`, if any.
     fn lookup(&self, rip: u64) -> Option<DecodeEntry>;
@@ -53,6 +57,8 @@ pub trait DecodeCache: Send {
 #[derive(Debug, Default)]
 pub struct DirectMappedCache {
     slots: Vec<Option<DecodeEntry>>,
+    /// Fingerprint of the program the slots were filled under.
+    fingerprint: u64,
 }
 
 impl DirectMappedCache {
@@ -68,18 +74,22 @@ impl DirectMappedCache {
 }
 
 impl DecodeCache for DirectMappedCache {
-    fn prepare(&mut self, code_len: usize) {
-        // Keep existing entries when re-running the same program (the hash
-        // map policy also persisted across runs); reshape only when the
-        // code segment's size changes.
-        if self.slots.len() != code_len {
+    fn prepare(&mut self, code_len: usize, fingerprint: u64) {
+        // Keep existing entries only when re-running the *same* program
+        // (same length and same content fingerprint — length alone is not
+        // identity); `clear` + `resize` keeps the slot allocation.
+        if self.slots.len() != code_len || self.fingerprint != fingerprint {
             self.slots.clear();
             self.slots.resize(code_len, None);
+            self.fingerprint = fingerprint;
         }
     }
 
     fn lookup(&self, rip: u64) -> Option<DecodeEntry> {
-        self.slots[self.slot_index(rip)?]
+        // Structurally non-panicking: a lookup before any `prepare` (or at
+        // any out-of-segment rip) is a miss, never an index panic.
+        let off = rip.checked_sub(CODE_BASE)? as usize;
+        self.slots.get(off).copied().flatten()
     }
 
     fn insert(&mut self, rip: u64, entry: DecodeEntry) {
@@ -104,6 +114,8 @@ impl DecodeCache for DirectMappedCache {
 #[derive(Debug, Default)]
 pub struct HashMapCache {
     map: HashMap<u64, DecodeEntry>,
+    /// Fingerprint of the program the map was filled under.
+    fingerprint: u64,
 }
 
 impl HashMapCache {
@@ -114,6 +126,15 @@ impl HashMapCache {
 }
 
 impl DecodeCache for HashMapCache {
+    fn prepare(&mut self, _code_len: usize, fingerprint: u64) {
+        // Same identity rule as the direct-mapped policy: entries only
+        // survive across runs of the identical program.
+        if self.fingerprint != fingerprint {
+            self.map.clear();
+            self.fingerprint = fingerprint;
+        }
+    }
+
     fn lookup(&self, rip: u64) -> Option<DecodeEntry> {
         self.map.get(&rip).copied()
     }
@@ -161,7 +182,7 @@ mod tests {
     #[test]
     fn direct_mapped_roundtrip_and_invalidate() {
         let mut c = DirectMappedCache::new();
-        c.prepare(64);
+        c.prepare(64, 0xAA);
         assert_eq!(c.lookup(CODE_BASE + 3), None);
         c.insert(CODE_BASE + 3, entry());
         assert_eq!(c.lookup(CODE_BASE + 3), Some(entry()));
@@ -172,21 +193,56 @@ mod tests {
     #[test]
     fn direct_mapped_ignores_out_of_segment_rips() {
         let mut c = DirectMappedCache::new();
-        c.prepare(16);
+        c.prepare(16, 0xAA);
         c.insert(CODE_BASE + 100, entry()); // beyond the segment: dropped
         assert_eq!(c.lookup(CODE_BASE + 100), None);
         assert_eq!(c.lookup(CODE_BASE.wrapping_sub(1)), None);
     }
 
     #[test]
-    fn direct_mapped_persists_across_same_size_prepare() {
+    fn direct_mapped_is_inert_before_prepare() {
+        // A lookup or invalidate on a never-prepared cache must be a miss
+        // or no-op, never an index panic (the engine consults the cache
+        // only after `prepare`, but the policy must not rely on that).
+        let c = DirectMappedCache::new();
+        assert_eq!(c.lookup(CODE_BASE), None);
+        assert_eq!(c.lookup(CODE_BASE + 1000), None);
+        assert_eq!(c.lookup(0), None);
+        assert_eq!(c.lookup(u64::MAX), None);
         let mut c = DirectMappedCache::new();
-        c.prepare(32);
+        c.invalidate(CODE_BASE + 5); // unprepared: no-op
+        c.insert(CODE_BASE + 5, entry()); // unprepared: dropped
+        assert_eq!(c.lookup(CODE_BASE + 5), None);
+    }
+
+    #[test]
+    fn direct_mapped_persists_across_same_program_prepare() {
+        let mut c = DirectMappedCache::new();
+        c.prepare(32, 0xAA);
         c.insert(CODE_BASE + 1, entry());
-        c.prepare(32); // same program re-run: keep entries
+        c.prepare(32, 0xAA); // same program re-run: keep entries
         assert_eq!(c.lookup(CODE_BASE + 1), Some(entry()));
-        c.prepare(48); // different program: flushed
+        c.prepare(48, 0xAA); // different length: flushed
         assert_eq!(c.lookup(CODE_BASE + 1), None);
+    }
+
+    #[test]
+    fn same_length_different_program_flushes() {
+        // The stale-reload bug: two different programs of identical length
+        // must not share entries. The fingerprint is the identity.
+        let mut c = DirectMappedCache::new();
+        c.prepare(32, 0xAA);
+        c.insert(CODE_BASE + 1, entry());
+        c.prepare(32, 0xBB); // same length, different program: flushed
+        assert_eq!(c.lookup(CODE_BASE + 1), None);
+
+        let mut h = HashMapCache::new();
+        h.prepare(32, 0xAA);
+        h.insert(CODE_BASE + 1, entry());
+        h.prepare(32, 0xAA);
+        assert_eq!(h.lookup(CODE_BASE + 1), Some(entry()), "same program");
+        h.prepare(32, 0xBB);
+        assert_eq!(h.lookup(CODE_BASE + 1), None, "different program");
     }
 
     #[test]

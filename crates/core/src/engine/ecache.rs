@@ -1,0 +1,198 @@
+//! The emulate cache: the decode cache extended one stage deeper (§5.3).
+//!
+//! The decode cache memoizes *what the bytes at a RIP decode to*; the
+//! emulate cache additionally memoizes *how the decoded instruction binds*
+//! — the machine-independent [`BoundPlan`] produced by
+//! [`crate::bound::plan`]. A hot trap that hits here skips both the full
+//! decode and the instruction-shape match in the bind stage; all that
+//! remains per trap is resolving the plan's symbolic memory operands
+//! against current register state.
+//!
+//! Only [`crate::bound::Planability::Static`] instructions are cached.
+//! Data-dependent bindings (the XorPd/AndPd mask inspection) and
+//! unbindable shapes never enter the cache, so a hit can never replay a
+//! stale machine-state-dependent decision.
+//!
+//! Invalidation is unified with the decode cache: trap-and-patch rewrites
+//! go through [`crate::engine::Fpvm`]'s `invalidate_site`, which drops the
+//! entry from both caches, and `prepare` applies the same
+//! program-fingerprint identity rule (two different programs of identical
+//! length must never share entries).
+//!
+//! Determinism: the cache changes *host* work only. A hit performs the
+//! same tallies, charges the same deterministic cycle costs, and emits the
+//! same trace events as a decode-cache hit followed by a fresh bind, so
+//! Fig. 9 accounting is bit-identical with the cache on, off, or ablated
+//! ([`PassthroughEmulateCache`]) — pinned by `crates/bench` tests.
+
+use crate::bound::BoundPlan;
+use fpvm_machine::{Inst, CODE_BASE};
+
+/// A cached trap plan: the decoded instruction, its encoded length, and
+/// its memoized bound-operand plan.
+#[derive(Debug, Clone, Copy)]
+pub struct EmulateEntry {
+    /// The decoded faulting instruction.
+    pub inst: Inst,
+    /// Its encoded length in bytes.
+    pub len: u8,
+    /// The machine-independent operand plan.
+    pub plan: BoundPlan,
+}
+
+/// Policy interface for the emulate cache. Same contract as
+/// [`super::DecodeCache`]: `prepare` must drop entries filled under a
+/// different program fingerprint, and lookups before `prepare` (or at
+/// out-of-segment RIPs) are misses, never panics.
+pub trait EmulateCache: Send {
+    /// Called once per [`crate::engine::Fpvm::run`] with the guest's code
+    /// segment length and content fingerprint, before any lookup.
+    fn prepare(&mut self, _code_len: usize, _fingerprint: u64) {}
+
+    /// The cached plan at `rip`, if any.
+    fn lookup(&self, rip: u64) -> Option<EmulateEntry>;
+
+    /// Cache the plan at `rip`.
+    fn insert(&mut self, rip: u64, entry: EmulateEntry);
+
+    /// Drop the entry at `rip` (trap-and-patch rewrote the site).
+    fn invalidate(&mut self, rip: u64);
+
+    /// Policy name, for benchmark labels.
+    fn name(&self) -> &'static str;
+}
+
+/// Direct-mapped emulate cache: one slot per guest code byte, same
+/// collision-free layout as [`super::DirectMappedCache`].
+#[derive(Debug, Default)]
+pub struct DirectMappedEmulateCache {
+    slots: Vec<Option<EmulateEntry>>,
+    /// Fingerprint of the program the slots were filled under.
+    fingerprint: u64,
+}
+
+impl DirectMappedEmulateCache {
+    /// An empty cache; it sizes itself in [`EmulateCache::prepare`].
+    pub fn new() -> Self {
+        DirectMappedEmulateCache::default()
+    }
+
+    fn slot_index(&self, rip: u64) -> Option<usize> {
+        let off = rip.checked_sub(CODE_BASE)? as usize;
+        (off < self.slots.len()).then_some(off)
+    }
+}
+
+impl EmulateCache for DirectMappedEmulateCache {
+    fn prepare(&mut self, code_len: usize, fingerprint: u64) {
+        if self.slots.len() != code_len || self.fingerprint != fingerprint {
+            self.slots.clear();
+            self.slots.resize(code_len, None);
+            self.fingerprint = fingerprint;
+        }
+    }
+
+    fn lookup(&self, rip: u64) -> Option<EmulateEntry> {
+        let off = rip.checked_sub(CODE_BASE)? as usize;
+        self.slots.get(off).copied().flatten()
+    }
+
+    fn insert(&mut self, rip: u64, entry: EmulateEntry) {
+        if let Some(i) = self.slot_index(rip) {
+            self.slots[i] = Some(entry);
+        }
+    }
+
+    fn invalidate(&mut self, rip: u64) {
+        if let Some(i) = self.slot_index(rip) {
+            self.slots[i] = None;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "direct-mapped-emulate"
+    }
+}
+
+/// The `emulate_cache: false` ablation: nothing is ever cached, so every
+/// trap pays the full bind.
+#[derive(Debug, Default)]
+pub struct PassthroughEmulateCache;
+
+impl EmulateCache for PassthroughEmulateCache {
+    fn lookup(&self, _rip: u64) -> Option<EmulateEntry> {
+        None
+    }
+
+    fn insert(&mut self, _rip: u64, _entry: EmulateEntry) {}
+
+    fn invalidate(&mut self, _rip: u64) {}
+
+    fn name(&self) -> &'static str {
+        "passthrough-emulate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::{plan, Planability};
+    use fpvm_machine::{Inst, Xmm, XM};
+
+    fn entry() -> EmulateEntry {
+        let inst = Inst::AddSd {
+            dst: Xmm(0),
+            src: XM::Reg(Xmm(1)),
+        };
+        let Planability::Static(plan) = plan(&inst, CODE_BASE + 4) else {
+            panic!("addsd must be static");
+        };
+        EmulateEntry { inst, len: 4, plan }
+    }
+
+    fn lane_dst(e: &EmulateEntry) -> crate::bound::Dst {
+        e.plan.lanes[0].as_ref().unwrap().dst
+    }
+
+    #[test]
+    fn roundtrip_invalidate_and_identity_rule() {
+        let mut c = DirectMappedEmulateCache::new();
+        c.prepare(64, 0xAA);
+        assert!(c.lookup(CODE_BASE + 3).is_none());
+        c.insert(CODE_BASE + 3, entry());
+        let hit = c.lookup(CODE_BASE + 3).unwrap();
+        assert_eq!(lane_dst(&hit), lane_dst(&entry()));
+        c.invalidate(CODE_BASE + 3);
+        assert!(c.lookup(CODE_BASE + 3).is_none());
+
+        // Same program: entries survive. Same length, different program:
+        // flushed (the stale-reload rule, shared with the decode cache).
+        c.insert(CODE_BASE + 3, entry());
+        c.prepare(64, 0xAA);
+        assert!(c.lookup(CODE_BASE + 3).is_some());
+        c.prepare(64, 0xBB);
+        assert!(c.lookup(CODE_BASE + 3).is_none());
+    }
+
+    #[test]
+    fn inert_before_prepare_and_out_of_segment() {
+        let c = DirectMappedEmulateCache::new();
+        assert!(c.lookup(CODE_BASE).is_none());
+        assert!(c.lookup(0).is_none());
+        assert!(c.lookup(u64::MAX).is_none());
+        let mut c = DirectMappedEmulateCache::new();
+        c.invalidate(CODE_BASE + 5);
+        c.insert(CODE_BASE + 5, entry());
+        assert!(c.lookup(CODE_BASE + 5).is_none());
+        c.prepare(16, 0xAA);
+        c.insert(CODE_BASE + 100, entry()); // beyond the segment: dropped
+        assert!(c.lookup(CODE_BASE + 100).is_none());
+    }
+
+    #[test]
+    fn passthrough_never_caches() {
+        let mut p = PassthroughEmulateCache;
+        p.insert(CODE_BASE, entry());
+        assert!(p.lookup(CODE_BASE).is_none());
+    }
+}

@@ -85,19 +85,62 @@ pub(crate) struct Emulator<'rt, A: ArithSystem> {
     pub always_demote: bool,
 }
 
+/// One lane source, read without cloning when possible: live arena cells
+/// are *borrowed* (the hot case — no shadow-value clone per operand, which
+/// for BigFloat values meant a limb-vector allocation per source), while
+/// promotions of raw doubles and the universal NaN are owned.
+pub(crate) enum SrcVal<'v, V> {
+    /// A borrow of a live arena cell.
+    Ref(&'v V),
+    /// An owned value (promotion or universal NaN).
+    Owned(V),
+}
+
+impl<V> std::ops::Deref for SrcVal<'_, V> {
+    type Target = V;
+
+    fn deref(&self) -> &V {
+        match self {
+            SrcVal::Ref(v) => v,
+            SrcVal::Owned(v) => v,
+        }
+    }
+}
+
 impl<'rt, A: ArithSystem> Emulator<'rt, A> {
-    /// Unbox a source into the arithmetic system, promoting if necessary.
+    /// Unbox a source into an owned value, promoting if necessary. The
+    /// external-call path (and anything needing ownership) uses this; the
+    /// lane evaluator reads through [`SrcVal`] to avoid the clone.
     pub fn unbox(&mut self, bits: u64) -> A::Value {
+        self.tally_src(bits);
+        match self.srcval(bits) {
+            SrcVal::Ref(v) => v.clone(),
+            SrcVal::Owned(v) => v,
+        }
+    }
+
+    /// Phase 1 of a clone-free source read: the accounting side effect
+    /// (raw doubles tally a promotion). Separate from [`Emulator::srcval`]
+    /// because tallying needs `&mut self` while the returned borrow pins
+    /// `&self`.
+    fn tally_src(&mut self, bits: u64) {
+        if fpvm_nanbox::decode(bits).is_none() {
+            self.acct.tally(Counter::Promotions);
+        }
+    }
+
+    /// Phase 2: the value itself. Callers must have passed the same bits
+    /// to [`Emulator::tally_src`] first.
+    fn srcval(&self, bits: u64) -> SrcVal<'_, A::Value> {
         if let Some(key) = fpvm_nanbox::decode(bits) {
             if let Some(v) = self.arena.get(key) {
-                return v.clone();
+                return SrcVal::Ref(v);
             }
             // Universal NaN: a signaling NaN with no live shadow value is a
             // true NaN (§2).
-            return self.arith.from_f64(f64::NAN);
+            return SrcVal::Owned(self.arith.from_f64(f64::NAN));
         }
-        self.acct.tally(Counter::Promotions);
-        self.arith.from_f64(f64::from_bits(bits))
+        SrcVal::Owned(self.arith.from_f64(f64::from_bits(bits)))
     }
 
     /// Box a shadow value: allocate a cell and return the encoded sNaN
@@ -124,14 +167,17 @@ impl<'rt, A: ArithSystem> Emulator<'rt, A> {
         self.acct.tally(Counter::EmulatedLanes);
         let rm = m.mxcsr.rounding();
         let err = ExitReason::Fault(Fault::Mem(fpvm_machine::MemFault::OutOfBounds(0), m.rip));
-        let rd = |emu: &mut Self, i: usize| -> Result<A::Value, ExitReason> {
-            let bits = read_loc(m, lane.srcs[i]).map_err(|_| err)?;
-            Ok(emu.unbox(bits))
-        };
+        // Clone-free source reads, in two phases per lane shape: fetch the
+        // raw bits and tally (`&mut self`), then borrow or build the
+        // values (`&self`) so live arena cells are never cloned.
+        let rdbits =
+            |i: usize| -> Result<u64, ExitReason> { read_loc(m, lane.srcs[i]).map_err(|_| err) };
         let (v, flags) = match lane.op {
             Add | Sub | Mul | Div | Min | Max => {
-                let a = rd(self, 0)?;
-                let b = rd(self, 1)?;
+                let (ba, bb) = (rdbits(0)?, rdbits(1)?);
+                self.tally_src(ba);
+                self.tally_src(bb);
+                let (a, b) = (self.srcval(ba), self.srcval(bb));
                 match lane.op {
                     Add => self.arith.add(&a, &b, rm),
                     Sub => self.arith.sub(&a, &b, rm),
@@ -141,27 +187,29 @@ impl<'rt, A: ArithSystem> Emulator<'rt, A> {
                     _ => self.arith.max(&a, &b),
                 }
             }
-            Sqrt => {
-                let a = rd(self, 0)?;
-                self.arith.sqrt(&a, rm)
-            }
-            Neg => {
-                let a = rd(self, 0)?;
-                self.arith.neg(&a)
-            }
-            Abs => {
-                let a = rd(self, 0)?;
-                self.arith.abs(&a)
+            Sqrt | Neg | Abs => {
+                let ba = rdbits(0)?;
+                self.tally_src(ba);
+                let a = self.srcval(ba);
+                match lane.op {
+                    Sqrt => self.arith.sqrt(&a, rm),
+                    Neg => self.arith.neg(&a),
+                    _ => self.arith.abs(&a),
+                }
             }
             Fma => {
-                let a = rd(self, 0)?;
-                let b = rd(self, 1)?;
-                let c = rd(self, 2)?;
+                let (ba, bb, bc) = (rdbits(0)?, rdbits(1)?, rdbits(2)?);
+                self.tally_src(ba);
+                self.tally_src(bb);
+                self.tally_src(bc);
+                let (a, b, c) = (self.srcval(ba), self.srcval(bb), self.srcval(bc));
                 self.arith.fma(&a, &b, &c, rm)
             }
             CmpQuiet | CmpSignaling => {
-                let a = rd(self, 0)?;
-                let b = rd(self, 1)?;
+                let (ba, bb) = (rdbits(0)?, rdbits(1)?);
+                self.tally_src(ba);
+                self.tally_src(bb);
+                let (a, b) = (self.srcval(ba), self.srcval(bb));
                 let (result, flags) = if lane.op == CmpQuiet {
                     self.arith.cmp_quiet(&a, &b)
                 } else {
@@ -178,7 +226,9 @@ impl<'rt, A: ArithSystem> Emulator<'rt, A> {
                 }
             }
             CvtFToI32 | CvtFToI64 => {
-                let a = rd(self, 0)?;
+                let ba = rdbits(0)?;
+                self.tally_src(ba);
+                let a = self.srcval(ba);
                 let (bits, flags) = if lane.op == CvtFToI32 {
                     let (v, f) = self.arith.to_i32(&a);
                     (v as u32 as u64, f)
@@ -193,8 +243,10 @@ impl<'rt, A: ArithSystem> Emulator<'rt, A> {
                 });
             }
             CvtFToF32 => {
-                let a = rd(self, 0)?;
+                let ba = rdbits(0)?;
+                self.tally_src(ba);
                 self.acct.tally(Counter::Demotions);
+                let a = self.srcval(ba);
                 let (v, flags) = self.arith.to_f32(&a, rm);
                 return Ok(LaneOutcome::F32 {
                     dst: lane.dst,
@@ -268,19 +320,27 @@ impl<A: ArithSystem> Fpvm<A> {
         inst: &Inst,
         next_rip: u64,
     ) -> Result<(), ExitReason> {
-        let trap_rip = m.rip;
         let t_bind = self.acct.stage_timer();
         let Some(b) = Binder.bind(m, inst, next_rip) else {
             return Err(ExitReason::error(Stage::Bind, m.rip));
         };
         self.acct
             .stage_record(crate::metrics::MetricStage::Bind, t_bind);
+        self.emulate_bound(m, &b)
+    }
+
+    /// The back half of the emulate stage, entered with operands already
+    /// bound — either freshly (via [`Fpvm::emulate`]) or from a cached
+    /// plan resolved by the emulate-cache fast path. Both entries charge
+    /// and trace identically from here on.
+    pub(crate) fn emulate_bound(&mut self, m: &mut Machine, b: &Bound) -> Result<(), ExitReason> {
+        let trap_rip = m.rip;
         let t = Instant::now();
         self.acct.tally(Counter::Emulated);
         let mut lanes: u32 = 0;
-        for lane in b.lanes.into_iter().flatten() {
+        for lane in b.lanes.iter().flatten() {
             let t_eval = self.acct.stage_timer();
-            let outcome = self.emulator().eval_lane(m, &lane)?;
+            let outcome = self.emulator().eval_lane(m, lane)?;
             self.acct
                 .stage_record(crate::metrics::MetricStage::Emulate, t_eval);
             let t_commit = self.acct.stage_timer();

@@ -60,6 +60,48 @@ impl<A: ArithSystem> Fpvm<A> {
         });
         // Inspect and clear the sticky condition codes (§4.1 "Trapping").
         m.mxcsr.clear_flags();
+        // Emulate-cache fast path: the decoded instruction *and* its bound
+        // plan are memoized, so this trap skips the full decode and the
+        // bind stage's instruction-shape match. Accounting is replayed
+        // exactly as the slow path would have charged it (a decode-cache
+        // hit plus a fresh bind), so deterministic cycles and counters are
+        // bit-identical with the cache off. Gated on `decode_cache` too:
+        // the decode_cache=false ablation must pay a full decode per trap.
+        if self.config.emulate_cache && self.config.decode_cache {
+            if let Some(entry) = self.ecache.lookup(rip) {
+                let t_decode = self.acct.stage_timer();
+                self.acct.tally(Counter::DecodeHits);
+                let cyc = m.cost.decode_cost(true);
+                self.acct.charge(m, Component::Decode, cyc);
+                self.acct.emit(|| TraceEvent::Decode {
+                    rip,
+                    hit: true,
+                    cycles: cyc,
+                });
+                self.acct.stage_record(MetricStage::Decode, t_decode);
+                let bind_cost = m.cost.bind;
+                self.acct.charge(m, Component::Bind, bind_cost);
+                self.acct.emit(|| TraceEvent::Bind {
+                    rip,
+                    cycles: bind_cost,
+                });
+                let t_bind = self.acct.stage_timer();
+                let b = entry.plan.resolve(m);
+                self.acct.stage_record(MetricStage::Bind, t_bind);
+                self.emulate_bound(m, &b)?;
+                if self.config.trap_and_patch {
+                    let frame = TrapFrame {
+                        rip,
+                        flags,
+                        inst: entry.inst,
+                        len: entry.len,
+                    };
+                    self.install_patch(m, &frame);
+                }
+                self.acct.stage_record(MetricStage::Frame, t_frame);
+                return Ok(());
+            }
+        }
         // Decode (through the cache) fills in the rest of the frame.
         let (inst, len) = self.decode_at(m, rip)?;
         let frame = TrapFrame {
@@ -76,6 +118,24 @@ impl<A: ArithSystem> Fpvm<A> {
             cycles: bind_cost,
         });
         self.emulate(m, &frame.inst, frame.next_rip())?;
+        // Memoize the bound plan for the next trap at this site (only
+        // statically plannable shapes enter the cache). Insert *before*
+        // install_patch so a patched site's entry is invalidated, not
+        // resurrected.
+        if self.config.emulate_cache && self.config.decode_cache {
+            if let crate::bound::Planability::Static(plan) =
+                crate::bound::plan(&frame.inst, frame.next_rip())
+            {
+                self.ecache.insert(
+                    rip,
+                    super::ecache::EmulateEntry {
+                        inst: frame.inst,
+                        len: frame.len,
+                        plan,
+                    },
+                );
+            }
+        }
         // Trap-and-patch: install a patch at this site so the next
         // encounter dispatches via a cheap call instead of a trap.
         if self.config.trap_and_patch {

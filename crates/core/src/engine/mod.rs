@@ -29,6 +29,7 @@ pub mod accounting;
 pub mod config;
 mod correctness;
 pub mod decode;
+pub mod ecache;
 mod emulate;
 pub mod exit;
 mod external;
@@ -40,6 +41,7 @@ pub use accounting::{Accounting, Counter};
 pub use config::FpvmConfig;
 pub use correctness::SideTableEntry;
 pub use decode::{DecodeCache, DirectMappedCache, HashMapCache, PassthroughCache};
+pub use ecache::{DirectMappedEmulateCache, EmulateCache, EmulateEntry, PassthroughEmulateCache};
 pub use emulate::{Binder, Committer, LaneOutcome};
 pub use exit::{ExitReason, RuntimeError, Stage};
 pub use frame::TrapFrame;
@@ -128,9 +130,19 @@ pub struct Fpvm<A: ArithSystem> {
     pub config: FpvmConfig,
     pub(crate) acct: Accounting,
     pub(crate) cache: Box<dyn DecodeCache>,
+    /// The emulate cache: decoded + bound plans per RIP (see [`ecache`]).
+    pub(crate) ecache: Box<dyn EmulateCache>,
     pub(crate) side_table: Vec<SideTableEntry>,
     pub(crate) patches: patch::PatchTable,
     pub(crate) patch_allow: Option<HashSet<u64>>,
+    /// Reusable encode buffer for trap-and-patch installs (per-trap
+    /// allocation discipline: the engine owns its scratch).
+    pub(crate) scratch_code: Vec<u8>,
+    /// Bumped by [`Fpvm::recycle`]; mixed into the cache fingerprint so no
+    /// cache entry survives an engine recycle even across identical
+    /// programs (fleet workers must be indistinguishable from fresh
+    /// engines).
+    cache_epoch: u64,
     handlers: HandlerTable<A>,
     last_gc_icount: u64,
     pub(crate) rendered: Vec<String>,
@@ -144,6 +156,11 @@ impl<A: ArithSystem> Fpvm<A> {
         } else {
             Box::new(PassthroughCache)
         };
+        let ecache: Box<dyn EmulateCache> = if config.emulate_cache {
+            Box::new(DirectMappedEmulateCache::new())
+        } else {
+            Box::new(PassthroughEmulateCache)
+        };
         let mut acct = Accounting::new();
         if config.metrics {
             acct.set_metrics(crate::metrics::EngineMetrics::new(
@@ -156,9 +173,12 @@ impl<A: ArithSystem> Fpvm<A> {
             config,
             acct,
             cache,
+            ecache,
             side_table: Vec::new(),
             patches: patch::PatchTable::default(),
             patch_allow: None,
+            scratch_code: Vec::new(),
+            cache_epoch: 0,
             handlers: HandlerTable::default(),
             last_gc_icount: 0,
             rendered: Vec::new(),
@@ -194,6 +214,16 @@ impl<A: ArithSystem> Fpvm<A> {
     /// The decode-cache policy's name.
     pub fn decode_cache_name(&self) -> &'static str {
         self.cache.name()
+    }
+
+    /// Replace the emulate-cache policy (benchmarks and the E17 ablation).
+    pub fn set_emulate_cache(&mut self, cache: Box<dyn EmulateCache>) {
+        self.ecache = cache;
+    }
+
+    /// The emulate-cache policy's name.
+    pub fn emulate_cache_name(&self) -> &'static str {
+        self.ecache.name()
     }
 
     /// The event-routing table, for registering custom handlers.
@@ -253,8 +283,62 @@ impl<A: ArithSystem> Fpvm<A> {
     /// `Trap{PatchCall}` whose handler is registered here at load time.
     pub fn preload_patch_sites(&mut self, sites: Vec<(u16, Inst, u64)>) {
         for (id, original, next_rip) in sites {
-            self.patches.set(id, patch::TpSite { original, next_rip });
+            self.patches.set(id, patch::TpSite::new(original, next_rip));
         }
+    }
+
+    /// Drop the entry at `rip` from both the decode and emulate caches
+    /// (trap-and-patch rewrote the site; a cached decode *or* plan would
+    /// replay the pre-patch instruction).
+    pub(crate) fn invalidate_site(&mut self, rip: u64) {
+        self.cache.invalidate(rip);
+        self.ecache.invalidate(rip);
+    }
+
+    /// Reset the engine for reuse with its current configuration: same as
+    /// [`Fpvm::recycle`].
+    pub fn reset(&mut self) {
+        self.recycle(self.config);
+    }
+
+    /// Recycle the engine for the next job (fleet-worker discipline): all
+    /// run state — stats, arena, side table, patch table, caches, rendered
+    /// output — is cleared so a recycled engine behaves bit-identically to
+    /// a fresh [`Fpvm::new`], while the big allocations (cache slot
+    /// arrays, arena slab, scratch buffers) are retained. The cache epoch
+    /// is bumped so no cache entry survives into the next job even when
+    /// the program happens to be identical — merged fleet stats must not
+    /// depend on which jobs shared a worker.
+    pub fn recycle(&mut self, config: FpvmConfig) {
+        if config.decode_cache != self.config.decode_cache {
+            self.cache = if config.decode_cache {
+                Box::new(DirectMappedCache::new())
+            } else {
+                Box::new(PassthroughCache)
+            };
+        }
+        if config.emulate_cache != self.config.emulate_cache {
+            self.ecache = if config.emulate_cache {
+                Box::new(DirectMappedEmulateCache::new())
+            } else {
+                Box::new(PassthroughEmulateCache)
+            };
+        }
+        self.config = config;
+        self.acct.reset_stats();
+        let _ = self.acct.take_metrics();
+        if config.metrics {
+            self.acct.set_metrics(crate::metrics::EngineMetrics::new(
+                config.metrics_sample_shift,
+            ));
+        }
+        self.arena.reset();
+        self.side_table.clear();
+        self.patches.clear();
+        self.patch_allow = None;
+        self.rendered.clear();
+        self.last_gc_icount = 0;
+        self.cache_epoch += 1;
     }
 
     /// Run the machine under virtualization until it halts or faults.
@@ -267,7 +351,15 @@ impl<A: ArithSystem> Fpvm<A> {
             m.taint_install_trapped(self.side_table.iter().map(|e| e.addr));
         }
         m.mxcsr.unmask_all();
-        self.cache.prepare(m.mem.code_bytes().len());
+        // Cache identity = program content fingerprint ⊕ engine epoch: a
+        // re-run of the same program on the same engine keeps its entries,
+        // anything else — different program, same-length different
+        // program, or a recycled engine — starts cold.
+        let fingerprint =
+            m.code_fingerprint() ^ self.cache_epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let code_len = m.mem.code_bytes().len();
+        self.cache.prepare(code_len, fingerprint);
+        self.ecache.prepare(code_len, fingerprint);
         let exit = loop {
             if m.icount >= self.config.max_insts {
                 break ExitReason::Fault(Fault::Budget);

@@ -5,7 +5,7 @@ use super::accounting::Counter;
 use super::exit::{ExitReason, Stage};
 use super::frame::TrapFrame;
 use super::Fpvm;
-use crate::bound::{has_boxed_src, native_eval, Dst};
+use crate::bound::{has_boxed_src, native_eval, BoundPlan, Dst, Planability};
 use crate::stats::Component;
 use crate::trace::TraceEvent;
 use fpvm_arith::ArithSystem;
@@ -13,11 +13,30 @@ use fpvm_machine::{encode, Event, Inst, Machine, TrapKind};
 use std::collections::HashMap;
 
 /// One dynamically patched site: the original instruction the patch
-/// replaced and the resume point after it.
+/// replaced, the resume point after it, and — for statically plannable
+/// shapes — its memoized bound-operand plan, so patch-call slow paths
+/// skip the bind stage's instruction-shape match just like the emulate
+/// cache does for traps.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct TpSite {
     pub original: Inst,
     pub next_rip: u64,
+    pub plan: Option<BoundPlan>,
+}
+
+impl TpSite {
+    /// Record a site, memoizing its plan when the binding is static.
+    pub fn new(original: Inst, next_rip: u64) -> Self {
+        let plan = match crate::bound::plan(&original, next_rip) {
+            Planability::Static(p) => Some(p),
+            _ => None,
+        };
+        TpSite {
+            original,
+            next_rip,
+            plan,
+        }
+    }
 }
 
 /// The patch-site table. Sites are keyed by a dense u16 id baked into the
@@ -60,6 +79,12 @@ impl PatchTable {
         }
         self.sites[idx] = Some(site);
     }
+
+    /// Drop every site (engine recycle), keeping the allocations.
+    pub fn clear(&mut self) {
+        self.sites.clear();
+        self.by_addr.clear();
+    }
 }
 
 impl<A: ArithSystem> Fpvm<A> {
@@ -84,7 +109,10 @@ impl<A: ArithSystem> Fpvm<A> {
         if !frame.inst.is_fp_arith() {
             return;
         }
-        let mut bytes = Vec::with_capacity(frame.len as usize);
+        // Encode into the engine-owned scratch buffer (no per-install
+        // allocation once it has grown to the longest patch).
+        let mut bytes = std::mem::take(&mut self.scratch_code);
+        bytes.clear();
         encode(
             &Inst::Trap {
                 kind: TrapKind::PatchCall,
@@ -96,15 +124,10 @@ impl<A: ArithSystem> Fpvm<A> {
             encode(&Inst::Nop, &mut bytes);
         }
         m.patch_code(rip, &bytes);
-        self.cache.invalidate(rip);
-        self.patches.insert(
-            id,
-            rip,
-            TpSite {
-                original: frame.inst,
-                next_rip: frame.next_rip(),
-            },
-        );
+        self.scratch_code = bytes;
+        self.invalidate_site(rip);
+        self.patches
+            .insert(id, rip, TpSite::new(frame.inst, frame.next_rip()));
         self.acct.tally(Counter::SitesPatched);
         self.acct
             .emit(|| TraceEvent::PatchInstalled { rip, site: id });
@@ -121,7 +144,13 @@ impl<A: ArithSystem> Fpvm<A> {
         // Direct call into the custom handler + inlined checks.
         let dispatch = m.cost.patch_dispatch();
         self.acct.charge(m, Component::Patch, dispatch);
-        let Some(b) = crate::bound::bind(m, &site.original, site.next_rip) else {
+        // Static shapes resolve their memoized plan; dynamic ones (the
+        // mask-dependent bitwise ops) re-bind against current state.
+        let bound = match site.plan {
+            Some(p) => Some(p.resolve(m)),
+            None => crate::bound::bind(m, &site.original, site.next_rip),
+        };
+        let Some(b) = bound else {
             // Unbindable patched instruction (e.g. a bitwise FP op with a
             // non-canonical mask): fall back to demote + re-execute, like a
             // correctness trap.
@@ -140,7 +169,10 @@ impl<A: ArithSystem> Fpvm<A> {
         };
         // Precondition: no boxed inputs. Postcondition: native execution
         // would raise no event. Both hold → execute natively in the patch.
-        let mut native: Vec<(Dst, u64)> = Vec::new();
+        // At most two lanes, so the staging buffer is a fixed array — no
+        // per-call allocation.
+        let mut native: [Option<(Dst, u64)>; 2] = [None, None];
+        let mut n = 0;
         let mut fast = true;
         for lane in b.lanes.iter().flatten() {
             if has_boxed_src(m, lane) {
@@ -148,7 +180,10 @@ impl<A: ArithSystem> Fpvm<A> {
                 break;
             }
             match native_eval(m, lane) {
-                Some((bits, flags)) if flags.is_empty() => native.push((lane.dst, bits)),
+                Some((bits, flags)) if flags.is_empty() => {
+                    native[n] = Some((lane.dst, bits));
+                    n += 1;
+                }
                 _ => {
                     fast = false;
                     break;
@@ -163,10 +198,10 @@ impl<A: ArithSystem> Fpvm<A> {
         });
         if fast {
             self.acct.tally(Counter::PatchFast);
-            for (dst, bits) in native {
+            for (dst, bits) in native.iter().take(n).flatten() {
                 if let Dst::F64Lane(r, l) = dst {
-                    m.xmm[r as usize][l as usize] = bits;
-                    m.taint_reclassify_xmm(r as usize, l as usize);
+                    m.xmm[*r as usize][*l as usize] = *bits;
+                    m.taint_reclassify_xmm(*r as usize, *l as usize);
                 }
             }
             m.rip = site.next_rip;

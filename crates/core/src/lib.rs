@@ -49,11 +49,13 @@ pub mod trace;
 /// paths keep working.
 pub use engine as runtime;
 
-pub use bound::{bind, Bound, BoundLane, Dst, Loc};
+pub use bound::{
+    bind, plan, Bound, BoundLane, BoundPlan, Dst, Loc, PlanLane, PlanLoc, Planability,
+};
 pub use engine::{
-    Accounting, Counter, DecodeCache, DirectMappedCache, ExitReason, Fpvm, FpvmConfig,
-    HandlerTable, HashMapCache, PassthroughCache, RunReport, RuntimeError, SideTableEntry, Stage,
-    TrapFrame,
+    Accounting, Counter, DecodeCache, DirectMappedCache, DirectMappedEmulateCache, EmulateCache,
+    EmulateEntry, ExitReason, Fpvm, FpvmConfig, HandlerTable, HashMapCache, PassthroughCache,
+    PassthroughEmulateCache, RunReport, RuntimeError, SideTableEntry, Stage, TrapFrame,
 };
 pub use metrics::{EngineMetrics, MetricStage};
 pub use profile::{ArenaSample, Log2Histogram, ProfilerSink, SiteProfile};

@@ -47,8 +47,8 @@ struct SpyCache {
 }
 
 impl DecodeCache for SpyCache {
-    fn prepare(&mut self, code_len: usize) {
-        self.inner.prepare(code_len);
+    fn prepare(&mut self, code_len: usize, fingerprint: u64) {
+        self.inner.prepare(code_len, fingerprint);
     }
     fn lookup(&self, rip: u64) -> Option<(Inst, u8)> {
         self.inner.lookup(rip)

@@ -57,16 +57,37 @@ where
     R: Send,
     F: Fn(usize, &J) -> R + Sync,
 {
+    run_sharded_stateful(jobs, workers, || (), |(), i, job| f(i, job))
+}
+
+/// [`run_sharded`] with per-worker state: each worker thread builds one
+/// `W` via `init` and threads it through every job it claims. This is how
+/// fleet workers reuse an engine stack (arena slab, cache slot arrays,
+/// scratch buffers) across jobs instead of reallocating per job.
+///
+/// The determinism contract is unchanged — `f` must make each job's
+/// result independent of which worker ran it and of what ran on that
+/// worker before (see [`WorkerEngine`] for how the engine upholds that).
+pub fn run_sharded_stateful<J, R, W, I, F>(jobs: &[J], workers: usize, init: I, f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize, &J) -> R + Sync,
+{
     let workers = workers.clamp(1, jobs.len().max(1));
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let r = f(i, job);
-                *slots[i].lock().unwrap() = Some(r);
+            scope.spawn(|| {
+                let mut w = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let r = f(&mut w, i, job);
+                    *slots[i].lock().unwrap() = Some(r);
+                }
             });
         }
     });
@@ -264,67 +285,108 @@ fn deterministic_site(p: &SiteProfile) -> SiteProfile {
     q
 }
 
+/// A reusable per-worker engine stack: one [`Fpvm`] recycled across the
+/// jobs a worker claims, so the expensive allocations (arena slab, cache
+/// slot arrays, scratch buffers) are paid once per worker instead of once
+/// per job.
+///
+/// Determinism: [`Fpvm::recycle`] resets every piece of run state and
+/// bumps the engine's cache epoch, so no decode/emulate-cache entry — and
+/// no stat, arena cell, patch site, or side-table row — survives from one
+/// job into the next. A job run on a recycled engine is bit-identical (on
+/// the deterministic views) to the same job on a fresh engine, which is
+/// what keeps the merged fleet report independent of worker count and job
+/// placement. Pinned by `tests/determinism.rs`.
+pub struct WorkerEngine {
+    vm: Fpvm<Vanilla>,
+}
+
+impl Default for WorkerEngine {
+    fn default() -> Self {
+        WorkerEngine::new()
+    }
+}
+
+impl WorkerEngine {
+    /// A fresh engine stack (default configuration; each job's config is
+    /// applied by [`WorkerEngine::run_job`] via recycle).
+    pub fn new() -> WorkerEngine {
+        WorkerEngine {
+            vm: Fpvm::new(Vanilla, FpvmConfig::default()),
+        }
+    }
+
+    /// Run one job to completion on the calling thread, recycling this
+    /// worker's engine for it.
+    pub fn run_job(&mut self, index: usize, job: &FleetJob) -> JobOutcome {
+        let start = Instant::now();
+        let (name, program, side_table) = match &job.spec {
+            GuestSpec::Workload(id, size) => {
+                let w = id.build(*size);
+                let c = compile(&w.module, CompileMode::Native);
+                let patched = analyze_and_patch(&c.program);
+                (w.name.to_string(), patched.program, patched.side_table)
+            }
+            GuestSpec::LorenzSeeded { size, seed } => {
+                let w = lorenz::workload_seeded(*size, *seed);
+                let c = compile(&w.module, CompileMode::Native);
+                let patched = analyze_and_patch(&c.program);
+                (
+                    format!("{} seed={seed}", w.name),
+                    patched.program,
+                    patched.side_table,
+                )
+            }
+            GuestSpec::Raw { name, program } => (name.to_string(), program.clone(), Vec::new()),
+        };
+        let mut m = Machine::new(CostModel::r815());
+        m.load_program(&program);
+        let vm = &mut self.vm;
+        vm.recycle(job.config);
+        vm.set_side_table(side_table);
+        vm.set_trace_sink(Box::new(FanoutSink::new(vec![
+            Box::new(ProfilerSink::new()),
+            Box::new(RingBufferSink::new(job.ring_capacity)),
+        ])));
+        let report = vm.run(&mut m);
+        let metrics = vm.metrics_snapshot();
+        // Teardown: the engine owns the sinks; take the fanout apart to get
+        // the profiler and the post-mortem ring back by value.
+        let fan = vm.take_trace_sink().downcast::<FanoutSink>().unwrap();
+        let mut sinks = fan.into_sinks().into_iter();
+        let profile = *sinks.next().unwrap().downcast::<ProfilerSink>().unwrap();
+        let ring = sinks.next().unwrap().downcast::<RingBufferSink>().unwrap();
+        let ring_tail = match report.exit {
+            ExitReason::RuntimeError(_) => Some(ring.dump()),
+            _ => None,
+        };
+        JobOutcome {
+            job: index,
+            name,
+            exit: report.exit,
+            stats: report.stats,
+            profile,
+            icount: report.icount,
+            fp_icount: report.fp_icount,
+            wall_ns: start.elapsed().as_nanos() as u64,
+            ring_tail,
+            metrics,
+        }
+    }
+}
+
 /// Run one job to completion on the calling thread, building the whole
 /// engine stack locally so nothing is shared with other workers.
 pub fn run_job(index: usize, job: &FleetJob) -> JobOutcome {
-    let start = Instant::now();
-    let (name, program, side_table) = match &job.spec {
-        GuestSpec::Workload(id, size) => {
-            let w = id.build(*size);
-            let c = compile(&w.module, CompileMode::Native);
-            let patched = analyze_and_patch(&c.program);
-            (w.name.to_string(), patched.program, patched.side_table)
-        }
-        GuestSpec::LorenzSeeded { size, seed } => {
-            let w = lorenz::workload_seeded(*size, *seed);
-            let c = compile(&w.module, CompileMode::Native);
-            let patched = analyze_and_patch(&c.program);
-            (
-                format!("{} seed={seed}", w.name),
-                patched.program,
-                patched.side_table,
-            )
-        }
-        GuestSpec::Raw { name, program } => (name.to_string(), program.clone(), Vec::new()),
-    };
-    let mut m = Machine::new(CostModel::r815());
-    m.load_program(&program);
-    let mut vm = Fpvm::new(Vanilla, job.config);
-    vm.set_side_table(side_table);
-    vm.set_trace_sink(Box::new(FanoutSink::new(vec![
-        Box::new(ProfilerSink::new()),
-        Box::new(RingBufferSink::new(job.ring_capacity)),
-    ])));
-    let report = vm.run(&mut m);
-    let metrics = vm.metrics_snapshot();
-    // Teardown: the engine owns the sinks; take the fanout apart to get
-    // the profiler and the post-mortem ring back by value.
-    let fan = vm.take_trace_sink().downcast::<FanoutSink>().unwrap();
-    let mut sinks = fan.into_sinks().into_iter();
-    let profile = *sinks.next().unwrap().downcast::<ProfilerSink>().unwrap();
-    let ring = sinks.next().unwrap().downcast::<RingBufferSink>().unwrap();
-    let ring_tail = match report.exit {
-        ExitReason::RuntimeError(_) => Some(ring.dump()),
-        _ => None,
-    };
-    JobOutcome {
-        job: index,
-        name,
-        exit: report.exit,
-        stats: report.stats,
-        profile,
-        icount: report.icount,
-        fp_icount: report.fp_icount,
-        wall_ns: start.elapsed().as_nanos() as u64,
-        ring_tail,
-        metrics,
-    }
+    WorkerEngine::new().run_job(index, job)
 }
 
 /// Run a fleet of jobs across `workers` threads and merge at join.
 pub fn run_fleet(jobs: &[FleetJob], workers: usize) -> FleetReport {
     let start = Instant::now();
-    let outcomes = run_sharded(jobs, workers, run_job);
+    let outcomes = run_sharded_stateful(jobs, workers, WorkerEngine::new, |w, i, job| {
+        w.run_job(i, job)
+    });
     // Merge in job order — never in completion order — so the merged
     // views are identical for every worker count.
     let mut merged = Stats::default();
@@ -460,10 +522,10 @@ pub fn run_fleet_observed(jobs: &[FleetJob], workers: usize, opts: ObsOptions) -
                 std::thread::sleep(interval);
             }
         });
-        let outcomes = run_sharded(jobs, workers, |i, job| {
+        let outcomes = run_sharded_stateful(jobs, workers, WorkerEngine::new, |w, i, job| {
             queue_depth.sub(1);
             busy_workers.add(1);
-            let r = run_job(i, job);
+            let r = w.run_job(i, job);
             job_wall.record(r.wall_ns);
             busy_workers.sub(1);
             jobs_completed.inc();
@@ -607,6 +669,69 @@ mod tests {
             direct.stats.deterministic_view()
         );
         assert_eq!(report.icount, direct.icount);
+    }
+
+    #[test]
+    fn reused_worker_does_not_serve_stale_decodes_across_same_length_programs() {
+        // The stale-reload bug: the decode cache used to keep all entries
+        // whenever code_len was unchanged, so a worker that ran program A
+        // and then a *different* program B of identical length served A's
+        // cached decodes (and, now, bound plans) to B. Build two guests
+        // whose code segments are byte-for-byte the same length but
+        // compute different things, run both on ONE reused engine, and
+        // check each against a fresh-engine run.
+        use fpvm_machine::{Asm, ExtFn, Xmm};
+        let build = |mul: bool| {
+            let mut a = Asm::new();
+            let c1 = a.f64m(3.0);
+            let c2 = a.f64m(7.0);
+            a.movsd(Xmm(0), c1);
+            a.movsd(Xmm(1), c2);
+            // divsd and mulsd encode to the same length; only the opcode
+            // differs, so both programs have identical code_len.
+            if mul {
+                a.mulsd(Xmm(0), Xmm(1));
+            } else {
+                a.divsd(Xmm(0), Xmm(1));
+            }
+            a.call_ext(ExtFn::PrintF64);
+            a.halt();
+            a.finish()
+        };
+        let (pa, pb) = (build(false), build(true));
+        assert_eq!(pa.code.len(), pb.code.len(), "programs must be same-length");
+        let jobs = [
+            FleetJob::new(GuestSpec::Raw {
+                name: "div",
+                program: pa,
+            }),
+            FleetJob::new(GuestSpec::Raw {
+                name: "mul",
+                program: pb,
+            }),
+        ];
+        // One engine, both jobs, in order — the reuse scenario.
+        let mut w = WorkerEngine::new();
+        let reused: Vec<JobOutcome> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| w.run_job(i, j))
+            .collect();
+        // Fresh engine per job — the ground truth.
+        let fresh: Vec<JobOutcome> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| run_job(i, j))
+            .collect();
+        for (r, f) in reused.iter().zip(&fresh) {
+            assert_eq!(r.exit, ExitReason::Halted);
+            assert_eq!(
+                r.stats.deterministic_view(),
+                f.stats.deterministic_view(),
+                "job {} on a reused engine diverged from a fresh engine",
+                r.name
+            );
+        }
     }
 
     #[test]

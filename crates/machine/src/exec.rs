@@ -258,6 +258,12 @@ impl Machine {
         self.cycles += cycles;
     }
 
+    /// Content fingerprint of the loaded code segment (see
+    /// [`crate::Memory::code_fingerprint`]).
+    pub fn code_fingerprint(&self) -> u64 {
+        self.mem.code_fingerprint()
+    }
+
     /// Effective address of a memory operand.
     pub fn ea(&self, m: &Mem) -> u64 {
         let base = m.base.map_or(0, |r| self.gpr[r.0 as usize]);

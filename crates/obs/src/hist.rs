@@ -39,6 +39,17 @@ impl Default for Log2Histogram {
 impl Log2Histogram {
     /// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`,
     /// saturating at the last bucket.
+    ///
+    /// Edge convention (pinned by `edge_convention_shared_by_both_flavors`):
+    /// buckets are **half-open on powers of two** — bucket `i > 0` counts
+    /// `[2^(i-1), 2^i)`, so an exact power of two `2^k` is the *lower*
+    /// bound of bucket `k+1`, never the top of bucket `k`. `v = 1` is the
+    /// sole occupant shape of bucket 1 (`[1, 2)`), and `v = 0` gets the
+    /// dedicated zero bucket rather than underflowing the log. Saturation:
+    /// with [`HIST_BUCKETS`]` = 33` the last index is 32, so every value
+    /// `>= 2^31` lands in bucket 32 — that bucket covers
+    /// `[2^31, u64::MAX]`, which is why [`Log2Histogram::bucket_upper`]
+    /// answers `u64::MAX` for it and quantiles clamp to the observed max.
     pub fn bucket_of(v: u64) -> usize {
         if v == 0 {
             0
@@ -294,6 +305,53 @@ mod tests {
         assert_eq!(Log2Histogram::bucket_upper(2), 3);
         assert_eq!(Log2Histogram::bucket_upper(10), 1023);
         assert_eq!(Log2Histogram::bucket_upper(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    /// The documented edge convention, exercised identically through the
+    /// plain and atomic flavors: zeros get bucket 0, v=1 gets bucket 1,
+    /// powers of two open a new bucket (half-open `[2^(i-1), 2^i)`), and
+    /// everything from 2^31 up saturates into the last bucket.
+    #[test]
+    fn edge_convention_shared_by_both_flavors() {
+        // (value, expected bucket index)
+        let edges: &[(u64, usize)] = &[
+            (0, 0), // dedicated zero bucket
+            (1, 1), // [1, 2)
+            (2, 2), // power of two opens bucket 2: [2, 4)
+            (3, 2),
+            (4, 3),              // boundary again: 4 is the floor of [4, 8)
+            ((1 << 10) - 1, 10), // 1023 tops bucket 10
+            (1 << 10, 11),       // 1024 floors bucket 11
+            ((1 << 10) + 1, 11),
+            ((1 << 31) - 1, 31), // last unsaturated bucket
+            (1 << 31, 32),       // saturation begins
+            (1 << 32, 32),       // would be bucket 33; clamps
+            (u64::MAX, 32),
+        ];
+        let plain_flavor = |v: u64| {
+            let mut h = Log2Histogram::default();
+            h.record(v);
+            h.buckets().iter().position(|&c| c == 1).unwrap()
+        };
+        let atomic_flavor = |v: u64| {
+            let h = AtomicLog2Histogram::new();
+            h.record(v);
+            h.snapshot().buckets().iter().position(|&c| c == 1).unwrap()
+        };
+        for &(v, want) in edges {
+            assert_eq!(Log2Histogram::bucket_of(v), want, "bucket_of({v})");
+            assert_eq!(plain_flavor(v), want, "plain record({v})");
+            assert_eq!(atomic_flavor(v), want, "atomic record({v})");
+        }
+        // The half-open convention and the upper bounds agree: a power of
+        // two is strictly above the previous bucket's inclusive upper
+        // bound and equal to its own bucket's lower bound.
+        for k in 1..31usize {
+            let v = 1u64 << k;
+            let b = Log2Histogram::bucket_of(v);
+            assert_eq!(b, k + 1);
+            assert_eq!(Log2Histogram::bucket_upper(b - 1), v - 1);
+        }
     }
 
     #[test]
