@@ -1,0 +1,124 @@
+//! Superblock microbenchmarks: the machine's per-guest-instruction
+//! interpreter cost with block dispatch on vs off (stepped loop), on a
+//! trap-free straight-line kernel (the best case the blocks exist for), a
+//! branchy loop, and a real trapping workload end-to-end.
+//!
+//! Superblocks batch straight-line, non-trapping code into pre-decoded
+//! runs dispatched as a unit, so a trap-sparse guest pays the per-step
+//! overhead (fetch, predecode lookup, cost lookup, budget check) once per
+//! block instead of once per instruction. This bench demonstrates the
+//! block path beats per-instruction stepping (the acceptance gate for the
+//! engine's existence); accounting equivalence is pinned separately by
+//! `tests/sblock_pin.rs` and E18.
+
+use fpvm_arith::Vanilla;
+use fpvm_bench::microbench::{bench_ns, black_box};
+use fpvm_core::runtime::{Fpvm, FpvmConfig};
+use fpvm_ir::{compile, CompileMode};
+use fpvm_machine::{AluOp, Asm, Cond, CostModel, Event, Gpr, Machine, Program};
+use fpvm_workloads::{lorenz, Size};
+
+/// A trap-free kernel: an outer loop over a long straight-line integer
+/// body, so almost every retired instruction flows through one fat block.
+fn straightline_program(iters: i64) -> Program {
+    let mut a = Asm::new();
+    a.mov_ri(Gpr::RCX, 0);
+    a.mov_ri(Gpr::RAX, 0);
+    let top = a.here_label();
+    for i in 0..48 {
+        a.alu_ri(AluOp::Add, Gpr::RAX, i);
+    }
+    a.alu_ri(AluOp::Add, Gpr::RCX, 1);
+    a.cmp_ri(Gpr::RCX, iters);
+    a.jcc(Cond::L, top);
+    a.halt();
+    a.finish()
+}
+
+/// A branchy kernel: short basic blocks, so block formation pays less.
+fn branchy_program(iters: i64) -> Program {
+    let mut a = Asm::new();
+    a.mov_ri(Gpr::RCX, 0);
+    a.mov_ri(Gpr::RAX, 0);
+    let top = a.here_label();
+    let odd = a.label();
+    let next = a.label();
+    a.alu_ri(AluOp::And, Gpr::RDX, 0);
+    a.alu_rr(AluOp::Add, Gpr::RDX, Gpr::RCX);
+    a.alu_ri(AluOp::And, Gpr::RDX, 1);
+    a.cmp_ri(Gpr::RDX, 0);
+    a.jcc(Cond::Ne, odd);
+    a.alu_ri(AluOp::Add, Gpr::RAX, 3);
+    a.jmp(next);
+    a.bind(odd);
+    a.alu_ri(AluOp::Sub, Gpr::RAX, 1);
+    a.bind(next);
+    a.alu_ri(AluOp::Add, Gpr::RCX, 1);
+    a.cmp_ri(Gpr::RCX, iters);
+    a.jcc(Cond::L, top);
+    a.halt();
+    a.finish()
+}
+
+/// ns/guest-instruction for a bare-machine run (no engine) of `p`.
+fn machine_ns_per_inst(name: &str, p: &Program, superblocks: bool) -> f64 {
+    let mut icount = 0u64;
+    let ns = bench_ns(&format!("superblock/{name}"), || {
+        let mut m = Machine::new(CostModel::r815());
+        m.superblocks = superblocks;
+        m.load_program(p);
+        let ev = m.run(u64::MAX);
+        assert_eq!(ev, Event::Halted);
+        icount = m.icount;
+        black_box(m.cycles)
+    });
+    ns / icount.max(1) as f64
+}
+
+fn main() {
+    println!("== superblocks: machine ns/guest-inst, block dispatch vs stepped ==");
+    let straight = straightline_program(2_000);
+    let branchy = branchy_program(10_000);
+    for (name, p) in [("straightline", &straight), ("branchy", &branchy)] {
+        let on = machine_ns_per_inst(&format!("{name}/blocks_on"), p, true);
+        let off = machine_ns_per_inst(&format!("{name}/blocks_off"), p, false);
+        println!(
+            "    {name}: {on:.2} ns/inst with blocks, {off:.2} stepped — {:.2}x \
+             (< 1.0 means block dispatch pays)",
+            on / off
+        );
+    }
+
+    println!();
+    println!("== superblocks: end-to-end under the engine (lorenz/tiny, Vanilla, R815) ==");
+    let w = lorenz::workload(Size::Tiny);
+    let compiled = compile(&w.module, CompileMode::Native);
+    let run_mode = |name: &str, cfg: FpvmConfig| {
+        let mut last = (0u64, 0u64);
+        let ns = bench_ns(&format!("superblock/{name}/lorenz_tiny_run"), || {
+            let mut m = Machine::new(CostModel::r815());
+            m.load_program(&compiled.program);
+            let mut fpvm = Fpvm::new(Vanilla, cfg);
+            let r = fpvm.run(&mut m);
+            last = (r.icount, m.superblock_stats().block_insts);
+            black_box(r.cycles)
+        });
+        println!(
+            "    {name}: {} guest insts ({} via blocks), {:.0} ns/run",
+            last.0, last.1, ns
+        );
+        ns
+    };
+    let on = run_mode("blocks_on", FpvmConfig::default());
+    let off = run_mode(
+        "blocks_off",
+        FpvmConfig {
+            superblocks: false,
+            ..FpvmConfig::default()
+        },
+    );
+    println!(
+        "superblocks on is {:.2}x the stepped run (< 1.0 means faster)",
+        on / off
+    );
+}

@@ -88,6 +88,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "speed",
         "E17: raw interpreter speed — host-ns/trap, emulate cache on/off",
     ),
+    (
+        "sblock",
+        "E18: superblock dispatch — ns/guest-inst, blocks on/off",
+    ),
 ];
 
 fn main() {
@@ -268,6 +272,31 @@ fn main() {
         }
         if !r.fig9_pinned {
             eprintln!("SPEED FIG9 PIN FAILED: cycle accounting moved with the emulate cache");
+            std::process::exit(1);
+        }
+    }
+    if want("sblock") {
+        ran = true;
+        let r = exp::sblock(size == Size::Tiny);
+        archive("sblock", &r);
+        // Shares the E17 trajectory file (the ns/guest-inst trend lives in
+        // one place); the record's `experiment` field discriminates rows.
+        let _ = trajectory::append_entry(
+            std::path::Path::new("BENCH_speed.json"),
+            "speed",
+            &trajectory::run_meta(size == Size::Tiny),
+            &r.to_json(),
+        );
+        if !r.deterministic {
+            eprintln!("SBLOCK DETERMINISM FAILED: a superblock mode changed results");
+            std::process::exit(1);
+        }
+        if !r.fig9_pinned || !r.patch_pinned {
+            eprintln!("SBLOCK FIG9 PIN FAILED: cycle accounting moved with superblock dispatch");
+            std::process::exit(1);
+        }
+        if !r.fleet_pinned {
+            eprintln!("SBLOCK FLEET PIN FAILED: merged views moved with superblocks/worker count");
             std::process::exit(1);
         }
     }

@@ -2009,6 +2009,308 @@ pub fn speed(smoke: bool) -> SpeedResult {
 }
 
 // ---------------------------------------------------------------------------
+// E18: superblock dispatch — ns/guest-instruction, blocks on vs off
+// ---------------------------------------------------------------------------
+
+/// One workload's superblock measurement (one `BENCH_speed.json` row).
+#[derive(Debug, Clone)]
+pub struct SblockRow {
+    pub workload: String,
+    pub icount: u64,
+    /// Blocks formed in the timed on-run's machine.
+    pub blocks_built: u64,
+    /// Whole-block dispatches in the timed on-run.
+    pub block_dispatches: u64,
+    /// Instructions retired through block dispatch in the timed on-run.
+    pub block_insts: u64,
+    /// Lower-quartile-pair wall with superblocks on (ns).
+    pub wall_on_ns: u64,
+    /// Same pair's wall with superblocks off — the stepped loop (ns).
+    pub wall_off_ns: u64,
+    /// Host ns per guest instruction, superblocks on.
+    pub ns_per_guest_inst_on: f64,
+    /// Host ns per guest instruction, superblocks off.
+    pub ns_per_guest_inst_off: f64,
+    /// `wall_off / wall_on`: > 1 means block dispatch pays here.
+    pub speedup: f64,
+    /// Deterministic views, machine accounting (`icount`/`fp_icount`) and
+    /// guest outputs bit-identical across superblocks on / off / capped-3
+    /// / passthrough (cap 1) and engine reuse.
+    pub deterministic: bool,
+}
+
+/// The archived E18 record (one `BENCH_speed.json` entry; the `experiment`
+/// field discriminates sblock rows from E17 speed rows in the shared
+/// trajectory file).
+#[derive(Debug, Clone)]
+pub struct SblockResult {
+    pub experiment: String,
+    pub workloads: u64,
+    pub reps: u64,
+    /// Geometric-mean end-to-end speedup (off/on) across workloads.
+    pub speedup_geomean: f64,
+    /// Every row's determinism gate held.
+    pub deterministic: bool,
+    /// Fig. 9 deterministic stats bit-identical across superblocks
+    /// on/off/capped/passthrough (fbench + lorenz, bigfloat-200, R815).
+    pub fig9_pinned: bool,
+    /// The same pin under trap-and-patch (blocks truncated at patched
+    /// sites must re-form without moving a deterministic stat).
+    pub patch_pinned: bool,
+    /// Merged fleet deterministic views identical across 1/2/4 workers
+    /// with superblocks on, and identical to a superblocks-off fleet.
+    pub fleet_pinned: bool,
+    pub rows: Vec<SblockRow>,
+}
+
+/// E18: superblock dispatch. Measures host-ns/guest-instruction across all
+/// ten workloads (Vanilla arithmetic, R815) with the machine's superblock
+/// engine on vs off in alternating pairs (lower-quartile pair by ratio,
+/// the E16/E17 protocol); gates per-workload determinism across superblock
+/// on/off/capped/passthrough modes and engine reuse; pins the Fig. 9 cycle
+/// accounting across the same modes on the paper configuration, under
+/// trap-and-patch, and across 1/2/4 fleet workers.
+pub fn sblock(smoke: bool) -> SblockResult {
+    use fpvm_analysis::analyze_and_patch;
+
+    println!("== E18: superblock dispatch — ns/guest-inst, blocks on/off (Vanilla, R815) ==");
+    let size = if smoke { Size::Tiny } else { Size::S };
+    let reps = if smoke { 3usize } else { 7 };
+    let sb_off = |cfg: FpvmConfig| FpvmConfig {
+        superblocks: false,
+        ..cfg
+    };
+    let sb_cap = |cfg: FpvmConfig, cap: u32| FpvmConfig {
+        superblock_cap: cap,
+        ..cfg
+    };
+
+    println!(
+        "{:<18} {:>13} {:>11} {:>11} {:>11} {:>9} {:>8} {:>11}",
+        "benchmark",
+        "icount",
+        "wall_on_ms",
+        "ns/gi on",
+        "ns/gi off",
+        "speedup",
+        "determ.",
+        "blk insts"
+    );
+    let mut rows: Vec<SblockRow> = Vec::new();
+    for w in all_workloads(size) {
+        let c = compile(&w.module, CompileMode::Native);
+        let patched = analyze_and_patch(&c.program);
+        // Returns the report, the guest output, and the machine's
+        // superblock counters (host-side observability).
+        let fresh_run = |cfg: FpvmConfig| {
+            let mut vm = Fpvm::new(Vanilla, cfg);
+            let mut m = Machine::new(CostModel::r815());
+            m.load_program(&patched.program);
+            vm.set_side_table(patched.side_table.clone());
+            let r = vm.run(&mut m);
+            assert_eq!(r.exit, fpvm_core::ExitReason::Halted, "{}", w.name);
+            let st = m.superblock_stats();
+            (r, m.output, st)
+        };
+
+        // Determinism gate: four superblock modes plus an engine reused
+        // across two runs must agree on the deterministic view, the raw
+        // machine accounting, and the guest output.
+        let (r_on, out_on, _) = fresh_run(FpvmConfig::default());
+        let (r_off, out_off, _) = fresh_run(sb_off(FpvmConfig::default()));
+        let (r_c3, out_c3, _) = fresh_run(sb_cap(FpvmConfig::default(), 3));
+        let (r_c1, out_c1, _) = fresh_run(sb_cap(FpvmConfig::default(), 1));
+        let (r_reuse, out_reuse, _) = {
+            let mut vm = Fpvm::new(Vanilla, FpvmConfig::default());
+            let run_one = |vm: &mut Fpvm<Vanilla>| {
+                let mut m = Machine::new(CostModel::r815());
+                m.load_program(&patched.program);
+                vm.recycle(FpvmConfig::default());
+                vm.set_side_table(patched.side_table.clone());
+                let r = vm.run(&mut m);
+                assert_eq!(r.exit, fpvm_core::ExitReason::Halted, "{}", w.name);
+                let st = m.superblock_stats();
+                (r, m.output, st)
+            };
+            let _ = run_one(&mut vm);
+            run_one(&mut vm)
+        };
+        let base_view = r_on.stats.deterministic_view();
+        // Raw `cycles` includes host-measured emulate time, so the raw
+        // machine accounting compared here is icount/fp_icount; exact
+        // cycle equality is pinned at machine level (fpvm_machine::block).
+        let accounting = |r: &fpvm_core::RunReport| (r.icount, r.fp_icount);
+        let deterministic = [&r_off, &r_c3, &r_c1, &r_reuse].iter().all(|r| {
+            r.stats.deterministic_view() == base_view && accounting(r) == accounting(&r_on)
+        }) && out_off == out_on
+            && out_c3 == out_on
+            && out_c1 == out_on
+            && out_reuse == out_on;
+
+        // Timing: alternating (off, on) pairs; lower-quartile pair by
+        // on/off ratio (E16/E17 protocol). Each pair records
+        // (off_ns, on_ns, the on-run's superblock counters).
+        let _ = fresh_run(FpvmConfig::default()); // warm-up
+        let mut pairs: Vec<(u64, u64, fpvm_machine::BlockCacheStats)> = Vec::new();
+        for rep in 0..reps {
+            let (off, on) = if rep % 2 == 0 {
+                let off = fresh_run(sb_off(FpvmConfig::default()));
+                let on = fresh_run(FpvmConfig::default());
+                (off, on)
+            } else {
+                let on = fresh_run(FpvmConfig::default());
+                let off = fresh_run(sb_off(FpvmConfig::default()));
+                (off, on)
+            };
+            pairs.push((off.0.wall_ns, on.0.wall_ns, on.2));
+        }
+        pairs.sort_by(|a, b| {
+            let ra = a.1 as f64 / a.0.max(1) as f64;
+            let rb = b.1 as f64 / b.0.max(1) as f64;
+            ra.total_cmp(&rb)
+        });
+        let (wall_off_ns, wall_on_ns, st) = pairs[pairs.len() / 4];
+        let row = SblockRow {
+            workload: w.name.to_string(),
+            icount: r_on.icount,
+            blocks_built: st.built,
+            block_dispatches: st.dispatches,
+            block_insts: st.block_insts,
+            wall_on_ns,
+            wall_off_ns,
+            ns_per_guest_inst_on: wall_on_ns as f64 / r_on.icount.max(1) as f64,
+            ns_per_guest_inst_off: wall_off_ns as f64 / r_on.icount.max(1) as f64,
+            speedup: wall_off_ns as f64 / wall_on_ns.max(1) as f64,
+            deterministic,
+        };
+        println!(
+            "{:<18} {:>13} {:>11.2} {:>11.1} {:>11.1} {:>8.2}x {:>8} {:>11}",
+            row.workload,
+            commas(row.icount),
+            row.wall_on_ns as f64 / 1e6,
+            row.ns_per_guest_inst_on,
+            row.ns_per_guest_inst_off,
+            row.speedup,
+            if row.deterministic { "yes" } else { "NO" },
+            commas(row.block_insts),
+        );
+        rows.push(row);
+    }
+    let deterministic = rows.iter().all(|r| r.deterministic);
+    let speedup_geomean = (rows
+        .iter()
+        .map(|r| r.speedup.max(f64::MIN_POSITIVE).ln())
+        .sum::<f64>()
+        / rows.len().max(1) as f64)
+        .exp();
+
+    // -- Fig. 9 pin on the paper configuration -----------------------------
+    // The deterministic cycle accounting must be bit-identical whether the
+    // machine dispatches superblocks, steps, or caps blocks short.
+    let mut fig9_pinned = true;
+    for w in [
+        fpvm_workloads::fbench::workload(Size::Tiny),
+        lorenz::workload(Size::Tiny),
+    ] {
+        let run_mode = |cfg: FpvmConfig| {
+            let (report, out, _) = run_hybrid_with(
+                &w,
+                BigFloatCtx::new(PAPER_PREC),
+                CostModel::r815(),
+                cfg,
+                |_| {},
+            );
+            (report.stats.deterministic_view(), out)
+        };
+        let on = run_mode(FpvmConfig::default());
+        for cfg in [
+            sb_off(FpvmConfig::default()),
+            sb_cap(FpvmConfig::default(), 3),
+            sb_cap(FpvmConfig::default(), 1),
+        ] {
+            let m = run_mode(cfg);
+            fig9_pinned &= m == on;
+        }
+    }
+
+    // -- The same pin under trap-and-patch ---------------------------------
+    // Blocks truncated at patched sites must re-form after invalidation
+    // without moving a deterministic stat.
+    let tp = FpvmConfig {
+        trap_and_patch: true,
+        ..FpvmConfig::default()
+    };
+    let w = lorenz::workload(Size::Tiny);
+    let run_tp = |cfg: FpvmConfig| {
+        let (report, out, _) = run_hybrid_with(
+            &w,
+            BigFloatCtx::new(PAPER_PREC),
+            CostModel::r815(),
+            cfg,
+            |_| {},
+        );
+        (report.stats, out)
+    };
+    let (tp_on, tp_out_on) = run_tp(tp);
+    let (tp_off, tp_out_off) = run_tp(sb_off(tp));
+    let patch_pinned = tp_on.deterministic_view() == tp_off.deterministic_view()
+        && tp_out_on == tp_out_off
+        && tp_on.sites_patched > 0;
+
+    // -- Fleet pin: worker-count and superblock independence ---------------
+    // Merged deterministic views identical at 1/2/4 workers with
+    // superblocks on, and identical to a superblocks-off fleet — machine
+    // reuse across jobs must not perturb anything.
+    let jobs = fpvm_fleet::smoke_jobs(2);
+    let views: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&wk| fpvm_fleet::run_fleet(&jobs, wk).merged.deterministic_view())
+        .collect();
+    let mut jobs_off = jobs.clone();
+    for j in &mut jobs_off {
+        j.config.superblocks = false;
+    }
+    let view_off = fpvm_fleet::run_fleet(&jobs_off, 1)
+        .merged
+        .deterministic_view();
+    let fleet_pinned = views.iter().all(|v| *v == views[0]) && view_off == views[0];
+
+    println!();
+    println!(
+        "geomean speedup {speedup_geomean:.2}x; deterministic: {}; Fig. 9 pinned: {}; \
+         trap-and-patch pinned: {}; fleet pinned (1/2/4 workers): {}",
+        if deterministic { "yes" } else { "NO" },
+        if fig9_pinned { "yes" } else { "NO" },
+        if patch_pinned { "yes" } else { "NO" },
+        if fleet_pinned { "yes" } else { "NO" }
+    );
+    if !deterministic {
+        println!("DETERMINISM VIOLATION: a superblock mode changed a deterministic stat");
+    }
+    if !fig9_pinned {
+        println!("FIG. 9 PIN VIOLATION: cycle accounting moved with superblock dispatch");
+    }
+    if !patch_pinned {
+        println!("TRAP-AND-PATCH PIN VIOLATION: superblocks interact with patching");
+    }
+    if !fleet_pinned {
+        println!("FLEET PIN VIOLATION: merged views moved with superblocks/worker count");
+    }
+    println!();
+    SblockResult {
+        experiment: "sblock".to_string(),
+        workloads: rows.len() as u64,
+        reps: reps as u64,
+        speedup_geomean,
+        deterministic,
+        fig9_pinned,
+        patch_pinned,
+        fleet_pinned,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // JSON archival encodings
 // ---------------------------------------------------------------------------
 
@@ -2033,6 +2335,32 @@ json_struct!(SpeedResult {
     speedup_geomean,
     deterministic,
     fig9_pinned,
+    rows,
+});
+
+json_struct!(SblockRow {
+    workload,
+    icount,
+    blocks_built,
+    block_dispatches,
+    block_insts,
+    wall_on_ns,
+    wall_off_ns,
+    ns_per_guest_inst_on,
+    ns_per_guest_inst_off,
+    speedup,
+    deterministic,
+});
+
+json_struct!(SblockResult {
+    experiment,
+    workloads,
+    reps,
+    speedup_geomean,
+    deterministic,
+    fig9_pinned,
+    patch_pinned,
+    fleet_pinned,
     rows,
 });
 

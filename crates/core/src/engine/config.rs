@@ -1,6 +1,6 @@
 //! Runtime configuration.
 
-use fpvm_machine::DeliveryMode;
+use fpvm_machine::{DeliveryMode, DEFAULT_BLOCK_CAP};
 
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +61,16 @@ pub struct FpvmConfig {
     /// the metrics plane is on. 0 times every trap; the default (5 → every
     /// 32nd) keeps observability's own overhead within the E16 ≤3% budget.
     pub metrics_sample_shift: u32,
+    /// Superblock dispatch in the machine (`fpvm_machine::block`): the
+    /// interpreter executes pre-decoded runs of straight-line,
+    /// non-trapping guest code as a unit between traps. Accounting is
+    /// pinned bit-identical on/off/capped — the block engine may only
+    /// move host wall time (`crates/bench/tests/sblock_pin.rs`, E18).
+    pub superblocks: bool,
+    /// Superblock formation cap: max instructions per block. A cap of 1
+    /// cannot reach the two-instruction formation minimum, so it
+    /// degenerates to the stepped loop (the passthrough ablation).
+    pub superblock_cap: u32,
 }
 
 impl Default for FpvmConfig {
@@ -82,6 +92,8 @@ impl Default for FpvmConfig {
             taint_oracle: false,
             metrics: false,
             metrics_sample_shift: 5,
+            superblocks: true,
+            superblock_cap: DEFAULT_BLOCK_CAP,
         }
     }
 }

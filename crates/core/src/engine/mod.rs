@@ -351,6 +351,11 @@ impl<A: ArithSystem> Fpvm<A> {
             m.taint_install_trapped(self.side_table.iter().map(|e| e.addr));
         }
         m.mxcsr.unmask_all();
+        // Superblock dispatch is an accounting-pinned pass-through: the
+        // machine may batch straight-line execution between traps, but
+        // every deterministic stat and event the engine observes is
+        // bit-identical to the stepped loop (E18 / sblock_pin tests).
+        m.set_superblocks(self.config.superblocks, self.config.superblock_cap);
         // Cache identity = program content fingerprint ⊕ engine epoch: a
         // re-run of the same program on the same engine keeps its entries,
         // anything else — different program, same-length different

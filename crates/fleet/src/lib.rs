@@ -286,19 +286,27 @@ fn deterministic_site(p: &SiteProfile) -> SiteProfile {
 }
 
 /// A reusable per-worker engine stack: one [`Fpvm`] recycled across the
-/// jobs a worker claims, so the expensive allocations (arena slab, cache
-/// slot arrays, scratch buffers) are paid once per worker instead of once
-/// per job.
+/// jobs a worker claims, plus one [`Machine`] reloaded per job, so the
+/// expensive allocations (arena slab, cache slot arrays, guest memory,
+/// predecode table, superblock slots) are paid once per worker instead of
+/// once per job.
 ///
 /// Determinism: [`Fpvm::recycle`] resets every piece of run state and
 /// bumps the engine's cache epoch, so no decode/emulate-cache entry — and
 /// no stat, arena cell, patch site, or side-table row — survives from one
-/// job into the next. A job run on a recycled engine is bit-identical (on
-/// the deterministic views) to the same job on a fresh engine, which is
-/// what keeps the merged fleet report independent of worker count and job
-/// placement. Pinned by `tests/determinism.rs`.
+/// job into the next. `Machine::load_program` is hermetic (guest memory
+/// is zeroed above the null guard, all registers and counters reset), and
+/// the machine-side predecode/superblock caches are guarded by the code
+/// content fingerprint: a different program starts them cold, while
+/// re-running an identical program legitimately keeps them warm — the
+/// caches are accounting-invariant either way. A job run on a recycled
+/// engine + machine is bit-identical (on the deterministic views) to the
+/// same job on a fresh stack, which is what keeps the merged fleet report
+/// independent of worker count and job placement. Pinned by
+/// `tests/determinism.rs`.
 pub struct WorkerEngine {
     vm: Fpvm<Vanilla>,
+    machine: Machine,
 }
 
 impl Default for WorkerEngine {
@@ -313,6 +321,7 @@ impl WorkerEngine {
     pub fn new() -> WorkerEngine {
         WorkerEngine {
             vm: Fpvm::new(Vanilla, FpvmConfig::default()),
+            machine: Machine::new(CostModel::r815()),
         }
     }
 
@@ -339,7 +348,10 @@ impl WorkerEngine {
             }
             GuestSpec::Raw { name, program } => (name.to_string(), program.clone(), Vec::new()),
         };
-        let mut m = Machine::new(CostModel::r815());
+        // Reuse this worker's machine: load_program is hermetic, and a
+        // previous job's taint plane must not leak into this one.
+        let m = &mut self.machine;
+        m.taint_disable();
         m.load_program(&program);
         let vm = &mut self.vm;
         vm.recycle(job.config);
@@ -348,7 +360,7 @@ impl WorkerEngine {
             Box::new(ProfilerSink::new()),
             Box::new(RingBufferSink::new(job.ring_capacity)),
         ])));
-        let report = vm.run(&mut m);
+        let report = vm.run(m);
         let metrics = vm.metrics_snapshot();
         // Teardown: the engine owns the sinks; take the fanout apart to get
         // the profiler and the post-mortem ring back by value.

@@ -185,6 +185,12 @@ impl CostModel {
 
     /// Base (non-faulting) execution cost of one instruction, in cycles —
     /// a coarse per-class latency/throughput blend.
+    ///
+    /// Superblock formation (`crate::block`) snapshots this per entry; the
+    /// block cache is keyed on the whole `CostModel` (it's `Copy +
+    /// PartialEq`), so editing `Machine::cost` mid-flight invalidates
+    /// blocks rather than serving stale costs.
+    #[inline]
     pub fn inst_cost(&self, inst: &Inst) -> u64 {
         use Inst::*;
         // Throughput-blended costs: a modern OoO core retires several

@@ -11,6 +11,13 @@
 
 use crate::isa::*;
 
+/// Upper bound on the encoded length of any instruction, in bytes (the
+/// longest shapes are the two-memory-operand moves: opcode + two fully
+/// general memory operands). Cache invalidation sweeps rewind by this
+/// much: an instruction *starting* up to `MAX_INST_LEN - 1` bytes before
+/// a patched range can span into it. Pinned against the encoder by test.
+pub const MAX_INST_LEN: usize = 18;
+
 /// Decoding failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
@@ -987,5 +994,29 @@ mod tests {
         assert_eq!(decode(&[0xCC], 0), Err(DecodeError::BadOpcode(0xCC)));
         assert_eq!(decode(&[op::ADDSD], 0), Err(DecodeError::Truncated));
         assert_eq!(decode(&[], 0), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn max_inst_len_bounds_every_encoding() {
+        for i in all_sample_insts() {
+            assert!(
+                encoded_len(&i) <= MAX_INST_LEN,
+                "{i:?} encodes to {} bytes",
+                encoded_len(&i)
+            );
+        }
+        // The worst case nearly reaches the bound: a two-memory-operand
+        // move with fully general addressing (base + index + scale +
+        // 32-bit displacement) on both sides.
+        let fat = Mem::bis(Gpr::RAX, Gpr::RCX, 8, i64::from(i32::MAX));
+        let worst = Inst::MovSd {
+            dst: XM::Mem(fat),
+            src: XM::Mem(fat),
+        };
+        assert!(encoded_len(&worst) <= MAX_INST_LEN);
+        assert!(
+            encoded_len(&worst) >= MAX_INST_LEN - 1,
+            "bound has drifted from the encoder; update MAX_INST_LEN"
+        );
     }
 }

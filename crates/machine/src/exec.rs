@@ -18,7 +18,7 @@
 //!   runtime has hooked them (the LD_PRELOAD-shim analogue).
 
 use crate::cost::CostModel;
-use crate::encode::{decode, DecodeError};
+use crate::encode::{decode, DecodeError, MAX_INST_LEN};
 use crate::isa::*;
 use crate::mem::{MemFault, Memory, CODE_BASE};
 use crate::mxcsr::{Mxcsr, RFlags};
@@ -142,8 +142,18 @@ pub struct Machine {
     /// FP ops fault when they observe a signaling-NaN pattern, making the
     /// FP ISA fully virtualizable without static analysis.
     pub nan_hole_traps: bool,
+    /// Dispatch superblocks of straight-line code on the hot path (see
+    /// [`crate::block`]). On by default; accounting is bit-identical
+    /// on/off — the block engine may only change host wall time.
+    pub superblocks: bool,
+    /// Superblock formation cap (see [`Machine::set_superblocks`]).
+    pub(crate) sb_cap: u32,
+    /// The superblock cache (offset-keyed, fingerprint-guarded).
+    pub(crate) blocks: crate::block::BlockCache,
     /// Pre-decoded instruction cache, indexed by code offset (this is the
     /// *hardware* decoder — free; FPVM's software decode cache is separate).
+    /// Allocated lazily on first fetch so machines that never run cost
+    /// nothing; retained (capacity and all) across `load_program`.
     predecoded: Vec<Option<(Inst, u8)>>,
     /// Shadow taint plane (the audit oracle). `None` — the default — means
     /// the hot path is completely untouched.
@@ -168,6 +178,9 @@ impl Machine {
             hook_ext: false,
             single_step: false,
             nan_hole_traps: false,
+            superblocks: true,
+            sb_cap: crate::block::DEFAULT_BLOCK_CAP,
+            blocks: crate::block::BlockCache::default(),
             predecoded: Vec::new(),
             taint: None,
         }
@@ -186,7 +199,8 @@ impl Machine {
         self.icount = 0;
         self.fp_icount = 0;
         self.output.clear();
-        self.predecoded = vec![None; p.code.len()];
+        // Keep the allocation (fleet reuse); fetch re-grows it lazily.
+        self.predecoded.clear();
         if self.taint.is_some() {
             self.taint = Some(Box::default());
         }
@@ -197,6 +211,13 @@ impl Machine {
     /// no-op.
     pub fn taint_enable(&mut self) {
         self.taint = Some(Box::default());
+    }
+
+    /// Drop the taint plane entirely (back to the zero-cost default).
+    /// Used by machine-reusing drivers (the fleet) to guarantee a
+    /// recycled machine doesn't inherit a previous job's plane.
+    pub fn taint_disable(&mut self) {
+        self.taint = None;
     }
 
     /// The taint plane, if enabled.
@@ -244,13 +265,30 @@ impl Machine {
         }
     }
 
-    /// Patch code bytes and invalidate the predecode cache for that range.
+    /// Patch code bytes and invalidate every predecode slot and superblock
+    /// that overlaps the patched range. Instructions are variable length,
+    /// so a decode *starting before* the range can span into it — the
+    /// predecode sweep rewinds by [`MAX_INST_LEN`] and drops exactly the
+    /// slots whose decoded span reaches the patch.
     pub fn patch_code(&mut self, addr: u64, bytes: &[u8]) {
         self.mem.patch_code(addr, bytes);
         let off = (addr - CODE_BASE) as usize;
-        for slot in self.predecoded.iter_mut().skip(off).take(bytes.len()) {
-            *slot = None;
+        let lo = off.saturating_sub(MAX_INST_LEN - 1);
+        let hi = (off + bytes.len()).min(self.predecoded.len());
+        for s in lo..hi.min(self.predecoded.len()) {
+            let stale = match &self.predecoded[s] {
+                // Inside the range: bytes changed under the decode.
+                _ if s >= off => true,
+                // Before the range: stale only if the span reaches it.
+                Some((_, len)) => s + *len as usize > off,
+                None => false,
+            };
+            if stale {
+                self.predecoded[s] = None;
+            }
         }
+        self.blocks
+            .note_patch(off, bytes.len(), self.mem.code_fingerprint());
     }
 
     /// Charge extra cycles (used by the runtime for delivery/handling).
@@ -295,12 +333,18 @@ impl Machine {
             return Err(Fault::BadRip(rip));
         }
         let off = (rip - CODE_BASE) as usize;
-        if let Some(Some(hit)) = self.predecoded.get(off) {
+        if self.predecoded.len() <= off {
+            // Lazy allocation: machines that never run (fleet spares,
+            // clones held for inspection) pay nothing for this table.
+            self.predecoded.resize(self.mem.code_bytes().len(), None);
+        }
+        let slot = &mut self.predecoded[off];
+        if let Some(hit) = slot {
             return Ok(*hit);
         }
         match decode(self.mem.code_bytes(), off) {
             Ok((inst, len)) => {
-                self.predecoded[off] = Some((inst, len as u8));
+                *slot = Some((inst, len as u8));
                 Ok((inst, len as u8))
             }
             Err(e) => Err(Fault::Decode(e, rip)),
@@ -309,7 +353,22 @@ impl Machine {
 
     /// Run until an event occurs (fault, halt, trap, hooked ext call) or
     /// `budget` instructions retire.
+    ///
+    /// When [`Machine::superblocks`] is enabled (the default) this
+    /// dispatches whole superblocks on the hot path (see [`crate::block`]);
+    /// single-step mode and the taint plane demand per-instruction
+    /// fidelity, so they fall back to the stepped loop. Either way the
+    /// observable result — events, `rip`, all accounting — is identical.
     pub fn run(&mut self, budget: u64) -> Event {
+        if self.superblocks && !self.single_step && self.taint.is_none() {
+            return self.run_superblocks(budget);
+        }
+        self.run_stepped(budget)
+    }
+
+    /// The per-instruction run loop (the reference semantics superblock
+    /// dispatch is pinned against).
+    fn run_stepped(&mut self, budget: u64) -> Event {
         let target = self.icount.saturating_add(budget);
         loop {
             if self.icount >= target {
@@ -447,7 +506,7 @@ impl Machine {
         r
     }
 
-    fn exec_inner(&mut self, inst: &Inst, rip: u64, next: u64) -> ExecResult {
+    pub(crate) fn exec_inner(&mut self, inst: &Inst, rip: u64, next: u64) -> ExecResult {
         use Inst::*;
         macro_rules! mem_try {
             ($e:expr) => {
@@ -847,7 +906,7 @@ impl Machine {
     }
 }
 
-enum ExecResult {
+pub(crate) enum ExecResult {
     Retired,
     Event(Event),
 }
@@ -1162,5 +1221,57 @@ mod tests {
         assert_eq!(xmm0(&m), 0.1 + 0.2);
         // Masks restored to unmasked-all.
         assert_eq!(m.mxcsr.masks(), FpFlags::NONE);
+    }
+
+    #[test]
+    fn patching_mid_instruction_invalidates_overlapping_predecode() {
+        // Regression: patch_code used to clear only predecode slots
+        // *inside* the patched byte range, so an instruction starting
+        // before the range but spanning into it kept serving its stale
+        // decode. Patch one byte in the middle of a mov's immediate and
+        // make sure the re-run sees the new value.
+        use crate::encode::encode;
+        let mut a = Asm::new();
+        a.mov_ri(Gpr::RAX, 0x1122_3344);
+        a.halt();
+        let p = a.finish();
+
+        let old_imm = 0x1122_3344i64;
+        let new_imm = 0x1122_3345i64;
+        let mut old_b = Vec::new();
+        encode(
+            &Inst::MovRI {
+                dst: Gpr::RAX,
+                imm: old_imm,
+            },
+            &mut old_b,
+        );
+        let mut new_b = Vec::new();
+        encode(
+            &Inst::MovRI {
+                dst: Gpr::RAX,
+                imm: new_imm,
+            },
+            &mut new_b,
+        );
+        assert_eq!(old_b.len(), new_b.len());
+        let d = old_b.iter().zip(&new_b).position(|(x, y)| x != y).unwrap();
+        assert!(d > 0, "the patch must start strictly mid-instruction");
+
+        for sb in [false, true] {
+            let mut m = Machine::new(CostModel::r815());
+            m.superblocks = sb;
+            m.load_program(&p);
+            assert_eq!(m.run(100), Event::Halted);
+            assert_eq!(m.gpr[Gpr::RAX.0 as usize], old_imm as u64);
+            m.patch_code(CODE_BASE + d as u64, &new_b[d..]);
+            m.rip = CODE_BASE;
+            assert_eq!(m.run(100), Event::Halted);
+            assert_eq!(
+                m.gpr[Gpr::RAX.0 as usize],
+                new_imm as u64,
+                "stale decode served after mid-instruction patch (superblocks={sb})"
+            );
+        }
     }
 }

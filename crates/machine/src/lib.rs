@@ -15,11 +15,14 @@
 //! * [`cost`] — cycle cost profiles for the paper's three machines and the
 //!   §6 delivery-mode variants.
 //! * [`mem`] — guest memory with the segment layout the GC scans.
+//! * [`block`] — superblock dispatch: batched execution of straight-line
+//!   guest code between traps (host-time only; accounting-pinned).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod block;
 pub mod cost;
 pub mod encode;
 pub mod exec;
@@ -29,8 +32,9 @@ pub mod mxcsr;
 pub mod taint;
 
 pub use asm::{Asm, Label, Program};
+pub use block::{BlockCacheStats, DEFAULT_BLOCK_CAP};
 pub use cost::{CostModel, DeliveryMode};
-pub use encode::{decode, encode, encoded_len, DecodeError};
+pub use encode::{decode, encode, encoded_len, DecodeError, MAX_INST_LEN};
 pub use exec::{Event, Fault, Machine, OutputEvent};
 pub use isa::*;
 pub use mem::{MemFault, Memory, CODE_BASE, DATA_BASE, HEAP_BASE};

@@ -128,6 +128,12 @@ impl Memory {
     }
 
     /// Load a program image: code at [`CODE_BASE`], data at [`DATA_BASE`].
+    ///
+    /// A (re)load is hermetic: everything above the null guard is zeroed
+    /// first, so a reused `Memory` (fleet machine recycling) is
+    /// indistinguishable from a fresh allocation — stale heap/stack bytes
+    /// from a previous guest must never be readable by, or conservatively
+    /// GC-scanned under, the next one.
     pub fn load_image(&mut self, code: &[u8], data: &[u8]) {
         assert!(
             CODE_BASE + (code.len() as u64) <= DATA_BASE,
@@ -137,6 +143,7 @@ impl Memory {
             DATA_BASE + (data.len() as u64) <= HEAP_BASE,
             "data segment too large"
         );
+        self.bytes[CODE_BASE as usize..].fill(0);
         self.bytes[CODE_BASE as usize..CODE_BASE as usize + code.len()].copy_from_slice(code);
         self.code_end = CODE_BASE + code.len() as u64;
         self.bytes[DATA_BASE as usize..DATA_BASE as usize + data.len()].copy_from_slice(data);
