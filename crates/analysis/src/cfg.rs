@@ -351,4 +351,119 @@ mod tests {
             .count();
         assert_eq!(with_calls, 2);
     }
+
+    // ---- hardening: computed flow, irreducible loops, self-loops --------
+
+    #[test]
+    fn computed_jump_landing_pad_degrades_soundly() {
+        // The ISA's only computed control flow is `push addr; ret`. The CFG
+        // cannot see the edge, so the landing pad is an orphan block — the
+        // analysis must not panic, must reach fixpoint, and must treat the
+        // orphan's load as a candidate sink (maximal conservatism).
+        use fpvm_machine::Mem;
+        let mut a = Asm::new();
+        let g = a.global_f64("shared", 0.0);
+        let c = a.f64m(1.5);
+        let main = a.label();
+        a.jmp(main);
+        let landing = a.here();
+        a.load(Gpr::RAX, Mem::abs(g as i64)); // orphan load: must stay a sink
+        a.halt();
+        a.bind(main);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::abs(g as i64), Xmm(0));
+        a.mov_ri(Gpr::RBX, landing as i64);
+        a.push(Gpr::RBX);
+        a.ret(); // computed jump to `landing`
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        // The landing pad was disassembled but is unowned.
+        assert!(cfg.blocks.contains_key(&landing));
+        assert!(!cfg.block_fn.contains_key(&landing));
+        let an = crate::vsa::analyze(&p);
+        assert!(
+            an.sinks
+                .iter()
+                .any(|s| s.addr == landing && s.reason == crate::vsa::SinkReason::IntLoadOfFp),
+            "the orphan landing-pad load must be a conservative sink: {:?}",
+            an.sinks
+        );
+    }
+
+    #[test]
+    fn irreducible_loop_reaches_fixpoint() {
+        // A two-entry loop (the entry branches into the middle of it, the
+        // fallthrough enters at the top): no reducible-loop structure for
+        // the worklist to lean on. The analysis must converge and keep the
+        // in-loop load of FP-typed memory a sink.
+        use fpvm_machine::Mem;
+        let mut a = Asm::new();
+        let g = a.global_f64("x", 0.0);
+        let c = a.f64m(1.0);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::abs(g as i64), Xmm(0));
+        let mid = a.label();
+        a.cmp_ri(Gpr::RCX, 0);
+        a.jcc(Cond::Ge, mid); // second entry: jumps into the loop middle
+        let top = a.here_label();
+        a.alu_ri(AluOp::Add, Gpr::RCX, 1);
+        a.bind(mid);
+        let load_at = a.here();
+        a.load(Gpr::RAX, Mem::abs(g as i64)); // must stay a sink
+        a.cmp_ri(Gpr::RCX, 10);
+        a.jcc(Cond::L, top); // back edge to the first entry
+        a.halt();
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        // The loop body is reachable and owned by the entry function.
+        let owner = cfg.blocks.range(..=load_at).next_back().unwrap().1.start;
+        assert_eq!(cfg.block_fn.get(&owner), Some(&p.entry));
+        let an = crate::vsa::analyze(&p);
+        assert!(an.stats.rounds < 16, "must converge, not hit the cap");
+        assert!(
+            an.sinks
+                .iter()
+                .any(|s| s.addr == load_at && s.reason == crate::vsa::SinkReason::IntLoadOfFp),
+            "the irreducible-loop load must stay a sink: {:?}",
+            an.sinks
+        );
+    }
+
+    #[test]
+    fn self_loop_block_reaches_fixpoint() {
+        // A block whose only successor is itself (single-block spin loop
+        // containing a load): the join must stabilize rather than oscillate
+        // and the load must remain a candidate sink.
+        use fpvm_machine::Mem;
+        let mut a = Asm::new();
+        let g = a.global_f64("x", 0.0);
+        let c = a.f64m(2.0);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::abs(g as i64), Xmm(0));
+        a.mov_ri(Gpr::RCX, 0);
+        let top = a.here_label();
+        let load_at = a.here();
+        a.load(Gpr::RAX, Mem::abs(g as i64));
+        a.alu_ri(AluOp::Add, Gpr::RCX, 1);
+        a.cmp_ri(Gpr::RCX, 10);
+        a.jcc(Cond::L, top); // self-loop: block's succ includes itself
+        a.halt();
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        let self_block = cfg
+            .blocks
+            .values()
+            .find(|b| b.succs.contains(&b.start))
+            .expect("the spin block must be its own successor");
+        assert!(self_block.insts.iter().any(|s| s.addr == load_at));
+        let an = crate::vsa::analyze(&p);
+        assert!(an.stats.rounds < 16, "must converge, not hit the cap");
+        assert!(
+            an.sinks
+                .iter()
+                .any(|s| s.addr == load_at && s.reason == crate::vsa::SinkReason::IntLoadOfFp),
+            "the self-loop load must stay a sink: {:?}",
+            an.sinks
+        );
+    }
 }

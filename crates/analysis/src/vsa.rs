@@ -1,4 +1,4 @@
-//! Value-set-analysis-lite: find the instructions where a NaN-boxed value
+//! Value-set analysis: find the instructions where a NaN-boxed value
 //! could leak into the non-trapping integer world (§4.2).
 //!
 //! "The analysis categorizes instructions into two categories: sources and
@@ -16,8 +16,36 @@
 //!   codegen round-trips every pointer through the frame, so without this
 //!   every indexed access would degrade to ⊤);
 //! * memory *typing* (which locations may hold FP data) is flow-insensitive
-//!   and monotone: per-function frame slots, per-word and per-object global
-//!   sets, and the heap summary.
+//!   and monotone by default: per-function frame slots, per-word and
+//!   per-object global sets, and the heap summary.
+//!
+//! Three second-generation precision passes layer on top, each an
+//! independently ablatable [`AnalysisConfig`] knob:
+//!
+//! 1. **Flow-sensitive memory typing** ([`AnalysisConfig::flow_mem`]):
+//!    per-program-point *kill sets* record slots/words whose last write was
+//!    a provably-integer store (a strong update), overriding the monotone
+//!    typing on the killed location. The pass also models the patch
+//!    contract: a sink load *is patched* and its trap demotes the box, so
+//!    the loaded register holds raw bits — this breaks the taint cascade
+//!    where one spurious heap sink used to re-taint every frame slot it
+//!    was spilled to. The model is only sound when every sink is actually
+//!    patched; the audit harness gates on zero skipped sinks.
+//! 2. **k=1 context-sensitive summaries** ([`AnalysisConfig::ctx_k1`]):
+//!    functions are analyzed per immediate call site with memoized
+//!    argument/return summaries ([`AVal`] six-tuples joined per context,
+//!    [`AVal::Bottom`] as the transfer identity). Two callers passing an
+//!    int pointer and an FP pointer stop conflating; memory effects still
+//!    flow through the shared typing, now marked with per-context argument
+//!    precision. Contexts beyond the k=1 horizon (a callee's own call
+//!    sites) are widened by joining all callers. If the context fixpoint
+//!    fails to converge the analysis falls back to the context-insensitive
+//!    mode, so the knob can only refine, never lose soundness.
+//! 3. **Backward box-liveness** ([`AnalysisConfig::liveness`], in
+//!    [`crate::liveness`]): sinks whose loaded value never reaches an
+//!    integer observation point (ALU use, compare/branch, external-call
+//!    argument, escaping store) are demoted — a dead reload or a value
+//!    that only flows back into FP context needs no correctness trap.
 //!
 //! Like the paper's tweaked VSA, unresolvable facts degrade conservatively:
 //! "if VSA returns a conservative result, FPVM follows suit and assumes
@@ -29,10 +57,14 @@
 //! Sinks: integer loads from maybe-FP locations, `movq r64 ← xmm` (always),
 //! and the bitwise-FP idioms `xorpd`/`andpd`/`orpd` (always — compilers use
 //! them to negate / take `fabs` of FP registers that may hold boxes).
-//! External call sites are not patched: the runtime's LD_PRELOAD-style shim
-//! interposes them directly (§4.1).
+//! Code reachable only through computed control flow (blocks owned by no
+//! recovered function, e.g. a `push addr; ret` landing pad) is treated
+//! maximally conservatively: every load there is a sink. External call
+//! sites are not patched: the runtime's LD_PRELOAD-style shim interposes
+//! them directly (§4.1).
 
 use crate::cfg::{Block, Cfg, Site};
+use crate::liveness::{self, ObservationFacts};
 use fpvm_machine::{AluOp, ExtFn, Gpr, Inst, Mem, Program, DATA_BASE, HEAP_BASE, XM};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -63,8 +95,7 @@ impl ObjMap {
     }
 }
 
-/// How the heap is summarized (the one measured precision knob; the audit
-/// harness drives the comparison).
+/// How the heap is summarized (the audit harness drives the comparison).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum HeapModel {
     /// Paper-faithful single summary cell: one FP store anywhere on the
@@ -77,21 +108,37 @@ pub enum HeapModel {
     AllocSite,
 }
 
-/// Static analysis configuration (ablation knobs).
+/// Static analysis configuration (ablation knobs). Every knob defaults to
+/// the paper-faithful first-generation behavior; each can be enabled
+/// independently and the E19 harness measures every combination's
+/// precision/recall through the dynamic taint oracle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AnalysisConfig {
     /// Heap summarization model.
     pub heap: HeapModel,
+    /// Flow-sensitive memory typing: exact integer stores strongly update
+    /// (kill) a location's FP typing, and patched sinks are modeled as
+    /// demoting (their result is raw bits, not a box).
+    pub flow_mem: bool,
+    /// k=1 call-site-sensitive interprocedural argument/return summaries.
+    pub ctx_k1: bool,
+    /// Backward box-liveness: demote sinks whose value is never observed
+    /// by the integer world.
+    pub liveness: bool,
 }
 
 /// Abstract register / slot value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum AVal {
-    #[allow(dead_code)]
+    /// The transfer-function identity: no value has reached here yet
+    /// (unrecorded context summaries start at ⊥ and join upward).
     Bottom,
     Const(i64),
     /// Entry-rsp-relative stack address.
     Stack(i64),
+    /// Somewhere in the current frame (widened stack pointer — a cursor
+    /// that takes different offsets across a back-edge).
+    StackAny,
     /// Exact data-segment address.
     Global(u64),
     /// Somewhere inside data object `k`.
@@ -112,6 +159,10 @@ impl AVal {
         match (self, other) {
             (Bottom, x) | (x, Bottom) => x,
             (a, b) if a == b => a,
+            // A stack pointer taking distinct offsets (a strided frame
+            // cursor) widens to the frame summary instead of ⊤ — the
+            // object-bounded widening for the stack region.
+            (Stack(_) | StackAny, Stack(_) | StackAny) => StackAny,
             (Global(a), Global(b)) => match (objs.resolve(a), objs.resolve(b)) {
                 (Some(ka), Some(kb)) if ka == kb => GlobalObj(ka),
                 _ => GlobalAny,
@@ -150,6 +201,8 @@ impl AVal {
             AVal::GlobalAny => AVal::GlobalAny,
             AVal::HeapSite(s) => AVal::HeapSite(s),
             AVal::Heap => AVal::Heap,
+            // An unknown index can carry a stack pointer out of the stack
+            // region entirely; stay maximally conservative.
             _ => AVal::Top,
         }
     }
@@ -171,7 +224,6 @@ fn classify_const_val(c: i64) -> AVal {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ALoc {
     StackOff(i64),
-    #[allow(dead_code)]
     StackAny,
     GlobalWord(u64),
     GlobalObj(u32),
@@ -183,7 +235,8 @@ enum ALoc {
 }
 
 /// Flow-insensitive memory typing, shared across functions; grows
-/// monotonically to a fixpoint.
+/// monotonically to a fixpoint. (The flow-*sensitive* refinement lives in
+/// [`Kills`] and overrides this per program point.)
 #[derive(Debug, Default, Clone, PartialEq)]
 struct MemTypes {
     /// Exact data words that may hold FP data.
@@ -195,6 +248,12 @@ struct MemTypes {
     heap_site_fp: BTreeSet<u64>,
     heap_fp: bool,
     any_fp: bool,
+    /// Some function's frame holds FP data somewhere (consulted by reads
+    /// through wild pointers, which may reach any frame).
+    some_stack_fp: bool,
+    /// FP was stored through an imprecise stack pointer — any frame slot
+    /// of any function may have been hit.
+    stack_all_fp: bool,
 }
 
 impl MemTypes {
@@ -202,8 +261,13 @@ impl MemTypes {
         match loc {
             ALoc::StackOff(o) => {
                 ctx.stack_fp.insert(o & !7);
+                self.some_stack_fp = true;
             }
-            ALoc::StackAny => ctx.stack_any = true,
+            ALoc::StackAny => {
+                ctx.stack_any = true;
+                self.some_stack_fp = true;
+                self.stack_all_fp = true;
+            }
             ALoc::GlobalWord(a) => {
                 self.words_fp.insert(a & !7);
             }
@@ -231,8 +295,10 @@ impl MemTypes {
             self.words_fp.range(base..base + size).next().is_some()
         };
         match loc {
-            ALoc::StackOff(o) => ctx.stack_any || ctx.stack_fp.contains(&(o & !7)),
-            ALoc::StackAny => ctx.stack_any || !ctx.stack_fp.is_empty(),
+            ALoc::StackOff(o) => {
+                self.stack_all_fp || ctx.stack_any || ctx.stack_fp.contains(&(o & !7))
+            }
+            ALoc::StackAny => self.stack_all_fp || self.some_stack_fp || ctx.stack_any,
             ALoc::GlobalWord(a) => {
                 self.global_any_fp
                     || self.words_fp.contains(&(a & !7))
@@ -250,10 +316,77 @@ impl MemTypes {
                     || self.global_any_fp
                     || !self.words_fp.is_empty()
                     || !self.objs_fp.is_empty()
+                    || self.some_stack_fp
                     || ctx.stack_any
                     || !ctx.stack_fp.is_empty()
             }
         }
+    }
+}
+
+/// Per-program-point strong-update facts ([`AnalysisConfig::flow_mem`]):
+/// slots/words whose *last* write on every path was a provably-integer
+/// store. A killed location's monotone FP typing is overridden at loads.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Kills {
+    slots: BTreeSet<i64>,
+    words: BTreeSet<u64>,
+}
+
+impl Kills {
+    fn covers(&self, loc: ALoc) -> bool {
+        match loc {
+            ALoc::StackOff(o) => self.slots.contains(&(o & !7)),
+            ALoc::GlobalWord(a) => self.words.contains(&(a & !7)),
+            _ => false,
+        }
+    }
+
+    /// An integer (untainted) store: strong-update exact targets. An
+    /// imprecise target adds nothing, but existing kills stand — an
+    /// integer store never *adds* FP typing anywhere.
+    fn kill(&mut self, loc: ALoc) {
+        match loc {
+            ALoc::StackOff(o) => {
+                self.slots.insert(o & !7);
+            }
+            ALoc::GlobalWord(a) => {
+                self.words.insert(a & !7);
+            }
+            _ => {}
+        }
+    }
+
+    /// An FP (tainted) store: every location it may reach loses its kill.
+    fn unkill(&mut self, loc: ALoc, objs: &ObjMap) {
+        match loc {
+            ALoc::StackOff(o) => {
+                self.slots.remove(&(o & !7));
+            }
+            ALoc::StackAny => self.slots.clear(),
+            ALoc::GlobalWord(a) => {
+                self.words.remove(&(a & !7));
+            }
+            ALoc::GlobalObj(k) => {
+                let (base, size) = objs.range(k);
+                self.words.retain(|w| !(base..base + size).contains(w));
+            }
+            ALoc::GlobalAny => self.words.clear(),
+            ALoc::HeapSite(_) | ALoc::Heap => {}
+            ALoc::Any => {
+                self.slots.clear();
+                self.words.clear();
+            }
+        }
+    }
+
+    /// Join = intersection (a location is killed only if killed on every
+    /// incoming path). Returns true if `self` changed.
+    fn meet(&mut self, other: &Kills) -> bool {
+        let before = (self.slots.len(), self.words.len());
+        self.slots.retain(|k| other.slots.contains(k));
+        self.words.retain(|k| other.words.contains(k));
+        before != (self.slots.len(), self.words.len())
     }
 }
 
@@ -264,6 +397,8 @@ struct RegState {
     taint: [bool; 16],
     /// Known frame-slot contents (entry-rsp-relative offset → value).
     slots: BTreeMap<i64, (AVal, bool)>,
+    /// Strong-update facts (populated only under `flow_mem`).
+    kills: Kills,
 }
 
 impl RegState {
@@ -274,6 +409,7 @@ impl RegState {
             vals,
             taint: [false; 16],
             slots: BTreeMap::new(),
+            kills: Kills::default(),
         }
     }
 
@@ -310,6 +446,7 @@ impl RegState {
                 }
             }
         }
+        changed |= self.kills.meet(&other.kills);
         changed
     }
 }
@@ -347,7 +484,9 @@ pub struct AnalysisStats {
     pub blocks: usize,
     /// Functions.
     pub functions: usize,
-    /// Integer loads examined.
+    /// Function contexts analyzed (equals `functions` without `ctx_k1`).
+    pub contexts: usize,
+    /// Integer loads examined (unique sites).
     pub loads_total: usize,
     /// Integer loads proven safe (not patched).
     pub loads_proven_safe: usize,
@@ -355,6 +494,9 @@ pub struct AnalysisStats {
     pub rounds: usize,
     /// Sink instructions found by the analysis.
     pub sinks_found: usize,
+    /// Sinks demoted by the backward box-liveness pass (never observed by
+    /// the integer world); included in `loads_proven_safe`.
+    pub sinks_demoted_live: usize,
     /// Sinks actually patched with correctness traps (filled by the
     /// patcher; zero when only [`analyze`] ran).
     pub sinks_patched: usize,
@@ -379,8 +521,31 @@ struct FnCtx {
     stack_any: bool,
 }
 
+impl FnCtx {
+    fn new() -> FnCtx {
+        FnCtx {
+            stack_fp: BTreeSet::new(),
+            stack_any: false,
+        }
+    }
+}
+
+/// A function analysis context: (entry, immediate call site). Site 0 is
+/// the root/unknown-caller context (⊤ arguments).
+type CtxKey = (u64, u64);
+
+/// k=1 call-site summaries: joined abstract arguments and return values,
+/// memoized per (callee, call site).
+struct CallState {
+    enabled: bool,
+    /// (callee, site) → joined [`INT_ARGS`] values at the site.
+    inputs: BTreeMap<CtxKey, [AVal; 6]>,
+    /// (callee, site) → joined abstract return value (RAX at `ret`).
+    rets: BTreeMap<CtxKey, AVal>,
+}
+
 /// Run the analysis on a program image with the paper-faithful default
-/// configuration (one-cell heap summary).
+/// configuration (one-cell heap summary, first-generation passes only).
 pub fn analyze(p: &Program) -> Analysis {
     analyze_with(p, &AnalysisConfig::default())
 }
@@ -389,105 +554,248 @@ pub fn analyze(p: &Program) -> Analysis {
 pub fn analyze_with(p: &Program, acfg: &AnalysisConfig) -> Analysis {
     let cfg = Cfg::build(p);
     let objs = ObjMap::new(p);
+    if acfg.ctx_k1 {
+        if let Some(an) = converge(&cfg, &objs, acfg, p.entry, true) {
+            return an;
+        }
+        // The k=1 context fixpoint hit the round cap: fall back to the
+        // always-converging context-insensitive mode (sound, less precise).
+    }
+    converge(&cfg, &objs, acfg, p.entry, false).expect("context-insensitive analysis terminates")
+}
+
+struct Env<'a> {
+    acfg: &'a AnalysisConfig,
+    objs: &'a ObjMap,
+}
+
+/// The contexts to analyze this round: root + every recorded call site +
+/// an unknown-caller fallback for functions nobody (yet) calls.
+fn round_contexts(
+    cfg: &Cfg,
+    calls: &CallState,
+    root: u64,
+    fallbacks: &BTreeSet<u64>,
+) -> Vec<CtxKey> {
+    if !calls.enabled {
+        return cfg.functions.iter().map(|&f| (f, 0)).collect();
+    }
+    let mut ctxs: BTreeSet<CtxKey> = BTreeSet::new();
+    ctxs.insert((root, 0));
+    for &key in calls.inputs.keys() {
+        if cfg.functions.contains(&key.0) {
+            ctxs.insert(key);
+        }
+    }
+    for &f in fallbacks {
+        ctxs.insert((f, 0));
+    }
+    ctxs.into_iter().collect()
+}
+
+fn converge(
+    cfg: &Cfg,
+    objs: &ObjMap,
+    acfg: &AnalysisConfig,
+    root: u64,
+    ctx_on: bool,
+) -> Option<Analysis> {
+    let env = Env { acfg, objs };
     let mut mem = MemTypes::default();
-    let mut fn_ctxs: HashMap<u64, FnCtx> = cfg
-        .functions
-        .iter()
-        .map(|&f| {
-            (
-                f,
-                FnCtx {
-                    stack_fp: BTreeSet::new(),
-                    stack_any: false,
-                },
-            )
-        })
-        .collect();
-    // Outer fixpoint over the shared memory typing + frame typing.
+    let mut calls = CallState {
+        enabled: ctx_on,
+        inputs: BTreeMap::new(),
+        rets: BTreeMap::new(),
+    };
+    let mut fn_ctxs: HashMap<CtxKey, FnCtx> = HashMap::new();
+    // Functions with no recorded caller after convergence of the called
+    // set: analyzed in the unknown-caller context for soundness (they may
+    // still run through computed control flow).
+    let mut fallbacks: BTreeSet<u64> = BTreeSet::new();
+    let max_rounds = if ctx_on { 24 } else { 16 };
+    // Outer fixpoint over the shared memory typing, frame typing, and
+    // (under ctx_k1) the call summaries.
     let mut rounds = 0;
+    let mut contexts;
     loop {
         rounds += 1;
-        let before = mem.clone();
-        let frames_before: BTreeMap<u64, (usize, bool)> = fn_ctxs
+        let before_mem = mem.clone();
+        let before_inputs = calls.inputs.clone();
+        let before_rets = calls.rets.clone();
+        let frames_before: BTreeMap<CtxKey, (usize, bool)> = fn_ctxs
             .iter()
-            .map(|(f, c)| (*f, (c.stack_fp.len(), c.stack_any)))
+            .map(|(k, c)| (*k, (c.stack_fp.len(), c.stack_any)))
             .collect();
-        for &f in &cfg.functions {
-            analyze_function(
-                &cfg,
-                f,
-                acfg,
-                &objs,
-                &mut mem,
-                fn_ctxs.get_mut(&f).unwrap(),
-                None,
-            );
+        contexts = round_contexts(cfg, &calls, root, &fallbacks);
+        for &key in &contexts {
+            let ctx = fn_ctxs.entry(key).or_insert_with(FnCtx::new);
+            analyze_function(cfg, key, &env, &mut mem, ctx, &mut calls, None);
         }
-        let frames_after: BTreeMap<u64, (usize, bool)> = fn_ctxs
+        let frames_after: BTreeMap<CtxKey, (usize, bool)> = fn_ctxs
             .iter()
-            .map(|(f, c)| (*f, (c.stack_fp.len(), c.stack_any)))
+            .map(|(k, c)| (*k, (c.stack_fp.len(), c.stack_any)))
             .collect();
-        if (mem == before && frames_before == frames_after) || rounds > 16 {
+        let stable = mem == before_mem
+            && frames_before == frames_after
+            && calls.inputs == before_inputs
+            && calls.rets == before_rets;
+        if stable {
+            if !ctx_on {
+                break;
+            }
+            // Pull in functions still uncalled at the fixpoint; loop again
+            // if that adds work, otherwise we are done.
+            let called: BTreeSet<u64> = calls.inputs.keys().map(|&(f, _)| f).collect();
+            let new_fb: Vec<u64> = cfg
+                .functions
+                .iter()
+                .copied()
+                .filter(|&f| f != root && !called.contains(&f) && !fallbacks.contains(&f))
+                .collect();
+            if new_fb.is_empty() {
+                break;
+            }
+            fallbacks.extend(new_fb);
+        }
+        if rounds > max_rounds {
+            if ctx_on {
+                return None;
+            }
             break;
         }
     }
     // Final pass: classify sinks with the converged typing.
-    let mut sinks = Vec::new();
-    let mut loads_total = 0;
-    let mut loads_safe = 0;
-    for &f in &cfg.functions {
-        let ctx = fn_ctxs.get_mut(&f).unwrap();
-        let mut collect = SinkCollector {
-            sinks: Vec::new(),
-            loads_total: 0,
-            loads_safe: 0,
-        };
-        analyze_function(&cfg, f, acfg, &objs, &mut mem, ctx, Some(&mut collect));
-        sinks.extend(collect.sinks);
-        loads_total += collect.loads_total;
-        loads_safe += collect.loads_safe;
+    let mut col = SinkCollector::default();
+    for &key in &contexts {
+        let ctx = fn_ctxs.entry(key).or_insert_with(FnCtx::new);
+        analyze_function(cfg, key, &env, &mut mem, ctx, &mut calls, Some(&mut col));
     }
-    sinks.sort_by_key(|s| s.addr);
-    sinks.dedup_by_key(|s| s.addr);
+    // Blocks owned by no recovered function are reachable only through
+    // computed control flow the CFG cannot see (e.g. `push addr; ret`);
+    // degrade soundly: every load there is a sink.
+    for (start, block) in &cfg.blocks {
+        if cfg.block_fn.contains_key(start) {
+            continue;
+        }
+        for site in &block.insts {
+            match site.inst {
+                Inst::Load { .. } => col.note_load(site, ALoc::Any, true),
+                Inst::MovQXG { .. } => col.note_sink(site, SinkReason::MovqLeak),
+                Inst::XorPd { .. } | Inst::AndPd { .. } | Inst::OrPd { .. } => {
+                    col.note_sink(site, SinkReason::BitwiseFp)
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut sinks: Vec<Sink> = col.sinks.values().copied().collect();
+    let mut demoted = 0usize;
+    if acfg.liveness {
+        let facts = ObservationFacts {
+            load_slots: col.load_slots,
+            store_slots: col.store_slots,
+        };
+        let dead = liveness::demote_unobserved(cfg, &sinks, &facts);
+        demoted = dead.len();
+        sinks.retain(|s| !dead.contains(&s.addr));
+    }
+    let loads_total = col.load_sink.len();
+    let loads_safe = col.load_sink.values().filter(|&&t| !t).count() + demoted;
     let sinks_found = sinks.len();
-    Analysis {
+    Some(Analysis {
         sinks,
         stats: AnalysisStats {
             instructions: cfg.inst_count,
             blocks: cfg.blocks.len(),
             functions: cfg.functions.len(),
+            contexts: contexts.len(),
             loads_total,
             loads_proven_safe: loads_safe,
             rounds,
             sinks_found,
+            sinks_demoted_live: demoted,
             sinks_patched: 0,
             sinks_skipped_table_full: 0,
             sinks_skipped_straddle: 0,
         },
+    })
+}
+
+/// Final-pass accumulator: per-site sink/safety verdicts (unioned across
+/// contexts) plus the slot resolutions the liveness pass consumes.
+#[derive(Default)]
+struct SinkCollector {
+    sinks: BTreeMap<u64, Sink>,
+    /// Load site → classified as a sink in any context.
+    load_sink: BTreeMap<u64, bool>,
+    load_slots: BTreeMap<u64, Option<i64>>,
+    store_slots: BTreeMap<u64, Option<i64>>,
+}
+
+impl SinkCollector {
+    fn note_sink(&mut self, site: &Site, reason: SinkReason) {
+        self.sinks.entry(site.addr).or_insert(Sink {
+            addr: site.addr,
+            inst: site.inst,
+            len: site.len,
+            reason,
+        });
+    }
+
+    fn note_load(&mut self, site: &Site, loc: ALoc, taint: bool) {
+        let e = self.load_sink.entry(site.addr).or_insert(false);
+        *e |= taint;
+        if taint {
+            self.note_sink(site, SinkReason::IntLoadOfFp);
+        }
+        note_slot(&mut self.load_slots, site.addr, loc);
+    }
+
+    fn note_store(&mut self, site: &Site, loc: ALoc) {
+        note_slot(&mut self.store_slots, site.addr, loc);
     }
 }
 
-struct SinkCollector {
-    sinks: Vec<Sink>,
-    loads_total: usize,
-    loads_safe: usize,
+/// Record the exact frame slot a site touches; conflicting resolutions
+/// across contexts merge to `None` (imprecise — liveness stays safe).
+fn note_slot(map: &mut BTreeMap<u64, Option<i64>>, addr: u64, loc: ALoc) {
+    let slot = match loc {
+        ALoc::StackOff(o) => Some(o & !7),
+        _ => None,
+    };
+    map.entry(addr)
+        .and_modify(|e| {
+            if *e != slot {
+                *e = None;
+            }
+        })
+        .or_insert(slot);
 }
 
 fn analyze_function(
     cfg: &Cfg,
-    entry: u64,
-    acfg: &AnalysisConfig,
-    objs: &ObjMap,
+    key: CtxKey,
+    env: &Env,
     mem: &mut MemTypes,
     ctx: &mut FnCtx,
+    calls: &mut CallState,
     mut collect: Option<&mut SinkCollector>,
 ) {
+    let (entry, ctxsite) = key;
     let blocks: Vec<&Block> = cfg.function_blocks(entry);
     if blocks.is_empty() {
         return;
     }
+    let mut start = RegState::entry();
+    if calls.enabled && ctxsite != 0 {
+        if let Some(args) = calls.inputs.get(&key) {
+            for (i, &r) in INT_ARGS.iter().enumerate() {
+                start.vals[r] = args[i];
+            }
+        }
+    }
     let mut states: HashMap<u64, RegState> = HashMap::new();
-    states.insert(entry, RegState::entry());
+    states.insert(entry, start);
     let mut worklist: Vec<u64> = vec![entry];
     let mut visits: HashMap<u64, usize> = HashMap::new();
     while let Some(b) = worklist.pop() {
@@ -506,7 +814,16 @@ fn analyze_function(
             continue;
         };
         for site in &block.insts {
-            transfer(site, &mut s, acfg, objs, mem, ctx, collect.as_deref_mut());
+            transfer(
+                site,
+                &mut s,
+                env,
+                mem,
+                ctx,
+                calls,
+                key,
+                collect.as_deref_mut(),
+            );
         }
         for &succ in &block.succs {
             if cfg.block_fn.get(&succ) != Some(&entry) {
@@ -514,7 +831,7 @@ fn analyze_function(
             }
             match states.get_mut(&succ) {
                 Some(st) => {
-                    if st.join(&s, objs) {
+                    if st.join(&s, env.objs) {
                         worklist.push(succ);
                     }
                 }
@@ -548,6 +865,7 @@ fn classify_addr(s: &RegState, m: &Mem, objs: &ObjMap) -> ALoc {
 fn aval_to_loc(v: AVal, objs: &ObjMap) -> ALoc {
     match v {
         AVal::Stack(o) => ALoc::StackOff(o),
+        AVal::StackAny => ALoc::StackAny,
         AVal::Global(a) => ALoc::GlobalWord(a),
         AVal::GlobalObj(k) => ALoc::GlobalObj(k),
         AVal::GlobalAny => ALoc::GlobalAny,
@@ -573,24 +891,53 @@ trait WidenExt {
     fn widen_if_needed(self, objs: &ObjMap) -> ALoc;
 }
 impl WidenExt for ALoc {
-    fn widen_if_needed(self, _objs: &ObjMap) -> ALoc {
-        self
+    /// Widen exact locations the lattice cannot justify keeping exact:
+    ///
+    /// * a data-segment word outside every recorded object is a stray
+    ///   computed pointer (e.g. a strided cursor that left its array) —
+    ///   widen to the whole data segment;
+    /// * a stack offset at or above the entry RSP points into the caller's
+    ///   frame or the return-address area, where no per-function slot
+    ///   discipline exists — widen to ⊤ memory.
+    fn widen_if_needed(self, objs: &ObjMap) -> ALoc {
+        match self {
+            ALoc::GlobalWord(a) if objs.resolve(a).is_none() => ALoc::GlobalAny,
+            ALoc::StackOff(o) if o >= 0 => ALoc::Any,
+            x => x,
+        }
     }
 }
 
 const CALLER_SAVED: [usize; 9] = [0, 1, 2, 6, 7, 8, 9, 10, 11]; // rax rcx rdx rsi rdi r8-r11
 
+/// Integer argument registers in ABI order: rdi rsi rdx rcx r8 r9.
+const INT_ARGS: [usize; 6] = [7, 6, 2, 1, 8, 9];
+
+/// Values crossing a call boundary lose frame-relative meaning (the
+/// callee's entry-RSP differs from the caller's).
+fn widen_frame_escape(v: AVal) -> AVal {
+    match v {
+        AVal::Stack(_) | AVal::StackAny => AVal::Top,
+        x => x,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn transfer(
     site: &Site,
     s: &mut RegState,
-    acfg: &AnalysisConfig,
-    objs: &ObjMap,
+    env: &Env,
     mem: &mut MemTypes,
     ctx: &mut FnCtx,
+    calls: &mut CallState,
+    cur: CtxKey,
     collect: Option<&mut SinkCollector>,
 ) {
     use Inst::*;
     let inst = &site.inst;
+    let acfg = env.acfg;
+    let objs = env.objs;
+    let fm = acfg.flow_mem;
     // Helper: record a store's effect on frame-slot tracking.
     let store_slot = |s: &mut RegState, loc: ALoc, val: AVal, taint: bool| match loc {
         ALoc::StackOff(o) => {
@@ -602,26 +949,33 @@ fn transfer(
         }
         _ => {}
     };
+    // Helper: an FP source wrote `loc`.
+    let fp_store = |s: &mut RegState, mem: &mut MemTypes, ctx: &mut FnCtx, loc: ALoc| {
+        mem.mark(loc, ctx);
+        if fm {
+            s.kills.unkill(loc, objs);
+        }
+    };
     match inst {
         // ---- FP stores: sources -------------------------------------------
         MovSd {
             dst: XM::Mem(m), ..
         } => {
             let loc = classify_addr(s, m, objs);
-            mem.mark(loc, ctx);
+            fp_store(s, mem, ctx, loc);
             store_slot(s, loc, AVal::Top, true);
         }
         MovApd {
             dst: XM::Mem(m), ..
         } => {
             let loc = classify_addr(s, m, objs);
-            mem.mark(loc, ctx);
+            fp_store(s, mem, ctx, loc);
             let loc2 = match loc {
                 ALoc::StackOff(o) => ALoc::StackOff(o + 8),
                 ALoc::GlobalWord(a) => ALoc::GlobalWord(a + 8),
                 x => x,
             };
-            mem.mark(loc2, ctx);
+            fp_store(s, mem, ctx, loc2);
             store_slot(s, loc, AVal::Top, true);
             store_slot(s, loc2, AVal::Top, true);
         }
@@ -638,6 +992,7 @@ fn transfer(
             let loc = classify_addr(s, addr, objs);
             s.vals[dst.0 as usize] = match loc {
                 ALoc::StackOff(o) => AVal::Stack(o),
+                ALoc::StackAny => AVal::StackAny,
                 ALoc::GlobalWord(a) => AVal::Global(a),
                 ALoc::GlobalObj(k) => AVal::GlobalObj(k),
                 ALoc::GlobalAny => AVal::GlobalAny,
@@ -648,64 +1003,60 @@ fn transfer(
         }
         Load { dst, addr, w } => {
             let loc = classify_addr(s, addr, objs);
-            let (val, taint) = match loc {
+            let (val, mut taint) = match loc {
                 ALoc::StackOff(o) => match s.slots.get(&(o & !7)) {
                     Some(&(v, t)) => (v, t),
                     None => (AVal::Top, mem.maybe_fp(loc, ctx, objs)),
                 },
                 _ => (AVal::Top, mem.maybe_fp(loc, ctx, objs)),
             };
+            // A strong update killed the location's FP typing on every
+            // path here: the monotone summary is stale for this point.
+            if fm && s.kills.covers(loc) {
+                taint = false;
+            }
             if let Some(c) = collect {
-                c.loads_total += 1;
-                if taint {
-                    c.sinks.push(Sink {
-                        addr: site.addr,
-                        inst: *inst,
-                        len: site.len,
-                        reason: SinkReason::IntLoadOfFp,
-                    });
-                } else {
-                    c.loads_safe += 1;
-                }
+                c.note_load(site, loc, taint);
             }
             let _ = w;
             s.vals[dst.0 as usize] = val;
-            s.taint[dst.0 as usize] = taint;
+            // Under flow_mem the patch contract is part of the model: a
+            // sink load is patched and its trap demotes, so the register
+            // receives raw bits either way.
+            s.taint[dst.0 as usize] = taint && !fm;
         }
         Store { addr, src, .. } => {
             let loc = classify_addr(s, addr, objs);
-            if s.taint[src.0 as usize] {
-                mem.mark(loc, ctx);
+            let taint = s.taint[src.0 as usize];
+            if taint {
+                fp_store(s, mem, ctx, loc);
+            } else if fm {
+                s.kills.kill(loc);
             }
             // A stack pointer escaping to non-stack memory breaks frame
             // locality; flag the whole frame.
-            if matches!(s.vals[src.0 as usize], AVal::Stack(_)) && !matches!(loc, ALoc::StackOff(_))
+            if matches!(s.vals[src.0 as usize], AVal::Stack(_) | AVal::StackAny)
+                && !matches!(loc, ALoc::StackOff(_) | ALoc::StackAny)
             {
                 ctx.stack_any = true;
             }
-            store_slot(s, loc, s.vals[src.0 as usize], s.taint[src.0 as usize]);
+            if let Some(c) = collect {
+                c.note_store(site, loc);
+            }
+            store_slot(s, loc, s.vals[src.0 as usize], taint);
         }
         MovQXG { dst, .. } => {
             if let Some(c) = collect {
-                c.sinks.push(Sink {
-                    addr: site.addr,
-                    inst: *inst,
-                    len: site.len,
-                    reason: SinkReason::MovqLeak,
-                });
+                c.note_sink(site, SinkReason::MovqLeak);
             }
             s.vals[dst.0 as usize] = AVal::Top;
-            s.taint[dst.0 as usize] = true;
+            // Always patched; under flow_mem the demotion is modeled.
+            s.taint[dst.0 as usize] = !fm;
         }
         MovQGX { .. } => {}
         XorPd { .. } | AndPd { .. } | OrPd { .. } => {
             if let Some(c) = collect {
-                c.sinks.push(Sink {
-                    addr: site.addr,
-                    inst: *inst,
-                    len: site.len,
-                    reason: SinkReason::BitwiseFp,
-                });
+                c.note_sink(site, SinkReason::BitwiseFp);
             }
         }
         CvtTSd2Si { dst, .. } => {
@@ -745,27 +1096,46 @@ fn transfer(
             let rsp = Gpr::RSP.0 as usize;
             s.vals[rsp] = s.vals[rsp].add_const(-8);
             if let AVal::Stack(o) = s.vals[rsp] {
-                if s.taint[src.0 as usize] {
-                    ctx.stack_fp.insert(o & !7);
+                let t = s.taint[src.0 as usize];
+                if t {
+                    fp_store(s, mem, ctx, ALoc::StackOff(o));
+                } else if fm {
+                    s.kills.kill(ALoc::StackOff(o));
                 }
-                s.slots
-                    .insert(o & !7, (s.vals[src.0 as usize], s.taint[src.0 as usize]));
+                s.slots.insert(o & !7, (s.vals[src.0 as usize], t));
             }
         }
         Pop { dst } => {
             let rsp = Gpr::RSP.0 as usize;
-            let (val, taint) = match s.vals[rsp] {
-                AVal::Stack(o) => match s.slots.get(&(o & !7)) {
-                    Some(&(v, t)) => (v, t),
-                    None => (AVal::Top, mem.maybe_fp(ALoc::StackOff(o), ctx, objs)),
-                },
+            let (val, mut taint) = match s.vals[rsp] {
+                AVal::Stack(o) => {
+                    let (v, mut t) = match s.slots.get(&(o & !7)) {
+                        Some(&(v, t)) => (v, t),
+                        None => (AVal::Top, mem.maybe_fp(ALoc::StackOff(o), ctx, objs)),
+                    };
+                    if fm && s.kills.covers(ALoc::StackOff(o)) {
+                        t = false;
+                    }
+                    (v, t)
+                }
                 _ => (AVal::Top, true),
             };
+            if mem.any_fp {
+                taint = true;
+            }
             s.vals[dst.0 as usize] = val;
             s.taint[dst.0 as usize] = taint;
             s.vals[rsp] = s.vals[rsp].add_const(8);
         }
-        Call { .. } => {
+        Call { rel } => {
+            let target = (site.addr + u64::from(site.len)).wrapping_add(i64::from(*rel) as u64);
+            if calls.enabled {
+                let key = (target, site.addr);
+                let args = calls.inputs.entry(key).or_insert([AVal::Bottom; 6]);
+                for (i, &r) in INT_ARGS.iter().enumerate() {
+                    args[i] = args[i].join(widen_frame_escape(s.vals[r]), objs);
+                }
+            }
             for &r in &CALLER_SAVED {
                 s.vals[r] = AVal::Top;
                 // Integer return values are not FP bits under the ABI
@@ -773,6 +1143,23 @@ fn transfer(
                 // assumption in DESIGN.md.
                 s.taint[r] = false;
             }
+            if calls.enabled {
+                // The memoized k=1 return summary; ⊥ until a `ret` is
+                // seen for this context (the outer fixpoint fills it in).
+                s.vals[Gpr::RAX.0 as usize] = calls
+                    .rets
+                    .get(&(target, site.addr))
+                    .copied()
+                    .unwrap_or(AVal::Bottom);
+            }
+            if fm {
+                // The callee may FP-store through any pointer it holds.
+                s.kills = Kills::default();
+            }
+        }
+        Ret if calls.enabled => {
+            let e = calls.rets.entry(cur).or_insert(AVal::Bottom);
+            *e = e.join(widen_frame_escape(s.vals[Gpr::RAX.0 as usize]), objs);
         }
         CallExt { f } => {
             let rax = Gpr::RAX.0 as usize;
@@ -787,6 +1174,8 @@ fn transfer(
                 AVal::Top
             };
             s.taint[rax] = false;
+            // Runtime shims read only scalar arguments and never write
+            // guest-visible memory words, so kill sets survive the call.
         }
         _ => {}
     }
@@ -809,7 +1198,7 @@ fn eval_alu(op: AluOp, a: i64, b: i64) -> Option<i64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fpvm_machine::{Asm, Gpr, Mem, Width, Xmm};
+    use fpvm_machine::{Asm, Cond, Gpr, Mem, Width, Xmm};
 
     #[test]
     fn fig6_pattern_is_a_sink() {
@@ -914,6 +1303,7 @@ mod tests {
 
         let cfg = AnalysisConfig {
             heap: HeapModel::AllocSite,
+            ..Default::default()
         };
         let an = analyze_with(&p, &cfg);
         assert_eq!(an.stats.loads_total, 2);
@@ -1090,5 +1480,367 @@ mod tests {
             1
         );
         assert!(an.stats.functions >= 2);
+    }
+
+    // ---- second-generation passes -------------------------------------
+
+    #[test]
+    fn strided_stack_loop_widens_without_poisoning_globals() {
+        // A cursor walking the frame across a back-edge joins to the
+        // frame summary (StackAny) instead of ⊤, so the FP stores through
+        // it poison only stack typing — an unrelated global integer load
+        // stays provably safe (pre-widening it degraded to any_fp and
+        // everything sank).
+        let mut a = Asm::new();
+        let g = a.global("counter", 8);
+        let c = a.f64m(1.0);
+        a.alu_ri(AluOp::Sub, Gpr::RSP, 64);
+        a.mov_rr(Gpr::RBX, Gpr::RSP); // cursor
+        a.mov_ri(Gpr::RCX, 0);
+        let top = a.here_label();
+        let done = a.label();
+        a.cmp_ri(Gpr::RCX, 4);
+        a.jcc(Cond::Ge, done);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::base_disp(Gpr::RBX, 0), Xmm(0)); // *cursor = fp
+        a.alu_ri(AluOp::Add, Gpr::RBX, 8); // cursor += 8 (strided)
+        a.alu_ri(AluOp::Add, Gpr::RCX, 1);
+        a.jmp(top);
+        a.bind(done);
+        a.mov_ri(Gpr::RAX, 7);
+        a.store(Mem::abs(g as i64), Gpr::RAX);
+        a.load(Gpr::RDX, Mem::abs(g as i64)); // must stay safe
+        a.halt();
+        let p = a.finish();
+        let an = analyze(&p);
+        assert_eq!(an.stats.loads_total, 1);
+        assert_eq!(
+            an.stats.loads_proven_safe, 1,
+            "a widened stack cursor must not poison global typing: {:?}",
+            an.sinks
+        );
+        // And the conservative side: a frame load in the same function IS
+        // suspect once the widened cursor wrote FP somewhere in the frame.
+        let mut b = Asm::new();
+        let c2 = b.f64m(1.0);
+        b.alu_ri(AluOp::Sub, Gpr::RSP, 64);
+        b.mov_rr(Gpr::RBX, Gpr::RSP);
+        b.mov_ri(Gpr::RCX, 0);
+        let top2 = b.here_label();
+        let done2 = b.label();
+        b.cmp_ri(Gpr::RCX, 4);
+        b.jcc(Cond::Ge, done2);
+        b.movsd(Xmm(0), c2);
+        b.movsd(Mem::base_disp(Gpr::RBX, 0), Xmm(0));
+        b.alu_ri(AluOp::Add, Gpr::RBX, 8);
+        b.alu_ri(AluOp::Add, Gpr::RCX, 1);
+        b.jmp(top2);
+        b.bind(done2);
+        b.load(Gpr::RDX, Mem::base_disp(Gpr::RSP, 48)); // frame slot: sink
+        b.halt();
+        let p2 = b.finish();
+        let an2 = analyze(&p2);
+        assert!(
+            an2.sinks
+                .iter()
+                .any(|s| s.reason == SinkReason::IntLoadOfFp),
+            "frame loads must stay conservative under the widened cursor"
+        );
+    }
+
+    #[test]
+    fn stray_global_pointer_widens_to_segment() {
+        // A computed data-segment address outside every recorded object
+        // widens to GlobalAny: an FP store through it must make global
+        // loads conservative rather than silently staying "exact word".
+        let mut a = Asm::new();
+        let g = a.global("n", 8);
+        let c = a.f64m(1.0);
+        // A stray pointer: mid-segment, far past the last object.
+        a.mov_ri(Gpr::RBX, (DATA_BASE + 0x8_0000) as i64);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::base_disp(Gpr::RBX, 0), Xmm(0));
+        a.load(Gpr::RAX, Mem::abs(g as i64)); // conservative: sink
+        a.halt();
+        let p = a.finish();
+        let an = analyze(&p);
+        assert!(
+            an.sinks.iter().any(|s| s.reason == SinkReason::IntLoadOfFp),
+            "stray-pointer FP store must degrade to the whole segment"
+        );
+    }
+
+    #[test]
+    fn flow_mem_strong_update_survives_unknown_int_store() {
+        // FP spill types a slot; an integer store strongly updates it;
+        // then an unknown (untainted) store wipes the slot *value* map.
+        // The monotone typing calls the reload a sink; the kill set knows
+        // the last write was an integer.
+        let mut a = Asm::new();
+        let g = a.global("cell", 8);
+        let c = a.f64m(1.5);
+        a.alu_ri(AluOp::Sub, Gpr::RSP, 32);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::base_disp(Gpr::RSP, 8), Xmm(0)); // slot ← FP
+        a.mov_ri(Gpr::RAX, 7);
+        a.store(Mem::base_disp(Gpr::RSP, 8), Gpr::RAX); // strong update
+        a.load(Gpr::RDX, Mem::abs(g as i64)); // RDX = ⊤ (safe load)
+        a.mov_ri(Gpr::RCX, 1);
+        a.store(Mem::base_disp(Gpr::RDX, 0), Gpr::RCX); // unknown int store
+        a.load(Gpr::RBX, Mem::base_disp(Gpr::RSP, 8)); // the reload
+        a.halt();
+        let p = a.finish();
+        let base = analyze(&p);
+        assert_eq!(
+            base.stats.loads_proven_safe, 1,
+            "monotone typing must flag the reload: {:?}",
+            base.sinks
+        );
+        let an = analyze_with(
+            &p,
+            &AnalysisConfig {
+                flow_mem: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            an.stats.loads_proven_safe, 2,
+            "the strong update must survive the unknown integer store: {:?}",
+            an.sinks
+        );
+        assert!(!an.sinks.iter().any(|s| s.reason == SinkReason::IntLoadOfFp));
+    }
+
+    #[test]
+    fn flow_mem_models_demotion_and_stops_taint_cascade() {
+        // Heap sink load → result relayed through a global → reload. The
+        // first-generation analysis cascades the taint (both loads sink);
+        // flow_mem knows the first sink is patched and demotes, so the
+        // relay holds raw bits and the reload is safe.
+        let mut a = Asm::new();
+        let g = a.global("relay", 8);
+        let c = a.f64m(2.5);
+        a.mov_ri(Gpr::RDI, 16);
+        a.call_ext(ExtFn::AllocHeap);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::base_disp(Gpr::RAX, 0), Xmm(0)); // FP → heap
+        a.load(Gpr::RBX, Mem::base_disp(Gpr::RAX, 0)); // sink (stays)
+        a.store(Mem::abs(g as i64), Gpr::RBX); // the cascade relay
+        a.load(Gpr::RCX, Mem::abs(g as i64)); // cascade victim
+        a.halt();
+        let p = a.finish();
+        let base = analyze(&p);
+        assert_eq!(
+            base.sinks
+                .iter()
+                .filter(|s| s.reason == SinkReason::IntLoadOfFp)
+                .count(),
+            2,
+            "first-generation: the taint cascades"
+        );
+        let an = analyze_with(
+            &p,
+            &AnalysisConfig {
+                flow_mem: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            an.sinks
+                .iter()
+                .filter(|s| s.reason == SinkReason::IntLoadOfFp)
+                .count(),
+            1,
+            "flow_mem: the patched sink demotes, the relay is raw: {:?}",
+            an.sinks
+        );
+        assert_eq!(an.stats.loads_total, 2);
+        assert_eq!(an.stats.loads_proven_safe, 1);
+    }
+
+    #[test]
+    fn ctx_k1_keeps_argument_pointers_precise() {
+        // A helper stores FP through its pointer argument. Context-
+        // insensitively the argument is ⊤ and the store poisons all
+        // memory (any_fp); with k=1 summaries each call site's target is
+        // marked exactly and an unrelated integer global stays safe.
+        let mut a = Asm::new();
+        let fa = a.global_f64("fa", 0.0);
+        let fb = a.global_f64("fb", 0.0);
+        let gi = a.global("counter", 8);
+        let c = a.f64m(2.0);
+        let h = a.label();
+        a.movsd(Xmm(0), c);
+        a.mov_ri(Gpr::RDI, fa as i64);
+        a.call(h); // site 1: FP → fa
+        a.mov_ri(Gpr::RDI, fb as i64);
+        a.call(h); // site 2: FP → fb
+        a.mov_ri(Gpr::RAX, 3);
+        a.store(Mem::abs(gi as i64), Gpr::RAX);
+        a.load(Gpr::RBX, Mem::abs(gi as i64)); // unrelated int global
+        a.halt();
+        a.bind(h);
+        a.movsd(Mem::base_disp(Gpr::RDI, 0), Xmm(0));
+        a.ret();
+        let p = a.finish();
+        let base = analyze(&p);
+        assert!(
+            base.sinks
+                .iter()
+                .any(|s| s.reason == SinkReason::IntLoadOfFp),
+            "context-insensitive: the ⊤-argument store poisons everything"
+        );
+        let an = analyze_with(
+            &p,
+            &AnalysisConfig {
+                ctx_k1: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !an.sinks.iter().any(|s| s.reason == SinkReason::IntLoadOfFp),
+            "k=1 contexts must keep the argument pointers exact: {:?}",
+            an.sinks
+        );
+        assert!(
+            an.stats.contexts >= 3,
+            "root + one context per call site: {}",
+            an.stats.contexts
+        );
+    }
+
+    #[test]
+    fn ctx_k1_tracks_return_values() {
+        // A helper returns a fresh allocation; the caller stores/loads
+        // integers through it. With alloc-site + k=1 return summaries the
+        // load is provably outside the FP-bearing allocation; without
+        // context the returned pointer is ⊤ and the load sinks.
+        let mut a = Asm::new();
+        let c = a.f64m(1.0);
+        let h = a.label();
+        a.mov_ri(Gpr::RDI, 16);
+        a.call_ext(ExtFn::AllocHeap); // site X (caller's own)
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::base_disp(Gpr::RAX, 0), Xmm(0)); // FP → X
+        a.call(h); // RAX ← fresh allocation from site Y
+        a.mov_ri(Gpr::RDX, 5);
+        a.store(Mem::base_disp(Gpr::RAX, 0), Gpr::RDX); // int → Y
+        a.load(Gpr::RCX, Mem::base_disp(Gpr::RAX, 0)); // int ← Y
+        a.halt();
+        a.bind(h);
+        a.mov_ri(Gpr::RDI, 16);
+        a.call_ext(ExtFn::AllocHeap); // site Y
+        a.ret();
+        let p = a.finish();
+        let base = analyze_with(
+            &p,
+            &AnalysisConfig {
+                heap: HeapModel::AllocSite,
+                ..Default::default()
+            },
+        );
+        assert!(
+            base.sinks
+                .iter()
+                .any(|s| s.reason == SinkReason::IntLoadOfFp),
+            "without return summaries the helper's pointer is ⊤"
+        );
+        let an = analyze_with(
+            &p,
+            &AnalysisConfig {
+                heap: HeapModel::AllocSite,
+                ctx_k1: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !an.sinks.iter().any(|s| s.reason == SinkReason::IntLoadOfFp),
+            "the k=1 return summary must carry the allocation site: {:?}",
+            an.sinks
+        );
+    }
+
+    #[test]
+    fn ctx_k1_horizon_joins_distinct_callers() {
+        // Two sites pass an FP pointer and an int pointer; the helper
+        // *loads* through the argument. The load site is shared, so the
+        // union over contexts must keep it a sink (soundness at the k=1
+        // horizon: one tainted context taints the shared instruction).
+        let mut a = Asm::new();
+        let fa = a.global_f64("fa", 0.0);
+        let gi = a.global("gi", 8);
+        let c = a.f64m(2.0);
+        let h = a.label();
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::abs(fa as i64), Xmm(0));
+        a.mov_ri(Gpr::RAX, 3);
+        a.store(Mem::abs(gi as i64), Gpr::RAX);
+        a.mov_ri(Gpr::RDI, fa as i64);
+        a.call(h); // context 1: loads FP bits
+        a.mov_ri(Gpr::RDI, gi as i64);
+        a.call(h); // context 2: loads an integer
+        a.halt();
+        a.bind(h);
+        a.load(Gpr::RAX, Mem::base_disp(Gpr::RDI, 0));
+        a.ret();
+        let p = a.finish();
+        let an = analyze_with(
+            &p,
+            &AnalysisConfig {
+                ctx_k1: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            an.sinks.iter().any(|s| s.reason == SinkReason::IntLoadOfFp),
+            "a load tainted in any context must remain a sink"
+        );
+    }
+
+    #[test]
+    fn all_passes_compose_and_only_refine() {
+        // Every ablation config on a program mixing all the patterns:
+        // sink sets must be subsets of the baseline (refinement only) and
+        // the genuinely-boxed load must sink in every config.
+        let mut a = Asm::new();
+        let g = a.global("relay", 8);
+        let c = a.f64m(2.5);
+        a.alu_ri(AluOp::Sub, Gpr::RSP, 32);
+        a.mov_ri(Gpr::RDI, 16);
+        a.call_ext(ExtFn::AllocHeap);
+        a.movsd(Xmm(0), c);
+        a.movsd(Mem::base_disp(Gpr::RAX, 0), Xmm(0));
+        a.load(Gpr::RBX, Mem::base_disp(Gpr::RAX, 0)); // true sink
+        a.store(Mem::abs(g as i64), Gpr::RBX);
+        a.load(Gpr::RCX, Mem::abs(g as i64)); // cascade victim
+        a.alu_ri(AluOp::Add, Gpr::RCX, 1); // observed
+        a.halt();
+        let p = a.finish();
+        let base = analyze(&p);
+        let base_addrs: Vec<u64> = base.sinks.iter().map(|s| s.addr).collect();
+        for (fmem, ctx, live) in [
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+            (true, true, true),
+        ] {
+            let an = analyze_with(
+                &p,
+                &AnalysisConfig {
+                    heap: HeapModel::AllocSite,
+                    flow_mem: fmem,
+                    ctx_k1: ctx,
+                    liveness: live,
+                },
+            );
+            assert!(
+                an.sinks.iter().all(|s| base_addrs.contains(&s.addr)),
+                "config ({fmem},{ctx},{live}) added a sink beyond baseline"
+            );
+            assert!(
+                an.sinks.iter().any(|s| s.reason == SinkReason::IntLoadOfFp),
+                "the genuinely-boxed heap load must survive every config"
+            );
+        }
     }
 }

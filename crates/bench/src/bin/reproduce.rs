@@ -67,6 +67,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "audit",
         "E14: dynamic taint oracle vs static sink set (soundness gate)",
     ),
+    (
+        "vsa2",
+        "E19: second-generation VSA ablation — flow/ctx/liveness passes",
+    ),
     ("loc", "§5.5: lines-of-code inventory"),
     (
         "trace",
@@ -203,8 +207,85 @@ fn main() {
         let rows = exp::audit_table(size);
         let missed: usize = rows.iter().map(|r| r.missed).sum();
         archive("audit", &rows);
+        // Flat per-SinkReason precision/recall table — diffable across PRs.
+        let reasons = exp::flatten_reasons(rows.iter().map(|r| (r.heap_model.as_str(), r)));
+        archive("audit_reasons", &reasons);
         if missed > 0 {
             eprintln!("AUDIT FAILED: {missed} missed sink(s) — static analysis soundness hole");
+            std::process::exit(1);
+        }
+    }
+    if want("vsa2") {
+        ran = true;
+        let r = exp::vsa2(size);
+        archive("vsa2", &r);
+        let reasons: Vec<_> = r
+            .rows
+            .iter()
+            .flat_map(|row| {
+                row.per_reason
+                    .iter()
+                    .map(move |m| (row.workload.clone(), row.config.clone(), m.clone()))
+            })
+            .collect();
+        let flat: Vec<exp::ReasonFlatRow> = reasons
+            .into_iter()
+            .map(|(workload, config, m)| exp::ReasonFlatRow {
+                workload,
+                config,
+                reason: m.reason,
+                confirmed: m.confirmed,
+                spurious: m.spurious,
+                unexercised: m.unexercised,
+                missed: m.missed,
+                precision: m.precision,
+                recall: m.recall,
+            })
+            .collect();
+        archive("vsa2_reasons", &flat);
+        let _ = trajectory::append_entry(
+            std::path::Path::new("BENCH_analysis.json"),
+            "vsa2",
+            &trajectory::run_meta(size == Size::Tiny),
+            &r.to_json(),
+        );
+        if r.missed_total > 0 {
+            eprintln!(
+                "VSA2 SOUNDNESS FAILED: {} missed sink(s) across ablation configs",
+                r.missed_total
+            );
+            std::process::exit(1);
+        }
+        if r.skipped_total > 0 {
+            eprintln!(
+                "VSA2 PATCH-COVERAGE FAILED: {} sink(s) skipped by the patcher — the \
+                 flow_mem demotion model requires every sink patched",
+                r.skipped_total
+            );
+            std::process::exit(1);
+        }
+        if !r.outputs_identical {
+            eprintln!("VSA2 OUTPUT DRIFT: guest outputs moved with the analysis config");
+            std::process::exit(1);
+        }
+        if !r.accounting_identical {
+            eprintln!("VSA2 ACCOUNTING DRIFT: deterministic Fig. 9 accounting moved with the analysis config");
+            std::process::exit(1);
+        }
+        if r.enzo_all_sinks > r.enzo_baseline_sinks {
+            eprintln!(
+                "VSA2 REFINEMENT FAILED: Enzo sinks grew under all passes ({} -> {})",
+                r.enzo_baseline_sinks, r.enzo_all_sinks
+            );
+            std::process::exit(1);
+        }
+        // The headline precision win is only meaningful at full problem
+        // size (Tiny runs exercise fewer sites).
+        if size == Size::S && r.enzo_all_spurious >= 15 {
+            eprintln!(
+                "VSA2 PRECISION FAILED: Enzo spurious sinks did not drop below 15 (got {})",
+                r.enzo_all_spurious
+            );
             std::process::exit(1);
         }
     }

@@ -1259,12 +1259,55 @@ fn heap_name(h: fpvm_analysis::HeapModel) -> &'static str {
     }
 }
 
-/// Run one workload under the dynamic taint oracle with the given heap
-/// model and diff the run against the static sink set.
-fn audit_one(w: &fpvm_workloads::Workload, heap: fpvm_analysis::HeapModel) -> AuditRow {
+/// FNV-1a over the guest's output events (the bit-identity fingerprint
+/// shared with the Fig. 9 baseline pin).
+fn output_fnv(out: &[OutputEvent]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for ev in out {
+        let bits = match ev {
+            OutputEvent::F64(b) => *b,
+            OutputEvent::I64(v) => *v as u64,
+        };
+        for byte in bits.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The deterministic slice of one run's Fig. 9 accounting: everything the
+/// static-analysis configuration must NOT perturb. Correctness-trap
+/// components, promotions/demotions, and icount legitimately move with
+/// the patch set; FP-trap counts, their cost-model cycle components, and
+/// the guest's observable output must not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DetAccounting {
+    fp_traps: u64,
+    emulated: u64,
+    emulated_lanes: u64,
+    hardware: u64,
+    kernel: u64,
+    user_delivery: u64,
+    decode: u64,
+    bind: u64,
+    outputs: usize,
+    output_fnv: u64,
+}
+
+/// One audited run: the audit row plus everything the E19 identity gates
+/// compare across configurations.
+struct AuditOutcome {
+    row: AuditRow,
+    skipped: usize,
+    acct: DetAccounting,
+}
+
+/// Run one workload under the dynamic taint oracle with the given full
+/// analysis configuration and diff the run against the static sink set.
+fn audit_run(w: &fpvm_workloads::Workload, acfg: &fpvm_analysis::AnalysisConfig) -> AuditOutcome {
     let c = compile(&w.module, CompileMode::Native);
-    let acfg = fpvm_analysis::AnalysisConfig { heap };
-    let patched = fpvm_analysis::analyze_and_patch_with(&c.program, &acfg);
+    let patched = fpvm_analysis::analyze_and_patch_with(&c.program, acfg);
     let mut m = Machine::new(CostModel::r815());
     m.load_program(&patched.program);
     let mut rt = Fpvm::new(
@@ -1301,21 +1344,49 @@ fn audit_one(w: &fpvm_workloads::Workload, heap: fpvm_analysis::HeapModel) -> Au
             recall: met.recall(),
         })
         .collect();
-    AuditRow {
-        workload: w.name.to_string(),
-        heap_model: heap_name(heap).to_string(),
-        analysis: patched.analysis.stats,
-        confirmed: rep.total.confirmed,
-        spurious: rep.total.spurious,
-        unexercised: rep.total.unexercised,
-        missed: rep.total.missed,
-        tainted_only: rep.tainted_only,
-        precision: rep.total.precision(),
-        recall: rep.total.recall(),
-        correctness_traps: report.stats.correctness_traps,
-        wasted_cycles: rep.wasted_cycles,
-        per_reason,
+    let s = &report.stats;
+    let cy = &s.cycles;
+    let acct = DetAccounting {
+        fp_traps: s.fp_traps,
+        emulated: s.emulated,
+        emulated_lanes: s.emulated_lanes,
+        hardware: cy.get(Component::Hardware),
+        kernel: cy.get(Component::Kernel),
+        user_delivery: cy.get(Component::UserDelivery),
+        decode: cy.get(Component::Decode),
+        bind: cy.get(Component::Bind),
+        outputs: m.output.len(),
+        output_fnv: output_fnv(&m.output),
+    };
+    AuditOutcome {
+        row: AuditRow {
+            workload: w.name.to_string(),
+            heap_model: heap_name(acfg.heap).to_string(),
+            analysis: patched.analysis.stats,
+            confirmed: rep.total.confirmed,
+            spurious: rep.total.spurious,
+            unexercised: rep.total.unexercised,
+            missed: rep.total.missed,
+            tainted_only: rep.tainted_only,
+            precision: rep.total.precision(),
+            recall: rep.total.recall(),
+            correctness_traps: report.stats.correctness_traps,
+            wasted_cycles: rep.wasted_cycles,
+            per_reason,
+        },
+        skipped: patched.skipped.len(),
+        acct,
     }
+}
+
+/// Run one workload under the dynamic taint oracle with the given heap
+/// model and diff the run against the static sink set.
+fn audit_one(w: &fpvm_workloads::Workload, heap: fpvm_analysis::HeapModel) -> AuditRow {
+    let acfg = fpvm_analysis::AnalysisConfig {
+        heap,
+        ..Default::default()
+    };
+    audit_run(w, &acfg).row
 }
 
 /// E14: run every workload under the dynamic taint oracle and audit the
@@ -1386,6 +1457,264 @@ pub fn audit_table(size: Size) -> Vec<AuditRow> {
     }
     println!();
     rows
+}
+
+/// One (workload, config, reason) row of the flat per-`SinkReason`
+/// precision/recall artifact (`audit_reasons.json`) — diffable across PRs
+/// instead of buried in stdout.
+#[derive(Debug, Clone)]
+pub struct ReasonFlatRow {
+    pub workload: String,
+    pub config: String,
+    pub reason: String,
+    pub confirmed: usize,
+    pub spurious: usize,
+    pub unexercised: usize,
+    pub missed: usize,
+    pub precision: f64,
+    pub recall: f64,
+}
+
+/// Flatten audit rows into the per-reason artifact, labeling each row with
+/// the configuration it came from.
+pub fn flatten_reasons<'a>(
+    rows: impl IntoIterator<Item = (&'a str, &'a AuditRow)>,
+) -> Vec<ReasonFlatRow> {
+    let mut out = Vec::new();
+    for (config, row) in rows {
+        for r in &row.per_reason {
+            out.push(ReasonFlatRow {
+                workload: row.workload.clone(),
+                config: config.to_string(),
+                reason: r.reason.clone(),
+                confirmed: r.confirmed,
+                spurious: r.spurious,
+                unexercised: r.unexercised,
+                missed: r.missed,
+                precision: r.precision,
+                recall: r.recall,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E19: second-generation VSA — per-pass ablation through the taint oracle
+// ---------------------------------------------------------------------------
+
+/// One (workload, analysis config) row of the E19 ablation.
+#[derive(Debug, Clone)]
+pub struct Vsa2Row {
+    pub workload: String,
+    pub config: String,
+    pub sinks_found: usize,
+    pub sinks_demoted_live: usize,
+    pub contexts: usize,
+    pub skipped: usize,
+    pub confirmed: usize,
+    pub spurious: usize,
+    pub unexercised: usize,
+    pub missed: usize,
+    pub tainted_only: usize,
+    pub precision: f64,
+    pub recall: f64,
+    pub correctness_traps: u64,
+    pub wasted_cycles: u64,
+    pub per_reason: Vec<AuditReasonRow>,
+}
+
+/// E19 result record (archived and appended to `BENCH_analysis.json`).
+#[derive(Debug, Clone)]
+pub struct Vsa2Result {
+    pub rows: Vec<Vsa2Row>,
+    /// Guest outputs bit-identical across every config, per workload.
+    pub outputs_identical: bool,
+    /// Deterministic Fig. 9 accounting identical across every config.
+    pub accounting_identical: bool,
+    /// Missed (unpatched-but-boxed) sinks summed over every run.
+    pub missed_total: u64,
+    /// Patcher-skipped sinks summed over every run (the flow_mem demotion
+    /// model requires every sink to actually be patched).
+    pub skipped_total: u64,
+    pub enzo_baseline_sinks: u64,
+    pub enzo_all_sinks: u64,
+    pub enzo_baseline_spurious: u64,
+    pub enzo_all_spurious: u64,
+}
+
+/// The E19 ablation ladder: alloc-site heap everywhere, then each
+/// second-generation pass alone, then all three together.
+pub fn vsa2_configs() -> Vec<(&'static str, fpvm_analysis::AnalysisConfig)> {
+    use fpvm_analysis::{AnalysisConfig, HeapModel};
+    let base = AnalysisConfig {
+        heap: HeapModel::AllocSite,
+        ..Default::default()
+    };
+    vec![
+        ("baseline", base),
+        (
+            "+flow",
+            AnalysisConfig {
+                flow_mem: true,
+                ..base
+            },
+        ),
+        (
+            "+ctx",
+            AnalysisConfig {
+                ctx_k1: true,
+                ..base
+            },
+        ),
+        (
+            "+live",
+            AnalysisConfig {
+                liveness: true,
+                ..base
+            },
+        ),
+        (
+            "all",
+            AnalysisConfig {
+                flow_mem: true,
+                ctx_k1: true,
+                liveness: true,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// E19: run every workload through the dynamic taint oracle under each
+/// ablation config of the second-generation analysis. Soundness (zero
+/// missed sinks in *every* config) and behavior identity (guest outputs
+/// and deterministic Fig. 9 accounting bit-identical across configs) are
+/// hard gates; the payoff is the spurious-sink / wasted-cycle reduction.
+pub fn vsa2(size: Size) -> Vsa2Result {
+    println!(
+        "== E19 vsa2: second-generation analysis ablation (Vanilla, R815, alloc-site heap) =="
+    );
+    println!(
+        "{:<18} {:<9} {:>5} {:>4} {:>4} {:>5} {:>5} {:>5} {:>5} {:>6} {:>6} {:>12}",
+        "workload",
+        "config",
+        "sinks",
+        "demo",
+        "ctxs",
+        "conf",
+        "spur",
+        "unex",
+        "miss",
+        "prec",
+        "recall",
+        "wasted-cyc"
+    );
+    let configs = vsa2_configs();
+    let mut rows: Vec<Vsa2Row> = Vec::new();
+    let mut outputs_identical = true;
+    let mut accounting_identical = true;
+    let mut skipped_total = 0usize;
+    for w in all_workloads(size) {
+        let mut first_acct: Option<DetAccounting> = None;
+        for (name, acfg) in &configs {
+            let o = audit_run(&w, acfg);
+            match &first_acct {
+                None => first_acct = Some(o.acct.clone()),
+                Some(base) => {
+                    if base.output_fnv != o.acct.output_fnv || base.outputs != o.acct.outputs {
+                        outputs_identical = false;
+                        println!("  OUTPUT DRIFT: {} under {}", w.name, name);
+                    }
+                    if *base != o.acct {
+                        accounting_identical = false;
+                        println!("  ACCOUNTING DRIFT: {} under {}", w.name, name);
+                    }
+                }
+            }
+            skipped_total += o.skipped;
+            let r = &o.row;
+            println!(
+                "{:<18} {:<9} {:>5} {:>4} {:>4} {:>5} {:>5} {:>5} {:>5} {:>6.2} {:>6.2} {:>12}",
+                r.workload,
+                name,
+                r.analysis.sinks_found,
+                r.analysis.sinks_demoted_live,
+                r.analysis.contexts,
+                r.confirmed,
+                r.spurious,
+                r.unexercised,
+                r.missed,
+                r.precision,
+                r.recall,
+                commas(r.wasted_cycles)
+            );
+            rows.push(Vsa2Row {
+                workload: r.workload.clone(),
+                config: name.to_string(),
+                sinks_found: r.analysis.sinks_found,
+                sinks_demoted_live: r.analysis.sinks_demoted_live,
+                contexts: r.analysis.contexts,
+                skipped: o.skipped,
+                confirmed: r.confirmed,
+                spurious: r.spurious,
+                unexercised: r.unexercised,
+                missed: r.missed,
+                tainted_only: r.tainted_only,
+                precision: r.precision,
+                recall: r.recall,
+                correctness_traps: r.correctness_traps,
+                wasted_cycles: r.wasted_cycles,
+                per_reason: r.per_reason.clone(),
+            });
+        }
+    }
+    let pick = |workload: &str, config: &str| {
+        rows.iter()
+            .find(|r| r.workload == workload && r.config == config)
+    };
+    let (enzo_baseline_sinks, enzo_baseline_spurious) =
+        pick("Enzo", "baseline").map_or((0, 0), |r| (r.sinks_found as u64, r.spurious as u64));
+    let (enzo_all_sinks, enzo_all_spurious) =
+        pick("Enzo", "all").map_or((0, 0), |r| (r.sinks_found as u64, r.spurious as u64));
+    let missed_total: u64 = rows.iter().map(|r| r.missed as u64).sum();
+    // Per-workload ablation summary against the baseline config.
+    for w in all_workloads(size) {
+        let Some(base) = pick(w.name, "baseline") else {
+            continue;
+        };
+        let Some(all) = pick(w.name, "all") else {
+            continue;
+        };
+        if all.spurious < base.spurious || all.sinks_found < base.sinks_found {
+            println!(
+                "  {}: all passes drop sinks {} -> {}, spurious {} -> {}, saving {} wasted cycles",
+                w.name,
+                base.sinks_found,
+                all.sinks_found,
+                base.spurious,
+                all.spurious,
+                commas(base.wasted_cycles.saturating_sub(all.wasted_cycles))
+            );
+        }
+    }
+    if missed_total == 0 {
+        println!("soundness: zero missed sinks across {} runs", rows.len());
+    } else {
+        println!("SOUNDNESS HOLES: {missed_total} missed sink(s)");
+    }
+    println!();
+    Vsa2Result {
+        rows,
+        outputs_identical,
+        accounting_identical,
+        missed_total,
+        skipped_total: skipped_total as u64,
+        enzo_baseline_sinks,
+        enzo_all_sinks,
+        enzo_baseline_spurious,
+        enzo_all_spurious,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -2425,10 +2754,12 @@ json_struct!(fpvm_analysis::AnalysisStats {
     instructions,
     blocks,
     functions,
+    contexts,
     loads_total,
     loads_proven_safe,
     rounds,
     sinks_found,
+    sinks_demoted_live,
     sinks_patched,
     sinks_skipped_table_full,
     sinks_skipped_straddle,
@@ -2458,6 +2789,49 @@ json_struct!(AuditRow {
     correctness_traps,
     wasted_cycles,
     per_reason,
+});
+
+json_struct!(ReasonFlatRow {
+    workload,
+    config,
+    reason,
+    confirmed,
+    spurious,
+    unexercised,
+    missed,
+    precision,
+    recall,
+});
+
+json_struct!(Vsa2Row {
+    workload,
+    config,
+    sinks_found,
+    sinks_demoted_live,
+    contexts,
+    skipped,
+    confirmed,
+    spurious,
+    unexercised,
+    missed,
+    tainted_only,
+    precision,
+    recall,
+    correctness_traps,
+    wasted_cycles,
+    per_reason,
+});
+
+json_struct!(Vsa2Result {
+    rows,
+    outputs_identical,
+    accounting_identical,
+    missed_total,
+    skipped_total,
+    enzo_baseline_sinks,
+    enzo_all_sinks,
+    enzo_baseline_spurious,
+    enzo_all_spurious,
 });
 
 json_struct!(Fig9Row {

@@ -70,7 +70,13 @@ fn audit_workload(name: &str, heap: HeapModel) -> fpvm_analysis::AuditReport {
         .find(|w| w.name == name)
         .expect("workload exists");
     let c = compile(&w.module, CompileMode::Native);
-    let patched = analyze_and_patch_with(&c.program, &AnalysisConfig { heap });
+    let patched = analyze_and_patch_with(
+        &c.program,
+        &AnalysisConfig {
+            heap,
+            ..Default::default()
+        },
+    );
     let mut m = Machine::new(CostModel::r815());
     m.load_program(&patched.program);
     let mut rt = Fpvm::new(
